@@ -1,0 +1,25 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at
+laptop scale (smaller N, truncated dimension grids, 3 random runs instead
+of 5) and prints the corresponding rows/series. Scale knobs live in each
+module as SCALE constants; EXPERIMENTS.md records paper-vs-measured values
+from a full run.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import warnings
+
+import pytest
+
+from repro.exceptions import ConvergenceWarning
+
+
+@pytest.fixture(autouse=True)
+def _silence_convergence_warnings():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", ConvergenceWarning)
+        yield

@@ -1,0 +1,24 @@
+"""Fig. 10 — kernel-method time / memory vs dimension.
+
+KTCCA's N³ kernel tensor dominates both axes, as in the paper.
+"""
+
+from repro.experiments import run_experiment
+
+SCALE = dict(n_samples=170, dims=(5, 10, 20), random_state=0)
+
+
+def test_bench_fig10_kernel_complexity(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig10", **SCALE), rounds=1, iterations=1
+    )
+    print()
+    print(result.notes)
+
+    costs = result.extras["costs"]
+    total = {name: sum(cost["seconds"]) for name, cost in costs.items()}
+    memory = {name: max(cost["memory_mb"]) for name, cost in costs.items()}
+
+    # KTCCA's N×N×N tensor beats the pairwise N×N kernel machinery.
+    assert total["KTCCA"] > total["KCCA (BST)"]
+    assert memory["KTCCA"] > memory["BSK"]

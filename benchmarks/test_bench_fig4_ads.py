@@ -1,0 +1,64 @@
+"""Fig. 4 — Ads accuracy vs common-subspace dimension.
+
+Shape assertions (paper): CAT ≈ BSF (over-fitting on the 1,555-d
+concatenation with 100 labels), the CCA-based methods stay steady across
+dimensions while DSE/SSMVD decay, and the subspace methods beat the raw
+baselines at their best dimensions.
+"""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+SCALE = dict(
+    n_samples=1600,
+    view_dims=(196, 165, 157),
+    dims=(5, 10, 20, 40, 80),
+    n_runs=3,
+    random_state=0,
+)
+
+
+def test_bench_fig4_ads(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig4", **SCALE), rounds=1, iterations=1
+    )
+    print()
+    print(result.series())
+    print()
+    print(result.table())
+
+    sweeps = result.panels["labeled=100"]
+    summaries = {
+        name: sweep.best_dimension_summary()[0]
+        for name, sweep in sweeps.items()
+    }
+
+    # CAT does not dominate BSF (high-dimension over-fitting regime).
+    assert abs(summaries["CAT"] - summaries["BSF"]) < 0.08
+
+    # The CCA-family subspace methods beat the raw baselines.
+    cca_family = max(
+        summaries[name]
+        for name in ("CCA (BST)", "CCA (AVG)", "CCA-LS", "TCCA")
+    )
+    assert cca_family > max(summaries["BSF"], summaries["CAT"])
+
+    # CCA curves are steadier across r than DSE/SSMVD (paper: the latter
+    # "decrease sharply" at large r).
+    def curve_drop(sweep):
+        curve = sweep.mean_curve()
+        return float(curve.max() - curve[-1])
+
+    cca_drop = curve_drop(sweeps["CCA (AVG)"])
+    transductive_drop = max(
+        curve_drop(sweeps["DSE"]), curve_drop(sweeps["SSMVD"])
+    )
+    assert transductive_drop > cca_drop - 0.05
+
+    # TCCA at its best dimension is competitive with the pairwise family
+    # (paper: slightly ahead; margins shrink with few unlabeled samples).
+    pairwise = max(
+        summaries[name] for name in ("CCA (BST)", "CCA (AVG)", "CCA-LS")
+    )
+    assert summaries["TCCA"] > pairwise - 0.04

@@ -1,0 +1,24 @@
+"""Fig. 8 — Ads time / memory vs dimension."""
+
+from repro.experiments import run_experiment
+
+SCALE = dict(n_samples=900, dims=(5, 10, 20), random_state=0)
+
+
+def test_bench_fig8_ads_complexity(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig8", **SCALE), rounds=1, iterations=1
+    )
+    print()
+    print(result.notes)
+
+    costs = result.extras["costs"]
+    total = {name: sum(cost["seconds"]) for name, cost in costs.items()}
+    # TCCA is the most expensive CCA-family method on the
+    # high-dimensional Ads views.
+    assert total["TCCA"] > total["CCA (BST)"]
+    assert total["TCCA"] > total["CCA (AVG)"]
+
+    memory = {name: max(cost["memory_mb"]) for name, cost in costs.items()}
+    # The d1·d2·d3 tensor outweighs every pairwise covariance matrix.
+    assert memory["TCCA"] >= memory["CCA (BST)"]

@@ -1,0 +1,24 @@
+"""Fig. 9 — NUS-WIDE time / memory vs dimension."""
+
+from repro.experiments import run_experiment
+
+SCALE = dict(n_samples=800, dims=(5, 10, 20), random_state=0)
+
+
+def test_bench_fig9_nuswide_complexity(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig9", **SCALE), rounds=1, iterations=1
+    )
+    print()
+    print(result.notes)
+
+    costs = result.extras["costs"]
+    total = {name: sum(cost["seconds"]) for name, cost in costs.items()}
+    memory = {name: max(cost["memory_mb"]) for name, cost in costs.items()}
+
+    # The 500×144×128 covariance tensor makes TCCA the costliest
+    # CCA-family method in both time and memory.
+    assert total["TCCA"] > total["CCA (BST)"]
+    assert memory["TCCA"] > memory["CCA (BST)"]
+    # Cheap baselines stay cheap.
+    assert total["BSF"] < total["TCCA"]

@@ -1,0 +1,45 @@
+"""Table 1 — SecStr accuracies at validation-selected best dimensions.
+
+Regenerates the table rows (method, accuracy mean±std, chosen dims) on the
+small-unlabeled panel with the full method roster including DSE / SSMVD.
+"""
+
+from repro.experiments import run_experiment
+
+SCALE = dict(
+    n_unlabeled_small=1500,
+    n_unlabeled_large=None,  # Table 1's 1.3M column is covered by fig3
+    dims=(5, 10, 20, 40),
+    n_runs=3,
+    random_state=0,
+)
+
+
+def test_bench_table1_secstr(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("tab1", **SCALE), rounds=1, iterations=1
+    )
+    print()
+    print(result.table())
+
+    sweeps = result.panels[f"unlabeled={SCALE['n_unlabeled_small']}"]
+    assert set(sweeps) == {
+        "BSF",
+        "CAT",
+        "CCA (BST)",
+        "CCA (AVG)",
+        "CCA-LS",
+        "DSE",
+        "SSMVD",
+        "TCCA",
+    }
+    accuracies = {
+        name: sweep.best_dimension_summary()[0]
+        for name, sweep in sweeps.items()
+    }
+    # Everything beats chance on the binary task.
+    assert min(accuracies.values()) > 0.5
+    # The multiset CCA methods beat the raw-feature baselines.
+    assert max(
+        accuracies["CCA-LS"], accuracies["TCCA"], accuracies["CCA (AVG)"]
+    ) > max(accuracies["BSF"], accuracies["CAT"])

@@ -1,0 +1,30 @@
+"""Table 4 — kernel-method accuracies at best dimensions."""
+
+from repro.experiments import run_experiment
+
+SCALE = dict(
+    n_samples=200,
+    labeled_per_concept=(6,),
+    dims=(5, 10, 20),
+    n_runs=3,
+    random_state=3,
+)
+
+EXPECTED_METHODS = {"BSK", "AVG", "KCCA (BST)", "KCCA (AVG)", "KTCCA"}
+
+
+def test_bench_table4_kernel(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("tab4", **SCALE), rounds=1, iterations=1
+    )
+    print()
+    print(result.table())
+
+    sweeps = result.panels["labeled=6/concept"]
+    assert set(sweeps) == EXPECTED_METHODS
+    accuracies = {
+        name: sweep.best_dimension_summary()[0]
+        for name, sweep in sweeps.items()
+    }
+    assert min(accuracies.values()) > 0.1  # above 10-class chance
+    assert accuracies["KTCCA"] >= min(accuracies.values())

@@ -1,0 +1,60 @@
+"""Biometric structure prediction (the paper's SecStr experiment, §5.1.1).
+
+Compares TCCA against CCA-LS, pairwise CCA, and the raw-feature baselines
+on a SecStr-like 3-view one-hot sequence dataset, in the paper's
+transductive protocol: 100 labeled windows, all data available to the
+unsupervised subspace learners, RLS downstream.
+
+Run with::
+
+    python examples/biometric_structure_prediction.py
+"""
+
+import warnings
+
+from repro.datasets import make_secstr_like
+from repro.evaluation import ClassifierSpec, SweepConfig, run_dimension_sweep
+from repro.exceptions import ConvergenceWarning
+from repro.experiments.methods import (
+    BestSingleViewMethod,
+    ConcatenationMethod,
+    LSCCAMethod,
+    PairwiseCCAMethod,
+    TCCAMethod,
+)
+from repro.experiments.reporting import format_series, format_table
+
+
+def main() -> None:
+    warnings.simplefilter("ignore", ConvergenceWarning)
+
+    data = make_secstr_like(3000, random_state=0)
+    print(f"SecStr-like data: views {data.dims}, N={data.n_samples}, "
+          f"positive rate {data.labels.mean():.2f}")
+
+    epsilon_grid = (1e-2, 1e-1, 1e0)
+    methods = [
+        BestSingleViewMethod(),
+        ConcatenationMethod(),
+        PairwiseCCAMethod(mode="best", epsilon=epsilon_grid),
+        PairwiseCCAMethod(mode="average", epsilon=epsilon_grid),
+        LSCCAMethod(epsilon=epsilon_grid),
+        TCCAMethod(epsilon=epsilon_grid),
+    ]
+    config = SweepConfig(
+        dims=(5, 10, 20, 40),
+        n_labeled=100,
+        n_runs=3,
+        classifier=ClassifierSpec(kind="rls", gamma=1e-2),
+        random_state=0,
+    )
+    sweeps = run_dimension_sweep(methods, data.views, data.labels, config)
+
+    print()
+    print(format_series(sweeps, title="accuracy vs dimension"))
+    print()
+    print(format_table(sweeps, title="best-dimension summary"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: tensor CCA on a synthetic three-view dataset.
+
+Generates a latent-factor multi-view dataset, fits TCCA, inspects the
+canonical correlations, and trains a simple classifier on the shared
+subspace — the end-to-end pipeline of Fig. 2 in the paper.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import TCCA
+from repro.classifiers import RLSClassifier
+from repro.datasets import make_multiview_latent, sample_labeled_indices
+
+
+def main() -> None:
+    # 1. Three views of 1,000 instances sharing skewed latent factors.
+    data = make_multiview_latent(
+        n_samples=1000, dims=(30, 25, 20), n_classes=2, random_state=0
+    )
+    print(f"dataset: {data.n_views} views with dims {data.dims}, "
+          f"N={data.n_samples}")
+
+    # 2. Fit TCCA: rank-5 CP decomposition of the whitened covariance
+    #    tensor (Theorem 2 of the paper).
+    tcca = TCCA(n_components=5, epsilon=1.0, random_state=0).fit(data.views)
+    print("covariance tensor shape:", tcca.covariance_tensor_shape_)
+    print("canonical correlations :",
+          np.round(tcca.correlations_, 4))
+
+    # The tensor-side optimum matches the data-side correlation of
+    # Theorem 1 when evaluated on the training views.
+    empirical = tcca.canonical_correlations(data.views)
+    print("empirical correlations :", np.round(empirical, 4))
+
+    # 3. Project all views and concatenate: the (N, m*r) shared
+    #    representation used downstream.
+    representation = tcca.transform_combined(data.views)
+    print("representation shape   :", representation.shape)
+
+    # 4. Train RLS on 100 labeled instances, evaluate transductively.
+    labeled = sample_labeled_indices(data.labels, 100, random_state=1)
+    rest = np.setdiff1d(np.arange(data.n_samples), labeled)
+    classifier = RLSClassifier(gamma=1e-2).fit(
+        representation[labeled], data.labels[labeled]
+    )
+    accuracy = classifier.score(representation[rest], data.labels[rest])
+    print(f"accuracy with 100 labels on the TCCA subspace: {accuracy:.3f}")
+
+    # Baseline: the same classifier on the raw concatenated features.
+    raw = np.vstack(data.views).T
+    baseline = RLSClassifier(gamma=1e-2).fit(
+        raw[labeled], data.labels[labeled]
+    )
+    print(f"accuracy on raw concatenated features        : "
+          f"{baseline.score(raw[rest], data.labels[rest]):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""repro — Tensor Canonical Correlation Analysis for multi-view dimension reduction.
+
+A full reimplementation of Luo et al., "Tensor Canonical Correlation
+Analysis for Multi-view Dimension Reduction" (ICDE 2016): the TCCA / KTCCA
+estimators, every baseline the paper compares against (CCA, KCCA,
+CCA-MAXVAR, CCA-LS, DSE, SSMVD), the tensor-algebra substrate they rest
+on, and the evaluation harness that regenerates each table and figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro import TCCA
+    from repro.datasets import make_multiview_latent
+
+    data = make_multiview_latent(n_samples=400, random_state=0)
+    tcca = TCCA(n_components=5).fit(data.views)
+    representation = tcca.transform_combined(data.views)  # (N, 3 * 5)
+"""
+
+from repro.core import KTCCA, TCCA, multiview_canonical_correlation
+from repro.cca import CCA, KCCA, LSCCA, MaxVarCCA
+from repro.baselines import DSE, SSMVD, PCA
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CCA",
+    "DSE",
+    "KCCA",
+    "KTCCA",
+    "LSCCA",
+    "MaxVarCCA",
+    "PCA",
+    "SSMVD",
+    "TCCA",
+    "__version__",
+    "multiview_canonical_correlation",
+]

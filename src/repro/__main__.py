@@ -1,0 +1,92 @@
+"""Command-line entry point: list and run the registered experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run tab2
+    python -m repro run fig6 --override n_samples=500 --override n_runs=5
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+import warnings
+
+from repro.exceptions import ConvergenceWarning
+from repro.experiments import EXPERIMENTS, run_experiment
+
+
+def _parse_override(text: str) -> tuple[str, object]:
+    """Parse a ``key=value`` override; the value is a Python literal."""
+    key, separator, raw = text.partition("=")
+    if not separator or not key:
+        raise argparse.ArgumentTypeError(
+            f"override must look like key=value, got {text!r}"
+        )
+    try:
+        value = ast.literal_eval(raw)
+    except (SyntaxError, ValueError):
+        value = raw  # fall back to the raw string
+    return key, value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduce the tables and figures of 'Tensor Canonical "
+            "Correlation Analysis for Multi-view Dimension Reduction' "
+            "(Luo et al., ICDE 2016)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list registered experiments")
+
+    run_parser = subparsers.add_parser(
+        "run", help="run one experiment and print its table/series"
+    )
+    run_parser.add_argument(
+        "experiment_id", choices=sorted(EXPERIMENTS), metavar="experiment",
+        help="experiment id (fig3..fig10, tab1..tab4)",
+    )
+    run_parser.add_argument(
+        "--override",
+        action="append",
+        default=[],
+        type=_parse_override,
+        metavar="key=value",
+        help="driver keyword override (repeatable), e.g. n_samples=500",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI body; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(spec.experiment_id) for spec in EXPERIMENTS.values())
+        for experiment_id in sorted(EXPERIMENTS):
+            spec = EXPERIMENTS[experiment_id]
+            print(
+                f"{experiment_id:<{width}}  {spec.paper_artifact:<9} "
+                f"{spec.description}"
+            )
+        return 0
+
+    warnings.simplefilter("ignore", ConvergenceWarning)
+    result = run_experiment(args.experiment_id, **dict(args.override))
+    if result.panels:
+        print(result.series())
+        print()
+        print(result.table())
+    if result.notes:
+        print(result.notes)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Unsupervised multi-view dimension-reduction baselines and their substrates.
+
+* :class:`~repro.baselines.pca.PCA` — used by DSE/SSMVD to pre-reduce each
+  view to 100 dimensions, as in the paper's experimental setup.
+* :func:`~repro.baselines.spectral.laplacian_eigenmaps` — spectral
+  embedding (Belkin & Niyogi 2001), the per-view stage of DSE.
+* :class:`~repro.baselines.dse.DSE` — distributed spectral embedding
+  (Long et al. 2008): per-view embeddings combined into a consensus by
+  matrix factorization.
+* :class:`~repro.baselines.ssmvd.SSMVD` — structured-sparsity multi-view
+  dimension reduction (Han et al. 2012).
+"""
+
+from repro.baselines.pca import PCA
+from repro.baselines.spectral import knn_affinity, laplacian_eigenmaps
+from repro.baselines.dse import DSE
+from repro.baselines.ssmvd import SSMVD
+
+__all__ = ["DSE", "PCA", "SSMVD", "knn_affinity", "laplacian_eigenmaps"]

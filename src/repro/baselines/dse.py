@@ -1,0 +1,109 @@
+"""DSE — distributed spectral embedding (Long, Yu & Zhang, SDM 2008).
+
+The general multi-view unsupervised model the paper compares against:
+
+1. reduce each view with PCA (to 100 dimensions in the paper's setup),
+2. compute a spectral embedding ``E_p ∈ R^{N × r}`` per view,
+3. learn a *consensus* embedding ``B`` via matrix factorization:
+   ``min_{B, {Q_p}} Σ_p ‖E_p - B Q_p‖_F²  s.t.  B^T B = I``.
+
+With orthonormal ``B`` the optimal ``Q_p = B^T E_p``, and the optimal ``B``
+spans the top left singular space of the stacked ``[E_1 … E_m]`` — a single
+SVD, which is how we solve it. DSE is transductive: it embeds the given
+samples and has no projection for new data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.pca import PCA
+from repro.baselines.spectral import laplacian_eigenmaps
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.validation import check_positive_int, check_views
+
+__all__ = ["DSE"]
+
+
+class DSE:
+    """Consensus spectral embedding over multiple views (transductive).
+
+    Parameters
+    ----------
+    n_components:
+        Dimension ``r`` of the consensus embedding.
+    pca_components:
+        Per-view PCA pre-reduction size (100 in the paper; capped at each
+        view's achievable rank).
+    n_neighbors:
+        Neighborhood size of the per-view affinity graphs.
+
+    Attributes
+    ----------
+    embedding_:
+        ``(N, r)`` consensus representation of the fitted samples.
+    view_embeddings_:
+        The per-view spectral embeddings ``E_p``.
+    view_loadings_:
+        The factor matrices ``Q_p = B^T E_p``.
+    """
+
+    def __init__(
+        self,
+        n_components: int = 2,
+        *,
+        pca_components: int = 100,
+        n_neighbors: int = 10,
+    ):
+        self.n_components = check_positive_int(n_components, "n_components")
+        self.pca_components = check_positive_int(
+            pca_components, "pca_components"
+        )
+        self.n_neighbors = check_positive_int(n_neighbors, "n_neighbors")
+
+    def fit(self, views) -> "DSE":
+        """Embed the ``N`` samples shared by ``m >= 2`` views."""
+        views = check_views(views, min_views=2)
+        n = views[0].shape[1]
+        if self.n_components >= n:
+            raise ValidationError(
+                f"n_components={self.n_components} must be < sample "
+                f"count {n}"
+            )
+        reduced = [
+            PCA(self.pca_components, cap=True).fit_transform(view)
+            for view in views
+        ]
+        self.view_embeddings_ = [
+            laplacian_eigenmaps(
+                view,
+                self.n_components,
+                n_neighbors=min(self.n_neighbors, n - 1),
+            )
+            for view in reduced
+        ]
+        stacked = np.hstack(self.view_embeddings_)  # (N, m*r)
+        left, _singular_values, _right = np.linalg.svd(
+            stacked, full_matrices=False
+        )
+        consensus = left[:, : self.n_components]
+        self.embedding_ = consensus
+        self.view_loadings_ = [
+            consensus.T @ embedding for embedding in self.view_embeddings_
+        ]
+        self.n_views_ = len(views)
+        return self
+
+    def fit_transform(self, views) -> np.ndarray:
+        """Fit and return the ``(N, r)`` consensus embedding."""
+        return self.fit(views).embedding_
+
+    def transform(self, views):
+        """DSE is transductive — no out-of-sample projection exists."""
+        del views
+        if not hasattr(self, "embedding_"):
+            raise NotFittedError("DSE must be fitted first")
+        raise NotImplementedError(
+            "DSE learns embeddings of the fitted samples only (transductive); "
+            "refit on the union of old and new samples instead"
+        )

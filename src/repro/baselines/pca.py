@@ -1,0 +1,76 @@
+"""Principal component analysis on the ``(d, N)`` column-sample layout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.validation import check_positive_int, ensure_2d
+
+__all__ = ["PCA"]
+
+
+class PCA:
+    """Plain PCA by SVD of the centered data matrix.
+
+    Parameters
+    ----------
+    n_components:
+        Number of principal directions to keep. Capped at
+        ``min(d, N)`` during ``fit`` when ``cap=True``.
+    cap:
+        If True, silently reduce ``n_components`` to the achievable rank
+        instead of raising — convenient for the DSE/SSMVD pre-reduction
+        step where views may have fewer than 100 dimensions.
+
+    Attributes
+    ----------
+    components_:
+        ``(d, r)`` orthonormal principal directions.
+    explained_variance_:
+        Variance captured by each direction.
+    mean_:
+        ``(d, 1)`` feature means.
+    """
+
+    def __init__(self, n_components: int = 2, *, cap: bool = False):
+        self.n_components = check_positive_int(n_components, "n_components")
+        self.cap = bool(cap)
+
+    def fit(self, matrix) -> "PCA":
+        """Fit on a ``(d, N)`` matrix."""
+        matrix = ensure_2d(matrix, name="matrix")
+        d, n = matrix.shape
+        max_rank = min(d, n)
+        r = self.n_components
+        if r > max_rank:
+            if not self.cap:
+                raise ValidationError(
+                    f"n_components={r} exceeds min(d, N)={max_rank}"
+                )
+            r = max_rank
+        self.mean_ = matrix.mean(axis=1, keepdims=True)
+        centered = matrix - self.mean_
+        left, singular_values, _right = np.linalg.svd(
+            centered, full_matrices=False
+        )
+        self.components_ = left[:, :r]
+        self.explained_variance_ = (singular_values[:r] ** 2) / n
+        self.n_components_ = r
+        return self
+
+    def transform(self, matrix) -> np.ndarray:
+        """Project a ``(d, N)`` matrix to ``(r, N)`` principal scores."""
+        if not hasattr(self, "components_"):
+            raise NotFittedError("PCA must be fitted before transform")
+        matrix = ensure_2d(matrix, name="matrix")
+        if matrix.shape[0] != self.mean_.shape[0]:
+            raise ValidationError(
+                f"matrix has {matrix.shape[0]} features but PCA was fitted "
+                f"with {self.mean_.shape[0]}"
+            )
+        return self.components_.T @ (matrix - self.mean_)
+
+    def fit_transform(self, matrix) -> np.ndarray:
+        """Fit and project in one call."""
+        return self.fit(matrix).transform(matrix)

@@ -1,0 +1,119 @@
+"""Spectral embedding substrate: kNN affinity graphs and Laplacian eigenmaps.
+
+Belkin & Niyogi (2001). This is the per-view dimension-reduction stage of
+the DSE baseline (Long et al. 2008) and a transductive embedding in its own
+right — it embeds the *given* samples and learns no out-of-sample map,
+which is why the paper evaluates DSE/SSMVD only transductively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse
+import scipy.sparse.linalg
+
+from repro.exceptions import ValidationError
+from repro.kernels.distances import euclidean_distances
+from repro.utils.validation import check_positive_int, ensure_2d
+
+__all__ = ["knn_affinity", "laplacian_eigenmaps"]
+
+
+def knn_affinity(
+    view,
+    *,
+    n_neighbors: int = 10,
+    mode: str = "heat",
+    bandwidth: float | None = None,
+) -> scipy.sparse.csr_matrix:
+    """Symmetrized k-nearest-neighbor affinity matrix of a ``(d, N)`` view.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Neighbors per sample (excluding self).
+    mode:
+        ``"heat"`` for ``exp(-d²/σ²)`` weights (σ defaulting to the mean
+        neighbor distance) or ``"binary"`` for 0/1 edges.
+    bandwidth:
+        Heat-kernel σ; ignored for binary mode.
+    """
+    view = ensure_2d(view, name="view")
+    n = view.shape[1]
+    n_neighbors = check_positive_int(n_neighbors, "n_neighbors")
+    if n_neighbors >= n:
+        raise ValidationError(
+            f"n_neighbors={n_neighbors} must be < number of samples {n}"
+        )
+    if mode not in ("heat", "binary"):
+        raise ValidationError(
+            f"mode must be 'heat' or 'binary', got {mode!r}"
+        )
+    distances = euclidean_distances(view)
+    np.fill_diagonal(distances, np.inf)
+    neighbor_idx = np.argpartition(distances, n_neighbors, axis=1)[
+        :, :n_neighbors
+    ]
+    rows = np.repeat(np.arange(n), n_neighbors)
+    cols = neighbor_idx.ravel()
+    neighbor_distances = distances[rows, cols]
+    if mode == "binary":
+        weights = np.ones_like(neighbor_distances)
+    else:
+        if bandwidth is None:
+            bandwidth = float(neighbor_distances.mean())
+        bandwidth = max(bandwidth, 1e-12)
+        weights = np.exp(-((neighbor_distances / bandwidth) ** 2))
+    affinity = scipy.sparse.csr_matrix(
+        (weights, (rows, cols)), shape=(n, n)
+    )
+    # Symmetrize: keep an edge if either endpoint selected it.
+    return affinity.maximum(affinity.T)
+
+
+def laplacian_eigenmaps(
+    view,
+    n_components: int,
+    *,
+    n_neighbors: int = 10,
+    mode: str = "heat",
+    bandwidth: float | None = None,
+) -> np.ndarray:
+    """Laplacian-eigenmaps embedding of a ``(d, N)`` view into ``(N, r)``.
+
+    Uses the symmetric normalized Laplacian ``L = I - D^{-1/2} W D^{-1/2}``
+    and returns the eigenvectors of its ``r`` smallest non-trivial
+    eigenvalues, rescaled by ``D^{-1/2}`` (random-walk convention).
+    """
+    view = ensure_2d(view, name="view")
+    n = view.shape[1]
+    n_components = check_positive_int(n_components, "n_components")
+    if n_components >= n:
+        raise ValidationError(
+            f"n_components={n_components} must be < number of samples {n}"
+        )
+    affinity = knn_affinity(
+        view, n_neighbors=n_neighbors, mode=mode, bandwidth=bandwidth
+    )
+    degrees = np.asarray(affinity.sum(axis=1)).ravel()
+    degrees = np.maximum(degrees, 1e-12)
+    inv_sqrt = scipy.sparse.diags(1.0 / np.sqrt(degrees))
+    laplacian = scipy.sparse.identity(n) - inv_sqrt @ affinity @ inv_sqrt
+
+    k = n_components + 1  # include the trivial constant eigenvector
+    if k >= n - 1:
+        dense = laplacian.toarray()
+        eigenvalues, eigenvectors = np.linalg.eigh(dense)
+    else:
+        eigenvalues, eigenvectors = scipy.sparse.linalg.eigsh(
+            laplacian.tocsc(), k=k, sigma=-1e-5, which="LM"
+        )
+    order = np.argsort(eigenvalues)
+    eigenvectors = eigenvectors[:, order]
+    # Drop the trivial component, undo the symmetric normalization.
+    embedding = eigenvectors[:, 1 : n_components + 1]
+    embedding = embedding / np.sqrt(degrees)[:, None]
+    # Unit-norm columns for comparability across views.
+    norms = np.linalg.norm(embedding, axis=0)
+    norms = np.where(norms > 0.0, norms, 1.0)
+    return embedding / norms

@@ -1,0 +1,173 @@
+"""SSMVD — structured-sparsity multi-view dimension reduction (Han et al. 2012).
+
+"Sparse unsupervised dimensionality reduction for multiple view data"
+learns a low-dimensional consensus representation ``G ∈ R^{N × r}`` together
+with per-view projections ``W_p`` under a structured sparsity-inducing
+norm (Jenatton et al. 2011), so information is shared across *subsets* of
+features adaptively:
+
+``min_{G, {W_p}} Σ_p ‖X_p^T W_p - G‖_F² + β Σ_p ‖W_p‖_{2,1}
+  s.t.  G^T G = I``.
+
+We solve it by alternating:
+
+* ``G`` step — orthogonal Procrustes: with ``S = Σ_p X_p^T W_p = U Σ V^T``
+  (thin SVD), ``G = U V^T``;
+* ``W_p`` step — an ℓ2,1-regularized least squares solved by IRLS with the
+  standard diagonal reweighting ``D_ii = 1 / (2 ‖w_i‖ + δ)``.
+
+Like DSE it is transductive, and as in the paper each view is first reduced
+with PCA (100 components).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.pca import PCA
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.rng import check_random_state
+from repro.utils.validation import check_positive_int, check_views
+
+__all__ = ["SSMVD"]
+
+
+def _l21_norm(matrix: np.ndarray) -> float:
+    """Row-wise ℓ2,1 norm ``Σ_i ‖matrix[i, :]‖₂``."""
+    return float(np.linalg.norm(matrix, axis=1).sum())
+
+
+class SSMVD:
+    """Structured-sparse consensus representation learning (transductive).
+
+    Parameters
+    ----------
+    n_components:
+        Dimension ``r`` of the consensus representation ``G``.
+    beta:
+        Weight of the ℓ2,1 structured-sparsity penalty.
+    pca_components:
+        Per-view PCA pre-reduction size (paper uses 100).
+    max_iter, tol:
+        Alternating-optimization budget; ``tol`` is on the relative decrease
+        of the objective.
+    random_state:
+        Seed for the orthonormal initialization of ``G``.
+
+    Attributes
+    ----------
+    embedding_:
+        ``(N, r)`` consensus representation of the fitted samples.
+    weights_:
+        Per-view projection matrices ``W_p`` (on the PCA-reduced features).
+    objective_history_:
+        Objective value per outer iteration.
+    """
+
+    def __init__(
+        self,
+        n_components: int = 2,
+        *,
+        beta: float = 0.1,
+        pca_components: int = 100,
+        max_iter: int = 50,
+        tol: float = 1e-6,
+        random_state=None,
+    ):
+        self.n_components = check_positive_int(n_components, "n_components")
+        if beta < 0.0:
+            raise ValidationError(f"beta must be >= 0, got {beta}")
+        self.beta = float(beta)
+        self.pca_components = check_positive_int(
+            pca_components, "pca_components"
+        )
+        self.max_iter = check_positive_int(max_iter, "max_iter")
+        self.tol = float(tol)
+        self.random_state = random_state
+
+    def fit(self, views) -> "SSMVD":
+        """Learn the consensus representation of the given samples."""
+        views = check_views(views, min_views=2)
+        n = views[0].shape[1]
+        if self.n_components > n:
+            raise ValidationError(
+                f"n_components={self.n_components} exceeds the sample "
+                f"count {n}"
+            )
+        rng = check_random_state(self.random_state)
+        reduced = [
+            PCA(self.pca_components, cap=True).fit_transform(view)
+            for view in views
+        ]
+        # Center + scale so views contribute comparably.
+        reduced = [
+            (view - view.mean(axis=1, keepdims=True))
+            / max(np.linalg.norm(view), 1e-12)
+            * np.sqrt(n)
+            for view in reduced
+        ]
+
+        # Orthonormal init for G.
+        raw = rng.standard_normal((n, self.n_components))
+        g, _ = np.linalg.qr(raw)
+
+        weights = [
+            np.zeros((view.shape[0], self.n_components)) for view in reduced
+        ]
+        delta = 1e-8
+        history: list[float] = []
+        previous = np.inf
+        for _ in range(self.max_iter):
+            # W_p step: IRLS on ‖X_p^T W - G‖² + β ‖W‖_{2,1}.
+            for p, view in enumerate(reduced):
+                gram = view @ view.T
+                rhs = view @ g
+                w = weights[p]
+                if not np.any(w):
+                    w = np.linalg.solve(
+                        gram + self.beta * np.eye(gram.shape[0]), rhs
+                    )
+                for _inner in range(3):
+                    row_norms = np.linalg.norm(w, axis=1)
+                    reweight = 1.0 / (2.0 * row_norms + delta)
+                    w = np.linalg.solve(
+                        gram + self.beta * np.diag(reweight), rhs
+                    )
+                weights[p] = w
+
+            # G step: orthogonal Procrustes on the summed predictions.
+            summed = np.zeros((n, self.n_components))
+            for p, view in enumerate(reduced):
+                summed += view.T @ weights[p]
+            u, _s, vt = np.linalg.svd(summed, full_matrices=False)
+            g = u @ vt
+
+            objective = sum(
+                float(np.linalg.norm(view.T @ w - g) ** 2)
+                + self.beta * _l21_norm(w)
+                for view, w in zip(reduced, weights)
+            )
+            history.append(objective)
+            if previous - objective < self.tol * max(abs(previous), 1.0):
+                break
+            previous = objective
+
+        self.embedding_ = g
+        self.weights_ = weights
+        self.objective_history_ = history
+        self.n_views_ = len(views)
+        return self
+
+    def fit_transform(self, views) -> np.ndarray:
+        """Fit and return the ``(N, r)`` consensus representation."""
+        return self.fit(views).embedding_
+
+    def transform(self, views):
+        """SSMVD is transductive — no out-of-sample projection exists."""
+        del views
+        if not hasattr(self, "embedding_"):
+            raise NotFittedError("SSMVD must be fitted first")
+        raise NotImplementedError(
+            "SSMVD learns representations of the fitted samples only "
+            "(transductive); refit on the union of old and new samples"
+        )

@@ -1,0 +1,18 @@
+"""Classical CCA and its pairwise / multiset extensions.
+
+These are the comparison methods of the paper's evaluation:
+
+* :class:`~repro.cca.cca.CCA` — regularized two-view CCA (Foster et al. 2008),
+* :class:`~repro.cca.kcca.KCCA` — kernel CCA (Hardoon et al. 2004),
+* :class:`~repro.cca.maxvar.MaxVarCCA` — CCA-MAXVAR (Kettenring 1971),
+* :class:`~repro.cca.lscca.LSCCA` — CCA-LS, the adaptive least-squares
+  multiset CCA of Vía et al. (2007).
+"""
+
+from repro.cca.base import MultiviewTransformer
+from repro.cca.cca import CCA
+from repro.cca.kcca import KCCA
+from repro.cca.lscca import LSCCA
+from repro.cca.maxvar import MaxVarCCA
+
+__all__ = ["CCA", "KCCA", "LSCCA", "MaxVarCCA", "MultiviewTransformer"]

@@ -1,0 +1,73 @@
+"""Shared fit/transform interface for all multi-view dimension reducers.
+
+Conventions (matching the paper):
+
+* input views are matrices ``X_p`` of shape ``(d_p, N)`` — features on the
+  rows, the shared sample axis on the columns;
+* ``transform`` returns one ``(N, r)`` array of canonical variables per
+  view (``Z_p = X_p^T H_p``);
+* ``transform_combined`` concatenates them into the ``(N, m·r)``
+  representation the paper feeds to downstream learners.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.validation import check_views
+
+__all__ = ["MultiviewTransformer"]
+
+
+class MultiviewTransformer(ABC):
+    """Abstract base class for multi-view subspace learners."""
+
+    #: set by fit(): number of views the transformer was fitted on.
+    n_views_: int
+
+    @abstractmethod
+    def fit(self, views) -> "MultiviewTransformer":
+        """Learn the shared subspace from a list of ``(d_p, N)`` views."""
+
+    @abstractmethod
+    def transform(self, views) -> list[np.ndarray]:
+        """Project each view; returns a list of ``(N, r)`` arrays."""
+
+    def fit_transform(self, views) -> list[np.ndarray]:
+        """Fit on ``views`` and return their projections."""
+        return self.fit(views).transform(views)
+
+    def transform_combined(self, views) -> np.ndarray:
+        """Concatenate the per-view projections into ``(N, m·r)``."""
+        return np.hstack(self.transform(views))
+
+    def fit_transform_combined(self, views) -> np.ndarray:
+        """Fit and return the concatenated ``(N, m·r)`` representation."""
+        return np.hstack(self.fit_transform(views))
+
+    # -- helpers shared by the concrete estimators -------------------------
+
+    def _check_fitted(self, attribute: str = "n_views_") -> None:
+        if not hasattr(self, attribute):
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before calling "
+                "transform"
+            )
+
+    def _check_transform_views(self, views, dims) -> list[np.ndarray]:
+        """Validate transform-time views against fit-time dimensions."""
+        views = check_views(views, min_views=1)
+        if len(views) != len(dims):
+            raise ValidationError(
+                f"fitted on {len(dims)} views but got {len(views)}"
+            )
+        for index, (view, dim) in enumerate(zip(views, dims)):
+            if view.shape[0] != dim:
+                raise ValidationError(
+                    f"views[{index}] has {view.shape[0]} features but the "
+                    f"transformer was fitted with {dim}"
+                )
+        return views

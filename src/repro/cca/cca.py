@@ -1,0 +1,100 @@
+"""Regularized two-view canonical correlation analysis.
+
+The formulation of Foster, Johnson & Zhang (2008), which the paper uses as
+its CCA baseline: maximize ``h_1^T C_12 h_2`` subject to
+``h_p^T (C_pp + ε I) h_p = 1``. After whitening each view with
+``C̃_pp^{-1/2}`` the problem is an SVD of
+``T = C̃_11^{-1/2} C_12 C̃_22^{-1/2}``; the top-``r`` singular pairs give the
+canonical vectors and the singular values are the canonical correlations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cca.base import MultiviewTransformer
+from repro.exceptions import ValidationError
+from repro.linalg.covariance import cross_covariance, view_covariance
+from repro.linalg.whitening import regularized_inverse_sqrt
+from repro.utils.validation import check_positive_int, check_views
+
+__all__ = ["CCA"]
+
+
+class CCA(MultiviewTransformer):
+    """Two-view CCA with ridge regularization on the variance constraints.
+
+    Parameters
+    ----------
+    n_components:
+        Subspace dimension ``r`` per view (the concatenated output is
+        ``2r``-dimensional, following Foster et al.).
+    epsilon:
+        Regularization ``ε`` added to each variance matrix
+        (``10^{-2}`` in the paper's SecStr / Ads experiments).
+
+    Attributes
+    ----------
+    canonical_vectors_:
+        List of two ``(d_p, r)`` matrices ``H_p``.
+    correlations_:
+        The top ``r`` canonical correlations (singular values of the
+        whitened cross-covariance).
+    means_:
+        Per-view feature means removed before fitting and re-applied in
+        ``transform``.
+    """
+
+    def __init__(self, n_components: int = 1, epsilon: float = 1e-2):
+        self.n_components = check_positive_int(n_components, "n_components")
+        if epsilon < 0.0:
+            raise ValidationError(f"epsilon must be >= 0, got {epsilon}")
+        self.epsilon = float(epsilon)
+
+    def fit(self, views) -> "CCA":
+        """Fit on exactly two views of shape ``(d_1, N)`` and ``(d_2, N)``."""
+        views = check_views(views, min_views=2)
+        if len(views) != 2:
+            raise ValidationError(
+                f"CCA handles exactly 2 views, got {len(views)}; "
+                "use TCCA / LSCCA / MaxVarCCA for more"
+            )
+        max_rank = min(view.shape[0] for view in views)
+        if self.n_components > max_rank:
+            raise ValidationError(
+                f"n_components={self.n_components} exceeds min view "
+                f"dimension {max_rank}"
+            )
+
+        self.means_ = [view.mean(axis=1, keepdims=True) for view in views]
+        centered = [
+            view - mean for view, mean in zip(views, self.means_)
+        ]
+        whiteners = [
+            regularized_inverse_sqrt(view_covariance(view), self.epsilon)
+            for view in centered
+        ]
+        target = whiteners[0] @ cross_covariance(*centered) @ whiteners[1]
+        left, singular_values, right_t = np.linalg.svd(
+            target, full_matrices=False
+        )
+        r = self.n_components
+        self.correlations_ = singular_values[:r].copy()
+        self.canonical_vectors_ = [
+            whiteners[0] @ left[:, :r],
+            whiteners[1] @ right_t[:r, :].T,
+        ]
+        self.n_views_ = 2
+        self._dims = [view.shape[0] for view in views]
+        return self
+
+    def transform(self, views) -> list[np.ndarray]:
+        """Project two views onto the canonical subspace: ``Z_p = X_p^T H_p``."""
+        self._check_fitted()
+        views = self._check_transform_views(views, self._dims)
+        return [
+            (view - mean).T @ vectors
+            for view, mean, vectors in zip(
+                views, self.means_, self.canonical_vectors_
+            )
+        ]

@@ -1,0 +1,182 @@
+"""Kernel canonical correlation analysis (Hardoon et al. 2004).
+
+Two-view KCCA with the partial-least-squares regularization the paper also
+adopts for KTCCA: maximize ``a_1^T K_1 K_2 a_2`` subject to
+``a_p^T (K_p² + ε K_p) a_p = 1``. With the Cholesky factorizations
+``K_p² + ε K_p = L_p^T L_p`` and ``b_p = L_p a_p`` the problem becomes an
+SVD of ``S = L_1^{-T} K_1 K_2 L_2^{-1}`` — exactly the two-view special
+case of the KTCCA tensor problem.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from repro.cca.base import MultiviewTransformer
+from repro.exceptions import NotFittedError, ValidationError
+from repro.kernels.centering import center_kernel, center_kernel_test
+from repro.utils.validation import check_positive_int, check_square, check_views
+
+__all__ = ["KCCA", "pls_cholesky"]
+
+
+def pls_cholesky(kernel: np.ndarray, epsilon: float, jitter: float = 1e-8):
+    """Cholesky factor ``L`` with ``K² + εK + δI = L^T L`` (upper ``L``).
+
+    The jitter ``δ`` scales with the trace of ``K²`` so the factorization
+    succeeds for rank-deficient (e.g. centered) kernel matrices.
+    """
+    kernel = check_square(kernel, name="kernel")
+    symmetric = 0.5 * (kernel + kernel.T)
+    target = symmetric @ symmetric + epsilon * symmetric
+    scale = max(np.trace(target) / target.shape[0], 1.0)
+    target = target + jitter * scale * np.eye(target.shape[0])
+    try:
+        lower = np.linalg.cholesky(target)
+    except np.linalg.LinAlgError:
+        # Fall back to an eigenvalue-clipped factorization.
+        eigenvalues, eigenvectors = np.linalg.eigh(target)
+        eigenvalues = np.maximum(eigenvalues, jitter * scale)
+        lower = eigenvectors * np.sqrt(eigenvalues)
+    return lower.T  # upper-triangular-ish factor with target = L^T L
+
+
+class KCCA(MultiviewTransformer):
+    """Two-view kernel CCA on precomputed or callable kernels.
+
+    Parameters
+    ----------
+    n_components:
+        Subspace dimension ``r`` per view.
+    epsilon:
+        PLS regularization ``ε`` in ``a^T (K² + εK) a = 1``.
+    kernels:
+        ``None`` (precomputed mode: ``fit`` receives ``(N, N)`` kernel
+        matrices and ``transform`` receives ``(N_train, N_new)`` blocks) or
+        a list of two kernel callables applied to raw ``(d_p, N)`` views.
+    center:
+        Center kernels in feature space before fitting (recommended).
+
+    Attributes
+    ----------
+    dual_vectors_:
+        List of two ``(N, r)`` coefficient matrices ``A_p``.
+    correlations_:
+        Top-``r`` singular values of the whitened cross-kernel operator.
+    """
+
+    def __init__(
+        self,
+        n_components: int = 1,
+        epsilon: float = 1e-2,
+        *,
+        kernels=None,
+        center: bool = True,
+    ):
+        self.n_components = check_positive_int(n_components, "n_components")
+        if epsilon < 0.0:
+            raise ValidationError(f"epsilon must be >= 0, got {epsilon}")
+        self.epsilon = float(epsilon)
+        if kernels is not None:
+            kernels = list(kernels)
+            if len(kernels) != 2:
+                raise ValidationError(
+                    f"KCCA needs exactly 2 kernels, got {len(kernels)}"
+                )
+        self.kernels = kernels
+        self.center = bool(center)
+
+    # -- kernel plumbing ----------------------------------------------------
+
+    def _train_kernels(self, views) -> list[np.ndarray]:
+        if self.kernels is None:
+            kernels = [check_square(view, name="kernel") for view in views]
+        else:
+            self._train_views = [np.asarray(view, float) for view in views]
+            kernels = [
+                kernel.fit(view)(view)
+                for kernel, view in zip(self.kernels, views)
+            ]
+        self._raw_train_kernels = kernels
+        if self.center:
+            kernels = [center_kernel(kernel) for kernel in kernels]
+        return kernels
+
+    def _new_kernel_blocks(self, views) -> list[np.ndarray]:
+        if self.kernels is None:
+            blocks = [np.asarray(view, dtype=np.float64) for view in views]
+        else:
+            blocks = [
+                kernel(train_view, view)
+                for kernel, train_view, view in zip(
+                    self.kernels, self._train_views, views
+                )
+            ]
+        for index, block in enumerate(blocks):
+            if block.shape[0] != self._n_train:
+                raise ValidationError(
+                    f"kernel block {index} must have {self._n_train} rows "
+                    f"(one per training sample), got {block.shape[0]}"
+                )
+        if self.center:
+            blocks = [
+                center_kernel_test(block, raw)
+                for block, raw in zip(blocks, self._raw_train_kernels)
+            ]
+        return blocks
+
+    # -- estimator API --------------------------------------------------------
+
+    def fit(self, views) -> "KCCA":
+        """Fit from two kernel matrices (precomputed) or two raw views."""
+        views = check_views(views, min_views=2)
+        if len(views) != 2:
+            raise ValidationError(
+                f"KCCA handles exactly 2 views, got {len(views)}"
+            )
+        kernels = self._train_kernels(views)
+        n = kernels[0].shape[0]
+        if kernels[1].shape[0] != n:
+            raise ValidationError(
+                "both kernel matrices must have the same size"
+            )
+        if self.n_components > n:
+            raise ValidationError(
+                f"n_components={self.n_components} exceeds the sample "
+                f"count {n}"
+            )
+        self._n_train = n
+
+        factors = [pls_cholesky(kernel, self.epsilon) for kernel in kernels]
+        # S = L1^{-T} K1 K2 L2^{-1}; the factors may come from the eigh
+        # fallback and need not be triangular, so use general solves.
+        left = np.linalg.solve(factors[0].T, kernels[0])
+        right = np.linalg.solve(factors[1].T, kernels[1])
+        target = left @ right.T
+        u, singular_values, vt = np.linalg.svd(target, full_matrices=False)
+        r = self.n_components
+        self.correlations_ = singular_values[:r].copy()
+        self.dual_vectors_ = [
+            np.linalg.solve(factors[0], u[:, :r]),
+            np.linalg.solve(factors[1], vt[:r, :].T),
+        ]
+        self._fitted_kernels = kernels
+        self.n_views_ = 2
+        return self
+
+    def transform(self, views) -> list[np.ndarray]:
+        """Project new data; accepts kernel blocks or raw views per mode."""
+        self._check_fitted()
+        blocks = self._new_kernel_blocks(views)
+        return [
+            block.T @ duals
+            for block, duals in zip(blocks, self.dual_vectors_)
+        ]
+
+    def transform_train(self) -> list[np.ndarray]:
+        """Projections of the training samples, ``Z_p = K_p A_p``."""
+        if not hasattr(self, "_fitted_kernels"):
+            raise NotFittedError("KCCA must be fitted first")
+        return [
+            kernel @ duals
+            for kernel, duals in zip(self._fitted_kernels, self.dual_vectors_)
+        ]

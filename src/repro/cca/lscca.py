@@ -1,0 +1,219 @@
+"""CCA-LS: the coupled least-squares multiset CCA of Vía et al. (2007).
+
+Reformulates CCA-MAXVAR as a set of coupled LS regression problems
+(Eq. 3.3 of the paper): minimize
+``(1 / 2m(m-1)) Σ_{p,q} ‖X_p^T h_p - X_q^T h_q‖²`` subject to
+``(1/m) Σ_p h_p^T C̃_pp h_p = 1``. The iterative solver alternates
+
+1. a consensus update ``z = (1/m) Σ_p X_p^T h_p``, and
+2. per-view ridge regressions ``h_p ← argmin ‖X_p^T h - z‖² + ε‖h‖²``,
+
+with the ``z^{(i)T} z^{(j)} = 0`` orthogonality the paper imposes across
+components.
+
+Two solver modes share this fixed point:
+
+* ``mode="sequential"`` — Vía et al.'s adaptive scheme: extract one
+  component at a time, deflating the consensus against the previous ones;
+* ``mode="block"`` (default) — iterate all ``r`` components jointly,
+  re-orthonormalizing the consensus block each sweep (orthogonal
+  iteration). Much faster for large ``r`` and converges to the same
+  top-``r`` consensus subspace.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from repro.cca.base import MultiviewTransformer
+from repro.exceptions import ConvergenceWarning, ValidationError
+from repro.linalg.covariance import view_covariance
+from repro.utils.rng import check_random_state
+from repro.utils.validation import check_positive_int, check_views
+
+__all__ = ["LSCCA"]
+
+
+class LSCCA(MultiviewTransformer):
+    """Adaptive multiset CCA via coupled least-squares regressions.
+
+    Parameters
+    ----------
+    n_components:
+        Number of canonical directions ``r`` per view.
+    epsilon:
+        Ridge regularization of the per-view regressions / variance
+        constraints.
+    mode:
+        ``"block"`` (joint orthogonal iteration, default) or
+        ``"sequential"`` (per-component deflation, the paper's adaptive
+        formulation).
+    max_iter, tol:
+        Stopping rule of the alternating iterations (relative change of the
+        consensus).
+    random_state:
+        Seed for the random consensus initialization.
+
+    Attributes
+    ----------
+    canonical_vectors_:
+        List of ``(d_p, r)`` matrices ``H_p``.
+    consensus_:
+        ``(N, r)`` consensus canonical variables ``z^{(i)}`` with mutually
+        orthogonal columns.
+    """
+
+    def __init__(
+        self,
+        n_components: int = 1,
+        epsilon: float = 1e-2,
+        *,
+        mode: str = "block",
+        max_iter: int = 300,
+        tol: float = 1e-7,
+        random_state=None,
+    ):
+        self.n_components = check_positive_int(n_components, "n_components")
+        if epsilon < 0.0:
+            raise ValidationError(f"epsilon must be >= 0, got {epsilon}")
+        self.epsilon = float(epsilon)
+        if mode not in ("block", "sequential"):
+            raise ValidationError(
+                f"mode must be 'block' or 'sequential', got {mode!r}"
+            )
+        self.mode = mode
+        self.max_iter = check_positive_int(max_iter, "max_iter")
+        self.tol = float(tol)
+        self.random_state = random_state
+
+    def fit(self, views) -> "LSCCA":
+        """Fit on ``m >= 2`` views of shape ``(d_p, N)``."""
+        views = check_views(views, min_views=2)
+        n_samples = views[0].shape[1]
+        if self.n_components > n_samples:
+            raise ValidationError(
+                f"n_components={self.n_components} exceeds the sample "
+                f"count {n_samples}"
+            )
+        rng = check_random_state(self.random_state)
+
+        self.means_ = [view.mean(axis=1, keepdims=True) for view in views]
+        centered = [view - mean for view, mean in zip(views, self.means_)]
+        grams = [
+            view_covariance(view) + self.epsilon * np.eye(view.shape[0])
+            for view in centered
+        ]
+        cholesky_factors = [np.linalg.cholesky(gram) for gram in grams]
+
+        def ridge_solve(view_index: int, target: np.ndarray) -> np.ndarray:
+            """H = (C_pp + εI)^{-1} X_p Z / N via the cached Cholesky."""
+            rhs = centered[view_index] @ target / n_samples
+            low = cholesky_factors[view_index]
+            return np.linalg.solve(low.T, np.linalg.solve(low, rhs))
+
+        if self.mode == "block":
+            consensus, converged_flags = self._fit_block(
+                centered, ridge_solve, rng, n_samples
+            )
+        else:
+            consensus, converged_flags = self._fit_sequential(
+                centered, ridge_solve, rng, n_samples
+            )
+        self._converged = converged_flags
+        if not all(converged_flags):
+            warnings.warn(
+                f"LSCCA ({self.mode}) did not fully converge in "
+                f"{self.max_iter} iterations",
+                ConvergenceWarning,
+                stacklevel=2,
+            )
+
+        # Final per-view solves + the paper's scaling
+        # (1/m) Σ_p h^T C̃_pp h = 1 per component.
+        n_views = len(centered)
+        vectors = [ridge_solve(p, consensus) for p in range(n_views)]
+        scale_sq = np.zeros(self.n_components)
+        for p, matrix in enumerate(vectors):
+            scale_sq += np.sum(matrix * (grams[p] @ matrix), axis=0)
+        scales = np.sqrt(np.maximum(scale_sq / n_views, 1e-30))
+        self.canonical_vectors_ = [matrix / scales for matrix in vectors]
+        self.consensus_ = consensus
+        self.n_views_ = n_views
+        self._dims = [view.shape[0] for view in centered]
+        return self
+
+    # -- solvers ------------------------------------------------------------
+
+    def _fit_block(self, centered, ridge_solve, rng, n_samples):
+        n_views = len(centered)
+        r = self.n_components
+        consensus = np.linalg.qr(
+            rng.standard_normal((n_samples, r))
+        )[0]
+        converged = False
+        for _ in range(self.max_iter):
+            updated = np.zeros_like(consensus)
+            for p in range(n_views):
+                updated += centered[p].T @ ridge_solve(p, consensus)
+            updated /= n_views
+            q, _ = np.linalg.qr(updated)
+            # Subspace distance via principal angles.
+            overlap = np.linalg.svd(consensus.T @ q, compute_uv=False)
+            consensus = q
+            if 1.0 - overlap.min() < self.tol:
+                converged = True
+                break
+        return consensus, [converged] * r
+
+    def _fit_sequential(self, centered, ridge_solve, rng, n_samples):
+        n_views = len(centered)
+        consensus = np.zeros((n_samples, self.n_components))
+        converged_flags = []
+        for component in range(self.n_components):
+            previous = consensus[:, :component]
+            z = self._deflate(rng.standard_normal(n_samples), previous)
+            z /= max(np.linalg.norm(z), 1e-30)
+            converged = False
+            for _ in range(self.max_iter):
+                z_new = np.zeros(n_samples)
+                for p in range(n_views):
+                    z_new += centered[p].T @ ridge_solve(p, z)
+                z_new /= n_views
+                z_new = self._deflate(z_new, previous)
+                norm = np.linalg.norm(z_new)
+                if norm < 1e-30:
+                    z_new = self._deflate(
+                        rng.standard_normal(n_samples), previous
+                    )
+                    norm = max(np.linalg.norm(z_new), 1e-30)
+                z_new /= norm
+                if min(
+                    np.linalg.norm(z_new - z), np.linalg.norm(z_new + z)
+                ) < self.tol:
+                    z = z_new
+                    converged = True
+                    break
+                z = z_new
+            consensus[:, component] = z
+            converged_flags.append(converged)
+        return consensus, converged_flags
+
+    @staticmethod
+    def _deflate(vector: np.ndarray, basis: np.ndarray) -> np.ndarray:
+        """Project ``vector`` onto the orthogonal complement of ``basis``."""
+        if basis.shape[1] == 0:
+            return vector
+        return vector - basis @ (basis.T @ vector)
+
+    def transform(self, views) -> list[np.ndarray]:
+        """Project every view: ``Z_p = X_p^T H_p`` of shape ``(N, r)``."""
+        self._check_fitted()
+        views = self._check_transform_views(views, self._dims)
+        return [
+            (view - mean).T @ vectors
+            for view, mean, vectors in zip(
+                views, self.means_, self.canonical_vectors_
+            )
+        ]

@@ -1,0 +1,22 @@
+"""Downstream learners used by the paper's evaluation protocol.
+
+* :class:`~repro.classifiers.rls.RLSClassifier` — regularized least squares
+  with γ = 10⁻² and an appended bias feature (SecStr / Ads experiments).
+* :class:`~repro.classifiers.knn.KNNClassifier` — k-nearest neighbors with
+  majority voting (web image annotation experiments).
+* score-averaging / majority-vote combiners for the (AVG) method variants.
+"""
+
+from repro.classifiers.rls import RLSClassifier
+from repro.classifiers.knn import KNNClassifier
+from repro.classifiers.combination import (
+    average_score_predict,
+    majority_vote_predict,
+)
+
+__all__ = [
+    "KNNClassifier",
+    "RLSClassifier",
+    "average_score_predict",
+    "majority_vote_predict",
+]

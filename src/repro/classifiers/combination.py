@@ -1,0 +1,77 @@
+"""Prediction combiners for the (AVG)-style method variants.
+
+The paper combines the ``m(m-1)/2`` two-view CCA subsets either by
+averaging predicted scores (RLS-based experiments) or by majority voting
+over predicted labels (kNN-based experiments).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["average_score_predict", "majority_vote_predict"]
+
+
+def average_score_predict(classifiers, feature_sets) -> np.ndarray:
+    """Average the decision scores of fitted classifiers, then decide.
+
+    Parameters
+    ----------
+    classifiers:
+        Fitted classifiers exposing ``decision_function`` and
+        ``predict_from_scores`` over *identical* class sets.
+    feature_sets:
+        One feature matrix per classifier (same sample count).
+    """
+    classifiers = list(classifiers)
+    feature_sets = list(feature_sets)
+    if not classifiers or len(classifiers) != len(feature_sets):
+        raise ValidationError(
+            "need one feature set per classifier and at least one of each"
+        )
+    reference = classifiers[0].classes_
+    scores = None
+    for classifier, features in zip(classifiers, feature_sets):
+        if not np.array_equal(classifier.classes_, reference):
+            raise ValidationError(
+                "all classifiers must share the same class set"
+            )
+        current = np.asarray(classifier.decision_function(features))
+        scores = current if scores is None else scores + current
+    scores = scores / len(classifiers)
+    return classifiers[0].predict_from_scores(scores)
+
+
+def majority_vote_predict(classifiers, feature_sets) -> np.ndarray:
+    """Majority vote over the label predictions of fitted classifiers.
+
+    Ties are broken in favor of the earliest classifier's prediction.
+    """
+    classifiers = list(classifiers)
+    feature_sets = list(feature_sets)
+    if not classifiers or len(classifiers) != len(feature_sets):
+        raise ValidationError(
+            "need one feature set per classifier and at least one of each"
+        )
+    all_predictions = [
+        np.asarray(classifier.predict(features))
+        for classifier, features in zip(classifiers, feature_sets)
+    ]
+    stacked = np.stack(all_predictions, axis=0)  # (n_classifiers, N)
+    n_samples = stacked.shape[1]
+    out = np.empty(n_samples, dtype=stacked.dtype)
+    for column in range(n_samples):
+        votes = stacked[:, column]
+        values, counts = np.unique(votes, return_counts=True)
+        winners = values[counts == counts.max()]
+        if winners.shape[0] == 1:
+            out[column] = winners[0]
+        else:
+            winner_set = set(winners.tolist())
+            for vote in votes:  # earliest classifier wins ties
+                if vote in winner_set:
+                    out[column] = vote
+                    break
+    return out

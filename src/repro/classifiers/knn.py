@@ -1,0 +1,88 @@
+"""k-nearest-neighbor classifier (the paper's web-image-annotation learner).
+
+Euclidean distances on ``(N, d)`` sample rows, majority vote over the ``k``
+nearest training samples with ties broken by the closest neighbor among the
+tied classes. The paper tunes ``k ∈ {1, …, 10}`` on the validation split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.validation import check_positive_int
+
+__all__ = ["KNNClassifier"]
+
+
+class KNNClassifier:
+    """Majority-vote kNN on row-sample feature matrices.
+
+    Parameters
+    ----------
+    n_neighbors:
+        ``k``; capped at the training-set size during ``fit``.
+    """
+
+    def __init__(self, n_neighbors: int = 1):
+        self.n_neighbors = check_positive_int(n_neighbors, "n_neighbors")
+
+    def fit(self, features, labels) -> "KNNClassifier":
+        """Store the ``(N, d)`` training features and labels."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels)
+        if features.ndim != 2:
+            raise ValidationError(
+                f"features must be (N, d), got ndim={features.ndim}"
+            )
+        if labels.ndim != 1 or labels.shape[0] != features.shape[0]:
+            raise ValidationError(
+                "labels must be 1-D with one entry per sample; got shape "
+                f"{labels.shape} for {features.shape[0]} samples"
+            )
+        self._train = features
+        self._labels = labels
+        self.classes_ = np.unique(labels)
+        self.k_ = min(self.n_neighbors, features.shape[0])
+        return self
+
+    def _neighbor_ids(self, features: np.ndarray) -> np.ndarray:
+        sq_train = np.sum(self._train**2, axis=1)[None, :]
+        sq_test = np.sum(features**2, axis=1)[:, None]
+        distances = sq_test + sq_train - 2.0 * features @ self._train.T
+        order = np.argsort(distances, axis=1, kind="stable")
+        return order[:, : self.k_]
+
+    def predict(self, features) -> np.ndarray:
+        """Majority-vote labels for ``(M, d)`` query rows."""
+        if not hasattr(self, "_train"):
+            raise NotFittedError("KNNClassifier must be fitted first")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != self._train.shape[1]:
+            raise ValidationError(
+                "query features must be (M, d) with d matching training "
+                f"data; got {features.shape} for d={self._train.shape[1]}"
+            )
+        neighbor_ids = self._neighbor_ids(features)
+        neighbor_labels = self._labels[neighbor_ids]
+        predictions = np.empty(features.shape[0], dtype=self._labels.dtype)
+        for row in range(features.shape[0]):
+            votes = neighbor_labels[row]
+            values, counts = np.unique(votes, return_counts=True)
+            winners = values[counts == counts.max()]
+            if winners.shape[0] == 1:
+                predictions[row] = winners[0]
+            else:
+                # Tie: the nearest neighbor whose label is among the tied
+                # classes decides (neighbors are distance-sorted).
+                winner_set = set(winners.tolist())
+                for label in votes:
+                    if label in winner_set:
+                        predictions[row] = label
+                        break
+        return predictions
+
+    def score(self, features, labels) -> float:
+        """Mean accuracy on the given data."""
+        labels = np.asarray(labels)
+        return float(np.mean(self.predict(features) == labels))

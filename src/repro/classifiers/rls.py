@@ -1,0 +1,114 @@
+"""Regularized least squares classification (the paper's base learner).
+
+Section 5.1: ``argmin_w (1/N_l) Σ_n (w^T x_n - y_n)² + γ ‖w‖²`` with
+``γ = 10⁻²`` and a constant feature of 1 appended for the bias. Binary
+labels map to ±1 targets; multi-class uses one-vs-rest with argmax over the
+per-class scores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+
+__all__ = ["RLSClassifier"]
+
+
+class RLSClassifier:
+    """One-vs-rest ridge regression classifier on ``(N, d)`` sample rows.
+
+    Parameters
+    ----------
+    gamma:
+        Ridge weight γ (the paper fixes ``10⁻²``).
+    add_bias:
+        Append the constant-1 feature of the paper's setup.
+
+    Attributes
+    ----------
+    classes_:
+        Sorted unique training labels.
+    coef_:
+        ``(d + bias, n_classes)`` weight matrix (a single column when the
+        problem is binary).
+    """
+
+    def __init__(self, gamma: float = 1e-2, *, add_bias: bool = True):
+        if gamma < 0.0:
+            raise ValidationError(f"gamma must be >= 0, got {gamma}")
+        self.gamma = float(gamma)
+        self.add_bias = bool(add_bias)
+
+    def _design(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValidationError(
+                f"features must be (N, d), got ndim={features.ndim}"
+            )
+        if self.add_bias:
+            ones = np.ones((features.shape[0], 1))
+            features = np.hstack([features, ones])
+        return features
+
+    def fit(self, features, labels) -> "RLSClassifier":
+        """Fit on ``(N, d)`` features and length-``N`` labels."""
+        design = self._design(features)
+        labels = np.asarray(labels)
+        if labels.ndim != 1 or labels.shape[0] != design.shape[0]:
+            raise ValidationError(
+                "labels must be 1-D with one entry per sample; got shape "
+                f"{labels.shape} for {design.shape[0]} samples"
+            )
+        self.classes_ = np.unique(labels)
+        if self.classes_.shape[0] < 2:
+            raise ValidationError(
+                "need at least two classes in the training labels"
+            )
+        n, d = design.shape
+        # Targets: +1 for the class, -1 for the rest; binary keeps a single
+        # column for the second (positive) class.
+        if self.classes_.shape[0] == 2:
+            targets = np.where(labels == self.classes_[1], 1.0, -1.0)[:, None]
+        else:
+            targets = np.where(
+                labels[:, None] == self.classes_[None, :], 1.0, -1.0
+            )
+        gram = design.T @ design / n + self.gamma * np.eye(d)
+        rhs = design.T @ targets / n
+        self.coef_ = np.linalg.solve(gram, rhs)
+        return self
+
+    def decision_function(self, features) -> np.ndarray:
+        """Raw scores: ``(N,)`` for binary, ``(N, n_classes)`` otherwise."""
+        if not hasattr(self, "coef_"):
+            raise NotFittedError("RLSClassifier must be fitted first")
+        design = self._design(features)
+        if design.shape[1] != self.coef_.shape[0]:
+            raise ValidationError(
+                f"features have {design.shape[1]} columns (incl. bias) but "
+                f"the model was fitted with {self.coef_.shape[0]}"
+            )
+        scores = design @ self.coef_
+        if self.classes_.shape[0] == 2:
+            return scores[:, 0]
+        return scores
+
+    def predict(self, features) -> np.ndarray:
+        """Predicted labels."""
+        scores = self.decision_function(features)
+        return self.predict_from_scores(scores)
+
+    def predict_from_scores(self, scores) -> np.ndarray:
+        """Map (possibly averaged) scores back to class labels."""
+        if not hasattr(self, "classes_"):
+            raise NotFittedError("RLSClassifier must be fitted first")
+        scores = np.asarray(scores, dtype=np.float64)
+        if self.classes_.shape[0] == 2:
+            return np.where(scores >= 0.0, self.classes_[1], self.classes_[0])
+        return self.classes_[np.argmax(scores, axis=1)]
+
+    def score(self, features, labels) -> float:
+        """Mean accuracy on the given data."""
+        labels = np.asarray(labels)
+        return float(np.mean(self.predict(features) == labels))

@@ -1,0 +1,6 @@
+"""The paper's primary contribution: TCCA and its kernel extension KTCCA."""
+
+from repro.core.tcca import TCCA, multiview_canonical_correlation
+from repro.core.ktcca import KTCCA
+
+__all__ = ["KTCCA", "TCCA", "multiview_canonical_correlation"]

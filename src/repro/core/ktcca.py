@@ -1,0 +1,231 @@
+"""Kernel tensor CCA (KTCCA) — the paper's non-linear extension (Sec. 4.4).
+
+By the Representer Theorem each canonical vector is a combination of mapped
+training points, ``h_p = φ(X_p) a_p`` (Eq. 4.12), which turns the problem
+into one on the kernel tensor ``K_{12…m} = (1/N) Σ_n k_1n ∘ … ∘ k_mn``
+(Theorem 3), with the PLS-regularized constraints
+``a_p^T (K_p² + ε K_p) a_p = 1`` (Eq. 4.14). With the Cholesky
+factorizations ``K_p² + ε K_p = L_p^T L_p`` and ``b_p = L_p a_p``, the
+problem is the best rank-``r`` approximation of
+``S = K ×_1 (L_1^{-1})^T … ×_m (L_m^{-1})^T`` (Eq. 4.15), solved by ALS.
+The training projections are ``Z_p = K_p L_p^{-1} B_p`` (Eq. 4.16).
+
+The tensor ``S`` has ``N^m`` entries, which is why the paper applies KTCCA
+to small-sample, high-dimension regimes (its complexity is independent of
+the feature dimensions ``d_p``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cca.base import MultiviewTransformer
+from repro.cca.kcca import pls_cholesky
+from repro.exceptions import NotFittedError, ValidationError
+from repro.kernels.centering import center_kernel, center_kernel_test
+from repro.linalg.covariance import covariance_tensor
+from repro.tensor.decomposition import (
+    best_rank1,
+    cp_als,
+    tensor_power_deflation,
+)
+from repro.utils.validation import check_positive_int, check_square, check_views
+
+__all__ = ["KTCCA"]
+
+_DECOMPOSITIONS = ("als", "hopm", "power")
+
+
+class KTCCA(MultiviewTransformer):
+    """Kernel tensor CCA for an arbitrary number of views.
+
+    Parameters
+    ----------
+    n_components:
+        Subspace dimension ``r`` per view (``r <= N``).
+    epsilon:
+        PLS regularization ``ε`` in ``a_p^T (K_p² + ε K_p) a_p = 1``.
+    kernels:
+        ``None`` for precomputed mode (``fit`` receives ``(N, N)`` kernel
+        matrices; ``transform`` receives ``(N_train, N_new)`` cross-kernel
+        blocks) or one kernel callable per view applied to raw ``(d_p, N)``
+        views.
+    center:
+        Center each kernel in feature space before fitting.
+    decomposition, max_iter, tol, random_state:
+        Tensor solver settings, as in :class:`~repro.core.tcca.TCCA`.
+
+    Attributes
+    ----------
+    dual_vectors_:
+        List of ``(N, r)`` coefficient matrices ``A_p = L_p^{-1} B_p``.
+    correlations_:
+        CP weights of the decomposition of ``S`` — the attained kernel
+        canonical correlations.
+    """
+
+    def __init__(
+        self,
+        n_components: int = 1,
+        epsilon: float = 1e-2,
+        *,
+        kernels=None,
+        center: bool = True,
+        decomposition: str = "als",
+        max_iter: int = 200,
+        tol: float = 1e-8,
+        random_state=None,
+    ):
+        self.n_components = check_positive_int(n_components, "n_components")
+        if epsilon < 0.0:
+            raise ValidationError(f"epsilon must be >= 0, got {epsilon}")
+        self.epsilon = float(epsilon)
+        self.kernels = list(kernels) if kernels is not None else None
+        self.center = bool(center)
+        if decomposition not in _DECOMPOSITIONS:
+            raise ValidationError(
+                f"unknown decomposition {decomposition!r}; expected one of "
+                f"{_DECOMPOSITIONS}"
+            )
+        self.decomposition = decomposition
+        if decomposition == "hopm" and self.n_components != 1:
+            raise ValidationError(
+                "decomposition='hopm' extracts a single component; use "
+                "'als' or 'power' for n_components > 1"
+            )
+        self.max_iter = check_positive_int(max_iter, "max_iter")
+        self.tol = float(tol)
+        self.random_state = random_state
+
+    # -- kernel plumbing ----------------------------------------------------
+
+    def _train_kernels(self, views) -> list[np.ndarray]:
+        if self.kernels is None:
+            kernels = [check_square(view, name="kernel") for view in views]
+        else:
+            if len(self.kernels) != len(views):
+                raise ValidationError(
+                    f"got {len(views)} views but {len(self.kernels)} kernels"
+                )
+            self._train_views = [np.asarray(view, float) for view in views]
+            kernels = [
+                kernel.fit(view)(view)
+                for kernel, view in zip(self.kernels, views)
+            ]
+        sizes = {kernel.shape[0] for kernel in kernels}
+        if len(sizes) != 1:
+            raise ValidationError(
+                f"all kernel matrices must share a size, got {sorted(sizes)}"
+            )
+        self._raw_train_kernels = kernels
+        if self.center:
+            kernels = [center_kernel(kernel) for kernel in kernels]
+        return kernels
+
+    def _new_kernel_blocks(self, views) -> list[np.ndarray]:
+        if self.kernels is None:
+            blocks = [np.asarray(view, dtype=np.float64) for view in views]
+        else:
+            blocks = [
+                kernel(train_view, view)
+                for kernel, train_view, view in zip(
+                    self.kernels, self._train_views, views
+                )
+            ]
+        for index, block in enumerate(blocks):
+            if block.shape[0] != self._n_train:
+                raise ValidationError(
+                    f"kernel block {index} must have {self._n_train} rows "
+                    f"(one per training sample), got {block.shape[0]}"
+                )
+        if self.center:
+            blocks = [
+                center_kernel_test(block, raw)
+                for block, raw in zip(blocks, self._raw_train_kernels)
+            ]
+        return blocks
+
+    # -- estimator API --------------------------------------------------------
+
+    def fit(self, views) -> "KTCCA":
+        """Fit from ``m >= 2`` kernel matrices or raw views."""
+        views = check_views(views, min_views=2, same_samples=False)
+        kernels = self._train_kernels(views)
+        n = kernels[0].shape[0]
+        if self.n_components > n:
+            raise ValidationError(
+                f"n_components={self.n_components} exceeds the sample "
+                f"count {n}"
+            )
+        self._n_train = n
+
+        factors = [pls_cholesky(kernel, self.epsilon) for kernel in kernels]
+        # S = K ×_p (L_p^{-1})^T is the "covariance tensor" of the
+        # transformed columns V_p = L_p^{-T} K_p (Theorem 3 + Eq. 4.15).
+        transformed = [
+            np.linalg.solve(factor.T, kernel)
+            for factor, kernel in zip(factors, kernels)
+        ]
+        s_tensor = covariance_tensor(transformed, assume_centered=True)
+        self.kernel_tensor_shape_ = s_tensor.shape
+
+        result = self._decompose(s_tensor)
+        cp = result.cp.normalize()
+        self.decomposition_result_ = result
+        self.correlations_ = cp.weights.copy()
+        self.factors_ = cp.factors
+        self.dual_vectors_ = [
+            np.linalg.solve(factor, b)
+            for factor, b in zip(factors, cp.factors)
+        ]
+        self._fitted_kernels = kernels
+        self.n_views_ = len(views)
+        return self
+
+    def _decompose(self, s_tensor: np.ndarray):
+        if self.decomposition == "als":
+            return cp_als(
+                s_tensor,
+                self.n_components,
+                max_iter=self.max_iter,
+                tol=self.tol,
+                random_state=self.random_state,
+                warn_on_no_convergence=False,
+            )
+        if self.decomposition == "hopm":
+            return best_rank1(
+                s_tensor,
+                max_iter=self.max_iter,
+                tol=self.tol,
+                random_state=self.random_state,
+                warn_on_no_convergence=False,
+            )
+        return tensor_power_deflation(
+            s_tensor,
+            self.n_components,
+            max_iter=self.max_iter,
+            tol=self.tol,
+            random_state=self.random_state,
+        )
+
+    def transform(self, views) -> list[np.ndarray]:
+        """Project new data; accepts cross-kernel blocks or raw views."""
+        self._check_fitted()
+        blocks = self._new_kernel_blocks(views)
+        return [
+            block.T @ duals
+            for block, duals in zip(blocks, self.dual_vectors_)
+        ]
+
+    def transform_train(self) -> list[np.ndarray]:
+        """Training projections ``Z_p = K_p A_p = K_p L_p^{-1} B_p``."""
+        if not hasattr(self, "_fitted_kernels"):
+            raise NotFittedError("KTCCA must be fitted first")
+        return [
+            kernel @ duals
+            for kernel, duals in zip(self._fitted_kernels, self.dual_vectors_)
+        ]
+
+    def transform_train_combined(self) -> np.ndarray:
+        """Concatenated ``(N, m·r)`` training representation."""
+        return np.hstack(self.transform_train())

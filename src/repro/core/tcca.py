@@ -1,0 +1,281 @@
+"""Tensor canonical correlation analysis (TCCA) — the paper's contribution.
+
+TCCA maximizes the high-order canonical correlation
+``ρ = corr(z_1, …, z_m) = C_{12…m} ×_1 h_1^T ×_2 … ×_m h_m^T`` (Theorem 1)
+subject to ``h_p^T (C_pp + ε I) h_p = 1`` (Eq. 4.7-4.8). Substituting
+``u_p = C̃_pp^{1/2} h_p`` turns this into finding unit vectors maximizing
+``M ×_1 u_1^T … ×_m u_m^T`` on the whitened covariance tensor
+``M = C ×_1 C̃_11^{-1/2} … ×_m C̃_mm^{-1/2}`` (Theorem 2), i.e. the best
+rank-1 approximation of ``M`` (Eq. 4.10) — and rank-``r`` CP-ALS yields
+``r`` canonical directions per view fitted jointly.
+
+The per-view projections ``Z_p = X_p^T C̃_pp^{-1/2} U_p`` (Eq. 4.11) are
+concatenated into the final ``(m·r)``-dimensional representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cca.base import MultiviewTransformer
+from repro.exceptions import ValidationError
+from repro.linalg.covariance import covariance_tensor, view_covariance
+from repro.linalg.whitening import regularized_inverse_sqrt
+from repro.tensor.decomposition import (
+    best_rank1,
+    cp_als,
+    tensor_power_deflation,
+)
+from repro.utils.validation import check_positive_int, check_views
+
+__all__ = [
+    "TCCA",
+    "WhitenedTensor",
+    "multiview_canonical_correlation",
+    "whitened_covariance_tensor",
+]
+
+_DECOMPOSITIONS = ("als", "hopm", "power")
+
+
+class WhitenedTensor:
+    """Precomputed whitening state shared by TCCA fits of different ranks.
+
+    Building the whitened covariance tensor ``M`` is the dominant cost of a
+    TCCA fit and is independent of ``n_components``; computing it once via
+    :func:`whitened_covariance_tensor` and passing it to several
+    ``TCCA.fit(views, precomputed=...)`` calls amortizes it across a
+    dimension sweep.
+    """
+
+    def __init__(self, means, whiteners, tensor, epsilon):
+        self.means = means
+        self.whiteners = whiteners
+        self.tensor = tensor
+        self.epsilon = float(epsilon)
+
+    @property
+    def dims(self) -> list[int]:
+        """Feature dimension of each view."""
+        return [whitener.shape[0] for whitener in self.whiteners]
+
+
+def whitened_covariance_tensor(views, epsilon: float) -> WhitenedTensor:
+    """Compute the whitening state and tensor ``M`` for TCCA (Theorem 2).
+
+    ``M = C ×_1 C̃_11^{-1/2} … ×_m C̃_mm^{-1/2}`` equals the covariance
+    tensor of the whitened views, so ``C`` itself is never materialized.
+    """
+    views = check_views(views, min_views=2)
+    means = [view.mean(axis=1, keepdims=True) for view in views]
+    centered = [view - mean for view, mean in zip(views, means)]
+    whiteners = [
+        regularized_inverse_sqrt(view_covariance(view), epsilon)
+        for view in centered
+    ]
+    whitened_views = [
+        whitener @ view for whitener, view in zip(whiteners, centered)
+    ]
+    tensor = covariance_tensor(whitened_views)
+    return WhitenedTensor(
+        means=means, whiteners=whiteners, tensor=tensor, epsilon=epsilon
+    )
+
+
+def multiview_canonical_correlation(views, canonical_vectors) -> float:
+    """High-order canonical correlation ``(z_1 ⊙ z_2 ⊙ … ⊙ z_m)^T e``.
+
+    Computes the left-hand side of Theorem 1 directly from data: project
+    each (centered) view with its canonical vector and sum the element-wise
+    product of the canonical variables, normalized by ``N`` to match the
+    ``1/N``-scaled covariance tensor.
+    """
+    views = check_views(views, min_views=2)
+    if len(canonical_vectors) != len(views):
+        raise ValidationError(
+            f"need one canonical vector per view ({len(views)}), "
+            f"got {len(canonical_vectors)}"
+        )
+    n_samples = views[0].shape[1]
+    product = np.ones(n_samples)
+    for view, vector in zip(views, canonical_vectors):
+        vector = np.asarray(vector, dtype=np.float64).ravel()
+        if vector.shape[0] != view.shape[0]:
+            raise ValidationError(
+                "canonical vector length must match the view dimension; "
+                f"got {vector.shape[0]} for dimension {view.shape[0]}"
+            )
+        product = product * (view.T @ vector)
+    return float(product.sum() / n_samples)
+
+
+class TCCA(MultiviewTransformer):
+    """Tensor CCA for an arbitrary number of views.
+
+    Parameters
+    ----------
+    n_components:
+        Subspace dimension ``r`` per view; the concatenated output has
+        ``m·r`` dimensions. Must satisfy ``r <= min_p d_p``.
+    epsilon:
+        Regularization ``ε`` of the variance constraints
+        ``h_p^T (C_pp + ε I) h_p = 1`` (Eq. 4.8).
+    decomposition:
+        Solver for the rank-``r`` problem on the whitened tensor ``M``:
+        ``"als"`` (joint CP-ALS — the paper's choice), ``"hopm"``
+        (higher-order power method; only for ``n_components == 1``), or
+        ``"power"`` (greedy rank-1 deflation, the ablation comparator).
+    max_iter, tol:
+        Iteration budget and tolerance passed to the tensor solver.
+    random_state:
+        Seed for solver initialization.
+
+    Attributes
+    ----------
+    canonical_vectors_:
+        List of ``(d_p, r)`` matrices ``H_p = C̃_pp^{-1/2} U_p``.
+    factors_:
+        The unit-norm whitened factors ``U_p`` of the CP decomposition.
+    correlations_:
+        CP weights ``λ^{(k)}`` — the attained canonical correlations per
+        component (descending in magnitude for the ALS solver).
+    covariance_tensor_shape_:
+        Shape of the covariance tensor ``(d_1, …, d_m)``; its product is
+        the memory cost the complexity experiments measure.
+    """
+
+    def __init__(
+        self,
+        n_components: int = 1,
+        epsilon: float = 1e-2,
+        *,
+        decomposition: str = "als",
+        max_iter: int = 200,
+        tol: float = 1e-8,
+        random_state=None,
+    ):
+        self.n_components = check_positive_int(n_components, "n_components")
+        if epsilon < 0.0:
+            raise ValidationError(f"epsilon must be >= 0, got {epsilon}")
+        self.epsilon = float(epsilon)
+        if decomposition not in _DECOMPOSITIONS:
+            raise ValidationError(
+                f"unknown decomposition {decomposition!r}; expected one of "
+                f"{_DECOMPOSITIONS}"
+            )
+        self.decomposition = decomposition
+        if decomposition == "hopm" and self.n_components != 1:
+            raise ValidationError(
+                "decomposition='hopm' extracts a single component; use "
+                "'als' or 'power' for n_components > 1"
+            )
+        self.max_iter = check_positive_int(max_iter, "max_iter")
+        self.tol = float(tol)
+        self.random_state = random_state
+
+    def fit(self, views, *, precomputed: WhitenedTensor | None = None) -> "TCCA":
+        """Learn canonical vectors from ``m >= 2`` views of shape ``(d_p, N)``.
+
+        Parameters
+        ----------
+        views:
+            The view matrices.
+        precomputed:
+            Optional whitening state from
+            :func:`whitened_covariance_tensor` computed on the *same* views
+            with ``epsilon == self.epsilon``; skips the tensor construction
+            (useful when sweeping ``n_components``).
+        """
+        views = check_views(views, min_views=2)
+        max_rank = min(view.shape[0] for view in views)
+        if self.n_components > max_rank:
+            raise ValidationError(
+                f"n_components={self.n_components} exceeds the smallest view "
+                f"dimension {max_rank} (the paper requires r <= min_p d_p)"
+            )
+        if precomputed is None:
+            precomputed = whitened_covariance_tensor(views, self.epsilon)
+        else:
+            if precomputed.epsilon != self.epsilon:
+                raise ValidationError(
+                    f"precomputed state was built with epsilon="
+                    f"{precomputed.epsilon}, the estimator uses "
+                    f"{self.epsilon}"
+                )
+            if precomputed.dims != [view.shape[0] for view in views]:
+                raise ValidationError(
+                    "precomputed state dimensions do not match the views"
+                )
+        self.means_ = precomputed.means
+        whiteners = precomputed.whiteners
+        m_tensor = precomputed.tensor
+        self.covariance_tensor_shape_ = m_tensor.shape
+
+        result = self._decompose(m_tensor)
+        cp = result.cp.normalize()
+        self.decomposition_result_ = result
+        self.correlations_ = cp.weights.copy()
+        self.factors_ = cp.factors
+        self.canonical_vectors_ = [
+            whitener @ factor
+            for whitener, factor in zip(whiteners, cp.factors)
+        ]
+        self.n_views_ = len(views)
+        self._dims = [view.shape[0] for view in views]
+        return self
+
+    def _decompose(self, m_tensor: np.ndarray):
+        if self.decomposition == "als":
+            return cp_als(
+                m_tensor,
+                self.n_components,
+                max_iter=self.max_iter,
+                tol=self.tol,
+                random_state=self.random_state,
+                warn_on_no_convergence=False,
+            )
+        if self.decomposition == "hopm":
+            return best_rank1(
+                m_tensor,
+                max_iter=self.max_iter,
+                tol=self.tol,
+                random_state=self.random_state,
+                warn_on_no_convergence=False,
+            )
+        return tensor_power_deflation(
+            m_tensor,
+            self.n_components,
+            max_iter=self.max_iter,
+            tol=self.tol,
+            random_state=self.random_state,
+        )
+
+    def transform(self, views) -> list[np.ndarray]:
+        """Project every view: ``Z_p = X_p^T H_p`` of shape ``(N, r)``."""
+        self._check_fitted()
+        views = self._check_transform_views(views, self._dims)
+        return [
+            (view - mean).T @ vectors
+            for view, mean, vectors in zip(
+                views, self.means_, self.canonical_vectors_
+            )
+        ]
+
+    def canonical_correlations(self, views) -> np.ndarray:
+        """Empirical high-order correlations of each component on ``views``.
+
+        Evaluates Theorem 1's data-side expression for every fitted
+        component — useful for validating the tensor-side optimum.
+        """
+        self._check_fitted()
+        views = self._check_transform_views(views, self._dims)
+        centered = [view - mean for view, mean in zip(views, self.means_)]
+        return np.array(
+            [
+                multiview_canonical_correlation(
+                    centered,
+                    [vectors[:, k] for vectors in self.canonical_vectors_],
+                )
+                for k in range(self.n_components)
+            ]
+        )

@@ -1,0 +1,119 @@
+"""Internet-advertisements-like synthetic generator.
+
+The UCI Internet-Ads task predicts whether a hyperlinked image is an ad
+from binary term-presence features grouped (as the paper groups them) into
+three views: image URL / caption / alt-text terms (588 dims), current-site
+URL terms (495 dims), and anchor URL terms (472 dims). The dataset is small
+(3,279 instances, ~14% positive) with high total dimension (1,555) — the
+regime where the paper observes CAT over-fitting and a reduced TCCA margin.
+
+The generator mirrors that structure: sparse Bernoulli background term
+rates per vocabulary, a set of ad-indicative terms per view with elevated
+rates, and a per-sample *campaign* switch that activates indicative terms
+in all three views simultaneously (the order-3 dependence).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.synthetic import MultiviewDataset
+from repro.exceptions import DatasetError
+from repro.utils.rng import check_random_state
+
+__all__ = ["make_ads_like", "DEFAULT_DIMS"]
+
+#: the paper's view dimensions: caption+alt / site URL / anchor URL terms
+DEFAULT_DIMS = (588, 495, 472)
+
+
+def make_ads_like(
+    n_samples: int = 3279,
+    dims=DEFAULT_DIMS,
+    *,
+    positive_rate: float = 0.14,
+    background_rate: float = 0.02,
+    indicative_fraction: float = 0.05,
+    indicative_rate: float = 0.35,
+    campaign_coherence: float = 0.8,
+    random_state=None,
+) -> MultiviewDataset:
+    """Sample an Ads-like sparse binary 3-view dataset.
+
+    Parameters
+    ----------
+    n_samples:
+        Number of hyperlink instances (UCI has 3,279).
+    dims:
+        Vocabulary sizes per view.
+    positive_rate:
+        Fraction of ad (label 1) instances (~14% in UCI).
+    background_rate:
+        Bernoulli rate of non-indicative terms.
+    indicative_fraction:
+        Fraction of each vocabulary that is ad-indicative.
+    indicative_rate:
+        Bernoulli rate of indicative terms when active.
+    campaign_coherence:
+        Probability that an *ad* expresses its indicative terms in all
+        three views jointly; otherwise each view activates independently
+        with the same marginal probability.
+    random_state:
+        Seed.
+
+    Returns
+    -------
+    MultiviewDataset
+        Binary views of shape ``(dims[p], N)`` and labels in {0, 1}.
+    """
+    if n_samples < 2:
+        raise DatasetError(f"n_samples must be >= 2, got {n_samples}")
+    if not 0.0 < positive_rate < 1.0:
+        raise DatasetError(
+            f"positive_rate must be in (0, 1), got {positive_rate}"
+        )
+    if not 0.0 <= campaign_coherence <= 1.0:
+        raise DatasetError(
+            f"campaign_coherence must be in [0, 1], got {campaign_coherence}"
+        )
+    dims = tuple(int(d) for d in dims)
+    rng = check_random_state(random_state)
+
+    labels = (rng.random(n_samples) < positive_rate).astype(np.int64)
+
+    # Coherent ads activate their indicative terms in all three views at
+    # once; non-coherent ads activate each view independently with
+    # probability 1/2 — so view coherence is the extra, order-3 signal.
+    coherent = rng.random(n_samples) < campaign_coherence
+    joint_active = coherent & (labels == 1)
+
+    views = []
+    indicative_masks = []
+    for dim in dims:
+        n_indicative = max(1, int(round(indicative_fraction * dim)))
+        indicative = rng.choice(dim, size=n_indicative, replace=False)
+        mask = np.zeros(dim, dtype=bool)
+        mask[indicative] = True
+        indicative_masks.append(mask)
+
+        independent = (
+            (~coherent) & (labels == 1) & (rng.random(n_samples) < 0.5)
+        )
+        active = joint_active | independent
+        rates = np.full((dim, n_samples), background_rate)
+        rates[np.ix_(mask, np.flatnonzero(active))] = indicative_rate
+        views.append(
+            (rng.random((dim, n_samples)) < rates).astype(np.float64)
+        )
+
+    return MultiviewDataset(
+        views=views,
+        labels=labels,
+        name="ads-like",
+        metadata={
+            "n_classes": 2,
+            "positive_rate": positive_rate,
+            "campaign_coherence": campaign_coherence,
+            "indicative_masks": indicative_masks,
+        },
+    )

@@ -1,0 +1,128 @@
+"""Index bookkeeping for the paper's evaluation protocol.
+
+Every experiment uses: a handful of randomly drawn labeled instances,
+20% of the remaining (test / unlabeled) data held out for validation-based
+parameter selection, and transductive evaluation on the rest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.utils.rng import check_random_state
+
+__all__ = [
+    "sample_labeled_indices",
+    "split_validation",
+    "train_test_split_indices",
+]
+
+
+def sample_labeled_indices(
+    labels,
+    n_labeled: int,
+    *,
+    per_class: bool = False,
+    random_state=None,
+) -> np.ndarray:
+    """Draw labeled-sample indices.
+
+    Parameters
+    ----------
+    labels:
+        Full label vector.
+    n_labeled:
+        Total labeled count (``per_class=False``) or labeled count *per
+        class* (``per_class=True`` — the NUS-WIDE protocol with
+        {4, 6, 8} labeled images per concept).
+    per_class:
+        See above.
+    random_state:
+        Seed.
+
+    The draw is retried (stratified fallback) so every class has at least
+    one labeled instance when ``per_class=False`` — a classifier cannot be
+    trained otherwise.
+    """
+    labels = np.asarray(labels)
+    rng = check_random_state(random_state)
+    classes = np.unique(labels)
+    if per_class:
+        chosen = []
+        for cls in classes:
+            members = np.flatnonzero(labels == cls)
+            if members.size < n_labeled:
+                raise DatasetError(
+                    f"class {cls!r} has only {members.size} samples, "
+                    f"cannot draw {n_labeled} labeled per class"
+                )
+            chosen.append(rng.choice(members, size=n_labeled, replace=False))
+        return np.sort(np.concatenate(chosen))
+
+    if n_labeled < classes.shape[0]:
+        raise DatasetError(
+            f"n_labeled={n_labeled} is smaller than the number of classes "
+            f"{classes.shape[0]}"
+        )
+    if n_labeled > labels.shape[0]:
+        raise DatasetError(
+            f"n_labeled={n_labeled} exceeds the dataset size "
+            f"{labels.shape[0]}"
+        )
+    for _attempt in range(50):
+        chosen = rng.choice(labels.shape[0], size=n_labeled, replace=False)
+        if np.unique(labels[chosen]).shape[0] == classes.shape[0]:
+            return np.sort(chosen)
+    # Stratified fallback: one guaranteed sample per class, rest random.
+    chosen = [
+        rng.choice(np.flatnonzero(labels == cls)) for cls in classes
+    ]
+    remaining = np.setdiff1d(np.arange(labels.shape[0]), chosen)
+    extra = rng.choice(
+        remaining, size=n_labeled - len(chosen), replace=False
+    )
+    return np.sort(np.concatenate([np.asarray(chosen), extra]))
+
+
+def split_validation(
+    candidate_indices,
+    *,
+    fraction: float = 0.2,
+    random_state=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split indices into (validation, evaluation) parts.
+
+    The paper holds out 20% of the test/unlabeled data for validation.
+    """
+    candidate_indices = np.asarray(candidate_indices)
+    if not 0.0 < fraction < 1.0:
+        raise DatasetError(f"fraction must be in (0, 1), got {fraction}")
+    rng = check_random_state(random_state)
+    shuffled = rng.permutation(candidate_indices)
+    n_validation = max(1, int(round(fraction * candidate_indices.shape[0])))
+    if n_validation >= candidate_indices.shape[0]:
+        raise DatasetError(
+            "validation split would consume every candidate index"
+        )
+    return np.sort(shuffled[:n_validation]), np.sort(shuffled[n_validation:])
+
+
+def train_test_split_indices(
+    n_samples: int,
+    *,
+    test_fraction: float = 0.5,
+    random_state=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random (train, test) index split of ``range(n_samples)``."""
+    if n_samples < 2:
+        raise DatasetError(f"n_samples must be >= 2, got {n_samples}")
+    if not 0.0 < test_fraction < 1.0:
+        raise DatasetError(
+            f"test_fraction must be in (0, 1), got {test_fraction}"
+        )
+    rng = check_random_state(random_state)
+    permuted = rng.permutation(n_samples)
+    n_test = max(1, int(round(test_fraction * n_samples)))
+    n_test = min(n_test, n_samples - 1)
+    return np.sort(permuted[n_test:]), np.sort(permuted[:n_test])

@@ -1,0 +1,35 @@
+"""Evaluation harness reproducing the paper's experimental protocol.
+
+Five random draws of the labeled instances, 20% of the remaining data held
+out for validation-based selection (dimension, k for kNN, ε when a grid is
+given), transductive accuracy on the rest — plus wall-time / peak-memory
+instrumentation for the complexity experiments (Figs. 7-10).
+"""
+
+from repro.evaluation.metrics import accuracy, mean_std
+from repro.evaluation.resources import ResourceUsage, measure_resources
+from repro.evaluation.protocol import (
+    Candidate,
+    ClassifierSpec,
+    EvaluationOutcome,
+    evaluate_groups,
+)
+from repro.evaluation.sweep import (
+    MethodSweep,
+    SweepConfig,
+    run_dimension_sweep,
+)
+
+__all__ = [
+    "Candidate",
+    "ClassifierSpec",
+    "EvaluationOutcome",
+    "MethodSweep",
+    "ResourceUsage",
+    "SweepConfig",
+    "accuracy",
+    "evaluate_groups",
+    "mean_std",
+    "measure_resources",
+    "run_dimension_sweep",
+]

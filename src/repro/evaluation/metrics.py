@@ -1,0 +1,31 @@
+"""Evaluation metrics and small statistical helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["accuracy", "mean_std"]
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Classification accuracy — the paper's sole evaluation criterion."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValidationError(
+            f"label arrays must share a shape, got {y_true.shape} and "
+            f"{y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValidationError("cannot compute accuracy of zero samples")
+    return float(np.mean(y_true == y_pred))
+
+
+def mean_std(values) -> tuple[float, float]:
+    """Mean and (population) standard deviation, as the paper's ``a±b``."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValidationError("cannot summarize zero values")
+    return float(values.mean()), float(values.std())

@@ -1,0 +1,267 @@
+"""Single-run evaluation: candidates, groups, classifier tuning.
+
+Terminology (see DESIGN.md):
+
+* a **candidate** is one representation of all ``N`` samples — either
+  ``(N, d)`` features or an ``(N, N)`` precomputed distance matrix (kernel
+  methods' BSK/AVG baselines);
+* a **group** is the set of candidates that one hyper-parameter choice
+  produces. Candidates inside a group are *combined* (score averaging for
+  RLS, majority voting for kNN — exactly the paper's CCA (AVG) recipe);
+  a singleton group is used directly;
+* the evaluator scores every group on the validation split and reports the
+  test accuracy of the best group — this implements the paper's BST
+  selection (best view for BSF, best pair for CCA (BST), best ε when a
+  grid is supplied).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.classifiers.combination import (
+    average_score_predict,
+    majority_vote_predict,
+)
+from repro.classifiers.knn import KNNClassifier
+from repro.classifiers.rls import RLSClassifier
+from repro.evaluation.metrics import accuracy
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "Candidate",
+    "ClassifierSpec",
+    "EvaluationOutcome",
+    "evaluate_groups",
+    "knn_predict_from_distances",
+]
+
+
+@dataclass
+class Candidate:
+    """One representation of all samples.
+
+    ``kind`` is ``"features"`` (``(N, d)`` rows) or ``"distances"`` (a full
+    ``(N, N)`` pairwise distance matrix, kNN-only). ``tag`` labels the
+    candidate for reporting (view name, pair, ε value …).
+    """
+
+    kind: str
+    array: np.ndarray
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("features", "distances"):
+            raise ValidationError(
+                f"candidate kind must be 'features' or 'distances', "
+                f"got {self.kind!r}"
+            )
+        self.array = np.asarray(self.array, dtype=np.float64)
+        if self.array.ndim != 2:
+            raise ValidationError(
+                f"candidate array must be 2-D, got ndim={self.array.ndim}"
+            )
+        if self.kind == "distances" and (
+            self.array.shape[0] != self.array.shape[1]
+        ):
+            raise ValidationError(
+                "distance candidates must be square (N, N) matrices, got "
+                f"{self.array.shape}"
+            )
+
+
+@dataclass
+class ClassifierSpec:
+    """Downstream learner configuration.
+
+    ``kind='rls'`` — regularized least squares, γ fixed (paper: 10⁻²).
+    ``kind='knn'`` — kNN with ``k`` tuned over ``k_grid`` on validation
+    (paper: {1, …, 10}).
+    """
+
+    kind: str = "rls"
+    gamma: float = 1e-2
+    k_grid: tuple = tuple(range(1, 11))
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("rls", "knn"):
+            raise ValidationError(
+                f"classifier kind must be 'rls' or 'knn', got {self.kind!r}"
+            )
+
+
+@dataclass
+class EvaluationOutcome:
+    """Validation and test accuracy of the selected group."""
+
+    validation_accuracy: float
+    test_accuracy: float
+    selected_tag: str = ""
+    selected_k: int | None = None
+    group_validation_accuracies: list = field(default_factory=list)
+
+
+def knn_predict_from_distances(
+    distance_block, train_labels, k: int
+) -> np.ndarray:
+    """Majority-vote kNN from a precomputed ``(M, N_train)`` distance block.
+
+    Ties are broken by the nearest neighbor among the tied classes, as in
+    :class:`~repro.classifiers.knn.KNNClassifier`.
+    """
+    distance_block = np.asarray(distance_block, dtype=np.float64)
+    train_labels = np.asarray(train_labels)
+    if distance_block.ndim != 2 or (
+        distance_block.shape[1] != train_labels.shape[0]
+    ):
+        raise ValidationError(
+            "distance block must be (M, N_train) matching the training "
+            f"labels; got {distance_block.shape} for "
+            f"{train_labels.shape[0]} labels"
+        )
+    k = min(int(k), train_labels.shape[0])
+    order = np.argsort(distance_block, axis=1, kind="stable")[:, :k]
+    neighbor_labels = train_labels[order]
+    out = np.empty(distance_block.shape[0], dtype=train_labels.dtype)
+    for row in range(distance_block.shape[0]):
+        votes = neighbor_labels[row]
+        values, counts = np.unique(votes, return_counts=True)
+        winners = values[counts == counts.max()]
+        if winners.shape[0] == 1:
+            out[row] = winners[0]
+        else:
+            winner_set = set(winners.tolist())
+            for label in votes:
+                if label in winner_set:
+                    out[row] = label
+                    break
+    return out
+
+
+def _rls_group_predictions(group, labels, labeled_idx, query_idx, gamma):
+    """Score-averaged RLS predictions of one group on ``query_idx``."""
+    classifiers = []
+    query_features = []
+    for candidate in group:
+        if candidate.kind != "features":
+            raise ValidationError(
+                "RLS evaluation requires feature candidates; got a "
+                f"'{candidate.kind}' candidate (tag={candidate.tag!r})"
+            )
+        model = RLSClassifier(gamma=gamma).fit(
+            candidate.array[labeled_idx], labels[labeled_idx]
+        )
+        classifiers.append(model)
+        query_features.append(candidate.array[query_idx])
+    if len(classifiers) == 1:
+        return classifiers[0].predict(query_features[0])
+    return average_score_predict(classifiers, query_features)
+
+
+def _knn_group_predictions(group, labels, labeled_idx, query_idx, k):
+    """Majority-voted kNN predictions of one group on ``query_idx``."""
+    per_candidate = []
+    for candidate in group:
+        if candidate.kind == "features":
+            model = KNNClassifier(n_neighbors=k).fit(
+                candidate.array[labeled_idx], labels[labeled_idx]
+            )
+            per_candidate.append(model.predict(candidate.array[query_idx]))
+        else:
+            block = candidate.array[np.ix_(query_idx, labeled_idx)]
+            per_candidate.append(
+                knn_predict_from_distances(block, labels[labeled_idx], k)
+            )
+    if len(per_candidate) == 1:
+        return per_candidate[0]
+    stacked = np.stack(per_candidate, axis=0)
+    out = np.empty(stacked.shape[1], dtype=stacked.dtype)
+    for column in range(stacked.shape[1]):
+        votes = stacked[:, column]
+        values, counts = np.unique(votes, return_counts=True)
+        winners = values[counts == counts.max()]
+        out[column] = (
+            winners[0]
+            if winners.shape[0] == 1
+            else next(v for v in votes if v in set(winners.tolist()))
+        )
+    return out
+
+
+def evaluate_groups(
+    groups,
+    labels,
+    labeled_idx,
+    validation_idx,
+    test_idx,
+    classifier: ClassifierSpec,
+) -> EvaluationOutcome:
+    """Evaluate candidate groups and report the validation-selected one.
+
+    Parameters
+    ----------
+    groups:
+        List of candidate groups (see module docstring). Tags of the first
+        candidate of each group label the group.
+    labels:
+        Full length-``N`` label vector.
+    labeled_idx, validation_idx, test_idx:
+        Disjoint index arrays into the ``N`` samples.
+    classifier:
+        Downstream learner specification.
+
+    Returns
+    -------
+    EvaluationOutcome
+    """
+    groups = [list(group) for group in groups]
+    if not groups or any(not group for group in groups):
+        raise ValidationError("need at least one non-empty candidate group")
+    labels = np.asarray(labels)
+    labeled_idx = np.asarray(labeled_idx)
+    validation_idx = np.asarray(validation_idx)
+    test_idx = np.asarray(test_idx)
+
+    best = None  # (val_acc, group_index, k)
+    group_val_accuracies = []
+    for group_index, group in enumerate(groups):
+        if classifier.kind == "rls":
+            predictions = _rls_group_predictions(
+                group, labels, labeled_idx, validation_idx, classifier.gamma
+            )
+            val_acc = accuracy(labels[validation_idx], predictions)
+            chosen_k = None
+        else:
+            val_acc = -1.0
+            chosen_k = classifier.k_grid[0]
+            for k in classifier.k_grid:
+                predictions = _knn_group_predictions(
+                    group, labels, labeled_idx, validation_idx, k
+                )
+                acc_k = accuracy(labels[validation_idx], predictions)
+                if acc_k > val_acc:
+                    val_acc = acc_k
+                    chosen_k = k
+        group_val_accuracies.append(val_acc)
+        if best is None or val_acc > best[0]:
+            best = (val_acc, group_index, chosen_k)
+
+    val_acc, group_index, chosen_k = best
+    group = groups[group_index]
+    if classifier.kind == "rls":
+        test_predictions = _rls_group_predictions(
+            group, labels, labeled_idx, test_idx, classifier.gamma
+        )
+    else:
+        test_predictions = _knn_group_predictions(
+            group, labels, labeled_idx, test_idx, chosen_k
+        )
+    return EvaluationOutcome(
+        validation_accuracy=val_acc,
+        test_accuracy=accuracy(labels[test_idx], test_predictions),
+        selected_tag=group[0].tag,
+        selected_k=chosen_k,
+        group_validation_accuracies=group_val_accuracies,
+    )

@@ -1,0 +1,192 @@
+"""Dimension sweeps over methods — the paper's accuracy-vs-``r`` curves.
+
+For every subspace dimension ``r`` each method builds its candidate groups
+once (the fit is unsupervised and transductive, so it is shared by all
+random labeled draws), then each of the ``n_runs`` random draws (the
+paper uses five) trains the downstream classifier and scores validation /
+test accuracy. Resource usage of the representation construction is
+recorded per ``(method, r)`` for the complexity experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.splits import sample_labeled_indices, split_validation
+from repro.evaluation.metrics import mean_std
+from repro.evaluation.protocol import (
+    ClassifierSpec,
+    EvaluationOutcome,
+    evaluate_groups,
+)
+from repro.evaluation.resources import ResourceUsage, measure_resources
+from repro.exceptions import ExperimentError
+from repro.utils.rng import spawn_rngs
+
+__all__ = ["MethodSweep", "SweepConfig", "run_dimension_sweep"]
+
+
+@dataclass
+class SweepConfig:
+    """Configuration of one dimension sweep.
+
+    Attributes
+    ----------
+    dims:
+        Subspace dimensions ``r`` to sweep (the paper uses
+        ``{5, 10, …, 300}``, truncated here to what each dataset supports).
+    n_labeled:
+        Labeled-sample budget — total, or per class when
+        ``per_class_labeled`` is set (the NUS-WIDE protocol).
+    per_class_labeled:
+        See above.
+    n_runs:
+        Random labeled draws (paper: 5).
+    validation_fraction:
+        Share of non-labeled data used for validation (paper: 20%).
+    classifier:
+        Downstream learner spec.
+    measure:
+        Record time / peak memory of representation construction.
+    random_state:
+        Seed for the per-run streams.
+    """
+
+    dims: tuple
+    n_labeled: int = 100
+    per_class_labeled: bool = False
+    n_runs: int = 5
+    validation_fraction: float = 0.2
+    classifier: ClassifierSpec = field(default_factory=ClassifierSpec)
+    measure: bool = False
+    random_state: int | None = 0
+
+
+@dataclass
+class MethodSweep:
+    """Results of one method across the swept dimensions.
+
+    ``test_accuracies[i, j]`` is run ``i`` at ``dims[j]``; the best-dimension
+    summary follows the paper's protocol — for each run pick the dimension
+    with the highest *validation* accuracy, then report the test accuracy
+    there.
+    """
+
+    method: str
+    dims: tuple
+    test_accuracies: np.ndarray
+    validation_accuracies: np.ndarray
+    resources: list[ResourceUsage] = field(default_factory=list)
+
+    def mean_curve(self) -> np.ndarray:
+        """Mean test accuracy per dimension (a figure series)."""
+        return self.test_accuracies.mean(axis=0)
+
+    def std_curve(self) -> np.ndarray:
+        """Std of test accuracy per dimension."""
+        return self.test_accuracies.std(axis=0)
+
+    def best_dimension_summary(self) -> tuple[float, float, list[int]]:
+        """(mean, std, per-run best dims) of validation-selected accuracy."""
+        per_run_best = np.argmax(self.validation_accuracies, axis=1)
+        chosen = self.test_accuracies[
+            np.arange(self.test_accuracies.shape[0]), per_run_best
+        ]
+        mean, std = mean_std(chosen)
+        return mean, std, [int(self.dims[j]) for j in per_run_best]
+
+    def time_curve(self) -> np.ndarray:
+        """Representation-construction seconds per dimension."""
+        return np.array([usage.seconds for usage in self.resources])
+
+    def memory_curve(self) -> np.ndarray:
+        """Representation-construction peak MB per dimension."""
+        return np.array([usage.peak_memory_mb for usage in self.resources])
+
+
+def run_dimension_sweep(
+    methods,
+    views,
+    labels,
+    config: SweepConfig,
+) -> dict[str, MethodSweep]:
+    """Run the full protocol for every method over ``config.dims``.
+
+    Parameters
+    ----------
+    methods:
+        Objects exposing ``name`` and ``groups(views, r)`` (see
+        :mod:`repro.experiments.methods`).
+    views:
+        Full multi-view data, ``(d_p, N)`` matrices.
+    labels:
+        Length-``N`` labels (used only for classifier training /
+        evaluation, never by the unsupervised fits).
+    config:
+        Sweep settings.
+
+    Returns
+    -------
+    dict mapping method name to :class:`MethodSweep`.
+    """
+    labels = np.asarray(labels)
+    n_samples = labels.shape[0]
+    if any(view.shape[1] != n_samples for view in views):
+        raise ExperimentError(
+            "labels and views disagree on the sample count"
+        )
+    dims = tuple(int(r) for r in config.dims)
+    if not dims:
+        raise ExperimentError("config.dims must be non-empty")
+
+    run_rngs = spawn_rngs(config.random_state, config.n_runs)
+    splits = []
+    for rng in run_rngs:
+        labeled_idx = sample_labeled_indices(
+            labels,
+            config.n_labeled,
+            per_class=config.per_class_labeled,
+            random_state=rng,
+        )
+        remaining = np.setdiff1d(np.arange(n_samples), labeled_idx)
+        validation_idx, test_idx = split_validation(
+            remaining,
+            fraction=config.validation_fraction,
+            random_state=rng,
+        )
+        splits.append((labeled_idx, validation_idx, test_idx))
+
+    results: dict[str, MethodSweep] = {}
+    for method in methods:
+        test_acc = np.zeros((config.n_runs, len(dims)))
+        val_acc = np.zeros((config.n_runs, len(dims)))
+        resources: list[ResourceUsage] = []
+        for j, r in enumerate(dims):
+            if config.measure:
+                groups, usage = measure_resources(method.groups, views, r)
+                resources.append(usage)
+            else:
+                groups = method.groups(views, r)
+            for i, (labeled_idx, validation_idx, test_idx) in enumerate(
+                splits
+            ):
+                outcome: EvaluationOutcome = evaluate_groups(
+                    groups,
+                    labels,
+                    labeled_idx,
+                    validation_idx,
+                    test_idx,
+                    config.classifier,
+                )
+                test_acc[i, j] = outcome.test_accuracy
+                val_acc[i, j] = outcome.validation_accuracy
+        results[method.name] = MethodSweep(
+            method=method.name,
+            dims=dims,
+            test_accuracies=test_acc,
+            validation_accuracies=val_acc,
+            resources=resources,
+        )
+    return results

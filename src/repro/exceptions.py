@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause while
+still being able to distinguish finer-grained failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when user-supplied inputs fail validation.
+
+    Examples include view matrices with mismatched sample counts, empty view
+    lists, negative regularization parameters, or requested subspace
+    dimensions exceeding what the data supports.
+    """
+
+
+class ShapeError(ValidationError):
+    """Raised when an array has the wrong number of dimensions or axis sizes."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """Raised when ``transform``-like methods are called before ``fit``."""
+
+
+class ConvergenceWarning(UserWarning):
+    """Warning emitted when an iterative solver stops before converging."""
+
+
+class DecompositionError(ReproError, RuntimeError):
+    """Raised when a tensor decomposition cannot proceed.
+
+    Typical causes are degenerate inputs (an all-zero tensor has no
+    meaningful rank-1 direction) or numerically singular least-squares
+    systems inside ALS.
+    """
+
+
+class DatasetError(ReproError, ValueError):
+    """Raised when a synthetic dataset generator receives invalid settings."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """Raised when an experiment driver is configured inconsistently."""

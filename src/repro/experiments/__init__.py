@@ -1,0 +1,47 @@
+"""Experiment drivers — one per table / figure of the paper.
+
+The registry maps experiment ids (``fig3``, ``tab1``, …) to driver
+functions; each driver builds the synthetic workload, assembles the method
+roster, runs the dimension-sweep protocol, and returns an
+:class:`~repro.experiments.reporting.ExperimentResult` whose ``table()`` /
+``series()`` render the same rows and curves the paper reports.
+"""
+
+from repro.experiments.methods import (
+    AverageKernelMethod,
+    BestSingleKernelMethod,
+    BestSingleViewMethod,
+    ConcatenationMethod,
+    DSEMethod,
+    KernelBank,
+    KTCCAMethod,
+    LSCCAMethod,
+    MaxVarMethod,
+    PairwiseCCAMethod,
+    PairwiseKCCAMethod,
+    SSMVDMethod,
+    TCCAMethod,
+)
+from repro.experiments.reporting import ExperimentResult, format_table
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "AverageKernelMethod",
+    "BestSingleKernelMethod",
+    "BestSingleViewMethod",
+    "ConcatenationMethod",
+    "DSEMethod",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "KTCCAMethod",
+    "KernelBank",
+    "LSCCAMethod",
+    "MaxVarMethod",
+    "PairwiseCCAMethod",
+    "PairwiseKCCAMethod",
+    "SSMVDMethod",
+    "TCCAMethod",
+    "format_table",
+    "get_experiment",
+    "run_experiment",
+]

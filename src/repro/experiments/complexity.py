@@ -1,0 +1,127 @@
+"""Computational-complexity drivers — Figs. 7-10.
+
+The paper plots per-method time and memory against the subspace dimension
+on each workload. We rerun each workload's method roster with resource
+instrumentation enabled and report the representation-construction cost
+(the DR fit — the quantity the paper's curves are dominated by). Absolute
+numbers reflect this machine, not the authors' MATLAB testbed; the
+assertions of the reproduction are the *orderings*: TCCA above the matrix
+CCA methods (tensor of size ∏d_p vs d²), and TCCA below DSE/SSMVD when N
+is large (their N×N eigen/optimization problems dominate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.ads import make_ads_like
+from repro.datasets.nuswide import make_nuswide_like
+from repro.datasets.secstr import make_secstr_like
+from repro.evaluation.resources import measure_resources
+from repro.experiments.ads import default_ads_methods
+from repro.experiments.kernel import default_kernel_bank, default_kernel_methods
+from repro.experiments.nuswide import default_nuswide_methods
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.secstr import default_secstr_methods
+
+__all__ = [
+    "measure_method_costs",
+    "run_complexity_experiment",
+]
+
+
+def measure_method_costs(methods, views, dims) -> dict[str, dict[str, list]]:
+    """Time/memory of ``method.groups(views, r)`` for every method and r.
+
+    Returns ``{method: {"dims": [...], "seconds": [...], "memory_mb": [...]}}``.
+    """
+    costs: dict[str, dict[str, list]] = {}
+    for method in methods:
+        seconds = []
+        memory = []
+        for r in dims:
+            _groups, usage = measure_resources(method.groups, views, int(r))
+            seconds.append(usage.seconds)
+            memory.append(usage.peak_memory_mb)
+        costs[method.name] = {
+            "dims": [int(r) for r in dims],
+            "seconds": seconds,
+            "memory_mb": memory,
+        }
+    return costs
+
+
+def run_complexity_experiment(
+    workload: str,
+    *,
+    n_samples: int | None = None,
+    dims=(5, 10, 20, 40),
+    random_state: int = 0,
+    epsilon: float = 1e-2,
+) -> ExperimentResult:
+    """Measure Fig. 7/8/9/10 cost curves for one workload.
+
+    Parameters
+    ----------
+    workload:
+        ``"secstr"`` (Fig. 7), ``"ads"`` (Fig. 8), ``"nuswide"`` (Fig. 9)
+        or ``"kernel"`` (Fig. 10).
+    n_samples:
+        Workload size; defaults chosen per workload so Fig. 7's
+        large-N regime (where DSE/SSMVD pay their N×N cost) is visible.
+    """
+    if workload == "secstr":
+        n = n_samples or 2000
+        data = make_secstr_like(n, random_state=random_state)
+        methods = default_secstr_methods()
+        figure = "fig7"
+    elif workload == "ads":
+        n = n_samples or 800
+        data = make_ads_like(
+            n, dims=(196, 165, 157), random_state=random_state
+        )
+        methods = default_ads_methods()
+        figure = "fig8"
+    elif workload == "nuswide":
+        n = n_samples or 800
+        data = make_nuswide_like(n, random_state=random_state)
+        methods = default_nuswide_methods(epsilon_grid=(epsilon,))
+        figure = "fig9"
+    elif workload == "kernel":
+        n = n_samples or 180
+        data = make_nuswide_like(n, random_state=random_state)
+        methods = default_kernel_methods(
+            default_kernel_bank(), epsilon_grid=(epsilon,)
+        )
+        figure = "fig10"
+    else:
+        raise ValueError(
+            "workload must be one of 'secstr', 'ads', 'nuswide', 'kernel'; "
+            f"got {workload!r}"
+        )
+
+    feasible = min(min(data.dims), data.n_samples - 2)
+    sweep_dims = tuple(r for r in dims if r <= feasible) or (feasible,)
+    costs = measure_method_costs(methods, data.views, sweep_dims)
+
+    lines = [f"{figure} — {workload}, N={n}"]
+    lines.append(f"{'method':<12} " + " ".join(
+        f"r={r:<4d}(s/MB)" for r in sweep_dims
+    ))
+    for name, cost in costs.items():
+        cells = " ".join(
+            f"{s:6.2f}/{m:7.1f}"
+            for s, m in zip(cost["seconds"], cost["memory_mb"])
+        )
+        lines.append(f"{name:<12} {cells}")
+
+    return ExperimentResult(
+        experiment_id=f"{figure} ({workload} complexity)",
+        description=(
+            "Representation-construction time and peak memory vs "
+            "subspace dimension"
+        ),
+        panels={},
+        notes="\n".join(lines),
+        extras={"costs": costs, "dims": sweep_dims, "n_samples": n},
+    )

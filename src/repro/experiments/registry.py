@@ -1,0 +1,143 @@
+"""Experiment registry: every paper table / figure mapped to a driver.
+
+``run_experiment(experiment_id)`` executes the driver at the default
+(laptop-scale) settings; keyword overrides reach the driver directly, so
+``run_experiment("fig6", n_samples=500)`` reproduces the paper's exact
+sample budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ExperimentError
+from repro.experiments.ads import run_ads_experiment
+from repro.experiments.complexity import run_complexity_experiment
+from repro.experiments.kernel import run_kernel_experiment
+from repro.experiments.nuswide import run_nuswide_experiment
+from repro.experiments.secstr import run_secstr_experiment
+
+__all__ = ["EXPERIMENTS", "ExperimentSpec", "get_experiment", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A registered experiment: its paper artifact and driver."""
+
+    experiment_id: str
+    paper_artifact: str
+    description: str
+    driver: callable
+    driver_kwargs: dict
+
+
+def _spec(experiment_id, paper_artifact, description, driver, **kwargs):
+    return ExperimentSpec(
+        experiment_id=experiment_id,
+        paper_artifact=paper_artifact,
+        description=description,
+        driver=driver,
+        driver_kwargs=kwargs,
+    )
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec
+    for spec in (
+        _spec(
+            "fig3",
+            "Figure 3",
+            "SecStr accuracy vs dimension, two unlabeled-set sizes",
+            run_secstr_experiment,
+        ),
+        _spec(
+            "tab1",
+            "Table 1",
+            "SecStr accuracies at validation-selected best dimensions",
+            run_secstr_experiment,
+        ),
+        _spec(
+            "fig4",
+            "Figure 4",
+            "Ads accuracy vs dimension",
+            run_ads_experiment,
+        ),
+        _spec(
+            "tab2",
+            "Table 2",
+            "Ads accuracies at best dimensions",
+            run_ads_experiment,
+        ),
+        _spec(
+            "fig5",
+            "Figure 5",
+            "NUS-WIDE accuracy vs dimension, {4,6,8} labeled per concept",
+            run_nuswide_experiment,
+        ),
+        _spec(
+            "tab3",
+            "Table 3",
+            "NUS-WIDE accuracies at best dimensions",
+            run_nuswide_experiment,
+        ),
+        _spec(
+            "fig6",
+            "Figure 6",
+            "Kernel-method accuracy vs dimension on 500-sample subset",
+            run_kernel_experiment,
+        ),
+        _spec(
+            "tab4",
+            "Table 4",
+            "Kernel-method accuracies at best dimensions",
+            run_kernel_experiment,
+        ),
+        _spec(
+            "fig7",
+            "Figure 7",
+            "SecStr time / memory vs dimension",
+            run_complexity_experiment,
+            workload="secstr",
+        ),
+        _spec(
+            "fig8",
+            "Figure 8",
+            "Ads time / memory vs dimension",
+            run_complexity_experiment,
+            workload="ads",
+        ),
+        _spec(
+            "fig9",
+            "Figure 9",
+            "NUS-WIDE time / memory vs dimension",
+            run_complexity_experiment,
+            workload="nuswide",
+        ),
+        _spec(
+            "fig10",
+            "Figure 10",
+            "Kernel-method time / memory vs dimension",
+            run_complexity_experiment,
+            workload="kernel",
+        ),
+    )
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up a registered experiment by id (``fig3`` … ``fig10``, ``tabN``)."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known ids: "
+            f"{sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, **overrides):
+    """Run a registered experiment, forwarding overrides to its driver."""
+    spec = get_experiment(experiment_id)
+    kwargs = dict(spec.driver_kwargs)
+    kwargs.update(overrides)
+    return spec.driver(**kwargs)

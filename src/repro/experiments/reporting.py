@@ -1,0 +1,96 @@
+"""Result containers and plain-text rendering of tables / figure series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.evaluation.sweep import MethodSweep
+
+__all__ = ["ExperimentResult", "format_series", "format_table"]
+
+
+def format_table(sweeps: dict[str, MethodSweep], *, title: str = "") -> str:
+    """Render best-dimension accuracies as the paper's table rows.
+
+    Each row is ``method  mean±std  (per-run best dims)`` with accuracies
+    in percent, like Tables 1-4.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    width = max((len(name) for name in sweeps), default=6)
+    lines.append(f"{'Method':<{width}}  Accuracy (%)   best dims")
+    for name, sweep in sweeps.items():
+        mean, std, best_dims = sweep.best_dimension_summary()
+        lines.append(
+            f"{name:<{width}}  {100 * mean:5.2f}±{100 * std:4.2f}   "
+            f"{best_dims}"
+        )
+    return "\n".join(lines)
+
+
+def format_series(sweeps: dict[str, MethodSweep], *, title: str = "") -> str:
+    """Render accuracy-vs-dimension curves as aligned text columns."""
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    names = list(sweeps)
+    if not names:
+        return "\n".join(lines)
+    dims = sweeps[names[0]].dims
+    header = "dim   " + "  ".join(f"{name:>10}" for name in names)
+    lines.append(header)
+    for j, r in enumerate(dims):
+        row = f"{r:<5d} " + "  ".join(
+            f"{100 * sweeps[name].mean_curve()[j]:10.2f}" for name in names
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment driver (one or more panels of sweeps).
+
+    ``panels`` maps a panel label (e.g. the unlabeled-set size of Fig. 3 or
+    the labeled-per-concept count of Fig. 5) to the per-method sweeps of
+    that panel.
+    """
+
+    experiment_id: str
+    description: str
+    panels: dict[str, dict[str, MethodSweep]]
+    notes: str = ""
+    extras: dict = field(default_factory=dict)
+
+    def table(self) -> str:
+        """All panels rendered as best-dimension tables."""
+        blocks = [
+            format_table(
+                sweeps, title=f"{self.experiment_id} — {panel}"
+            )
+            for panel, sweeps in self.panels.items()
+        ]
+        return "\n\n".join(blocks)
+
+    def series(self) -> str:
+        """All panels rendered as accuracy-vs-dimension series."""
+        blocks = [
+            format_series(
+                sweeps, title=f"{self.experiment_id} — {panel}"
+            )
+            for panel, sweeps in self.panels.items()
+        ]
+        return "\n\n".join(blocks)
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Nested ``{panel: {method: best-dim mean accuracy}}`` numbers."""
+        return {
+            panel: {
+                name: sweep.best_dimension_summary()[0]
+                for name, sweep in sweeps.items()
+            }
+            for panel, sweeps in self.panels.items()
+        }

@@ -1,0 +1,30 @@
+"""Kernel functions, pairwise distances, and kernel-matrix transforms.
+
+KTCCA and KCCA (Section 5.2 of the paper) build one kernel per view with
+``k(x_i, x_j) = exp(-d(x_i, x_j)/λ)`` where ``λ = max_{ij} d(x_i, x_j)``,
+using the χ² distance for visual-word histograms and L2 for everything else.
+"""
+
+from repro.kernels.distances import chi_square_distances, euclidean_distances
+from repro.kernels.functions import (
+    ExponentialKernel,
+    LinearKernel,
+    RBFKernel,
+    exponential_kernel,
+    linear_kernel,
+    rbf_kernel,
+)
+from repro.kernels.centering import center_kernel, normalize_kernel
+
+__all__ = [
+    "ExponentialKernel",
+    "LinearKernel",
+    "RBFKernel",
+    "center_kernel",
+    "chi_square_distances",
+    "euclidean_distances",
+    "exponential_kernel",
+    "linear_kernel",
+    "normalize_kernel",
+    "rbf_kernel",
+]

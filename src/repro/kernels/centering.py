@@ -1,0 +1,56 @@
+"""Kernel-matrix transforms: centering in feature space and normalization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_square, ensure_2d
+
+__all__ = ["center_kernel", "center_kernel_test", "normalize_kernel"]
+
+
+def center_kernel(kernel) -> np.ndarray:
+    """Center a train-kernel matrix in feature space.
+
+    ``K_c = H K H`` with ``H = I - (1/N) 11^T``, equivalent to centering the
+    implicit feature map φ — the kernel analogue of the zero-mean assumption
+    TCCA places on each view.
+    """
+    kernel = check_square(kernel, name="kernel")
+    n = kernel.shape[0]
+    row_means = kernel.mean(axis=0, keepdims=True)
+    col_means = kernel.mean(axis=1, keepdims=True)
+    total_mean = kernel.mean()
+    return kernel - row_means - col_means + total_mean
+
+
+def center_kernel_test(kernel_test, kernel_train) -> np.ndarray:
+    """Center a train-by-test kernel block consistently with the train block.
+
+    ``kernel_test`` has shape ``(N_train, N_test)``; the returned block uses
+    the *training* feature-space mean, so projections of new points match
+    those of training points.
+    """
+    kernel_test = ensure_2d(kernel_test, name="kernel_test")
+    kernel_train = check_square(kernel_train, name="kernel_train")
+    if kernel_test.shape[0] != kernel_train.shape[0]:
+        raise ValueError(
+            "kernel_test must have one row per training sample; got "
+            f"{kernel_test.shape[0]} rows for {kernel_train.shape[0]} "
+            "training samples"
+        )
+    train_col_means = kernel_train.mean(axis=1, keepdims=True)
+    test_col_means = kernel_test.mean(axis=0, keepdims=True)
+    total_mean = kernel_train.mean()
+    return kernel_test - train_col_means - test_col_means + total_mean
+
+
+def normalize_kernel(kernel, *, eps: float = 1e-12) -> np.ndarray:
+    """Cosine-normalize: ``K'_ij = K_ij / sqrt(K_ii K_jj)``.
+
+    Used by the AVG kernel-combination baseline before averaging, so views
+    with different scales contribute equally.
+    """
+    kernel = check_square(kernel, name="kernel")
+    diagonal = np.sqrt(np.maximum(np.diag(kernel), eps))
+    return kernel / np.outer(diagonal, diagonal)

@@ -1,0 +1,60 @@
+"""Pairwise distance matrices on the ``(d, N)`` column-sample layout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError, ValidationError
+from repro.utils.validation import ensure_2d
+
+__all__ = ["chi_square_distances", "euclidean_distances"]
+
+
+def _check_pair(view_a, view_b):
+    view_a = ensure_2d(view_a, name="view_a")
+    view_b = view_a if view_b is None else ensure_2d(view_b, name="view_b")
+    if view_a.shape[0] != view_b.shape[0]:
+        raise ShapeError(
+            "views must share the feature dimension; got "
+            f"{view_a.shape[0]} and {view_b.shape[0]}"
+        )
+    return view_a, view_b
+
+
+def euclidean_distances(view_a, view_b=None) -> np.ndarray:
+    """Pairwise L2 distances between columns of ``view_a`` and ``view_b``.
+
+    Returns an ``(N_a, N_b)`` matrix; ``view_b=None`` means self-distances.
+    """
+    view_a, view_b = _check_pair(view_a, view_b)
+    sq_a = np.sum(view_a**2, axis=0)[:, None]
+    sq_b = np.sum(view_b**2, axis=0)[None, :]
+    squared = sq_a + sq_b - 2.0 * (view_a.T @ view_b)
+    return np.sqrt(np.maximum(squared, 0.0))
+
+
+def chi_square_distances(view_a, view_b=None, *, eps: float = 1e-10) -> np.ndarray:
+    """Pairwise χ² distances ``Σ_k (a_k - b_k)² / (a_k + b_k)``.
+
+    The standard histogram distance the paper uses for bag-of-visual-words
+    features. Requires non-negative inputs.
+    """
+    view_a, view_b = _check_pair(view_a, view_b)
+    if np.any(view_a < 0.0) or np.any(view_b < 0.0):
+        raise ValidationError(
+            "chi-square distance requires non-negative features "
+            "(histograms); got negative entries"
+        )
+    # (d, Na, Nb) would be large; loop over features only when d is small is
+    # worse — broadcast over samples in manageable chunks instead.
+    n_a = view_a.shape[1]
+    out = np.empty((n_a, view_b.shape[1]))
+    chunk = max(1, int(2**22 // max(view_b.size, 1)))
+    for start in range(0, n_a, chunk):
+        stop = min(start + chunk, n_a)
+        a = view_a[:, start:stop, None]  # (d, c, 1)
+        b = view_b[:, None, :]  # (d, 1, Nb)
+        numerator = (a - b) ** 2
+        denominator = a + b + eps
+        out[start:stop] = np.sum(numerator / denominator, axis=0)
+    return out

@@ -1,0 +1,24 @@
+"""Covariance algebra and matrix-function helpers for the CCA family."""
+
+from repro.linalg.covariance import (
+    covariance_tensor,
+    cross_covariance,
+    view_covariance,
+)
+from repro.linalg.whitening import (
+    inverse_sqrt_psd,
+    regularized_inverse_sqrt,
+    sqrt_psd,
+)
+from repro.linalg.eigen import symmetric_eigh_descending, top_generalized_eig
+
+__all__ = [
+    "covariance_tensor",
+    "cross_covariance",
+    "inverse_sqrt_psd",
+    "regularized_inverse_sqrt",
+    "sqrt_psd",
+    "symmetric_eigh_descending",
+    "top_generalized_eig",
+    "view_covariance",
+]

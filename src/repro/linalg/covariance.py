@@ -1,0 +1,88 @@
+"""Covariance matrices and the multi-view covariance tensor.
+
+The paper works with centered view matrices ``X_p ∈ R^{d_p × N}`` and
+
+* per-view variance matrices ``C_pp = (1/N) Σ_n x_pn x_pn^T``,
+* pairwise covariance ``C_pq = (1/N) X_p X_q^T``,
+* the order-``m`` covariance tensor
+  ``C_{12…m} = (1/N) Σ_n x_1n ∘ x_2n ∘ … ∘ x_mn``
+
+— the object whose rank-1 structure TCCA analyzes (Fig. 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.preprocessing import center_views
+from repro.utils.validation import check_views, ensure_2d
+
+__all__ = ["covariance_tensor", "cross_covariance", "view_covariance"]
+
+
+def view_covariance(view, *, assume_centered: bool = True) -> np.ndarray:
+    """Variance matrix ``C_pp = (1/N) X_p X_p^T`` of one view."""
+    view = ensure_2d(view, name="view")
+    if not assume_centered:
+        view = view - view.mean(axis=1, keepdims=True)
+    n_samples = view.shape[1]
+    return (view @ view.T) / n_samples
+
+
+def cross_covariance(
+    view_a, view_b, *, assume_centered: bool = True
+) -> np.ndarray:
+    """Covariance matrix ``C_pq = (1/N) X_p X_q^T`` between two views."""
+    view_a = ensure_2d(view_a, name="view_a")
+    view_b = ensure_2d(view_b, name="view_b")
+    if view_a.shape[1] != view_b.shape[1]:
+        raise ValueError(
+            "views must share the sample count; got "
+            f"{view_a.shape[1]} and {view_b.shape[1]}"
+        )
+    if not assume_centered:
+        view_a = view_a - view_a.mean(axis=1, keepdims=True)
+        view_b = view_b - view_b.mean(axis=1, keepdims=True)
+    n_samples = view_a.shape[1]
+    return (view_a @ view_b.T) / n_samples
+
+
+def covariance_tensor(views, *, assume_centered: bool = True) -> np.ndarray:
+    """Order-``m`` covariance tensor ``C_{12…m}`` of ``m`` views.
+
+    The result has shape ``(d_1, d_2, …, d_m)``. Memory is ``∏ d_p`` floats
+    — the deliberate cost of TCCA that the complexity experiments
+    (Figs. 7-10) measure.
+
+    Implementation: the mode-0 unfolding of the sum of outer products is
+    ``X_1 @ K^T`` with ``K`` the sample-wise Khatri-Rao product of the
+    remaining views (reverse order to match the unfolding convention). We
+    build ``K`` in sample chunks so peak extra memory stays bounded while
+    all heavy lifting runs through BLAS.
+    """
+    views = check_views(views, min_views=2)
+    if not assume_centered:
+        views = center_views(views)
+    n_samples = views[0].shape[1]
+    dims = [view.shape[0] for view in views]
+
+    trailing = int(np.prod(dims[1:], dtype=np.int64))
+    # Chunk so the Khatri-Rao buffer stays near 2^23 floats (~64 MB).
+    chunk = max(1, int(2**23 // max(trailing, 1)))
+    unfold0 = np.zeros((dims[0], trailing))
+    for start in range(0, n_samples, chunk):
+        stop = min(start + chunk, n_samples)
+        # Rows of `joined` enumerate (i_m, …, i_2) with i_2 varying fastest,
+        # matching the forward-cyclic mode-0 unfolding columns.
+        joined = views[-1][:, start:stop]
+        for view in views[-2:0:-1]:
+            block = view[:, start:stop]
+            joined = np.einsum(
+                "in,jn->ijn", joined, block
+            ).reshape(-1, stop - start)
+        unfold0 += views[0][:, start:stop] @ joined.T
+    unfold0 /= n_samples
+
+    from repro.tensor.dense import fold
+
+    return fold(unfold0, 0, dims)

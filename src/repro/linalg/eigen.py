@@ -1,0 +1,71 @@
+"""Eigen-solver helpers shared by the CCA-family estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_square
+
+__all__ = ["symmetric_eigh_descending", "top_generalized_eig"]
+
+
+def symmetric_eigh_descending(matrix) -> tuple[np.ndarray, np.ndarray]:
+    """Eigendecomposition of a symmetric matrix, eigenvalues descending."""
+    matrix = check_square(matrix, name="matrix")
+    symmetric = 0.5 * (matrix + matrix.T)
+    eigenvalues, eigenvectors = np.linalg.eigh(symmetric)
+    order = np.argsort(-eigenvalues)
+    return eigenvalues[order], eigenvectors[:, order]
+
+
+def top_generalized_eig(
+    matrix_a, matrix_b, n_components: int, *, eig_floor: float = 1e-10
+) -> tuple[np.ndarray, np.ndarray]:
+    """Leading solutions of ``A v = λ B v`` with symmetric ``A`` and PSD ``B``.
+
+    Solves through the symmetric reduction ``B^{-1/2} A B^{-1/2}`` so the
+    returned eigenvectors satisfy ``v^T B v = 1``.
+
+    Returns
+    -------
+    (eigenvalues, eigenvectors)
+        ``eigenvalues`` descending, ``eigenvectors`` with one column per
+        component.
+    """
+    from repro.linalg.whitening import inverse_sqrt_psd
+
+    matrix_a = check_square(matrix_a, name="matrix_a")
+    matrix_b = check_square(matrix_b, name="matrix_b")
+    if matrix_a.shape != matrix_b.shape:
+        raise ValidationError(
+            f"A and B must share a shape, got {matrix_a.shape} and "
+            f"{matrix_b.shape}"
+        )
+    if not 1 <= n_components <= matrix_a.shape[0]:
+        raise ValidationError(
+            f"n_components must be in [1, {matrix_a.shape[0]}], "
+            f"got {n_components}"
+        )
+    b_inv_sqrt = inverse_sqrt_psd(matrix_b, eig_floor=eig_floor)
+    reduced = b_inv_sqrt @ (0.5 * (matrix_a + matrix_a.T)) @ b_inv_sqrt
+    eigenvalues, eigenvectors = symmetric_eigh_descending(reduced)
+    eigenvalues = eigenvalues[:n_components]
+    eigenvectors = b_inv_sqrt @ eigenvectors[:, :n_components]
+    return eigenvalues, eigenvectors
+
+
+def solve_sym_posdef(matrix, rhs) -> np.ndarray:
+    """Solve ``matrix @ x = rhs`` for symmetric positive-definite ``matrix``.
+
+    Uses a Cholesky solve with an eigenvalue-based fallback for inputs that
+    are only numerically positive definite.
+    """
+    matrix = check_square(matrix, name="matrix")
+    rhs = np.asarray(rhs, dtype=np.float64)
+    try:
+        factor = scipy.linalg.cho_factor(matrix, lower=True)
+        return scipy.linalg.cho_solve(factor, rhs)
+    except scipy.linalg.LinAlgError:
+        return np.linalg.lstsq(matrix, rhs, rcond=None)[0]

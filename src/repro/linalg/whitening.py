@@ -1,0 +1,61 @@
+"""Symmetric matrix square roots and regularized whitening transforms.
+
+TCCA whitens each view with ``C̃_pp^{-1/2}`` where ``C̃_pp = C_pp + ε I``
+(Eq. 4.8): the substitution ``u_p = C̃_pp^{1/2} h_p`` turns the
+variance-constrained correlation problem into a unit-sphere problem on the
+whitened tensor ``M`` (Theorem 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_square
+
+__all__ = ["inverse_sqrt_psd", "regularized_inverse_sqrt", "sqrt_psd"]
+
+
+def _clipped_eigh(matrix: np.ndarray, floor: float) -> tuple[np.ndarray, np.ndarray]:
+    eigenvalues, eigenvectors = np.linalg.eigh(matrix)
+    return np.maximum(eigenvalues, floor), eigenvectors
+
+
+def sqrt_psd(matrix, *, eig_floor: float = 0.0) -> np.ndarray:
+    """Symmetric square root of a positive semi-definite matrix.
+
+    Eigenvalues below ``eig_floor`` are clipped up to it before the square
+    root, guarding tiny negative values produced by round-off.
+    """
+    matrix = check_square(matrix, name="matrix")
+    eigenvalues, eigenvectors = _clipped_eigh(matrix, eig_floor)
+    return (eigenvectors * np.sqrt(eigenvalues)) @ eigenvectors.T
+
+
+def inverse_sqrt_psd(matrix, *, eig_floor: float = 1e-12) -> np.ndarray:
+    """Symmetric inverse square root ``A^{-1/2}`` of a PSD matrix.
+
+    Eigenvalues are clipped to ``eig_floor`` from below, so singular
+    directions are damped rather than exploding — callers wanting exact
+    behaviour should pass an already-regularized matrix.
+    """
+    if eig_floor <= 0.0:
+        raise ValidationError(
+            f"eig_floor must be positive for an inverse, got {eig_floor}"
+        )
+    matrix = check_square(matrix, name="matrix")
+    eigenvalues, eigenvectors = _clipped_eigh(matrix, eig_floor)
+    return (eigenvectors / np.sqrt(eigenvalues)) @ eigenvectors.T
+
+
+def regularized_inverse_sqrt(
+    covariance, epsilon: float, *, eig_floor: float = 1e-12
+) -> np.ndarray:
+    """``(C + ε I)^{-1/2}`` — the per-view whitening matrix of Eq. 4.8."""
+    if epsilon < 0.0:
+        raise ValidationError(
+            f"regularization epsilon must be >= 0, got {epsilon}"
+        )
+    covariance = check_square(covariance, name="covariance")
+    regularized = covariance + epsilon * np.eye(covariance.shape[0])
+    return inverse_sqrt_psd(regularized, eig_floor=eig_floor)

@@ -1,0 +1,56 @@
+"""Dense tensor algebra and CP decompositions.
+
+This subpackage is the multilinear-algebra substrate of the library. It
+implements, from scratch on top of numpy:
+
+* mode-``p`` matricization (unfolding) and its inverse (:mod:`repro.tensor.dense`),
+* mode-``p`` tensor-matrix products and multi-mode products,
+* Kronecker and Khatri-Rao products (:mod:`repro.tensor.products`),
+* the :class:`~repro.tensor.cp.CPTensor` container for rank-``r`` CP form,
+* CP-ALS, the higher-order power method (HOPM), a deflation-based tensor
+  power method, and HOSVD (:mod:`repro.tensor.decomposition`).
+
+The unfolding convention is the forward-cyclic ordering used by the paper
+(its Eq. 4.3): the columns of the mode-``p`` unfolding run over modes
+``p+1, p+2, …, m, 1, …, p-1``, so that ``B = A ×_p U`` satisfies
+``B_(p) = U @ A_(p)`` and a full multi-mode product becomes
+``B_(p) = U_p A_(p) (U_{c_{L}} ⊗ … ⊗ U_{c_1})^T``.
+"""
+
+from repro.tensor.dense import (
+    fold,
+    frobenius_norm,
+    inner_product,
+    mode_product,
+    multi_mode_product,
+    outer_product,
+    unfold,
+)
+from repro.tensor.products import khatri_rao, kronecker
+from repro.tensor.cp import CPTensor, rank1_tensor
+from repro.tensor.decomposition import (
+    DecompositionResult,
+    best_rank1,
+    cp_als,
+    hosvd,
+    tensor_power_deflation,
+)
+
+__all__ = [
+    "CPTensor",
+    "DecompositionResult",
+    "best_rank1",
+    "cp_als",
+    "fold",
+    "frobenius_norm",
+    "hosvd",
+    "inner_product",
+    "khatri_rao",
+    "kronecker",
+    "mode_product",
+    "multi_mode_product",
+    "outer_product",
+    "rank1_tensor",
+    "tensor_power_deflation",
+    "unfold",
+]

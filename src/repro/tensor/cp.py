@@ -1,0 +1,134 @@
+"""CP (CANDECOMP/PARAFAC) tensor representation.
+
+A rank-``r`` CP tensor is ``Σ_k λ^(k) u_1^(k) ∘ u_2^(k) ∘ … ∘ u_m^(k)``
+(the weighted sum of rank-1 tensors in Fig. 2 of the paper). We store the
+weights ``λ`` and the factor matrices ``U_p = [u_p^(1), …, u_p^(r)]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ShapeError, ValidationError
+from repro.tensor.dense import cyclic_mode_order, fold, outer_product
+from repro.tensor.products import khatri_rao
+
+__all__ = ["CPTensor", "rank1_tensor"]
+
+
+def rank1_tensor(vectors, weight: float = 1.0) -> np.ndarray:
+    """Dense rank-1 tensor ``weight · v_1 ∘ v_2 ∘ … ∘ v_m``."""
+    return float(weight) * outer_product(vectors)
+
+
+@dataclass
+class CPTensor:
+    """Rank-``r`` CP tensor: weights ``λ ∈ R^r`` plus factor matrices.
+
+    Attributes
+    ----------
+    weights:
+        1-D array of length ``r``.
+    factors:
+        List of ``(I_p, r)`` matrices, one per mode.
+    """
+
+    weights: np.ndarray
+    factors: list[np.ndarray] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.weights = np.asarray(self.weights, dtype=np.float64)
+        if self.weights.ndim != 1:
+            raise ShapeError(
+                f"weights must be 1-D, got ndim={self.weights.ndim}"
+            )
+        self.factors = [
+            np.asarray(factor, dtype=np.float64) for factor in self.factors
+        ]
+        if not self.factors:
+            raise ValidationError("CPTensor needs at least one factor matrix")
+        rank = self.weights.shape[0]
+        for index, factor in enumerate(self.factors):
+            if factor.ndim != 2:
+                raise ShapeError(
+                    f"factors[{index}] must be 2-D, got ndim={factor.ndim}"
+                )
+            if factor.shape[1] != rank:
+                raise ShapeError(
+                    f"factors[{index}] has {factor.shape[1]} columns but the "
+                    f"rank (len(weights)) is {rank}"
+                )
+
+    @property
+    def rank(self) -> int:
+        """Number of rank-1 components."""
+        return int(self.weights.shape[0])
+
+    @property
+    def order(self) -> int:
+        """Number of modes."""
+        return len(self.factors)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the dense tensor this CP form represents."""
+        return tuple(factor.shape[0] for factor in self.factors)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the dense tensor (use with care for large shapes)."""
+        unfold0 = (self.factors[0] * self.weights) @ khatri_rao(
+            [self.factors[mode] for mode in
+             reversed(cyclic_mode_order(self.order, 0))]
+        ).T
+        return fold(unfold0, 0, self.shape)
+
+    def unfold(self, mode: int) -> np.ndarray:
+        """Mode-``mode`` unfolding computed directly from the factors."""
+        if not 0 <= mode < self.order:
+            raise ValidationError(
+                f"mode must be in [0, {self.order - 1}], got {mode}"
+            )
+        others = [
+            self.factors[other]
+            for other in reversed(cyclic_mode_order(self.order, mode))
+        ]
+        return (self.factors[mode] * self.weights) @ khatri_rao(others).T
+
+    def norm(self) -> float:
+        """Frobenius norm computed factor-wise without densifying.
+
+        Uses ``‖X‖² = λᵀ (∘ Gram) λ`` where the Hadamard product of the
+        factor Gram matrices gives the pairwise component inner products.
+        """
+        gram = np.outer(self.weights, self.weights)
+        for factor in self.factors:
+            gram = gram * (factor.T @ factor)
+        return float(np.sqrt(max(gram.sum(), 0.0)))
+
+    def normalize(self) -> "CPTensor":
+        """Return an equivalent CP tensor with unit-norm factor columns.
+
+        Column norms are absorbed into the weights. Zero columns keep a zero
+        weight and a zero column.
+        """
+        weights = self.weights.copy()
+        factors = []
+        for factor in self.factors:
+            norms = np.linalg.norm(factor, axis=0)
+            safe = np.where(norms > 0.0, norms, 1.0)
+            factors.append(factor / safe)
+            weights = weights * norms
+        return CPTensor(weights=weights, factors=factors)
+
+    def component(self, index: int) -> tuple[float, list[np.ndarray]]:
+        """Weight and per-mode vectors of the ``index``'th rank-1 component."""
+        if not 0 <= index < self.rank:
+            raise ValidationError(
+                f"component index must be in [0, {self.rank - 1}], got {index}"
+            )
+        return (
+            float(self.weights[index]),
+            [factor[:, index].copy() for factor in self.factors],
+        )

@@ -1,0 +1,26 @@
+"""Tensor decomposition algorithms.
+
+* :func:`~repro.tensor.decomposition.als.cp_als` — rank-``r`` CP
+  decomposition by alternating least squares (the solver the paper adopts
+  for TCCA/KTCCA).
+* :func:`~repro.tensor.decomposition.hopm.best_rank1` — higher-order power
+  method for the best rank-1 approximation (De Lathauwer et al. 2000b).
+* :func:`~repro.tensor.decomposition.power.tensor_power_deflation` —
+  greedy rank-1 deflation (tensor power method, Allen 2012).
+* :func:`~repro.tensor.decomposition.hosvd.hosvd` — higher-order SVD,
+  used for initialization and as a reference Tucker decomposition.
+"""
+
+from repro.tensor.decomposition.result import DecompositionResult
+from repro.tensor.decomposition.als import cp_als
+from repro.tensor.decomposition.hopm import best_rank1
+from repro.tensor.decomposition.power import tensor_power_deflation
+from repro.tensor.decomposition.hosvd import hosvd
+
+__all__ = [
+    "DecompositionResult",
+    "best_rank1",
+    "cp_als",
+    "hosvd",
+    "tensor_power_deflation",
+]

@@ -1,0 +1,80 @@
+"""Higher-order SVD (Tucker decomposition via mode-wise SVDs).
+
+De Lathauwer et al. (2000a). Used here as a reference decomposition, as the
+default initializer for CP-ALS/HOPM, and in tests as an independent check of
+the unfolding conventions (the HOSVD core must reproduce the tensor exactly
+when no truncation is applied).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DecompositionError, ValidationError
+from repro.tensor.dense import multi_mode_product, unfold
+
+__all__ = ["TuckerTensor", "hosvd"]
+
+
+@dataclass
+class TuckerTensor:
+    """Tucker form: core tensor ``G`` plus orthonormal mode factors ``U_p``."""
+
+    core: np.ndarray
+    factors: list[np.ndarray]
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the dense tensor this Tucker form represents."""
+        return tuple(factor.shape[0] for factor in self.factors)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize ``G ×_1 U_1 ×_2 … ×_m U_m``."""
+        return multi_mode_product(self.core, self.factors)
+
+
+def hosvd(tensor, ranks=None) -> TuckerTensor:
+    """Higher-order SVD with optional per-mode truncation.
+
+    Parameters
+    ----------
+    tensor:
+        Input tensor of order >= 1.
+    ranks:
+        Per-mode truncation ranks; ``None`` keeps every mode full.
+
+    Returns
+    -------
+    TuckerTensor
+        ``factors[p]`` holds the leading left singular vectors of the
+        mode-``p`` unfolding; ``core = A ×_1 U_1^T … ×_m U_m^T``.
+    """
+    tensor = np.asarray(tensor, dtype=np.float64)
+    if tensor.ndim < 1:
+        raise DecompositionError("hosvd needs a tensor with at least 1 mode")
+    if ranks is None:
+        ranks = list(tensor.shape)
+    ranks = [int(rank) for rank in ranks]
+    if len(ranks) != tensor.ndim:
+        raise ValidationError(
+            f"ranks must have one entry per mode ({tensor.ndim}), "
+            f"got {len(ranks)}"
+        )
+    for mode, rank in enumerate(ranks):
+        if not 1 <= rank <= tensor.shape[mode]:
+            raise ValidationError(
+                f"ranks[{mode}] must be in [1, {tensor.shape[mode]}], "
+                f"got {rank}"
+            )
+    factors = []
+    for mode in range(tensor.ndim):
+        left, _singular_values, _right = np.linalg.svd(
+            unfold(tensor, mode), full_matrices=False
+        )
+        factors.append(left[:, : ranks[mode]])
+    core = multi_mode_product(
+        tensor, [factor.T for factor in factors]
+    )
+    return TuckerTensor(core=core, factors=factors)

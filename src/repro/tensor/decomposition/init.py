@@ -1,0 +1,66 @@
+"""Factor-matrix initialization strategies for iterative decompositions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.tensor.dense import unfold
+from repro.utils.rng import check_random_state
+
+__all__ = ["initialize_factors"]
+
+
+def initialize_factors(
+    tensor: np.ndarray,
+    rank: int,
+    *,
+    method: str = "hosvd",
+    random_state=None,
+) -> list[np.ndarray]:
+    """Initial factor matrices for CP-type decompositions.
+
+    Parameters
+    ----------
+    tensor:
+        The target tensor.
+    rank:
+        Number of components.
+    method:
+        ``"hosvd"`` — leading left singular vectors of each unfolding
+        (padded with random columns when ``rank`` exceeds a mode size);
+        ``"random"`` — standard normal entries with unit-norm columns.
+    random_state:
+        Seed for the random parts.
+
+    Returns
+    -------
+    list of ``(I_p, rank)`` arrays with unit-norm columns.
+    """
+    if method not in ("hosvd", "random"):
+        raise ValidationError(
+            f"unknown initialization method {method!r}; "
+            "expected 'hosvd' or 'random'"
+        )
+    rng = check_random_state(random_state)
+    factors = []
+    for mode in range(tensor.ndim):
+        size = tensor.shape[mode]
+        if method == "random":
+            factor = rng.standard_normal((size, rank))
+        else:
+            unfolding = unfold(tensor, mode)
+            left, _singular_values, _right = np.linalg.svd(
+                unfolding, full_matrices=False
+            )
+            n_available = min(rank, left.shape[1])
+            factor = np.empty((size, rank))
+            factor[:, :n_available] = left[:, :n_available]
+            if n_available < rank:
+                factor[:, n_available:] = rng.standard_normal(
+                    (size, rank - n_available)
+                )
+        norms = np.linalg.norm(factor, axis=0)
+        norms = np.where(norms > 0.0, norms, 1.0)
+        factors.append(factor / norms)
+    return factors

@@ -1,0 +1,88 @@
+"""Greedy deflation-based tensor power method (Allen, 2012).
+
+Extracts ``rank`` components one at a time: fit the best rank-1
+approximation (HOPM), subtract it, and repeat on the residual. Unlike CP-ALS
+this is greedy — the paper cites exactly this contrast to explain why TCCA's
+ALS-fitted factors share variance across components while deflation
+concentrates it in the leading ones (Section 5.1.1, observation 5). The
+ablation benchmark compares the two on downstream accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DecompositionError
+from repro.tensor.cp import CPTensor
+from repro.tensor.decomposition.hopm import best_rank1
+from repro.tensor.decomposition.result import DecompositionResult
+from repro.tensor.dense import frobenius_norm
+from repro.utils.validation import check_positive_int
+
+__all__ = ["tensor_power_deflation"]
+
+
+def tensor_power_deflation(
+    tensor,
+    rank: int,
+    *,
+    max_iter: int = 200,
+    tol: float = 1e-10,
+    init: str = "hosvd",
+    random_state=None,
+) -> DecompositionResult:
+    """Rank-``rank`` CP approximation by repeated rank-1 deflation.
+
+    Returns
+    -------
+    DecompositionResult
+        ``fit_history`` holds the relative residual norm after each
+        deflation step; ``converged`` reports whether every inner HOPM run
+        converged.
+    """
+    tensor = np.asarray(tensor, dtype=np.float64)
+    rank = check_positive_int(rank, "rank")
+    norm_x = frobenius_norm(tensor)
+    if norm_x == 0.0:
+        raise DecompositionError(
+            "cannot decompose the zero tensor: no rank-1 direction exists"
+        )
+
+    residual = tensor.copy()
+    weights = np.zeros(rank)
+    factors = [np.zeros((size, rank)) for size in tensor.shape]
+    fit_history: list[float] = []
+    all_converged = True
+    total_iterations = 0
+    for component in range(rank):
+        if frobenius_norm(residual) <= tol * norm_x:
+            # Residual exhausted: remaining components stay zero.
+            fit_history.extend(
+                [fit_history[-1] if fit_history else 0.0]
+                * (rank - component)
+            )
+            break
+        step = best_rank1(
+            residual,
+            max_iter=max_iter,
+            tol=tol,
+            init=init,
+            random_state=random_state,
+            warn_on_no_convergence=False,
+        )
+        all_converged = all_converged and step.converged
+        total_iterations += step.n_iterations
+        weight, vectors = step.cp.component(0)
+        weights[component] = weight
+        for mode, vector in enumerate(vectors):
+            factors[mode][:, component] = vector
+        residual = residual - step.cp.to_dense()
+        fit_history.append(frobenius_norm(residual) / norm_x)
+
+    cp = CPTensor(weights=weights, factors=factors)
+    return DecompositionResult(
+        cp=cp,
+        n_iterations=total_iterations,
+        converged=all_converged,
+        fit_history=fit_history,
+    )

@@ -1,0 +1,50 @@
+"""Shared result container for tensor decompositions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.tensor.cp import CPTensor
+
+__all__ = ["DecompositionResult"]
+
+
+@dataclass
+class DecompositionResult:
+    """Outcome of an iterative tensor decomposition.
+
+    Attributes
+    ----------
+    cp:
+        The fitted CP tensor (unit-norm factor columns, norms absorbed into
+        the weights).
+    n_iterations:
+        Number of outer iterations performed.
+    converged:
+        Whether the stopping tolerance was met before ``max_iter``.
+    fit_history:
+        Per-iteration objective trace. For ALS this is the relative
+        reconstruction error ``‖X - X̂‖_F / ‖X‖_F``; for the power methods it
+        is the Rayleigh quotient ``ρ`` of the current component.
+    """
+
+    cp: CPTensor
+    n_iterations: int
+    converged: bool
+    fit_history: list[float] = field(default_factory=list)
+
+    @property
+    def rank(self) -> int:
+        """Rank of the fitted CP tensor."""
+        return self.cp.rank
+
+    def relative_error(self, tensor: np.ndarray) -> float:
+        """Relative Frobenius reconstruction error against ``tensor``."""
+        tensor = np.asarray(tensor, dtype=np.float64)
+        denominator = np.linalg.norm(tensor.ravel())
+        if denominator == 0.0:
+            return 0.0
+        residual = tensor - self.cp.to_dense()
+        return float(np.linalg.norm(residual.ravel()) / denominator)

@@ -1,0 +1,186 @@
+"""Dense tensor operations: unfolding, mode products, outer products, norms.
+
+Unfolding convention
+--------------------
+For an ``m``-order tensor ``A`` of shape ``(I_1, …, I_m)``, the mode-``p``
+unfolding ``A_(p)`` is an ``I_p × (∏_{q≠p} I_q)`` matrix whose columns
+enumerate the remaining modes in *forward cyclic* order
+``p+1, p+2, …, m, 1, …, p-1`` (the ordering used in Eq. 4.3 of the paper).
+With this convention,
+
+``(A ×_1 U_1 ×_2 … ×_m U_m)_(p) = U_p A_(p) (U_{c_L} ⊗ … ⊗ U_{c_1})^T``
+
+where ``c_1 … c_L`` is that same cyclic ordering, which is what makes the
+ALS update in :mod:`repro.tensor.decomposition.als` a plain matrix product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError, ValidationError
+
+__all__ = [
+    "cyclic_mode_order",
+    "fold",
+    "frobenius_norm",
+    "inner_product",
+    "mode_product",
+    "multi_mode_product",
+    "outer_product",
+    "unfold",
+]
+
+
+def _check_tensor(tensor, name: str = "tensor") -> np.ndarray:
+    out = np.asarray(tensor, dtype=np.float64)
+    if out.ndim < 1:
+        raise ShapeError(f"{name} must have at least 1 mode, got a scalar")
+    return out
+
+
+def _check_mode(tensor: np.ndarray, mode: int) -> int:
+    if not isinstance(mode, (int, np.integer)) or isinstance(mode, bool):
+        raise ValidationError(f"mode must be an integer, got {mode!r}")
+    mode = int(mode)
+    if not 0 <= mode < tensor.ndim:
+        raise ValidationError(
+            f"mode must be in [0, {tensor.ndim - 1}] for an order-{tensor.ndim} "
+            f"tensor, got {mode}"
+        )
+    return mode
+
+
+def cyclic_mode_order(ndim: int, mode: int) -> list[int]:
+    """Forward-cyclic ordering of the non-``mode`` axes.
+
+    Returns ``[mode+1, …, ndim-1, 0, …, mode-1]`` — the column ordering of
+    the mode-``mode`` unfolding.
+    """
+    return [(mode + offset) % ndim for offset in range(1, ndim)]
+
+
+def unfold(tensor, mode: int) -> np.ndarray:
+    """Mode-``mode`` matricization with forward-cyclic column ordering."""
+    tensor = _check_tensor(tensor)
+    mode = _check_mode(tensor, mode)
+    order = [mode] + cyclic_mode_order(tensor.ndim, mode)
+    # Fortran order makes the *first* trailing axis vary fastest, which is
+    # exactly the Kronecker ordering U_{c_L} ⊗ … ⊗ U_{c_1} in Eq. 4.3.
+    return np.transpose(tensor, order).reshape(
+        (tensor.shape[mode], -1), order="F"
+    )
+
+
+def fold(matrix, mode: int, shape) -> np.ndarray:
+    """Inverse of :func:`unfold`: rebuild the tensor of the given ``shape``."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    shape = tuple(int(size) for size in shape)
+    if matrix.ndim != 2:
+        raise ShapeError(f"matrix must be 2-D, got ndim={matrix.ndim}")
+    if not 0 <= mode < len(shape):
+        raise ValidationError(
+            f"mode must be in [0, {len(shape) - 1}], got {mode}"
+        )
+    order = [mode] + cyclic_mode_order(len(shape), mode)
+    permuted_shape = tuple(shape[axis] for axis in order)
+    expected = (shape[mode], int(np.prod(permuted_shape[1:], dtype=np.int64)))
+    if matrix.shape != expected:
+        raise ShapeError(
+            f"matrix shape {matrix.shape} incompatible with tensor shape "
+            f"{shape} at mode {mode}; expected {expected}"
+        )
+    tensor = matrix.reshape(permuted_shape, order="F")
+    inverse_order = np.argsort(order)
+    return np.transpose(tensor, inverse_order)
+
+
+def mode_product(tensor, matrix, mode: int) -> np.ndarray:
+    """Mode-``mode`` product ``B = A ×_mode U`` with ``U`` of shape ``(J, I_mode)``.
+
+    A 1-D ``matrix`` is treated as a row vector ``(1, I_mode)`` and the
+    resulting singleton axis is kept, matching the paper's use of
+    ``C ×_p h_p^T``.
+    """
+    tensor = _check_tensor(tensor)
+    mode = _check_mode(tensor, mode)
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim == 1:
+        matrix = matrix[None, :]
+    if matrix.ndim != 2:
+        raise ShapeError(f"matrix must be 1-D or 2-D, got ndim={matrix.ndim}")
+    if matrix.shape[1] != tensor.shape[mode]:
+        raise ShapeError(
+            f"matrix has {matrix.shape[1]} columns but tensor mode {mode} has "
+            f"size {tensor.shape[mode]}"
+        )
+    moved = np.moveaxis(tensor, mode, -1)
+    product = moved @ matrix.T
+    return np.moveaxis(product, -1, mode)
+
+
+def multi_mode_product(tensor, matrices, modes=None, *, skip=None) -> np.ndarray:
+    """Apply a sequence of mode products ``A ×_{m_1} U_1 ×_{m_2} U_2 …``.
+
+    Parameters
+    ----------
+    tensor:
+        Input tensor.
+    matrices:
+        One matrix (or vector) per entry of ``modes``.
+    modes:
+        Modes to contract; defaults to ``0 … len(matrices)-1``.
+    skip:
+        Optional mode index to leave untouched (its matrix is ignored).
+        This is the standard trick in ALS where all factors but one are
+        contracted.
+    """
+    tensor = _check_tensor(tensor)
+    matrices = list(matrices)
+    if modes is None:
+        modes = list(range(len(matrices)))
+    modes = [int(mode) for mode in modes]
+    if len(modes) != len(matrices):
+        raise ValidationError(
+            f"got {len(matrices)} matrices but {len(modes)} modes"
+        )
+    result = tensor
+    for matrix, mode in zip(matrices, modes):
+        if skip is not None and mode == skip:
+            continue
+        result = mode_product(result, matrix, mode)
+    return result
+
+
+def outer_product(vectors) -> np.ndarray:
+    """Outer product ``v_1 ∘ v_2 ∘ … ∘ v_m`` of a sequence of 1-D vectors."""
+    vectors = [np.asarray(vector, dtype=np.float64) for vector in vectors]
+    if not vectors:
+        raise ValidationError("need at least one vector")
+    for index, vector in enumerate(vectors):
+        if vector.ndim != 1:
+            raise ShapeError(
+                f"vectors[{index}] must be 1-D, got ndim={vector.ndim}"
+            )
+    result = vectors[0]
+    for vector in vectors[1:]:
+        result = np.multiply.outer(result, vector)
+    return result
+
+
+def inner_product(tensor_a, tensor_b) -> float:
+    """Tensor inner product ``⟨A, B⟩ = Σ A(i…) B(i…)``."""
+    tensor_a = _check_tensor(tensor_a, "tensor_a")
+    tensor_b = _check_tensor(tensor_b, "tensor_b")
+    if tensor_a.shape != tensor_b.shape:
+        raise ShapeError(
+            f"tensors must share a shape, got {tensor_a.shape} and "
+            f"{tensor_b.shape}"
+        )
+    return float(np.sum(tensor_a * tensor_b))
+
+
+def frobenius_norm(tensor) -> float:
+    """Frobenius norm ``‖A‖_F = sqrt(⟨A, A⟩)`` (Eq. 4.4 of the paper)."""
+    tensor = _check_tensor(tensor)
+    return float(np.linalg.norm(tensor.ravel()))

@@ -1,0 +1,63 @@
+"""Kronecker and Khatri-Rao matrix products.
+
+The Khatri-Rao (column-wise Kronecker) product is the workhorse of CP-ALS:
+for the mode-``p`` unfolding convention in :mod:`repro.tensor.dense`, the
+least-squares update for factor ``U_p`` contracts the unfolding against the
+Khatri-Rao product of the remaining factors taken in reverse cyclic order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError, ValidationError
+
+__all__ = ["khatri_rao", "kronecker"]
+
+
+def kronecker(matrices) -> np.ndarray:
+    """Kronecker product of a sequence of matrices, left to right."""
+    matrices = [np.asarray(matrix, dtype=np.float64) for matrix in matrices]
+    if not matrices:
+        raise ValidationError("need at least one matrix")
+    for index, matrix in enumerate(matrices):
+        if matrix.ndim != 2:
+            raise ShapeError(
+                f"matrices[{index}] must be 2-D, got ndim={matrix.ndim}"
+            )
+    result = matrices[0]
+    for matrix in matrices[1:]:
+        result = np.kron(result, matrix)
+    return result
+
+
+def khatri_rao(matrices) -> np.ndarray:
+    """Column-wise Kronecker product of matrices sharing a column count.
+
+    For inputs ``A_1 (I_1 × R), …, A_k (I_k × R)`` the result has shape
+    ``(∏ I_j) × R`` with the ``r``'th column equal to
+    ``A_1[:, r] ⊗ A_2[:, r] ⊗ … ⊗ A_k[:, r]``.
+    """
+    matrices = [np.asarray(matrix, dtype=np.float64) for matrix in matrices]
+    if not matrices:
+        raise ValidationError("need at least one matrix")
+    n_columns = None
+    for index, matrix in enumerate(matrices):
+        if matrix.ndim != 2:
+            raise ShapeError(
+                f"matrices[{index}] must be 2-D, got ndim={matrix.ndim}"
+            )
+        if n_columns is None:
+            n_columns = matrix.shape[1]
+        elif matrix.shape[1] != n_columns:
+            raise ShapeError(
+                "all matrices must share a column count; "
+                f"matrices[{index}] has {matrix.shape[1]} != {n_columns}"
+            )
+    result = matrices[0]
+    for matrix in matrices[1:]:
+        # (I, R) ⊙ (J, R) -> (I*J, R); einsum keeps it readable and fast.
+        result = np.einsum("ir,jr->ijr", result, matrix).reshape(
+            -1, n_columns
+        )
+    return result

@@ -1,0 +1,28 @@
+"""Shared utilities: input validation, preprocessing, and RNG handling."""
+
+from repro.utils.rng import check_random_state, spawn_rngs
+from repro.utils.validation import (
+    check_positive_int,
+    check_square,
+    check_views,
+    ensure_2d,
+)
+from repro.utils.preprocessing import (
+    center_columns,
+    center_views,
+    normalize_columns,
+    unit_scale_views,
+)
+
+__all__ = [
+    "center_columns",
+    "center_views",
+    "check_positive_int",
+    "check_random_state",
+    "check_square",
+    "check_views",
+    "ensure_2d",
+    "normalize_columns",
+    "spawn_rngs",
+    "unit_scale_views",
+]

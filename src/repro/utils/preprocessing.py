@@ -1,0 +1,57 @@
+"""Preprocessing transforms shared by the estimators and experiments.
+
+The paper assumes each view matrix has been centered (zero mean per feature)
+before covariance tensors are formed, and the CAT baseline concatenates
+*normalized* features. These helpers implement both operations on the
+``(d_p, N)`` layout used throughout the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_views, ensure_2d
+
+__all__ = [
+    "center_columns",
+    "center_views",
+    "normalize_columns",
+    "unit_scale_views",
+]
+
+
+def center_columns(matrix, *, return_mean: bool = False):
+    """Remove the per-feature (row) mean from a ``(d, N)`` matrix.
+
+    Despite the name referring to the sample axis, centering is across
+    columns for each row, i.e. every feature ends up with zero mean over the
+    ``N`` samples.
+    """
+    matrix = ensure_2d(matrix, name="matrix")
+    mean = matrix.mean(axis=1, keepdims=True)
+    centered = matrix - mean
+    if return_mean:
+        return centered, mean
+    return centered
+
+
+def center_views(views) -> list[np.ndarray]:
+    """Center every view of a multi-view dataset."""
+    return [center_columns(view) for view in check_views(views, min_views=1)]
+
+
+def normalize_columns(matrix, *, norm_floor: float = 1e-12) -> np.ndarray:
+    """Scale each column (sample) of a ``(d, N)`` matrix to unit L2 norm.
+
+    Columns whose norm falls below ``norm_floor`` are left unscaled to avoid
+    amplifying numerical noise.
+    """
+    matrix = ensure_2d(matrix, name="matrix")
+    norms = np.linalg.norm(matrix, axis=0, keepdims=True)
+    safe = np.where(norms > norm_floor, norms, 1.0)
+    return matrix / safe
+
+
+def unit_scale_views(views) -> list[np.ndarray]:
+    """Normalize every sample of every view to unit norm (CAT baseline prep)."""
+    return [normalize_columns(view) for view in check_views(views, min_views=1)]

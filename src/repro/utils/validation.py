@@ -1,0 +1,84 @@
+"""Input validation helpers used across the library.
+
+The conventions follow the paper: a multi-view dataset is a list of view
+matrices ``X_p`` of shape ``(d_p, N)`` — features on the rows, the shared
+sample axis on the columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError, ValidationError
+
+__all__ = ["check_positive_int", "check_square", "check_views", "ensure_2d"]
+
+
+def ensure_2d(array, name: str = "array") -> np.ndarray:
+    """Convert to a float64 2-D :class:`numpy.ndarray`, validating shape."""
+    out = np.asarray(array, dtype=np.float64)
+    if out.ndim != 2:
+        raise ShapeError(f"{name} must be 2-dimensional, got ndim={out.ndim}")
+    if out.size == 0:
+        raise ShapeError(f"{name} must be non-empty, got shape {out.shape}")
+    if not np.all(np.isfinite(out)):
+        raise ValidationError(f"{name} contains NaN or infinite entries")
+    return out
+
+
+def check_views(
+    views,
+    *,
+    min_views: int = 2,
+    same_samples: bool = True,
+) -> list[np.ndarray]:
+    """Validate a list of view matrices ``X_p`` of shape ``(d_p, N)``.
+
+    Parameters
+    ----------
+    views:
+        Sequence of array-likes, one per view.
+    min_views:
+        Minimum number of views required (2 for CCA, 2+ for TCCA).
+    same_samples:
+        Require all views to share the same number of columns ``N``.
+
+    Returns
+    -------
+    list of numpy.ndarray
+        Validated float64 copies of the views.
+    """
+    if views is None:
+        raise ValidationError("views must be a sequence of matrices, got None")
+    views = list(views)
+    if len(views) < min_views:
+        raise ValidationError(
+            f"need at least {min_views} views, got {len(views)}"
+        )
+    checked = [ensure_2d(view, name=f"views[{index}]") for index, view in enumerate(views)]
+    if same_samples:
+        sample_counts = {view.shape[1] for view in checked}
+        if len(sample_counts) != 1:
+            raise ValidationError(
+                "all views must have the same number of samples (columns); "
+                f"got column counts {sorted(sample_counts)}"
+            )
+    return checked
+
+
+def check_square(matrix, name: str = "matrix") -> np.ndarray:
+    """Validate a square 2-D matrix."""
+    out = ensure_2d(matrix, name=name)
+    if out.shape[0] != out.shape[1]:
+        raise ShapeError(f"{name} must be square, got shape {out.shape}")
+    return out
+
+
+def check_positive_int(value, name: str = "value", *, minimum: int = 1) -> int:
+    """Validate an integer parameter with a lower bound."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {value}")
+    return value

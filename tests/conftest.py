@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_multiview_latent
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for ad-hoc randomness in tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_tensor(rng):
+    """A random order-3 tensor with distinct mode sizes."""
+    return rng.standard_normal((4, 5, 6))
+
+
+@pytest.fixture
+def order4_tensor(rng):
+    """A random order-4 tensor."""
+    return rng.standard_normal((3, 4, 2, 5))
+
+
+@pytest.fixture
+def three_views(rng):
+    """Three centered random views sharing 40 samples."""
+    views = [rng.standard_normal((d, 40)) for d in (6, 5, 4)]
+    return [view - view.mean(axis=1, keepdims=True) for view in views]
+
+
+@pytest.fixture
+def latent_data():
+    """A small latent-factor multi-view classification dataset."""
+    return make_multiview_latent(
+        n_samples=200, dims=(12, 10, 8), random_state=7
+    )

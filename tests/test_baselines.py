@@ -1,0 +1,233 @@
+"""Unit tests for the baselines: PCA, spectral embedding, DSE, SSMVD."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DSE, PCA, SSMVD, knn_affinity, laplacian_eigenmaps
+from repro.exceptions import NotFittedError, ValidationError
+
+
+class TestPCA:
+    def test_components_orthonormal(self, rng):
+        data = rng.standard_normal((6, 50))
+        pca = PCA(3).fit(data)
+        np.testing.assert_allclose(
+            pca.components_.T @ pca.components_, np.eye(3), atol=1e-12
+        )
+
+    def test_explained_variance_descending(self, rng):
+        data = rng.standard_normal((6, 80))
+        pca = PCA(4).fit(data)
+        assert np.all(np.diff(pca.explained_variance_) <= 1e-12)
+
+    def test_reconstructs_low_rank_data(self, rng):
+        basis = rng.standard_normal((8, 2))
+        scores = rng.standard_normal((2, 60))
+        data = basis @ scores
+        pca = PCA(2).fit(data)
+        projected = pca.transform(data)
+        reconstructed = pca.components_ @ projected + pca.mean_
+        np.testing.assert_allclose(reconstructed, data, atol=1e-8)
+
+    def test_transform_centers_with_train_mean(self, rng):
+        data = rng.standard_normal((4, 30)) + 10.0
+        pca = PCA(2).fit(data)
+        projected = pca.transform(data)
+        np.testing.assert_allclose(
+            projected.mean(axis=1), np.zeros(2), atol=1e-8
+        )
+
+    def test_cap_behaviour(self, rng):
+        data = rng.standard_normal((3, 40))
+        assert PCA(10, cap=True).fit(data).n_components_ == 3
+        with pytest.raises(ValidationError):
+            PCA(10, cap=False).fit(data)
+
+    def test_not_fitted(self, rng):
+        with pytest.raises(NotFittedError):
+            PCA(2).transform(rng.standard_normal((3, 4)))
+
+    def test_dim_mismatch(self, rng):
+        pca = PCA(2).fit(rng.standard_normal((4, 30)))
+        with pytest.raises(ValidationError):
+            pca.transform(rng.standard_normal((5, 10)))
+
+
+class TestKNNAffinity:
+    def test_symmetric(self, rng):
+        view = rng.standard_normal((3, 30))
+        affinity = knn_affinity(view, n_neighbors=4)
+        diff = (affinity - affinity.T).toarray()
+        np.testing.assert_allclose(diff, np.zeros_like(diff), atol=1e-12)
+
+    def test_min_degree(self, rng):
+        view = rng.standard_normal((3, 25))
+        affinity = knn_affinity(view, n_neighbors=5)
+        degrees = np.asarray((affinity > 0).sum(axis=1)).ravel()
+        assert degrees.min() >= 5
+
+    def test_binary_mode_weights(self, rng):
+        view = rng.standard_normal((3, 20))
+        affinity = knn_affinity(view, n_neighbors=3, mode="binary")
+        values = affinity.data
+        assert set(np.unique(values)) <= {1.0}
+
+    def test_heat_weights_in_unit_interval(self, rng):
+        view = rng.standard_normal((3, 20))
+        affinity = knn_affinity(view, n_neighbors=3, mode="heat")
+        assert affinity.data.max() <= 1.0 + 1e-12
+        assert affinity.data.min() > 0.0
+
+    def test_too_many_neighbors(self, rng):
+        with pytest.raises(ValidationError):
+            knn_affinity(rng.standard_normal((3, 5)), n_neighbors=5)
+
+    def test_bad_mode(self, rng):
+        with pytest.raises(ValidationError):
+            knn_affinity(rng.standard_normal((3, 10)), mode="exotic")
+
+
+class TestLaplacianEigenmaps:
+    def test_embedding_shape(self, rng):
+        view = rng.standard_normal((4, 40))
+        embedding = laplacian_eigenmaps(view, 3)
+        assert embedding.shape == (40, 3)
+
+    def test_separates_two_blobs(self, rng):
+        blob1 = rng.standard_normal((2, 25)) * 0.2
+        blob2 = rng.standard_normal((2, 25)) * 0.2 + 10.0
+        view = np.hstack([blob1, blob2])
+        embedding = laplacian_eigenmaps(view, 1, n_neighbors=5)
+        first = embedding[:25, 0]
+        second = embedding[25:, 0]
+        # The leading non-trivial eigenvector separates the components.
+        assert (first.mean() - second.mean()) ** 2 > 1e-4
+
+    def test_components_bound(self, rng):
+        with pytest.raises(ValidationError):
+            laplacian_eigenmaps(rng.standard_normal((3, 10)), 10)
+
+    def test_unit_norm_columns(self, rng):
+        view = rng.standard_normal((4, 30))
+        embedding = laplacian_eigenmaps(view, 2)
+        np.testing.assert_allclose(
+            np.linalg.norm(embedding, axis=0), np.ones(2), atol=1e-8
+        )
+
+
+class TestDSE:
+    def test_embedding_orthonormal(self, rng):
+        views = [rng.standard_normal((6, 50)) for _ in range(3)]
+        model = DSE(n_components=3, pca_components=5).fit(views)
+        np.testing.assert_allclose(
+            model.embedding_.T @ model.embedding_, np.eye(3), atol=1e-10
+        )
+
+    def test_shapes(self, rng):
+        views = [rng.standard_normal((d, 40)) for d in (6, 5, 4)]
+        model = DSE(n_components=2, pca_components=4).fit(views)
+        assert model.embedding_.shape == (40, 2)
+        assert len(model.view_embeddings_) == 3
+        assert all(e.shape == (40, 2) for e in model.view_embeddings_)
+        assert all(q.shape == (2, 2) for q in model.view_loadings_)
+
+    def test_transductive_no_out_of_sample(self, rng):
+        views = [rng.standard_normal((4, 30)) for _ in range(2)]
+        model = DSE(n_components=2, pca_components=3).fit(views)
+        with pytest.raises(NotImplementedError):
+            model.transform(views)
+
+    def test_not_fitted_transform(self, rng):
+        with pytest.raises(NotFittedError):
+            DSE(n_components=2).transform(
+                [rng.standard_normal((3, 10))] * 2
+            )
+
+    def test_components_bound(self, rng):
+        views = [rng.standard_normal((3, 10)) for _ in range(2)]
+        with pytest.raises(ValidationError):
+            DSE(n_components=10).fit(views)
+
+    def test_consensus_reflects_shared_structure(self, rng):
+        # Two far-apart clusters visible in every view: the consensus
+        # embedding must separate them.
+        labels = np.repeat([0, 1], 20)
+        views = []
+        for _ in range(3):
+            centers = rng.standard_normal((4, 2)) * 8.0
+            views.append(
+                centers[:, labels] + 0.3 * rng.standard_normal((4, 40))
+            )
+        model = DSE(n_components=2, pca_components=4, n_neighbors=5).fit(
+            views
+        )
+        embedding = model.embedding_
+        # At least one consensus dimension must separate the clusters
+        # sharply (the other may rotate within-cluster structure).
+        ratios = [
+            abs(
+                embedding[labels == 0, d].mean()
+                - embedding[labels == 1, d].mean()
+            )
+            / (
+                embedding[labels == 0, d].std()
+                + embedding[labels == 1, d].std()
+                + 1e-12
+            )
+            for d in range(embedding.shape[1])
+        ]
+        assert max(ratios) > 3.0
+
+
+class TestSSMVD:
+    def test_embedding_orthonormal(self, rng):
+        views = [rng.standard_normal((6, 40)) for _ in range(3)]
+        model = SSMVD(n_components=3, pca_components=5, random_state=0).fit(
+            views
+        )
+        np.testing.assert_allclose(
+            model.embedding_.T @ model.embedding_, np.eye(3), atol=1e-10
+        )
+
+    def test_objective_decreases(self, rng):
+        views = [rng.standard_normal((5, 30)) for _ in range(3)]
+        model = SSMVD(
+            n_components=2, pca_components=4, random_state=0, max_iter=20
+        ).fit(views)
+        history = np.array(model.objective_history_)
+        assert np.all(np.diff(history) <= 1e-6 * np.abs(history[:-1]) + 1e-9)
+
+    def test_structured_sparsity_rows_shrink(self, rng):
+        # With a large β, many projection rows must be driven near zero.
+        views = [rng.standard_normal((8, 40)) for _ in range(2)]
+        weak = SSMVD(
+            n_components=2, beta=1e-3, pca_components=8, random_state=0
+        ).fit(views)
+        strong = SSMVD(
+            n_components=2, beta=10.0, pca_components=8, random_state=0
+        ).fit(views)
+        weak_norms = np.concatenate(
+            [np.linalg.norm(w, axis=1) for w in weak.weights_]
+        )
+        strong_norms = np.concatenate(
+            [np.linalg.norm(w, axis=1) for w in strong.weights_]
+        )
+        assert strong_norms.sum() < 0.5 * weak_norms.sum()
+
+    def test_transductive_no_out_of_sample(self, rng):
+        views = [rng.standard_normal((4, 25))] * 2
+        model = SSMVD(n_components=2, pca_components=3, random_state=0).fit(
+            views
+        )
+        with pytest.raises(NotImplementedError):
+            model.transform(views)
+
+    def test_deterministic_given_seed(self, rng):
+        views = [rng.standard_normal((5, 30)) for _ in range(2)]
+        z1 = SSMVD(n_components=2, random_state=4).fit_transform(views)
+        z2 = SSMVD(n_components=2, random_state=4).fit_transform(views)
+        np.testing.assert_allclose(z1, z2)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValidationError):
+            SSMVD(beta=-1.0)

@@ -1,0 +1,137 @@
+"""Tests for the group cache, precomputed-whitening path, and input
+robustness (failure injection) across the estimators."""
+
+import numpy as np
+import pytest
+
+from repro import CCA, LSCCA, TCCA
+from repro.core.tcca import whitened_covariance_tensor
+from repro.exceptions import ValidationError
+from repro.experiments.methods import (
+    BestSingleViewMethod,
+    TCCAMethod,
+)
+
+
+class TestGroupCache:
+    def test_same_views_same_r_cached(self, three_views):
+        method = BestSingleViewMethod()
+        first = method.groups(three_views, 2)
+        second = method.groups(three_views, 2)
+        assert first is second
+
+    def test_different_r_not_aliased(self, latent_data):
+        method = TCCAMethod(epsilon=1e-1, max_iter=20)
+        groups2 = method.groups(latent_data.views, 2)
+        groups3 = method.groups(latent_data.views, 3)
+        assert groups2 is not groups3
+        assert groups2[0][0].array.shape[1] == 6
+        assert groups3[0][0].array.shape[1] == 9
+
+    def test_different_views_not_aliased(self, rng):
+        method = BestSingleViewMethod()
+        views_a = [rng.standard_normal((3, 10)) for _ in range(2)]
+        views_b = [rng.standard_normal((3, 10)) for _ in range(2)]
+        assert method.groups(views_a, 1) is not method.groups(views_b, 1)
+
+
+class TestPrecomputedWhitening:
+    def test_matches_direct_fit(self, latent_data):
+        views = latent_data.views
+        state = whitened_covariance_tensor(views, 1e-1)
+        direct = TCCA(n_components=3, epsilon=1e-1, random_state=0).fit(
+            views
+        )
+        precomputed = TCCA(
+            n_components=3, epsilon=1e-1, random_state=0
+        ).fit(views, precomputed=state)
+        np.testing.assert_allclose(
+            direct.transform_combined(views),
+            precomputed.transform_combined(views),
+            atol=1e-10,
+        )
+
+    def test_epsilon_mismatch_rejected(self, latent_data):
+        state = whitened_covariance_tensor(latent_data.views, 1e-1)
+        with pytest.raises(ValidationError):
+            TCCA(n_components=2, epsilon=1e-2).fit(
+                latent_data.views, precomputed=state
+            )
+
+    def test_dims_mismatch_rejected(self, latent_data, rng):
+        state = whitened_covariance_tensor(latent_data.views, 1e-1)
+        other = [rng.standard_normal((4, 200)) for _ in range(3)]
+        with pytest.raises(ValidationError):
+            TCCA(n_components=2, epsilon=1e-1).fit(
+                other, precomputed=state
+            )
+
+    def test_state_exposes_dims(self, latent_data):
+        state = whitened_covariance_tensor(latent_data.views, 1e-1)
+        assert state.dims == [12, 10, 8]
+        assert state.tensor.shape == (12, 10, 8)
+
+
+class TestFailureInjection:
+    """NaN / inf inputs must be rejected loudly, never propagated."""
+
+    @pytest.mark.parametrize(
+        "estimator",
+        [
+            CCA(n_components=1),
+            LSCCA(n_components=1, random_state=0),
+            TCCA(n_components=1, random_state=0),
+        ],
+        ids=["cca", "lscca", "tcca"],
+    )
+    def test_nan_views_rejected(self, estimator, rng):
+        views = [rng.standard_normal((4, 20)) for _ in range(2)]
+        views[0][2, 3] = np.nan
+        with pytest.raises(ValidationError):
+            estimator.fit(views)
+
+    @pytest.mark.parametrize(
+        "estimator",
+        [
+            CCA(n_components=1),
+            TCCA(n_components=1, random_state=0),
+        ],
+        ids=["cca", "tcca"],
+    )
+    def test_inf_views_rejected(self, estimator, rng):
+        views = [rng.standard_normal((4, 20)) for _ in range(2)]
+        views[1][0, 0] = np.inf
+        with pytest.raises(ValidationError):
+            estimator.fit(views)
+
+    def test_constant_view_raises_decomposition_error(self, rng):
+        # A zero-variance view centers to all-zero, so the covariance
+        # tensor vanishes and the rank-1 problem is undefined — this must
+        # fail loudly, not return garbage directions.
+        from repro.exceptions import DecompositionError
+
+        views = [
+            np.ones((3, 40)),
+            rng.standard_normal((4, 40)),
+            rng.standard_normal((5, 40)),
+        ]
+        with pytest.raises(DecompositionError):
+            TCCA(n_components=1, epsilon=1e-1, random_state=0).fit(views)
+
+    def test_single_sample_tcca_rejected_or_finite(self, rng):
+        views = [rng.standard_normal((3, 1)) for _ in range(3)]
+        # One sample: centered data are identically zero -> the tensor is
+        # zero and decomposition must fail loudly.
+        from repro.exceptions import DecompositionError
+
+        with pytest.raises((DecompositionError, ValidationError)):
+            TCCA(n_components=1, random_state=0).fit(views)
+
+    def test_duplicate_samples_ok(self, rng):
+        base = rng.standard_normal((4, 10))
+        views = [
+            np.hstack([base, base]),
+            np.hstack([base * 2.0, base * 2.0]),
+        ]
+        model = CCA(n_components=2, epsilon=1e-2).fit(views)
+        assert np.all(np.isfinite(model.correlations_))

@@ -1,0 +1,211 @@
+"""Unit tests for the classical CCA family: CCA, MaxVar, LSCCA."""
+
+import numpy as np
+import pytest
+
+from repro.cca import CCA, LSCCA, MaxVarCCA
+from repro.exceptions import NotFittedError, ValidationError
+
+
+def _correlated_pair(rng, n=300, d1=6, d2=5, noise=0.1):
+    """Two views sharing a strong 1-D latent signal."""
+    t = rng.standard_normal(n)
+    a = rng.standard_normal(d1)
+    b = rng.standard_normal(d2)
+    x1 = np.outer(a, t) + noise * rng.standard_normal((d1, n))
+    x2 = np.outer(b, t) + noise * rng.standard_normal((d2, n))
+    return x1, x2, t
+
+
+class TestCCA:
+    def test_recovers_shared_signal(self, rng):
+        x1, x2, t = _correlated_pair(rng)
+        model = CCA(n_components=1, epsilon=1e-3).fit([x1, x2])
+        z1, z2 = model.transform([x1, x2])
+        corr = abs(np.corrcoef(z1[:, 0], t)[0, 1])
+        assert corr > 0.98
+        assert model.correlations_[0] > 0.95
+
+    def test_canonical_variables_maximally_correlated(self, rng):
+        x1, x2, _ = _correlated_pair(rng)
+        model = CCA(n_components=2, epsilon=1e-3).fit([x1, x2])
+        z1, z2 = model.transform([x1, x2])
+        first = abs(np.corrcoef(z1[:, 0], z2[:, 0])[0, 1])
+        assert first == pytest.approx(model.correlations_[0], abs=0.02)
+
+    def test_correlations_sorted_and_bounded(self, rng):
+        x1 = rng.standard_normal((5, 100))
+        x2 = rng.standard_normal((4, 100))
+        model = CCA(n_components=4, epsilon=1e-2).fit([x1, x2])
+        assert np.all(np.diff(model.correlations_) <= 1e-12)
+        assert np.all(model.correlations_ >= -1e-12)
+        assert np.all(model.correlations_ <= 1.0 + 1e-9)
+
+    def test_constraint_satisfied(self, rng):
+        x1, x2, _ = _correlated_pair(rng)
+        model = CCA(n_components=2, epsilon=1e-2).fit([x1, x2])
+        from repro.linalg.covariance import view_covariance
+
+        for view, vectors in zip(
+            (x1, x2), model.canonical_vectors_
+        ):
+            centered = view - view.mean(axis=1, keepdims=True)
+            regularized = view_covariance(centered) + 1e-2 * np.eye(
+                view.shape[0]
+            )
+            for k in range(2):
+                h = vectors[:, k]
+                assert h @ regularized @ h == pytest.approx(1.0, abs=1e-6)
+
+    def test_three_views_rejected(self, rng):
+        views = [rng.standard_normal((3, 20)) for _ in range(3)]
+        with pytest.raises(ValidationError):
+            CCA(n_components=1).fit(views)
+
+    def test_too_many_components_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            CCA(n_components=10).fit(
+                [rng.standard_normal((3, 20)), rng.standard_normal((5, 20))]
+            )
+
+    def test_transform_before_fit_raises(self, rng):
+        with pytest.raises(NotFittedError):
+            CCA().transform([rng.standard_normal((3, 5))] * 2)
+
+    def test_transform_dim_mismatch_raises(self, rng):
+        x1, x2, _ = _correlated_pair(rng)
+        model = CCA(n_components=1).fit([x1, x2])
+        with pytest.raises(ValidationError):
+            model.transform([x1[:3], x2])
+
+    def test_combined_shape(self, rng):
+        x1, x2, _ = _correlated_pair(rng)
+        model = CCA(n_components=3).fit([x1, x2])
+        assert model.transform_combined([x1, x2]).shape == (300, 6)
+
+    def test_out_of_sample_projection_consistent(self, rng):
+        x1, x2, _ = _correlated_pair(rng, n=200)
+        model = CCA(n_components=2).fit([x1, x2])
+        full = model.transform([x1, x2])
+        part = model.transform([x1[:, :50], x2[:, :50]])
+        np.testing.assert_allclose(part[0], full[0][:50], atol=1e-10)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValidationError):
+            CCA(epsilon=-1.0)
+
+
+class TestMaxVarCCA:
+    def test_recovers_shared_signal_three_views(self, rng):
+        t = rng.standard_normal(400)
+        views = [
+            np.outer(rng.standard_normal(d), t)
+            + 0.2 * rng.standard_normal((d, 400))
+            for d in (6, 5, 4)
+        ]
+        model = MaxVarCCA(n_components=1, epsilon=1e-3).fit(views)
+        zs = model.transform(views)
+        for z in zs:
+            assert abs(np.corrcoef(z[:, 0], t)[0, 1]) > 0.95
+
+    def test_consensus_orthonormal(self, rng):
+        views = [rng.standard_normal((5, 50)) for _ in range(3)]
+        model = MaxVarCCA(n_components=3).fit(views)
+        np.testing.assert_allclose(
+            model.consensus_.T @ model.consensus_, np.eye(3), atol=1e-10
+        )
+
+    def test_scores_descending(self, rng):
+        views = [rng.standard_normal((5, 60)) for _ in range(3)]
+        model = MaxVarCCA(n_components=4).fit(views)
+        assert np.all(np.diff(model.scores_) <= 1e-12)
+
+    def test_two_views_agrees_with_cca_signal(self, rng):
+        x1, x2, t = _correlated_pair(rng)
+        model = MaxVarCCA(n_components=1, epsilon=1e-3).fit([x1, x2])
+        z1, _ = model.transform([x1, x2])
+        assert abs(np.corrcoef(z1[:, 0], t)[0, 1]) > 0.97
+
+    def test_unit_variance_constraint(self, rng):
+        views = [rng.standard_normal((4, 80)) for _ in range(3)]
+        model = MaxVarCCA(n_components=2, epsilon=1e-2).fit(views)
+        from repro.linalg.covariance import view_covariance
+
+        for view, vectors in zip(views, model.canonical_vectors_):
+            centered = view - view.mean(axis=1, keepdims=True)
+            gram = view_covariance(centered) + 1e-2 * np.eye(view.shape[0])
+            for k in range(2):
+                h = vectors[:, k]
+                assert h @ gram @ h == pytest.approx(1.0, abs=1e-8)
+
+    def test_components_exceed_samples_raises(self, rng):
+        views = [rng.standard_normal((4, 5)) for _ in range(2)]
+        with pytest.raises(ValidationError):
+            MaxVarCCA(n_components=10).fit(views)
+
+
+class TestLSCCA:
+    def test_recovers_shared_signal(self, rng):
+        t = rng.standard_normal(400)
+        views = [
+            np.outer(rng.standard_normal(d), t)
+            + 0.2 * rng.standard_normal((d, 400))
+            for d in (6, 5, 4)
+        ]
+        model = LSCCA(n_components=1, epsilon=1e-3, random_state=0).fit(views)
+        zs = model.transform(views)
+        for z in zs:
+            assert abs(np.corrcoef(z[:, 0], t)[0, 1]) > 0.95
+
+    def test_consensus_columns_orthogonal(self, rng):
+        views = [rng.standard_normal((6, 80)) for _ in range(3)]
+        model = LSCCA(n_components=3, random_state=0).fit(views)
+        gram = model.consensus_.T @ model.consensus_
+        off_diagonal = gram - np.diag(np.diag(gram))
+        assert np.abs(off_diagonal).max() < 1e-6
+
+    def test_equivalent_to_maxvar_top_component(self, rng):
+        # Vía et al. prove the LS reformulation shares CCA-MAXVAR's optimum:
+        # the leading consensus variables must align.
+        t = rng.standard_normal(300)
+        views = [
+            np.outer(rng.standard_normal(d), t)
+            + 0.5 * rng.standard_normal((d, 300))
+            for d in (5, 4, 6)
+        ]
+        ls = LSCCA(n_components=1, epsilon=1e-2, random_state=0).fit(views)
+        mv = MaxVarCCA(n_components=1, epsilon=1e-2).fit(views)
+        alignment = abs(
+            np.corrcoef(ls.consensus_[:, 0], mv.consensus_[:, 0])[0, 1]
+        )
+        assert alignment > 0.99
+
+    def test_scale_constraint(self, rng):
+        views = [rng.standard_normal((4, 60)) for _ in range(3)]
+        model = LSCCA(n_components=2, epsilon=1e-2, random_state=0).fit(views)
+        from repro.linalg.covariance import view_covariance
+
+        for k in range(2):
+            total = 0.0
+            for view, vectors in zip(views, model.canonical_vectors_):
+                centered = view - view.mean(axis=1, keepdims=True)
+                gram = view_covariance(centered) + 1e-2 * np.eye(
+                    view.shape[0]
+                )
+                h = vectors[:, k]
+                total += h @ gram @ h
+            assert total / 3 == pytest.approx(1.0, abs=1e-6)
+
+    def test_deterministic_given_seed(self, rng):
+        views = [rng.standard_normal((4, 50)) for _ in range(3)]
+        z1 = LSCCA(n_components=2, random_state=3).fit_transform_combined(
+            views
+        )
+        z2 = LSCCA(n_components=2, random_state=3).fit_transform_combined(
+            views
+        )
+        np.testing.assert_allclose(z1, z2)
+
+    def test_transform_before_fit(self, rng):
+        with pytest.raises(NotFittedError):
+            LSCCA().transform([rng.standard_normal((3, 5))] * 2)

@@ -1,0 +1,206 @@
+"""Unit tests for RLS, kNN, and the prediction combiners."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import (
+    KNNClassifier,
+    RLSClassifier,
+    average_score_predict,
+    majority_vote_predict,
+)
+from repro.exceptions import NotFittedError, ValidationError
+
+
+def _blobs(rng, n_per_class=40, d=4, separation=4.0, n_classes=2):
+    centers = rng.standard_normal((n_classes, d)) * separation
+    features = np.vstack(
+        [
+            centers[c] + rng.standard_normal((n_per_class, d))
+            for c in range(n_classes)
+        ]
+    )
+    labels = np.repeat(np.arange(n_classes), n_per_class)
+    order = rng.permutation(labels.shape[0])
+    return features[order], labels[order]
+
+
+class TestRLSClassifier:
+    def test_separates_blobs(self, rng):
+        features, labels = _blobs(rng)
+        model = RLSClassifier().fit(features, labels)
+        assert model.score(features, labels) > 0.95
+
+    def test_multiclass(self, rng):
+        features, labels = _blobs(rng, n_classes=4)
+        model = RLSClassifier().fit(features, labels)
+        assert model.score(features, labels) > 0.9
+        assert model.decision_function(features).shape == (160, 4)
+
+    def test_binary_decision_is_1d(self, rng):
+        features, labels = _blobs(rng)
+        model = RLSClassifier().fit(features, labels)
+        assert model.decision_function(features).ndim == 1
+
+    def test_bias_term_handles_offset(self, rng):
+        # Classes differ only by an offset along a direction; the bias
+        # makes the threshold affine.
+        features, labels = _blobs(rng)
+        shifted = features + 100.0
+        model = RLSClassifier().fit(shifted, labels)
+        assert model.score(shifted, labels) > 0.95
+
+    def test_no_bias_option(self, rng):
+        features, labels = _blobs(rng)
+        model = RLSClassifier(add_bias=False).fit(features, labels)
+        assert model.coef_.shape[0] == features.shape[1]
+
+    def test_ridge_solution_closed_form(self, rng):
+        # Verify against the normal equations on a small problem.
+        features = rng.standard_normal((20, 3))
+        labels = (rng.random(20) > 0.5).astype(int)
+        gamma = 0.5
+        model = RLSClassifier(gamma=gamma, add_bias=False).fit(
+            features, labels
+        )
+        targets = np.where(labels == 1, 1.0, -1.0)
+        expected = np.linalg.solve(
+            features.T @ features / 20 + gamma * np.eye(3),
+            features.T @ targets / 20,
+        )
+        np.testing.assert_allclose(model.coef_[:, 0], expected, atol=1e-10)
+
+    def test_predict_from_scores_binary(self, rng):
+        features, labels = _blobs(rng)
+        model = RLSClassifier().fit(features, labels)
+        scores = model.decision_function(features)
+        np.testing.assert_array_equal(
+            model.predict_from_scores(scores), model.predict(features)
+        )
+
+    def test_single_class_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            RLSClassifier().fit(rng.standard_normal((5, 2)), np.zeros(5))
+
+    def test_label_shape_mismatch(self, rng):
+        with pytest.raises(ValidationError):
+            RLSClassifier().fit(rng.standard_normal((5, 2)), np.zeros(4))
+
+    def test_not_fitted(self, rng):
+        with pytest.raises(NotFittedError):
+            RLSClassifier().predict(rng.standard_normal((3, 2)))
+
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(ValidationError):
+            RLSClassifier(gamma=-0.1)
+
+    def test_string_labels(self, rng):
+        features, labels = _blobs(rng)
+        names = np.array(["cat", "dog"])[labels]
+        model = RLSClassifier().fit(features, names)
+        predictions = model.predict(features)
+        assert set(predictions) <= {"cat", "dog"}
+
+
+class TestKNNClassifier:
+    def test_k1_perfect_on_train(self, rng):
+        features, labels = _blobs(rng)
+        model = KNNClassifier(1).fit(features, labels)
+        assert model.score(features, labels) == 1.0
+
+    def test_separates_blobs(self, rng):
+        features, labels = _blobs(rng)
+        train, test = features[:60], features[60:]
+        model = KNNClassifier(3).fit(train, labels[:60])
+        assert model.score(test, labels[60:]) > 0.9
+
+    def test_k_capped_at_train_size(self, rng):
+        features, labels = _blobs(rng, n_per_class=2)
+        model = KNNClassifier(50).fit(features, labels)
+        assert model.k_ == 4
+
+    def test_tie_break_uses_nearest(self):
+        train = np.array([[0.0], [1.0], [10.0], [11.0]])
+        labels = np.array([0, 0, 1, 1])
+        model = KNNClassifier(4).fit(train, labels)
+        # All four neighbors vote 2-2; the nearest neighbor is class 0.
+        assert model.predict(np.array([[2.0]]))[0] == 0
+
+    def test_multiclass(self, rng):
+        features, labels = _blobs(rng, n_classes=5, separation=6.0)
+        model = KNNClassifier(3).fit(features, labels)
+        assert model.score(features, labels) > 0.95
+
+    def test_dimension_mismatch(self, rng):
+        model = KNNClassifier(1).fit(rng.standard_normal((5, 3)), np.arange(5))
+        with pytest.raises(ValidationError):
+            model.predict(rng.standard_normal((2, 4)))
+
+    def test_not_fitted(self, rng):
+        with pytest.raises(NotFittedError):
+            KNNClassifier(1).predict(rng.standard_normal((2, 2)))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValidationError):
+            KNNClassifier(0)
+
+
+class TestCombiners:
+    def test_average_scores_improves_on_noisy_views(self, rng):
+        features, labels = _blobs(rng, n_per_class=60)
+        # Two noisy copies of the same signal.
+        noisy1 = features + 2.0 * rng.standard_normal(features.shape)
+        noisy2 = features + 2.0 * rng.standard_normal(features.shape)
+        c1 = RLSClassifier().fit(noisy1[:60], labels[:60])
+        c2 = RLSClassifier().fit(noisy2[:60], labels[:60])
+        combined = average_score_predict(
+            [c1, c2], [noisy1[60:], noisy2[60:]]
+        )
+        acc_combined = np.mean(combined == labels[60:])
+        acc_single = np.mean(c1.predict(noisy1[60:]) == labels[60:])
+        assert acc_combined >= acc_single - 0.05
+
+    def test_average_requires_same_classes(self, rng):
+        features, labels = _blobs(rng)
+        c1 = RLSClassifier().fit(features, labels)
+        c2 = RLSClassifier().fit(features, np.where(labels == 0, 5, 7))
+        with pytest.raises(ValidationError):
+            average_score_predict([c1, c2], [features, features])
+
+    def test_majority_vote_two_to_one(self, rng):
+        features, labels = _blobs(rng)
+
+        class Constant:
+            def __init__(self, value):
+                self.value = value
+                self.classes_ = np.array([0, 1])
+
+            def predict(self, x):
+                return np.full(len(x), self.value)
+
+        votes = majority_vote_predict(
+            [Constant(1), Constant(1), Constant(0)], [features] * 3
+        )
+        assert np.all(votes == 1)
+
+    def test_majority_vote_tie_prefers_first(self, rng):
+        features, _ = _blobs(rng)
+
+        class Constant:
+            def __init__(self, value):
+                self.value = value
+                self.classes_ = np.array([0, 1])
+
+            def predict(self, x):
+                return np.full(len(x), self.value)
+
+        votes = majority_vote_predict(
+            [Constant(0), Constant(1)], [features] * 2
+        )
+        assert np.all(votes == 0)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValidationError):
+            majority_vote_predict([], [])
+        with pytest.raises(ValidationError):
+            average_score_predict([], [])

@@ -1,0 +1,62 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import _parse_override, build_parser, main
+
+
+class TestParseOverride:
+    def test_int_value(self):
+        assert _parse_override("n_samples=500") == ("n_samples", 500)
+
+    def test_tuple_value(self):
+        assert _parse_override("dims=(5, 10)") == ("dims", (5, 10))
+
+    def test_string_fallback(self):
+        assert _parse_override("workload=secstr") == ("workload", "secstr")
+
+    def test_missing_equals_rejected(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_override("n_samples")
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_with_overrides(self):
+        args = build_parser().parse_args(
+            ["run", "tab2", "--override", "n_samples=300"]
+        )
+        assert args.experiment_id == "tab2"
+        assert dict(args.override) == {"n_samples": 300}
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+
+class TestMain:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in ("fig3", "fig10", "tab1", "tab4"):
+            assert experiment_id in out
+
+    def test_run_tiny_complexity_experiment(self, capsys):
+        code = main(
+            [
+                "run",
+                "fig8",
+                "--override",
+                "n_samples=150",
+                "--override",
+                "dims=(3,)",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TCCA" in out

@@ -1,0 +1,265 @@
+"""Unit tests for the synthetic dataset generators and splits."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    MultiviewDataset,
+    make_ads_like,
+    make_multiview_latent,
+    make_nuswide_like,
+    make_secstr_like,
+    sample_labeled_indices,
+    split_validation,
+    train_test_split_indices,
+)
+from repro.datasets.secstr import N_SYMBOLS
+from repro.exceptions import DatasetError
+
+
+class TestMultiviewDataset:
+    def test_properties(self, latent_data):
+        assert latent_data.n_views == 3
+        assert latent_data.n_samples == 200
+        assert latent_data.dims == (12, 10, 8)
+
+    def test_subset(self, latent_data):
+        subset = latent_data.subset(np.arange(50))
+        assert subset.n_samples == 50
+        assert subset.dims == latent_data.dims
+        np.testing.assert_array_equal(
+            subset.labels, latent_data.labels[:50]
+        )
+
+    def test_subset_is_copy(self, latent_data):
+        subset = latent_data.subset([0, 1, 2])
+        subset.views[0][:] = 0.0
+        assert not np.all(latent_data.views[0][:, :3] == 0.0)
+
+
+class TestMakeMultiviewLatent:
+    def test_shapes_and_labels(self):
+        data = make_multiview_latent(
+            100, dims=(5, 6, 7), n_classes=3, random_state=0
+        )
+        assert data.dims == (5, 6, 7)
+        assert data.labels.shape == (100,)
+        assert set(np.unique(data.labels)) <= {0, 1, 2}
+
+    def test_deterministic(self):
+        a = make_multiview_latent(50, random_state=3)
+        b = make_multiview_latent(50, random_state=3)
+        for va, vb in zip(a.views, b.views):
+            np.testing.assert_allclose(va, vb)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_signal_factors_are_class_informative(self):
+        # Large separation and no noise: class means of views must differ.
+        data = make_multiview_latent(
+            2000,
+            class_separation=1.0,
+            noise_std=0.1,
+            n_nuisance_factors=0,
+            random_state=0,
+        )
+        view = data.views[0]
+        mean0 = view[:, data.labels == 0].mean(axis=1)
+        mean1 = view[:, data.labels == 1].mean(axis=1)
+        assert np.linalg.norm(mean0 - mean1) > 0.1
+
+    def test_nuisance_adds_pairwise_correlation(self):
+        base = make_multiview_latent(
+            3000, n_nuisance_factors=0, random_state=1
+        )
+        noisy = make_multiview_latent(
+            3000,
+            n_nuisance_factors=6,
+            nuisance_strength=3.0,
+            random_state=1,
+        )
+
+        def top_crosscorr(data):
+            a = data.views[0] - data.views[0].mean(axis=1, keepdims=True)
+            b = data.views[1] - data.views[1].mean(axis=1, keepdims=True)
+            cross = a @ b.T / a.shape[1]
+            return np.linalg.svd(cross, compute_uv=False)[0]
+
+        assert top_crosscorr(noisy) > top_crosscorr(base)
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            make_multiview_latent(1)
+        with pytest.raises(DatasetError):
+            make_multiview_latent(10, n_classes=1)
+        with pytest.raises(DatasetError):
+            make_multiview_latent(10, dims=(5,))
+        with pytest.raises(DatasetError):
+            make_multiview_latent(10, n_signal_factors=0)
+
+
+class TestMakeSecstrLike:
+    def test_shapes(self):
+        data = make_secstr_like(80, random_state=0)
+        assert data.dims == (105, 105, 105)
+        assert data.labels.shape == (80,)
+
+    def test_views_are_one_hot(self):
+        data = make_secstr_like(50, random_state=0)
+        for view in data.views:
+            assert set(np.unique(view)) <= {0.0, 1.0}
+            # 5 positions per view: each sample has exactly 5 ones.
+            np.testing.assert_array_equal(
+                view.sum(axis=0), np.full(50, 5.0)
+            )
+            # Each position block has exactly one active symbol.
+            blocks = view.reshape(5, N_SYMBOLS, 50)
+            np.testing.assert_array_equal(
+                blocks.sum(axis=1), np.ones((5, 50))
+            )
+
+    def test_binary_labels(self):
+        data = make_secstr_like(60, random_state=1)
+        assert set(np.unique(data.labels)) <= {0, 1}
+
+    def test_deterministic(self):
+        a = make_secstr_like(40, random_state=5)
+        b = make_secstr_like(40, random_state=5)
+        np.testing.assert_allclose(a.views[2], b.views[2])
+
+    def test_signal_motifs_affect_distribution(self):
+        strong = make_secstr_like(
+            3000, signal_tilt=4.0, n_nuisance_motifs=0, random_state=0
+        )
+        view = strong.views[1]
+        mean0 = view[:, strong.labels == 0].mean(axis=1)
+        mean1 = view[:, strong.labels == 1].mean(axis=1)
+        assert np.abs(mean0 - mean1).max() > 0.05
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            make_secstr_like(1)
+        with pytest.raises(DatasetError):
+            make_secstr_like(10, activation_low=0.9, activation_high=0.1)
+        with pytest.raises(DatasetError):
+            make_secstr_like(10, n_signal_motifs=0)
+
+
+class TestMakeAdsLike:
+    def test_shapes_and_sparsity(self):
+        data = make_ads_like(300, dims=(60, 50, 45), random_state=0)
+        assert data.dims == (60, 50, 45)
+        for view in data.views:
+            assert set(np.unique(view)) <= {0.0, 1.0}
+            assert view.mean() < 0.2  # sparse
+
+    def test_positive_rate(self):
+        data = make_ads_like(4000, random_state=0)
+        assert 0.10 < data.labels.mean() < 0.18
+
+    def test_indicative_terms_denser_for_ads(self):
+        data = make_ads_like(2000, dims=(60, 50, 45), random_state=0)
+        masks = data.metadata["indicative_masks"]
+        view = data.views[0]
+        ads_rate = view[np.ix_(masks[0], data.labels == 1)].mean()
+        other_rate = view[np.ix_(masks[0], data.labels == 0)].mean()
+        assert ads_rate > 3.0 * other_rate
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            make_ads_like(1)
+        with pytest.raises(DatasetError):
+            make_ads_like(10, positive_rate=1.5)
+        with pytest.raises(DatasetError):
+            make_ads_like(10, campaign_coherence=2.0)
+
+
+class TestMakeNuswideLike:
+    def test_shapes(self):
+        data = make_nuswide_like(200, random_state=0)
+        assert data.dims == (500, 144, 128)
+        assert data.metadata["concepts"][1] == "cat"
+
+    def test_bow_view_nonnegative_counts(self):
+        data = make_nuswide_like(100, random_state=0)
+        bow = data.views[0]
+        assert bow.min() >= 0.0
+        np.testing.assert_allclose(bow, np.round(bow))
+
+    def test_ten_classes(self):
+        data = make_nuswide_like(500, random_state=0)
+        assert np.unique(data.labels).shape[0] == 10
+
+    def test_custom_classes(self):
+        data = make_nuswide_like(100, n_classes=3, random_state=0)
+        assert data.metadata["n_classes"] == 3
+        assert len(data.metadata["concepts"]) == 3
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            make_nuswide_like(5, n_classes=10)
+        with pytest.raises(DatasetError):
+            make_nuswide_like(100, dims=(10, 10))
+        with pytest.raises(DatasetError):
+            make_nuswide_like(100, n_classes=1)
+
+
+class TestSplits:
+    def test_labeled_indices_total(self):
+        labels = np.repeat([0, 1], 50)
+        chosen = sample_labeled_indices(labels, 10, random_state=0)
+        assert chosen.shape == (10,)
+        assert np.unique(labels[chosen]).shape[0] == 2
+
+    def test_labeled_indices_per_class(self):
+        labels = np.repeat(np.arange(5), 20)
+        chosen = sample_labeled_indices(
+            labels, 4, per_class=True, random_state=0
+        )
+        assert chosen.shape == (20,)
+        values, counts = np.unique(labels[chosen], return_counts=True)
+        np.testing.assert_array_equal(counts, np.full(5, 4))
+
+    def test_labeled_indices_every_class_covered(self):
+        # A rare class must still be covered thanks to the fallback.
+        labels = np.array([0] * 98 + [1] * 2)
+        for seed in range(5):
+            chosen = sample_labeled_indices(labels, 5, random_state=seed)
+            assert np.unique(labels[chosen]).shape[0] == 2
+
+    def test_labeled_too_few_for_classes(self):
+        labels = np.arange(10)  # ten classes
+        with pytest.raises(DatasetError):
+            sample_labeled_indices(labels, 5, random_state=0)
+
+    def test_per_class_insufficient_members(self):
+        labels = np.array([0, 0, 1])
+        with pytest.raises(DatasetError):
+            sample_labeled_indices(
+                labels, 2, per_class=True, random_state=0
+            )
+
+    def test_validation_split_disjoint(self):
+        indices = np.arange(100)
+        val, test = split_validation(indices, random_state=0)
+        assert np.intersect1d(val, test).size == 0
+        assert val.size + test.size == 100
+        assert val.size == 20
+
+    def test_validation_fraction_bounds(self):
+        with pytest.raises(DatasetError):
+            split_validation(np.arange(10), fraction=0.0)
+        with pytest.raises(DatasetError):
+            split_validation(np.arange(10), fraction=1.0)
+
+    def test_train_test_split(self):
+        train, test = train_test_split_indices(
+            100, test_fraction=0.3, random_state=0
+        )
+        assert train.size == 70
+        assert test.size == 30
+        assert np.intersect1d(train, test).size == 0
+
+    def test_split_deterministic(self):
+        a = train_test_split_indices(50, random_state=9)
+        b = train_test_split_indices(50, random_state=9)
+        np.testing.assert_array_equal(a[0], b[0])

@@ -1,0 +1,313 @@
+"""Unit tests for repro.evaluation: metrics, resources, protocol, sweep."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    Candidate,
+    ClassifierSpec,
+    accuracy,
+    evaluate_groups,
+    mean_std,
+    measure_resources,
+    run_dimension_sweep,
+    SweepConfig,
+)
+from repro.evaluation.protocol import knn_predict_from_distances
+from repro.exceptions import ExperimentError, ValidationError
+
+
+class TestMetrics:
+    def test_accuracy_basic(self):
+        assert accuracy([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_accuracy_perfect(self):
+        assert accuracy([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            accuracy([1, 2], [1, 2, 3])
+
+    def test_accuracy_empty(self):
+        with pytest.raises(ValidationError):
+            accuracy([], [])
+
+    def test_mean_std(self):
+        mean, std = mean_std([1.0, 3.0])
+        assert mean == 2.0
+        assert std == 1.0
+
+    def test_mean_std_empty(self):
+        with pytest.raises(ValidationError):
+            mean_std([])
+
+
+class TestResources:
+    def test_measures_time(self):
+        def busy():
+            total = 0.0
+            for i in range(20000):
+                total += i * 0.5
+            return total
+
+        result, usage = measure_resources(busy)
+        assert result > 0
+        assert usage.seconds > 0.0
+
+    def test_measures_allocation(self):
+        def allocate():
+            return np.zeros(int(2e6))
+
+        _result, usage = measure_resources(allocate)
+        assert usage.peak_memory_mb > 10.0  # 16 MB array
+
+    def test_passes_arguments(self):
+        result, _usage = measure_resources(lambda a, b=1: a + b, 2, b=3)
+        assert result == 5
+
+    def test_exception_propagates(self):
+        with pytest.raises(RuntimeError):
+            measure_resources(lambda: (_ for _ in ()).throw(RuntimeError()))
+
+
+class TestCandidate:
+    def test_feature_candidate(self, rng):
+        candidate = Candidate("features", rng.standard_normal((5, 2)))
+        assert candidate.array.shape == (5, 2)
+
+    def test_distance_candidate_must_be_square(self, rng):
+        with pytest.raises(ValidationError):
+            Candidate("distances", rng.standard_normal((5, 3)))
+
+    def test_unknown_kind(self, rng):
+        with pytest.raises(ValidationError):
+            Candidate("graph", rng.standard_normal((3, 3)))
+
+
+class TestClassifierSpec:
+    def test_defaults(self):
+        spec = ClassifierSpec()
+        assert spec.kind == "rls"
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValidationError):
+            ClassifierSpec(kind="svm")
+
+
+class TestKnnFromDistances:
+    def test_nearest_label_wins_k1(self):
+        distances = np.array([[0.1, 5.0, 9.0], [7.0, 0.2, 9.0]])
+        labels = np.array([3, 1, 2])
+        predictions = knn_predict_from_distances(distances, labels, 1)
+        np.testing.assert_array_equal(predictions, [3, 1])
+
+    def test_majority_k3(self):
+        distances = np.array([[1.0, 2.0, 3.0, 9.0]])
+        labels = np.array([0, 1, 1, 0])
+        predictions = knn_predict_from_distances(distances, labels, 3)
+        assert predictions[0] == 1
+
+    def test_shape_validation(self):
+        with pytest.raises(ValidationError):
+            knn_predict_from_distances(np.ones((2, 3)), np.ones(4), 1)
+
+
+def _separable_setup(rng, n=120, d=4):
+    labels = np.repeat([0, 1], n // 2)
+    informative = (labels * 4.0 + rng.standard_normal(n))[None, :]
+    good = np.vstack(
+        [informative, rng.standard_normal((d - 1, n))]
+    ).T
+    bad = rng.standard_normal((n, d))
+    labeled = np.arange(0, n, 6)
+    validation = np.arange(1, n, 6)
+    test = np.setdiff1d(
+        np.arange(n), np.concatenate([labeled, validation])
+    )
+    return labels, good, bad, labeled, validation, test
+
+
+class TestEvaluateGroups:
+    def test_selects_informative_group(self, rng):
+        labels, good, bad, labeled, validation, test = _separable_setup(rng)
+        outcome = evaluate_groups(
+            [
+                [Candidate("features", bad, tag="bad")],
+                [Candidate("features", good, tag="good")],
+            ],
+            labels,
+            labeled,
+            validation,
+            test,
+            ClassifierSpec(kind="rls"),
+        )
+        assert outcome.selected_tag == "good"
+        assert outcome.test_accuracy > 0.9
+        assert len(outcome.group_validation_accuracies) == 2
+
+    def test_knn_selects_k(self, rng):
+        labels, good, _bad, labeled, validation, test = _separable_setup(rng)
+        outcome = evaluate_groups(
+            [[Candidate("features", good, tag="g")]],
+            labels,
+            labeled,
+            validation,
+            test,
+            ClassifierSpec(kind="knn", k_grid=(1, 3, 5)),
+        )
+        assert outcome.selected_k in (1, 3, 5)
+        assert outcome.test_accuracy > 0.8
+
+    def test_distance_candidate_with_knn(self, rng):
+        labels, good, _bad, labeled, validation, test = _separable_setup(rng)
+        diff = good[:, :1] - good[:, :1].T  # distance on informative dim
+        distances = np.abs(diff)
+        outcome = evaluate_groups(
+            [[Candidate("distances", distances, tag="d")]],
+            labels,
+            labeled,
+            validation,
+            test,
+            ClassifierSpec(kind="knn"),
+        )
+        assert outcome.test_accuracy > 0.85
+
+    def test_distance_candidate_rejected_for_rls(self, rng):
+        labels, good, _bad, labeled, validation, test = _separable_setup(rng)
+        distances = np.abs(good[:, :1] - good[:, :1].T)
+        with pytest.raises(ValidationError):
+            evaluate_groups(
+                [[Candidate("distances", distances)]],
+                labels,
+                labeled,
+                validation,
+                test,
+                ClassifierSpec(kind="rls"),
+            )
+
+    def test_combined_group_averages_scores(self, rng):
+        labels, good, bad, labeled, validation, test = _separable_setup(rng)
+        outcome = evaluate_groups(
+            [
+                [
+                    Candidate("features", good, tag="good"),
+                    Candidate("features", bad, tag="bad"),
+                ]
+            ],
+            labels,
+            labeled,
+            validation,
+            test,
+            ClassifierSpec(kind="rls"),
+        )
+        # The informative half keeps the combination above chance.
+        assert outcome.test_accuracy > 0.7
+
+    def test_empty_groups_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            evaluate_groups(
+                [], np.zeros(3), [0], [1], [2], ClassifierSpec()
+            )
+
+
+class _IdentityMethod:
+    """Trivial adapter exposing the raw first view."""
+
+    name = "identity"
+
+    def groups(self, views, r):
+        del r
+        return [[Candidate("features", views[0].T, tag="raw")]]
+
+
+class TestRunDimensionSweep:
+    def test_sweep_shapes(self, latent_data):
+        config = SweepConfig(
+            dims=(2, 3),
+            n_labeled=30,
+            n_runs=2,
+            classifier=ClassifierSpec(kind="rls"),
+            random_state=0,
+        )
+        results = run_dimension_sweep(
+            [_IdentityMethod()],
+            latent_data.views,
+            latent_data.labels,
+            config,
+        )
+        sweep = results["identity"]
+        assert sweep.test_accuracies.shape == (2, 2)
+        assert sweep.validation_accuracies.shape == (2, 2)
+        assert sweep.mean_curve().shape == (2,)
+
+    def test_best_dimension_summary(self, latent_data):
+        config = SweepConfig(
+            dims=(2, 4), n_labeled=30, n_runs=3, random_state=0
+        )
+        results = run_dimension_sweep(
+            [_IdentityMethod()],
+            latent_data.views,
+            latent_data.labels,
+            config,
+        )
+        mean, std, best_dims = results["identity"].best_dimension_summary()
+        assert 0.0 <= mean <= 1.0
+        assert std >= 0.0
+        assert len(best_dims) == 3
+        assert set(best_dims) <= {2, 4}
+
+    def test_measure_records_resources(self, latent_data):
+        config = SweepConfig(
+            dims=(2,), n_labeled=30, n_runs=1, measure=True, random_state=0
+        )
+        results = run_dimension_sweep(
+            [_IdentityMethod()],
+            latent_data.views,
+            latent_data.labels,
+            config,
+        )
+        sweep = results["identity"]
+        assert len(sweep.resources) == 1
+        assert sweep.time_curve().shape == (1,)
+        assert sweep.memory_curve().shape == (1,)
+
+    def test_mismatched_labels_rejected(self, latent_data):
+        config = SweepConfig(dims=(2,), n_labeled=10, n_runs=1)
+        with pytest.raises(ExperimentError):
+            run_dimension_sweep(
+                [_IdentityMethod()],
+                latent_data.views,
+                latent_data.labels[:-5],
+                config,
+            )
+
+    def test_empty_dims_rejected(self, latent_data):
+        config = SweepConfig(dims=(), n_labeled=10, n_runs=1)
+        with pytest.raises(ExperimentError):
+            run_dimension_sweep(
+                [_IdentityMethod()],
+                latent_data.views,
+                latent_data.labels,
+                config,
+            )
+
+    def test_deterministic_given_seed(self, latent_data):
+        config = SweepConfig(
+            dims=(2,), n_labeled=30, n_runs=2, random_state=11
+        )
+        first = run_dimension_sweep(
+            [_IdentityMethod()],
+            latent_data.views,
+            latent_data.labels,
+            config,
+        )
+        second = run_dimension_sweep(
+            [_IdentityMethod()],
+            latent_data.views,
+            latent_data.labels,
+            config,
+        )
+        np.testing.assert_allclose(
+            first["identity"].test_accuracies,
+            second["identity"].test_accuracies,
+        )

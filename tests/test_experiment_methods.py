@@ -1,0 +1,186 @@
+"""Unit tests for the method adapters in repro.experiments.methods."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments.methods import (
+    AverageKernelMethod,
+    BestSingleKernelMethod,
+    BestSingleViewMethod,
+    ConcatenationMethod,
+    DSEMethod,
+    KernelBank,
+    KTCCAMethod,
+    LSCCAMethod,
+    MaxVarMethod,
+    PairwiseCCAMethod,
+    PairwiseKCCAMethod,
+    SSMVDMethod,
+    TCCAMethod,
+)
+from repro.kernels.functions import ExponentialKernel, LinearKernel
+
+
+@pytest.fixture
+def views(latent_data):
+    return latent_data.views
+
+
+@pytest.fixture
+def small_views(rng):
+    return [rng.standard_normal((d, 50)) for d in (6, 5, 4)]
+
+
+class TestBestSingleView:
+    def test_one_group_per_view(self, views):
+        groups = BestSingleViewMethod().groups(views, 3)
+        assert len(groups) == 3
+        for p, group in enumerate(groups):
+            assert len(group) == 1
+            assert group[0].array.shape == (200, views[p].shape[0])
+
+
+class TestConcatenation:
+    def test_single_group_total_dims(self, views):
+        groups = ConcatenationMethod().groups(views, 3)
+        assert len(groups) == 1
+        total = sum(view.shape[0] for view in views)
+        assert groups[0][0].array.shape == (200, total)
+
+    def test_samples_unit_normalized_per_view(self, views):
+        groups = ConcatenationMethod().groups(views, 3)
+        stacked = groups[0][0].array
+        first_block = stacked[:, : views[0].shape[0]]
+        norms = np.linalg.norm(first_block, axis=1)
+        np.testing.assert_allclose(norms, np.ones(200), atol=1e-8)
+
+
+class TestPairwiseCCA:
+    def test_best_mode_group_count(self, views):
+        method = PairwiseCCAMethod(mode="best", epsilon=1e-2)
+        groups = method.groups(views, 2)
+        assert method.name == "CCA (BST)"
+        assert len(groups) == 3  # three pairs
+        assert all(len(group) == 1 for group in groups)
+        assert groups[0][0].array.shape == (200, 4)  # 2r per pair
+
+    def test_average_mode_single_group(self, views):
+        method = PairwiseCCAMethod(mode="average", epsilon=1e-2)
+        groups = method.groups(views, 2)
+        assert method.name == "CCA (AVG)"
+        assert len(groups) == 1
+        assert len(groups[0]) == 3
+
+    def test_epsilon_grid_multiplies_groups(self, views):
+        method = PairwiseCCAMethod(mode="best", epsilon=(1e-2, 1e-1))
+        assert len(method.groups(views, 2)) == 6
+
+    def test_r_capped_at_pair_dims(self, views):
+        method = PairwiseCCAMethod(mode="best", epsilon=1e-2)
+        groups = method.groups(views, 100)
+        # smallest pair dim caps r: views dims are (12, 10, 8)
+        assert groups[0][0].array.shape[1] == 2 * 10  # pair (0,1)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValidationError):
+            PairwiseCCAMethod(mode="sum")
+
+    def test_empty_epsilon_grid(self):
+        with pytest.raises(ValidationError):
+            PairwiseCCAMethod(epsilon=())
+
+
+class TestMultisetAdapters:
+    def test_lscca_shape(self, views):
+        groups = LSCCAMethod(epsilon=1e-2).groups(views, 2)
+        assert len(groups) == 1
+        assert groups[0][0].array.shape == (200, 6)
+
+    def test_maxvar_shape(self, views):
+        groups = MaxVarMethod(epsilon=1e-2).groups(views, 2)
+        assert groups[0][0].array.shape == (200, 6)
+
+    def test_tcca_shape_and_eps_groups(self, views):
+        method = TCCAMethod(epsilon=(1e-2, 1.0), max_iter=30)
+        groups = method.groups(views, 2)
+        assert len(groups) == 2
+        assert groups[0][0].array.shape == (200, 6)
+        assert "eps=0.01" in groups[0][0].tag
+
+    def test_tcca_r_capped_by_min_dim(self, views):
+        method = TCCAMethod(epsilon=1e-2, max_iter=20)
+        groups = method.groups(views, 50)
+        # min view dim is 8 -> r_eff = 8, combined 24
+        assert groups[0][0].array.shape[1] == 24
+
+    def test_dse_shape(self, views):
+        groups = DSEMethod(pca_components=6).groups(views, 2)
+        assert groups[0][0].array.shape == (200, 2)
+
+    def test_ssmvd_shape(self, views):
+        groups = SSMVDMethod(pca_components=6, max_iter=5).groups(views, 2)
+        assert groups[0][0].array.shape == (200, 2)
+
+
+class TestKernelBank:
+    def test_caches_by_views_identity(self, small_views):
+        bank = KernelBank([LinearKernel() for _ in small_views])
+        first = bank.raw_kernels(small_views)
+        second = bank.raw_kernels(small_views)
+        assert first is second
+
+    def test_kernel_count_mismatch(self, small_views):
+        bank = KernelBank([LinearKernel()])
+        with pytest.raises(ValidationError):
+            bank.raw_kernels(small_views)
+
+    def test_centered_kernels_zero_rowsum(self, small_views):
+        bank = KernelBank([LinearKernel() for _ in small_views])
+        for kernel in bank.centered_kernels(small_views):
+            np.testing.assert_allclose(
+                kernel.sum(axis=0), np.zeros(50), atol=1e-8
+            )
+
+    def test_kernel_distances_metricish(self, small_views):
+        bank = KernelBank([ExponentialKernel() for _ in small_views])
+        kernel = bank.normalized_kernels(small_views)[0]
+        distances = bank.kernel_distances(kernel)
+        assert distances.min() >= 0.0
+        np.testing.assert_allclose(np.diag(distances), np.zeros(50), atol=1e-8)
+        np.testing.assert_allclose(distances, distances.T, atol=1e-12)
+
+
+class TestKernelMethods:
+    def test_bsk_groups(self, small_views):
+        bank = KernelBank([ExponentialKernel() for _ in small_views])
+        groups = BestSingleKernelMethod(bank).groups(small_views, 5)
+        assert len(groups) == 3
+        assert all(g[0].kind == "distances" for g in groups)
+
+    def test_avg_single_group(self, small_views):
+        bank = KernelBank([ExponentialKernel() for _ in small_views])
+        groups = AverageKernelMethod(bank).groups(small_views, 5)
+        assert len(groups) == 1
+        assert groups[0][0].kind == "distances"
+
+    def test_pairwise_kcca_modes(self, small_views):
+        bank = KernelBank([LinearKernel() for _ in small_views])
+        best = PairwiseKCCAMethod(bank, mode="best", epsilon=1e-1)
+        avg = PairwiseKCCAMethod(bank, mode="average", epsilon=1e-1)
+        assert len(best.groups(small_views, 2)) == 3
+        assert len(avg.groups(small_views, 2)) == 1
+        group = best.groups(small_views, 2)[0]
+        assert group[0].array.shape == (50, 4)
+
+    def test_ktcca_shape(self, small_views):
+        bank = KernelBank([LinearKernel() for _ in small_views])
+        method = KTCCAMethod(bank, epsilon=1e-1, max_iter=30)
+        groups = method.groups(small_views, 2)
+        assert groups[0][0].array.shape == (50, 6)
+
+    def test_ktcca_r_capped_by_samples(self, small_views):
+        bank = KernelBank([LinearKernel() for _ in small_views])
+        method = KTCCAMethod(bank, epsilon=1e-1, max_iter=10)
+        groups = method.groups(small_views, 500)
+        assert groups[0][0].array.shape[1] == 3 * 49

@@ -1,0 +1,147 @@
+"""Tests for the experiment registry, reporting, and mini driver runs."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.sweep import MethodSweep
+from repro.exceptions import ExperimentError
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    format_table,
+    get_experiment,
+    run_experiment,
+)
+from repro.experiments.reporting import format_series
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {
+            "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "tab1", "tab2", "tab3", "tab4",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_get_experiment(self):
+        spec = get_experiment("fig3")
+        assert spec.paper_artifact == "Figure 3"
+        assert callable(spec.driver)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("fig99")
+
+    def test_specs_have_descriptions(self):
+        for spec in EXPERIMENTS.values():
+            assert spec.description
+
+
+def _dummy_sweep(name="m", dims=(2, 4), n_runs=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return MethodSweep(
+        method=name,
+        dims=dims,
+        test_accuracies=rng.uniform(0.4, 0.9, (n_runs, len(dims))),
+        validation_accuracies=rng.uniform(0.4, 0.9, (n_runs, len(dims))),
+    )
+
+
+class TestReporting:
+    def test_format_table_contains_methods(self):
+        sweeps = {"TCCA": _dummy_sweep("TCCA"), "CCA": _dummy_sweep("CCA")}
+        table = format_table(sweeps, title="demo")
+        assert "TCCA" in table
+        assert "demo" in table
+        assert "±" in table
+
+    def test_format_series_rows(self):
+        sweeps = {"TCCA": _dummy_sweep("TCCA")}
+        series = format_series(sweeps)
+        assert "dim" in series
+        assert series.count("\n") >= 2  # header + one row per dim
+
+    def test_experiment_result_summary(self):
+        result = ExperimentResult(
+            experiment_id="demo",
+            description="",
+            panels={"panel": {"TCCA": _dummy_sweep("TCCA")}},
+        )
+        summary = result.summary()
+        assert "panel" in summary
+        assert 0.0 <= summary["panel"]["TCCA"] <= 1.0
+        assert "demo" in result.table()
+        assert "demo" in result.series()
+
+
+class TestMiniDrivers:
+    """Tiny end-to-end runs of each experiment driver."""
+
+    def test_secstr_driver_small(self):
+        result = run_experiment(
+            "fig3",
+            n_unlabeled_small=260,
+            n_unlabeled_large=None,
+            dims=(3,),
+            n_labeled=40,
+            n_runs=1,
+            random_state=0,
+        )
+        sweeps = result.panels["unlabeled=260"]
+        assert "TCCA" in sweeps
+        assert sweeps["TCCA"].test_accuracies.shape == (1, 1)
+
+    def test_ads_driver_small(self):
+        result = run_experiment(
+            "fig4",
+            n_samples=260,
+            view_dims=(24, 20, 18),
+            dims=(3,),
+            n_labeled=40,
+            n_runs=1,
+            random_state=0,
+        )
+        sweeps = result.panels["labeled=40"]
+        assert set(sweeps) >= {"BSF", "CAT", "TCCA"}
+
+    def test_nuswide_driver_small(self):
+        result = run_experiment(
+            "fig5",
+            n_samples=220,
+            labeled_per_concept=(2,),
+            dims=(3,),
+            n_runs=1,
+            random_state=0,
+            epsilon_grid=(1e0,),
+        )
+        assert "labeled=2/concept" in result.panels
+
+    def test_kernel_driver_small(self):
+        result = run_experiment(
+            "fig6",
+            n_samples=90,
+            labeled_per_concept=(2,),
+            dims=(3,),
+            n_runs=1,
+            random_state=0,
+            epsilon_grid=(1e-1,),
+        )
+        sweeps = result.panels["labeled=2/concept"]
+        assert set(sweeps) == {
+            "BSK", "AVG", "KCCA (BST)", "KCCA (AVG)", "KTCCA",
+        }
+
+    def test_complexity_driver_small(self):
+        result = run_experiment(
+            "fig8", n_samples=150, dims=(3,), random_state=0
+        )
+        costs = result.extras["costs"]
+        assert "TCCA" in costs
+        assert len(costs["TCCA"]["seconds"]) == 1
+        assert result.notes  # renders the cost table
+
+    def test_complexity_unknown_workload(self):
+        from repro.experiments.complexity import run_complexity_experiment
+
+        with pytest.raises(ValueError):
+            run_complexity_experiment("bogus")

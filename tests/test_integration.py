@@ -1,0 +1,182 @@
+"""Integration tests: full pipelines across modules.
+
+These mirror the paper's Fig. 2 system diagram — features → covariance
+tensor → rank-r decomposition → projection → downstream learner — and
+exercise module boundaries that unit tests cannot.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CCA, KTCCA, LSCCA, MaxVarCCA, TCCA
+from repro.classifiers import KNNClassifier, RLSClassifier
+from repro.datasets import (
+    make_ads_like,
+    make_multiview_latent,
+    make_secstr_like,
+    sample_labeled_indices,
+)
+from repro.kernels import ExponentialKernel
+
+
+class TestLinearPipeline:
+    def test_tcca_beats_raw_features_on_latent_data(self):
+        data = make_multiview_latent(
+            n_samples=900, dims=(25, 20, 15), random_state=0
+        )
+        labeled = sample_labeled_indices(data.labels, 80, random_state=0)
+        rest = np.setdiff1d(np.arange(data.n_samples), labeled)
+
+        tcca = TCCA(n_components=5, epsilon=1.0, random_state=0).fit(
+            data.views
+        )
+        z = tcca.transform_combined(data.views)
+        tcca_accuracy = (
+            RLSClassifier()
+            .fit(z[labeled], data.labels[labeled])
+            .score(z[rest], data.labels[rest])
+        )
+
+        raw = np.vstack(data.views).T
+        raw_accuracy = (
+            RLSClassifier()
+            .fit(raw[labeled], data.labels[labeled])
+            .score(raw[rest], data.labels[rest])
+        )
+        assert tcca_accuracy > raw_accuracy
+
+    def test_tcca_and_lscca_find_class_signal_on_secstr(self):
+        data = make_secstr_like(800, random_state=0)
+        labeled = sample_labeled_indices(data.labels, 100, random_state=0)
+        rest = np.setdiff1d(np.arange(data.n_samples), labeled)
+        for model in (
+            TCCA(n_components=5, epsilon=1e-1, random_state=0),
+            LSCCA(n_components=5, epsilon=1e-1, random_state=0),
+        ):
+            z = model.fit(data.views).transform_combined(data.views)
+            accuracy = (
+                RLSClassifier()
+                .fit(z[labeled], data.labels[labeled])
+                .score(z[rest], data.labels[rest])
+            )
+            assert accuracy > 0.55  # clearly above binary chance
+
+    def test_all_multiset_methods_project_out_of_sample(self):
+        data = make_multiview_latent(
+            n_samples=300, dims=(10, 9, 8), random_state=1
+        )
+        train = [view[:, :250] for view in data.views]
+        test = [view[:, 250:] for view in data.views]
+        for model in (
+            TCCA(n_components=3, random_state=0),
+            LSCCA(n_components=3, random_state=0),
+            MaxVarCCA(n_components=3),
+        ):
+            model.fit(train)
+            projected = model.transform_combined(test)
+            assert projected.shape == (50, 9)
+            assert np.all(np.isfinite(projected))
+
+    def test_two_view_cca_agrees_with_tcca_m2(self):
+        # For m = 2 the whitened tensor is a matrix and TCCA's ALS must
+        # recover the CCA singular structure: same subspace, same top
+        # correlation.
+        data = make_multiview_latent(
+            n_samples=600, dims=(12, 10), random_state=2
+        )
+        cca = CCA(n_components=3, epsilon=1e-1).fit(data.views)
+        tcca = TCCA(n_components=3, epsilon=1e-1, random_state=0).fit(
+            data.views
+        )
+        assert tcca.correlations_[0] == pytest.approx(
+            cca.correlations_[0], abs=1e-3
+        )
+        z_cca = cca.transform(data.views)[0]
+        z_tcca = tcca.transform(data.views)[0]
+        # Subspace overlap of the projections (principal angles).
+        q_cca, _ = np.linalg.qr(z_cca - z_cca.mean(0))
+        q_tcca, _ = np.linalg.qr(z_tcca - z_tcca.mean(0))
+        overlap = np.linalg.svd(q_cca.T @ q_tcca, compute_uv=False)
+        assert overlap[0] > 0.99
+
+    def test_ads_pipeline_beats_majority_class(self):
+        data = make_ads_like(900, dims=(60, 50, 45), random_state=0)
+        labeled = sample_labeled_indices(data.labels, 100, random_state=0)
+        rest = np.setdiff1d(np.arange(data.n_samples), labeled)
+        best = 0.0
+        for epsilon in (1e-1, 1e0):
+            tcca = TCCA(
+                n_components=5, epsilon=epsilon, random_state=0
+            ).fit(data.views)
+            z = tcca.transform_combined(data.views)
+            accuracy = (
+                RLSClassifier()
+                .fit(z[labeled], data.labels[labeled])
+                .score(z[rest], data.labels[rest])
+            )
+            best = max(best, accuracy)
+        majority = max(
+            data.labels[rest].mean(), 1.0 - data.labels[rest].mean()
+        )
+        assert best > majority
+
+
+class TestKernelPipeline:
+    def test_ktcca_knn_pipeline(self):
+        data = make_multiview_latent(
+            n_samples=150, dims=(15, 12, 10), random_state=3
+        )
+        kernels = [ExponentialKernel() for _ in data.views]
+        ktcca = KTCCA(
+            n_components=5, epsilon=1e-1, kernels=kernels, random_state=0
+        ).fit(data.views)
+        z = ktcca.transform_train_combined()
+        labeled = sample_labeled_indices(data.labels, 40, random_state=0)
+        rest = np.setdiff1d(np.arange(150), labeled)
+        accuracy = (
+            KNNClassifier(5)
+            .fit(z[labeled], data.labels[labeled])
+            .score(z[rest], data.labels[rest])
+        )
+        assert accuracy > 0.55
+
+    def test_ktcca_out_of_sample_matches_refit_geometry(self):
+        data = make_multiview_latent(
+            n_samples=120, dims=(10, 9, 8), random_state=4
+        )
+        train = [view[:, :100] for view in data.views]
+        test = [view[:, 100:] for view in data.views]
+        kernels = [ExponentialKernel() for _ in train]
+        ktcca = KTCCA(
+            n_components=3, epsilon=1e-1, kernels=kernels, random_state=0
+        ).fit(train)
+        projected = ktcca.transform(test)
+        assert all(z.shape == (20, 3) for z in projected)
+        assert all(np.all(np.isfinite(z)) for z in projected)
+
+
+class TestDecompositionSolversAgree:
+    def test_als_power_hopm_same_leading_direction(self):
+        data = make_multiview_latent(
+            n_samples=700,
+            dims=(12, 10, 8),
+            n_signal_factors=1,
+            n_nuisance_factors=0,
+            random_state=5,
+        )
+        leading = []
+        for decomposition in ("als", "hopm", "power"):
+            model = TCCA(
+                n_components=1,
+                epsilon=1e-1,
+                decomposition=decomposition,
+                random_state=0,
+            ).fit(data.views)
+            leading.append(model.canonical_vectors_[0][:, 0])
+        for other in leading[1:]:
+            cosine = abs(
+                leading[0]
+                @ other
+                / (np.linalg.norm(leading[0]) * np.linalg.norm(other))
+            )
+            assert cosine > 0.99

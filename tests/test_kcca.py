@@ -1,0 +1,128 @@
+"""Unit tests for kernel CCA."""
+
+import numpy as np
+import pytest
+
+from repro.cca.kcca import KCCA, pls_cholesky
+from repro.exceptions import NotFittedError, ValidationError
+from repro.kernels.functions import ExponentialKernel, LinearKernel
+
+
+def _correlated_pair(rng, n=80, d=4, noise=0.1):
+    t = rng.standard_normal(n)
+    x1 = np.outer(rng.standard_normal(d), t) + noise * rng.standard_normal(
+        (d, n)
+    )
+    x2 = np.outer(rng.standard_normal(d + 1), t) + noise * (
+        rng.standard_normal((d + 1, n))
+    )
+    return x1, x2, t
+
+
+class TestPLSCholesky:
+    def test_factorizes_target(self, rng):
+        a = rng.standard_normal((10, 10))
+        kernel = a @ a.T
+        factor = pls_cholesky(kernel, 1e-2)
+        target = kernel @ kernel + 1e-2 * kernel
+        np.testing.assert_allclose(
+            factor.T @ factor, target, atol=1e-4, rtol=1e-5
+        )
+
+    def test_rank_deficient_kernel_ok(self, rng):
+        a = rng.standard_normal((10, 3))
+        kernel = a @ a.T  # rank 3 of size 10
+        factor = pls_cholesky(kernel, 1e-3)
+        assert np.all(np.isfinite(factor))
+        # factor must be invertible thanks to the jitter
+        assert np.linalg.matrix_rank(factor) == 10
+
+
+class TestKCCA:
+    def test_linear_kernel_recovers_signal(self, rng):
+        x1, x2, t = _correlated_pair(rng)
+        model = KCCA(
+            n_components=1,
+            epsilon=1e-1,
+            kernels=[LinearKernel(), LinearKernel()],
+        ).fit([x1, x2])
+        z1, z2 = model.transform_train()
+        assert abs(np.corrcoef(z1[:, 0], t)[0, 1]) > 0.95
+        assert abs(np.corrcoef(z1[:, 0], z2[:, 0])[0, 1]) > 0.95
+
+    def test_precomputed_matches_callable(self, rng):
+        x1, x2, _ = _correlated_pair(rng)
+        kernels = [x1.T @ x1, x2.T @ x2]
+        precomputed = KCCA(n_components=2, epsilon=1e-1).fit(kernels)
+        callable_mode = KCCA(
+            n_components=2,
+            epsilon=1e-1,
+            kernels=[LinearKernel(), LinearKernel()],
+        ).fit([x1, x2])
+        np.testing.assert_allclose(
+            precomputed.correlations_,
+            callable_mode.correlations_,
+            rtol=1e-6,
+        )
+
+    def test_correlations_descending(self, rng):
+        x1, x2, _ = _correlated_pair(rng)
+        model = KCCA(
+            n_components=4,
+            kernels=[ExponentialKernel(), ExponentialKernel()],
+        ).fit([x1, x2])
+        assert np.all(np.diff(model.correlations_) <= 1e-12)
+
+    def test_out_of_sample_transform_shape(self, rng):
+        x1, x2, _ = _correlated_pair(rng, n=60)
+        model = KCCA(
+            n_components=2,
+            kernels=[ExponentialKernel(), ExponentialKernel()],
+        ).fit([x1, x2])
+        new = model.transform([x1[:, :10], x2[:, :10]])
+        assert new[0].shape == (10, 2)
+        assert new[1].shape == (10, 2)
+
+    def test_train_transform_consistent_with_blocks(self, rng):
+        # Projecting the training points as "new" data must reproduce the
+        # training projections.
+        x1, x2, _ = _correlated_pair(rng, n=50)
+        model = KCCA(
+            n_components=2,
+            kernels=[LinearKernel(), LinearKernel()],
+        ).fit([x1, x2])
+        train = model.transform_train()
+        as_new = model.transform([x1, x2])
+        np.testing.assert_allclose(train[0], as_new[0], atol=1e-8)
+        np.testing.assert_allclose(train[1], as_new[1], atol=1e-8)
+
+    def test_three_kernels_rejected(self):
+        with pytest.raises(ValidationError):
+            KCCA(kernels=[LinearKernel()] * 3)
+
+    def test_three_views_rejected(self, rng):
+        kernels = [np.eye(5)] * 3
+        with pytest.raises(ValidationError):
+            KCCA().fit(kernels)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(NotFittedError):
+            KCCA().transform_train()
+
+    def test_wrong_block_rows_raise(self, rng):
+        x1, x2, _ = _correlated_pair(rng, n=30)
+        model = KCCA(n_components=1).fit([x1.T @ x1, x2.T @ x2])
+        with pytest.raises(ValidationError):
+            model.transform([np.ones((7, 4)), np.ones((30, 4))])
+
+    def test_pls_constraint_satisfied(self, rng):
+        x1, x2, _ = _correlated_pair(rng)
+        k1, k2 = x1.T @ x1, x2.T @ x2
+        model = KCCA(n_components=2, epsilon=1e-1, center=False).fit(
+            [k1, k2]
+        )
+        for kernel, duals in zip((k1, k2), model.dual_vectors_):
+            target = kernel @ kernel + 1e-1 * kernel
+            for k in range(2):
+                a = duals[:, k]
+                assert a @ target @ a == pytest.approx(1.0, abs=1e-4)

@@ -1,0 +1,195 @@
+"""Unit tests for repro.kernels: distances, kernel functions, centering."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.kernels.centering import (
+    center_kernel,
+    center_kernel_test,
+    normalize_kernel,
+)
+from repro.kernels.distances import chi_square_distances, euclidean_distances
+from repro.kernels.functions import (
+    ExponentialKernel,
+    LinearKernel,
+    RBFKernel,
+    exponential_kernel,
+    linear_kernel,
+    rbf_kernel,
+)
+
+
+class TestEuclideanDistances:
+    def test_matches_naive(self, rng):
+        a = rng.standard_normal((3, 8))
+        b = rng.standard_normal((3, 5))
+        distances = euclidean_distances(a, b)
+        for i in range(8):
+            for j in range(5):
+                assert distances[i, j] == pytest.approx(
+                    np.linalg.norm(a[:, i] - b[:, j]), abs=1e-10
+                )
+
+    def test_self_diagonal_zero(self, rng):
+        a = rng.standard_normal((4, 6))
+        np.testing.assert_allclose(
+            np.diag(euclidean_distances(a)), np.zeros(6), atol=1e-6
+        )
+
+    def test_symmetry(self, rng):
+        a = rng.standard_normal((4, 6))
+        d = euclidean_distances(a)
+        np.testing.assert_allclose(d, d.T, atol=1e-12)
+
+    def test_feature_mismatch_raises(self, rng):
+        with pytest.raises(Exception):
+            euclidean_distances(
+                rng.standard_normal((3, 4)), rng.standard_normal((2, 4))
+            )
+
+
+class TestChiSquareDistances:
+    def test_matches_naive(self, rng):
+        a = rng.random((4, 6))
+        b = rng.random((4, 3))
+        distances = chi_square_distances(a, b)
+        for i in range(6):
+            for j in range(3):
+                num = (a[:, i] - b[:, j]) ** 2
+                den = a[:, i] + b[:, j] + 1e-10
+                assert distances[i, j] == pytest.approx(
+                    np.sum(num / den), abs=1e-8
+                )
+
+    def test_negative_input_raises(self, rng):
+        with pytest.raises(ValidationError):
+            chi_square_distances(rng.standard_normal((3, 4)))
+
+    def test_identical_histograms_zero(self, rng):
+        a = rng.random((5, 4))
+        d = chi_square_distances(a)
+        np.testing.assert_allclose(np.diag(d), np.zeros(4), atol=1e-10)
+
+
+class TestKernelFunctions:
+    def test_linear_kernel(self, rng):
+        a = rng.standard_normal((3, 5))
+        np.testing.assert_allclose(linear_kernel(a), a.T @ a)
+
+    def test_rbf_diagonal_one(self, rng):
+        a = rng.standard_normal((3, 5))
+        np.testing.assert_allclose(
+            np.diag(rbf_kernel(a, gamma=0.5)), np.ones(5), atol=1e-10
+        )
+
+    def test_rbf_gamma_validation(self, rng):
+        with pytest.raises(ValidationError):
+            rbf_kernel(rng.standard_normal((2, 3)), gamma=0.0)
+
+    def test_exponential_kernel_range(self, rng):
+        a = rng.standard_normal((3, 10))
+        kernel = exponential_kernel(a)
+        assert kernel.min() >= np.exp(-1.0) - 1e-12  # λ = max distance
+        assert kernel.max() <= 1.0 + 1e-12
+
+    def test_exponential_kernel_chi2(self, rng):
+        a = rng.random((4, 6))
+        kernel = exponential_kernel(a, distance="chi2")
+        assert kernel.shape == (6, 6)
+        np.testing.assert_allclose(np.diag(kernel), np.ones(6), atol=1e-10)
+
+    def test_exponential_unknown_distance(self, rng):
+        with pytest.raises(ValidationError):
+            exponential_kernel(rng.random((2, 3)), distance="cosine")
+
+    def test_exponential_degenerate_bandwidth(self):
+        constant = np.ones((3, 4))
+        kernel = exponential_kernel(constant)
+        np.testing.assert_allclose(kernel, np.ones((4, 4)))
+
+
+class TestKernelObjects:
+    def test_linear_object_matches_function(self, rng):
+        a = rng.standard_normal((3, 5))
+        kernel = LinearKernel().fit(a)
+        np.testing.assert_allclose(kernel(a), linear_kernel(a))
+
+    def test_rbf_median_heuristic(self, rng):
+        a = rng.standard_normal((3, 20))
+        kernel = RBFKernel().fit(a)
+        assert kernel._fitted_gamma > 0.0
+
+    def test_rbf_fixed_gamma_respected(self, rng):
+        a = rng.standard_normal((3, 10))
+        kernel = RBFKernel(gamma=2.0).fit(a)
+        np.testing.assert_allclose(kernel(a), rbf_kernel(a, gamma=2.0))
+
+    def test_exponential_bandwidth_from_train(self, rng):
+        train = rng.standard_normal((3, 15))
+        test = 100.0 * rng.standard_normal((3, 5))
+        kernel = ExponentialKernel().fit(train)
+        block = kernel(train, test)
+        assert block.shape == (15, 5)
+        # Bandwidth came from train distances, so far-away test points give
+        # near-zero similarity.
+        assert block.max() < 0.5
+
+    def test_exponential_consistent_train_block(self, rng):
+        train = rng.standard_normal((3, 10))
+        kernel = ExponentialKernel().fit(train)
+        np.testing.assert_allclose(kernel(train), kernel(train, train))
+
+    def test_repr_smoke(self):
+        assert "LinearKernel" in repr(LinearKernel())
+        assert "RBFKernel" in repr(RBFKernel())
+        assert "chi2" in repr(ExponentialKernel(distance="chi2"))
+
+
+class TestCentering:
+    def test_centered_kernel_row_sums_zero(self, rng):
+        a = rng.standard_normal((3, 8))
+        centered = center_kernel(linear_kernel(a))
+        np.testing.assert_allclose(centered.sum(axis=0), np.zeros(8), atol=1e-8)
+        np.testing.assert_allclose(centered.sum(axis=1), np.zeros(8), atol=1e-8)
+
+    def test_centering_matches_feature_space(self, rng):
+        # Centering K = X^T X must equal the kernel of centered features.
+        x = rng.standard_normal((4, 10))
+        x_centered = x - x.mean(axis=1, keepdims=True)
+        np.testing.assert_allclose(
+            center_kernel(linear_kernel(x)),
+            linear_kernel(x_centered),
+            atol=1e-10,
+        )
+
+    def test_test_block_matches_feature_space(self, rng):
+        x = rng.standard_normal((4, 10))
+        y = rng.standard_normal((4, 6))
+        mean = x.mean(axis=1, keepdims=True)
+        expected = (x - mean).T @ (y - mean)
+        np.testing.assert_allclose(
+            center_kernel_test(linear_kernel(x, y), linear_kernel(x)),
+            expected,
+            atol=1e-10,
+        )
+
+    def test_test_block_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            center_kernel_test(np.ones((5, 3)), np.eye(4))
+
+    def test_normalize_diagonal_ones(self, rng):
+        a = rng.standard_normal((3, 7))
+        normalized = normalize_kernel(linear_kernel(a) + 7 * np.eye(7))
+        np.testing.assert_allclose(np.diag(normalized), np.ones(7))
+
+    def test_normalize_is_cosine(self, rng):
+        a = rng.standard_normal((3, 5))
+        kernel = linear_kernel(a)
+        normalized = normalize_kernel(kernel)
+        for i in range(5):
+            for j in range(5):
+                expected = kernel[i, j] / np.sqrt(
+                    kernel[i, i] * kernel[j, j]
+                )
+                assert normalized[i, j] == pytest.approx(expected)

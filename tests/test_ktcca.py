@@ -1,0 +1,154 @@
+"""Unit tests for KTCCA — including a Theorem 3 numerical check."""
+
+import numpy as np
+import pytest
+
+from repro.core.ktcca import KTCCA
+from repro.exceptions import NotFittedError, ValidationError
+from repro.kernels.functions import ExponentialKernel, LinearKernel
+from repro.linalg.covariance import covariance_tensor
+
+
+def _shared_signal_views(rng, n=60, dims=(6, 5, 4), noise=0.2):
+    t = rng.exponential(1.0, n) - 1.0
+    return [
+        np.outer(rng.standard_normal(d), t)
+        + noise * rng.standard_normal((d, n))
+        for d in dims
+    ]
+
+
+class TestTheorem3:
+    """K_{12…m} equals the tensor of kernel-matrix columns (Theorem 3)."""
+
+    def test_kernel_tensor_identity_linear_kernel(self, rng):
+        # With φ = identity, C ×_p φ(X_p)^T must equal (1/N) Σ k_1n ∘ k_2n ∘ k_3n
+        views = [rng.standard_normal((d, 12)) for d in (3, 4, 2)]
+        n = 12
+        c_tensor = covariance_tensor(views, assume_centered=True)
+        from repro.tensor.dense import mode_product
+
+        lhs = c_tensor
+        for mode, view in enumerate(views):
+            lhs = mode_product(lhs, view.T, mode)
+        kernels = [view.T @ view for view in views]
+        rhs = np.zeros((n, n, n))
+        for sample in range(n):
+            rhs += np.einsum(
+                "a,b,c->abc",
+                kernels[0][:, sample],
+                kernels[1][:, sample],
+                kernels[2][:, sample],
+            )
+        rhs /= n
+        np.testing.assert_allclose(lhs, rhs, atol=1e-8)
+
+
+class TestKTCCAFit:
+    def test_linear_kernel_recovers_signal(self, rng):
+        views = _shared_signal_views(rng)
+        model = KTCCA(
+            n_components=1,
+            epsilon=1e-1,
+            kernels=[LinearKernel() for _ in views],
+            random_state=0,
+        ).fit(views)
+        zs = model.transform_train()
+        for p in range(3):
+            for q in range(p + 1, 3):
+                corr = abs(np.corrcoef(zs[p][:, 0], zs[q][:, 0])[0, 1])
+                assert corr > 0.8
+
+    def test_precomputed_matches_callable(self, rng):
+        views = _shared_signal_views(rng)
+        kernels = [view.T @ view for view in views]
+        precomputed = KTCCA(
+            n_components=2, epsilon=1e-1, random_state=0
+        ).fit(kernels)
+        via_callable = KTCCA(
+            n_components=2,
+            epsilon=1e-1,
+            kernels=[LinearKernel() for _ in views],
+            random_state=0,
+        ).fit(views)
+        np.testing.assert_allclose(
+            np.abs(precomputed.correlations_),
+            np.abs(via_callable.correlations_),
+            rtol=1e-6,
+        )
+
+    def test_kernel_tensor_shape(self, rng):
+        views = _shared_signal_views(rng, n=20)
+        model = KTCCA(
+            n_components=1,
+            kernels=[ExponentialKernel() for _ in views],
+            random_state=0,
+        ).fit(views)
+        assert model.kernel_tensor_shape_ == (20, 20, 20)
+
+    def test_transform_new_data_shape(self, rng):
+        views = _shared_signal_views(rng, n=40)
+        model = KTCCA(
+            n_components=2,
+            kernels=[ExponentialKernel() for _ in views],
+            random_state=0,
+        ).fit(views)
+        new = model.transform([v[:, :8] for v in views])
+        assert all(z.shape == (8, 2) for z in new)
+
+    def test_train_transform_consistent_with_blocks(self, rng):
+        views = _shared_signal_views(rng, n=30)
+        model = KTCCA(
+            n_components=2,
+            kernels=[LinearKernel() for _ in views],
+            random_state=0,
+        ).fit(views)
+        train = model.transform_train()
+        as_new = model.transform(views)
+        for z_train, z_new in zip(train, as_new):
+            np.testing.assert_allclose(z_train, z_new, atol=1e-8)
+
+    def test_pls_constraint(self, rng):
+        views = _shared_signal_views(rng, n=30)
+        kernels = [view.T @ view for view in views]
+        epsilon = 1e-1
+        model = KTCCA(
+            n_components=2, epsilon=epsilon, center=False, random_state=0
+        ).fit(kernels)
+        for kernel, duals in zip(kernels, model.dual_vectors_):
+            target = kernel @ kernel + epsilon * kernel
+            for k in range(2):
+                a = duals[:, k]
+                assert a @ target @ a == pytest.approx(1.0, abs=1e-3)
+
+    def test_combined_train_shape(self, rng):
+        views = _shared_signal_views(rng, n=25)
+        model = KTCCA(
+            n_components=3,
+            kernels=[LinearKernel() for _ in views],
+            random_state=0,
+        ).fit(views)
+        assert model.transform_train_combined().shape == (25, 9)
+
+    def test_kernel_count_mismatch(self, rng):
+        views = _shared_signal_views(rng, n=15)
+        with pytest.raises(ValidationError):
+            KTCCA(kernels=[LinearKernel()] * 2, random_state=0).fit(views)
+
+    def test_kernel_size_mismatch(self):
+        with pytest.raises(ValidationError):
+            KTCCA(random_state=0).fit([np.eye(5), np.eye(5), np.eye(6)])
+
+    def test_components_exceed_samples(self, rng):
+        views = _shared_signal_views(rng, n=10)
+        kernels = [view.T @ view for view in views]
+        with pytest.raises(ValidationError):
+            KTCCA(n_components=20, random_state=0).fit(kernels)
+
+    def test_not_fitted_train_transform(self):
+        with pytest.raises(NotFittedError):
+            KTCCA().transform_train()
+
+    def test_hopm_multi_component_rejected(self):
+        with pytest.raises(ValidationError):
+            KTCCA(n_components=2, decomposition="hopm")

@@ -1,0 +1,200 @@
+"""Unit tests for repro.linalg: covariance structures, whitening, eigen."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.linalg.covariance import (
+    covariance_tensor,
+    cross_covariance,
+    view_covariance,
+)
+from repro.linalg.eigen import (
+    solve_sym_posdef,
+    symmetric_eigh_descending,
+    top_generalized_eig,
+)
+from repro.linalg.whitening import (
+    inverse_sqrt_psd,
+    regularized_inverse_sqrt,
+    sqrt_psd,
+)
+
+
+class TestViewCovariance:
+    def test_matches_definition(self, rng):
+        view = rng.standard_normal((4, 30))
+        expected = sum(
+            np.outer(view[:, n], view[:, n]) for n in range(30)
+        ) / 30
+        np.testing.assert_allclose(view_covariance(view), expected)
+
+    def test_centering_option(self, rng):
+        view = rng.standard_normal((4, 30)) + 5.0
+        centered = view - view.mean(axis=1, keepdims=True)
+        np.testing.assert_allclose(
+            view_covariance(view, assume_centered=False),
+            view_covariance(centered),
+        )
+
+    def test_psd(self, rng):
+        cov = view_covariance(rng.standard_normal((5, 20)))
+        eigenvalues = np.linalg.eigvalsh(cov)
+        assert eigenvalues.min() >= -1e-12
+
+
+class TestCrossCovariance:
+    def test_matches_definition(self, rng):
+        a = rng.standard_normal((3, 25))
+        b = rng.standard_normal((4, 25))
+        np.testing.assert_allclose(cross_covariance(a, b), a @ b.T / 25)
+
+    def test_transpose_symmetry(self, rng):
+        a = rng.standard_normal((3, 25))
+        b = rng.standard_normal((4, 25))
+        np.testing.assert_allclose(
+            cross_covariance(a, b), cross_covariance(b, a).T
+        )
+
+    def test_sample_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            cross_covariance(
+                rng.standard_normal((3, 10)), rng.standard_normal((3, 12))
+            )
+
+
+class TestCovarianceTensor:
+    def test_matches_einsum_3views(self, three_views):
+        expected = np.einsum("an,bn,cn->abc", *three_views) / 40
+        np.testing.assert_allclose(
+            covariance_tensor(three_views), expected, atol=1e-12
+        )
+
+    def test_matches_einsum_4views(self, rng):
+        views = [rng.standard_normal((d, 15)) for d in (3, 4, 2, 5)]
+        expected = np.einsum("an,bn,cn,dn->abcd", *views) / 15
+        np.testing.assert_allclose(
+            covariance_tensor(views), expected, atol=1e-12
+        )
+
+    def test_two_views_is_cross_covariance(self, rng):
+        a = rng.standard_normal((3, 20))
+        b = rng.standard_normal((4, 20))
+        np.testing.assert_allclose(
+            covariance_tensor([a, b]), cross_covariance(a, b), atol=1e-12
+        )
+
+    def test_centering_option(self, rng):
+        views = [rng.standard_normal((3, 30)) + 2.0 for _ in range(3)]
+        centered = [v - v.mean(axis=1, keepdims=True) for v in views]
+        np.testing.assert_allclose(
+            covariance_tensor(views, assume_centered=False),
+            covariance_tensor(centered),
+            atol=1e-12,
+        )
+
+    def test_permuting_views_transposes_tensor(self, three_views):
+        tensor = covariance_tensor(three_views)
+        permuted = covariance_tensor(
+            [three_views[1], three_views[2], three_views[0]]
+        )
+        np.testing.assert_allclose(
+            permuted, np.transpose(tensor, (1, 2, 0)), atol=1e-12
+        )
+
+    def test_rank1_data_gives_rank1_tensor(self, rng):
+        t = rng.standard_normal(50)
+        views = [np.outer(rng.standard_normal(4), t) for _ in range(3)]
+        tensor = covariance_tensor(views)
+        from repro.tensor.dense import unfold
+
+        for mode in range(3):
+            s = np.linalg.svd(unfold(tensor, mode), compute_uv=False)
+            assert np.sum(s > 1e-10 * s[0]) == 1
+
+
+class TestWhitening:
+    def test_sqrt_squares_back(self, rng):
+        a = rng.standard_normal((5, 5))
+        psd = a @ a.T
+        root = sqrt_psd(psd)
+        np.testing.assert_allclose(root @ root, psd, atol=1e-10)
+
+    def test_inverse_sqrt_inverts(self, rng):
+        a = rng.standard_normal((5, 5))
+        psd = a @ a.T + np.eye(5)
+        inv_root = inverse_sqrt_psd(psd)
+        np.testing.assert_allclose(
+            inv_root @ psd @ inv_root, np.eye(5), atol=1e-8
+        )
+
+    def test_inverse_sqrt_symmetric(self, rng):
+        a = rng.standard_normal((4, 4))
+        inv_root = inverse_sqrt_psd(a @ a.T + np.eye(4))
+        np.testing.assert_allclose(inv_root, inv_root.T, atol=1e-12)
+
+    def test_regularized_whitens_covariance(self, rng):
+        view = rng.standard_normal((4, 200))
+        view = view - view.mean(axis=1, keepdims=True)
+        cov = view_covariance(view)
+        whitener = regularized_inverse_sqrt(cov, 1e-3)
+        whitened_cov = whitener @ cov @ whitener
+        # Should be close to identity (up to the ε damping).
+        np.testing.assert_allclose(whitened_cov, np.eye(4), atol=5e-3)
+
+    def test_negative_epsilon_raises(self, rng):
+        with pytest.raises(ValidationError):
+            regularized_inverse_sqrt(np.eye(3), -1.0)
+
+    def test_nonpositive_floor_raises(self):
+        with pytest.raises(ValidationError):
+            inverse_sqrt_psd(np.eye(3), eig_floor=0.0)
+
+    def test_singular_matrix_damped_not_exploding(self):
+        singular = np.diag([1.0, 0.0])
+        inv_root = inverse_sqrt_psd(singular, eig_floor=1e-6)
+        assert np.all(np.isfinite(inv_root))
+        assert inv_root[1, 1] == pytest.approx(1e3)
+
+
+class TestEigenHelpers:
+    def test_descending_order(self, rng):
+        a = rng.standard_normal((6, 6))
+        eigenvalues, eigenvectors = symmetric_eigh_descending(a + a.T)
+        assert np.all(np.diff(eigenvalues) <= 1e-12)
+        np.testing.assert_allclose(
+            (a + a.T) @ eigenvectors,
+            eigenvectors * eigenvalues,
+            atol=1e-8,
+        )
+
+    def test_generalized_eig_b_normalized(self, rng):
+        a = rng.standard_normal((5, 5))
+        a = a + a.T
+        b = rng.standard_normal((5, 5))
+        b = b @ b.T + np.eye(5)
+        eigenvalues, vectors = top_generalized_eig(a, b, 3)
+        for k in range(3):
+            v = vectors[:, k]
+            assert v @ b @ v == pytest.approx(1.0, abs=1e-8)
+            np.testing.assert_allclose(
+                a @ v, eigenvalues[k] * (b @ v), atol=1e-6
+            )
+
+    def test_generalized_eig_identity_b(self, rng):
+        a = rng.standard_normal((4, 4))
+        a = a + a.T
+        eigenvalues, _vectors = top_generalized_eig(a, np.eye(4), 2)
+        expected = np.sort(np.linalg.eigvalsh(a))[::-1][:2]
+        np.testing.assert_allclose(eigenvalues, expected, atol=1e-8)
+
+    def test_component_bounds(self, rng):
+        with pytest.raises(ValidationError):
+            top_generalized_eig(np.eye(3), np.eye(3), 4)
+
+    def test_solve_sym_posdef(self, rng):
+        a = rng.standard_normal((5, 5))
+        spd = a @ a.T + 5 * np.eye(5)
+        rhs = rng.standard_normal((5, 2))
+        x = solve_sym_posdef(spd, rhs)
+        np.testing.assert_allclose(spd @ x, rhs, atol=1e-8)

@@ -1,0 +1,278 @@
+"""Property-based tests (hypothesis) for the core algebraic invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.tcca import multiview_canonical_correlation
+from repro.kernels.centering import center_kernel, normalize_kernel
+from repro.kernels.distances import chi_square_distances, euclidean_distances
+from repro.linalg.covariance import covariance_tensor
+from repro.linalg.whitening import inverse_sqrt_psd, sqrt_psd
+from repro.tensor.cp import CPTensor
+from repro.tensor.dense import (
+    fold,
+    frobenius_norm,
+    inner_product,
+    mode_product,
+    outer_product,
+    unfold,
+)
+from repro.tensor.products import khatri_rao, kronecker
+
+_FLOATS = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+def _tensor_strategy(max_side=4, min_order=2, max_order=4):
+    return st.integers(min_order, max_order).flatmap(
+        lambda order: arrays(
+            np.float64,
+            st.tuples(
+                *[st.integers(1, max_side) for _ in range(order)]
+            ).map(tuple),
+            elements=_FLOATS,
+        )
+    )
+
+
+class TestUnfoldProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(tensor=_tensor_strategy())
+    def test_roundtrip(self, tensor):
+        for mode in range(tensor.ndim):
+            rebuilt = fold(unfold(tensor, mode), mode, tensor.shape)
+            np.testing.assert_allclose(rebuilt, tensor)
+
+    @settings(max_examples=40, deadline=None)
+    @given(tensor=_tensor_strategy())
+    def test_unfolding_preserves_norm(self, tensor):
+        for mode in range(tensor.ndim):
+            assert np.linalg.norm(unfold(tensor, mode)) == pytest.approx(
+                frobenius_norm(tensor), abs=1e-9
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(tensor=_tensor_strategy(max_order=3), data=st.data())
+    def test_mode_product_unfolding_identity(self, tensor, data):
+        mode = data.draw(st.integers(0, tensor.ndim - 1))
+        rows = data.draw(st.integers(1, 3))
+        matrix = data.draw(
+            arrays(
+                np.float64,
+                (rows, tensor.shape[mode]),
+                elements=_FLOATS,
+            )
+        )
+        product = mode_product(tensor, matrix, mode)
+        np.testing.assert_allclose(
+            unfold(product, mode),
+            matrix @ unfold(tensor, mode),
+            atol=1e-8,
+        )
+
+
+class TestLinearityProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(tensor=_tensor_strategy(max_order=3), scale=_FLOATS)
+    def test_mode_product_homogeneous(self, tensor, scale):
+        matrix = np.ones((1, tensor.shape[0]))
+        np.testing.assert_allclose(
+            mode_product(scale * tensor, matrix, 0),
+            scale * mode_product(tensor, matrix, 0),
+            atol=1e-6,
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        a=arrays(np.float64, (3, 4, 2), elements=_FLOATS),
+        b=arrays(np.float64, (3, 4, 2), elements=_FLOATS),
+    )
+    def test_inner_product_symmetric(self, a, b):
+        assert inner_product(a, b) == pytest.approx(
+            inner_product(b, a), abs=1e-9
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=arrays(np.float64, (3, 4, 2), elements=_FLOATS))
+    def test_cauchy_schwarz(self, a):
+        b = np.ones_like(a)
+        lhs = abs(inner_product(a, b))
+        rhs = frobenius_norm(a) * frobenius_norm(b)
+        assert lhs <= rhs + 1e-8
+
+
+class TestProductProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        a=arrays(np.float64, (2, 3), elements=_FLOATS),
+        b=arrays(np.float64, (3, 3), elements=_FLOATS),
+    )
+    def test_khatri_rao_columns_match_kron(self, a, b):
+        result = khatri_rao([a, b])
+        for r in range(3):
+            np.testing.assert_allclose(
+                result[:, r], np.kron(a[:, r], b[:, r]), atol=1e-9
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        a=arrays(np.float64, (2, 2), elements=_FLOATS),
+        b=arrays(np.float64, (3, 2), elements=_FLOATS),
+    )
+    def test_kronecker_norm_multiplicative(self, a, b):
+        assert np.linalg.norm(kronecker([a, b])) == pytest.approx(
+            np.linalg.norm(a) * np.linalg.norm(b), abs=1e-7
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_outer_product_rank1_norm(self, data):
+        vectors = [
+            data.draw(arrays(np.float64, (size,), elements=_FLOATS))
+            for size in (2, 3, 4)
+        ]
+        tensor = outer_product(vectors)
+        expected = np.prod([np.linalg.norm(v) for v in vectors])
+        assert frobenius_norm(tensor) == pytest.approx(expected, abs=1e-7)
+
+
+class TestCPProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_cp_norm_matches_dense(self, data):
+        rank = data.draw(st.integers(1, 3))
+        shape = data.draw(
+            st.tuples(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4))
+        )
+        weights = data.draw(
+            arrays(np.float64, (rank,), elements=_FLOATS)
+        )
+        factors = [
+            data.draw(arrays(np.float64, (s, rank), elements=_FLOATS))
+            for s in shape
+        ]
+        cp = CPTensor(weights=weights, factors=factors)
+        assert cp.norm() == pytest.approx(
+            np.linalg.norm(cp.to_dense().ravel()), abs=1e-6, rel=1e-6
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_normalize_preserves_tensor(self, data):
+        rank = data.draw(st.integers(1, 3))
+        weights = data.draw(arrays(np.float64, (rank,), elements=_FLOATS))
+        factors = [
+            data.draw(arrays(np.float64, (s, rank), elements=_FLOATS))
+            for s in (3, 2, 4)
+        ]
+        cp = CPTensor(weights=weights, factors=factors)
+        np.testing.assert_allclose(
+            cp.normalize().to_dense(), cp.to_dense(), atol=1e-7
+        )
+
+
+class TestCovarianceProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_theorem1_identity(self, data):
+        n = data.draw(st.integers(3, 8))
+        views = [
+            data.draw(arrays(np.float64, (d, n), elements=_FLOATS))
+            for d in (2, 3, 2)
+        ]
+        views = [v - v.mean(axis=1, keepdims=True) for v in views]
+        vectors = [
+            data.draw(arrays(np.float64, (v.shape[0],), elements=_FLOATS))
+            for v in views
+        ]
+        tensor = covariance_tensor(views)
+        tensor_side = tensor
+        for mode, h in enumerate(vectors):
+            tensor_side = mode_product(tensor_side, h[None, :], mode)
+        assert multiview_canonical_correlation(
+            views, vectors
+        ) == pytest.approx(float(tensor_side.ravel()[0]), abs=1e-6)
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_covariance_tensor_multilinear_in_views(self, data):
+        n = data.draw(st.integers(2, 6))
+        views = [
+            data.draw(arrays(np.float64, (2, n), elements=_FLOATS))
+            for _ in range(3)
+        ]
+        scale = data.draw(st.floats(0.1, 5.0))
+        base = covariance_tensor(views)
+        scaled = covariance_tensor([scale * views[0], views[1], views[2]])
+        np.testing.assert_allclose(scaled, scale * base, atol=1e-6)
+
+
+class TestWhiteningProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_sqrt_and_inverse_sqrt_compose(self, data):
+        size = data.draw(st.integers(1, 5))
+        raw = data.draw(
+            arrays(np.float64, (size, size), elements=_FLOATS)
+        )
+        psd = raw @ raw.T + np.eye(size)
+        np.testing.assert_allclose(
+            sqrt_psd(psd) @ inverse_sqrt_psd(psd),
+            np.eye(size),
+            atol=1e-6,
+        )
+
+
+class TestKernelProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_euclidean_triangle_inequality(self, data):
+        view = data.draw(
+            arrays(np.float64, (2, 4), elements=_FLOATS)
+        )
+        distances = euclidean_distances(view)
+        for i in range(4):
+            for j in range(4):
+                for k in range(4):
+                    assert distances[i, j] <= (
+                        distances[i, k] + distances[k, j] + 1e-7
+                    )
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_chi2_symmetry_nonnegativity(self, data):
+        view = data.draw(
+            arrays(
+                np.float64,
+                (3, 4),
+                elements=st.floats(0.0, 5.0),
+            )
+        )
+        distances = chi_square_distances(view)
+        assert distances.min() >= 0.0
+        np.testing.assert_allclose(distances, distances.T, atol=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_centered_kernel_still_psd(self, data):
+        raw = data.draw(
+            arrays(np.float64, (4, 5), elements=_FLOATS)
+        )
+        kernel = raw.T @ raw
+        centered = center_kernel(kernel)
+        eigenvalues = np.linalg.eigvalsh(0.5 * (centered + centered.T))
+        assert eigenvalues.min() >= -1e-7
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_normalized_kernel_entries_bounded(self, data):
+        raw = data.draw(
+            arrays(np.float64, (3, 4), elements=_FLOATS)
+        )
+        kernel = raw.T @ raw + 1e-3 * np.eye(4)
+        normalized = normalize_kernel(kernel)
+        assert np.abs(normalized).max() <= 1.0 + 1e-6

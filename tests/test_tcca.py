@@ -1,0 +1,223 @@
+"""Unit tests for TCCA — including numerical checks of the paper's theorems."""
+
+import numpy as np
+import pytest
+
+from repro.core.tcca import TCCA, multiview_canonical_correlation
+from repro.exceptions import NotFittedError, ValidationError
+from repro.linalg.covariance import covariance_tensor, view_covariance
+from repro.linalg.whitening import regularized_inverse_sqrt
+from repro.tensor.dense import mode_product
+
+
+def _shared_signal_views(rng, n=300, dims=(6, 5, 4), noise=0.2):
+    t = rng.exponential(1.0, n) - 1.0  # skewed shared factor
+    views = []
+    for d in dims:
+        direction = rng.standard_normal(d)
+        direction /= np.linalg.norm(direction)
+        views.append(
+            np.outer(direction, t) + noise * rng.standard_normal((d, n))
+        )
+    return [v - v.mean(axis=1, keepdims=True) for v in views]
+
+
+class TestTheorem1:
+    """corr(z_1,…,z_m) = C ×_1 h_1^T ×_2 … ×_m h_m^T (Theorem 1)."""
+
+    def test_identity_random_vectors(self, three_views, rng):
+        tensor = covariance_tensor(three_views)
+        vectors = [rng.standard_normal(v.shape[0]) for v in three_views]
+        tensor_side = tensor
+        for mode, h in enumerate(vectors):
+            tensor_side = mode_product(tensor_side, h[None, :], mode)
+        tensor_side = float(tensor_side.ravel()[0])
+        data_side = multiview_canonical_correlation(three_views, vectors)
+        assert data_side == pytest.approx(tensor_side, abs=1e-10)
+
+    def test_identity_four_views(self, rng):
+        views = [rng.standard_normal((d, 30)) for d in (3, 4, 2, 5)]
+        views = [v - v.mean(axis=1, keepdims=True) for v in views]
+        tensor = covariance_tensor(views)
+        vectors = [rng.standard_normal(v.shape[0]) for v in views]
+        tensor_side = tensor
+        for mode, h in enumerate(vectors):
+            tensor_side = mode_product(tensor_side, h[None, :], mode)
+        assert multiview_canonical_correlation(views, vectors) == (
+            pytest.approx(float(tensor_side.ravel()[0]), abs=1e-10)
+        )
+
+    def test_vector_length_validation(self, three_views):
+        with pytest.raises(ValidationError):
+            multiview_canonical_correlation(
+                three_views, [np.ones(3)] * 3
+            )
+
+    def test_wrong_vector_count(self, three_views):
+        with pytest.raises(ValidationError):
+            multiview_canonical_correlation(
+                three_views, [np.ones(three_views[0].shape[0])]
+            )
+
+
+class TestTheorem2:
+    """The whitened problem attains the same ρ (Theorem 2)."""
+
+    def test_whitened_contraction_matches_raw(self, three_views, rng):
+        epsilon = 1e-2
+        whiteners = [
+            regularized_inverse_sqrt(view_covariance(v), epsilon)
+            for v in three_views
+        ]
+        m_tensor = covariance_tensor(
+            [w @ v for w, v in zip(whiteners, three_views)]
+        )
+        c_tensor = covariance_tensor(three_views)
+        us = [rng.standard_normal(v.shape[0]) for v in three_views]
+        hs = [w @ u for w, u in zip(whiteners, us)]
+
+        lhs = m_tensor
+        for mode, u in enumerate(us):
+            lhs = mode_product(lhs, u[None, :], mode)
+        rhs = c_tensor
+        for mode, h in enumerate(hs):
+            rhs = mode_product(rhs, h[None, :], mode)
+        assert float(lhs.ravel()[0]) == pytest.approx(
+            float(rhs.ravel()[0]), abs=1e-10
+        )
+
+
+class TestTCCAFit:
+    def test_recovers_shared_direction(self, rng):
+        views = _shared_signal_views(rng)
+        model = TCCA(n_components=1, epsilon=1e-2, random_state=0).fit(views)
+        zs = model.transform(views)
+        # All three canonical variables must be mutually correlated.
+        for p in range(3):
+            for q in range(p + 1, 3):
+                corr = abs(np.corrcoef(zs[p][:, 0], zs[q][:, 0])[0, 1])
+                assert corr > 0.8
+
+    def test_hopm_weight_matches_empirical_correlation(self, rng):
+        views = _shared_signal_views(rng)
+        model = TCCA(
+            n_components=1, epsilon=1e-2, decomposition="hopm",
+            random_state=0,
+        ).fit(views)
+        empirical = model.canonical_correlations(views)
+        assert empirical[0] == pytest.approx(
+            model.correlations_[0], abs=1e-8
+        )
+
+    def test_hopm_rho_is_multilinear_optimum(self, rng):
+        # No random unit contraction should beat the HOPM ρ.
+        views = _shared_signal_views(rng, n=150)
+        model = TCCA(
+            n_components=1, epsilon=1e-2, decomposition="hopm",
+            random_state=0,
+        ).fit(views)
+        whiteners = [
+            regularized_inverse_sqrt(
+                view_covariance(v - v.mean(axis=1, keepdims=True)), 1e-2
+            )
+            for v in views
+        ]
+        m_tensor = covariance_tensor(
+            [
+                w @ (v - v.mean(axis=1, keepdims=True))
+                for w, v in zip(whiteners, views)
+            ]
+        )
+        rho = abs(model.correlations_[0])
+        for _ in range(25):
+            us = [rng.standard_normal(v.shape[0]) for v in views]
+            us = [u / np.linalg.norm(u) for u in us]
+            value = m_tensor
+            for mode, u in enumerate(us):
+                value = mode_product(value, u[None, :], mode)
+            assert abs(float(value.ravel()[0])) <= rho + 1e-8
+
+    def test_transform_shapes(self, rng):
+        views = _shared_signal_views(rng)
+        model = TCCA(n_components=3, random_state=0).fit(views)
+        zs = model.transform(views)
+        assert [z.shape for z in zs] == [(300, 3)] * 3
+        assert model.transform_combined(views).shape == (300, 9)
+
+    def test_out_of_sample_consistency(self, rng):
+        views = _shared_signal_views(rng, n=200)
+        model = TCCA(n_components=2, random_state=0).fit(views)
+        full = model.transform(views)
+        part = model.transform([v[:, :40] for v in views])
+        np.testing.assert_allclose(part[0], full[0][:40], atol=1e-10)
+
+    def test_constraint_h_capped_variance(self, rng):
+        # h_p^T (C_pp + εI) h_p = 1 for every component.
+        views = _shared_signal_views(rng)
+        epsilon = 1e-1
+        model = TCCA(n_components=2, epsilon=epsilon, random_state=0).fit(
+            views
+        )
+        for view, vectors in zip(views, model.canonical_vectors_):
+            centered = view - view.mean(axis=1, keepdims=True)
+            gram = view_covariance(centered) + epsilon * np.eye(
+                view.shape[0]
+            )
+            for k in range(2):
+                h = vectors[:, k]
+                assert h @ gram @ h == pytest.approx(1.0, abs=1e-6)
+
+    def test_covariance_tensor_shape_attribute(self, rng):
+        views = _shared_signal_views(rng)
+        model = TCCA(n_components=1, random_state=0).fit(views)
+        assert model.covariance_tensor_shape_ == (6, 5, 4)
+
+    def test_two_views_supported(self, rng):
+        views = _shared_signal_views(rng)[:2]
+        model = TCCA(n_components=2, random_state=0).fit(views)
+        assert model.transform_combined(views).shape == (300, 4)
+
+    def test_power_decomposition_runs(self, rng):
+        views = _shared_signal_views(rng)
+        model = TCCA(
+            n_components=2, decomposition="power", random_state=0
+        ).fit(views)
+        assert model.transform_combined(views).shape == (300, 6)
+
+    def test_hopm_multi_component_rejected(self):
+        with pytest.raises(ValidationError):
+            TCCA(n_components=2, decomposition="hopm")
+
+    def test_unknown_decomposition_rejected(self):
+        with pytest.raises(ValidationError):
+            TCCA(decomposition="magic")
+
+    def test_components_capped_by_dimension(self, rng):
+        views = _shared_signal_views(rng)
+        with pytest.raises(ValidationError):
+            TCCA(n_components=5, random_state=0).fit(views)  # min dim is 4
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValidationError):
+            TCCA(epsilon=-0.5)
+
+    def test_not_fitted_transform(self, rng):
+        with pytest.raises(NotFittedError):
+            TCCA().transform([rng.standard_normal((3, 5))] * 2)
+
+    def test_deterministic_given_seed(self, rng):
+        views = _shared_signal_views(rng)
+        z1 = TCCA(n_components=2, random_state=5).fit_transform_combined(
+            views
+        )
+        z2 = TCCA(n_components=2, random_state=5).fit_transform_combined(
+            views
+        )
+        np.testing.assert_allclose(z1, z2)
+
+    def test_view_count_preserved(self, rng):
+        views = _shared_signal_views(rng)
+        model = TCCA(n_components=1, random_state=0).fit(views)
+        assert model.n_views_ == 3
+        with pytest.raises(ValidationError):
+            model.transform(views[:2])

@@ -1,0 +1,124 @@
+"""Unit tests for the CPTensor container."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError, ValidationError
+from repro.tensor.cp import CPTensor, rank1_tensor
+from repro.tensor.dense import outer_product, unfold
+
+
+def _random_cp(rng, shape=(4, 5, 6), rank=3):
+    return CPTensor(
+        weights=rng.standard_normal(rank),
+        factors=[rng.standard_normal((s, rank)) for s in shape],
+    )
+
+
+class TestRank1Tensor:
+    def test_matches_outer(self, rng):
+        vectors = [rng.standard_normal(s) for s in (3, 4)]
+        np.testing.assert_allclose(
+            rank1_tensor(vectors, 2.5), 2.5 * outer_product(vectors)
+        )
+
+
+class TestCPTensorBasics:
+    def test_shape_rank_order(self, rng):
+        cp = _random_cp(rng)
+        assert cp.shape == (4, 5, 6)
+        assert cp.rank == 3
+        assert cp.order == 3
+
+    def test_to_dense_matches_sum_of_outers(self, rng):
+        cp = _random_cp(rng)
+        expected = sum(
+            cp.weights[r]
+            * outer_product([factor[:, r] for factor in cp.factors])
+            for r in range(cp.rank)
+        )
+        np.testing.assert_allclose(cp.to_dense(), expected)
+
+    def test_unfold_matches_dense_unfold(self, rng):
+        cp = _random_cp(rng)
+        dense = cp.to_dense()
+        for mode in range(cp.order):
+            np.testing.assert_allclose(
+                cp.unfold(mode), unfold(dense, mode), atol=1e-12
+            )
+
+    def test_unfold_bad_mode(self, rng):
+        with pytest.raises(ValidationError):
+            _random_cp(rng).unfold(5)
+
+    def test_weights_must_be_1d(self, rng):
+        with pytest.raises(ShapeError):
+            CPTensor(
+                weights=np.ones((2, 2)),
+                factors=[np.ones((3, 2))],
+            )
+
+    def test_factor_rank_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            CPTensor(weights=np.ones(2), factors=[np.ones((3, 4))])
+
+    def test_no_factors_raises(self):
+        with pytest.raises(ValidationError):
+            CPTensor(weights=np.ones(2), factors=[])
+
+
+class TestCPNorm:
+    def test_norm_matches_dense(self, rng):
+        cp = _random_cp(rng)
+        assert cp.norm() == pytest.approx(
+            np.linalg.norm(cp.to_dense().ravel())
+        )
+
+    def test_norm_rank1(self, rng):
+        vectors = [rng.standard_normal(s) for s in (3, 4, 5)]
+        cp = CPTensor(
+            weights=np.array([2.0]),
+            factors=[v[:, None] for v in vectors],
+        )
+        expected = 2.0 * np.prod([np.linalg.norm(v) for v in vectors])
+        assert cp.norm() == pytest.approx(expected)
+
+
+class TestNormalize:
+    def test_preserves_dense(self, rng):
+        cp = _random_cp(rng)
+        normalized = cp.normalize()
+        np.testing.assert_allclose(
+            normalized.to_dense(), cp.to_dense(), atol=1e-12
+        )
+
+    def test_unit_columns(self, rng):
+        normalized = _random_cp(rng).normalize()
+        for factor in normalized.factors:
+            np.testing.assert_allclose(
+                np.linalg.norm(factor, axis=0), np.ones(normalized.rank)
+            )
+
+    def test_zero_column_stays_zero(self):
+        cp = CPTensor(
+            weights=np.array([1.0, 1.0]),
+            factors=[
+                np.array([[1.0, 0.0], [0.0, 0.0]]),
+                np.array([[1.0, 0.0], [0.0, 0.0]]),
+            ],
+        )
+        normalized = cp.normalize()
+        assert normalized.weights[1] == 0.0
+
+
+class TestComponent:
+    def test_component_roundtrip(self, rng):
+        cp = _random_cp(rng)
+        weight, vectors = cp.component(1)
+        assert weight == pytest.approx(cp.weights[1])
+        for mode, vector in enumerate(vectors):
+            np.testing.assert_allclose(vector, cp.factors[mode][:, 1])
+
+    def test_component_out_of_range(self, rng):
+        with pytest.raises(ValidationError):
+            _random_cp(rng).component(7)

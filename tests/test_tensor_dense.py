@@ -1,0 +1,222 @@
+"""Unit tests for repro.tensor.dense: unfolding, mode products, norms."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError, ValidationError
+from repro.tensor.dense import (
+    cyclic_mode_order,
+    fold,
+    frobenius_norm,
+    inner_product,
+    mode_product,
+    multi_mode_product,
+    outer_product,
+    unfold,
+)
+
+
+class TestCyclicModeOrder:
+    def test_order3_mode0(self):
+        assert cyclic_mode_order(3, 0) == [1, 2]
+
+    def test_order3_mode1(self):
+        assert cyclic_mode_order(3, 1) == [2, 0]
+
+    def test_order3_mode2(self):
+        assert cyclic_mode_order(3, 2) == [0, 1]
+
+    def test_order5_wraps(self):
+        assert cyclic_mode_order(5, 3) == [4, 0, 1, 2]
+
+
+class TestUnfoldFold:
+    def test_unfold_shape(self, small_tensor):
+        assert unfold(small_tensor, 0).shape == (4, 30)
+        assert unfold(small_tensor, 1).shape == (5, 24)
+        assert unfold(small_tensor, 2).shape == (6, 20)
+
+    def test_roundtrip_all_modes(self, small_tensor):
+        for mode in range(3):
+            rebuilt = fold(unfold(small_tensor, mode), mode, small_tensor.shape)
+            np.testing.assert_allclose(rebuilt, small_tensor)
+
+    def test_roundtrip_order4(self, order4_tensor):
+        for mode in range(4):
+            rebuilt = fold(
+                unfold(order4_tensor, mode), mode, order4_tensor.shape
+            )
+            np.testing.assert_allclose(rebuilt, order4_tensor)
+
+    def test_unfold_matches_explicit_entries(self):
+        tensor = np.arange(24, dtype=float).reshape(2, 3, 4)
+        unfolded = unfold(tensor, 0)
+        # Column ordering: mode-1 fastest, then mode-2.
+        for i2 in range(3):
+            for i3 in range(4):
+                column = i2 + 3 * i3
+                np.testing.assert_allclose(
+                    unfolded[:, column], tensor[:, i2, i3]
+                )
+
+    def test_unfold_rank1_is_rank1_matrix(self):
+        a, b, c = np.arange(3.0), np.arange(1.0, 5.0), np.arange(2.0, 4.0)
+        tensor = outer_product([a, b, c])
+        for mode in range(3):
+            singular_values = np.linalg.svd(
+                unfold(tensor, mode), compute_uv=False
+            )
+            assert np.sum(singular_values > 1e-10) == 1
+
+    def test_unfold_bad_mode_raises(self, small_tensor):
+        with pytest.raises(ValidationError):
+            unfold(small_tensor, 3)
+        with pytest.raises(ValidationError):
+            unfold(small_tensor, -1)
+
+    def test_fold_shape_mismatch_raises(self, small_tensor):
+        matrix = unfold(small_tensor, 0)
+        with pytest.raises(ShapeError):
+            fold(matrix, 0, (4, 5, 7))
+
+    def test_fold_bad_mode_raises(self, small_tensor):
+        matrix = unfold(small_tensor, 0)
+        with pytest.raises(ValidationError):
+            fold(matrix, 5, small_tensor.shape)
+
+
+class TestModeProduct:
+    def test_matches_unfolding_identity(self, small_tensor, rng):
+        # B = A ×_p U  <=>  B_(p) = U A_(p)
+        for mode, size in enumerate(small_tensor.shape):
+            matrix = rng.standard_normal((3, size))
+            product = mode_product(small_tensor, matrix, mode)
+            np.testing.assert_allclose(
+                unfold(product, mode), matrix @ unfold(small_tensor, mode)
+            )
+
+    def test_vector_contraction_keeps_singleton(self, small_tensor):
+        vector = np.ones(small_tensor.shape[1])
+        product = mode_product(small_tensor, vector, 1)
+        assert product.shape == (4, 1, 6)
+        np.testing.assert_allclose(
+            product[:, 0, :], small_tensor.sum(axis=1)
+        )
+
+    def test_identity_matrix_is_noop(self, small_tensor):
+        eye = np.eye(small_tensor.shape[2])
+        np.testing.assert_allclose(
+            mode_product(small_tensor, eye, 2), small_tensor
+        )
+
+    def test_composition_commutes_across_modes(self, small_tensor, rng):
+        u0 = rng.standard_normal((2, 4))
+        u2 = rng.standard_normal((3, 6))
+        one_way = mode_product(mode_product(small_tensor, u0, 0), u2, 2)
+        other_way = mode_product(mode_product(small_tensor, u2, 2), u0, 0)
+        np.testing.assert_allclose(one_way, other_way)
+
+    def test_same_mode_composes_as_matrix_product(self, small_tensor, rng):
+        u = rng.standard_normal((5, 4))
+        v = rng.standard_normal((3, 5))
+        np.testing.assert_allclose(
+            mode_product(mode_product(small_tensor, u, 0), v, 0),
+            mode_product(small_tensor, v @ u, 0),
+        )
+
+    def test_wrong_columns_raises(self, small_tensor):
+        with pytest.raises(ShapeError):
+            mode_product(small_tensor, np.ones((2, 7)), 0)
+
+
+class TestMultiModeProduct:
+    def test_matches_sequential(self, small_tensor, rng):
+        matrices = [
+            rng.standard_normal((2, 4)),
+            rng.standard_normal((3, 5)),
+            rng.standard_normal((2, 6)),
+        ]
+        expected = small_tensor
+        for mode, matrix in enumerate(matrices):
+            expected = mode_product(expected, matrix, mode)
+        np.testing.assert_allclose(
+            multi_mode_product(small_tensor, matrices), expected
+        )
+
+    def test_skip_mode(self, small_tensor, rng):
+        matrices = [
+            rng.standard_normal((2, 4)),
+            rng.standard_normal((3, 5)),
+            rng.standard_normal((2, 6)),
+        ]
+        product = multi_mode_product(small_tensor, matrices, skip=1)
+        expected = mode_product(
+            mode_product(small_tensor, matrices[0], 0), matrices[2], 2
+        )
+        np.testing.assert_allclose(product, expected)
+
+    def test_mismatched_lengths_raise(self, small_tensor):
+        with pytest.raises(ValidationError):
+            multi_mode_product(small_tensor, [np.eye(4)], modes=[0, 1])
+
+    def test_full_contraction_gives_scalar_entry(self, small_tensor, rng):
+        vectors = [rng.standard_normal(s) for s in small_tensor.shape]
+        contracted = multi_mode_product(
+            small_tensor, [v[None, :] for v in vectors]
+        )
+        assert contracted.shape == (1, 1, 1)
+        expected = np.einsum("abc,a,b,c->", small_tensor, *vectors)
+        np.testing.assert_allclose(contracted.ravel()[0], expected)
+
+
+class TestOuterProduct:
+    def test_matches_einsum(self, rng):
+        vectors = [rng.standard_normal(s) for s in (3, 4, 5)]
+        np.testing.assert_allclose(
+            outer_product(vectors), np.einsum("a,b,c->abc", *vectors)
+        )
+
+    def test_two_vectors_is_outer(self, rng):
+        a, b = rng.standard_normal(3), rng.standard_normal(4)
+        np.testing.assert_allclose(outer_product([a, b]), np.outer(a, b))
+
+    def test_single_vector(self):
+        np.testing.assert_allclose(
+            outer_product([np.array([1.0, 2.0])]), [1.0, 2.0]
+        )
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            outer_product([])
+
+    def test_non_1d_raises(self):
+        with pytest.raises(ShapeError):
+            outer_product([np.ones((2, 2))])
+
+
+class TestNorms:
+    def test_frobenius_matches_ravel(self, small_tensor):
+        assert frobenius_norm(small_tensor) == pytest.approx(
+            np.linalg.norm(small_tensor.ravel())
+        )
+
+    def test_inner_product_self_is_norm_squared(self, small_tensor):
+        assert inner_product(small_tensor, small_tensor) == pytest.approx(
+            frobenius_norm(small_tensor) ** 2
+        )
+
+    def test_inner_product_bilinear(self, small_tensor, rng):
+        other = rng.standard_normal(small_tensor.shape)
+        assert inner_product(2.0 * small_tensor, other) == pytest.approx(
+            2.0 * inner_product(small_tensor, other)
+        )
+
+    def test_inner_product_shape_mismatch(self, small_tensor):
+        with pytest.raises(ShapeError):
+            inner_product(small_tensor, np.ones((4, 5, 7)))
+
+    def test_norm_invariant_under_unfolding(self, small_tensor):
+        for mode in range(3):
+            assert np.linalg.norm(unfold(small_tensor, mode)) == (
+                pytest.approx(frobenius_norm(small_tensor))
+            )

@@ -1,0 +1,86 @@
+"""Unit tests for Kronecker and Khatri-Rao products."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError, ValidationError
+from repro.tensor.products import khatri_rao, kronecker
+
+
+class TestKronecker:
+    def test_matches_numpy_kron(self, rng):
+        a = rng.standard_normal((2, 3))
+        b = rng.standard_normal((4, 2))
+        np.testing.assert_allclose(kronecker([a, b]), np.kron(a, b))
+
+    def test_three_factors_associative(self, rng):
+        mats = [rng.standard_normal((2, 2)) for _ in range(3)]
+        np.testing.assert_allclose(
+            kronecker(mats), np.kron(np.kron(mats[0], mats[1]), mats[2])
+        )
+
+    def test_identity_factor(self, rng):
+        a = rng.standard_normal((2, 3))
+        result = kronecker([np.eye(2), a])
+        assert result.shape == (4, 6)
+        np.testing.assert_allclose(result[:2, :3], a)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            kronecker([])
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ShapeError):
+            kronecker([np.ones(3)])
+
+    def test_mixed_product_property(self, rng):
+        # (A ⊗ B)(C ⊗ D) = (AC) ⊗ (BD)
+        a, b = rng.standard_normal((2, 3)), rng.standard_normal((4, 2))
+        c, d = rng.standard_normal((3, 2)), rng.standard_normal((2, 5))
+        np.testing.assert_allclose(
+            kronecker([a, b]) @ kronecker([c, d]),
+            kronecker([a @ c, b @ d]),
+        )
+
+
+class TestKhatriRao:
+    def test_columns_are_kronecker(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((5, 4))
+        result = khatri_rao([a, b])
+        assert result.shape == (15, 4)
+        for r in range(4):
+            np.testing.assert_allclose(
+                result[:, r], np.kron(a[:, r], b[:, r])
+            )
+
+    def test_three_factors(self, rng):
+        mats = [rng.standard_normal((s, 3)) for s in (2, 3, 4)]
+        result = khatri_rao(mats)
+        assert result.shape == (24, 3)
+        for r in range(3):
+            np.testing.assert_allclose(
+                result[:, r],
+                np.kron(np.kron(mats[0][:, r], mats[1][:, r]), mats[2][:, r]),
+            )
+
+    def test_single_matrix_unchanged(self, rng):
+        a = rng.standard_normal((3, 2))
+        np.testing.assert_allclose(khatri_rao([a]), a)
+
+    def test_column_mismatch_raises(self, rng):
+        with pytest.raises(ShapeError):
+            khatri_rao(
+                [rng.standard_normal((3, 2)), rng.standard_normal((3, 4))]
+            )
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            khatri_rao([])
+
+    def test_gram_is_hadamard_of_grams(self, rng):
+        # (A ⊙ B)^T (A ⊙ B) = (A^T A) * (B^T B)
+        a = rng.standard_normal((4, 3))
+        b = rng.standard_normal((5, 3))
+        kr = khatri_rao([a, b])
+        np.testing.assert_allclose(kr.T @ kr, (a.T @ a) * (b.T @ b))

@@ -1,0 +1,197 @@
+"""Unit tests for repro.utils: rng plumbing, validation, preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError, ValidationError
+from repro.utils import (
+    center_columns,
+    center_views,
+    check_positive_int,
+    check_random_state,
+    check_square,
+    check_views,
+    ensure_2d,
+    normalize_columns,
+    spawn_rngs,
+    unit_scale_views,
+)
+
+
+class TestCheckRandomState:
+    def test_none_gives_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = check_random_state(7).integers(0, 1000, 5)
+        b = check_random_state(7).integers(0, 1000, 5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert check_random_state(rng) is rng
+
+    def test_invalid_type(self):
+        with pytest.raises(ValidationError):
+            check_random_state("seed")
+
+    def test_spawn_independent_streams(self):
+        streams = spawn_rngs(0, 3)
+        assert len(streams) == 3
+        draws = [stream.integers(0, 10**9) for stream in streams]
+        assert len(set(draws)) == 3
+
+    def test_spawn_negative_count(self):
+        with pytest.raises(ValidationError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_reproducible(self):
+        a = [g.integers(0, 10**9) for g in spawn_rngs(5, 2)]
+        b = [g.integers(0, 10**9) for g in spawn_rngs(5, 2)]
+        assert a == b
+
+
+class TestEnsure2D:
+    def test_accepts_lists(self):
+        out = ensure_2d([[1, 2], [3, 4]])
+        assert out.dtype == np.float64
+        assert out.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            ensure_2d(np.ones(3))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShapeError):
+            ensure_2d(np.empty((0, 3)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            ensure_2d(np.array([[np.nan, 1.0]]))
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            ensure_2d(np.array([[np.inf, 1.0]]))
+
+
+class TestCheckViews:
+    def test_valid(self, three_views):
+        checked = check_views(three_views)
+        assert len(checked) == 3
+
+    def test_none_rejected(self):
+        with pytest.raises(ValidationError):
+            check_views(None)
+
+    def test_min_views(self, three_views):
+        with pytest.raises(ValidationError):
+            check_views(three_views[:1], min_views=2)
+
+    def test_sample_mismatch(self, rng):
+        views = [rng.standard_normal((3, 10)), rng.standard_normal((3, 12))]
+        with pytest.raises(ValidationError):
+            check_views(views)
+
+    def test_sample_mismatch_allowed_when_disabled(self, rng):
+        views = [rng.standard_normal((3, 10)), rng.standard_normal((3, 12))]
+        assert len(check_views(views, same_samples=False)) == 2
+
+
+class TestCheckSquare:
+    def test_square_ok(self):
+        assert check_square(np.eye(3)).shape == (3, 3)
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ShapeError):
+            check_square(np.ones((2, 3)))
+
+
+class TestCheckPositiveInt:
+    def test_valid(self):
+        assert check_positive_int(3) == 3
+
+    def test_numpy_integer(self):
+        assert check_positive_int(np.int64(4)) == 4
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(0)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(True)
+
+    def test_float_rejected(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(2.0)
+
+    def test_custom_minimum(self):
+        assert check_positive_int(0, minimum=0) == 0
+
+
+class TestPreprocessing:
+    def test_center_columns_zero_mean(self, rng):
+        matrix = rng.standard_normal((4, 30)) + 3.0
+        centered = center_columns(matrix)
+        np.testing.assert_allclose(
+            centered.mean(axis=1), np.zeros(4), atol=1e-12
+        )
+
+    def test_center_columns_returns_mean(self, rng):
+        matrix = rng.standard_normal((4, 30))
+        centered, mean = center_columns(matrix, return_mean=True)
+        np.testing.assert_allclose(centered + mean, matrix)
+
+    def test_center_views(self, three_views):
+        shifted = [view + 5.0 for view in three_views]
+        for view in center_views(shifted):
+            np.testing.assert_allclose(
+                view.mean(axis=1), np.zeros(view.shape[0]), atol=1e-12
+            )
+
+    def test_normalize_columns_unit_norm(self, rng):
+        matrix = rng.standard_normal((5, 20))
+        normalized = normalize_columns(matrix)
+        np.testing.assert_allclose(
+            np.linalg.norm(normalized, axis=0), np.ones(20), atol=1e-12
+        )
+
+    def test_normalize_zero_column_untouched(self):
+        matrix = np.zeros((3, 2))
+        matrix[:, 1] = [3.0, 4.0, 0.0]
+        normalized = normalize_columns(matrix)
+        np.testing.assert_allclose(normalized[:, 0], np.zeros(3))
+        assert np.linalg.norm(normalized[:, 1]) == pytest.approx(1.0)
+
+    def test_unit_scale_views(self, three_views):
+        for view in unit_scale_views(three_views):
+            norms = np.linalg.norm(view, axis=0)
+            np.testing.assert_allclose(
+                norms, np.ones(view.shape[1]), atol=1e-12
+            )
+
+
+class TestExceptionsHierarchy:
+    def test_all_catchable_as_repro_error(self):
+        from repro import exceptions
+
+        for name in (
+            "ValidationError",
+            "ShapeError",
+            "NotFittedError",
+            "DecompositionError",
+            "DatasetError",
+            "ExperimentError",
+        ):
+            cls = getattr(exceptions, name)
+            assert issubclass(cls, exceptions.ReproError)
+
+    def test_validation_is_value_error(self):
+        from repro.exceptions import ValidationError
+
+        assert issubclass(ValidationError, ValueError)
+
+    def test_not_fitted_is_runtime_error(self):
+        from repro.exceptions import NotFittedError
+
+        assert issubclass(NotFittedError, RuntimeError)
