@@ -8,7 +8,11 @@ dominate).
 
 from repro.experiments import run_experiment
 
-SCALE = dict(n_samples=2500, dims=(5, 10, 20), random_state=0)
+# N sits where DSE's N×N cost clearly dominates TCCA's N-linear one: at
+# 2500 the TCCA < DSE+SSMVD margin was ~3% — inside wall-clock noise, so
+# the ordering assertion flipped on machine jitter. 3500 makes the
+# ordering structural rather than a coin flip.
+SCALE = dict(n_samples=3500, dims=(5, 10, 20), random_state=0)
 
 
 def test_bench_fig7_secstr_complexity(benchmark):

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so legacy
+installs (``python setup.py develop``) keep working in offline
+environments whose setuptools lacks the ``wheel`` package that PEP 660
+editable installs require. Prefer ``pip install -e .`` where available.
+"""
+
+from setuptools import setup
+
+setup()

@@ -21,7 +21,7 @@ from repro.core import KTCCA, TCCA, multiview_canonical_correlation
 from repro.cca import CCA, KCCA, LSCCA, MaxVarCCA
 from repro.baselines import DSE, SSMVD, PCA
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CCA",

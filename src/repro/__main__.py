@@ -14,8 +14,21 @@ import ast
 import sys
 import warnings
 
+import inspect
+
 from repro.exceptions import ConvergenceWarning
 from repro.experiments import EXPERIMENTS, run_experiment
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type for strictly positive integers (e.g. --chunk-size)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _parse_override(text: str) -> tuple[str, object]:
@@ -61,12 +74,37 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="key=value",
         help="driver keyword override (repeatable), e.g. n_samples=500",
     )
+    run_parser.add_argument(
+        "--stream",
+        action="store_true",
+        help=(
+            "complexity experiments (fig7-fig10) only: also measure the "
+            "out-of-core TCCA-STREAM path so time/peak-memory is reported "
+            "for both the batch and streaming covariance engines"
+        ),
+    )
+    run_parser.add_argument(
+        "--chunk-size",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="minibatch size of the streaming path (implies --stream)",
+    )
     return parser
 
 
 def main(argv=None) -> int:
     """CLI body; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run" and (args.stream or args.chunk_size is not None):
+        driver = EXPERIMENTS[args.experiment_id].driver
+        if "stream" not in inspect.signature(driver).parameters:
+            parser.error(
+                f"--stream/--chunk-size only apply to experiments whose "
+                f"driver supports streaming (fig7-fig10), not "
+                f"{args.experiment_id!r}"
+            )
     if args.command == "list":
         width = max(len(spec.experiment_id) for spec in EXPERIMENTS.values())
         for experiment_id in sorted(EXPERIMENTS):
@@ -78,7 +116,15 @@ def main(argv=None) -> int:
         return 0
 
     warnings.simplefilter("ignore", ConvergenceWarning)
-    result = run_experiment(args.experiment_id, **dict(args.override))
+    overrides = dict(args.override)
+    # --stream / --chunk-size are sugar for the complexity drivers'
+    # keywords; only forwarded when given so other drivers are unaffected.
+    # A bare --chunk-size implies --stream (it configures nothing else).
+    if args.stream or args.chunk_size is not None:
+        overrides["stream"] = True
+    if args.chunk_size is not None:
+        overrides["chunk_size"] = args.chunk_size
+    result = run_experiment(args.experiment_id, **overrides)
     if result.panels:
         print(result.series())
         print()

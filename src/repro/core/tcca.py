@@ -21,6 +21,11 @@ from repro.cca.base import MultiviewTransformer
 from repro.exceptions import ValidationError
 from repro.linalg.covariance import covariance_tensor, view_covariance
 from repro.linalg.whitening import regularized_inverse_sqrt
+from repro.streaming.covariance import (
+    StreamingCovariance,
+    StreamingCovarianceTensor,
+)
+from repro.streaming.views import as_view_stream
 from repro.tensor.decomposition import (
     best_rank1,
     cp_als,
@@ -33,6 +38,7 @@ __all__ = [
     "WhitenedTensor",
     "multiview_canonical_correlation",
     "whitened_covariance_tensor",
+    "whitened_covariance_tensor_streaming",
 ]
 
 _DECOMPOSITIONS = ("als", "hopm", "power")
@@ -79,6 +85,91 @@ def whitened_covariance_tensor(views, epsilon: float) -> WhitenedTensor:
     tensor = covariance_tensor(whitened_views)
     return WhitenedTensor(
         means=means, whiteners=whiteners, tensor=tensor, epsilon=epsilon
+    )
+
+
+def whitened_covariance_tensor_streaming(
+    stream, epsilon: float, *, chunk_size: int | None = None
+) -> WhitenedTensor:
+    """Out-of-core version of :func:`whitened_covariance_tensor`.
+
+    Makes two passes over a :class:`~repro.streaming.views.ViewStream`
+    (or anything :func:`~repro.streaming.views.as_view_stream` accepts):
+
+    1. per-view :class:`~repro.streaming.covariance.StreamingCovariance`
+       accumulators collect exact means and covariances ``C_pp``, from
+       which the whiteners ``C̃_pp^{-1/2}`` are built;
+    2. each chunk is centered with the exact means, whitened, and fed to a
+       :class:`~repro.streaming.covariance.StreamingCovarianceTensor`
+       that assembles ``M`` — the covariance tensor of the whitened views.
+
+    Peak accumulation memory is ``∏ d_p`` plus one chunk, independent of
+    ``N``; the result matches the batch path to floating-point round-off,
+    so downstream CP solves agree to tight tolerance.
+    """
+    stream = as_view_stream(stream, chunk_size)
+    statistics = [StreamingCovariance() for _ in range(stream.n_views)]
+    for chunks in stream.chunks():
+        chunks = list(chunks)
+        if len(chunks) != len(statistics):
+            raise ValidationError(
+                f"stream yielded {len(chunks)} view chunks, advertised "
+                f"{len(statistics)} views"
+            )
+        widths = {np.shape(chunk)[-1] for chunk in chunks}
+        if len(widths) != 1:
+            raise ValidationError(
+                f"view chunks must share the sample count; got {sorted(widths)}"
+            )
+        for accumulator, chunk in zip(statistics, chunks):
+            accumulator.update(chunk)
+    if any(
+        accumulator.n_samples != stream.n_samples
+        for accumulator in statistics
+    ):
+        raise ValidationError(
+            f"stream yielded "
+            f"{[accumulator.n_samples for accumulator in statistics]} "
+            f"samples per view but advertised {stream.n_samples}"
+        )
+    means = [
+        accumulator.mean.reshape(-1, 1) for accumulator in statistics
+    ]
+    whiteners = [
+        regularized_inverse_sqrt(accumulator.covariance(), epsilon)
+        for accumulator in statistics
+    ]
+    dims = tuple(accumulator.dim for accumulator in statistics)
+    accumulator = StreamingCovarianceTensor(
+        dims=dims,
+        center=False,
+        shifts=[0.0] * len(dims),
+        track_view_covariances=False,
+    )
+    for chunks in stream.chunks():
+        chunks = list(chunks)
+        if len(chunks) != len(whiteners):
+            raise ValidationError(
+                f"stream yielded {len(chunks)} view chunks, advertised "
+                f"{len(whiteners)} views"
+            )
+        accumulator.update(
+            [
+                whitener @ (np.asarray(chunk, dtype=np.float64) - mean)
+                for whitener, chunk, mean in zip(whiteners, chunks, means)
+            ]
+        )
+    if accumulator.n_samples != stream.n_samples:
+        raise ValidationError(
+            f"stream yielded {accumulator.n_samples} samples on the second "
+            f"pass but advertised {stream.n_samples}; streams must be "
+            "re-iterable"
+        )
+    return WhitenedTensor(
+        means=means,
+        whiteners=whiteners,
+        tensor=accumulator.tensor(),
+        epsilon=epsilon,
     )
 
 
@@ -187,32 +278,90 @@ class TCCA(MultiviewTransformer):
             (useful when sweeping ``n_components``).
         """
         views = check_views(views, min_views=2)
-        max_rank = min(view.shape[0] for view in views)
+        dims = [view.shape[0] for view in views]
+        self._check_rank(dims)
+        if precomputed is None:
+            precomputed = whitened_covariance_tensor(views, self.epsilon)
+        else:
+            self._check_precomputed(precomputed, dims)
+        return self._finish_fit(precomputed, dims)
+
+    def fit_stream(
+        self,
+        stream,
+        *,
+        chunk_size: int | None = None,
+        precomputed: WhitenedTensor | None = None,
+    ) -> "TCCA":
+        """Learn canonical vectors from a chunked multi-view stream.
+
+        The out-of-core counterpart of :meth:`fit`: consumes a
+        :class:`~repro.streaming.views.ViewStream` (or a
+        :class:`~repro.datasets.synthetic.MultiviewDataset` / list of view
+        matrices, wrapped automatically) in two passes via
+        :func:`whitened_covariance_tensor_streaming`, so peak
+        covariance-accumulation memory is independent of the sample count.
+        On the same data this yields the same canonical vectors as
+        :meth:`fit` up to floating-point round-off.
+
+        Parameters
+        ----------
+        stream:
+            The chunked data source; iterated twice.
+        chunk_size:
+            Optional chunk size forwarded to the stream wrapper.
+        precomputed:
+            Optional whitening state from
+            :func:`whitened_covariance_tensor_streaming` built on the
+            *same* stream with ``epsilon == self.epsilon``.
+        """
+        stream = as_view_stream(stream, chunk_size)
+        dims = list(stream.dims)
+        if len(dims) < 2:
+            raise ValidationError(
+                f"need at least 2 views, stream has {len(dims)}"
+            )
+        self._check_rank(dims)
+        if precomputed is None:
+            precomputed = whitened_covariance_tensor_streaming(
+                stream, self.epsilon
+            )
+        else:
+            self._check_precomputed(precomputed, dims)
+        return self._finish_fit(precomputed, dims)
+
+    def _check_rank(self, dims) -> None:
+        max_rank = min(dims)
         if self.n_components > max_rank:
             raise ValidationError(
                 f"n_components={self.n_components} exceeds the smallest view "
                 f"dimension {max_rank} (the paper requires r <= min_p d_p)"
             )
-        if precomputed is None:
-            precomputed = whitened_covariance_tensor(views, self.epsilon)
-        else:
-            if precomputed.epsilon != self.epsilon:
-                raise ValidationError(
-                    f"precomputed state was built with epsilon="
-                    f"{precomputed.epsilon}, the estimator uses "
-                    f"{self.epsilon}"
-                )
-            if precomputed.dims != [view.shape[0] for view in views]:
-                raise ValidationError(
-                    "precomputed state dimensions do not match the views"
-                )
+
+    def _check_precomputed(self, precomputed: WhitenedTensor, dims) -> None:
+        if precomputed.epsilon != self.epsilon:
+            raise ValidationError(
+                f"precomputed state was built with epsilon="
+                f"{precomputed.epsilon}, the estimator uses "
+                f"{self.epsilon}"
+            )
+        if precomputed.dims != list(dims):
+            raise ValidationError(
+                "precomputed state dimensions do not match the views"
+            )
+
+    def _finish_fit(self, precomputed: WhitenedTensor, dims) -> "TCCA":
+        """Decompose the whitened tensor and set the fitted attributes."""
         self.means_ = precomputed.means
         whiteners = precomputed.whiteners
         m_tensor = precomputed.tensor
         self.covariance_tensor_shape_ = m_tensor.shape
 
         result = self._decompose(m_tensor)
-        cp = result.cp.normalize()
+        # Canonicalizing CP signs makes the fit deterministic up to
+        # round-off: batch and streaming tensor assemblies that differ in
+        # the last bit land on the same canonical vectors.
+        cp = result.cp.normalize().canonicalize_signs()
         self.decomposition_result_ = result
         self.correlations_ = cp.weights.copy()
         self.factors_ = cp.factors
@@ -220,8 +369,8 @@ class TCCA(MultiviewTransformer):
             whitener @ factor
             for whitener, factor in zip(whiteners, cp.factors)
         ]
-        self.n_views_ = len(views)
-        self._dims = [view.shape[0] for view in views]
+        self.n_views_ = len(dims)
+        self._dims = list(dims)
         return self
 
     def _decompose(self, m_tensor: np.ndarray):

@@ -9,10 +9,14 @@ carried by the joint, higher-order dependence of all views); see DESIGN.md
 §4 for the substitution rationale.
 """
 
-from repro.datasets.synthetic import MultiviewDataset, make_multiview_latent
-from repro.datasets.secstr import make_secstr_like
-from repro.datasets.ads import make_ads_like
-from repro.datasets.nuswide import make_nuswide_like
+from repro.datasets.synthetic import (
+    MultiviewDataset,
+    make_multiview_latent,
+    stream_multiview_latent,
+)
+from repro.datasets.secstr import make_secstr_like, stream_secstr_like
+from repro.datasets.ads import make_ads_like, stream_ads_like
+from repro.datasets.nuswide import make_nuswide_like, stream_nuswide_like
 from repro.datasets.splits import (
     sample_labeled_indices,
     split_validation,
@@ -27,5 +31,9 @@ __all__ = [
     "make_secstr_like",
     "sample_labeled_indices",
     "split_validation",
+    "stream_ads_like",
+    "stream_multiview_latent",
+    "stream_nuswide_like",
+    "stream_secstr_like",
     "train_test_split_indices",
 ]

@@ -19,9 +19,9 @@ import numpy as np
 
 from repro.datasets.synthetic import MultiviewDataset
 from repro.exceptions import DatasetError
-from repro.utils.rng import check_random_state
+from repro.utils.rng import check_random_state, check_seed_sequence, chunk_rng
 
-__all__ = ["make_ads_like", "DEFAULT_DIMS"]
+__all__ = ["make_ads_like", "stream_ads_like", "DEFAULT_DIMS"]
 
 #: the paper's view dimensions: caption+alt / site URL / anchor URL terms
 DEFAULT_DIMS = (588, 495, 472)
@@ -116,4 +116,82 @@ def make_ads_like(
             "campaign_coherence": campaign_coherence,
             "indicative_masks": indicative_masks,
         },
+    )
+
+
+def stream_ads_like(
+    n_samples: int = 3279,
+    dims=DEFAULT_DIMS,
+    *,
+    chunk_size: int = 256,
+    positive_rate: float = 0.14,
+    background_rate: float = 0.02,
+    indicative_fraction: float = 0.05,
+    indicative_rate: float = 0.35,
+    campaign_coherence: float = 0.8,
+    random_state=None,
+):
+    """Chunked Ads-like stream — instances are generated on demand.
+
+    Same term-presence model as :func:`make_ads_like`: the per-view
+    indicative-term vocabularies are drawn once from a dedicated seed and
+    each chunk of hyperlink instances is sampled lazily from its own
+    derived seed, so at most ``chunk_size`` of the 1,555-dimensional
+    instances are resident at a time and every pass yields identical
+    chunks. The realization for a given seed differs from the batch
+    factory's (different draw order); the distribution is identical.
+
+    Returns
+    -------
+    repro.streaming.views.GeneratorViewStream
+    """
+    from repro.streaming.views import GeneratorViewStream
+
+    if n_samples < 2:
+        raise DatasetError(f"n_samples must be >= 2, got {n_samples}")
+    if not 0.0 < positive_rate < 1.0:
+        raise DatasetError(
+            f"positive_rate must be in (0, 1), got {positive_rate}"
+        )
+    if not 0.0 <= campaign_coherence <= 1.0:
+        raise DatasetError(
+            f"campaign_coherence must be in [0, 1], got {campaign_coherence}"
+        )
+    dims = tuple(int(d) for d in dims)
+    root = check_seed_sequence(random_state)
+    structure_rng = chunk_rng(root, 0)
+
+    indicative_masks = []
+    for dim in dims:
+        n_indicative = max(1, int(round(indicative_fraction * dim)))
+        indicative = structure_rng.choice(dim, size=n_indicative, replace=False)
+        mask = np.zeros(dim, dtype=bool)
+        mask[indicative] = True
+        indicative_masks.append(mask)
+
+    def sample_chunk(index: int, start: int, stop: int):
+        rng = chunk_rng(root, index + 1)
+        n = stop - start
+        labels = (rng.random(n) < positive_rate).astype(np.int64)
+        coherent = rng.random(n) < campaign_coherence
+        joint_active = coherent & (labels == 1)
+        views = []
+        for dim, mask in zip(dims, indicative_masks):
+            independent = (
+                (~coherent) & (labels == 1) & (rng.random(n) < 0.5)
+            )
+            active = joint_active | independent
+            rates = np.full((dim, n), background_rate)
+            rates[np.ix_(mask, np.flatnonzero(active))] = indicative_rate
+            views.append(
+                (rng.random((dim, n)) < rates).astype(np.float64)
+            )
+        return tuple(views)
+
+    return GeneratorViewStream(
+        sample_chunk,
+        n_samples,
+        dims,
+        chunk_size=chunk_size,
+        name="ads-like-stream",
     )

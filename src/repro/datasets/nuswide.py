@@ -23,9 +23,14 @@ import numpy as np
 
 from repro.datasets.synthetic import MultiviewDataset
 from repro.exceptions import DatasetError
-from repro.utils.rng import check_random_state
+from repro.utils.rng import check_random_state, check_seed_sequence, chunk_rng
 
-__all__ = ["make_nuswide_like", "DEFAULT_DIMS", "CONCEPTS"]
+__all__ = [
+    "make_nuswide_like",
+    "stream_nuswide_like",
+    "DEFAULT_DIMS",
+    "CONCEPTS",
+]
 
 #: the paper's view dimensions: BoW-SIFT / color correlogram / wavelet texture
 DEFAULT_DIMS = (500, 144, 128)
@@ -291,4 +296,253 @@ def make_nuswide_like(
             "n_topics": n_topics,
             "sibling_closeness": sibling_closeness,
         },
+    )
+
+
+def stream_nuswide_like(
+    n_samples: int = 2000,
+    dims=DEFAULT_DIMS,
+    *,
+    chunk_size: int = 256,
+    n_classes: int = 10,
+    n_topics: int = 40,
+    topic_concentration: float = 0.3,
+    class_separation: float = 0.35,
+    sibling_closeness: float = 0.2,
+    words_per_image: int = 150,
+    words_dispersion: float = 0.0,
+    noise_std: float = 2.5,
+    gain_dispersion: float = 0.0,
+    n_signal_factors: int = 5,
+    signal_strength: float = 1.5,
+    n_nuisance_factors: int = 6,
+    nuisance_strength: float = 2.0,
+    random_state=None,
+):
+    """Chunked NUS-WIDE-like stream — images are generated on demand.
+
+    Same topic-model geometry as :func:`make_nuswide_like`: class topic
+    priors, sibling class centers, and every loading matrix are drawn once
+    from a dedicated seed; each chunk of images (BoW histograms plus the
+    two continuous views) is then sampled lazily from its own derived
+    seed. At most ``chunk_size`` images are resident at a time and every
+    pass over the stream yields identical chunks. The realization for a
+    given seed differs from the batch factory's (different draw order);
+    the distribution is identical.
+
+    Returns
+    -------
+    repro.streaming.views.GeneratorViewStream
+    """
+    from repro.streaming.views import GeneratorViewStream
+
+    if n_samples < 1:
+        raise DatasetError(f"n_samples must be >= 1, got {n_samples}")
+    if n_classes < 2:
+        raise DatasetError(f"n_classes must be >= 2, got {n_classes}")
+    dims = tuple(int(d) for d in dims)
+    if len(dims) != 3:
+        raise DatasetError(f"dims must have 3 entries, got {dims}")
+    root = check_seed_sequence(random_state)
+    rng = chunk_rng(root, 0)  # structure draws only
+    bow_dim, correlogram_dim, texture_dim = dims
+
+    topics = rng.dirichlet(np.full(bow_dim, 0.1), size=n_topics)
+    class_topic_priors = np.empty((n_classes, n_topics))
+    for cls in range(0, n_classes, 2):
+        base = rng.dirichlet(np.full(n_topics, topic_concentration))
+        class_topic_priors[cls] = base
+        if cls + 1 < n_classes:
+            fresh = rng.dirichlet(np.full(n_topics, topic_concentration))
+            blended = (
+                (1.0 - sibling_closeness) * base + sibling_closeness * fresh
+            )
+            class_topic_priors[cls + 1] = blended / blended.sum()
+
+    def sibling_centers(dim: int) -> np.ndarray:
+        centers = np.empty((n_classes, dim))
+        for cls in range(0, n_classes, 2):
+            base = rng.standard_normal(dim) * class_separation
+            centers[cls] = base
+            if cls + 1 < n_classes:
+                offset = rng.standard_normal(dim) * class_separation
+                centers[cls + 1] = (
+                    base + sibling_closeness * (offset - base)
+                )
+        return centers
+
+    correlogram_centers = sibling_centers(correlogram_dim)
+    texture_centers = sibling_centers(texture_dim)
+
+    if n_signal_factors > 0:
+        rates = np.where(
+            rng.random((n_classes, n_signal_factors)) < 0.5, 0.1, 0.9
+        )
+        for k in range(n_signal_factors):
+            while np.ptp(rates[:, k]) == 0.0:
+                rates[:, k] = np.where(rng.random(n_classes) < 0.5, 0.1, 0.9)
+    else:
+        rates = np.zeros((n_classes, 0))
+
+    def unit_rows(shape) -> np.ndarray:
+        directions = rng.standard_normal(shape)
+        directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+        return directions
+
+    def unit_columns(shape) -> np.ndarray:
+        loadings = rng.standard_normal(shape)
+        loadings /= np.maximum(np.linalg.norm(loadings, axis=0), 1e-12)
+        return loadings
+
+    # Word-tilt directions (signal + the two bow-coupled nuisances) and
+    # loading matrices of the continuous views — all structure.
+    bow_tilts = []
+    if n_signal_factors > 0 and signal_strength > 0.0:
+        bow_tilts.append(
+            (0.4 * signal_strength, unit_rows((n_signal_factors, bow_dim)))
+        )
+    use_nuisance = n_nuisance_factors > 0 and nuisance_strength > 0.0
+    if use_nuisance:
+        bow_tilts.append(
+            (
+                0.25 * nuisance_strength,
+                unit_rows((n_nuisance_factors, bow_dim)),
+            )
+        )
+        bow_tilts.append(
+            (
+                0.25 * nuisance_strength,
+                unit_rows((n_nuisance_factors, bow_dim)),
+            )
+        )
+    correlogram_loadings = rng.standard_normal(
+        (correlogram_dim, n_topics)
+    ) / np.sqrt(n_topics)
+    texture_loadings = rng.standard_normal(
+        (texture_dim, n_topics)
+    ) / np.sqrt(n_topics)
+    use_signal = n_signal_factors > 0 and signal_strength > 0.0
+    signal_loads = {
+        key: unit_columns((dim, n_signal_factors)) if use_signal else None
+        for key, dim in (
+            ("corr", correlogram_dim),
+            ("tex", texture_dim),
+        )
+    }
+    nuisance_loads = {
+        key: unit_columns((dim, n_nuisance_factors)) if use_nuisance else None
+        for key, dim in (
+            (("corr", "bow_corr"), correlogram_dim),
+            (("corr", "corr_tex"), correlogram_dim),
+            (("tex", "bow_tex"), texture_dim),
+            (("tex", "corr_tex"), texture_dim),
+        )
+    }
+
+    def sample_chunk(index: int, start: int, stop: int):
+        rng = chunk_rng(root, index + 1)
+        n = stop - start
+        labels = rng.integers(0, n_classes, size=n)
+        mixtures = np.empty((n, n_topics))
+        for cls in range(n_classes):
+            members = np.flatnonzero(labels == cls)
+            if members.size:
+                mixtures[members] = rng.dirichlet(
+                    class_topic_priors[cls] * n_topics + 0.05,
+                    size=members.size,
+                )
+        if n_signal_factors > 0:
+            fired = rng.random((n, n_signal_factors)) < rates[labels]
+            signal_factors = fired * rng.exponential(
+                1.0, size=(n, n_signal_factors)
+            )
+        else:
+            signal_factors = np.zeros((n, 0))
+        nuisance_bow_corr = rng.standard_normal((n, n_nuisance_factors))
+        nuisance_bow_tex = rng.standard_normal((n, n_nuisance_factors))
+        nuisance_corr_tex = rng.standard_normal((n, n_nuisance_factors))
+
+        word_probabilities = mixtures @ topics
+        # Factor sources in the same order bow_tilts was assembled.
+        tilt_sources = []
+        if use_signal:
+            tilt_sources.append(signal_factors)
+        if use_nuisance:
+            tilt_sources.extend([nuisance_bow_corr, nuisance_bow_tex])
+        if bow_tilts:
+            tilt = np.zeros((n, bow_dim))
+            for (scale, directions), factors in zip(bow_tilts, tilt_sources):
+                tilt += scale * (factors @ directions)
+            word_probabilities = word_probabilities * np.exp(tilt)
+            word_probabilities /= word_probabilities.sum(
+                axis=1, keepdims=True
+            )
+        word_counts = np.maximum(
+            1,
+            np.round(
+                words_per_image
+                * rng.lognormal(0.0, words_dispersion, size=n)
+            ).astype(np.int64),
+        )
+        bow = np.empty((n, bow_dim))
+        for i in range(n):
+            bow[i] = rng.multinomial(word_counts[i], word_probabilities[i])
+
+        def maybe(load, factors, dim):
+            if load is None:
+                return np.zeros((dim, n))
+            return nuisance_strength * load @ factors.T
+
+        def signal_part(key, dim):
+            if signal_loads[key] is None:
+                return np.zeros((dim, n))
+            return signal_strength * signal_loads[key] @ signal_factors.T
+
+        correlogram_view = (
+            correlogram_centers[labels].T
+            + 2.0 * correlogram_loadings @ mixtures.T
+            + signal_part("corr", correlogram_dim)
+            + maybe(
+                nuisance_loads[("corr", "bow_corr")],
+                nuisance_bow_corr,
+                correlogram_dim,
+            )
+            + maybe(
+                nuisance_loads[("corr", "corr_tex")],
+                nuisance_corr_tex,
+                correlogram_dim,
+            )
+            + noise_std * rng.standard_normal((correlogram_dim, n))
+        )
+        texture_view = (
+            texture_centers[labels].T
+            + 2.0 * texture_loadings @ mixtures.T
+            + signal_part("tex", texture_dim)
+            + maybe(
+                nuisance_loads[("tex", "bow_tex")],
+                nuisance_bow_tex,
+                texture_dim,
+            )
+            + maybe(
+                nuisance_loads[("tex", "corr_tex")],
+                nuisance_corr_tex,
+                texture_dim,
+            )
+            + noise_std * rng.standard_normal((texture_dim, n))
+        )
+        if gain_dispersion > 0.0:
+            correlogram_view = correlogram_view * rng.lognormal(
+                0.0, gain_dispersion, size=n
+            )
+            texture_view = texture_view * rng.lognormal(
+                0.0, gain_dispersion, size=n
+            )
+        return bow.T.copy(), correlogram_view, texture_view
+
+    return GeneratorViewStream(
+        sample_chunk,
+        n_samples,
+        dims,
+        chunk_size=chunk_size,
+        name="nuswide-like-stream",
     )

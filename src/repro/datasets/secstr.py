@@ -30,9 +30,15 @@ import numpy as np
 
 from repro.datasets.synthetic import MultiviewDataset
 from repro.exceptions import DatasetError
-from repro.utils.rng import check_random_state
+from repro.utils.rng import check_random_state, check_seed_sequence, chunk_rng
 
-__all__ = ["make_secstr_like", "N_POSITIONS", "N_SYMBOLS", "VIEW_SLICES"]
+__all__ = [
+    "make_secstr_like",
+    "stream_secstr_like",
+    "N_POSITIONS",
+    "N_SYMBOLS",
+    "VIEW_SLICES",
+]
 
 N_POSITIONS = 15
 N_SYMBOLS = 21
@@ -186,4 +192,130 @@ def make_secstr_like(
             "signal_tilt": signal_tilt,
             "nuisance_tilt": nuisance_tilt,
         },
+    )
+
+
+def stream_secstr_like(
+    n_samples: int = 2000,
+    *,
+    chunk_size: int = 256,
+    n_signal_motifs: int = 4,
+    n_nuisance_motifs: int = 4,
+    signal_tilt: float = 1.2,
+    nuisance_tilt: float = 1.6,
+    activation_low: float = 0.15,
+    activation_high: float = 0.85,
+    random_state=None,
+):
+    """Chunked SecStr-like stream — windows are generated on demand.
+
+    Same motif model as :func:`make_secstr_like`: the motif structure
+    (background logits, signal/nuisance tilts, class activation rates) is
+    drawn once from a dedicated seed, and each chunk of sequence windows is
+    sampled lazily from its own derived seed — at most ``chunk_size``
+    windows are resident at a time and every pass over the stream yields
+    identical chunks. The realization for a given seed differs from the
+    batch factory's (different draw order); the distribution is identical.
+
+    Returns
+    -------
+    repro.streaming.views.GeneratorViewStream
+    """
+    from repro.streaming.views import GeneratorViewStream
+
+    if n_samples < 2:
+        raise DatasetError(f"n_samples must be >= 2, got {n_samples}")
+    if not 0.0 < activation_low < activation_high < 1.0:
+        raise DatasetError(
+            "need 0 < activation_low < activation_high < 1; got "
+            f"{activation_low}, {activation_high}"
+        )
+    if n_signal_motifs < 1:
+        raise DatasetError(
+            f"n_signal_motifs must be >= 1, got {n_signal_motifs}"
+        )
+    root = check_seed_sequence(random_state)
+    structure_rng = chunk_rng(root, 0)
+    n_views = len(VIEW_SLICES)
+
+    # Motif structure, drawn once (cf. the body of make_secstr_like).
+    background_logits = 0.3 * structure_rng.standard_normal(
+        (N_POSITIONS, N_SYMBOLS)
+    )
+    signal_tilts = signal_tilt * structure_rng.standard_normal(
+        (n_signal_motifs, N_POSITIONS, N_SYMBOLS)
+    )
+    activation = np.where(
+        structure_rng.random((2, n_signal_motifs)) < 0.5,
+        activation_low,
+        activation_high,
+    )
+    for k in range(n_signal_motifs):
+        while activation[0, k] == activation[1, k]:
+            activation[:, k] = np.where(
+                structure_rng.random(2) < 0.5,
+                activation_low,
+                activation_high,
+            )
+    pairs = list(combinations(range(n_views), 2))
+    nuisance_tilts = []
+    for pair in pairs:
+        for _ in range(n_nuisance_motifs):
+            tilt = np.zeros((N_POSITIONS, N_SYMBOLS))
+            for view_index in pair:
+                view_slice = VIEW_SLICES[view_index]
+                tilt[view_slice] = nuisance_tilt * structure_rng.standard_normal(
+                    (view_slice.stop - view_slice.start, N_SYMBOLS)
+                )
+            nuisance_tilts.append(tilt)
+    nuisance_tilts = (
+        np.stack(nuisance_tilts)
+        if nuisance_tilts
+        else np.zeros((0, N_POSITIONS, N_SYMBOLS))
+    )
+
+    def sample_chunk(index: int, start: int, stop: int):
+        rng = chunk_rng(root, index + 1)
+        n = stop - start
+        labels = rng.integers(0, 2, size=n)
+        signal_active = (
+            rng.random((n, n_signal_motifs)) < activation[labels]
+        )
+        nuisance_active = rng.random((n, nuisance_tilts.shape[0])) < 0.5
+
+        logits = np.broadcast_to(
+            background_logits, (n, N_POSITIONS, N_SYMBOLS)
+        ).copy()
+        logits += np.einsum("nk,kps->nps", signal_active, signal_tilts)
+        if nuisance_tilts.shape[0]:
+            logits += np.einsum(
+                "nk,kps->nps", nuisance_active, nuisance_tilts
+            )
+        logits -= logits.max(axis=2, keepdims=True)
+        probabilities = np.exp(logits)
+        probabilities /= probabilities.sum(axis=2, keepdims=True)
+
+        symbols = np.empty((n, N_POSITIONS), dtype=np.int64)
+        for position in range(N_POSITIONS):
+            symbols[:, position] = _sample_categorical(
+                rng, probabilities[:, position, :]
+            )
+        encoded = _one_hot(symbols, N_SYMBOLS)
+        return tuple(
+            encoded[
+                :,
+                view_slice.start * N_SYMBOLS:view_slice.stop * N_SYMBOLS,
+            ].T.copy()
+            for view_slice in VIEW_SLICES
+        )
+
+    return GeneratorViewStream(
+        sample_chunk,
+        n_samples,
+        tuple(
+            (view_slice.stop - view_slice.start) * N_SYMBOLS
+            for view_slice in VIEW_SLICES
+        ),
+        chunk_size=chunk_size,
+        name="secstr-like-stream",
     )

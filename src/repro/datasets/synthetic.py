@@ -22,9 +22,13 @@ from itertools import combinations
 import numpy as np
 
 from repro.exceptions import DatasetError
-from repro.utils.rng import check_random_state
+from repro.utils.rng import check_random_state, check_seed_sequence, chunk_rng
 
-__all__ = ["MultiviewDataset", "make_multiview_latent"]
+__all__ = [
+    "MultiviewDataset",
+    "make_multiview_latent",
+    "stream_multiview_latent",
+]
 
 
 @dataclass
@@ -60,6 +64,18 @@ class MultiviewDataset:
             name=self.name,
             metadata=dict(self.metadata),
         )
+
+    def stream(self, chunk_size: int = 256):
+        """A :class:`~repro.streaming.views.ViewStream` over this dataset.
+
+        Adapts the resident views to the chunked-iteration protocol so
+        streaming consumers (``TCCA.fit_stream``, the accumulators) can be
+        run against any materialized dataset. For data that should *never*
+        be fully resident, use the ``stream_*_like`` factories instead.
+        """
+        from repro.streaming.views import ArrayViewStream
+
+        return ArrayViewStream(self.views, chunk_size=chunk_size)
 
 
 def _skewed_noise(rng: np.random.Generator, size, shape: float = 2.0):
@@ -191,4 +207,112 @@ def make_multiview_latent(
             "nuisance_strength": nuisance_strength,
             "noise_std": noise_std,
         },
+    )
+
+
+def stream_multiview_latent(
+    n_samples: int = 500,
+    dims=(30, 25, 20),
+    n_classes: int = 2,
+    *,
+    chunk_size: int = 256,
+    n_signal_factors: int = 4,
+    class_separation: float = 1.0,
+    signal_strength: float = 1.0,
+    n_nuisance_factors: int = 4,
+    nuisance_strength: float = 1.5,
+    noise_std: float = 1.0,
+    random_state=None,
+):
+    """Chunked latent-factor stream — samples are generated on demand.
+
+    Same generative model as :func:`make_multiview_latent` (shared skewed
+    signal factors, pairwise Gaussian nuisance), but the latent structure
+    (class activation rates, loadings) is drawn once from a dedicated seed
+    and each chunk of samples is generated lazily from its own derived
+    seed, so no more than ``chunk_size`` samples are ever resident and the
+    stream is re-iterable. Note the realization for a given seed differs
+    from the batch factory's (different draw order); the *distribution* is
+    identical.
+
+    Returns
+    -------
+    repro.streaming.views.GeneratorViewStream
+    """
+    from repro.streaming.views import GeneratorViewStream
+
+    if n_samples < 2:
+        raise DatasetError(f"n_samples must be >= 2, got {n_samples}")
+    if n_classes < 2:
+        raise DatasetError(f"n_classes must be >= 2, got {n_classes}")
+    dims = tuple(int(d) for d in dims)
+    if len(dims) < 2 or any(d < 1 for d in dims):
+        raise DatasetError(
+            f"dims must list >= 2 positive view dimensions, got {dims}"
+        )
+    if n_signal_factors < 1:
+        raise DatasetError(
+            f"n_signal_factors must be >= 1, got {n_signal_factors}"
+        )
+    root = check_seed_sequence(random_state)
+    structure_rng = chunk_rng(root, 0)
+    n_views = len(dims)
+
+    # Latent structure, drawn once (cf. the body of make_multiview_latent).
+    low = float(np.clip(0.5 - 0.4 * class_separation, 0.02, 0.5))
+    high = float(np.clip(0.5 + 0.4 * class_separation, 0.5, 0.98))
+    activation_probabilities = np.where(
+        structure_rng.random((n_classes, n_signal_factors)) < 0.5, low, high
+    )
+    for k in range(n_signal_factors):
+        while np.ptp(activation_probabilities[:, k]) == 0.0:
+            activation_probabilities[:, k] = np.where(
+                structure_rng.random(n_classes) < 0.5, low, high
+            )
+    loadings = []
+    for dim in dims:
+        load = structure_rng.standard_normal((dim, n_signal_factors))
+        load /= np.maximum(np.linalg.norm(load, axis=0), 1e-12)
+        loadings.append(load * signal_strength)
+    pair_loadings = {}
+    if n_nuisance_factors > 0 and nuisance_strength > 0.0:
+        for p, q in combinations(range(n_views), 2):
+            for view_index in (p, q):
+                load = structure_rng.standard_normal(
+                    (dims[view_index], n_nuisance_factors)
+                )
+                load /= np.maximum(np.linalg.norm(load, axis=0), 1e-12)
+                pair_loadings[(p, q), view_index] = load
+
+    def sample_chunk(index: int, start: int, stop: int):
+        rng = chunk_rng(root, index + 1)
+        n = stop - start
+        labels = rng.integers(0, n_classes, size=n)
+        active = (
+            rng.random((n, n_signal_factors))
+            < activation_probabilities[labels]
+        )
+        magnitudes = rng.exponential(1.0, size=(n, n_signal_factors))
+        factors = active * magnitudes
+        views = [
+            loadings[p] @ factors.T
+            + noise_std * rng.standard_normal((dims[p], n))
+            for p in range(n_views)
+        ]
+        if pair_loadings:
+            for p, q in combinations(range(n_views), 2):
+                shared = rng.standard_normal((n, n_nuisance_factors))
+                for view_index in (p, q):
+                    views[view_index] = views[view_index] + (
+                        nuisance_strength
+                        * pair_loadings[(p, q), view_index] @ shared.T
+                    )
+        return tuple(views)
+
+    return GeneratorViewStream(
+        sample_chunk,
+        n_samples,
+        dims,
+        chunk_size=chunk_size,
+        name="multiview-latent-stream",
     )

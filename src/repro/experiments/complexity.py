@@ -20,6 +20,7 @@ from repro.datasets.secstr import make_secstr_like
 from repro.evaluation.resources import measure_resources
 from repro.experiments.ads import default_ads_methods
 from repro.experiments.kernel import default_kernel_bank, default_kernel_methods
+from repro.experiments.methods import StreamingTCCAMethod
 from repro.experiments.nuswide import default_nuswide_methods
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.secstr import default_secstr_methods
@@ -58,6 +59,8 @@ def run_complexity_experiment(
     dims=(5, 10, 20, 40),
     random_state: int = 0,
     epsilon: float = 1e-2,
+    stream: bool = False,
+    chunk_size: int = 512,
 ) -> ExperimentResult:
     """Measure Fig. 7/8/9/10 cost curves for one workload.
 
@@ -69,6 +72,14 @@ def run_complexity_experiment(
     n_samples:
         Workload size; defaults chosen per workload so Fig. 7's
         large-N regime (where DSE/SSMVD pay their N×N cost) is visible.
+    stream:
+        Also measure ``TCCA-STREAM`` — TCCA fitted out-of-core from
+        ``chunk_size``-sample minibatches — so the figures report peak
+        memory for both the batch and the streaming covariance paths.
+        Ignored on the ``"kernel"`` workload (kernel matrices are
+        inherently ``N × N``).
+    chunk_size:
+        Minibatch size of the streaming path.
     """
     if workload == "secstr":
         n = n_samples or 2000
@@ -100,11 +111,28 @@ def run_complexity_experiment(
             f"got {workload!r}"
         )
 
+    if stream and workload != "kernel":
+        # Mirror the batch TCCA row's ε grid so the TCCA vs TCCA-STREAM
+        # columns compare engines, not sweep sizes.
+        batch_tcca = next(
+            (m for m in methods if getattr(m, "name", None) == "TCCA"), None
+        )
+        grid = batch_tcca.epsilons if batch_tcca is not None else (epsilon,)
+        methods = list(methods) + [
+            StreamingTCCAMethod(grid, chunk_size=chunk_size)
+        ]
+
     feasible = min(min(data.dims), data.n_samples - 2)
     sweep_dims = tuple(r for r in dims if r <= feasible) or (feasible,)
     costs = measure_method_costs(methods, data.views, sweep_dims)
 
     lines = [f"{figure} — {workload}, N={n}"]
+    if stream:
+        lines[0] += (
+            f", streaming chunk_size={chunk_size}"
+            if workload != "kernel"
+            else " (stream ignored: kernel workload)"
+        )
     lines.append(f"{'method':<12} " + " ".join(
         f"r={r:<4d}(s/MB)" for r in sweep_dims
     ))
@@ -123,5 +151,11 @@ def run_complexity_experiment(
         ),
         panels={},
         notes="\n".join(lines),
-        extras={"costs": costs, "dims": sweep_dims, "n_samples": n},
+        extras={
+            "costs": costs,
+            "dims": sweep_dims,
+            "n_samples": n,
+            "stream": bool(stream and workload != "kernel"),
+            "chunk_size": chunk_size,
+        },
     )

@@ -38,10 +38,15 @@ from repro.cca.kcca import KCCA
 from repro.cca.lscca import LSCCA
 from repro.cca.maxvar import MaxVarCCA
 from repro.core.ktcca import KTCCA
-from repro.core.tcca import TCCA, whitened_covariance_tensor
+from repro.core.tcca import (
+    TCCA,
+    whitened_covariance_tensor,
+    whitened_covariance_tensor_streaming,
+)
 from repro.evaluation.protocol import Candidate
 from repro.exceptions import ValidationError
 from repro.kernels.centering import center_kernel, normalize_kernel
+from repro.streaming.views import ArrayViewStream
 from repro.utils.preprocessing import unit_scale_views
 
 __all__ = [
@@ -57,6 +62,7 @@ __all__ = [
     "PairwiseCCAMethod",
     "PairwiseKCCAMethod",
     "SSMVDMethod",
+    "StreamingTCCAMethod",
     "TCCAMethod",
 ]
 
@@ -295,6 +301,10 @@ class TCCAMethod(GroupCacheMixin):
         self.max_iter = max_iter
         self.random_state = random_state
 
+    def _compute_whitened(self, views, epsilon):
+        """Build the whitening state; subclasses override the engine."""
+        return whitened_covariance_tensor(views, epsilon)
+
     def _whitened(self, views, epsilon):
         """Whitening state per (views, ε), shared across the r sweep."""
         cache = getattr(self, "_whitened_cache", None)
@@ -303,7 +313,7 @@ class TCCAMethod(GroupCacheMixin):
             self._whitened_cache = cache
         key = (_views_key(views), float(epsilon))
         if key not in cache:
-            cache[key] = whitened_covariance_tensor(views, epsilon)
+            cache[key] = self._compute_whitened(views, epsilon)
         return cache[key]
 
     def _build_groups(self, views, r):
@@ -324,6 +334,30 @@ class TCCAMethod(GroupCacheMixin):
                 [Candidate("features", z, tag=f"eps={epsilon:g}")]
             )
         return groups
+
+
+class StreamingTCCAMethod(TCCAMethod):
+    """TCCA fitted out-of-core — the ``--stream`` complexity path.
+
+    Identical estimator, representation, and ε/r sweep as
+    :class:`TCCAMethod`; only the whitening state is built differently —
+    accumulated from ``chunk_size``-sample minibatches via
+    :func:`whitened_covariance_tensor_streaming` — so the peak memory the
+    complexity experiments record excludes any ``N``-sized covariance
+    intermediates.
+    """
+
+    name = "TCCA-STREAM"
+
+    def __init__(self, epsilon=1e-2, *, chunk_size: int = 512, **kwargs):
+        super().__init__(epsilon, **kwargs)
+        self.chunk_size = int(chunk_size)
+
+    def _compute_whitened(self, views, epsilon):
+        """Accumulate the whitening state from minibatches."""
+        return whitened_covariance_tensor_streaming(
+            ArrayViewStream(views, chunk_size=self.chunk_size), epsilon
+        )
 
 
 # --------------------------------------------------------------------------

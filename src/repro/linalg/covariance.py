@@ -14,6 +14,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.streaming.covariance import (
+    StreamingCovariance,
+    StreamingCovarianceTensor,
+)
 from repro.utils.preprocessing import center_views
 from repro.utils.validation import check_views, ensure_2d
 
@@ -23,10 +27,9 @@ __all__ = ["covariance_tensor", "cross_covariance", "view_covariance"]
 def view_covariance(view, *, assume_centered: bool = True) -> np.ndarray:
     """Variance matrix ``C_pp = (1/N) X_p X_p^T`` of one view."""
     view = ensure_2d(view, name="view")
-    if not assume_centered:
-        view = view - view.mean(axis=1, keepdims=True)
-    n_samples = view.shape[1]
-    return (view @ view.T) / n_samples
+    shift = 0.0 if assume_centered else None
+    accumulator = StreamingCovariance(view.shape[0], shift=shift).update(view)
+    return accumulator.covariance(center=not assume_centered)
 
 
 def cross_covariance(
@@ -41,10 +44,14 @@ def cross_covariance(
             f"{view_a.shape[1]} and {view_b.shape[1]}"
         )
     if not assume_centered:
-        view_a = view_a - view_a.mean(axis=1, keepdims=True)
-        view_b = view_b - view_b.mean(axis=1, keepdims=True)
-    n_samples = view_a.shape[1]
-    return (view_a @ view_b.T) / n_samples
+        view_a, view_b = center_views([view_a, view_b])
+    accumulator = StreamingCovarianceTensor(
+        dims=(view_a.shape[0], view_b.shape[0]),
+        center=False,
+        track_view_covariances=False,
+    )
+    accumulator.update((view_a, view_b))
+    return accumulator.tensor()
 
 
 def covariance_tensor(views, *, assume_centered: bool = True) -> np.ndarray:
@@ -54,35 +61,23 @@ def covariance_tensor(views, *, assume_centered: bool = True) -> np.ndarray:
     — the deliberate cost of TCCA that the complexity experiments
     (Figs. 7-10) measure.
 
-    Implementation: the mode-0 unfolding of the sum of outer products is
-    ``X_1 @ K^T`` with ``K`` the sample-wise Khatri-Rao product of the
-    remaining views (reverse order to match the unfolding convention). We
-    build ``K`` in sample chunks so peak extra memory stays bounded while
-    all heavy lifting runs through BLAS.
+    Implementation: delegates to
+    :class:`repro.streaming.covariance.StreamingCovarianceTensor`, the
+    library's single Khatri-Rao accumulation — the mode-0 unfolding of the
+    sum of outer products is ``X_1 @ K^T`` with ``K`` the sample-wise
+    Khatri-Rao product of the remaining views, built in bounded sample
+    slices so all heavy lifting runs through BLAS. All data is seen at
+    once here, so the views are centered explicitly when needed and the
+    accumulator runs in raw mode — the accumulator's streaming mean
+    correction only pays off when the data arrives in chunks.
     """
     views = check_views(views, min_views=2)
     if not assume_centered:
         views = center_views(views)
-    n_samples = views[0].shape[1]
-    dims = [view.shape[0] for view in views]
-
-    trailing = int(np.prod(dims[1:], dtype=np.int64))
-    # Chunk so the Khatri-Rao buffer stays near 2^23 floats (~64 MB).
-    chunk = max(1, int(2**23 // max(trailing, 1)))
-    unfold0 = np.zeros((dims[0], trailing))
-    for start in range(0, n_samples, chunk):
-        stop = min(start + chunk, n_samples)
-        # Rows of `joined` enumerate (i_m, …, i_2) with i_2 varying fastest,
-        # matching the forward-cyclic mode-0 unfolding columns.
-        joined = views[-1][:, start:stop]
-        for view in views[-2:0:-1]:
-            block = view[:, start:stop]
-            joined = np.einsum(
-                "in,jn->ijn", joined, block
-            ).reshape(-1, stop - start)
-        unfold0 += views[0][:, start:stop] @ joined.T
-    unfold0 /= n_samples
-
-    from repro.tensor.dense import fold
-
-    return fold(unfold0, 0, dims)
+    accumulator = StreamingCovarianceTensor(
+        dims=[view.shape[0] for view in views],
+        center=False,
+        track_view_covariances=False,
+    )
+    accumulator.update(views)
+    return accumulator.tensor()

@@ -1,0 +1,32 @@
+"""Out-of-core streaming: chunked view sources and one-pass accumulators.
+
+This subsystem lets every covariance-level statistic TCCA needs — running
+means, per-view covariances ``C_pp``, and the order-``m`` covariance tensor
+``C_{12…m}`` — be built from ``(view_1_chunk, …, view_m_chunk)``
+minibatches with peak accumulation memory independent of the sample count.
+The batch functions in :mod:`repro.linalg.covariance` delegate to the same
+accumulators, and :meth:`repro.core.tcca.TCCA.fit_stream` consumes any
+:class:`ViewStream` end to end.
+"""
+
+from repro.streaming.covariance import (
+    StreamingCovariance,
+    StreamingCovarianceTensor,
+    accumulate_outer_sum,
+)
+from repro.streaming.views import (
+    ArrayViewStream,
+    GeneratorViewStream,
+    ViewStream,
+    as_view_stream,
+)
+
+__all__ = [
+    "ArrayViewStream",
+    "GeneratorViewStream",
+    "StreamingCovariance",
+    "StreamingCovarianceTensor",
+    "ViewStream",
+    "accumulate_outer_sum",
+    "as_view_stream",
+]

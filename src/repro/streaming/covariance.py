@@ -1,0 +1,527 @@
+"""One-pass accumulators for means, covariances, and covariance tensors.
+
+The batch path materializes every view ``X_p ∈ R^{d_p × N}`` before forming
+the order-``m`` covariance tensor ``C_{12…m}`` — the object whose ``∏ d_p``
+size the paper's complexity study (Figs. 7-10) revolves around. Its *sample*
+axis, however, is purely additive: every statistic TCCA needs is a sum over
+samples. The accumulators here exploit that to consume ``(d_p, n_chunk)``
+minibatches and maintain
+
+* exact running means ``μ_p``,
+* per-view covariances ``C_pp``,
+* the covariance tensor ``C_{12…m}``,
+
+in memory independent of ``N`` — only ``∏ d_p`` plus the chunk itself.
+
+Numerical stability — shifted sufficient statistics
+---------------------------------------------------
+Raw moments ``Σ x ∘ … ∘ x`` lose precision catastrophically when the mean
+is large relative to the spread (the classic one-pass-variance failure).
+Each accumulator therefore records a *shift* ``b_p`` (by default the column
+mean of the first chunk, i.e. already within ``O(σ/√n_chunk)`` of the true
+mean) and accumulates moments of ``y = x − b``. Centered statistics are
+recovered exactly at finalization through the multilinear expansion
+
+``(1/N) Σ_n ⊗_p (y_pn − δ_p)
+  = Σ_{T ⊆ [m]} (−1)^{m−|T|} M̄_T ⊗ (⊗_{p∉T} δ_p)``
+
+where ``δ_p = mean(y_p) = μ_p − b_p`` is *small* and
+``M̄_T = (1/N) Σ_n ⊗_{p∈T} y_pn`` are the shifted subset moments — so the
+correction terms are tiny relative to the leading moment and no
+catastrophic cancellation occurs.
+
+A single Khatri-Rao chunk routine (:func:`accumulate_outer_sum`) performs
+every outer-product accumulation — the batch
+:func:`repro.linalg.covariance.covariance_tensor` delegates to it through
+:class:`StreamingCovarianceTensor`, so there is exactly one implementation
+of the hot loop.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import ensure_2d
+
+__all__ = [
+    "StreamingCovariance",
+    "StreamingCovarianceTensor",
+    "accumulate_outer_sum",
+]
+
+#: Khatri-Rao buffer budget: ~2^23 float64 (≈64 MB) regardless of chunk size.
+DEFAULT_BUFFER_FLOATS = 2**23
+
+
+def accumulate_outer_sum(
+    unfold0: np.ndarray,
+    chunks,
+    *,
+    buffer_floats: int = DEFAULT_BUFFER_FLOATS,
+) -> np.ndarray:
+    """Add ``Σ_n x_1n ∘ x_2n ∘ … ∘ x_kn`` to a mode-0 unfolding in place.
+
+    ``unfold0`` has shape ``(d_1, ∏_{p>1} d_p)`` with columns enumerating
+    the trailing modes in the forward-cyclic order of
+    :mod:`repro.tensor.dense` (``i_2`` varying fastest). The sum of outer
+    products over the chunk's samples is ``X_1 @ K^T`` with ``K`` the
+    sample-wise Khatri-Rao product of the remaining chunks (reverse order);
+    ``K`` is built in sample slices so its buffer stays near
+    ``buffer_floats`` floats while all heavy lifting runs through BLAS.
+
+    This is the library's *only* Khatri-Rao accumulation — both the batch
+    covariance tensor and the streaming accumulators route through it.
+    """
+    chunks = list(chunks)
+    if len(chunks) < 2:
+        raise ValidationError(
+            f"need at least 2 factors for an outer-product sum, "
+            f"got {len(chunks)}"
+        )
+    n_samples = chunks[0].shape[1]
+    trailing = unfold0.shape[1]
+    step = max(1, int(buffer_floats // max(trailing, 1)))
+    for start in range(0, n_samples, step):
+        stop = min(start + step, n_samples)
+        # Rows of `joined` enumerate (i_k, …, i_2) with i_2 varying fastest,
+        # matching the forward-cyclic mode-0 unfolding columns.
+        joined = chunks[-1][:, start:stop]
+        for factor in chunks[-2:0:-1]:
+            block = factor[:, start:stop]
+            joined = np.einsum(
+                "in,jn->ijn", joined, block
+            ).reshape(-1, stop - start)
+        unfold0 += chunks[0][:, start:stop] @ joined.T
+    return unfold0
+
+
+def _as_shift(shift, dim: int) -> np.ndarray:
+    """Coerce a user-supplied shift into a ``(dim,)`` float vector."""
+    shift = np.asarray(shift, dtype=np.float64)
+    if shift.ndim == 0:
+        shift = np.full(dim, float(shift))
+    shift = shift.reshape(-1)
+    if shift.shape[0] != dim:
+        raise ValidationError(
+            f"shift must have length {dim}, got {shift.shape[0]}"
+        )
+    if not np.all(np.isfinite(shift)):
+        raise ValidationError("shift contains NaN or infinite entries")
+    return shift
+
+
+def _apply_shift(chunk: np.ndarray, shift: np.ndarray) -> np.ndarray:
+    """``chunk − shift`` without copying when the shift is exactly zero."""
+    if not np.any(shift):
+        return chunk
+    return chunk - shift[:, None]
+
+
+class StreamingCovariance:
+    """Running mean and covariance of one view from ``(d, n_chunk)`` chunks.
+
+    Parameters
+    ----------
+    dim:
+        Feature dimension; inferred from the first chunk when omitted.
+    shift:
+        Stabilizing shift ``b`` (scalar or ``(d,)`` vector). Default
+        ``None`` uses the column mean of the first chunk. Pass ``0`` to
+        accumulate raw moments (exactly reproducing the batch
+        ``X @ X.T / N`` arithmetic on pre-centered data).
+    second_moment:
+        ``False`` skips the ``O(d² n)`` outer-product accumulation,
+        tracking only the mean statistics; :meth:`covariance` then
+        raises. Used by consumers that only need exact means (e.g. the
+        covariance-tensor accumulator in raw mode).
+
+    Notes
+    -----
+    State is ``O(d²)`` — independent of the number of samples consumed.
+    Accumulators over disjoint sample shards combine exactly with
+    :meth:`merge`, so per-view statistics parallelize map-reduce style.
+    """
+
+    def __init__(
+        self,
+        dim: int | None = None,
+        *,
+        shift=None,
+        second_moment: bool = True,
+    ):
+        self._dim = None if dim is None else int(dim)
+        self._requested_shift = shift
+        self._shift: np.ndarray | None = None
+        self._n = 0
+        self._sum: np.ndarray | None = None
+        self._outer: np.ndarray | None = None
+        self._second_moment = bool(second_moment)
+        if self._dim is not None and shift is not None:
+            self._allocate(self._dim)
+
+    def _allocate(self, dim: int) -> None:
+        self._dim = dim
+        self._sum = np.zeros(dim)
+        if self._second_moment:
+            self._outer = np.zeros((dim, dim))
+        if self._requested_shift is not None:
+            self._shift = _as_shift(self._requested_shift, dim)
+
+    def update(self, chunk) -> "StreamingCovariance":
+        """Consume one ``(d, n_chunk)`` minibatch of samples (columns)."""
+        self._ingest(ensure_2d(chunk, name="chunk"))
+        return self
+
+    def _ingest(self, chunk: np.ndarray) -> np.ndarray:
+        """Accumulate a validated chunk; return the shifted samples.
+
+        Shared with :class:`StreamingCovarianceTensor`, which reuses the
+        shifted chunk for its Khatri-Rao accumulation instead of
+        subtracting the shift a second time.
+        """
+        if self._dim is None:
+            self._allocate(chunk.shape[0])
+        elif self._sum is None:
+            self._allocate(self._dim)
+        if chunk.shape[0] != self._dim:
+            raise ValidationError(
+                f"chunk has dimension {chunk.shape[0]}, accumulator expects "
+                f"{self._dim}"
+            )
+        if self._shift is None:
+            self._shift = chunk.mean(axis=1)
+        shifted = _apply_shift(chunk, self._shift)
+        self._sum += shifted.sum(axis=1)
+        if self._second_moment:
+            self._outer += shifted @ shifted.T
+        self._n += chunk.shape[1]
+        return shifted
+
+    def merge(self, other: "StreamingCovariance") -> "StreamingCovariance":
+        """Fold another accumulator's samples into this one, exactly.
+
+        The other accumulator may use a different shift: its statistics are
+        re-expressed around this accumulator's shift in closed form before
+        adding, so ``a.merge(b)`` equals one accumulator fed both shards.
+        """
+        if not isinstance(other, StreamingCovariance):
+            raise ValidationError(
+                f"can only merge StreamingCovariance, got "
+                f"{type(other).__name__}"
+            )
+        if other._n == 0:
+            return self
+        if self._dim is not None and other._dim != self._dim:
+            raise ValidationError(
+                f"cannot merge dimension {other._dim} into {self._dim}"
+            )
+        if self._second_moment != other._second_moment:
+            raise ValidationError(
+                "cannot merge accumulators with different second_moment "
+                "settings"
+            )
+        if self._n == 0:
+            self._dim = other._dim
+            self._shift = other._shift.copy()
+            self._sum = other._sum.copy()
+            self._outer = (
+                None if other._outer is None else other._outer.copy()
+            )
+            self._n = other._n
+            return self
+        # Re-shift: y' = x - b_self = y_other + d with d = b_other - b_self.
+        d = other._shift - self._shift
+        self._sum += other._sum + other._n * d
+        if self._second_moment:
+            self._outer += (
+                other._outer
+                + np.outer(other._sum, d)
+                + np.outer(d, other._sum)
+                + other._n * np.outer(d, d)
+            )
+        self._n += other._n
+        return self
+
+    @property
+    def dim(self) -> int | None:
+        """Feature dimension (``None`` until the first chunk)."""
+        return self._dim
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples consumed so far."""
+        return self._n
+
+    def _require_samples(self) -> None:
+        if self._n == 0:
+            raise ValidationError(
+                "accumulator is empty; feed at least one chunk first"
+            )
+
+    @property
+    def mean(self) -> np.ndarray:
+        """Exact running mean ``μ = b + mean(y)`` of shape ``(d,)``."""
+        self._require_samples()
+        return self._shift + self._sum / self._n
+
+    def covariance(self, *, center: bool = True) -> np.ndarray:
+        """``(1/N) Σ (x−μ)(x−μ)^T`` (or the raw ``(1/N) Σ x x^T``).
+
+        With ``center=False`` the *uncentered* second moment is returned —
+        what the batch :func:`repro.linalg.covariance.view_covariance`
+        computes under ``assume_centered=True``.
+        """
+        self._require_samples()
+        if not self._second_moment:
+            raise ValidationError(
+                "this accumulator was created with second_moment=False and "
+                "tracks only means"
+            )
+        moment = self._outer / self._n
+        delta = self._sum / self._n
+        if center:
+            return moment - np.outer(delta, delta)
+        mean = self._shift + delta
+        return (
+            moment
+            + np.outer(delta, self._shift)
+            + np.outer(self._shift, mean)
+        )
+
+
+class StreamingCovarianceTensor:
+    """Running covariance tensor ``C_{12…m}`` of ``m`` views from minibatches.
+
+    Consumes tuples of per-view chunks ``(X_1[:, s:t], …, X_m[:, s:t])`` and
+    maintains exact running means, per-view covariances ``C_pp``, and the
+    order-``m`` covariance tensor, in memory independent of ``N``.
+
+    Parameters
+    ----------
+    dims:
+        Per-view feature dimensions; inferred from the first update when
+        omitted.
+    center:
+        ``True`` (default) — finalize the *centered* tensor
+        ``(1/N) Σ (x_1−μ_1) ∘ … ∘ (x_m−μ_m)`` via shifted subset moments.
+        ``False`` — accumulate the raw moment only (appropriate when the
+        stream is pre-centered, e.g. whitened views); skips the
+        ``2^m − m − 1`` subset statistics.
+    shifts:
+        Optional per-view stabilizing shifts (see
+        :class:`StreamingCovariance`); default is the first chunk's means.
+    track_view_covariances:
+        ``True`` (default) also maintains the per-view second moments so
+        :meth:`view_covariance` works — what a full streaming fit needs.
+        Batch delegates that only want the tensor pass ``False`` to skip
+        the ``O(Σ d_p² · N)`` side accumulation.
+    buffer_floats:
+        Khatri-Rao buffer budget passed to :func:`accumulate_outer_sum`.
+
+    Notes
+    -----
+    With ``center=True`` the state holds one shifted moment tensor per
+    subset ``T`` of views with ``|T| ≥ 2`` — dominated by the full
+    ``∏ d_p`` tensor itself, with the pairwise matrices a lower-order cost.
+    The mean correction is *exact* (not an approximation): in exact
+    arithmetic the finalized tensor equals the batch tensor of the centered
+    data for any chunking.
+    """
+
+    def __init__(
+        self,
+        dims=None,
+        *,
+        center: bool = True,
+        shifts=None,
+        track_view_covariances: bool = True,
+        buffer_floats: int = DEFAULT_BUFFER_FLOATS,
+    ):
+        self._dims = None if dims is None else tuple(int(d) for d in dims)
+        if self._dims is not None and len(self._dims) < 2:
+            raise ValidationError(
+                f"need at least 2 views, got dims={self._dims}"
+            )
+        self.center = bool(center)
+        self._requested_shifts = shifts
+        self._track_view_covariances = bool(track_view_covariances)
+        self.buffer_floats = int(buffer_floats)
+        self._n = 0
+        self._views: list[StreamingCovariance] | None = None
+        self._moments: dict[tuple[int, ...], np.ndarray] | None = None
+        if self._dims is not None:
+            self._allocate(self._dims)
+
+    def _subsets(self, m: int):
+        """Subsets of view indices needing a shifted moment tensor."""
+        if not self.center:
+            return [tuple(range(m))]
+        subsets = []
+        for size in range(2, m + 1):
+            subsets.extend(combinations(range(m), size))
+        return subsets
+
+    def _allocate(self, dims: tuple[int, ...]) -> None:
+        self._dims = dims
+        m = len(dims)
+        if self._requested_shifts is None:
+            # Raw mode accumulates the moment of the data exactly as given
+            # (it is assumed pre-centered), so no stabilizing shift.
+            per_view_shifts = (
+                [0.0] * m if not self.center else [None] * m
+            )
+        else:
+            per_view_shifts = list(self._requested_shifts)
+            if len(per_view_shifts) != m:
+                raise ValidationError(
+                    f"need one shift per view ({m}), got "
+                    f"{len(per_view_shifts)}"
+                )
+        self._views = [
+            StreamingCovariance(
+                dim,
+                shift=shift,
+                second_moment=self._track_view_covariances,
+            )
+            for dim, shift in zip(dims, per_view_shifts)
+        ]
+        self._moments = {
+            subset: np.zeros(
+                (
+                    dims[subset[0]],
+                    int(
+                        np.prod(
+                            [dims[p] for p in subset[1:]], dtype=np.int64
+                        )
+                    ),
+                )
+            )
+            for subset in self._subsets(m)
+        }
+
+    def update(self, chunks) -> "StreamingCovarianceTensor":
+        """Consume one minibatch: a sequence of ``(d_p, n_chunk)`` arrays."""
+        chunks = [
+            ensure_2d(chunk, name=f"chunks[{index}]")
+            for index, chunk in enumerate(chunks)
+        ]
+        if len(chunks) < 2:
+            raise ValidationError(
+                f"need at least 2 view chunks per update, got {len(chunks)}"
+            )
+        if self._dims is None:
+            self._allocate(tuple(chunk.shape[0] for chunk in chunks))
+        if len(chunks) != len(self._dims):
+            raise ValidationError(
+                f"expected {len(self._dims)} view chunks, got {len(chunks)}"
+            )
+        sample_counts = {chunk.shape[1] for chunk in chunks}
+        if len(sample_counts) != 1:
+            raise ValidationError(
+                "view chunks must share the sample count; got "
+                f"{sorted(sample_counts)}"
+            )
+        for chunk, dim in zip(chunks, self._dims):
+            if chunk.shape[0] != dim:
+                raise ValidationError(
+                    f"chunk dimensions {[c.shape[0] for c in chunks]} do not "
+                    f"match accumulator dims {list(self._dims)}"
+                )
+        shifted = [
+            accumulator._ingest(chunk)
+            for accumulator, chunk in zip(self._views, chunks)
+        ]
+        for subset, moment in self._moments.items():
+            accumulate_outer_sum(
+                moment,
+                [shifted[p] for p in subset],
+                buffer_floats=self.buffer_floats,
+            )
+        self._n += chunks[0].shape[1]
+        return self
+
+    @property
+    def dims(self) -> tuple[int, ...] | None:
+        """Per-view feature dimensions (``None`` until the first update)."""
+        return self._dims
+
+    @property
+    def n_views(self) -> int | None:
+        """Number of views (``None`` until dimensions are known)."""
+        return None if self._dims is None else len(self._dims)
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples consumed so far."""
+        return self._n
+
+    def _require_samples(self) -> None:
+        if self._n == 0:
+            raise ValidationError(
+                "accumulator is empty; feed at least one minibatch first"
+            )
+
+    @property
+    def means(self) -> list[np.ndarray]:
+        """Exact running mean of each view, shapes ``(d_p,)``."""
+        self._require_samples()
+        return [accumulator.mean for accumulator in self._views]
+
+    def view_covariance(self, index: int, *, center: bool = True) -> np.ndarray:
+        """Per-view covariance ``C_pp`` (centered unless ``center=False``)."""
+        self._require_samples()
+        return self._views[index].covariance(center=center)
+
+    def view_covariances(self, *, center: bool = True) -> list[np.ndarray]:
+        """All per-view covariances ``[C_11, …, C_mm]``."""
+        self._require_samples()
+        return [
+            accumulator.covariance(center=center)
+            for accumulator in self._views
+        ]
+
+    def tensor(self) -> np.ndarray:
+        """Finalize the covariance tensor ``C_{12…m}`` of shape ``∏ d_p``.
+
+        Centered accumulators apply the exact multilinear mean correction;
+        raw accumulators (``center=False``) return the scaled moment.
+        """
+        self._require_samples()
+        from repro.tensor.dense import fold
+
+        m = len(self._dims)
+        full = tuple(range(m))
+        if not self.center:
+            return fold(self._moments[full] / self._n, 0, self._dims)
+
+        deltas = [
+            accumulator._sum / self._n for accumulator in self._views
+        ]
+        nonzero = [bool(np.any(delta)) for delta in deltas]
+        total = np.zeros(self._dims)
+        for size in range(0, m + 1):
+            for subset in combinations(range(m), size):
+                missing = [p for p in range(m) if p not in subset]
+                # δ_p = 0 for any missing view kills the whole term.
+                if any(not nonzero[p] for p in missing):
+                    continue
+                sign = -1.0 if (m - size) % 2 else 1.0
+                if size >= 2:
+                    core = fold(
+                        self._moments[subset] / self._n,
+                        0,
+                        [self._dims[p] for p in subset],
+                    )
+                elif size == 1:
+                    core = deltas[subset[0]]
+                else:
+                    core = np.array(1.0)
+                term = core
+                for p in missing:
+                    term = np.multiply.outer(term, deltas[p])
+                order = list(subset) + missing
+                total += sign * np.transpose(term, np.argsort(order))
+        return total

@@ -122,6 +122,32 @@ class CPTensor:
             weights = weights * norms
         return CPTensor(weights=weights, factors=factors)
 
+    def canonicalize_signs(self) -> "CPTensor":
+        """Return an equivalent CP tensor with a deterministic sign choice.
+
+        CP factors are sign-ambiguous: flipping any *pair* of factor
+        columns of one component leaves the represented tensor unchanged,
+        so two numerically identical fits can return factors differing by
+        signs. This picks the representative where each factor column's
+        largest-magnitude entry is positive; when the flips required for a
+        component multiply to −1 (which would change the tensor), the flip
+        of the last factor is dropped. Weights are never touched, so
+        canonical-correlation weights keep their sign.
+        """
+        factors = [factor.copy() for factor in self.factors]
+        for k in range(self.rank):
+            signs = []
+            for factor in factors:
+                column = factor[:, k]
+                pivot = column[np.argmax(np.abs(column))]
+                signs.append(-1.0 if pivot < 0.0 else 1.0)
+            if np.prod(signs) < 0.0:
+                signs[-1] = -signs[-1]
+            for factor, sign in zip(factors, signs):
+                if sign < 0.0:
+                    factor[:, k] *= -1.0
+        return CPTensor(weights=self.weights.copy(), factors=factors)
+
     def component(self, index: int) -> tuple[float, list[np.ndarray]]:
         """Weight and per-mode vectors of the ``index``'th rank-1 component."""
         if not 0 <= index < self.rank:

@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 
-__all__ = ["check_random_state", "spawn_rngs"]
+__all__ = ["check_random_state", "check_seed_sequence", "chunk_rng", "spawn_rngs"]
 
 
 def check_random_state(random_state) -> np.random.Generator:
@@ -39,6 +39,51 @@ def check_random_state(random_state) -> np.random.Generator:
         "random_state must be None, an int, a SeedSequence, or a Generator; "
         f"got {type(random_state).__name__}"
     )
+
+
+def check_seed_sequence(random_state) -> np.random.SeedSequence:
+    """Coerce ``random_state`` into a :class:`numpy.random.SeedSequence`.
+
+    Streaming dataset factories need *re-iterable* randomness — every pass
+    over the stream must regenerate identical chunks — so they key each
+    chunk off a seed sequence rather than sharing one stateful generator.
+    ``None`` draws fresh entropy once (the stream stays self-consistent
+    but differs between factory calls); stateful ``Generator`` instances
+    are rejected because replaying them is impossible.
+    """
+    if random_state is None:
+        return np.random.SeedSequence()
+    if isinstance(random_state, np.random.SeedSequence):
+        return random_state
+    if isinstance(random_state, (int, np.integer)):
+        return np.random.SeedSequence(int(random_state))
+    raise ValidationError(
+        "streaming factories need a replayable seed: None, an int, or a "
+        f"SeedSequence; got {type(random_state).__name__}"
+    )
+
+
+#: namespaces chunk_rng's spawn keys away from SeedSequence.spawn()'s
+#: 0, 1, 2, … children, so deriving both from one root never collides.
+_CHUNK_SPAWN_NAMESPACE = 0x5EED_CB00
+
+
+def chunk_rng(root: np.random.SeedSequence, index: int) -> np.random.Generator:
+    """Deterministic generator for chunk ``index`` of a stream.
+
+    Derived via a namespaced ``spawn_key`` so any chunk can be
+    (re)generated in isolation and in any order, and so the streams stay
+    independent of children the caller makes via ``root.spawn()``. Index
+    ``0`` is conventionally the *structure* draw (loadings, class
+    geometry) shared by all chunks; sample chunks use ``index >= 1``.
+    """
+    if index < 0:
+        raise ValidationError(f"chunk index must be >= 0, got {index}")
+    derived = np.random.SeedSequence(
+        entropy=root.entropy,
+        spawn_key=root.spawn_key + (_CHUNK_SPAWN_NAMESPACE, int(index)),
+    )
+    return np.random.default_rng(derived)
 
 
 def spawn_rngs(random_state, n: int) -> list[np.random.Generator]:

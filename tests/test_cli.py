@@ -38,6 +38,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "fig99"])
 
+    def test_stream_flags(self):
+        args = build_parser().parse_args(
+            ["run", "fig7", "--stream", "--chunk-size", "128"]
+        )
+        assert args.stream is True
+        assert args.chunk_size == 128
+        defaults = build_parser().parse_args(["run", "fig7"])
+        assert defaults.stream is False
+        assert defaults.chunk_size is None
+
 
 class TestMain:
     def test_list_prints_all_experiments(self, capsys):
@@ -60,3 +70,22 @@ class TestMain:
         assert code == 0
         out = capsys.readouterr().out
         assert "TCCA" in out
+
+    def test_run_tiny_complexity_experiment_streaming(self, capsys):
+        code = main(
+            [
+                "run",
+                "fig8",
+                "--stream",
+                "--chunk-size",
+                "64",
+                "--override",
+                "n_samples=150",
+                "--override",
+                "dims=(3,)",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TCCA-STREAM" in out
+        assert "chunk_size=64" in out
