@@ -20,8 +20,15 @@ Quickstart::
 from repro.core import KTCCA, TCCA, multiview_canonical_correlation
 from repro.cca import CCA, KCCA, LSCCA, MaxVarCCA
 from repro.baselines import DSE, SSMVD, PCA
+from repro.api import (
+    MultiviewPipeline,
+    load_model,
+    make_classifier,
+    make_reducer,
+    save_model,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CCA",
@@ -30,9 +37,14 @@ __all__ = [
     "KTCCA",
     "LSCCA",
     "MaxVarCCA",
+    "MultiviewPipeline",
     "PCA",
     "SSMVD",
     "TCCA",
     "__version__",
+    "load_model",
+    "make_classifier",
+    "make_reducer",
     "multiview_canonical_correlation",
+    "save_model",
 ]

@@ -1,22 +1,41 @@
-"""Command-line entry point: list and run the registered experiments.
+"""Command-line entry point: experiments, plus the fit/serve model loop.
 
-Usage::
+Experiment reproduction::
 
     python -m repro list
     python -m repro run tab2
     python -m repro run fig6 --override n_samples=500 --override n_runs=5
+
+Model artifacts (the precursor to a serving layer) — fit an estimator or
+a reducer→classifier pipeline, save it as a single ``.npz`` model file,
+and transform / predict from the saved file later::
+
+    python -m repro estimators
+    python -m repro fit tcca --synthetic 240 --param n_components=3 \
+        --classifier rls --out model.npz
+    python -m repro transform model.npz --synthetic 240
+    python -m repro predict model.npz --synthetic 240
+
+Data files (``--data``) are ``.npz`` archives with one ``(d_p, N)`` array
+per view under ``view0``, ``view1``, … and an optional length-``N``
+``labels`` array; ``--synthetic N --seed S`` draws the same
+:func:`~repro.datasets.synthetic.make_multiview_latent` dataset on both
+the fit and the predict side of the loop.
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import re
 import sys
 import warnings
 
 import inspect
 
-from repro.exceptions import ConvergenceWarning
+import numpy as np
+
+from repro.exceptions import ConvergenceWarning, ReproError
 from repro.experiments import EXPERIMENTS, run_experiment
 
 
@@ -45,6 +64,29 @@ def _parse_override(text: str) -> tuple[str, object]:
     return key, value
 
 
+def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared --data / --synthetic data-source options."""
+    parser.add_argument(
+        "--data",
+        metavar="FILE.npz",
+        help="npz archive with view0..viewN (d_p, N) arrays and an "
+        "optional 'labels' array",
+    )
+    parser.add_argument(
+        "--synthetic",
+        type=_positive_int,
+        metavar="N",
+        help="draw an N-sample synthetic latent-factor dataset instead "
+        "of reading --data (deterministic given --seed)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="random seed of --synthetic (default 0)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -52,7 +94,8 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Reproduce the tables and figures of 'Tensor Canonical "
             "Correlation Analysis for Multi-view Dimension Reduction' "
-            "(Luo et al., ICDE 2016)."
+            "(Luo et al., ICDE 2016) — and fit, save, and serve its "
+            "estimators as model files."
         ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -90,7 +133,216 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="minibatch size of the streaming path (implies --stream)",
     )
+
+    subparsers.add_parser(
+        "estimators",
+        help="list the registered reducers and classifiers",
+    )
+
+    fit_parser = subparsers.add_parser(
+        "fit",
+        help="fit a registered reducer (or reducer+classifier pipeline) "
+        "and save it as a model file",
+    )
+    fit_parser.add_argument(
+        "reducer", metavar="reducer",
+        help="registry key of the multi-view reducer, e.g. tcca "
+        "(see `python -m repro estimators`)",
+    )
+    _add_data_arguments(fit_parser)
+    fit_parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        type=_parse_override,
+        metavar="key=value",
+        help="reducer constructor parameter (repeatable), "
+        "e.g. n_components=5",
+    )
+    fit_parser.add_argument(
+        "--classifier",
+        metavar="NAME",
+        help="also fit a classifier on the reduced representation and "
+        "save a servable pipeline (requires labels)",
+    )
+    fit_parser.add_argument(
+        "--classifier-param",
+        action="append",
+        default=[],
+        type=_parse_override,
+        metavar="key=value",
+        help="classifier constructor parameter (repeatable)",
+    )
+    fit_parser.add_argument(
+        "--out",
+        required=True,
+        metavar="MODEL.npz",
+        help="where to write the model file",
+    )
+
+    transform_parser = subparsers.add_parser(
+        "transform",
+        help="project data with a saved model and report/save the "
+        "combined representation",
+    )
+    transform_parser.add_argument(
+        "model", metavar="MODEL.npz", help="model file written by fit"
+    )
+    _add_data_arguments(transform_parser)
+    transform_parser.add_argument(
+        "--out",
+        metavar="FILE.npy",
+        help="save the (N, m*r) representation as a .npy array",
+    )
+
+    predict_parser = subparsers.add_parser(
+        "predict",
+        help="predict labels with a saved pipeline model",
+    )
+    predict_parser.add_argument(
+        "model", metavar="MODEL.npz",
+        help="pipeline model file (fit with --classifier)",
+    )
+    _add_data_arguments(predict_parser)
+    predict_parser.add_argument(
+        "--out",
+        metavar="FILE.npy",
+        help="save the predicted labels as a .npy array",
+    )
     return parser
+
+
+def _load_dataset(args, parser: argparse.ArgumentParser):
+    """``(views, labels-or-None)`` from --data or --synthetic."""
+    if (args.data is None) == (args.synthetic is None):
+        parser.error("exactly one of --data / --synthetic is required")
+    if args.synthetic is not None:
+        from repro.datasets import make_multiview_latent
+
+        data = make_multiview_latent(
+            n_samples=args.synthetic, random_state=args.seed
+        )
+        return data.views, data.labels
+    with np.load(args.data, allow_pickle=False) as payload:
+        view_keys = sorted(
+            (key for key in payload.files if re.fullmatch(r"view\d+", key)),
+            key=lambda key: int(key[4:]),
+        )
+        if not view_keys:
+            parser.error(
+                f"{args.data} holds no view0..viewN arrays; expected the "
+                "multi-view npz layout"
+            )
+        views = [payload[key] for key in view_keys]
+        labels = payload["labels"] if "labels" in payload.files else None
+    return views, labels
+
+
+def _save_array(path: str, array: np.ndarray) -> None:
+    """np.save without the silent ``.npy`` suffix appending."""
+    with open(path, "wb") as handle:
+        np.save(handle, array)
+
+
+def _command_estimators() -> int:
+    from repro.api import (
+        available_classifiers,
+        available_reducers,
+        get_estimator_class,
+    )
+
+    print("reducers:")
+    for name in available_reducers():
+        cls = get_estimator_class(name, "reducer")
+        print(f"  {name:<10} {cls.__name__}")
+    print("classifiers:")
+    for name in available_classifiers():
+        cls = get_estimator_class(name, "classifier")
+        print(f"  {name:<10} {cls.__name__}")
+    return 0
+
+
+def _command_fit(args, parser: argparse.ArgumentParser) -> int:
+    from repro.api import MultiviewPipeline, make_reducer, save_model
+
+    views, labels = _load_dataset(args, parser)
+    reducer = make_reducer(args.reducer, **dict(args.param))
+    if getattr(type(reducer), "_single_view_", False):
+        parser.error(
+            f"{args.reducer!r} is a single-view estimator; the fit "
+            "command feeds a multi-view dataset — use a multi-view "
+            "reducer (e.g. tcca, cca, lscca, maxvar, dse, ssmvd)"
+        )
+    if args.classifier is not None:
+        if labels is None:
+            parser.error(
+                "--classifier needs labels (a 'labels' array in --data, "
+                "or --synthetic data)"
+            )
+        model = MultiviewPipeline(
+            reducer,
+            args.classifier,
+            classifier_params=dict(args.classifier_param),
+        ).fit(views, labels)
+        kind = f"pipeline[{args.reducer} -> {args.classifier}]"
+    else:
+        if args.classifier_param:
+            parser.error("--classifier-param requires --classifier")
+        model = reducer.fit(views)
+        kind = args.reducer
+    save_model(model, args.out)
+    n = views[0].shape[1]
+    print(f"fitted {kind} on {len(views)} views x {n} samples -> {args.out}")
+    return 0
+
+
+def _command_transform(args, parser: argparse.ArgumentParser) -> int:
+    from repro.api import MultiviewPipeline, load_model
+
+    views, _labels = _load_dataset(args, parser)
+    model = load_model(args.model)
+    if isinstance(model, MultiviewPipeline):
+        representation = model.transform(views)
+    elif hasattr(model, "transform_combined"):
+        representation = model.transform_combined(views)
+    else:
+        print(
+            f"error: {type(model).__name__} has no combined multi-view "
+            "transform (transductive or single-view estimator)",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"transformed {representation.shape[0]} samples -> "
+        f"{representation.shape[1]} dimensions"
+    )
+    if args.out:
+        _save_array(args.out, representation)
+        print(f"saved representation -> {args.out}")
+    return 0
+
+
+def _command_predict(args, parser: argparse.ArgumentParser) -> int:
+    from repro.api import MultiviewPipeline, load_model
+
+    views, labels = _load_dataset(args, parser)
+    model = load_model(args.model)
+    if not isinstance(model, MultiviewPipeline):
+        print(
+            f"error: {args.model} holds a bare {type(model).__name__}; "
+            "predict needs a pipeline model (fit with --classifier)",
+            file=sys.stderr,
+        )
+        return 2
+    predictions = model.predict(views)
+    print(f"predicted {predictions.shape[0]} labels")
+    if labels is not None:
+        accuracy = float(np.mean(predictions == np.asarray(labels)))
+        print(f"accuracy: {accuracy:.4f}")
+    if args.out:
+        _save_array(args.out, np.asarray(predictions))
+        print(f"saved predictions -> {args.out}")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -114,6 +366,19 @@ def main(argv=None) -> int:
                 f"{spec.description}"
             )
         return 0
+    if args.command == "estimators":
+        return _command_estimators()
+    if args.command in ("fit", "transform", "predict"):
+        handler = {
+            "fit": _command_fit,
+            "transform": _command_transform,
+            "predict": _command_predict,
+        }[args.command]
+        try:
+            return handler(args, parser)
+        except (ReproError, OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
 
     warnings.simplefilter("ignore", ConvergenceWarning)
     overrides = dict(args.override)

@@ -1,0 +1,62 @@
+"""Unified estimator API: registry, config round-trips, persistence, serving.
+
+This package turns the reproduction's estimators into deployable
+artifacts:
+
+* :mod:`repro.api.registry` — every estimator under a stable string key:
+  ``make_reducer("tcca", n_components=5)``, ``make_classifier("rls")``;
+* :mod:`repro.api.persistence` — ``save_model`` / ``load_model``: fitted
+  arrays in an ``.npz`` payload plus a versioned JSON header with the
+  config and fitted-attribute schema (no pickle);
+* :mod:`repro.api.pipeline` — :class:`MultiviewPipeline`, the servable
+  preprocessing → reducer → classifier unit behind
+  ``python -m repro fit / transform / predict``.
+
+Fit once, save, serve::
+
+    from repro.api import MultiviewPipeline, load_model
+
+    pipeline = MultiviewPipeline(
+        "tcca", "rls", reducer_params={"n_components": 5, "random_state": 0}
+    ).fit(train_views, train_labels)
+    pipeline.save("model.npz")
+
+    served = load_model("model.npz")
+    predictions = served.predict(new_views)
+"""
+
+from repro.api.persistence import (
+    MODEL_FORMAT,
+    MODEL_FORMAT_VERSION,
+    PIPELINE_FORMAT,
+    load_model,
+    save_model,
+)
+from repro.api.pipeline import MultiviewPipeline
+from repro.api.registry import (
+    available_classifiers,
+    available_reducers,
+    classifier_from_config,
+    get_estimator_class,
+    make_classifier,
+    make_reducer,
+    reducer_from_config,
+    register,
+)
+
+__all__ = [
+    "MODEL_FORMAT",
+    "MODEL_FORMAT_VERSION",
+    "MultiviewPipeline",
+    "PIPELINE_FORMAT",
+    "available_classifiers",
+    "available_reducers",
+    "classifier_from_config",
+    "get_estimator_class",
+    "load_model",
+    "make_classifier",
+    "make_reducer",
+    "reducer_from_config",
+    "register",
+    "save_model",
+]

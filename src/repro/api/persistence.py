@@ -1,0 +1,234 @@
+"""Model persistence: fitted estimators as ``.npz`` payload + JSON header.
+
+A saved model is a single ``np.savez`` archive holding
+
+* ``__repro_header__`` — a JSON document with the format name/version,
+  the estimator's registry key and constructor params, and a *schema* of
+  its fitted attributes (which are arrays, which are lists of arrays,
+  which are plain JSON values);
+* one archive entry per fitted array (lists of arrays fan out to
+  ``attr.0``, ``attr.1``, …).
+
+``load_model`` rebuilds the estimator through the registry — ``.npz``
+plus JSON only, no pickle, so a model file cannot execute code — and
+restores the fitted attributes, after which ``transform`` behaves
+exactly like the in-memory original. The format is versioned so a
+future layout change can refuse (or migrate) old files explicitly
+instead of misreading them.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.api.registry import get_estimator_class
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "MODEL_FORMAT",
+    "MODEL_FORMAT_VERSION",
+    "PIPELINE_FORMAT",
+    "load_model",
+    "save_model",
+]
+
+MODEL_FORMAT = "repro-model"
+PIPELINE_FORMAT = "repro-pipeline"
+MODEL_FORMAT_VERSION = 1
+_HEADER_KEY = "__repro_header__"
+
+
+# -- value (de)coding -------------------------------------------------------
+
+
+def _to_jsonable(value):
+    """Plain-JSON form of a scalar/sequence value, or TypeError."""
+    if isinstance(value, np.generic):
+        value = value.item()
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(item) for item in value]
+    raise TypeError(f"not JSON-serializable: {type(value).__name__}")
+
+
+def _encode_value(attr: str, value, prefix: str):
+    """``(schema entry, arrays)`` for one fitted attribute."""
+    key = prefix + attr
+    if isinstance(value, np.ndarray):
+        return {"kind": "array"}, {key: value}
+    if (
+        isinstance(value, (list, tuple))
+        and value
+        and all(isinstance(item, np.ndarray) for item in value)
+    ):
+        arrays = {f"{key}.{i}": item for i, item in enumerate(value)}
+        entry = {
+            "kind": "arrays",
+            "length": len(value),
+            "sequence": "tuple" if isinstance(value, tuple) else "list",
+        }
+        return entry, arrays
+    try:
+        encoded = _to_jsonable(value)
+    except TypeError:
+        raise ValidationError(
+            f"cannot persist fitted attribute {attr!r} of type "
+            f"{type(value).__name__}; add it to the class's "
+            "_non_persistent_ tuple if transform does not need it"
+        ) from None
+    entry = {"kind": "json", "value": encoded}
+    if isinstance(value, tuple):
+        entry["sequence"] = "tuple"
+    return entry, {}
+
+
+def _decode_value(entry: dict, attr: str, payload, prefix: str):
+    key = prefix + attr
+    kind = entry.get("kind")
+    if kind == "array":
+        return payload[key]
+    if kind == "arrays":
+        items = [payload[f"{key}.{i}"] for i in range(entry["length"])]
+        return tuple(items) if entry.get("sequence") == "tuple" else items
+    if kind == "json":
+        value = entry["value"]
+        if entry.get("sequence") == "tuple" and isinstance(value, list):
+            return tuple(value)
+        return value
+    raise ValidationError(f"unknown fitted-attribute kind {kind!r} in header")
+
+
+# -- estimator (de)coding ---------------------------------------------------
+
+
+def encode_estimator(estimator, prefix: str = "") -> tuple[dict, dict]:
+    """``(header fragment, arrays)`` for one estimator (fitted or not).
+
+    Everything in ``vars(estimator)`` that is not a constructor parameter
+    is treated as fitted state, minus the class's ``_non_persistent_``
+    attributes (derived objects like decomposition results that
+    ``transform`` does not need).
+    """
+    params = estimator.get_params()
+    try:
+        json.dumps(params)
+    except TypeError:
+        raise ValidationError(
+            f"{type(estimator).__name__} parameters are not "
+            "JSON-serializable (e.g. callable kernels or a Generator "
+            "random_state); use precomputed-kernel mode / seed integers "
+            "to persist this estimator"
+        ) from None
+    skip = set(params) | set(getattr(type(estimator), "_non_persistent_", ()))
+    state = {}
+    arrays = {}
+    for attr, value in vars(estimator).items():
+        if attr in skip:
+            continue
+        entry, attr_arrays = _encode_value(attr, value, prefix)
+        state[attr] = entry
+        arrays.update(attr_arrays)
+    # vars() rather than getattr: an unregistered *subclass* inherits the
+    # parent's registry stamp but must be refused, or it would silently
+    # load back as the parent class.
+    name = vars(type(estimator)).get("_registry_name_")
+    if name is None or get_estimator_class(
+        name, type(estimator)._registry_kind_
+    ) is not type(estimator):
+        raise ValidationError(
+            f"{type(estimator).__name__} is not registered; only "
+            "registry estimators can be persisted (see repro.api.register)"
+        )
+    header = {
+        "estimator": name,
+        "kind": type(estimator)._registry_kind_,
+        "params": params,
+        "state": state,
+    }
+    return header, arrays
+
+
+def decode_estimator(header: dict, payload, prefix: str = ""):
+    """Rebuild an estimator from its header fragment and array payload."""
+    cls = get_estimator_class(header["estimator"], header.get("kind", "reducer"))
+    estimator = cls(**dict(header.get("params", {})))
+    for attr, entry in header.get("state", {}).items():
+        setattr(estimator, attr, _decode_value(entry, attr, payload, prefix))
+    return estimator
+
+
+# -- archive I/O ------------------------------------------------------------
+
+
+def write_archive(path, header: dict, arrays: dict) -> None:
+    """Write header + arrays to ``path`` exactly (no ``.npz`` appending)."""
+    entries = dict(arrays)
+    entries[_HEADER_KEY] = np.array(json.dumps(header))
+    with open(path, "wb") as handle:
+        np.savez(handle, **entries)
+
+
+def read_archive(path) -> tuple[dict, "np.lib.npyio.NpzFile"]:
+    """Read ``(header, payload)`` from a model file, validating the format."""
+    payload = np.load(path, allow_pickle=False)
+    if _HEADER_KEY not in payload.files:
+        payload.close()
+        raise ValidationError(
+            f"{path!s} is not a repro model file (missing header entry)"
+        )
+    header = json.loads(str(payload[_HEADER_KEY][()]))
+    fmt = header.get("format")
+    if fmt not in (MODEL_FORMAT, PIPELINE_FORMAT):
+        payload.close()
+        raise ValidationError(
+            f"{path!s} has unknown format {fmt!r}; expected "
+            f"{MODEL_FORMAT!r} or {PIPELINE_FORMAT!r}"
+        )
+    version = header.get("version")
+    if not isinstance(version, int) or version > MODEL_FORMAT_VERSION:
+        payload.close()
+        raise ValidationError(
+            f"{path!s} uses format version {version!r}, newer than this "
+            f"library understands (<= {MODEL_FORMAT_VERSION}); upgrade "
+            "the library to load it"
+        )
+    return header, payload
+
+
+# -- public API -------------------------------------------------------------
+
+
+def save_model(model, path):
+    """Persist an estimator (or a pipeline) to ``path``; returns ``path``.
+
+    Registered estimators are written in the :data:`MODEL_FORMAT` layout;
+    :class:`~repro.api.pipeline.MultiviewPipeline` instances delegate to
+    their composite :data:`PIPELINE_FORMAT` layout. Either way the file
+    is loadable with the single :func:`load_model` entry point.
+    """
+    from repro.api.pipeline import MultiviewPipeline
+
+    if isinstance(model, MultiviewPipeline):
+        return model.save(path)
+    header, arrays = encode_estimator(model)
+    header = {
+        "format": MODEL_FORMAT,
+        "version": MODEL_FORMAT_VERSION,
+        **header,
+    }
+    write_archive(path, header, arrays)
+    return path
+
+
+def load_model(path):
+    """Load whatever :func:`save_model` wrote: an estimator or a pipeline."""
+    header, payload = read_archive(path)
+    with payload:
+        if header["format"] == PIPELINE_FORMAT:
+            from repro.api.pipeline import MultiviewPipeline
+
+            return MultiviewPipeline._from_archive(header, payload)
+        return decode_estimator(header, payload)

@@ -1,0 +1,184 @@
+"""A servable multi-view pipeline: preprocessing → reducer → classifier.
+
+:class:`MultiviewPipeline` is the deployable unit the experiments
+hand-assemble today: project the views with a fitted multi-view reducer,
+concatenate the per-view projections into the ``(N, m·r)``
+representation, and classify. It carries the whole thing through
+``fit`` / ``predict`` / ``save`` / ``load``, so a model fitted once can
+be shipped as a single file and served — the CLI's
+``python -m repro fit … / predict …`` loop is exactly this class.
+
+Only inductive reducers (those with an out-of-sample ``transform``, e.g.
+TCCA / CCA / CCA-LS / CCA-MAXVAR) can predict on new data; transductive
+ones (DSE, SSMVD, spectral) are rejected at construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.persistence import (
+    MODEL_FORMAT_VERSION,
+    PIPELINE_FORMAT,
+    decode_estimator,
+    encode_estimator,
+    write_archive,
+)
+from repro.api.registry import make_classifier, make_reducer
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.preprocessing import unit_scale_views
+from repro.utils.validation import check_views
+
+__all__ = ["MultiviewPipeline"]
+
+_REDUCER_PREFIX = "reducer:"
+_CLASSIFIER_PREFIX = "classifier:"
+
+
+class MultiviewPipeline:
+    """Compose a multi-view reducer and a classifier into one model.
+
+    Parameters
+    ----------
+    reducer:
+        A registry key (``"tcca"``) or a reducer instance. Must expose
+        ``fit_transform_combined`` / ``transform_combined`` (inductive).
+    classifier:
+        A registry key (``"rls"``, ``"knn"``) or a classifier instance.
+    scale_views:
+        Normalize every sample of every view to unit norm before the
+        reducer (the CAT-style preprocessing; stateless, so it applies
+        identically at fit and predict time).
+    reducer_params, classifier_params:
+        Constructor keywords forwarded to :func:`~repro.api.registry.
+        make_reducer` / ``make_classifier`` when the corresponding
+        argument is a registry key.
+    """
+
+    def __init__(
+        self,
+        reducer="tcca",
+        classifier="rls",
+        *,
+        scale_views: bool = False,
+        reducer_params: dict | None = None,
+        classifier_params: dict | None = None,
+    ):
+        if isinstance(reducer, str):
+            reducer = make_reducer(reducer, **dict(reducer_params or {}))
+        elif reducer_params:
+            raise ValidationError(
+                "reducer_params only apply when reducer is a registry name"
+            )
+        if isinstance(classifier, str):
+            classifier = make_classifier(
+                classifier, **dict(classifier_params or {})
+            )
+        elif classifier_params:
+            raise ValidationError(
+                "classifier_params only apply when classifier is a "
+                "registry name"
+            )
+        for method in ("fit_transform_combined", "transform_combined"):
+            if not hasattr(reducer, method):
+                raise ValidationError(
+                    f"{type(reducer).__name__} has no {method}; the "
+                    "pipeline needs an inductive multi-view reducer "
+                    "(e.g. tcca, cca, lscca, maxvar)"
+                )
+        for method in ("fit", "predict"):
+            if not hasattr(classifier, method):
+                raise ValidationError(
+                    f"{type(classifier).__name__} has no {method}; not a "
+                    "classifier"
+                )
+        self.reducer = reducer
+        self.classifier = classifier
+        self.scale_views = bool(scale_views)
+
+    # -- estimator API ------------------------------------------------------
+
+    def _preprocess(self, views) -> list[np.ndarray]:
+        views = check_views(views, min_views=2)
+        if self.scale_views:
+            views = unit_scale_views(views)
+        return views
+
+    def fit(self, views, labels) -> "MultiviewPipeline":
+        """Fit reducer and classifier on ``(d_p, N)`` views + ``N`` labels."""
+        views = self._preprocess(views)
+        labels = np.asarray(labels)
+        features = self.reducer.fit_transform_combined(views)
+        self.classifier.fit(features, labels)
+        self.n_views_ = len(views)
+        return self
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "n_views_"):
+            raise NotFittedError(
+                "MultiviewPipeline must be fitted before use"
+            )
+
+    def transform(self, views) -> np.ndarray:
+        """The ``(N, m·r)`` representation the classifier consumes."""
+        self._check_fitted()
+        return self.reducer.transform_combined(self._preprocess(views))
+
+    def predict(self, views) -> np.ndarray:
+        """Predicted labels for new multi-view samples."""
+        self._check_fitted()
+        return self.classifier.predict(self.transform(views))
+
+    def score(self, views, labels) -> float:
+        """Mean accuracy on the given data."""
+        labels = np.asarray(labels)
+        return float(np.mean(self.predict(views) == labels))
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, path):
+        """Write the whole pipeline to one model file; returns ``path``."""
+        reducer_header, arrays = encode_estimator(
+            self.reducer, prefix=_REDUCER_PREFIX
+        )
+        classifier_header, classifier_arrays = encode_estimator(
+            self.classifier, prefix=_CLASSIFIER_PREFIX
+        )
+        header = {
+            "format": PIPELINE_FORMAT,
+            "version": MODEL_FORMAT_VERSION,
+            "scale_views": self.scale_views,
+            "n_views": getattr(self, "n_views_", None),
+            "reducer": reducer_header,
+            "classifier": classifier_header,
+        }
+        write_archive(path, header, {**arrays, **classifier_arrays})
+        return path
+
+    @classmethod
+    def _from_archive(cls, header: dict, payload) -> "MultiviewPipeline":
+        pipeline = cls(
+            reducer=decode_estimator(
+                header["reducer"], payload, prefix=_REDUCER_PREFIX
+            ),
+            classifier=decode_estimator(
+                header["classifier"], payload, prefix=_CLASSIFIER_PREFIX
+            ),
+            scale_views=bool(header.get("scale_views", False)),
+        )
+        if header.get("n_views") is not None:
+            pipeline.n_views_ = int(header["n_views"])
+        return pipeline
+
+    @classmethod
+    def load(cls, path) -> "MultiviewPipeline":
+        """Load a pipeline written by :meth:`save` (or :func:`save_model`)."""
+        from repro.api.persistence import load_model
+
+        model = load_model(path)
+        if not isinstance(model, cls):
+            raise ValidationError(
+                f"{path!s} holds a bare {type(model).__name__}, not a "
+                "pipeline; use repro.api.load_model"
+            )
+        return model

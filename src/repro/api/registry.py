@@ -1,0 +1,159 @@
+"""String-keyed estimator registry: names to classes, names to instances.
+
+Every estimator in the library registers itself under a short stable key
+(``@register("tcca")``), split into two kinds:
+
+* **reducers** — the multi-view dimension reducers the paper compares
+  (TCCA, KTCCA, the CCA family, PCA, DSE, SSMVD, spectral);
+* **classifiers** — the downstream learners (RLS, kNN).
+
+``make_reducer("tcca", n_components=5)`` replaces hand-wired imports and
+constructor calls; the same keys name estimators in saved-model headers
+(:mod:`repro.api.persistence`), configs, and the ``python -m repro fit``
+CLI, so "which estimator is this" is a string everywhere a string is
+needed.
+
+Registration happens at import time of the estimator modules; lookups
+lazily import the built-in modules so ``make_reducer`` works without the
+caller importing anything else first.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "available_classifiers",
+    "available_reducers",
+    "classifier_from_config",
+    "get_estimator_class",
+    "make_classifier",
+    "make_reducer",
+    "reducer_from_config",
+    "register",
+]
+
+_KINDS = ("reducer", "classifier")
+_REGISTRY: dict[str, dict[str, type]] = {kind: {} for kind in _KINDS}
+
+#: importing these modules registers every built-in estimator.
+_BUILTIN_MODULES = (
+    "repro.baselines.dse",
+    "repro.baselines.pca",
+    "repro.baselines.spectral",
+    "repro.baselines.ssmvd",
+    "repro.cca.cca",
+    "repro.cca.kcca",
+    "repro.cca.lscca",
+    "repro.cca.maxvar",
+    "repro.classifiers.knn",
+    "repro.classifiers.rls",
+    "repro.core.ktcca",
+    "repro.core.tcca",
+)
+_builtins_loaded = False
+
+
+def _ensure_builtins() -> None:
+    global _builtins_loaded
+    if not _builtins_loaded:
+        # Flag only after every import succeeded: a failed import must
+        # surface again on the next lookup, not decay into misleading
+        # "unknown reducer" errors (re-registration of the same class is
+        # a no-op, so retrying is safe).
+        for module in _BUILTIN_MODULES:
+            importlib.import_module(module)
+        _builtins_loaded = True
+
+
+def _check_kind(kind: str) -> str:
+    if kind not in _KINDS:
+        raise ValidationError(
+            f"kind must be one of {_KINDS}, got {kind!r}"
+        )
+    return kind
+
+
+def register(name: str, *, kind: str = "reducer"):
+    """Class decorator registering an estimator under a stable string key.
+
+    Stamps ``_registry_name_`` / ``_registry_kind_`` on the class so
+    :meth:`~repro.cca.base.ParamsMixin.to_config` and the persistence
+    layer can name it. Re-registering the *same* class under its key is a
+    no-op; claiming an existing key with a different class raises.
+    """
+    _check_kind(kind)
+    key = str(name).lower()
+    if not key:
+        raise ValidationError("registry name must be a non-empty string")
+
+    def decorator(cls: type) -> type:
+        existing = _REGISTRY[kind].get(key)
+        if existing is not None and existing is not cls:
+            raise ValidationError(
+                f"{kind} {key!r} is already registered to "
+                f"{existing.__name__}; pick a different name"
+            )
+        _REGISTRY[kind][key] = cls
+        cls._registry_name_ = key
+        cls._registry_kind_ = kind
+        return cls
+
+    return decorator
+
+
+def get_estimator_class(name: str, kind: str = "reducer") -> type:
+    """Resolve a registry key to its estimator class."""
+    _check_kind(kind)
+    _ensure_builtins()
+    try:
+        return _REGISTRY[kind][str(name).lower()]
+    except KeyError:
+        raise ValidationError(
+            f"unknown {kind} {name!r}; registered {kind}s: "
+            f"{sorted(_REGISTRY[kind])}"
+        ) from None
+
+
+def make_reducer(name: str, **params):
+    """Construct a registered multi-view reducer by name."""
+    return get_estimator_class(name, "reducer")(**params)
+
+
+def make_classifier(name: str, **params):
+    """Construct a registered classifier by name."""
+    return get_estimator_class(name, "classifier")(**params)
+
+
+def available_reducers() -> list[str]:
+    """Sorted registry keys of all reducers."""
+    _ensure_builtins()
+    return sorted(_REGISTRY["reducer"])
+
+
+def available_classifiers() -> list[str]:
+    """Sorted registry keys of all classifiers."""
+    _ensure_builtins()
+    return sorted(_REGISTRY["classifier"])
+
+
+def _from_config(config: dict, kind: str):
+    if not isinstance(config, dict) or "estimator" not in config:
+        raise ValidationError(
+            "config must be a dict with an 'estimator' key "
+            "(the output of to_config())"
+        )
+    cls = get_estimator_class(config["estimator"], kind)
+    return cls.from_config(config)
+
+
+def reducer_from_config(config: dict):
+    """Build an unfitted reducer from a ``to_config()`` dict."""
+    return _from_config(config, "reducer")
+
+
+def classifier_from_config(config: dict):
+    """Build an unfitted classifier from a ``to_config()`` dict."""
+    return _from_config(config, "classifier")

@@ -3,7 +3,9 @@
 * :class:`~repro.baselines.pca.PCA` — used by DSE/SSMVD to pre-reduce each
   view to 100 dimensions, as in the paper's experimental setup.
 * :func:`~repro.baselines.spectral.laplacian_eigenmaps` — spectral
-  embedding (Belkin & Niyogi 2001), the per-view stage of DSE.
+  embedding (Belkin & Niyogi 2001), the per-view stage of DSE — with
+  :class:`~repro.baselines.spectral.SpectralEmbedding` as its registry
+  estimator form.
 * :class:`~repro.baselines.dse.DSE` — distributed spectral embedding
   (Long et al. 2008): per-view embeddings combined into a consensus by
   matrix factorization.
@@ -12,8 +14,19 @@
 """
 
 from repro.baselines.pca import PCA
-from repro.baselines.spectral import knn_affinity, laplacian_eigenmaps
+from repro.baselines.spectral import (
+    SpectralEmbedding,
+    knn_affinity,
+    laplacian_eigenmaps,
+)
 from repro.baselines.dse import DSE
 from repro.baselines.ssmvd import SSMVD
 
-__all__ = ["DSE", "PCA", "SSMVD", "knn_affinity", "laplacian_eigenmaps"]
+__all__ = [
+    "DSE",
+    "PCA",
+    "SSMVD",
+    "SpectralEmbedding",
+    "knn_affinity",
+    "laplacian_eigenmaps",
+]

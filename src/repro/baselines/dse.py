@@ -17,15 +17,18 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register
 from repro.baselines.pca import PCA
 from repro.baselines.spectral import laplacian_eigenmaps
+from repro.cca.base import ParamsMixin
 from repro.exceptions import NotFittedError, ValidationError
 from repro.utils.validation import check_positive_int, check_views
 
 __all__ = ["DSE"]
 
 
-class DSE:
+@register("dse")
+class DSE(ParamsMixin):
     """Consensus spectral embedding over multiple views (transductive).
 
     Parameters

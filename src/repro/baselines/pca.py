@@ -4,13 +4,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register
+from repro.cca.base import ParamsMixin
 from repro.exceptions import NotFittedError, ValidationError
 from repro.utils.validation import check_positive_int, ensure_2d
 
 __all__ = ["PCA"]
 
 
-class PCA:
+@register("pca")
+class PCA(ParamsMixin):
     """Plain PCA by SVD of the centered data matrix.
 
     Parameters
@@ -32,6 +35,9 @@ class PCA:
     mean_:
         ``(d, 1)`` feature means.
     """
+
+    #: fits one (d, N) matrix, not a multi-view list (checked by the CLI).
+    _single_view_ = True
 
     def __init__(self, n_components: int = 2, *, cap: bool = False):
         self.n_components = check_positive_int(n_components, "n_components")

@@ -12,11 +12,13 @@ import numpy as np
 import scipy.sparse
 import scipy.sparse.linalg
 
-from repro.exceptions import ValidationError
+from repro.api.registry import register
+from repro.cca.base import ParamsMixin
+from repro.exceptions import NotFittedError, ValidationError
 from repro.kernels.distances import euclidean_distances
 from repro.utils.validation import check_positive_int, ensure_2d
 
-__all__ = ["knn_affinity", "laplacian_eigenmaps"]
+__all__ = ["SpectralEmbedding", "knn_affinity", "laplacian_eigenmaps"]
 
 
 def knn_affinity(
@@ -117,3 +119,70 @@ def laplacian_eigenmaps(
     norms = np.linalg.norm(embedding, axis=0)
     norms = np.where(norms > 0.0, norms, 1.0)
     return embedding / norms
+
+
+@register("spectral")
+class SpectralEmbedding(ParamsMixin):
+    """Laplacian eigenmaps as a registry estimator (transductive).
+
+    A thin estimator wrapper over :func:`laplacian_eigenmaps` so the
+    single-view spectral baseline participates in the params protocol,
+    the registry, and model persistence like every other estimator.
+
+    Parameters
+    ----------
+    n_components:
+        Embedding dimension ``r``.
+    n_neighbors, mode, bandwidth:
+        Affinity-graph settings, as in :func:`knn_affinity`.
+
+    Attributes
+    ----------
+    embedding_:
+        ``(N, r)`` embedding of the fitted samples.
+    """
+
+    #: fits one (d, N) matrix, not a multi-view list (checked by the CLI).
+    _single_view_ = True
+
+    def __init__(
+        self,
+        n_components: int = 2,
+        *,
+        n_neighbors: int = 10,
+        mode: str = "heat",
+        bandwidth: float | None = None,
+    ):
+        self.n_components = check_positive_int(n_components, "n_components")
+        self.n_neighbors = check_positive_int(n_neighbors, "n_neighbors")
+        if mode not in ("heat", "binary"):
+            raise ValidationError(
+                f"mode must be 'heat' or 'binary', got {mode!r}"
+            )
+        self.mode = mode
+        self.bandwidth = None if bandwidth is None else float(bandwidth)
+
+    def fit(self, view) -> "SpectralEmbedding":
+        """Embed the samples of one ``(d, N)`` view."""
+        self.embedding_ = laplacian_eigenmaps(
+            view,
+            self.n_components,
+            n_neighbors=self.n_neighbors,
+            mode=self.mode,
+            bandwidth=self.bandwidth,
+        )
+        return self
+
+    def fit_transform(self, view) -> np.ndarray:
+        """Fit and return the ``(N, r)`` embedding."""
+        return self.fit(view).embedding_
+
+    def transform(self, view):
+        """Spectral embedding is transductive — no out-of-sample map."""
+        del view
+        if not hasattr(self, "embedding_"):
+            raise NotFittedError("SpectralEmbedding must be fitted first")
+        raise NotImplementedError(
+            "Laplacian eigenmaps embeds the fitted samples only "
+            "(transductive); refit on the union of old and new samples"
+        )

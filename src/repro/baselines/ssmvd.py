@@ -24,7 +24,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register
 from repro.baselines.pca import PCA
+from repro.cca.base import ParamsMixin
 from repro.exceptions import NotFittedError, ValidationError
 from repro.utils.rng import check_random_state
 from repro.utils.validation import check_positive_int, check_views
@@ -37,7 +39,8 @@ def _l21_norm(matrix: np.ndarray) -> float:
     return float(np.linalg.norm(matrix, axis=1).sum())
 
 
-class SSMVD:
+@register("ssmvd")
+class SSMVD(ParamsMixin):
     """Structured-sparse consensus representation learning (transductive).
 
     Parameters

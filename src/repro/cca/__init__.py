@@ -9,10 +9,17 @@ These are the comparison methods of the paper's evaluation:
   multiset CCA of Vía et al. (2007).
 """
 
-from repro.cca.base import MultiviewTransformer
+from repro.cca.base import MultiviewTransformer, ParamsMixin
 from repro.cca.cca import CCA
 from repro.cca.kcca import KCCA
 from repro.cca.lscca import LSCCA
 from repro.cca.maxvar import MaxVarCCA
 
-__all__ = ["CCA", "KCCA", "LSCCA", "MaxVarCCA", "MultiviewTransformer"]
+__all__ = [
+    "CCA",
+    "KCCA",
+    "LSCCA",
+    "MaxVarCCA",
+    "MultiviewTransformer",
+    "ParamsMixin",
+]

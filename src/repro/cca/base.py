@@ -12,6 +12,7 @@ Conventions (matching the paper):
 
 from __future__ import annotations
 
+import inspect
 from abc import ABC, abstractmethod
 
 import numpy as np
@@ -19,10 +20,118 @@ import numpy as np
 from repro.exceptions import NotFittedError, ValidationError
 from repro.utils.validation import check_views
 
-__all__ = ["MultiviewTransformer"]
+__all__ = ["MultiviewTransformer", "ParamsMixin"]
 
 
-class MultiviewTransformer(ABC):
+class ParamsMixin:
+    """Uniform constructor-parameter protocol for every estimator.
+
+    The contract mirrors scikit-learn's: an estimator's hyper-parameters
+    are exactly its ``__init__`` keyword arguments, and each is stored on
+    the instance under its own name. That single convention buys
+
+    * :meth:`get_params` / :meth:`set_params` — introspection and
+      re-validated updates,
+    * :meth:`clone` — an unfitted copy with identical parameters,
+    * :meth:`to_config` / :meth:`from_config` — round-tripping through
+      plain dicts (the JSON header of a saved model, a config file, an
+      HTTP request body),
+
+    for free on every class that follows it. The estimator registry
+    (:mod:`repro.api.registry`) stamps registered classes with
+    ``_registry_name_`` / ``_registry_kind_``, which :meth:`to_config`
+    embeds so a config names the estimator by its stable registry key
+    rather than a Python class path.
+    """
+
+    #: set by :func:`repro.api.registry.register` on registered classes.
+    _registry_name_: str
+    _registry_kind_: str
+
+    @classmethod
+    def _param_names(cls) -> list[str]:
+        """Parameter names, in declaration order, from ``__init__``."""
+        signature = inspect.signature(cls.__init__)
+        names = []
+        for name, parameter in signature.parameters.items():
+            if name == "self":
+                continue
+            if parameter.kind in (
+                inspect.Parameter.VAR_POSITIONAL,
+                inspect.Parameter.VAR_KEYWORD,
+            ):
+                raise TypeError(
+                    f"{cls.__name__}.__init__ must spell out its "
+                    "parameters explicitly (no *args/**kwargs) to support "
+                    "the params protocol"
+                )
+            names.append(name)
+        return names
+
+    def get_params(self) -> dict:
+        """Current constructor parameters as a plain dict."""
+        params = {}
+        for name in self._param_names():
+            try:
+                params[name] = getattr(self, name)
+            except AttributeError:
+                raise AttributeError(
+                    f"{type(self).__name__} stores no attribute for "
+                    f"constructor parameter {name!r}; estimators must keep "
+                    "each __init__ argument under its own name"
+                ) from None
+        return params
+
+    def set_params(self, **updates) -> "ParamsMixin":
+        """Update parameters in place, re-running ``__init__`` validation.
+
+        Fitted attributes are left untouched (re-fit to make them
+        consistent with the new parameters), exactly like scikit-learn.
+        """
+        valid = self._param_names()
+        unknown = sorted(set(updates) - set(valid))
+        if unknown:
+            raise ValidationError(
+                f"invalid parameter(s) {unknown} for "
+                f"{type(self).__name__}; valid parameters: {sorted(valid)}"
+            )
+        merged = {**self.get_params(), **updates}
+        # Validate into a throwaway instance first: if __init__ rejects
+        # the combination partway through, self must stay unchanged.
+        type(self)(**merged)
+        self.__init__(**merged)
+        return self
+
+    def clone(self) -> "ParamsMixin":
+        """A new unfitted estimator with the same parameters."""
+        return type(self)(**self.get_params())
+
+    def to_config(self) -> dict:
+        """``{"estimator": <registry name>, "params": {...}}``."""
+        name = getattr(type(self), "_registry_name_", None)
+        return {
+            "estimator": name or type(self).__name__.lower(),
+            "params": dict(self.get_params()),
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "ParamsMixin":
+        """Rebuild an (unfitted) estimator from :meth:`to_config` output."""
+        if not isinstance(config, dict):
+            raise ValidationError(
+                f"config must be a dict, got {type(config).__name__}"
+            )
+        name = config.get("estimator")
+        expected = getattr(cls, "_registry_name_", cls.__name__.lower())
+        if name is not None and name not in (expected, cls.__name__):
+            raise ValidationError(
+                f"config names estimator {name!r} but was handed to "
+                f"{cls.__name__} (registry name {expected!r})"
+            )
+        return cls(**dict(config.get("params", {})))
+
+
+class MultiviewTransformer(ParamsMixin, ABC):
     """Abstract base class for multi-view subspace learners."""
 
     #: set by fit(): number of views the transformer was fitted on.

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register
 from repro.cca.base import MultiviewTransformer
 from repro.exceptions import ValidationError
 from repro.linalg.covariance import cross_covariance, view_covariance
@@ -21,6 +22,7 @@ from repro.utils.validation import check_positive_int, check_views
 __all__ = ["CCA"]
 
 
+@register("cca")
 class CCA(MultiviewTransformer):
     """Two-view CCA with ridge regularization on the variance constraints.
 

@@ -11,6 +11,8 @@ case of the KTCCA tensor problem.
 from __future__ import annotations
 
 import numpy as np
+
+from repro.api.registry import register
 from repro.cca.base import MultiviewTransformer
 from repro.exceptions import NotFittedError, ValidationError
 from repro.kernels.centering import center_kernel, center_kernel_test
@@ -40,6 +42,7 @@ def pls_cholesky(kernel: np.ndarray, epsilon: float, jitter: float = 1e-8):
     return lower.T  # upper-triangular-ish factor with target = L^T L
 
 
+@register("kcca")
 class KCCA(MultiviewTransformer):
     """Two-view kernel CCA on precomputed or callable kernels.
 

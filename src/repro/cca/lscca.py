@@ -27,6 +27,7 @@ import warnings
 
 import numpy as np
 
+from repro.api.registry import register
 from repro.cca.base import MultiviewTransformer
 from repro.exceptions import ConvergenceWarning, ValidationError
 from repro.linalg.covariance import view_covariance
@@ -36,6 +37,7 @@ from repro.utils.validation import check_positive_int, check_views
 __all__ = ["LSCCA"]
 
 
+@register("lscca")
 class LSCCA(MultiviewTransformer):
     """Adaptive multiset CCA via coupled least-squares regressions.
 

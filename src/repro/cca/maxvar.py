@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register
 from repro.cca.base import MultiviewTransformer
 from repro.exceptions import ValidationError
 from repro.linalg.covariance import view_covariance
@@ -23,6 +24,7 @@ from repro.utils.validation import check_positive_int, check_views
 __all__ = ["MaxVarCCA"]
 
 
+@register("maxvar")
 class MaxVarCCA(MultiviewTransformer):
     """Multiset CCA by maximum-variance consensus (SVD solver).
 

@@ -9,13 +9,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register
+from repro.cca.base import ParamsMixin
 from repro.exceptions import NotFittedError, ValidationError
 from repro.utils.validation import check_positive_int
 
 __all__ = ["KNNClassifier"]
 
 
-class KNNClassifier:
+@register("knn", kind="classifier")
+class KNNClassifier(ParamsMixin):
     """Majority-vote kNN on row-sample feature matrices.
 
     Parameters

@@ -10,12 +10,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register
+from repro.cca.base import ParamsMixin
 from repro.exceptions import NotFittedError, ValidationError
 
 __all__ = ["RLSClassifier"]
 
 
-class RLSClassifier:
+@register("rls", kind="classifier")
+class RLSClassifier(ParamsMixin):
     """One-vs-rest ridge regression classifier on ``(N, d)`` sample rows.
 
     Parameters

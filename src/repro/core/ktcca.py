@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register
 from repro.cca.base import MultiviewTransformer
 from repro.cca.kcca import pls_cholesky
 from repro.exceptions import NotFittedError, ValidationError
@@ -36,6 +37,7 @@ __all__ = ["KTCCA"]
 _DECOMPOSITIONS = ("als", "hopm", "power")
 
 
+@register("ktcca")
 class KTCCA(MultiviewTransformer):
     """Kernel tensor CCA for an arbitrary number of views.
 
@@ -63,6 +65,9 @@ class KTCCA(MultiviewTransformer):
         CP weights of the decomposition of ``S`` — the attained kernel
         canonical correlations.
     """
+
+    #: derived solver output that transform never reads — not persisted.
+    _non_persistent_ = ("decomposition_result_",)
 
     def __init__(
         self,

@@ -15,8 +15,11 @@ concatenated into the final ``(m·r)``-dimensional representation.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
+from repro.api.registry import register
 from repro.cca.base import MultiviewTransformer
 from repro.exceptions import ValidationError
 from repro.linalg.covariance import covariance_tensor, view_covariance
@@ -200,6 +203,7 @@ def multiview_canonical_correlation(views, canonical_vectors) -> float:
     return float(product.sum() / n_samples)
 
 
+@register("tcca")
 class TCCA(MultiviewTransformer):
     """Tensor CCA for an arbitrary number of views.
 
@@ -234,6 +238,9 @@ class TCCA(MultiviewTransformer):
         Shape of the covariance tensor ``(d_1, …, d_m)``; its product is
         the memory cost the complexity experiments measure.
     """
+
+    #: derived solver output that transform never reads — not persisted.
+    _non_persistent_ = ("decomposition_result_",)
 
     def __init__(
         self,
@@ -339,7 +346,12 @@ class TCCA(MultiviewTransformer):
             )
 
     def _check_precomputed(self, precomputed: WhitenedTensor, dims) -> None:
-        if precomputed.epsilon != self.epsilon:
+        # isclose rather than !=: an ε that round-tripped through a JSON
+        # config (or was recomputed as e.g. 0.1 * 0.1) must still match
+        # the precomputed whitening state it was built with.
+        if not math.isclose(
+            precomputed.epsilon, self.epsilon, rel_tol=1e-9, abs_tol=1e-12
+        ):
             raise ValidationError(
                 f"precomputed state was built with epsilon="
                 f"{precomputed.epsilon}, the estimator uses "

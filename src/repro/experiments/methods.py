@@ -23,6 +23,10 @@ KTCCA               :class:`KTCCAMethod`
 Requested dimensions beyond what a method supports are capped at the
 method's feasible maximum (the paper's sweep reaches r=300 on 105-d views;
 beyond the cap the curves flatten).
+
+Adapters construct their estimators through the registry
+(:func:`repro.api.registry.make_reducer`), so the comparison roster and
+the servable API build models the same way.
 """
 
 from __future__ import annotations
@@ -31,15 +35,8 @@ from itertools import combinations
 
 import numpy as np
 
-from repro.baselines.dse import DSE
-from repro.baselines.ssmvd import SSMVD
-from repro.cca.cca import CCA
-from repro.cca.kcca import KCCA
-from repro.cca.lscca import LSCCA
-from repro.cca.maxvar import MaxVarCCA
-from repro.core.ktcca import KTCCA
+from repro.api.registry import make_reducer
 from repro.core.tcca import (
-    TCCA,
     whitened_covariance_tensor,
     whitened_covariance_tensor_streaming,
 )
@@ -69,7 +66,10 @@ __all__ = [
 
 def _as_grid(epsilon) -> tuple[float, ...]:
     """Normalize an ε or ε-grid argument into a tuple of floats."""
-    if np.isscalar(epsilon):
+    # np.isscalar(np.array(1.0)) is False, so a 0-d array would fall
+    # through and be iterated (a crash); treat anything 0-dimensional as
+    # a single ε.
+    if np.isscalar(epsilon) or getattr(epsilon, "ndim", None) == 0:
         return (float(epsilon),)
     grid = tuple(float(value) for value in epsilon)
     if not grid:
@@ -165,7 +165,9 @@ class PairwiseCCAMethod(GroupCacheMixin):
             pair_candidates = []
             for p, q in combinations(range(len(views)), 2):
                 r_eff = min(r, views[p].shape[0], views[q].shape[0])
-                model = CCA(n_components=r_eff, epsilon=epsilon)
+                model = make_reducer(
+                    "cca", n_components=r_eff, epsilon=epsilon
+                )
                 z = model.fit_transform_combined([views[p], views[q]])
                 pair_candidates.append(
                     Candidate(
@@ -194,7 +196,8 @@ class LSCCAMethod(GroupCacheMixin):
         r_eff = min(r, views[0].shape[1] - 1)
         groups = []
         for epsilon in self.epsilons:
-            model = LSCCA(
+            model = make_reducer(
+                "lscca",
                 n_components=r_eff,
                 epsilon=epsilon,
                 max_iter=self.max_iter,
@@ -220,7 +223,9 @@ class MaxVarMethod(GroupCacheMixin):
         r_eff = min(r, views[0].shape[1] - 1)
         groups = []
         for epsilon in self.epsilons:
-            model = MaxVarCCA(n_components=r_eff, epsilon=epsilon)
+            model = make_reducer(
+                "maxvar", n_components=r_eff, epsilon=epsilon
+            )
             z = model.fit_transform_combined(views)
             groups.append(
                 [Candidate("features", z, tag=f"eps={epsilon:g}")]
@@ -241,7 +246,8 @@ class DSEMethod(GroupCacheMixin):
         """A single group with the ``(N, r)`` consensus embedding."""
         n = views[0].shape[1]
         r_eff = min(r, n - 2)
-        model = DSE(
+        model = make_reducer(
+            "dse",
             n_components=r_eff,
             pca_components=self.pca_components,
             n_neighbors=self.n_neighbors,
@@ -271,7 +277,8 @@ class SSMVDMethod(GroupCacheMixin):
         """A single group with the ``(N, r)`` consensus representation."""
         n = views[0].shape[1]
         r_eff = min(r, n - 1)
-        model = SSMVD(
+        model = make_reducer(
+            "ssmvd",
             n_components=r_eff,
             beta=self.beta,
             pca_components=self.pca_components,
@@ -321,7 +328,8 @@ class TCCAMethod(GroupCacheMixin):
         r_eff = min([r] + [view.shape[0] for view in views])
         groups = []
         for epsilon in self.epsilons:
-            model = TCCA(
+            model = make_reducer(
+                "tcca",
                 n_components=r_eff,
                 epsilon=epsilon,
                 decomposition=self.decomposition,
@@ -485,8 +493,8 @@ class PairwiseKCCAMethod(GroupCacheMixin):
         for epsilon in self.epsilons:
             pair_candidates = []
             for p, q in combinations(range(len(views)), 2):
-                model = KCCA(
-                    n_components=r_eff, epsilon=epsilon, center=False
+                model = make_reducer(
+                    "kcca", n_components=r_eff, epsilon=epsilon, center=False
                 ).fit([kernels[p], kernels[q]])
                 z = np.hstack(model.transform_train())
                 pair_candidates.append(
@@ -528,7 +536,8 @@ class KTCCAMethod(GroupCacheMixin):
         r_eff = min(r, n - 1)
         groups = []
         for epsilon in self.epsilons:
-            model = KTCCA(
+            model = make_reducer(
+                "ktcca",
                 n_components=r_eff,
                 epsilon=epsilon,
                 center=False,

@@ -9,6 +9,7 @@ sample budget.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.exceptions import ExperimentError
 from repro.experiments.ads import run_ads_experiment
@@ -27,7 +28,7 @@ class ExperimentSpec:
     experiment_id: str
     paper_artifact: str
     description: str
-    driver: callable
+    driver: Callable[..., object]
     driver_kwargs: dict
 
 

@@ -1,0 +1,431 @@
+"""Tests for the unified estimator API: registry, params, persistence.
+
+The parametrized round-trips below are the PR's acceptance contract:
+every registered reducer must be constructible through the registry,
+clone/config round-trip its parameters exactly, and — once fitted —
+survive ``save_model -> load_model`` with its output unchanged to
+<= 1e-12.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    MultiviewPipeline,
+    available_classifiers,
+    available_reducers,
+    get_estimator_class,
+    load_model,
+    make_classifier,
+    make_reducer,
+    reducer_from_config,
+    register,
+    save_model,
+)
+from repro.api.persistence import (
+    MODEL_FORMAT,
+    MODEL_FORMAT_VERSION,
+    write_archive,
+)
+from repro.cca.base import ParamsMixin
+from repro.exceptions import NotFittedError, ValidationError
+from repro.streaming.views import ArrayViewStream
+
+# --------------------------------------------------------------------------
+# Per-reducer fit/compare harness
+# --------------------------------------------------------------------------
+
+#: how to fit each registered reducer on the shared 3-view fixture and
+#: which fitted output must survive persistence bit-for-bit.
+REDUCER_CASES = {
+    "tcca": {"params": {"n_components": 2, "random_state": 0}, "mode": "views"},
+    "lscca": {
+        "params": {"n_components": 2, "max_iter": 500, "random_state": 0},
+        "mode": "views",
+    },
+    "maxvar": {"params": {"n_components": 2}, "mode": "views"},
+    "cca": {"params": {"n_components": 2}, "mode": "pair"},
+    "kcca": {"params": {"n_components": 2}, "mode": "kernel_pair"},
+    "ktcca": {
+        "params": {"n_components": 2, "random_state": 0},
+        "mode": "kernels",
+    },
+    "dse": {
+        "params": {"n_components": 2, "n_neighbors": 5},
+        "mode": "transductive",
+    },
+    "ssmvd": {
+        "params": {"n_components": 2, "max_iter": 5, "random_state": 0},
+        "mode": "transductive",
+    },
+    "pca": {"params": {"n_components": 2}, "mode": "matrix"},
+    "spectral": {
+        "params": {"n_components": 2, "n_neighbors": 5},
+        "mode": "matrix_transductive",
+    },
+}
+
+
+def _linear_kernels(views):
+    return [view.T @ view for view in views]
+
+
+def _fit_case(name, views):
+    """Fit one registered reducer; returns ``(estimator, output_fn)``.
+
+    ``output_fn`` maps an estimator (original or reloaded) to the fitted
+    output that must match across persistence: the out-of-sample
+    transform where one exists, the fitted embedding for transductive
+    estimators.
+    """
+    case = REDUCER_CASES[name]
+    estimator = make_reducer(name, **case["params"])
+    mode = case["mode"]
+    if mode == "views":
+        estimator.fit(views)
+        return estimator, lambda e: e.transform_combined(views)
+    if mode == "pair":
+        estimator.fit(views[:2])
+        return estimator, lambda e: e.transform_combined(views[:2])
+    if mode == "kernel_pair":
+        kernels = _linear_kernels(views[:2])
+        estimator.fit(kernels)
+        return estimator, lambda e: np.hstack(e.transform(kernels))
+    if mode == "kernels":
+        kernels = _linear_kernels(views)
+        estimator.fit(kernels)
+        return estimator, lambda e: np.hstack(e.transform(kernels))
+    if mode == "transductive":
+        estimator.fit(views)
+        return estimator, lambda e: e.embedding_
+    if mode == "matrix":
+        estimator.fit(views[0])
+        return estimator, lambda e: e.transform(views[0])
+    assert mode == "matrix_transductive"
+    estimator.fit(views[0])
+    return estimator, lambda e: e.embedding_
+
+
+@pytest.fixture
+def views(rng):
+    views = [rng.standard_normal((d, 40)) for d in (6, 5, 4)]
+    return [view - view.mean(axis=1, keepdims=True) for view in views]
+
+
+# --------------------------------------------------------------------------
+# Registry
+# --------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_every_reducer_is_covered_by_a_case(self):
+        # A newly registered reducer must add a REDUCER_CASES entry so it
+        # joins the round-trip contract below.
+        assert set(available_reducers()) == set(REDUCER_CASES)
+
+    def test_classifiers_registered(self):
+        assert available_classifiers() == ["knn", "rls"]
+
+    def test_make_reducer_forwards_params(self):
+        model = make_reducer("tcca", n_components=3, epsilon=0.5)
+        assert model.n_components == 3
+        assert model.epsilon == 0.5
+
+    def test_make_classifier(self):
+        assert make_classifier("knn", n_neighbors=3).n_neighbors == 3
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(ValidationError, match="tcca"):
+            make_reducer("nope")
+        with pytest.raises(ValidationError, match="rls"):
+            make_classifier("nope")
+
+    def test_invalid_params_fail_at_construction(self):
+        with pytest.raises(ValidationError):
+            make_reducer("tcca", n_components=0)
+
+    def test_registry_name_stamped(self):
+        for name in available_reducers():
+            cls = get_estimator_class(name, "reducer")
+            assert cls._registry_name_ == name
+            assert cls._registry_kind_ == "reducer"
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(ValidationError, match="already registered"):
+
+            @register("tcca")
+            class Impostor(ParamsMixin):
+                pass
+
+    def test_reregistering_same_class_is_noop(self):
+        cls = get_estimator_class("tcca")
+        assert register("tcca")(cls) is cls
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValidationError, match="kind"):
+            register("thing", kind="transmogrifier")
+
+
+# --------------------------------------------------------------------------
+# Params protocol
+# --------------------------------------------------------------------------
+
+
+class TestParamsProtocol:
+    @pytest.mark.parametrize("name", sorted(REDUCER_CASES))
+    def test_get_params_reflects_construction(self, name):
+        params = REDUCER_CASES[name]["params"]
+        estimator = make_reducer(name, **params)
+        observed = estimator.get_params()
+        for key, value in params.items():
+            assert observed[key] == value
+
+    @pytest.mark.parametrize("name", sorted(REDUCER_CASES))
+    def test_clone_round_trip(self, name):
+        estimator = make_reducer(name, **REDUCER_CASES[name]["params"])
+        clone = estimator.clone()
+        assert type(clone) is type(estimator)
+        assert clone is not estimator
+        assert clone.get_params() == estimator.get_params()
+
+    @pytest.mark.parametrize("name", sorted(REDUCER_CASES))
+    def test_config_round_trip_through_json(self, name):
+        estimator = make_reducer(name, **REDUCER_CASES[name]["params"])
+        config = json.loads(json.dumps(estimator.to_config()))
+        assert config["estimator"] == name
+        rebuilt = reducer_from_config(config)
+        assert type(rebuilt) is type(estimator)
+        assert rebuilt.get_params() == estimator.get_params()
+
+    def test_clone_is_unfitted(self, views):
+        fitted = make_reducer("tcca", n_components=2, random_state=0)
+        fitted.fit(views)
+        clone = fitted.clone()
+        with pytest.raises(NotFittedError):
+            clone.transform(views)
+
+    def test_set_params_updates_and_revalidates(self):
+        model = make_reducer("tcca", n_components=2)
+        assert model.set_params(epsilon=0.5) is model
+        assert model.epsilon == 0.5
+        assert model.n_components == 2  # untouched params survive
+        with pytest.raises(ValidationError):
+            model.set_params(decomposition="nope")
+
+    def test_set_params_unknown_key_rejected(self):
+        with pytest.raises(ValidationError, match="bogus"):
+            make_reducer("cca").set_params(bogus=1)
+
+    def test_set_params_failure_leaves_instance_unchanged(self):
+        model = make_reducer(
+            "tcca", n_components=1, decomposition="hopm"
+        )
+        with pytest.raises(ValidationError):
+            # hopm forbids n_components > 1; the half-applied update must
+            # not stick.
+            model.set_params(n_components=5)
+        assert model.n_components == 1
+        assert model.decomposition == "hopm"
+
+    def test_from_config_rejects_mismatched_estimator(self):
+        config = make_reducer("cca").to_config()
+        with pytest.raises(ValidationError, match="cca"):
+            get_estimator_class("tcca").from_config(config)
+
+    def test_classifier_config_round_trip(self):
+        classifier = make_classifier("rls", gamma=0.5, add_bias=False)
+        config = json.loads(json.dumps(classifier.to_config()))
+        rebuilt = get_estimator_class("rls", "classifier").from_config(config)
+        assert rebuilt.get_params() == classifier.get_params()
+
+
+# --------------------------------------------------------------------------
+# Persistence
+# --------------------------------------------------------------------------
+
+
+class TestPersistence:
+    @pytest.mark.parametrize("name", sorted(REDUCER_CASES))
+    def test_save_load_output_matches(self, name, views, tmp_path):
+        estimator, output = _fit_case(name, views)
+        expected = output(estimator)
+        path = tmp_path / f"{name}.npz"
+        assert save_model(estimator, path) == path
+        loaded = load_model(path)
+        assert type(loaded) is type(estimator)
+        assert loaded.get_params() == estimator.get_params()
+        np.testing.assert_allclose(
+            output(loaded), expected, rtol=0.0, atol=1e-12
+        )
+
+    def test_tcca_fit_stream_save_load(self, views, tmp_path):
+        model = make_reducer("tcca", n_components=2, random_state=0)
+        model.fit_stream(ArrayViewStream(views, chunk_size=16))
+        expected = model.transform_combined(views)
+        path = tmp_path / "stream.npz"
+        save_model(model, path)
+        np.testing.assert_allclose(
+            load_model(path).transform_combined(views),
+            expected,
+            rtol=0.0,
+            atol=1e-12,
+        )
+
+    def test_unfitted_estimator_round_trips(self, tmp_path):
+        path = tmp_path / "unfitted.npz"
+        save_model(make_reducer("cca", n_components=3), path)
+        loaded = load_model(path)
+        assert loaded.n_components == 3
+        assert not hasattr(loaded, "canonical_vectors_")
+
+    def test_callable_kernels_refused(self, tmp_path):
+        from repro.kernels.functions import LinearKernel
+
+        model = make_reducer("kcca", kernels=[LinearKernel(), LinearKernel()])
+        with pytest.raises(ValidationError, match="JSON"):
+            save_model(model, tmp_path / "kcca.npz")
+
+    def test_unregistered_estimator_refused(self, tmp_path):
+        class Unregistered(ParamsMixin):
+            def __init__(self):
+                pass
+
+        with pytest.raises(ValidationError, match="not registered"):
+            save_model(Unregistered(), tmp_path / "x.npz")
+
+    def test_unregistered_subclass_refused(self, tmp_path):
+        # An unregistered subclass inherits the parent's registry stamp
+        # but must not be persisted (it would load back as the parent).
+        class TweakedCCA(get_estimator_class("cca")):
+            pass
+
+        with pytest.raises(ValidationError, match="not registered"):
+            save_model(TweakedCCA(n_components=2), tmp_path / "sub.npz")
+
+    def test_not_a_model_file(self, tmp_path):
+        path = tmp_path / "random.npz"
+        with open(path, "wb") as handle:
+            np.savez(handle, stuff=np.zeros(3))
+        with pytest.raises(ValidationError, match="not a repro model"):
+            load_model(path)
+
+    def test_future_version_refused(self, tmp_path):
+        header = {
+            "format": MODEL_FORMAT,
+            "version": MODEL_FORMAT_VERSION + 1,
+            "estimator": "cca",
+            "kind": "reducer",
+            "params": {},
+            "state": {},
+        }
+        path = tmp_path / "future.npz"
+        write_archive(path, header, {})
+        with pytest.raises(ValidationError, match="version"):
+            load_model(path)
+
+
+# --------------------------------------------------------------------------
+# Pipeline
+# --------------------------------------------------------------------------
+
+
+class TestMultiviewPipeline:
+    @pytest.fixture
+    def fitted(self, latent_data):
+        pipeline = MultiviewPipeline(
+            "tcca",
+            "rls",
+            reducer_params={"n_components": 3, "random_state": 0},
+        )
+        return pipeline.fit(latent_data.views, latent_data.labels)
+
+    def test_names_resolve_through_registry(self, fitted):
+        assert type(fitted.reducer).__name__ == "TCCA"
+        assert type(fitted.classifier).__name__ == "RLSClassifier"
+        assert fitted.reducer.n_components == 3
+
+    def test_predict_and_score(self, fitted, latent_data):
+        predictions = fitted.predict(latent_data.views)
+        assert predictions.shape == latent_data.labels.shape
+        score = fitted.score(latent_data.views, latent_data.labels)
+        assert 0.0 <= score <= 1.0
+        # the shared subspace should beat chance on the latent data
+        assert score > 0.6
+
+    def test_transform_is_combined_representation(self, fitted, latent_data):
+        representation = fitted.transform(latent_data.views)
+        assert representation.shape == (latent_data.n_samples, 3 * 3)
+
+    def test_unfitted_raises(self):
+        pipeline = MultiviewPipeline("maxvar", "knn")
+        with pytest.raises(NotFittedError):
+            pipeline.predict([np.zeros((3, 4)), np.zeros((2, 4))])
+
+    def test_save_load_predictions_match(self, fitted, latent_data, tmp_path):
+        path = tmp_path / "pipeline.npz"
+        fitted.save(path)
+        loaded = load_model(path)
+        assert isinstance(loaded, MultiviewPipeline)
+        np.testing.assert_array_equal(
+            loaded.predict(latent_data.views),
+            fitted.predict(latent_data.views),
+        )
+        np.testing.assert_allclose(
+            loaded.transform(latent_data.views),
+            fitted.transform(latent_data.views),
+            rtol=0.0,
+            atol=1e-12,
+        )
+
+    def test_save_model_dispatches_to_pipeline(self, fitted, tmp_path):
+        path = tmp_path / "via-save-model.npz"
+        save_model(fitted, path)
+        assert isinstance(MultiviewPipeline.load(path), MultiviewPipeline)
+
+    def test_load_rejects_bare_estimator(self, tmp_path):
+        path = tmp_path / "bare.npz"
+        save_model(make_reducer("cca"), path)
+        with pytest.raises(ValidationError, match="bare"):
+            MultiviewPipeline.load(path)
+
+    def test_transductive_reducer_rejected(self):
+        with pytest.raises(ValidationError, match="inductive"):
+            MultiviewPipeline("dse", "rls")
+
+    def test_instance_arguments_accepted(self, latent_data):
+        pipeline = MultiviewPipeline(
+            make_reducer("maxvar", n_components=2),
+            make_classifier("knn", n_neighbors=3),
+        )
+        pipeline.fit(latent_data.views, latent_data.labels)
+        assert pipeline.predict(latent_data.views).shape == (
+            latent_data.n_samples,
+        )
+
+    def test_params_for_instance_rejected(self):
+        with pytest.raises(ValidationError, match="reducer_params"):
+            MultiviewPipeline(
+                make_reducer("tcca"), "rls", reducer_params={"epsilon": 1.0}
+            )
+
+    def test_scale_views_survives_persistence(self, latent_data, tmp_path):
+        scaled = MultiviewPipeline(
+            "tcca",
+            "rls",
+            scale_views=True,
+            reducer_params={"n_components": 2, "random_state": 0},
+        ).fit(latent_data.views, latent_data.labels)
+        path = tmp_path / "scaled.npz"
+        scaled.save(path)
+        loaded = load_model(path)
+        assert loaded.scale_views is True
+        np.testing.assert_allclose(
+            loaded.transform(latent_data.views),
+            scaled.transform(latent_data.views),
+            rtol=0.0,
+            atol=1e-12,
+        )

@@ -58,6 +58,16 @@ class TestPrecomputedWhitening:
                 latent_data.views, precomputed=state
             )
 
+    def test_epsilon_round_off_tolerated(self, latent_data):
+        # A config-round-tripped ε (e.g. recomputed as 0.1 * 0.1, one ULP
+        # off 0.01) must still match the precomputed whitening state.
+        state = whitened_covariance_tensor(latent_data.views, 1e-2)
+        recomputed = 0.1 * 0.1
+        assert recomputed != 1e-2  # the round-off this guards against
+        model = TCCA(n_components=2, epsilon=recomputed, random_state=0)
+        model.fit(latent_data.views, precomputed=state)
+        assert model.n_views_ == 3
+
     def test_dims_mismatch_rejected(self, latent_data, rng):
         state = whitened_covariance_tensor(latent_data.views, 1e-1)
         other = [rng.standard_normal((4, 200)) for _ in range(3)]

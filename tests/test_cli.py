@@ -89,3 +89,115 @@ class TestMain:
         out = capsys.readouterr().out
         assert "TCCA-STREAM" in out
         assert "chunk_size=64" in out
+
+
+class TestEstimatorsCommand:
+    def test_lists_reducers_and_classifiers(self, capsys):
+        assert main(["estimators"]) == 0
+        out = capsys.readouterr().out
+        for name in ("tcca", "ktcca", "cca", "dse", "rls", "knn"):
+            assert name in out
+
+
+class TestModelCommands:
+    """End-to-end fit -> transform -> predict on saved model files."""
+
+    def _write_data(self, path, n_samples=80):
+        import numpy as np
+
+        from repro.datasets import make_multiview_latent
+
+        data = make_multiview_latent(
+            n_samples=n_samples, dims=(8, 7, 6), random_state=3
+        )
+        entries = {
+            f"view{p}": view for p, view in enumerate(data.views)
+        }
+        entries["labels"] = data.labels
+        with open(path, "wb") as handle:
+            np.savez(handle, **entries)
+        return data
+
+    def test_fit_transform_predict_loop(self, tmp_path, capsys):
+        import numpy as np
+
+        data_path = tmp_path / "data.npz"
+        model_path = tmp_path / "model.npz"
+        out_path = tmp_path / "predictions.npy"
+        data = self._write_data(data_path)
+
+        assert main([
+            "fit", "tcca", "--data", str(data_path),
+            "--param", "n_components=2", "--param", "random_state=0",
+            "--classifier", "rls", "--out", str(model_path),
+        ]) == 0
+        assert "pipeline[tcca -> rls]" in capsys.readouterr().out
+        assert model_path.exists()
+
+        assert main([
+            "transform", str(model_path), "--data", str(data_path),
+        ]) == 0
+        assert "-> 6 dimensions" in capsys.readouterr().out
+
+        assert main([
+            "predict", str(model_path), "--data", str(data_path),
+            "--out", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy:" in out
+        predictions = np.load(out_path)
+        assert predictions.shape == data.labels.shape
+
+    def test_fit_and_predict_on_synthetic_are_reproducible(
+        self, tmp_path, capsys
+    ):
+        model_path = tmp_path / "model.npz"
+        assert main([
+            "fit", "maxvar", "--synthetic", "120",
+            "--param", "n_components=2",
+            "--classifier", "knn", "--out", str(model_path),
+        ]) == 0
+        capsys.readouterr()
+        # same --synthetic/--seed draws the same dataset on the serve side
+        assert main([
+            "predict", str(model_path), "--synthetic", "120",
+        ]) == 0
+        assert "accuracy:" in capsys.readouterr().out
+
+    def test_fit_reducer_only_then_predict_fails_cleanly(
+        self, tmp_path, capsys
+    ):
+        model_path = tmp_path / "reducer.npz"
+        assert main([
+            "fit", "tcca", "--synthetic", "100",
+            "--param", "n_components=2", "--out", str(model_path),
+        ]) == 0
+        assert main(["predict", str(model_path), "--synthetic", "100"]) == 2
+        assert "pipeline" in capsys.readouterr().err
+
+    def test_single_view_reducer_rejected_up_front(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "fit", "pca", "--synthetic", "60",
+                "--out", str(tmp_path / "m.npz"),
+            ])
+        assert "single-view" in capsys.readouterr().err
+
+    def test_unknown_reducer_fails_cleanly(self, tmp_path, capsys):
+        code = main([
+            "fit", "nope", "--synthetic", "100",
+            "--out", str(tmp_path / "m.npz"),
+        ])
+        assert code == 2
+        assert "unknown reducer" in capsys.readouterr().err
+
+    def test_data_and_synthetic_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "fit", "tcca", "--synthetic", "10",
+                "--data", "x.npz", "--out", str(tmp_path / "m.npz"),
+            ])
+
+    def test_missing_data_source_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["fit", "tcca", "--out", str(tmp_path / "m.npz")])

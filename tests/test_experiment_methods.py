@@ -6,6 +6,7 @@ import pytest
 from repro.exceptions import ValidationError
 from repro.experiments.methods import (
     AverageKernelMethod,
+    _as_grid,
     BestSingleKernelMethod,
     BestSingleViewMethod,
     ConcatenationMethod,
@@ -184,3 +185,19 @@ class TestKernelMethods:
         method = KTCCAMethod(bank, epsilon=1e-1, max_iter=10)
         groups = method.groups(small_views, 500)
         assert groups[0][0].array.shape[1] == 3 * 49
+
+
+class TestAsGrid:
+    def test_scalar_and_grid(self):
+        assert _as_grid(0.01) == (0.01,)
+        assert _as_grid([1e-3, 1e-2]) == (1e-3, 1e-2)
+
+    def test_zero_dim_array_is_a_single_epsilon(self):
+        # np.isscalar(np.array(1.0)) is False; a 0-d epsilon (e.g. read
+        # back from an npz config) must not be iterated.
+        assert _as_grid(np.array(0.25)) == (0.25,)
+        assert _as_grid(np.float64(0.5)) == (0.5,)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValidationError):
+            _as_grid(())
