@@ -1,0 +1,41 @@
+"""Dump benchmark measurements as ``BENCH_<name>.json`` artifacts.
+
+Benchmarks print human-readable tables; CI (and regression tooling) wants
+machine-readable numbers next to them. When the ``REPRO_BENCH_DIR``
+environment variable names a directory, :func:`record` writes one
+``BENCH_<name>.json`` file per benchmark with its wall-clock/memory
+payload; without the variable it is a no-op, so local runs stay clean.
+
+Benchmarks call it through the ``bench_record`` fixture in
+``benchmarks/conftest.py``, which fills in the test name::
+
+    def test_bench_something(benchmark, bench_record):
+        ...
+        bench_record({"seconds": seconds, "peak_memory_mb": memory})
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+
+BENCH_DIR_ENV = "REPRO_BENCH_DIR"
+
+
+def record(name: str, payload: dict) -> str | None:
+    """Write ``payload`` to ``$REPRO_BENCH_DIR/BENCH_<name>.json``.
+
+    Returns the written path, or ``None`` when ``REPRO_BENCH_DIR`` is not
+    set (recording disabled).
+    """
+    directory = os.environ.get(BENCH_DIR_ENV)
+    if not directory:
+        return None
+    os.makedirs(directory, exist_ok=True)
+    safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", str(name))
+    path = os.path.join(directory, f"BENCH_{safe}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -15,6 +15,7 @@ import warnings
 
 import pytest
 
+from bench_to_json import record
 from repro.exceptions import ConvergenceWarning
 
 
@@ -23,3 +24,17 @@ def _silence_convergence_warnings():
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", ConvergenceWarning)
         yield
+
+
+@pytest.fixture
+def bench_record(request):
+    """Record this benchmark's numbers as a ``BENCH_<test>.json`` artifact.
+
+    No-op unless the ``REPRO_BENCH_DIR`` environment variable is set (see
+    :mod:`bench_to_json`); returns the written path or ``None``.
+    """
+
+    def _record(payload: dict, name: str | None = None):
+        return record(name or request.node.name, payload)
+
+    return _record

@@ -1,0 +1,83 @@
+"""Implicit (tensor-free) TCCA: fit views too wide for the dense tensor.
+
+Demonstrates the ``solver="implicit"`` engine:
+
+1. equivalence — on small views, the implicit solver lands on the same
+   canonical vectors as the dense one (shared CP-ALS core, contractions
+   factored through the whitened data instead of a materialized tensor);
+2. scale — ``m=3`` views with ``d_p = 400`` would need a ~490 MB dense
+   covariance tensor; the implicit fit touches nothing bigger than the
+   data and runs in a few MB of accumulation;
+3. amortization — one ``whitened_covariance_operator`` state serves a
+   whole ``n_components`` sweep, like the dense precomputed path.
+
+Run with::
+
+    python examples/implicit_tcca.py
+"""
+
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro import TCCA
+from repro.core.tcca import whitened_covariance_operator
+from repro.datasets import make_multiview_latent
+
+
+def main() -> None:
+    # 1. Dense and implicit agree on the same problem.
+    data = make_multiview_latent(
+        n_samples=1500, dims=(30, 25, 20), n_classes=2, random_state=0
+    )
+    dense = TCCA(
+        n_components=5, epsilon=1.0, solver="dense", random_state=0
+    ).fit(data.views)
+    implicit = TCCA(
+        n_components=5, epsilon=1.0, solver="implicit", random_state=0
+    ).fit(data.views)
+    worst = max(
+        np.abs(d - i).max()
+        for d, i in zip(
+            dense.canonical_vectors_, implicit.canonical_vectors_
+        )
+    )
+    print(f"dense correlations   : {np.round(dense.correlations_, 4)}")
+    print(f"implicit correlations: {np.round(implicit.correlations_, 4)}")
+    print(f"max canonical-vector difference: {worst:.2e}")
+
+    # 2. A width the dense tensor cannot reasonably pay for.
+    wide = make_multiview_latent(
+        n_samples=900, dims=(400, 400, 400), n_classes=2, random_state=1
+    )
+    dense_mb = float(np.prod([400] * 3)) * 8 / 1024**2
+    tracemalloc.start()
+    start = time.perf_counter()
+    model = TCCA(
+        n_components=3, epsilon=1.0, solver="implicit", random_state=0
+    ).fit(wide.views)
+    seconds = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    print(
+        f"\nm=3, d_p=400: dense tensor would be {dense_mb:.0f} MB; "
+        f"implicit fit peaked at {peak / 1024**2:.1f} MB "
+        f"in {seconds:.2f}s (solver_used_={model.solver_used_!r})"
+    )
+
+    # 3. One operator state serves the whole rank sweep.
+    state = whitened_covariance_operator(wide.views, epsilon=1.0)
+    for rank in (1, 2, 4):
+        swept = TCCA(
+            n_components=rank, epsilon=1.0, solver="implicit",
+            random_state=0,
+        ).fit(wide.views, precomputed=state)
+        print(
+            f"r={rank}: leading correlation "
+            f"{swept.correlations_[0]:+.4f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

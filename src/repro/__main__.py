@@ -133,6 +133,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="minibatch size of the streaming path (implies --stream)",
     )
+    run_parser.add_argument(
+        "--solver",
+        choices=("dense", "implicit", "auto"),
+        default=None,
+        help=(
+            "complexity experiments (fig7-fig10) only: 'implicit'/'auto' "
+            "also measure the TCCA-IMPLICIT row — TCCA solved tensor-free, "
+            "never materializing the ∏d_p covariance tensor"
+        ),
+    )
 
     subparsers.add_parser(
         "estimators",
@@ -349,12 +359,22 @@ def main(argv=None) -> int:
     """CLI body; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "run" and (args.stream or args.chunk_size is not None):
-        driver = EXPERIMENTS[args.experiment_id].driver
-        if "stream" not in inspect.signature(driver).parameters:
+    if args.command == "run":
+        driver_params = inspect.signature(
+            EXPERIMENTS[args.experiment_id].driver
+        ).parameters
+        if (
+            args.stream or args.chunk_size is not None
+        ) and "stream" not in driver_params:
             parser.error(
                 f"--stream/--chunk-size only apply to experiments whose "
                 f"driver supports streaming (fig7-fig10), not "
+                f"{args.experiment_id!r}"
+            )
+        if args.solver is not None and "solver" not in driver_params:
+            parser.error(
+                f"--solver only applies to experiments whose driver "
+                f"supports solver selection (fig7-fig10), not "
                 f"{args.experiment_id!r}"
             )
     if args.command == "list":
@@ -389,6 +409,8 @@ def main(argv=None) -> int:
         overrides["stream"] = True
     if args.chunk_size is not None:
         overrides["chunk_size"] = args.chunk_size
+    if args.solver is not None:
+        overrides["solver"] = args.solver
     result = run_experiment(args.experiment_id, **overrides)
     if result.panels:
         print(result.series())

@@ -9,6 +9,13 @@ subject to ``h_p^T (C_pp + ε I) h_p = 1`` (Eq. 4.7-4.8). Substituting
 rank-1 approximation of ``M`` (Eq. 4.10) — and rank-``r`` CP-ALS yields
 ``r`` canonical directions per view fitted jointly.
 
+``M`` can be solved *dense* (materialized, ``∏ d_p`` memory — the cost the
+paper's Figs. 7-10 measure) or *implicitly*: every contraction CP-ALS/HOPM
+needs factors through the whitened data as Hadamard products of ``(N, r)``
+projections (:mod:`repro.tensor.operator`), so high-dimensional views fit
+without the tensor ever existing. ``solver="auto"`` picks per problem
+size.
+
 The per-view projections ``Z_p = X_p^T C̃_pp^{-1/2} U_p`` (Eq. 4.11) are
 concatenated into the final ``(m·r)``-dimensional representation.
 """
@@ -24,43 +31,87 @@ from repro.cca.base import MultiviewTransformer
 from repro.exceptions import ValidationError
 from repro.linalg.covariance import covariance_tensor, view_covariance
 from repro.linalg.whitening import regularized_inverse_sqrt
-from repro.streaming.covariance import (
-    StreamingCovariance,
-    StreamingCovarianceTensor,
-)
-from repro.streaming.views import as_view_stream
+from repro.streaming.covariance import StreamingCovariance
+from repro.streaming.views import as_view_stream, iter_validated_chunks
 from repro.tensor.decomposition import (
     best_rank1,
+    best_rank1_implicit,
     cp_als,
+    cp_als_implicit,
     tensor_power_deflation,
 )
+from repro.tensor.operator import CovarianceTensorOperator
 from repro.utils.validation import check_positive_int, check_views
 
 __all__ = [
+    "AUTO_SOLVER_DENSE_BUDGET",
     "TCCA",
     "WhitenedTensor",
     "multiview_canonical_correlation",
+    "resolve_tcca_solver",
+    "whitened_covariance_operator",
+    "whitened_covariance_operator_streaming",
     "whitened_covariance_tensor",
     "whitened_covariance_tensor_streaming",
 ]
 
 _DECOMPOSITIONS = ("als", "hopm", "power")
+_SOLVERS = ("auto", "dense", "implicit")
+
+#: ``solver="auto"`` switches to the implicit path when the dense tensor
+#: would exceed this many entries (2**24 floats = 128 MB) — the point
+#: where materializing ``∏ d_p`` starts to dominate a fit's footprint.
+AUTO_SOLVER_DENSE_BUDGET = 2**24
+
+
+def resolve_tcca_solver(solver: str, dims, decomposition: str = "als") -> str:
+    """Resolve ``"auto"`` into ``"dense"`` or ``"implicit"`` for ``dims``.
+
+    Auto picks the implicit solver when ``∏ d_p`` exceeds
+    :data:`AUTO_SOLVER_DENSE_BUDGET`, except for the deflation solver
+    (``decomposition="power"``), which subtracts dense residuals and
+    therefore always materializes.
+    """
+    if solver not in _SOLVERS:
+        raise ValidationError(
+            f"unknown solver {solver!r}; expected one of {_SOLVERS}"
+        )
+    if solver != "auto":
+        return solver
+    if decomposition == "power":
+        return "dense"
+    n_entries = math.prod(int(d) for d in dims)  # exact — never wraps
+    return "implicit" if n_entries > AUTO_SOLVER_DENSE_BUDGET else "dense"
 
 
 class WhitenedTensor:
     """Precomputed whitening state shared by TCCA fits of different ranks.
 
     Building the whitened covariance tensor ``M`` is the dominant cost of a
-    TCCA fit and is independent of ``n_components``; computing it once via
-    :func:`whitened_covariance_tensor` and passing it to several
-    ``TCCA.fit(views, precomputed=...)`` calls amortizes it across a
-    dimension sweep.
+    TCCA fit and is independent of ``n_components``; computing it once and
+    passing it to several ``TCCA.fit(views, precomputed=...)`` calls
+    amortizes it across a dimension sweep. The state carries ``M`` in one
+    (or both) of two forms:
+
+    * ``tensor`` — the dense ``∏ d_p`` array
+      (:func:`whitened_covariance_tensor`), consumed by the dense solver;
+    * ``operator`` — a
+      :class:`~repro.tensor.operator.CovarianceTensorOperator`
+      (:func:`whitened_covariance_operator`), consumed by the implicit
+      solver without ``∏ d_p`` memory.
     """
 
-    def __init__(self, means, whiteners, tensor, epsilon):
+    def __init__(self, means, whiteners, tensor=None, epsilon=0.0, *,
+                 operator=None):
+        if tensor is None and operator is None:
+            raise ValidationError(
+                "WhitenedTensor needs the dense tensor, the operator, or "
+                "both"
+            )
         self.means = means
         self.whiteners = whiteners
         self.tensor = tensor
+        self.operator = operator
         self.epsilon = float(epsilon)
 
     @property
@@ -68,13 +119,19 @@ class WhitenedTensor:
         """Feature dimension of each view."""
         return [whitener.shape[0] for whitener in self.whiteners]
 
+    @property
+    def has_tensor(self) -> bool:
+        """Whether the dense tensor form is available."""
+        return self.tensor is not None
 
-def whitened_covariance_tensor(views, epsilon: float) -> WhitenedTensor:
-    """Compute the whitening state and tensor ``M`` for TCCA (Theorem 2).
+    @property
+    def has_operator(self) -> bool:
+        """Whether the implicit operator form is available."""
+        return self.operator is not None
 
-    ``M = C ×_1 C̃_11^{-1/2} … ×_m C̃_mm^{-1/2}`` equals the covariance
-    tensor of the whitened views, so ``C`` itself is never materialized.
-    """
+
+def _whitening_from_views(views, epsilon: float):
+    """Means, whiteners, and whitened views of a batch dataset."""
     views = check_views(views, min_views=2)
     means = [view.mean(axis=1, keepdims=True) for view in views]
     centered = [view - mean for view, mean in zip(views, means)]
@@ -85,10 +142,50 @@ def whitened_covariance_tensor(views, epsilon: float) -> WhitenedTensor:
     whitened_views = [
         whitener @ view for whitener, view in zip(whiteners, centered)
     ]
+    return means, whiteners, whitened_views
+
+
+def whitened_covariance_tensor(views, epsilon: float) -> WhitenedTensor:
+    """Compute the whitening state and dense tensor ``M`` (Theorem 2).
+
+    ``M = C ×_1 C̃_11^{-1/2} … ×_m C̃_mm^{-1/2}`` equals the covariance
+    tensor of the whitened views, so ``C`` itself is never materialized.
+    """
+    means, whiteners, whitened_views = _whitening_from_views(views, epsilon)
     tensor = covariance_tensor(whitened_views)
     return WhitenedTensor(
         means=means, whiteners=whiteners, tensor=tensor, epsilon=epsilon
     )
+
+
+def whitened_covariance_operator(views, epsilon: float) -> WhitenedTensor:
+    """Whitening state with ``M`` as an implicit operator — no ``∏ d_p``.
+
+    The tensor-free counterpart of :func:`whitened_covariance_tensor`:
+    identical means and whiteners, but ``M`` is represented by a
+    :class:`~repro.tensor.operator.CovarianceTensorOperator` over the
+    whitened views, so peak memory stays ``O(Σ d_p (d_p + N))`` however
+    large ``∏ d_p`` grows.
+    """
+    means, whiteners, whitened_views = _whitening_from_views(views, epsilon)
+    operator = CovarianceTensorOperator.from_views(whitened_views)
+    return WhitenedTensor(
+        means=means, whiteners=whiteners, operator=operator, epsilon=epsilon
+    )
+
+
+def _streaming_whitening_pass(stream, epsilon: float):
+    """First stream pass: exact means and whiteners per view."""
+    statistics = [StreamingCovariance() for _ in range(stream.n_views)]
+    for chunks in iter_validated_chunks(stream):
+        for accumulator, chunk in zip(statistics, chunks):
+            accumulator.update(chunk)
+    means = [accumulator.mean.reshape(-1, 1) for accumulator in statistics]
+    whiteners = [
+        regularized_inverse_sqrt(accumulator.covariance(), epsilon)
+        for accumulator in statistics
+    ]
+    return means, whiteners
 
 
 def whitened_covariance_tensor_streaming(
@@ -110,69 +207,52 @@ def whitened_covariance_tensor_streaming(
     ``N``; the result matches the batch path to floating-point round-off,
     so downstream CP solves agree to tight tolerance.
     """
+    from repro.streaming.covariance import StreamingCovarianceTensor
+
     stream = as_view_stream(stream, chunk_size)
-    statistics = [StreamingCovariance() for _ in range(stream.n_views)]
-    for chunks in stream.chunks():
-        chunks = list(chunks)
-        if len(chunks) != len(statistics):
-            raise ValidationError(
-                f"stream yielded {len(chunks)} view chunks, advertised "
-                f"{len(statistics)} views"
-            )
-        widths = {np.shape(chunk)[-1] for chunk in chunks}
-        if len(widths) != 1:
-            raise ValidationError(
-                f"view chunks must share the sample count; got {sorted(widths)}"
-            )
-        for accumulator, chunk in zip(statistics, chunks):
-            accumulator.update(chunk)
-    if any(
-        accumulator.n_samples != stream.n_samples
-        for accumulator in statistics
-    ):
-        raise ValidationError(
-            f"stream yielded "
-            f"{[accumulator.n_samples for accumulator in statistics]} "
-            f"samples per view but advertised {stream.n_samples}"
-        )
-    means = [
-        accumulator.mean.reshape(-1, 1) for accumulator in statistics
-    ]
-    whiteners = [
-        regularized_inverse_sqrt(accumulator.covariance(), epsilon)
-        for accumulator in statistics
-    ]
-    dims = tuple(accumulator.dim for accumulator in statistics)
+    means, whiteners = _streaming_whitening_pass(stream, epsilon)
+    dims = tuple(whitener.shape[0] for whitener in whiteners)
     accumulator = StreamingCovarianceTensor(
         dims=dims,
         center=False,
         shifts=[0.0] * len(dims),
         track_view_covariances=False,
     )
-    for chunks in stream.chunks():
-        chunks = list(chunks)
-        if len(chunks) != len(whiteners):
-            raise ValidationError(
-                f"stream yielded {len(chunks)} view chunks, advertised "
-                f"{len(whiteners)} views"
-            )
+    for chunks in iter_validated_chunks(stream):
         accumulator.update(
             [
                 whitener @ (np.asarray(chunk, dtype=np.float64) - mean)
                 for whitener, chunk, mean in zip(whiteners, chunks, means)
             ]
         )
-    if accumulator.n_samples != stream.n_samples:
-        raise ValidationError(
-            f"stream yielded {accumulator.n_samples} samples on the second "
-            f"pass but advertised {stream.n_samples}; streams must be "
-            "re-iterable"
-        )
     return WhitenedTensor(
         means=means,
         whiteners=whiteners,
         tensor=accumulator.tensor(),
         epsilon=epsilon,
+    )
+
+
+def whitened_covariance_operator_streaming(
+    stream, epsilon: float, *, chunk_size: int | None = None
+) -> WhitenedTensor:
+    """Fully out-of-core whitening state: stream-backed implicit ``M``.
+
+    One pass builds exact means and whiteners
+    (:class:`~repro.streaming.covariance.StreamingCovariance`); ``M`` is
+    then represented by a stream-backed
+    :class:`~repro.tensor.operator.CovarianceTensorOperator` that
+    re-whitens chunks on the fly during each solver contraction. Nothing
+    sized ``∏ d_p`` *or* ``N`` is ever resident — the end-to-end
+    out-of-core path for views too wide for the dense tensor.
+    """
+    stream = as_view_stream(stream, chunk_size)
+    means, whiteners = _streaming_whitening_pass(stream, epsilon)
+    operator = CovarianceTensorOperator.from_stream(
+        stream, whiteners=whiteners, means=means
+    )
+    return WhitenedTensor(
+        means=means, whiteners=whiteners, operator=operator, epsilon=epsilon
     )
 
 
@@ -215,11 +295,21 @@ class TCCA(MultiviewTransformer):
     epsilon:
         Regularization ``ε`` of the variance constraints
         ``h_p^T (C_pp + ε I) h_p = 1`` (Eq. 4.8).
+    solver:
+        How the whitened tensor ``M`` is represented during the solve:
+        ``"dense"`` materializes it (``∏ d_p`` memory — the paper's
+        measured path), ``"implicit"`` runs the same decomposition against
+        factored contractions of the whitened data
+        (``O(N · Σ d_p · r)`` per sweep, no ``∏ d_p`` object), and
+        ``"auto"`` (default) picks implicit once ``∏ d_p`` exceeds
+        :data:`AUTO_SOLVER_DENSE_BUDGET`. Both produce the same canonical
+        vectors up to round-off.
     decomposition:
         Solver for the rank-``r`` problem on the whitened tensor ``M``:
         ``"als"`` (joint CP-ALS — the paper's choice), ``"hopm"``
         (higher-order power method; only for ``n_components == 1``), or
-        ``"power"`` (greedy rank-1 deflation, the ablation comparator).
+        ``"power"`` (greedy rank-1 deflation, the ablation comparator —
+        dense only).
     max_iter, tol:
         Iteration budget and tolerance passed to the tensor solver.
     random_state:
@@ -236,7 +326,10 @@ class TCCA(MultiviewTransformer):
         component (descending in magnitude for the ALS solver).
     covariance_tensor_shape_:
         Shape of the covariance tensor ``(d_1, …, d_m)``; its product is
-        the memory cost the complexity experiments measure.
+        the memory cost the complexity experiments measure (and what the
+        implicit solver avoids paying).
+    solver_used_:
+        ``"dense"`` or ``"implicit"`` — the resolved solver of this fit.
     """
 
     #: derived solver output that transform never reads — not persisted.
@@ -247,6 +340,7 @@ class TCCA(MultiviewTransformer):
         n_components: int = 1,
         epsilon: float = 1e-2,
         *,
+        solver: str = "auto",
         decomposition: str = "als",
         max_iter: int = 200,
         tol: float = 1e-8,
@@ -256,6 +350,11 @@ class TCCA(MultiviewTransformer):
         if epsilon < 0.0:
             raise ValidationError(f"epsilon must be >= 0, got {epsilon}")
         self.epsilon = float(epsilon)
+        if solver not in _SOLVERS:
+            raise ValidationError(
+                f"unknown solver {solver!r}; expected one of {_SOLVERS}"
+            )
+        self.solver = solver
         if decomposition not in _DECOMPOSITIONS:
             raise ValidationError(
                 f"unknown decomposition {decomposition!r}; expected one of "
@@ -266,6 +365,11 @@ class TCCA(MultiviewTransformer):
             raise ValidationError(
                 "decomposition='hopm' extracts a single component; use "
                 "'als' or 'power' for n_components > 1"
+            )
+        if decomposition == "power" and solver == "implicit":
+            raise ValidationError(
+                "decomposition='power' deflates dense residuals and has no "
+                "implicit form; use solver='dense' (or 'auto') with it"
             )
         self.max_iter = check_positive_int(max_iter, "max_iter")
         self.tol = float(tol)
@@ -280,18 +384,26 @@ class TCCA(MultiviewTransformer):
             The view matrices.
         precomputed:
             Optional whitening state from
-            :func:`whitened_covariance_tensor` computed on the *same* views
-            with ``epsilon == self.epsilon``; skips the tensor construction
-            (useful when sweeping ``n_components``).
+            :func:`whitened_covariance_tensor` /
+            :func:`whitened_covariance_operator` computed on the *same*
+            views with ``epsilon == self.epsilon``; skips the tensor
+            construction (useful when sweeping ``n_components``).
         """
         views = check_views(views, min_views=2)
         dims = [view.shape[0] for view in views]
         self._check_rank(dims)
+        solver = resolve_tcca_solver(self.solver, dims, self.decomposition)
         if precomputed is None:
-            precomputed = whitened_covariance_tensor(views, self.epsilon)
+            if solver == "implicit":
+                precomputed = whitened_covariance_operator(
+                    views, self.epsilon
+                )
+            else:
+                precomputed = whitened_covariance_tensor(views, self.epsilon)
         else:
             self._check_precomputed(precomputed, dims)
-        return self._finish_fit(precomputed, dims)
+            solver = self._solver_for_precomputed(precomputed, solver)
+        return self._finish_fit(precomputed, dims, solver)
 
     def fit_stream(
         self,
@@ -305,22 +417,26 @@ class TCCA(MultiviewTransformer):
         The out-of-core counterpart of :meth:`fit`: consumes a
         :class:`~repro.streaming.views.ViewStream` (or a
         :class:`~repro.datasets.synthetic.MultiviewDataset` / list of view
-        matrices, wrapped automatically) in two passes via
-        :func:`whitened_covariance_tensor_streaming`, so peak
+        matrices, wrapped automatically) chunk by chunk, so peak
         covariance-accumulation memory is independent of the sample count.
-        On the same data this yields the same canonical vectors as
-        :meth:`fit` up to floating-point round-off.
+        With the dense solver the tensor is assembled in two passes
+        (:func:`whitened_covariance_tensor_streaming`); with the implicit
+        solver nothing ``∏ d_p``-sized exists either — the solver
+        contracts against the stream directly
+        (:func:`whitened_covariance_operator_streaming`). On the same data
+        this yields the same canonical vectors as :meth:`fit` up to
+        floating-point round-off.
 
         Parameters
         ----------
         stream:
-            The chunked data source; iterated twice.
+            The chunked data source; iterated multiple times
+            (streams must be re-iterable).
         chunk_size:
             Optional chunk size forwarded to the stream wrapper.
         precomputed:
-            Optional whitening state from
-            :func:`whitened_covariance_tensor_streaming` built on the
-            *same* stream with ``epsilon == self.epsilon``.
+            Optional whitening state built on the *same* stream with
+            ``epsilon == self.epsilon``.
         """
         stream = as_view_stream(stream, chunk_size)
         dims = list(stream.dims)
@@ -329,13 +445,20 @@ class TCCA(MultiviewTransformer):
                 f"need at least 2 views, stream has {len(dims)}"
             )
         self._check_rank(dims)
+        solver = resolve_tcca_solver(self.solver, dims, self.decomposition)
         if precomputed is None:
-            precomputed = whitened_covariance_tensor_streaming(
-                stream, self.epsilon
-            )
+            if solver == "implicit":
+                precomputed = whitened_covariance_operator_streaming(
+                    stream, self.epsilon
+                )
+            else:
+                precomputed = whitened_covariance_tensor_streaming(
+                    stream, self.epsilon
+                )
         else:
             self._check_precomputed(precomputed, dims)
-        return self._finish_fit(precomputed, dims)
+            solver = self._solver_for_precomputed(precomputed, solver)
+        return self._finish_fit(precomputed, dims, solver)
 
     def _check_rank(self, dims) -> None:
         max_rank = min(dims)
@@ -362,14 +485,55 @@ class TCCA(MultiviewTransformer):
                 "precomputed state dimensions do not match the views"
             )
 
-    def _finish_fit(self, precomputed: WhitenedTensor, dims) -> "TCCA":
+    def _solver_for_precomputed(
+        self, precomputed: WhitenedTensor, resolved: str
+    ) -> str:
+        """Reconcile the resolved solver with what ``precomputed`` carries.
+
+        ``solver="auto"`` adapts to the available form (whoever built the
+        state already paid its cost); an *explicit* solver choice that the
+        state cannot serve is an error rather than a silent fallback.
+        """
+        if self.solver == "auto":
+            if resolved == "implicit" and not precomputed.has_operator:
+                return "dense"
+            if resolved == "dense" and not precomputed.has_tensor:
+                if self.decomposition == "power":
+                    raise ValidationError(
+                        "decomposition='power' needs a precomputed state "
+                        "carrying the dense tensor; this one holds only "
+                        "the implicit operator (build it with "
+                        "whitened_covariance_tensor)"
+                    )
+                return "implicit"
+            return resolved
+        if resolved == "dense" and not precomputed.has_tensor:
+            raise ValidationError(
+                "solver='dense' needs a precomputed state carrying the "
+                "dense tensor; this one holds only the implicit operator "
+                "(build it with whitened_covariance_tensor)"
+            )
+        if resolved == "implicit" and not precomputed.has_operator:
+            raise ValidationError(
+                "solver='implicit' needs a precomputed state carrying the "
+                "operator; this one holds only the dense tensor "
+                "(build it with whitened_covariance_operator)"
+            )
+        return resolved
+
+    def _finish_fit(
+        self, precomputed: WhitenedTensor, dims, solver: str
+    ) -> "TCCA":
         """Decompose the whitened tensor and set the fitted attributes."""
         self.means_ = precomputed.means
         whiteners = precomputed.whiteners
-        m_tensor = precomputed.tensor
-        self.covariance_tensor_shape_ = m_tensor.shape
+        self.covariance_tensor_shape_ = tuple(int(d) for d in dims)
+        self.solver_used_ = solver
 
-        result = self._decompose(m_tensor)
+        if solver == "implicit":
+            result = self._decompose_implicit(precomputed.operator)
+        else:
+            result = self._decompose(precomputed.tensor)
         # Canonicalizing CP signs makes the fit deterministic up to
         # round-off: batch and streaming tensor assemblies that differ in
         # the last bit land on the same canonical vectors.
@@ -409,6 +573,29 @@ class TCCA(MultiviewTransformer):
             max_iter=self.max_iter,
             tol=self.tol,
             random_state=self.random_state,
+        )
+
+    def _decompose_implicit(self, operator: CovarianceTensorOperator):
+        if self.decomposition == "als":
+            return cp_als_implicit(
+                operator,
+                self.n_components,
+                max_iter=self.max_iter,
+                tol=self.tol,
+                random_state=self.random_state,
+                warn_on_no_convergence=False,
+            )
+        if self.decomposition == "hopm":
+            return best_rank1_implicit(
+                operator,
+                max_iter=self.max_iter,
+                tol=self.tol,
+                random_state=self.random_state,
+                warn_on_no_convergence=False,
+            )
+        # Unreachable through resolve_tcca_solver / __init__ validation.
+        raise ValidationError(
+            "decomposition='power' has no implicit form"
         )
 
     def transform(self, views) -> list[np.ndarray]:

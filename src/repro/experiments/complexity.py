@@ -20,7 +20,7 @@ from repro.datasets.secstr import make_secstr_like
 from repro.evaluation.resources import measure_resources
 from repro.experiments.ads import default_ads_methods
 from repro.experiments.kernel import default_kernel_bank, default_kernel_methods
-from repro.experiments.methods import StreamingTCCAMethod
+from repro.experiments.methods import ImplicitTCCAMethod, StreamingTCCAMethod
 from repro.experiments.nuswide import default_nuswide_methods
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.secstr import default_secstr_methods
@@ -61,6 +61,7 @@ def run_complexity_experiment(
     epsilon: float = 1e-2,
     stream: bool = False,
     chunk_size: int = 512,
+    solver: str = "dense",
 ) -> ExperimentResult:
     """Measure Fig. 7/8/9/10 cost curves for one workload.
 
@@ -80,6 +81,13 @@ def run_complexity_experiment(
         inherently ``N × N``).
     chunk_size:
         Minibatch size of the streaming path.
+    solver:
+        ``"dense"`` (default) keeps the paper's measured roster.
+        ``"implicit"`` or ``"auto"`` additionally measures a
+        ``TCCA-IMPLICIT`` row — the tensor-free engine — so the curves
+        compare the ``∏ d_p`` path against the factored one. Ignored on
+        the ``"kernel"`` workload (KTCCA's tensor is ``N^m``, a regime
+        the implicit operator does not cover).
     """
     if workload == "secstr":
         n = n_samples or 2000
@@ -111,16 +119,26 @@ def run_complexity_experiment(
             f"got {workload!r}"
         )
 
-    if stream and workload != "kernel":
-        # Mirror the batch TCCA row's ε grid so the TCCA vs TCCA-STREAM
-        # columns compare engines, not sweep sizes.
-        batch_tcca = next(
-            (m for m in methods if getattr(m, "name", None) == "TCCA"), None
+    if solver not in ("dense", "implicit", "auto"):
+        raise ValueError(
+            "solver must be one of 'dense', 'implicit', 'auto'; "
+            f"got {solver!r}"
         )
-        grid = batch_tcca.epsilons if batch_tcca is not None else (epsilon,)
+    # Mirror the batch TCCA row's ε grid so the extra engine rows compare
+    # engines, not sweep sizes.
+    batch_tcca = next(
+        (m for m in methods if getattr(m, "name", None) == "TCCA"), None
+    )
+    grid = batch_tcca.epsilons if batch_tcca is not None else (epsilon,)
+    if stream and workload != "kernel":
         methods = list(methods) + [
             StreamingTCCAMethod(grid, chunk_size=chunk_size)
         ]
+    if solver != "dense" and workload != "kernel":
+        # The row always pins solver="implicit": the point is an engine
+        # comparison, and "auto" would quietly re-run the dense engine on
+        # workloads whose ∏d_p sits under the budget.
+        methods = list(methods) + [ImplicitTCCAMethod(grid)]
 
     feasible = min(min(data.dims), data.n_samples - 2)
     sweep_dims = tuple(r for r in dims if r <= feasible) or (feasible,)
@@ -132,6 +150,12 @@ def run_complexity_experiment(
             f", streaming chunk_size={chunk_size}"
             if workload != "kernel"
             else " (stream ignored: kernel workload)"
+        )
+    if solver != "dense":
+        lines[0] += (
+            f", solver={solver}"
+            if workload != "kernel"
+            else " (solver ignored: kernel workload)"
         )
     lines.append(f"{'method':<12} " + " ".join(
         f"r={r:<4d}(s/MB)" for r in sweep_dims
@@ -157,5 +181,6 @@ def run_complexity_experiment(
             "n_samples": n,
             "stream": bool(stream and workload != "kernel"),
             "chunk_size": chunk_size,
+            "solver": solver if workload != "kernel" else "dense",
         },
     )

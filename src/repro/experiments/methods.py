@@ -37,6 +37,9 @@ import numpy as np
 
 from repro.api.registry import make_reducer
 from repro.core.tcca import (
+    resolve_tcca_solver,
+    whitened_covariance_operator,
+    whitened_covariance_operator_streaming,
     whitened_covariance_tensor,
     whitened_covariance_tensor_streaming,
 )
@@ -52,6 +55,7 @@ __all__ = [
     "BestSingleViewMethod",
     "ConcatenationMethod",
     "DSEMethod",
+    "ImplicitTCCAMethod",
     "KTCCAMethod",
     "KernelBank",
     "LSCCAMethod",
@@ -291,7 +295,13 @@ class SSMVDMethod(GroupCacheMixin):
 
 
 class TCCAMethod(GroupCacheMixin):
-    """TCCA — the proposed method; one ``(N, m·r)`` representation per ε."""
+    """TCCA — the proposed method; one ``(N, m·r)`` representation per ε.
+
+    ``solver`` selects the tensor engine: ``"dense"`` (default — the
+    paper's measured path), ``"implicit"`` (tensor-free contractions), or
+    ``"auto"``; the precomputed whitening state shared across the ``r``
+    sweep is built in the matching form.
+    """
 
     name = "TCCA"
 
@@ -299,17 +309,28 @@ class TCCAMethod(GroupCacheMixin):
         self,
         epsilon=1e-2,
         *,
+        solver: str = "dense",
         decomposition: str = "als",
         max_iter: int = 100,
         random_state=0,
     ):
         self.epsilons = _as_grid(epsilon)
+        self.solver = solver
         self.decomposition = decomposition
         self.max_iter = max_iter
         self.random_state = random_state
 
+    def _resolved_solver(self, views) -> str:
+        return resolve_tcca_solver(
+            self.solver,
+            [view.shape[0] for view in views],
+            self.decomposition,
+        )
+
     def _compute_whitened(self, views, epsilon):
         """Build the whitening state; subclasses override the engine."""
+        if self._resolved_solver(views) == "implicit":
+            return whitened_covariance_operator(views, epsilon)
         return whitened_covariance_tensor(views, epsilon)
 
     def _whitened(self, views, epsilon):
@@ -332,6 +353,7 @@ class TCCAMethod(GroupCacheMixin):
                 "tcca",
                 n_components=r_eff,
                 epsilon=epsilon,
+                solver=self.solver,
                 decomposition=self.decomposition,
                 max_iter=self.max_iter,
                 random_state=self.random_state,
@@ -363,9 +385,28 @@ class StreamingTCCAMethod(TCCAMethod):
 
     def _compute_whitened(self, views, epsilon):
         """Accumulate the whitening state from minibatches."""
-        return whitened_covariance_tensor_streaming(
-            ArrayViewStream(views, chunk_size=self.chunk_size), epsilon
-        )
+        stream = ArrayViewStream(views, chunk_size=self.chunk_size)
+        if self._resolved_solver(views) == "implicit":
+            return whitened_covariance_operator_streaming(stream, epsilon)
+        return whitened_covariance_tensor_streaming(stream, epsilon)
+
+
+class ImplicitTCCAMethod(TCCAMethod):
+    """TCCA solved tensor-free — the ``--solver implicit`` complexity row.
+
+    Identical estimator, representation, and ε/r sweep as
+    :class:`TCCAMethod`; only the tensor engine differs — contractions are
+    factored through the whitened views
+    (:func:`~repro.core.tcca.whitened_covariance_operator`), so the
+    ``∏ d_p`` covariance tensor the complexity figures revolve around is
+    never materialized.
+    """
+
+    name = "TCCA-IMPLICIT"
+
+    def __init__(self, epsilon=1e-2, **kwargs):
+        kwargs.setdefault("solver", "implicit")
+        super().__init__(epsilon, **kwargs)
 
 
 # --------------------------------------------------------------------------

@@ -19,6 +19,7 @@ from repro.streaming.views import (
     GeneratorViewStream,
     ViewStream,
     as_view_stream,
+    iter_validated_chunks,
 )
 
 __all__ = [
@@ -29,4 +30,5 @@ __all__ = [
     "ViewStream",
     "accumulate_outer_sum",
     "as_view_stream",
+    "iter_validated_chunks",
 ]

@@ -32,6 +32,7 @@ __all__ = [
     "GeneratorViewStream",
     "ViewStream",
     "as_view_stream",
+    "iter_validated_chunks",
 ]
 
 DEFAULT_CHUNK_SIZE = 256
@@ -203,6 +204,38 @@ class GeneratorViewStream(ViewStream):
                         f"{self._dims} with {stop - start} samples"
                     )
             yield chunk
+
+
+def iter_validated_chunks(stream: ViewStream):
+    """Yield each chunk tuple of ``stream`` as a list, validated.
+
+    Enforces the stream protocol every multi-pass consumer needs: each
+    chunk tuple has one entry per advertised view, the per-view chunks
+    share a sample count, and — checked when the generator is exhausted —
+    the pass yielded exactly the advertised ``n_samples`` (the contract a
+    non-re-iterable source breaks on its second pass).
+    """
+    n_views = stream.n_views
+    total = 0
+    for chunks in stream.chunks():
+        chunks = list(chunks)
+        if len(chunks) != n_views:
+            raise ValidationError(
+                f"stream yielded {len(chunks)} view chunks, advertised "
+                f"{n_views} views"
+            )
+        widths = {np.shape(chunk)[-1] for chunk in chunks}
+        if len(widths) != 1:
+            raise ValidationError(
+                f"view chunks must share the sample count; got {sorted(widths)}"
+            )
+        total += widths.pop()
+        yield chunks
+    if total != stream.n_samples:
+        raise ValidationError(
+            f"stream yielded {total} samples on this pass but advertised "
+            f"{stream.n_samples}; streams must be re-iterable"
+        )
 
 
 def as_view_stream(source, chunk_size: int | None = None) -> ViewStream:

@@ -28,19 +28,25 @@ from repro.tensor.dense import (
 )
 from repro.tensor.products import khatri_rao, kronecker
 from repro.tensor.cp import CPTensor, rank1_tensor
+from repro.tensor.operator import CovarianceTensorOperator
 from repro.tensor.decomposition import (
     DecompositionResult,
     best_rank1,
+    best_rank1_implicit,
     cp_als,
+    cp_als_implicit,
     hosvd,
     tensor_power_deflation,
 )
 
 __all__ = [
     "CPTensor",
+    "CovarianceTensorOperator",
     "DecompositionResult",
     "best_rank1",
+    "best_rank1_implicit",
     "cp_als",
+    "cp_als_implicit",
     "fold",
     "frobenius_norm",
     "hosvd",

@@ -5,6 +5,11 @@
   for TCCA/KTCCA).
 * :func:`~repro.tensor.decomposition.hopm.best_rank1` — higher-order power
   method for the best rank-1 approximation (De Lathauwer et al. 2000b).
+* :func:`~repro.tensor.decomposition.implicit.cp_als_implicit` /
+  :func:`~repro.tensor.decomposition.implicit.best_rank1_implicit` — the
+  same solvers run tensor-free against a
+  :class:`~repro.tensor.operator.CovarianceTensorOperator` (shared sweep
+  cores, no ``∏ d_p`` objects).
 * :func:`~repro.tensor.decomposition.power.tensor_power_deflation` —
   greedy rank-1 deflation (tensor power method, Allen 2012).
 * :func:`~repro.tensor.decomposition.hosvd.hosvd` — higher-order SVD,
@@ -12,15 +17,23 @@
 """
 
 from repro.tensor.decomposition.result import DecompositionResult
-from repro.tensor.decomposition.als import cp_als
-from repro.tensor.decomposition.hopm import best_rank1
+from repro.tensor.decomposition.als import cp_als, cp_als_core
+from repro.tensor.decomposition.hopm import best_rank1, hopm_core
+from repro.tensor.decomposition.implicit import (
+    best_rank1_implicit,
+    cp_als_implicit,
+)
 from repro.tensor.decomposition.power import tensor_power_deflation
 from repro.tensor.decomposition.hosvd import hosvd
 
 __all__ = [
     "DecompositionResult",
     "best_rank1",
+    "best_rank1_implicit",
     "cp_als",
+    "cp_als_core",
+    "cp_als_implicit",
+    "hopm_core",
     "hosvd",
     "tensor_power_deflation",
 ]

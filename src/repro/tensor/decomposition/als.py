@@ -5,6 +5,14 @@ al. 2009): TCCA's rank-``r`` canonical factors are the CP factors of the
 whitened covariance tensor ``M``, fitted for all ``r`` components *jointly*
 — the property the paper credits for TCCA's flat accuracy at large ``r``
 (no greedy deflation, so variance is spread across all factors).
+
+The sweep loop lives in :func:`cp_als_core`, which only touches the target
+tensor through an ``mttkrp(factors, mode)`` callable and its squared
+Frobenius norm. :func:`cp_als` wires it to dense unfoldings;
+:func:`repro.tensor.decomposition.implicit.cp_als_implicit` wires the same
+core to a :class:`~repro.tensor.operator.CovarianceTensorOperator`, so the
+dense and tensor-free solvers share every line of convergence,
+normalization, and weight-ordering logic.
 """
 
 from __future__ import annotations
@@ -21,31 +29,117 @@ from repro.tensor.dense import cyclic_mode_order, frobenius_norm, unfold
 from repro.tensor.products import khatri_rao
 from repro.utils.validation import check_positive_int
 
-__all__ = ["cp_als"]
+__all__ = ["cp_als", "cp_als_core"]
 
 
-def _als_rhs(
-    unfoldings: list[np.ndarray],
-    factors: list[np.ndarray],
-    mode: int,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Right-hand side ``X_(p) K`` and Gram matrix for the mode-``p`` update.
+def _hadamard_gram(grams: list[np.ndarray], skip: int) -> np.ndarray:
+    """Hadamard product of the cached factor Grams, excluding mode ``skip``.
 
-    With the forward-cyclic unfolding convention, the CP model satisfies
-    ``X_(p) = U_p diag(λ) K^T`` where ``K`` is the Khatri-Rao product of the
-    other factors taken in *reverse* cyclic order.
+    This is the normal-equation matrix of the mode-``skip`` least-squares
+    update: ``⊙_{q≠skip} U_q^T U_q``.
     """
-    order = len(factors)
-    others = [
-        factors[other] for other in reversed(cyclic_mode_order(order, mode))
-    ]
-    khatri = khatri_rao(others)
-    gram = np.ones((factors[0].shape[1], factors[0].shape[1]))
-    for other, factor in enumerate(factors):
-        if other == mode:
+    rank = grams[0].shape[0]
+    gram = np.ones((rank, rank))
+    for other, factor_gram in enumerate(grams):
+        if other == skip:
             continue
-        gram = gram * (factor.T @ factor)
-    return unfoldings[mode] @ khatri, gram
+        gram = gram * factor_gram
+    return gram
+
+
+def cp_als_core(
+    mttkrp,
+    factors: list[np.ndarray],
+    norm_x_sq: float,
+    *,
+    max_iter: int,
+    tol: float,
+    warn_on_no_convergence: bool,
+) -> DecompositionResult:
+    """Shared CP-ALS sweep loop over an abstract MTTKRP.
+
+    Parameters
+    ----------
+    mttkrp:
+        ``mttkrp(factors, mode) -> (d_mode, r)`` — the matricized-tensor
+        times Khatri-Rao product ``X_(mode) · khatri_rao(reversed other
+        factors)``. The only way the loop reads the target tensor.
+    factors:
+        Initial ``(d_p, r)`` factor matrices with unit-norm columns;
+        updated in place.
+    norm_x_sq:
+        ``‖X‖_F²`` of the target, for the factor-side error identity.
+    max_iter, tol, warn_on_no_convergence:
+        As in :func:`cp_als`.
+
+    Notes
+    -----
+    The per-mode Gram matrices ``U_q^T U_q`` are cached and refreshed only
+    for the factor each mode update changes, and the final mode's
+    rhs/Gram pair is reused for the error evaluation — no per-sweep
+    recomputation of unchanged ``O(d_q r²)`` products.
+    """
+    ndim = len(factors)
+    norm_x = float(np.sqrt(norm_x_sq))
+    weights = np.ones(factors[0].shape[1])
+    grams = [factor.T @ factor for factor in factors]
+
+    fit_history: list[float] = []
+    previous_error = np.inf
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iter + 1):
+        for mode in range(ndim):
+            rhs = mttkrp(factors, mode)
+            gram = _hadamard_gram(grams, mode)
+            # Solve U_p gram = rhs for U_p; pinv guards rank-deficient grams.
+            try:
+                updated = np.linalg.solve(gram.T, rhs.T).T
+            except np.linalg.LinAlgError:
+                updated = rhs @ np.linalg.pinv(gram)
+            norms = np.linalg.norm(updated, axis=0)
+            safe = np.where(norms > 0.0, norms, 1.0)
+            factors[mode] = updated / safe
+            weights = norms
+            grams[mode] = factors[mode].T @ factors[mode]
+
+        # Relative error via the factor-side identity
+        # ‖X - X̂‖² = ‖X‖² - 2⟨X, X̂⟩ + ‖X̂‖², all cheap in factor form.
+        # The last mode update's rhs and Hadamard Gram are exactly the
+        # pair the identity needs (the other factors did not change after
+        # it), so they are reused instead of recomputed.
+        last = factors[ndim - 1] * weights
+        cross = float(np.sum(rhs * last))
+        gram_full = gram * grams[ndim - 1]
+        model_sq = float(weights @ gram_full @ weights)
+        error_sq = max(norm_x_sq - 2.0 * cross + model_sq, 0.0)
+        error = float(np.sqrt(error_sq) / norm_x)
+        fit_history.append(error)
+
+        if abs(previous_error - error) < tol:
+            converged = True
+            break
+        previous_error = error
+
+    if not converged and warn_on_no_convergence:
+        warnings.warn(
+            f"CP-ALS did not converge in {max_iter} iterations "
+            f"(last error decrease above tol={tol})",
+            ConvergenceWarning,
+            stacklevel=3,
+        )
+
+    order_by_weight = np.argsort(-np.abs(weights))
+    cp = CPTensor(
+        weights=weights[order_by_weight],
+        factors=[factor[:, order_by_weight] for factor in factors],
+    )
+    return DecompositionResult(
+        cp=cp,
+        n_iterations=iteration,
+        converged=converged,
+        fit_history=fit_history,
+    )
 
 
 def cp_als(
@@ -101,61 +195,24 @@ def cp_als(
     factors = initialize_factors(
         tensor, rank, method=init, random_state=random_state
     )
-    weights = np.ones(rank)
     unfoldings = [unfold(tensor, mode) for mode in range(tensor.ndim)]
-    norm_x_sq = norm_x**2
+    ndim = tensor.ndim
 
-    fit_history: list[float] = []
-    previous_error = np.inf
-    converged = False
-    iteration = 0
-    for iteration in range(1, max_iter + 1):
-        for mode in range(tensor.ndim):
-            rhs, gram = _als_rhs(unfoldings, factors, mode)
-            # Solve U_p gram = rhs for U_p; pinv guards rank-deficient grams.
-            try:
-                updated = np.linalg.solve(gram.T, rhs.T).T
-            except np.linalg.LinAlgError:
-                updated = rhs @ np.linalg.pinv(gram)
-            norms = np.linalg.norm(updated, axis=0)
-            safe = np.where(norms > 0.0, norms, 1.0)
-            factors[mode] = updated / safe
-            weights = norms
+    def dense_mttkrp(current_factors, mode):
+        # With the forward-cyclic unfolding convention, the CP model
+        # satisfies X_(p) = U_p diag(λ) K^T where K is the Khatri-Rao
+        # product of the other factors taken in *reverse* cyclic order.
+        others = [
+            current_factors[other]
+            for other in reversed(cyclic_mode_order(ndim, mode))
+        ]
+        return unfoldings[mode] @ khatri_rao(others)
 
-        # Relative error via the factor-side identity:
-        # ‖X - X̂‖² = ‖X‖² - 2⟨X, X̂⟩ + ‖X̂‖², all cheap in factor form.
-        rhs, gram = _als_rhs(unfoldings, factors, tensor.ndim - 1)
-        last = factors[tensor.ndim - 1] * weights
-        cross = float(np.sum(rhs * last))
-        gram_full = gram * (
-            factors[tensor.ndim - 1].T @ factors[tensor.ndim - 1]
-        )
-        model_sq = float(weights @ gram_full @ weights)
-        error_sq = max(norm_x_sq - 2.0 * cross + model_sq, 0.0)
-        error = float(np.sqrt(error_sq) / norm_x)
-        fit_history.append(error)
-
-        if abs(previous_error - error) < tol:
-            converged = True
-            break
-        previous_error = error
-
-    if not converged and warn_on_no_convergence:
-        warnings.warn(
-            f"CP-ALS did not converge in {max_iter} iterations "
-            f"(last error decrease above tol={tol})",
-            ConvergenceWarning,
-            stacklevel=2,
-        )
-
-    order_by_weight = np.argsort(-np.abs(weights))
-    cp = CPTensor(
-        weights=weights[order_by_weight],
-        factors=[factor[:, order_by_weight] for factor in factors],
-    )
-    return DecompositionResult(
-        cp=cp,
-        n_iterations=iteration,
-        converged=converged,
-        fit_history=fit_history,
+    return cp_als_core(
+        dense_mttkrp,
+        factors,
+        norm_x**2,
+        max_iter=max_iter,
+        tol=tol,
+        warn_on_no_convergence=warn_on_no_convergence,
     )

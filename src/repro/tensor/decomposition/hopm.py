@@ -7,6 +7,11 @@ free vector to the (normalized) contraction of the tensor against the
 others. The attained ``ρ = A ×_1 u_1^T … ×_m u_m^T`` is exactly the
 high-order canonical correlation of Theorem 1, which is why TCCA's rank-1
 subproblem is this routine.
+
+The iteration itself (:func:`hopm_core`) only touches the tensor through
+two callables — the skip-one contraction and the full contraction — so the
+dense path here and the tensor-free path in
+:mod:`repro.tensor.decomposition.implicit` share the loop verbatim.
 """
 
 from __future__ import annotations
@@ -22,7 +27,7 @@ from repro.tensor.decomposition.result import DecompositionResult
 from repro.tensor.dense import frobenius_norm, mode_product
 from repro.utils.validation import check_positive_int
 
-__all__ = ["best_rank1", "rank1_contraction"]
+__all__ = ["best_rank1", "hopm_core", "rank1_contraction"]
 
 
 def rank1_contraction(
@@ -43,6 +48,75 @@ def rank1_contraction(
             mode_product(result, vectors[mode][None, :], mode), axis=mode
         )
     return np.asarray(result, dtype=np.float64).ravel()
+
+
+def hopm_core(
+    contract_skip,
+    multi_contract,
+    vectors: list[np.ndarray],
+    *,
+    max_iter: int,
+    tol: float,
+    warn_on_no_convergence: bool,
+) -> DecompositionResult:
+    """Shared HOPM power-iteration loop over abstract contractions.
+
+    Parameters
+    ----------
+    contract_skip:
+        ``contract_skip(vectors, skip) -> (d_skip,)`` — the tensor
+        contracted against every vector except mode ``skip``.
+    multi_contract:
+        ``multi_contract(vectors) -> float`` — the full contraction, used
+        once at the end for the sign-correct ``ρ``.
+    vectors:
+        Initial unit vectors, one per mode; updated in place.
+    max_iter, tol, warn_on_no_convergence:
+        As in :func:`best_rank1`.
+    """
+    ndim = len(vectors)
+    rho = 0.0
+    previous_rho = -np.inf
+    fit_history: list[float] = []
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iter + 1):
+        for mode in range(ndim):
+            fiber = contract_skip(vectors, mode)
+            norm = np.linalg.norm(fiber)
+            if norm == 0.0:
+                # Degenerate direction: restart this mode with a safe basis
+                # vector rather than dividing by zero.
+                fiber = np.zeros_like(fiber)
+                fiber[0] = 1.0
+                norm = 1.0
+            vectors[mode] = fiber / norm
+            rho = float(norm)
+        fit_history.append(rho)
+        if abs(rho - previous_rho) < tol * max(abs(rho), 1.0):
+            converged = True
+            break
+        previous_rho = rho
+
+    if not converged and warn_on_no_convergence:
+        warnings.warn(
+            f"HOPM did not converge in {max_iter} iterations",
+            ConvergenceWarning,
+            stacklevel=3,
+        )
+
+    # Final ρ as the full contraction, which is sign-correct.
+    rho = float(multi_contract(vectors))
+    cp = CPTensor(
+        weights=np.array([rho]),
+        factors=[vector[:, None].copy() for vector in vectors],
+    )
+    return DecompositionResult(
+        cp=cp,
+        n_iterations=iteration,
+        converged=converged,
+        fit_history=fit_history,
+    )
 
 
 def best_rank1(
@@ -79,47 +153,19 @@ def best_rank1(
     )
     vectors = [factor[:, 0] for factor in factors]
 
-    rho = 0.0
-    previous_rho = -np.inf
-    fit_history: list[float] = []
-    converged = False
-    iteration = 0
-    for iteration in range(1, max_iter + 1):
-        for mode in range(tensor.ndim):
-            fiber = rank1_contraction(tensor, vectors, skip=mode)
-            norm = np.linalg.norm(fiber)
-            if norm == 0.0:
-                # Degenerate direction: restart this mode with a safe basis
-                # vector rather than dividing by zero.
-                fiber = np.zeros_like(fiber)
-                fiber[0] = 1.0
-                norm = 1.0
-            vectors[mode] = fiber / norm
-            rho = float(norm)
-        fit_history.append(rho)
-        if abs(rho - previous_rho) < tol * max(abs(rho), 1.0):
-            converged = True
-            break
-        previous_rho = rho
+    def contract_skip(current_vectors, skip):
+        return rank1_contraction(tensor, current_vectors, skip=skip)
 
-    if not converged and warn_on_no_convergence:
-        warnings.warn(
-            f"HOPM did not converge in {max_iter} iterations",
-            ConvergenceWarning,
-            stacklevel=2,
+    def multi_contract(current_vectors):
+        return rank1_contraction(tensor, current_vectors, skip=0) @ (
+            current_vectors[0]
         )
 
-    # Final ρ as the full contraction, which is sign-correct.
-    rho = float(
-        rank1_contraction(tensor, vectors, skip=0) @ vectors[0]
-    )
-    cp = CPTensor(
-        weights=np.array([rho]),
-        factors=[vector[:, None].copy() for vector in vectors],
-    )
-    return DecompositionResult(
-        cp=cp,
-        n_iterations=iteration,
-        converged=converged,
-        fit_history=fit_history,
+    return hopm_core(
+        contract_skip,
+        multi_contract,
+        vectors,
+        max_iter=max_iter,
+        tol=tol,
+        warn_on_no_convergence=warn_on_no_convergence,
     )

@@ -1,0 +1,120 @@
+"""Tensor-free CP solvers over a :class:`CovarianceTensorOperator`.
+
+Dense CP-ALS on the whitened covariance tensor ``M`` pays ``∏ d_p`` memory
+and an ``O(r · ∏ d_p)`` Khatri-Rao contraction per mode update — the
+scaling wall of the paper's complexity experiments. But the ALS mode
+update only reads ``M`` through its MTTKRP, and for a covariance tensor of
+``N`` samples that contraction factors through the data:
+``X̃_p (⊙_{q≠p} X̃_q^T U_q) / N`` — ``O(N · Σ d_p · r)`` per sweep with no
+``∏ d_p`` object anywhere. The solvers here run the *same* sweep loops as
+the dense ones (:func:`~repro.tensor.decomposition.als.cp_als_core`,
+:func:`~repro.tensor.decomposition.hopm.hopm_core` — shared code, not
+parallel implementations) against an operator's contractions, so the two
+paths agree to round-off while the implicit one scales to view dimensions
+where the dense tensor would not fit in memory at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DecompositionError
+from repro.tensor.decomposition.als import cp_als_core
+from repro.tensor.decomposition.hopm import hopm_core
+from repro.tensor.decomposition.init import initialize_factors_implicit
+from repro.tensor.decomposition.result import DecompositionResult
+from repro.utils.validation import check_positive_int
+
+__all__ = ["best_rank1_implicit", "cp_als_implicit"]
+
+
+def _check_operator(operator):
+    shape = getattr(operator, "shape", None)
+    if shape is None or len(shape) < 2:
+        raise DecompositionError(
+            "implicit solvers need an order >= 2 tensor operator, got "
+            f"{operator!r}"
+        )
+    if operator.frobenius_norm_sq() == 0.0:
+        raise DecompositionError(
+            "cannot decompose the zero tensor: no rank-1 direction exists"
+        )
+
+
+def cp_als_implicit(
+    operator,
+    rank: int,
+    *,
+    max_iter: int = 200,
+    tol: float = 1e-8,
+    init: str = "hosvd",
+    random_state=None,
+    warn_on_no_convergence: bool = True,
+) -> DecompositionResult:
+    """Rank-``rank`` CP decomposition of an implicit covariance tensor.
+
+    Parameters
+    ----------
+    operator:
+        A :class:`~repro.tensor.operator.CovarianceTensorOperator` (or any
+        object exposing ``shape``, ``mttkrp(factors, mode)``,
+        ``frobenius_norm_sq()``, and ``mode_gram(mode)``).
+    rank, max_iter, tol, init, random_state, warn_on_no_convergence:
+        As in :func:`~repro.tensor.decomposition.als.cp_als`.
+
+    Returns
+    -------
+    DecompositionResult
+        Same contract as the dense solver: unit-norm factor columns,
+        weights sorted by decreasing ``|λ|``, relative-error fit history.
+    """
+    rank = check_positive_int(rank, "rank")
+    max_iter = check_positive_int(max_iter, "max_iter")
+    _check_operator(operator)
+    factors = initialize_factors_implicit(
+        operator, rank, method=init, random_state=random_state
+    )
+    return cp_als_core(
+        operator.mttkrp,
+        factors,
+        operator.frobenius_norm_sq(),
+        max_iter=max_iter,
+        tol=tol,
+        warn_on_no_convergence=warn_on_no_convergence,
+    )
+
+
+def best_rank1_implicit(
+    operator,
+    *,
+    max_iter: int = 200,
+    tol: float = 1e-10,
+    init: str = "hosvd",
+    random_state=None,
+    warn_on_no_convergence: bool = True,
+) -> DecompositionResult:
+    """Best rank-1 approximation of an implicit tensor via HOPM.
+
+    The skip-one contraction of HOPM *is* a rank-1 MTTKRP, so the dense
+    power loop runs unchanged against ``operator.mttkrp``; the final
+    sign-correct ``ρ`` comes from ``operator.multi_contract``.
+    """
+    max_iter = check_positive_int(max_iter, "max_iter")
+    _check_operator(operator)
+    factors = initialize_factors_implicit(
+        operator, 1, method=init, random_state=random_state
+    )
+    vectors = [factor[:, 0] for factor in factors]
+
+    def contract_skip(current_vectors, skip):
+        columns = [np.asarray(v)[:, None] for v in current_vectors]
+        return operator.mttkrp(columns, skip).ravel()
+
+    return hopm_core(
+        contract_skip,
+        operator.multi_contract,
+        vectors,
+        max_iter=max_iter,
+        tol=tol,
+        warn_on_no_convergence=warn_on_no_convergence,
+    )

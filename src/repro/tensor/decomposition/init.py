@@ -1,4 +1,17 @@
-"""Factor-matrix initialization strategies for iterative decompositions."""
+"""Factor-matrix initialization strategies for iterative decompositions.
+
+Both entry points produce the same mathematical initialization — leading
+left singular vectors per unfolding (``"hosvd"``) or unit-norm Gaussian
+columns (``"random"``) — but read the target differently:
+:func:`initialize_factors` from a dense tensor,
+:func:`initialize_factors_implicit` from a
+:class:`~repro.tensor.operator.CovarianceTensorOperator` via the mode
+Grams ``M_(p) M_(p)^T`` (whose eigenvectors are the unfolding's left
+singular vectors), never materializing a ``∏ d_p`` object. Column signs
+are canonicalized in both so the two paths hand the solvers the same
+starting point up to round-off — LAPACK's SVD and eigendecomposition sign
+choices are arbitrary and build-dependent.
+"""
 
 from __future__ import annotations
 
@@ -8,7 +21,46 @@ from repro.exceptions import ValidationError
 from repro.tensor.dense import unfold
 from repro.utils.rng import check_random_state
 
-__all__ = ["initialize_factors"]
+__all__ = ["initialize_factors", "initialize_factors_implicit"]
+
+_INIT_METHODS = ("hosvd", "random")
+
+
+def _canonicalize_column_signs(factor: np.ndarray) -> np.ndarray:
+    """Flip columns so each column's largest-|entry| pivot is positive.
+
+    Removes the sign indeterminacy of SVD/eigendecomposition outputs;
+    flipping init columns mirrors the ALS/HOPM trajectory exactly (the
+    final :meth:`~repro.tensor.cp.CPTensor.canonicalize_signs` lands on
+    the same representative), so this only makes runs reproducible across
+    BLAS builds and initialization backends.
+    """
+    pivots = factor[
+        np.argmax(np.abs(factor), axis=0), np.arange(factor.shape[1])
+    ]
+    factor[:, pivots < 0.0] *= -1.0
+    return factor
+
+
+def _normalize_columns(factor: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(factor, axis=0)
+    norms = np.where(norms > 0.0, norms, 1.0)
+    return factor / norms
+
+
+def _check_method(method: str) -> None:
+    if method not in _INIT_METHODS:
+        raise ValidationError(
+            f"unknown initialization method {method!r}; "
+            "expected 'hosvd' or 'random'"
+        )
+
+
+def _pad_random(factor: np.ndarray, n_available: int, rng) -> None:
+    if n_available < factor.shape[1]:
+        factor[:, n_available:] = rng.standard_normal(
+            (factor.shape[0], factor.shape[1] - n_available)
+        )
 
 
 def initialize_factors(
@@ -35,13 +87,10 @@ def initialize_factors(
 
     Returns
     -------
-    list of ``(I_p, rank)`` arrays with unit-norm columns.
+    list of ``(I_p, rank)`` arrays with unit-norm columns and
+    sign-canonicalized pivots.
     """
-    if method not in ("hosvd", "random"):
-        raise ValidationError(
-            f"unknown initialization method {method!r}; "
-            "expected 'hosvd' or 'random'"
-        )
+    _check_method(method)
     rng = check_random_state(random_state)
     factors = []
     for mode in range(tensor.ndim):
@@ -56,11 +105,56 @@ def initialize_factors(
             n_available = min(rank, left.shape[1])
             factor = np.empty((size, rank))
             factor[:, :n_available] = left[:, :n_available]
-            if n_available < rank:
-                factor[:, n_available:] = rng.standard_normal(
-                    (size, rank - n_available)
-                )
-        norms = np.linalg.norm(factor, axis=0)
-        norms = np.where(norms > 0.0, norms, 1.0)
-        factors.append(factor / norms)
+            _pad_random(factor, n_available, rng)
+        factors.append(_canonicalize_column_signs(_normalize_columns(factor)))
+    return factors
+
+
+def initialize_factors_implicit(
+    operator,
+    rank: int,
+    *,
+    method: str = "hosvd",
+    random_state=None,
+) -> list[np.ndarray]:
+    """Initial factors from an implicit tensor, without any unfolding.
+
+    The ``"hosvd"`` method eigendecomposes the ``(d_p, d_p)`` mode Grams
+    ``M_(p) M_(p)^T`` the operator exposes — their leading eigenvectors
+    are the unfolding's leading left singular vectors — so the cost is
+    ``O(Σ d_p³)`` plus the operator's Gram contractions instead of an SVD
+    of a ``d_p × ∏_{q≠p} d_q`` matrix. The ``"random"`` method draws the
+    exact same variates as the dense path (same shapes, same order), so
+    dense and implicit solves start bit-identically.
+    """
+    _check_method(method)
+    rng = check_random_state(random_state)
+    shape = operator.shape
+    factors = []
+    for mode in range(len(shape)):
+        size = shape[mode]
+        if method == "random":
+            factor = rng.standard_normal((size, rank))
+        else:
+            eigenvalues, eigenvectors = np.linalg.eigh(
+                operator.mode_gram(mode)
+            )
+            del eigenvalues  # ascending order; only the ordering is used
+            leading = eigenvectors[:, ::-1]
+            # Mirror the dense path's svd(full_matrices=False) column
+            # count so any random padding consumes identical rng draws.
+            n_columns = min(
+                size,
+                int(
+                    np.prod(
+                        [shape[q] for q in range(len(shape)) if q != mode],
+                        dtype=np.int64,
+                    )
+                ),
+            )
+            n_available = min(rank, n_columns)
+            factor = np.empty((size, rank))
+            factor[:, :n_available] = leading[:, :n_available]
+            _pad_random(factor, n_available, rng)
+        factors.append(_canonicalize_column_signs(_normalize_columns(factor)))
     return factors

@@ -1,0 +1,353 @@
+"""Implicit (matrix-free) covariance tensors — the tensor-free TCCA engine.
+
+The whitened covariance tensor ``M = (1/N) Σ_n x̃_1n ∘ x̃_2n ∘ … ∘ x̃_mn``
+costs ``∏ d_p`` memory to materialize — the scaling wall the paper's
+complexity experiments (Figs. 7-10) measure. But every quantity CP-ALS and
+HOPM read off ``M`` is a *contraction*, and contractions of a sum of outer
+products factor through the data:
+
+* the MTTKRP ``M_(p) · khatri_rao(U_{q≠p})`` collapses to
+  ``X̃_p (⊙_{q≠p} X̃_q^T U_q) / N`` — a Hadamard product of ``(N, r)``
+  projections, ``O(N · Σ d_p · r)`` with **zero** ``∏ d_p`` objects;
+* ``M ×_1 v_1^T … ×_m v_m^T = (1/N) Σ_n ∏_p (x̃_pn · v_p)``;
+* the mode-``p`` Gram
+  ``M_(p) M_(p)^T = (1/N²) X̃_p (⊙_{q≠p} X̃_q^T X̃_q) X̃_p^T`` reduces to
+  sample-Gram Hadamard products — HOSVD-style initialization reads its
+  eigenvectors, and ``‖M‖_F² = tr(M_(0) M_(0)^T)`` (the solver's
+  convergence normalizer) falls out of the same cached matrix.
+
+:class:`CovarianceTensorOperator` packages these identities behind one
+interface with two backends: resident whitened view matrices (the batch
+path) or a re-iterable chunked :class:`~repro.streaming.views.ViewStream`
+plus whitening state (the out-of-core path, which whitens chunks on the
+fly and pays one stream pass per contraction).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ShapeError, ValidationError
+from repro.streaming.views import iter_validated_chunks
+from repro.utils.validation import check_views
+
+__all__ = ["CovarianceTensorOperator"]
+
+#: sample-block budget (floats) for the pairwise-Gram accumulations, so the
+#: ``(N, block)`` intermediates stay near 64 MB regardless of ``N``.
+DEFAULT_BLOCK_FLOATS = 2**23
+
+
+def _check_factors(shape, factors):
+    """Validate one factor matrix per mode with a shared column count."""
+    factors = [np.asarray(factor, dtype=np.float64) for factor in factors]
+    if len(factors) != len(shape):
+        raise ValidationError(
+            f"need one factor per mode ({len(shape)}), got {len(factors)}"
+        )
+    rank = None
+    for mode, (factor, size) in enumerate(zip(factors, shape)):
+        if factor.ndim != 2:
+            raise ShapeError(
+                f"factors[{mode}] must be 2-D, got ndim={factor.ndim}"
+            )
+        if factor.shape[0] != size:
+            raise ShapeError(
+                f"factors[{mode}] has {factor.shape[0]} rows but mode "
+                f"{mode} has size {size}"
+            )
+        if rank is None:
+            rank = factor.shape[1]
+        elif factor.shape[1] != rank:
+            raise ShapeError(
+                "all factors must share a column count; "
+                f"factors[{mode}] has {factor.shape[1]} != {rank}"
+            )
+    return factors
+
+
+def _check_vectors(shape, vectors):
+    """Validate one contraction vector per mode."""
+    vectors = [
+        np.asarray(vector, dtype=np.float64).ravel() for vector in vectors
+    ]
+    if len(vectors) != len(shape):
+        raise ValidationError(
+            f"need one vector per mode ({len(shape)}), got {len(vectors)}"
+        )
+    for mode, (vector, size) in enumerate(zip(vectors, shape)):
+        if vector.shape[0] != size:
+            raise ShapeError(
+                f"vectors[{mode}] has length {vector.shape[0]} but mode "
+                f"{mode} has size {size}"
+            )
+    return vectors
+
+
+class _MatrixBackend:
+    """Contractions against resident whitened view matrices ``(d_p, N)``."""
+
+    def __init__(self, views, block_floats: int = DEFAULT_BLOCK_FLOATS):
+        self.views = check_views(views, min_views=2)
+        self.block_floats = int(block_floats)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(view.shape[0] for view in self.views)
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.views[0].shape[1])
+
+    def mttkrp(self, factors, mode: int) -> np.ndarray:
+        n = self.n_samples
+        rank = factors[0].shape[1]
+        hadamard = np.ones((n, rank))
+        for other, (view, factor) in enumerate(zip(self.views, factors)):
+            if other == mode:
+                continue
+            hadamard *= view.T @ factor
+        return (self.views[mode] @ hadamard) / n
+
+    def multi_contract(self, vectors) -> float:
+        product = np.ones(self.n_samples)
+        for view, vector in zip(self.views, vectors):
+            product *= view.T @ vector
+        return float(product.sum() / self.n_samples)
+
+    def _sample_blocks(self):
+        # One (N, block) product buffer is alive per view, so the budget
+        # is split across all of them.
+        n = self.n_samples
+        step = max(
+            1, int(self.block_floats // max(n * len(self.views), 1))
+        )
+        for start in range(0, n, step):
+            yield start, min(start + step, n)
+
+    def mode_grams(self) -> list[np.ndarray]:
+        n = self.n_samples
+        results = [
+            np.zeros((view.shape[0], view.shape[0])) for view in self.views
+        ]
+        for start, stop in self._sample_blocks():
+            # One set of per-view Gram blocks serves every mode; only the
+            # skip-one Hadamard product differs per mode.
+            products = [view.T @ view[:, start:stop] for view in self.views]
+            for mode, view in enumerate(self.views):
+                weights = np.ones((n, stop - start))
+                for other, product in enumerate(products):
+                    if other == mode:
+                        continue
+                    weights *= product
+                results[mode] += (view @ weights) @ view[:, start:stop].T
+        return [result / (n * n) for result in results]
+
+
+class _StreamBackend:
+    """Contractions against a chunked stream, whitening chunks on the fly.
+
+    Each contraction makes one pass over the stream (``frobenius_norm_sq``
+    and ``mode_gram`` need *pairs* of samples, so they make nested passes);
+    peak memory is one whitened chunk per view plus the ``(n_chunk, r)``
+    projections — independent of both ``N`` and ``∏ d_p``.
+    """
+
+    def __init__(self, stream, whiteners, means):
+        self.stream = stream
+        self.whiteners = [
+            np.asarray(whitener, dtype=np.float64) for whitener in whiteners
+        ]
+        self.means = [
+            np.asarray(mean, dtype=np.float64).reshape(-1, 1)
+            for mean in means
+        ]
+        if len(self.whiteners) != stream.n_views or len(
+            self.means
+        ) != stream.n_views:
+            raise ValidationError(
+                f"need one whitener and one mean per view "
+                f"({stream.n_views}), got {len(self.whiteners)} and "
+                f"{len(self.means)}"
+            )
+        for index, (whitener, mean, dim) in enumerate(
+            zip(self.whiteners, self.means, stream.dims)
+        ):
+            if whitener.shape != (dim, dim) or mean.shape != (dim, 1):
+                raise ValidationError(
+                    f"whitener/mean shapes for view {index} do not match "
+                    f"the stream dimension {dim}"
+                )
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(whitener.shape[0] for whitener in self.whiteners)
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.stream.n_samples)
+
+    def _whitened_chunks(self):
+        for chunks in iter_validated_chunks(self.stream):
+            yield [
+                whitener @ (np.asarray(chunk, dtype=np.float64) - mean)
+                for whitener, chunk, mean in zip(
+                    self.whiteners, chunks, self.means
+                )
+            ]
+
+    def mttkrp(self, factors, mode: int) -> np.ndarray:
+        rank = factors[0].shape[1]
+        result = np.zeros((self.shape[mode], rank))
+        for whitened in self._whitened_chunks():
+            hadamard = np.ones((whitened[0].shape[1], rank))
+            for other, (chunk, factor) in enumerate(zip(whitened, factors)):
+                if other == mode:
+                    continue
+                hadamard *= chunk.T @ factor
+            result += whitened[mode] @ hadamard
+        return result / self.n_samples
+
+    def multi_contract(self, vectors) -> float:
+        total = 0.0
+        for whitened in self._whitened_chunks():
+            product = np.ones(whitened[0].shape[1])
+            for chunk, vector in zip(whitened, vectors):
+                product *= chunk.T @ vector
+            total += float(product.sum())
+        return total / self.n_samples
+
+    def mode_grams(self) -> list[np.ndarray]:
+        results = [np.zeros((size, size)) for size in self.shape]
+        for left in self._whitened_chunks():
+            for right in self._whitened_chunks():
+                # Per-view chunk-pair Grams are shared by every mode's
+                # skip-one Hadamard product, so the nested pass (and its
+                # chunk re-whitening) happens once, not once per mode.
+                products = [
+                    chunk_l.T @ chunk_r
+                    for chunk_l, chunk_r in zip(left, right)
+                ]
+                for mode in range(len(results)):
+                    weights = np.ones(products[0].shape)
+                    for other, product in enumerate(products):
+                        if other == mode:
+                            continue
+                        weights *= product
+                    results[mode] += (left[mode] @ weights) @ right[mode].T
+        n = self.n_samples
+        return [result / (n * n) for result in results]
+
+
+class CovarianceTensorOperator:
+    """The covariance tensor ``M`` of whitened views, as contractions only.
+
+    Represents ``M = (1/N) Σ_n x̃_1n ∘ … ∘ x̃_mn`` without ever holding a
+    ``∏ d_p`` object. Built either :meth:`from_views` (resident whitened
+    matrices) or :meth:`from_stream` (a chunked stream plus whitening
+    state, for the out-of-core path); the implicit CP solvers in
+    :mod:`repro.tensor.decomposition.implicit` consume the interface and
+    never see the backend.
+    """
+
+    def __init__(self, backend):
+        self._backend = backend
+        self._mode_grams: list[np.ndarray] | None = None
+
+    @classmethod
+    def from_views(
+        cls, views, *, block_floats: int = DEFAULT_BLOCK_FLOATS
+    ) -> "CovarianceTensorOperator":
+        """Operator over resident (already whitened, centered) views."""
+        return cls(_MatrixBackend(views, block_floats=block_floats))
+
+    @classmethod
+    def from_stream(
+        cls, stream, *, whiteners, means
+    ) -> "CovarianceTensorOperator":
+        """Operator over a re-iterable chunked stream of *raw* views.
+
+        Chunks are centered with ``means`` (``(d_p, 1)`` columns) and
+        whitened with ``whiteners`` (``(d_p, d_p)``) on the fly during
+        every contraction, so nothing ``N``-sized is ever resident.
+        """
+        return cls(_StreamBackend(stream, whiteners, means))
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape ``(d_1, …, d_m)`` of the represented tensor."""
+        return self._backend.shape
+
+    @property
+    def order(self) -> int:
+        """Number of modes ``m``."""
+        return len(self.shape)
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples the covariance averages over."""
+        return self._backend.n_samples
+
+    @property
+    def n_entries(self) -> int:
+        """``∏ d_p`` — what materializing the tensor would cost in floats."""
+        return math.prod(self.shape)  # exact — never wraps
+
+    def mttkrp(self, factors, mode: int) -> np.ndarray:
+        """``M_(mode) · khatri_rao(reversed other factors)`` — implicitly.
+
+        ``factors`` holds one ``(d_p, r)`` matrix per mode (the entry for
+        ``mode`` itself is ignored); the result is ``(d_mode, r)``. This is
+        the only quantity a CP-ALS mode update reads off the tensor.
+        """
+        factors = _check_factors(self.shape, factors)
+        mode = self._check_mode(mode)
+        return self._backend.mttkrp(factors, mode)
+
+    def multi_contract(self, vectors) -> float:
+        """Full contraction ``M ×_1 v_1^T ×_2 … ×_m v_m^T``."""
+        vectors = _check_vectors(self.shape, vectors)
+        return self._backend.multi_contract(vectors)
+
+    def frobenius_norm_sq(self) -> float:
+        """``‖M‖_F² = tr(M_(0) M_(0)^T)``, via the cached mode-0 Gram.
+
+        Shares the :meth:`mode_gram` cache with HOSVD-style
+        initialization, so when both run (the default solver
+        configuration) the stream backend pays its nested pass only once.
+        """
+        return float(np.trace(self.mode_gram(0)))
+
+    def mode_gram(self, mode: int) -> np.ndarray:
+        """``M_(mode) M_(mode)^T`` — the ``(d_mode, d_mode)`` unfolding Gram.
+
+        Its eigenvectors are the left singular vectors of the mode-``mode``
+        unfolding, which is all an HOSVD-style initialization needs. All
+        ``m`` Grams are computed together on first use and cached
+        (``Σ d_p²`` floats) — the per-view sample-Gram products they share
+        are built once, and on the stream backend the single nested pass
+        over the data serves every mode.
+        """
+        mode = self._check_mode(mode)
+        if self._mode_grams is None:
+            self._mode_grams = self._backend.mode_grams()
+        return self._mode_grams[mode]
+
+    def _check_mode(self, mode: int) -> int:
+        if not isinstance(mode, (int, np.integer)) or isinstance(mode, bool):
+            raise ValidationError(f"mode must be an integer, got {mode!r}")
+        mode = int(mode)
+        if not 0 <= mode < self.order:
+            raise ValidationError(
+                f"mode must be in [0, {self.order - 1}] for an order-"
+                f"{self.order} operator, got {mode}"
+            )
+        return mode
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(shape={self.shape}, "
+            f"n_samples={self.n_samples})"
+        )

@@ -1,0 +1,410 @@
+"""Implicit (tensor-free) TCCA: operator identities and solver equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.core.tcca as tcca_module
+from repro.api import load_model, save_model
+from repro.core.tcca import (
+    TCCA,
+    resolve_tcca_solver,
+    whitened_covariance_operator,
+    whitened_covariance_operator_streaming,
+    whitened_covariance_tensor,
+)
+from repro.exceptions import DecompositionError, ValidationError
+from repro.linalg.covariance import covariance_tensor
+from repro.streaming import ArrayViewStream
+from repro.tensor import CovarianceTensorOperator
+from repro.tensor.decomposition import (
+    best_rank1,
+    best_rank1_implicit,
+    cp_als,
+    cp_als_implicit,
+)
+from repro.tensor.dense import cyclic_mode_order, mode_product, unfold
+from repro.tensor.products import khatri_rao
+
+ALL_DIMS = (6, 5, 4, 7)
+
+
+def _shared_signal_views(rng, m, n=240, noise=0.2):
+    """``m`` views sharing one latent factor (TCCA's recovery setting)."""
+    t = rng.exponential(1.0, n) - 1.0
+    views = []
+    for d in ALL_DIMS[:m]:
+        direction = rng.standard_normal(d)
+        direction /= np.linalg.norm(direction)
+        views.append(
+            np.outer(direction, t) + noise * rng.standard_normal((d, n))
+        )
+    return views
+
+
+def _whitened_views(rng, m, n=120):
+    views = [
+        view - view.mean(axis=1, keepdims=True)
+        for view in _shared_signal_views(rng, m, n=n)
+    ]
+    return views
+
+
+def _operators(views, chunk_size=37):
+    """The matrix-backed and stream-backed operators over ``views``."""
+    dims = [view.shape[0] for view in views]
+    identity = [np.eye(d) for d in dims]
+    zeros = [np.zeros((d, 1)) for d in dims]
+    return {
+        "matrix": CovarianceTensorOperator.from_views(views),
+        "stream": CovarianceTensorOperator.from_stream(
+            ArrayViewStream(views, chunk_size=chunk_size),
+            whiteners=identity,
+            means=zeros,
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# CovarianceTensorOperator — contraction identities against the dense tensor
+# ---------------------------------------------------------------------------
+
+
+class TestCovarianceTensorOperator:
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    @pytest.mark.parametrize("backend", ["matrix", "stream"])
+    def test_contractions_match_dense(self, rng, m, backend):
+        views = _whitened_views(rng, m)
+        dense = covariance_tensor(views)
+        operator = _operators(views)[backend]
+
+        assert operator.shape == dense.shape
+        assert operator.order == m
+        assert operator.n_entries == int(np.prod(dense.shape))
+        assert operator.frobenius_norm_sq() == pytest.approx(
+            float(np.sum(dense**2)), abs=1e-10
+        )
+
+        factors = [rng.standard_normal((d, 3)) for d in dense.shape]
+        for mode in range(m):
+            others = [
+                factors[other]
+                for other in reversed(cyclic_mode_order(m, mode))
+            ]
+            expected = unfold(dense, mode) @ khatri_rao(others)
+            np.testing.assert_allclose(
+                operator.mttkrp(factors, mode), expected, atol=1e-10
+            )
+            np.testing.assert_allclose(
+                operator.mode_gram(mode),
+                unfold(dense, mode) @ unfold(dense, mode).T,
+                atol=1e-10,
+            )
+
+        vectors = [rng.standard_normal(d) for d in dense.shape]
+        contracted = dense
+        for mode, vector in enumerate(vectors):
+            contracted = mode_product(contracted, vector[None, :], mode)
+        assert operator.multi_contract(vectors) == pytest.approx(
+            float(contracted.ravel()[0]), abs=1e-10
+        )
+
+    def test_validates_factors_and_vectors(self, rng):
+        views = _whitened_views(rng, 3)
+        operator = CovarianceTensorOperator.from_views(views)
+        with pytest.raises(ValidationError):
+            operator.mttkrp([np.ones((6, 2)), np.ones((5, 2))], 0)
+        with pytest.raises(Exception):
+            operator.mttkrp(
+                [np.ones((6, 2)), np.ones((5, 3)), np.ones((4, 2))], 0
+            )
+        with pytest.raises(Exception):
+            operator.multi_contract([np.ones(6), np.ones(5), np.ones(3)])
+        with pytest.raises(ValidationError):
+            operator.mttkrp([np.ones((d, 2)) for d in (6, 5, 4)], 3)
+
+    def test_blocked_norm_matches_unblocked(self, rng):
+        # A tiny block budget forces many sample blocks; the accumulation
+        # must still agree with the single-block result.
+        views = _whitened_views(rng, 3)
+        whole = CovarianceTensorOperator.from_views(views)
+        blocked = CovarianceTensorOperator.from_views(
+            views, block_floats=64
+        )
+        assert blocked.frobenius_norm_sq() == pytest.approx(
+            whole.frobenius_norm_sq(), rel=1e-12
+        )
+        np.testing.assert_allclose(
+            blocked.mode_gram(1), whole.mode_gram(1), atol=1e-12
+        )
+
+    def test_zero_tensor_rejected_by_solvers(self):
+        views = [np.zeros((3, 10)), np.zeros((4, 10))]
+        operator = CovarianceTensorOperator.from_views(views)
+        with pytest.raises(DecompositionError):
+            cp_als_implicit(operator, 1)
+        with pytest.raises(DecompositionError):
+            best_rank1_implicit(operator)
+
+
+# ---------------------------------------------------------------------------
+# Implicit solvers vs the dense ones
+# ---------------------------------------------------------------------------
+
+
+class TestImplicitDecomposition:
+    @pytest.mark.parametrize("m", [2, 3])
+    @pytest.mark.parametrize("rank", [1, 3])
+    def test_cp_als_matches_dense(self, rng, m, rank):
+        views = _whitened_views(rng, m)
+        dense = covariance_tensor(views)
+        reference = cp_als(
+            dense, rank, tol=1e-12, max_iter=500, random_state=0,
+            warn_on_no_convergence=False,
+        ).cp.normalize().canonicalize_signs()
+        implicit = cp_als_implicit(
+            CovarianceTensorOperator.from_views(views),
+            rank, tol=1e-12, max_iter=500, random_state=0,
+            warn_on_no_convergence=False,
+        ).cp.normalize().canonicalize_signs()
+        np.testing.assert_allclose(
+            implicit.weights, reference.weights, atol=1e-8
+        )
+        for factor_i, factor_d in zip(implicit.factors, reference.factors):
+            np.testing.assert_allclose(factor_i, factor_d, atol=1e-8)
+
+    def test_random_init_draws_match_dense(self, rng):
+        # init="random" consumes identical rng variates on both paths.
+        views = _whitened_views(rng, 3)
+        dense = covariance_tensor(views)
+        reference = cp_als(
+            dense, 2, init="random", tol=1e-12, max_iter=500,
+            random_state=7, warn_on_no_convergence=False,
+        ).cp.normalize().canonicalize_signs()
+        implicit = cp_als_implicit(
+            CovarianceTensorOperator.from_views(views), 2, init="random",
+            tol=1e-12, max_iter=500, random_state=7,
+            warn_on_no_convergence=False,
+        ).cp.normalize().canonicalize_signs()
+        for factor_i, factor_d in zip(implicit.factors, reference.factors):
+            np.testing.assert_allclose(factor_i, factor_d, atol=1e-8)
+
+    def test_hopm_matches_dense(self, rng):
+        views = _whitened_views(rng, 3)
+        dense = covariance_tensor(views)
+        reference = best_rank1(
+            dense, random_state=0, warn_on_no_convergence=False
+        )
+        implicit = best_rank1_implicit(
+            CovarianceTensorOperator.from_views(views),
+            random_state=0, warn_on_no_convergence=False,
+        )
+        assert implicit.cp.weights[0] == pytest.approx(
+            reference.cp.weights[0], abs=1e-8
+        )
+        ref_cp = reference.cp.canonicalize_signs()
+        imp_cp = implicit.cp.canonicalize_signs()
+        for factor_i, factor_d in zip(imp_cp.factors, ref_cp.factors):
+            np.testing.assert_allclose(factor_i, factor_d, atol=1e-8)
+
+
+# ---------------------------------------------------------------------------
+# TCCA solver equivalence — the acceptance matrix
+# ---------------------------------------------------------------------------
+
+
+SOLVER_TOL = dict(tol=1e-10, max_iter=400, random_state=0)
+
+
+class TestTCCASolverEquivalence:
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    @pytest.mark.parametrize("rank", [1, 3])
+    @pytest.mark.parametrize("construction", ["batch", "stream"])
+    def test_implicit_matches_dense(self, rng, m, rank, construction):
+        views = _shared_signal_views(rng, m)
+        dense = TCCA(n_components=rank, solver="dense", **SOLVER_TOL).fit(
+            views
+        )
+        implicit = TCCA(n_components=rank, solver="implicit", **SOLVER_TOL)
+        if construction == "batch":
+            implicit.fit(views)
+        else:
+            implicit.fit_stream(ArrayViewStream(views, chunk_size=64))
+
+        assert dense.solver_used_ == "dense"
+        assert implicit.solver_used_ == "implicit"
+        np.testing.assert_allclose(
+            implicit.correlations_, dense.correlations_, atol=1e-8
+        )
+        for vectors_i, vectors_d in zip(
+            implicit.canonical_vectors_, dense.canonical_vectors_
+        ):
+            np.testing.assert_allclose(vectors_i, vectors_d, atol=1e-8)
+        np.testing.assert_allclose(
+            implicit.transform_combined(views),
+            dense.transform_combined(views),
+            atol=1e-8,
+        )
+
+    def test_hopm_solver_equivalence(self, rng):
+        views = _shared_signal_views(rng, 3)
+        dense = TCCA(
+            decomposition="hopm", solver="dense", **SOLVER_TOL
+        ).fit(views)
+        implicit = TCCA(
+            decomposition="hopm", solver="implicit", **SOLVER_TOL
+        ).fit(views)
+        np.testing.assert_allclose(
+            implicit.correlations_, dense.correlations_, atol=1e-8
+        )
+        for vectors_i, vectors_d in zip(
+            implicit.canonical_vectors_, dense.canonical_vectors_
+        ):
+            np.testing.assert_allclose(vectors_i, vectors_d, atol=1e-8)
+
+    def test_precomputed_operator_reused_across_ranks(self, rng):
+        views = _shared_signal_views(rng, 3)
+        state = whitened_covariance_operator(views, 1e-2)
+        assert state.has_operator and not state.has_tensor
+        for rank in (1, 2):
+            model = TCCA(
+                n_components=rank, solver="implicit", **SOLVER_TOL
+            ).fit(views, precomputed=state)
+            reference = TCCA(
+                n_components=rank, solver="implicit", **SOLVER_TOL
+            ).fit(views)
+            np.testing.assert_allclose(
+                model.transform_combined(views),
+                reference.transform_combined(views),
+                atol=1e-10,
+            )
+
+    def test_streaming_operator_state_matches_batch(self, rng):
+        views = _shared_signal_views(rng, 3)
+        batch = whitened_covariance_operator(views, 1e-2)
+        streamed = whitened_covariance_operator_streaming(
+            ArrayViewStream(views, chunk_size=50), 1e-2
+        )
+        for mean_b, mean_s in zip(batch.means, streamed.means):
+            np.testing.assert_allclose(mean_b, mean_s, atol=1e-10)
+        for whitener_b, whitener_s in zip(
+            batch.whiteners, streamed.whiteners
+        ):
+            np.testing.assert_allclose(whitener_b, whitener_s, atol=1e-10)
+        assert streamed.operator.frobenius_norm_sq() == pytest.approx(
+            batch.operator.frobenius_norm_sq(), rel=1e-10
+        )
+
+
+# ---------------------------------------------------------------------------
+# Solver selection and validation
+# ---------------------------------------------------------------------------
+
+
+class TestSolverSelection:
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(ValidationError):
+            TCCA(solver="magic")
+
+    def test_power_with_implicit_rejected(self):
+        with pytest.raises(ValidationError):
+            TCCA(decomposition="power", solver="implicit")
+
+    def test_auto_resolution_by_budget(self):
+        assert resolve_tcca_solver("auto", (6, 5, 4)) == "dense"
+        assert resolve_tcca_solver("auto", (500, 500, 500)) == "implicit"
+        assert (
+            resolve_tcca_solver("auto", (500, 500, 500), "power") == "dense"
+        )
+        # The entry count is exact Python arithmetic: dims whose product
+        # overflows int64 (here 2**64) must still resolve implicit, not
+        # wrap around to a small number and pick dense.
+        assert resolve_tcca_solver("auto", (65536,) * 4) == "implicit"
+        with pytest.raises(ValidationError):
+            resolve_tcca_solver("magic", (6, 5, 4))
+
+    def test_auto_picks_implicit_past_budget(self, rng, monkeypatch):
+        views = _shared_signal_views(rng, 3)
+        monkeypatch.setattr(
+            tcca_module, "AUTO_SOLVER_DENSE_BUDGET", 8
+        )
+        model = TCCA(n_components=1, random_state=0).fit(views)
+        assert model.solver_used_ == "implicit"
+
+    def test_auto_adapts_to_precomputed_form(self, rng, monkeypatch):
+        views = _shared_signal_views(rng, 3)
+        dense_state = whitened_covariance_tensor(views, 1e-2)
+        # auto resolves to implicit (tiny budget) but the state only has
+        # the dense tensor: fall back instead of failing.
+        monkeypatch.setattr(tcca_module, "AUTO_SOLVER_DENSE_BUDGET", 8)
+        model = TCCA(n_components=1, random_state=0).fit(
+            views, precomputed=dense_state
+        )
+        assert model.solver_used_ == "dense"
+        operator_state = whitened_covariance_operator(views, 1e-2)
+        monkeypatch.setattr(
+            tcca_module, "AUTO_SOLVER_DENSE_BUDGET", 2**24
+        )
+        model = TCCA(n_components=1, random_state=0).fit(
+            views, precomputed=operator_state
+        )
+        assert model.solver_used_ == "implicit"
+
+    def test_auto_power_with_operator_only_state_rejected(
+        self, rng, monkeypatch
+    ):
+        # power has no implicit form; auto must not silently flip to the
+        # operator when the dense tensor is missing — it raises a clear
+        # "needs the dense tensor" error instead.
+        views = _shared_signal_views(rng, 3)
+        operator_state = whitened_covariance_operator(views, 1e-2)
+        monkeypatch.setattr(tcca_module, "AUTO_SOLVER_DENSE_BUDGET", 8)
+        with pytest.raises(ValidationError, match="dense tensor"):
+            TCCA(decomposition="power", solver="auto").fit(
+                views, precomputed=operator_state
+            )
+
+    def test_explicit_solver_mismatched_state_rejected(self, rng):
+        views = _shared_signal_views(rng, 3)
+        dense_state = whitened_covariance_tensor(views, 1e-2)
+        operator_state = whitened_covariance_operator(views, 1e-2)
+        with pytest.raises(ValidationError):
+            TCCA(solver="implicit").fit(views, precomputed=dense_state)
+        with pytest.raises(ValidationError):
+            TCCA(solver="dense").fit(views, precomputed=operator_state)
+
+    def test_whitened_tensor_needs_a_form(self):
+        with pytest.raises(ValidationError):
+            tcca_module.WhitenedTensor(means=[], whiteners=[], epsilon=0.1)
+
+    def test_solver_in_params_roundtrip(self):
+        model = TCCA(n_components=2, solver="implicit")
+        assert model.get_params()["solver"] == "implicit"
+        clone = TCCA.from_config(model.to_config())
+        assert clone.solver == "implicit"
+
+
+# ---------------------------------------------------------------------------
+# Persistence of an implicit-fitted model
+# ---------------------------------------------------------------------------
+
+
+class TestImplicitPersistence:
+    def test_save_load_roundtrip(self, rng, tmp_path):
+        views = _shared_signal_views(rng, 3)
+        model = TCCA(
+            n_components=2, solver="implicit", random_state=0
+        ).fit(views)
+        path = tmp_path / "implicit.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert isinstance(loaded, TCCA)
+        assert loaded.solver == "implicit"
+        assert loaded.solver_used_ == "implicit"
+        assert loaded.covariance_tensor_shape_ == (6, 5, 4)
+        np.testing.assert_allclose(
+            loaded.transform_combined(views),
+            model.transform_combined(views),
+            atol=1e-12,
+        )
