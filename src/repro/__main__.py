@@ -16,6 +16,14 @@ and transform / predict from the saved file later::
     python -m repro transform model.npz --synthetic 240
     python -m repro predict model.npz --synthetic 240
 
+Incremental serving loop — fit with ``--incremental`` so the model file
+carries its accumulated moment state, then fold new data into it without
+ever refitting from scratch (warm-started refresh)::
+
+    python -m repro fit tcca --incremental --synthetic 400 --out model.npz
+    python -m repro update model.npz --data new_batch.npz
+    python -m repro update model.npz --data later_batch.npz --out v2.npz
+
 Data files (``--data``) are ``.npz`` archives with one ``(d_p, N)`` array
 per view under ``view0``, ``view1``, … and an optional length-``N``
 ``labels`` array; ``--synthetic N --seed S`` draws the same
@@ -184,10 +192,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="classifier constructor parameter (repeatable)",
     )
     fit_parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help="fit via partial_fit so the saved model carries its "
+        "accumulated moments and can be grown later with `repro update`",
+    )
+    fit_parser.add_argument(
         "--out",
         required=True,
         metavar="MODEL.npz",
         help="where to write the model file",
+    )
+
+    update_parser = subparsers.add_parser(
+        "update",
+        help="fold new data into a saved incremental model "
+        "(partial_fit: merge moments, re-whiten, warm-started re-solve)",
+    )
+    update_parser.add_argument(
+        "model", metavar="MODEL.npz",
+        help="model file written by `fit --incremental` (or a previous "
+        "update)",
+    )
+    _add_data_arguments(update_parser)
+    update_parser.add_argument(
+        "--out",
+        metavar="MODEL.npz",
+        help="where to write the updated model (default: overwrite the "
+        "input file)",
     )
 
     transform_parser = subparsers.add_parser(
@@ -283,6 +315,11 @@ def _command_fit(args, parser: argparse.ArgumentParser) -> int:
             "command feeds a multi-view dataset — use a multi-view "
             "reducer (e.g. tcca, cca, lscca, maxvar, dse, ssmvd)"
         )
+    if args.incremental and not hasattr(reducer, "partial_fit"):
+        parser.error(
+            f"{args.reducer!r} has no partial_fit; --incremental needs an "
+            "incremental reducer (e.g. tcca)"
+        )
     if args.classifier is not None:
         if labels is None:
             parser.error(
@@ -293,16 +330,72 @@ def _command_fit(args, parser: argparse.ArgumentParser) -> int:
             reducer,
             args.classifier,
             classifier_params=dict(args.classifier_param),
-        ).fit(views, labels)
+        )
+        if args.incremental:
+            model.partial_fit(views, labels)
+        else:
+            model.fit(views, labels)
         kind = f"pipeline[{args.reducer} -> {args.classifier}]"
     else:
         if args.classifier_param:
             parser.error("--classifier-param requires --classifier")
-        model = reducer.fit(views)
+        model = (
+            reducer.partial_fit(views)
+            if args.incremental
+            else reducer.fit(views)
+        )
         kind = args.reducer
     save_model(model, args.out)
     n = views[0].shape[1]
-    print(f"fitted {kind} on {len(views)} views x {n} samples -> {args.out}")
+    mode = " (incremental)" if args.incremental else ""
+    print(
+        f"fitted {kind} on {len(views)} views x {n} samples{mode} "
+        f"-> {args.out}"
+    )
+    return 0
+
+
+def _command_update(args, parser: argparse.ArgumentParser) -> int:
+    from repro.api import MultiviewPipeline, load_model, save_model
+
+    views, labels = _load_dataset(args, parser)
+    model = load_model(args.model)
+    if isinstance(model, MultiviewPipeline):
+        if labels is None:
+            parser.error(
+                "updating a pipeline model needs labels (a 'labels' array "
+                "in --data, or --synthetic data)"
+            )
+        reducer = model.reducer
+        if getattr(reducer, "moments_", None) is None:
+            parser.error(
+                f"{args.model} was not fitted incrementally; refit it "
+                "with `repro fit --incremental` to make it updatable"
+            )
+        model.partial_fit(views, labels)
+        moments = reducer.moments_
+    else:
+        if not hasattr(model, "partial_fit"):
+            parser.error(
+                f"{type(model).__name__} models cannot be updated "
+                "incrementally"
+            )
+        if getattr(model, "moments_", None) is None:
+            parser.error(
+                f"{args.model} was not fitted incrementally; refit it "
+                "with `repro fit --incremental` to make it updatable"
+            )
+        model.partial_fit(views)
+        moments = model.moments_
+        reducer = model
+    out = args.out or args.model
+    save_model(model, out)
+    result = getattr(reducer, "decomposition_result_", None)
+    sweeps = "" if result is None else f" in {result.n_iterations} sweeps"
+    print(
+        f"folded {views[0].shape[1]} new samples into {args.model} "
+        f"({moments.n_samples} accumulated){sweeps} -> {out}"
+    )
     return 0
 
 
@@ -388,9 +481,10 @@ def main(argv=None) -> int:
         return 0
     if args.command == "estimators":
         return _command_estimators()
-    if args.command in ("fit", "transform", "predict"):
+    if args.command in ("fit", "update", "transform", "predict"):
         handler = {
             "fit": _command_fit,
+            "update": _command_update,
             "transform": _command_transform,
             "predict": _command_predict,
         }[args.command]

@@ -36,7 +36,11 @@ __all__ = [
 
 MODEL_FORMAT = "repro-model"
 PIPELINE_FORMAT = "repro-pipeline"
-MODEL_FORMAT_VERSION = 1
+#: version 2 (this library): fitted attributes may carry accumulated
+#: moment state (``kind: "moments"``) so incremental ``partial_fit``
+#: sessions resume across save/load; version-1 files (no moments) load
+#: unchanged, older readers refuse version-2 files explicitly.
+MODEL_FORMAT_VERSION = 2
 _HEADER_KEY = "__repro_header__"
 
 
@@ -56,9 +60,21 @@ def _to_jsonable(value):
 
 def _encode_value(attr: str, value, prefix: str):
     """``(schema entry, arrays)`` for one fitted attribute."""
+    from repro.core.engine import MomentState
+
     key = prefix + attr
     if isinstance(value, np.ndarray):
         return {"kind": "array"}, {key: value}
+    if isinstance(value, MomentState):
+        meta, state_arrays = value.state_dict()
+        entry = {
+            "kind": "moments",
+            "meta": meta,
+            "arrays": sorted(state_arrays),
+        }
+        return entry, {
+            f"{key}.{name}": array for name, array in state_arrays.items()
+        }
     if (
         isinstance(value, (list, tuple))
         and value
@@ -93,6 +109,13 @@ def _decode_value(entry: dict, attr: str, payload, prefix: str):
     if kind == "arrays":
         items = [payload[f"{key}.{i}"] for i in range(entry["length"])]
         return tuple(items) if entry.get("sequence") == "tuple" else items
+    if kind == "moments":
+        from repro.core.engine import MomentState
+
+        return MomentState.from_state_dict(
+            entry["meta"],
+            {name: payload[f"{key}.{name}"] for name in entry["arrays"]},
+        )
     if kind == "json":
         value = entry["value"]
         if entry.get("sequence") == "tuple" and isinstance(value, list):

@@ -107,9 +107,60 @@ class MultiviewPipeline:
     def fit(self, views, labels) -> "MultiviewPipeline":
         """Fit reducer and classifier on ``(d_p, N)`` views + ``N`` labels."""
         views = self._preprocess(views)
-        labels = np.asarray(labels)
+        labels = self._check_labels(views, labels)
         features = self.reducer.fit_transform_combined(views)
         self.classifier.fit(features, labels)
+        self._replay = None
+        self.n_views_ = len(views)
+        return self
+
+    @staticmethod
+    def _check_labels(views, labels) -> np.ndarray:
+        labels = np.asarray(labels)
+        if labels.shape[0] != views[0].shape[1]:
+            raise ValidationError(
+                f"got {labels.shape[0]} labels for {views[0].shape[1]} "
+                "samples"
+            )
+        return labels
+
+    def partial_fit(self, views, labels) -> "MultiviewPipeline":
+        """Fold a labeled minibatch into the pipeline incrementally.
+
+        The reducer must support ``partial_fit`` (e.g. TCCA): the
+        minibatch folds into its accumulated moments and the subspace
+        refreshes warm-started. The classifiers are not incremental, so
+        the pipeline keeps a labeled replay buffer (every minibatch seen
+        by ``partial_fit``, ``O(N_labeled)`` memory) and refits the
+        classifier on the re-projected buffer after each refresh — after
+        every call the pipeline predicts with a model consistent with
+        *all* labeled data seen so far. The buffer is saved with the
+        pipeline, so ``python -m repro update`` continues a session
+        across processes. (With an implicit-solver reducer, whose own
+        moment state also retains the samples, the session therefore
+        holds the labeled data twice — acceptable while labeled data is
+        the small fraction, which is the incremental serving regime.)
+        """
+        from repro.core.engine import SampleStore
+
+        views = self._preprocess(views)
+        labels = self._check_labels(views, labels)
+        if not hasattr(self.reducer, "partial_fit"):
+            raise ValidationError(
+                f"{type(self.reducer).__name__} has no partial_fit; "
+                "incremental pipelines need an incremental reducer "
+                "(e.g. tcca)"
+            )
+        replay = getattr(self, "_replay", None)
+        if replay is None:
+            replay = (SampleStore(), [])
+            self._replay = replay
+        store, label_batches = replay
+        self.reducer.partial_fit(views)
+        store.add(views)
+        label_batches.append(labels)
+        features = self.reducer.transform_combined(store.views)
+        self.classifier.fit(features, np.concatenate(label_batches))
         self.n_views_ = len(views)
         return self
 
@@ -119,10 +170,29 @@ class MultiviewPipeline:
                 "MultiviewPipeline must be fitted before use"
             )
 
-    def transform(self, views) -> np.ndarray:
-        """The ``(N, m·r)`` representation the classifier consumes."""
+    def transform(self, views, *, chunk_size: int | None = None) -> np.ndarray:
+        """The ``(N, m·r)`` representation the classifier consumes.
+
+        ``chunk_size`` forwards to reducers whose ``transform`` is
+        memory-bounded over sample slices (e.g. TCCA), so projecting a
+        very large ``N`` never materializes more than one slice of
+        centered intermediates.
+        """
         self._check_fitted()
-        return self.reducer.transform_combined(self._preprocess(views))
+        views = self._preprocess(views)
+        if chunk_size is None:
+            return self.reducer.transform_combined(views)
+        import inspect
+
+        signature = inspect.signature(self.reducer.transform)
+        if "chunk_size" not in signature.parameters:
+            raise ValidationError(
+                f"{type(self.reducer).__name__}.transform does not "
+                "support chunk_size"
+            )
+        return np.hstack(
+            self.reducer.transform(views, chunk_size=chunk_size)
+        )
 
     def predict(self, views) -> np.ndarray:
         """Predicted labels for new multi-view samples."""
@@ -152,7 +222,17 @@ class MultiviewPipeline:
             "reducer": reducer_header,
             "classifier": classifier_header,
         }
-        write_archive(path, header, {**arrays, **classifier_arrays})
+        replay_arrays = {}
+        replay = getattr(self, "_replay", None)
+        if replay is not None and replay[0].n_samples > 0:
+            store, label_batches = replay
+            for index, view in enumerate(store.views):
+                replay_arrays[f"replay:view{index}"] = view
+            replay_arrays["replay:labels"] = np.concatenate(label_batches)
+            header["replay_views"] = len(store.dims)
+        write_archive(
+            path, header, {**arrays, **classifier_arrays, **replay_arrays}
+        )
         return path
 
     @classmethod
@@ -168,6 +248,17 @@ class MultiviewPipeline:
         )
         if header.get("n_views") is not None:
             pipeline.n_views_ = int(header["n_views"])
+        if header.get("replay_views"):
+            from repro.core.engine import SampleStore
+
+            store = SampleStore()
+            store.add(
+                [
+                    payload[f"replay:view{index}"]
+                    for index in range(int(header["replay_views"]))
+                ]
+            )
+            pipeline._replay = (store, [payload["replay:labels"]])
         return pipeline
 
     @classmethod

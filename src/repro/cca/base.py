@@ -17,7 +17,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from repro.exceptions import NotFittedError, ValidationError
+from repro.exceptions import NotFittedError, ShapeError, ValidationError
 from repro.utils.validation import check_views
 
 __all__ = ["MultiviewTransformer", "ParamsMixin"]
@@ -114,6 +114,28 @@ class ParamsMixin:
             "params": dict(self.get_params()),
         }
 
+    def __repr__(self) -> str:
+        """``ClassName(param=value, …)`` showing only non-default params.
+
+        The params protocol makes this exact for every registered
+        estimator: a log line reads ``TCCA(n_components=5, epsilon=0.1)``
+        instead of ``<repro.core.tcca.TCCA object at 0x…>``, and an
+        all-default estimator prints as a bare ``TCCA()``.
+        """
+        signature = inspect.signature(type(self).__init__)
+        parts = []
+        for name in self._param_names():
+            value = getattr(self, name, signature.parameters[name].default)
+            default = signature.parameters[name].default
+            if default is not inspect.Parameter.empty:
+                try:
+                    if bool(value == default):
+                        continue
+                except (TypeError, ValueError):
+                    pass  # incomparable (e.g. arrays): always show
+            parts.append(f"{name}={value!r}")
+        return f"{type(self).__name__}({', '.join(parts)})"
+
     @classmethod
     def from_config(cls, config: dict) -> "ParamsMixin":
         """Rebuild an (unfitted) estimator from :meth:`to_config` output."""
@@ -167,15 +189,21 @@ class MultiviewTransformer(ParamsMixin, ABC):
             )
 
     def _check_transform_views(self, views, dims) -> list[np.ndarray]:
-        """Validate transform-time views against fit-time dimensions."""
+        """Validate transform-time views against fit-time dimensions.
+
+        Raises a :class:`~repro.exceptions.ShapeError` naming the
+        offending view and both dimensions — instead of letting a
+        mismatched matrix reach an opaque einsum/matmul broadcast error
+        deep inside the projection.
+        """
         views = check_views(views, min_views=1)
         if len(views) != len(dims):
-            raise ValidationError(
+            raise ShapeError(
                 f"fitted on {len(dims)} views but got {len(views)}"
             )
         for index, (view, dim) in enumerate(zip(views, dims)):
             if view.shape[0] != dim:
-                raise ValidationError(
+                raise ShapeError(
                     f"views[{index}] has {view.shape[0]} features but the "
                     f"transformer was fitted with {dim}"
                 )

@@ -1,6 +1,21 @@
-"""The paper's primary contribution: TCCA and its kernel extension KTCCA."""
+"""The paper's primary contribution: TCCA and its kernel extension KTCCA.
 
+:mod:`repro.core.engine` holds the staged fit engine
+(``ingest → moments → whiten → build → decompose → finalize``) both
+estimators run on; :class:`~repro.core.engine.MomentState` is its
+mergeable, serializable sufficient-statistic state — the thing
+:meth:`TCCA.partial_fit` accumulates into and model files persist.
+"""
+
+from repro.core.engine import DecompositionSpec, MomentState, SampleStore
 from repro.core.tcca import TCCA, multiview_canonical_correlation
 from repro.core.ktcca import KTCCA
 
-__all__ = ["KTCCA", "TCCA", "multiview_canonical_correlation"]
+__all__ = [
+    "DecompositionSpec",
+    "KTCCA",
+    "MomentState",
+    "SampleStore",
+    "TCCA",
+    "multiview_canonical_correlation",
+]

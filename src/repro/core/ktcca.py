@@ -22,14 +22,10 @@ import numpy as np
 from repro.api.registry import register
 from repro.cca.base import MultiviewTransformer
 from repro.cca.kcca import pls_cholesky
+from repro.core import engine
 from repro.exceptions import NotFittedError, ValidationError
 from repro.kernels.centering import center_kernel, center_kernel_test
 from repro.linalg.covariance import covariance_tensor
-from repro.tensor.decomposition import (
-    best_rank1,
-    cp_als,
-    tensor_power_deflation,
-)
 from repro.utils.validation import check_positive_int, check_square, check_views
 
 __all__ = ["KTCCA"]
@@ -174,44 +170,33 @@ class KTCCA(MultiviewTransformer):
         s_tensor = covariance_tensor(transformed, assume_centered=True)
         self.kernel_tensor_shape_ = s_tensor.shape
 
-        result = self._decompose(s_tensor)
-        cp = result.cp.normalize()
-        self.decomposition_result_ = result
-        self.correlations_ = cp.weights.copy()
-        self.factors_ = cp.factors
-        self.dual_vectors_ = [
-            np.linalg.solve(factor, b)
-            for factor, b in zip(factors, cp.factors)
-        ]
-        self._fitted_kernels = kernels
-        self.n_views_ = len(views)
-        return self
-
-    def _decompose(self, s_tensor: np.ndarray):
-        if self.decomposition == "als":
-            return cp_als(
-                s_tensor,
-                self.n_components,
-                max_iter=self.max_iter,
-                tol=self.tol,
-                random_state=self.random_state,
-                warn_on_no_convergence=False,
-            )
-        if self.decomposition == "hopm":
-            return best_rank1(
-                s_tensor,
-                max_iter=self.max_iter,
-                tol=self.tol,
-                random_state=self.random_state,
-                warn_on_no_convergence=False,
-            )
-        return tensor_power_deflation(
-            s_tensor,
-            self.n_components,
+        # The rank-r problem on S runs through the same engine stages as
+        # TCCA: one shared decompose dispatch, one shared finalize. Only
+        # the per-view back-map differs — the dual coefficients are
+        # A_p = L_p^{-1} B_p, i.e. a triangular solve against the
+        # Cholesky factors instead of a whitener matmul — and the CP
+        # signs are left as solved (KTCCA's contract since PR 0).
+        spec = engine.DecompositionSpec(
+            method=self.decomposition,
+            rank=self.n_components,
             max_iter=self.max_iter,
             tol=self.tol,
             random_state=self.random_state,
         )
+        result = engine.decompose_stage(spec, tensor=s_tensor)
+        finalized = engine.finalize_stage(
+            result,
+            factors,
+            apply=np.linalg.solve,
+            canonicalize_signs=False,
+        )
+        self.decomposition_result_ = result
+        self.correlations_ = finalized.correlations
+        self.factors_ = finalized.factors
+        self.dual_vectors_ = finalized.canonical_vectors
+        self._fitted_kernels = kernels
+        self.n_views_ = len(views)
+        return self
 
     def transform(self, views) -> list[np.ndarray]:
         """Project new data; accepts cross-kernel blocks or raw views."""

@@ -16,6 +16,14 @@ projections (:mod:`repro.tensor.operator`), so high-dimensional views fit
 without the tensor ever existing. ``solver="auto"`` picks per problem
 size.
 
+Every fit — batch, streamed, precomputed, or incremental — runs through
+the staged engine in :mod:`repro.core.engine`
+(``ingest → moments → whiten → build → decompose → finalize``).
+:meth:`TCCA.partial_fit` keeps the engine's mergeable
+:class:`~repro.core.engine.MomentState` in the fitted model, so new
+minibatches fold into the moments and the CP solve warm-starts from the
+previous factors instead of refitting from scratch.
+
 The per-view projections ``Z_p = X_p^T C̃_pp^{-1/2} U_p`` (Eq. 4.11) are
 concatenated into the final ``(m·r)``-dimensional representation.
 """
@@ -28,19 +36,17 @@ import numpy as np
 
 from repro.api.registry import register
 from repro.cca.base import MultiviewTransformer
-from repro.exceptions import ValidationError
-from repro.linalg.covariance import covariance_tensor, view_covariance
-from repro.linalg.whitening import regularized_inverse_sqrt
-from repro.streaming.covariance import StreamingCovariance
-from repro.streaming.views import as_view_stream, iter_validated_chunks
-from repro.tensor.decomposition import (
-    best_rank1,
-    best_rank1_implicit,
-    cp_als,
-    cp_als_implicit,
-    tensor_power_deflation,
+from repro.core import engine
+from repro.core.engine import (
+    MomentState,
+    WhitenedTensor,
+    whitened_covariance_operator,
+    whitened_covariance_operator_streaming,
+    whitened_covariance_tensor,
+    whitened_covariance_tensor_streaming,
 )
-from repro.tensor.operator import CovarianceTensorOperator
+from repro.exceptions import ValidationError
+from repro.streaming.views import as_view_stream
 from repro.utils.validation import check_positive_int, check_views
 
 __all__ = [
@@ -82,178 +88,6 @@ def resolve_tcca_solver(solver: str, dims, decomposition: str = "als") -> str:
         return "dense"
     n_entries = math.prod(int(d) for d in dims)  # exact — never wraps
     return "implicit" if n_entries > AUTO_SOLVER_DENSE_BUDGET else "dense"
-
-
-class WhitenedTensor:
-    """Precomputed whitening state shared by TCCA fits of different ranks.
-
-    Building the whitened covariance tensor ``M`` is the dominant cost of a
-    TCCA fit and is independent of ``n_components``; computing it once and
-    passing it to several ``TCCA.fit(views, precomputed=...)`` calls
-    amortizes it across a dimension sweep. The state carries ``M`` in one
-    (or both) of two forms:
-
-    * ``tensor`` — the dense ``∏ d_p`` array
-      (:func:`whitened_covariance_tensor`), consumed by the dense solver;
-    * ``operator`` — a
-      :class:`~repro.tensor.operator.CovarianceTensorOperator`
-      (:func:`whitened_covariance_operator`), consumed by the implicit
-      solver without ``∏ d_p`` memory.
-    """
-
-    def __init__(self, means, whiteners, tensor=None, epsilon=0.0, *,
-                 operator=None):
-        if tensor is None and operator is None:
-            raise ValidationError(
-                "WhitenedTensor needs the dense tensor, the operator, or "
-                "both"
-            )
-        self.means = means
-        self.whiteners = whiteners
-        self.tensor = tensor
-        self.operator = operator
-        self.epsilon = float(epsilon)
-
-    @property
-    def dims(self) -> list[int]:
-        """Feature dimension of each view."""
-        return [whitener.shape[0] for whitener in self.whiteners]
-
-    @property
-    def has_tensor(self) -> bool:
-        """Whether the dense tensor form is available."""
-        return self.tensor is not None
-
-    @property
-    def has_operator(self) -> bool:
-        """Whether the implicit operator form is available."""
-        return self.operator is not None
-
-
-def _whitening_from_views(views, epsilon: float):
-    """Means, whiteners, and whitened views of a batch dataset."""
-    views = check_views(views, min_views=2)
-    means = [view.mean(axis=1, keepdims=True) for view in views]
-    centered = [view - mean for view, mean in zip(views, means)]
-    whiteners = [
-        regularized_inverse_sqrt(view_covariance(view), epsilon)
-        for view in centered
-    ]
-    whitened_views = [
-        whitener @ view for whitener, view in zip(whiteners, centered)
-    ]
-    return means, whiteners, whitened_views
-
-
-def whitened_covariance_tensor(views, epsilon: float) -> WhitenedTensor:
-    """Compute the whitening state and dense tensor ``M`` (Theorem 2).
-
-    ``M = C ×_1 C̃_11^{-1/2} … ×_m C̃_mm^{-1/2}`` equals the covariance
-    tensor of the whitened views, so ``C`` itself is never materialized.
-    """
-    means, whiteners, whitened_views = _whitening_from_views(views, epsilon)
-    tensor = covariance_tensor(whitened_views)
-    return WhitenedTensor(
-        means=means, whiteners=whiteners, tensor=tensor, epsilon=epsilon
-    )
-
-
-def whitened_covariance_operator(views, epsilon: float) -> WhitenedTensor:
-    """Whitening state with ``M`` as an implicit operator — no ``∏ d_p``.
-
-    The tensor-free counterpart of :func:`whitened_covariance_tensor`:
-    identical means and whiteners, but ``M`` is represented by a
-    :class:`~repro.tensor.operator.CovarianceTensorOperator` over the
-    whitened views, so peak memory stays ``O(Σ d_p (d_p + N))`` however
-    large ``∏ d_p`` grows.
-    """
-    means, whiteners, whitened_views = _whitening_from_views(views, epsilon)
-    operator = CovarianceTensorOperator.from_views(whitened_views)
-    return WhitenedTensor(
-        means=means, whiteners=whiteners, operator=operator, epsilon=epsilon
-    )
-
-
-def _streaming_whitening_pass(stream, epsilon: float):
-    """First stream pass: exact means and whiteners per view."""
-    statistics = [StreamingCovariance() for _ in range(stream.n_views)]
-    for chunks in iter_validated_chunks(stream):
-        for accumulator, chunk in zip(statistics, chunks):
-            accumulator.update(chunk)
-    means = [accumulator.mean.reshape(-1, 1) for accumulator in statistics]
-    whiteners = [
-        regularized_inverse_sqrt(accumulator.covariance(), epsilon)
-        for accumulator in statistics
-    ]
-    return means, whiteners
-
-
-def whitened_covariance_tensor_streaming(
-    stream, epsilon: float, *, chunk_size: int | None = None
-) -> WhitenedTensor:
-    """Out-of-core version of :func:`whitened_covariance_tensor`.
-
-    Makes two passes over a :class:`~repro.streaming.views.ViewStream`
-    (or anything :func:`~repro.streaming.views.as_view_stream` accepts):
-
-    1. per-view :class:`~repro.streaming.covariance.StreamingCovariance`
-       accumulators collect exact means and covariances ``C_pp``, from
-       which the whiteners ``C̃_pp^{-1/2}`` are built;
-    2. each chunk is centered with the exact means, whitened, and fed to a
-       :class:`~repro.streaming.covariance.StreamingCovarianceTensor`
-       that assembles ``M`` — the covariance tensor of the whitened views.
-
-    Peak accumulation memory is ``∏ d_p`` plus one chunk, independent of
-    ``N``; the result matches the batch path to floating-point round-off,
-    so downstream CP solves agree to tight tolerance.
-    """
-    from repro.streaming.covariance import StreamingCovarianceTensor
-
-    stream = as_view_stream(stream, chunk_size)
-    means, whiteners = _streaming_whitening_pass(stream, epsilon)
-    dims = tuple(whitener.shape[0] for whitener in whiteners)
-    accumulator = StreamingCovarianceTensor(
-        dims=dims,
-        center=False,
-        shifts=[0.0] * len(dims),
-        track_view_covariances=False,
-    )
-    for chunks in iter_validated_chunks(stream):
-        accumulator.update(
-            [
-                whitener @ (np.asarray(chunk, dtype=np.float64) - mean)
-                for whitener, chunk, mean in zip(whiteners, chunks, means)
-            ]
-        )
-    return WhitenedTensor(
-        means=means,
-        whiteners=whiteners,
-        tensor=accumulator.tensor(),
-        epsilon=epsilon,
-    )
-
-
-def whitened_covariance_operator_streaming(
-    stream, epsilon: float, *, chunk_size: int | None = None
-) -> WhitenedTensor:
-    """Fully out-of-core whitening state: stream-backed implicit ``M``.
-
-    One pass builds exact means and whiteners
-    (:class:`~repro.streaming.covariance.StreamingCovariance`); ``M`` is
-    then represented by a stream-backed
-    :class:`~repro.tensor.operator.CovarianceTensorOperator` that
-    re-whitens chunks on the fly during each solver contraction. Nothing
-    sized ``∏ d_p`` *or* ``N`` is ever resident — the end-to-end
-    out-of-core path for views too wide for the dense tensor.
-    """
-    stream = as_view_stream(stream, chunk_size)
-    means, whiteners = _streaming_whitening_pass(stream, epsilon)
-    operator = CovarianceTensorOperator.from_stream(
-        stream, whiteners=whiteners, means=means
-    )
-    return WhitenedTensor(
-        means=means, whiteners=whiteners, operator=operator, epsilon=epsilon
-    )
 
 
 def multiview_canonical_correlation(views, canonical_vectors) -> float:
@@ -330,6 +164,11 @@ class TCCA(MultiviewTransformer):
         implicit solver avoids paying).
     solver_used_:
         ``"dense"`` or ``"implicit"`` — the resolved solver of this fit.
+    moments_:
+        Only after :meth:`partial_fit`: the mergeable
+        :class:`~repro.core.engine.MomentState` the incremental session
+        accumulates into. Persisted by :func:`repro.api.save_model`, so a
+        reloaded model resumes exactly where it stopped.
     """
 
     #: derived solver output that transform never reads — not persisted.
@@ -378,6 +217,10 @@ class TCCA(MultiviewTransformer):
     def fit(self, views, *, precomputed: WhitenedTensor | None = None) -> "TCCA":
         """Learn canonical vectors from ``m >= 2`` views of shape ``(d_p, N)``.
 
+        A one-shot fit: any incremental accumulator state from a previous
+        :meth:`partial_fit` session is discarded (the fitted model then
+        reflects exactly ``views``).
+
         Parameters
         ----------
         views:
@@ -403,6 +246,7 @@ class TCCA(MultiviewTransformer):
         else:
             self._check_precomputed(precomputed, dims)
             solver = self._solver_for_precomputed(precomputed, solver)
+        self._reset_incremental()
         return self._finish_fit(precomputed, dims, solver)
 
     def fit_stream(
@@ -458,7 +302,113 @@ class TCCA(MultiviewTransformer):
         else:
             self._check_precomputed(precomputed, dims)
             solver = self._solver_for_precomputed(precomputed, solver)
+        self._reset_incremental()
         return self._finish_fit(precomputed, dims, solver)
+
+    def partial_fit(self, views) -> "TCCA":
+        """Fold a minibatch into the accumulated moments and refresh the fit.
+
+        The incremental entry point of the staged engine: ``views`` (a
+        list of aligned ``(d_p, n_batch)`` arrays, ``n_batch`` as small as
+        one sample) is ingested into the model's mergeable
+        :class:`~repro.core.engine.MomentState`, the whiteners are rebuilt
+        from the updated moments, and the CP decomposition re-solves
+        **warm-started** from the previous factors — near the previous
+        optimum this re-converges in a small fraction of a cold refit's
+        sweeps. After every call the model is fully fitted on *all*
+        samples seen by the session, matching a cold :meth:`fit` on the
+        concatenated data to tight tolerance.
+
+        The first call starts the session and fixes its geometry (view
+        dimensions) and resolved solver. With the dense solver the state
+        is the raw covariance tensor's moments — ``O(∏ d_p)``, independent
+        of the sample count; with the implicit solver nothing
+        ``∏ d_p``-sized exists and the state instead retains the ingested
+        samples (``O(N · Σ d_p)``) plus per-view moments. The state is
+        saved with the model (:func:`repro.api.save_model`), so a reloaded
+        model resumes accumulating exactly where it stopped — the
+        ``python -m repro update`` loop.
+
+        A previous one-shot :meth:`fit` does **not** seed the session:
+        its data is no longer available as moments, so the first
+        :meth:`partial_fit` after it starts an empty session (a fresh
+        model fitted on the minibatches seen from now on).
+        """
+        views = check_views(views, min_views=2)
+        dims = [view.shape[0] for view in views]
+        moments = getattr(self, "moments_", None)
+        if moments is None:
+            self._check_rank(dims)
+            solver = resolve_tcca_solver(
+                self.solver, dims, self.decomposition
+            )
+            moments = MomentState(
+                track_tensor=(solver == "dense"),
+                retain_samples=(solver == "implicit"),
+                dims=dims,
+            )
+            self.moments_ = moments
+            # A brand-new session solves cold: factors_ possibly left by
+            # a previous one-shot fit belong to data these moments do not
+            # contain, and seeding ALS with them would pull the fresh
+            # session toward an unrelated optimum.
+            factors_init = None
+        else:
+            if list(moments.dims) != dims:
+                raise ValidationError(
+                    f"minibatch dimensions {dims} do not match the "
+                    f"accumulated moments' {list(moments.dims)}"
+                )
+            solver = self._solver_for_moments(moments)
+            factors_init = self._warm_factors(dims)
+        engine.ingest_stage(moments, views)
+        whitening = engine.whiten_stage(moments, self.epsilon)
+        precomputed = engine.build_stage(moments, whitening, solver)
+        return self._finish_fit(
+            precomputed, dims, solver, factors_init=factors_init
+        )
+
+    def _reset_incremental(self) -> None:
+        """Drop any partial_fit session state (one-shot fits replace it)."""
+        if hasattr(self, "moments_"):
+            del self.moments_
+
+    def _solver_for_moments(self, moments: MomentState) -> str:
+        """The solver an accumulated moment state can serve.
+
+        The session's resolved solver is implied by the moment policy; an
+        explicit ``solver`` parameter that contradicts it (e.g. changed
+        via ``set_params`` after the session started, or after loading)
+        is an error rather than a silent restart.
+        """
+        solver = "dense" if moments.track_tensor else "implicit"
+        if self.solver not in ("auto", solver):
+            raise ValidationError(
+                f"solver={self.solver!r} cannot resume a partial_fit "
+                f"session accumulated for the {solver!r} solver; keep "
+                "the session's solver (or refit from scratch)"
+            )
+        return solver
+
+    def _warm_factors(self, dims) -> list[np.ndarray] | None:
+        """Previous factors, if they can warm-start the next solve."""
+        factors = getattr(self, "factors_", None)
+        if factors is None or self.decomposition == "power":
+            return None
+        if len(dims) == 2:
+            # For m=2 the whitened tensor is a matrix, whose rank-r CP has
+            # a continuum of equivalent factorizations; warm factors would
+            # converge to an arbitrary mix instead of the SVD-canonical
+            # solution the HOSVD init lands on directly (the init *is* the
+            # optimum there, so a cold start already converges in a couple
+            # of sweeps).
+            return None
+        if len(factors) != len(dims):
+            return None
+        for factor, dim in zip(factors, dims):
+            if factor.shape != (int(dim), self.n_components):
+                return None
+        return [np.array(factor, copy=True) for factor in factors]
 
     def _check_rank(self, dims) -> None:
         max_rank = min(dims)
@@ -522,92 +472,75 @@ class TCCA(MultiviewTransformer):
         return resolved
 
     def _finish_fit(
-        self, precomputed: WhitenedTensor, dims, solver: str
+        self,
+        precomputed: WhitenedTensor,
+        dims,
+        solver: str,
+        *,
+        factors_init=None,
     ) -> "TCCA":
         """Decompose the whitened tensor and set the fitted attributes."""
         self.means_ = precomputed.means
-        whiteners = precomputed.whiteners
         self.covariance_tensor_shape_ = tuple(int(d) for d in dims)
         self.solver_used_ = solver
 
-        if solver == "implicit":
-            result = self._decompose_implicit(precomputed.operator)
-        else:
-            result = self._decompose(precomputed.tensor)
-        # Canonicalizing CP signs makes the fit deterministic up to
-        # round-off: batch and streaming tensor assemblies that differ in
-        # the last bit land on the same canonical vectors.
-        cp = result.cp.normalize().canonicalize_signs()
-        self.decomposition_result_ = result
-        self.correlations_ = cp.weights.copy()
-        self.factors_ = cp.factors
-        self.canonical_vectors_ = [
-            whitener @ factor
-            for whitener, factor in zip(whiteners, cp.factors)
-        ]
-        self.n_views_ = len(dims)
-        self._dims = list(dims)
-        return self
-
-    def _decompose(self, m_tensor: np.ndarray):
-        if self.decomposition == "als":
-            return cp_als(
-                m_tensor,
-                self.n_components,
-                max_iter=self.max_iter,
-                tol=self.tol,
-                random_state=self.random_state,
-                warn_on_no_convergence=False,
-            )
-        if self.decomposition == "hopm":
-            return best_rank1(
-                m_tensor,
-                max_iter=self.max_iter,
-                tol=self.tol,
-                random_state=self.random_state,
-                warn_on_no_convergence=False,
-            )
-        return tensor_power_deflation(
-            m_tensor,
-            self.n_components,
+        spec = engine.DecompositionSpec(
+            method=self.decomposition,
+            rank=self.n_components,
             max_iter=self.max_iter,
             tol=self.tol,
             random_state=self.random_state,
         )
-
-    def _decompose_implicit(self, operator: CovarianceTensorOperator):
-        if self.decomposition == "als":
-            return cp_als_implicit(
-                operator,
-                self.n_components,
-                max_iter=self.max_iter,
-                tol=self.tol,
-                random_state=self.random_state,
-                warn_on_no_convergence=False,
+        if solver == "implicit":
+            result = engine.decompose_stage(
+                spec, operator=precomputed.operator, factors_init=factors_init
             )
-        if self.decomposition == "hopm":
-            return best_rank1_implicit(
-                operator,
-                max_iter=self.max_iter,
-                tol=self.tol,
-                random_state=self.random_state,
-                warn_on_no_convergence=False,
+        else:
+            result = engine.decompose_stage(
+                spec, tensor=precomputed.tensor, factors_init=factors_init
             )
-        # Unreachable through resolve_tcca_solver / __init__ validation.
-        raise ValidationError(
-            "decomposition='power' has no implicit form"
-        )
+        finalized = engine.finalize_stage(result, precomputed.whiteners)
+        self.decomposition_result_ = result
+        self.correlations_ = finalized.correlations
+        self.factors_ = finalized.factors
+        self.canonical_vectors_ = finalized.canonical_vectors
+        self.n_views_ = len(dims)
+        self._dims = list(dims)
+        return self
 
-    def transform(self, views) -> list[np.ndarray]:
-        """Project every view: ``Z_p = X_p^T H_p`` of shape ``(N, r)``."""
+    def transform(self, views, *, chunk_size: int | None = None) -> list[np.ndarray]:
+        """Project every view: ``Z_p = X_p^T H_p`` of shape ``(N, r)``.
+
+        ``chunk_size`` bounds the projection's working memory: the views
+        are processed in sample slices of that width, so the centered
+        intermediates never exceed one slice per view — transform of a
+        very large ``N`` runs memory-bounded. The result is identical
+        (same arithmetic per sample) either way.
+        """
         self._check_fitted()
         views = self._check_transform_views(views, self._dims)
-        return [
-            (view - mean).T @ vectors
-            for view, mean, vectors in zip(
-                views, self.means_, self.canonical_vectors_
-            )
+        if chunk_size is None:
+            return [
+                (view - mean).T @ vectors
+                for view, mean, vectors in zip(
+                    views, self.means_, self.canonical_vectors_
+                )
+            ]
+        chunk_size = check_positive_int(chunk_size, "chunk_size")
+        n_samples = views[0].shape[1]
+        outputs = [
+            np.empty((n_samples, vectors.shape[1]))
+            for vectors in self.canonical_vectors_
         ]
+        for start in range(0, n_samples, chunk_size):
+            stop = min(start + chunk_size, n_samples)
+            for view, mean, vectors, output in zip(
+                views, self.means_, self.canonical_vectors_, outputs
+            ):
+                output[start:stop] = (
+                    view[:, start:stop] - mean
+                ).T @ vectors
+        return outputs
 
     def canonical_correlations(self, views) -> np.ndarray:
         """Empirical high-order correlations of each component on ``views``.

@@ -200,6 +200,49 @@ class StreamingCovariance:
         self._n += chunk.shape[1]
         return shifted
 
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the accumulator state.
+
+        Returns a flat dict of plain scalars and ``numpy`` arrays —
+        everything :meth:`from_state_dict` needs to resume accumulation
+        exactly where this instance stopped (same shift, same moments).
+        """
+        requested = self._requested_shift
+        if requested is not None and self._shift is None:
+            # Not yet allocated: keep the pending shift so a resumed
+            # accumulator applies it to its first chunk as this one would.
+            requested = np.asarray(requested, dtype=np.float64)
+        else:
+            requested = None
+        return {
+            "n": int(self._n),
+            "dim": self._dim,
+            "second_moment": self._second_moment,
+            "requested_shift": requested,
+            "shift": None if self._shift is None else self._shift.copy(),
+            "sum": None if self._sum is None else self._sum.copy(),
+            "outer": None if self._outer is None else self._outer.copy(),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "StreamingCovariance":
+        """Rebuild an accumulator from :meth:`state_dict` output."""
+        accumulator = cls(
+            dim=state["dim"],
+            shift=state.get("requested_shift"),
+            second_moment=bool(state["second_moment"]),
+        )
+        for attr, key in (
+            ("_shift", "shift"), ("_sum", "sum"), ("_outer", "outer")
+        ):
+            value = state.get(key)
+            if value is not None:
+                setattr(
+                    accumulator, attr, np.array(value, dtype=np.float64)
+                )
+        accumulator._n = int(state["n"])
+        return accumulator
+
     def merge(self, other: "StreamingCovariance") -> "StreamingCovariance":
         """Fold another accumulator's samples into this one, exactly.
 
@@ -442,6 +485,180 @@ class StreamingCovarianceTensor:
             )
         self._n += chunks[0].shape[1]
         return self
+
+    def merge(
+        self, other: "StreamingCovarianceTensor"
+    ) -> "StreamingCovarianceTensor":
+        """Fold another accumulator's samples into this one, exactly.
+
+        The map-reduce primitive for shard-parallel moment computation:
+        accumulators fed disjoint sample shards combine into the statistics
+        of the union, so ``a.merge(b).tensor()`` equals one accumulator fed
+        both shards' chunks. Centered accumulators may use different
+        stabilizing shifts — the other's shifted subset moments are
+        re-expressed around this accumulator's shifts through the same
+        multilinear expansion :meth:`tensor` uses, so the merge is exact in
+        exact arithmetic. Raw accumulators (``center=False``) carry no
+        subset statistics to correct with and therefore must share shifts.
+        """
+        if not isinstance(other, StreamingCovarianceTensor):
+            raise ValidationError(
+                f"can only merge StreamingCovarianceTensor, got "
+                f"{type(other).__name__}"
+            )
+        if self.center != other.center:
+            raise ValidationError(
+                "cannot merge accumulators with different center settings"
+            )
+        if self._track_view_covariances != other._track_view_covariances:
+            raise ValidationError(
+                "cannot merge accumulators with different "
+                "track_view_covariances settings"
+            )
+        if other._n == 0:
+            return self
+        if self._dims is not None and other._dims != self._dims:
+            raise ValidationError(
+                f"cannot merge dims {other._dims} into {self._dims}"
+            )
+        if self._n == 0:
+            # Adopt the other shard's state wholesale (shift included).
+            self._dims = other._dims
+            self._views = [
+                StreamingCovariance.from_state_dict(view.state_dict())
+                for view in other._views
+            ]
+            self._moments = {
+                subset: moment.copy()
+                for subset, moment in other._moments.items()
+            }
+            self._n = other._n
+            return self
+        # d_p = b_other − b_self: the other's shifted samples relate to
+        # ours by y_self = y_other + d.
+        deltas = [
+            theirs._shift - mine._shift
+            for mine, theirs in zip(self._views, other._views)
+        ]
+        shifted_apart = [bool(np.any(delta)) for delta in deltas]
+        if any(shifted_apart) and not self.center:
+            raise ValidationError(
+                "raw-mode (center=False) accumulators track no subset "
+                "statistics and can only be merged when their shifts "
+                "match; construct the shards with identical shifts"
+            )
+        if any(shifted_apart):
+            from repro.tensor.dense import unfold
+
+            for subset in self._moments:
+                self._moments[subset] += unfold(
+                    self._reshifted_subset_sum(subset, other, deltas), 0
+                )
+        else:
+            for subset in self._moments:
+                self._moments[subset] += other._moments[subset]
+        for mine, theirs in zip(self._views, other._views):
+            mine.merge(theirs)
+        self._n += other._n
+        return self
+
+    def _reshifted_subset_sum(self, subset, other, deltas) -> np.ndarray:
+        """``Σ_n ⊗_{p∈subset} (y'_pn + δ_p)`` from ``other``'s moments.
+
+        Expands the other shard's shifted subset sums around this
+        accumulator's shifts: every inner subset ``S ⊆ subset`` contributes
+        its moment sum ``Σ_n ⊗_{p∈S} y'_pn`` (``|S|=1`` → the per-view
+        sums, ``|S|=0`` → the count) completed with ``δ_p`` factors on the
+        remaining axes — the merge-time twin of :meth:`tensor`'s mean
+        correction. Returned folded, in ``subset``'s axis order.
+        """
+        from repro.tensor.dense import fold
+
+        total = np.zeros([self._dims[p] for p in subset])
+        for size in range(0, len(subset) + 1):
+            for inner in combinations(subset, size):
+                missing = [p for p in subset if p not in inner]
+                if any(not np.any(deltas[p]) for p in missing):
+                    continue  # a zero δ_p factor kills the whole term
+                if size >= 2:
+                    core = fold(
+                        other._moments[inner],
+                        0,
+                        [self._dims[p] for p in inner],
+                    )
+                elif size == 1:
+                    core = other._views[inner[0]]._sum
+                else:
+                    core = np.array(float(other._n))
+                term = core
+                for p in missing:
+                    term = np.multiply.outer(term, deltas[p])
+                order = list(inner) + missing
+                total += np.transpose(term, np.argsort(order))
+        return total
+
+    def state_dict(self) -> dict:
+        """Serializable snapshot: configuration, per-view states, moments.
+
+        Subset moment keys are rendered ``"p-q-…"`` so the whole structure
+        is a nest of plain scalars, strings, and arrays — directly
+        writable to an ``.npz``-style archive by flattening callers.
+        """
+        return {
+            "dims": None if self._dims is None else list(self._dims),
+            "center": self.center,
+            "track_view_covariances": self._track_view_covariances,
+            "buffer_floats": int(self.buffer_floats),
+            "n": int(self._n),
+            "views": (
+                None
+                if self._views is None
+                else [view.state_dict() for view in self._views]
+            ),
+            "moments": (
+                None
+                if self._moments is None
+                else {
+                    "-".join(str(p) for p in subset): moment.copy()
+                    for subset, moment in self._moments.items()
+                }
+            ),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "StreamingCovarianceTensor":
+        """Rebuild an accumulator from :meth:`state_dict` output."""
+        # dims=None: constructing allocated would zero-fill every subset
+        # moment (incl. the full ∏ d_p tensor) only to rebind them to the
+        # archived arrays below — a pointless transient 2x peak.
+        accumulator = cls(
+            dims=None,
+            center=bool(state["center"]),
+            track_view_covariances=bool(state["track_view_covariances"]),
+            buffer_floats=int(state["buffer_floats"]),
+        )
+        if state["dims"] is not None:
+            accumulator._dims = tuple(int(d) for d in state["dims"])
+        if state["views"] is not None:
+            accumulator._views = [
+                StreamingCovariance.from_state_dict(view)
+                for view in state["views"]
+            ]
+        if state["moments"] is not None:
+            accumulator._moments = {
+                tuple(int(p) for p in key.split("-")): np.array(
+                    moment, dtype=np.float64
+                )
+                for key, moment in state["moments"].items()
+            }
+        accumulator._n = int(state["n"])
+        return accumulator
+
+    @property
+    def view_statistics(self) -> list[StreamingCovariance]:
+        """The per-view accumulators (means and, if tracked, ``C_pp``)."""
+        self._require_samples()
+        return list(self._views)
 
     @property
     def dims(self) -> tuple[int, ...] | None:

@@ -23,6 +23,7 @@ from repro.tensor.decomposition.implicit import (
     best_rank1_implicit,
     cp_als_implicit,
 )
+from repro.tensor.decomposition.init import check_factors_init
 from repro.tensor.decomposition.power import tensor_power_deflation
 from repro.tensor.decomposition.hosvd import hosvd
 
@@ -30,6 +31,7 @@ __all__ = [
     "DecompositionResult",
     "best_rank1",
     "best_rank1_implicit",
+    "check_factors_init",
     "cp_als",
     "cp_als_core",
     "cp_als_implicit",

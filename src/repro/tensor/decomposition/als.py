@@ -151,6 +151,7 @@ def cp_als(
     init: str = "hosvd",
     random_state=None,
     warn_on_no_convergence: bool = True,
+    factors_init=None,
 ) -> DecompositionResult:
     """Fit a rank-``rank`` CP decomposition with alternating least squares.
 
@@ -172,6 +173,10 @@ def cp_als(
     warn_on_no_convergence:
         Emit :class:`~repro.exceptions.ConvergenceWarning` when ``max_iter``
         is reached without meeting ``tol``.
+    factors_init:
+        Optional warm-start factors (one ``(I_p, rank)`` matrix per mode)
+        overriding ``init`` — ALS resumes from them, which near a previous
+        solution re-converges in a handful of sweeps.
 
     Returns
     -------
@@ -193,7 +198,11 @@ def cp_als(
         )
 
     factors = initialize_factors(
-        tensor, rank, method=init, random_state=random_state
+        tensor,
+        rank,
+        method=init,
+        random_state=random_state,
+        factors_init=factors_init,
     )
     unfoldings = [unfold(tensor, mode) for mode in range(tensor.ndim)]
     ndim = tensor.ndim

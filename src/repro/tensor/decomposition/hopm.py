@@ -127,8 +127,13 @@ def best_rank1(
     init: str = "hosvd",
     random_state=None,
     warn_on_no_convergence: bool = True,
+    factors_init=None,
 ) -> DecompositionResult:
     """Best rank-1 approximation of ``tensor`` via HOPM.
+
+    ``factors_init`` (one ``(I_p, 1)`` column per mode) warm-starts the
+    power iteration from a previous solution instead of the ``init``
+    strategy.
 
     Returns
     -------
@@ -149,7 +154,11 @@ def best_rank1(
         )
 
     factors = initialize_factors(
-        tensor, 1, method=init, random_state=random_state
+        tensor,
+        1,
+        method=init,
+        random_state=random_state,
+        factors_init=factors_init,
     )
     vectors = [factor[:, 0] for factor in factors]
 

@@ -50,6 +50,7 @@ def cp_als_implicit(
     init: str = "hosvd",
     random_state=None,
     warn_on_no_convergence: bool = True,
+    factors_init=None,
 ) -> DecompositionResult:
     """Rank-``rank`` CP decomposition of an implicit covariance tensor.
 
@@ -61,6 +62,9 @@ def cp_als_implicit(
         ``frobenius_norm_sq()``, and ``mode_gram(mode)``).
     rank, max_iter, tol, init, random_state, warn_on_no_convergence:
         As in :func:`~repro.tensor.decomposition.als.cp_als`.
+    factors_init:
+        Optional warm-start factors overriding ``init``, as in the dense
+        solver — and skipping the operator's HOSVD Gram pass.
 
     Returns
     -------
@@ -72,7 +76,11 @@ def cp_als_implicit(
     max_iter = check_positive_int(max_iter, "max_iter")
     _check_operator(operator)
     factors = initialize_factors_implicit(
-        operator, rank, method=init, random_state=random_state
+        operator,
+        rank,
+        method=init,
+        random_state=random_state,
+        factors_init=factors_init,
     )
     return cp_als_core(
         operator.mttkrp,
@@ -92,17 +100,23 @@ def best_rank1_implicit(
     init: str = "hosvd",
     random_state=None,
     warn_on_no_convergence: bool = True,
+    factors_init=None,
 ) -> DecompositionResult:
     """Best rank-1 approximation of an implicit tensor via HOPM.
 
     The skip-one contraction of HOPM *is* a rank-1 MTTKRP, so the dense
     power loop runs unchanged against ``operator.mttkrp``; the final
     sign-correct ``ρ`` comes from ``operator.multi_contract``.
+    ``factors_init`` warm-starts the iteration as in :func:`cp_als_implicit`.
     """
     max_iter = check_positive_int(max_iter, "max_iter")
     _check_operator(operator)
     factors = initialize_factors_implicit(
-        operator, 1, method=init, random_state=random_state
+        operator,
+        1,
+        method=init,
+        random_state=random_state,
+        factors_init=factors_init,
     )
     vectors = [factor[:, 0] for factor in factors]
 

@@ -17,11 +17,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import ValidationError
+from repro.exceptions import ShapeError, ValidationError
 from repro.tensor.dense import unfold
 from repro.utils.rng import check_random_state
 
-__all__ = ["initialize_factors", "initialize_factors_implicit"]
+__all__ = [
+    "check_factors_init",
+    "initialize_factors",
+    "initialize_factors_implicit",
+]
 
 _INIT_METHODS = ("hosvd", "random")
 
@@ -56,6 +60,37 @@ def _check_method(method: str) -> None:
         )
 
 
+def check_factors_init(shape, rank: int, factors_init) -> list[np.ndarray]:
+    """Validate user-supplied warm-start factors against ``shape``/``rank``.
+
+    Returns normalized *copies* — unit columns, like every other
+    initialization — but deliberately without sign canonicalization:
+    warm factors are already oriented (e.g. by a previous fit's
+    ``canonicalize_signs``) and flipping them would discard that state.
+    Zero columns are left as drawn by ``_normalize_columns``'s guard.
+    """
+    factors = [
+        np.array(factor, dtype=np.float64, copy=True)
+        for factor in factors_init
+    ]
+    if len(factors) != len(shape):
+        raise ValidationError(
+            f"factors_init must provide one factor per mode "
+            f"({len(shape)}), got {len(factors)}"
+        )
+    for mode, (factor, size) in enumerate(zip(factors, shape)):
+        if factor.ndim != 2 or factor.shape != (int(size), rank):
+            raise ShapeError(
+                f"factors_init[{mode}] must have shape ({size}, {rank}), "
+                f"got {factor.shape}"
+            )
+        if not np.all(np.isfinite(factor)):
+            raise ValidationError(
+                f"factors_init[{mode}] contains NaN or infinite entries"
+            )
+    return [_normalize_columns(factor) for factor in factors]
+
+
 def _pad_random(factor: np.ndarray, n_available: int, rng) -> None:
     if n_available < factor.shape[1]:
         factor[:, n_available:] = rng.standard_normal(
@@ -69,6 +104,7 @@ def initialize_factors(
     *,
     method: str = "hosvd",
     random_state=None,
+    factors_init=None,
 ) -> list[np.ndarray]:
     """Initial factor matrices for CP-type decompositions.
 
@@ -84,12 +120,20 @@ def initialize_factors(
         ``"random"`` — standard normal entries with unit-norm columns.
     random_state:
         Seed for the random parts.
+    factors_init:
+        Optional explicit starting factors — one ``(I_p, rank)`` matrix
+        per mode. When given, ``method`` is bypassed and the (normalized,
+        copied) factors are returned as-is; this is the warm-start hook
+        incremental refits use to resume ALS/HOPM from a previous
+        solution's factors.
 
     Returns
     -------
     list of ``(I_p, rank)`` arrays with unit-norm columns and
-    sign-canonicalized pivots.
+    sign-canonicalized pivots (warm factors keep their own signs).
     """
+    if factors_init is not None:
+        return check_factors_init(tensor.shape, rank, factors_init)
     _check_method(method)
     rng = check_random_state(random_state)
     factors = []
@@ -116,6 +160,7 @@ def initialize_factors_implicit(
     *,
     method: str = "hosvd",
     random_state=None,
+    factors_init=None,
 ) -> list[np.ndarray]:
     """Initial factors from an implicit tensor, without any unfolding.
 
@@ -125,8 +170,13 @@ def initialize_factors_implicit(
     ``O(Σ d_p³)`` plus the operator's Gram contractions instead of an SVD
     of a ``d_p × ∏_{q≠p} d_q`` matrix. The ``"random"`` method draws the
     exact same variates as the dense path (same shapes, same order), so
-    dense and implicit solves start bit-identically.
+    dense and implicit solves start bit-identically. ``factors_init``
+    bypasses both exactly as in :func:`initialize_factors` — and skips
+    the operator's Gram pass entirely, which on stream-backed operators
+    saves the nested data pass.
     """
+    if factors_init is not None:
+        return check_factors_init(operator.shape, rank, factors_init)
     _check_method(method)
     rng = check_random_state(random_state)
     shape = operator.shape

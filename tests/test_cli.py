@@ -201,3 +201,60 @@ class TestModelCommands:
     def test_missing_data_source_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["fit", "tcca", "--out", str(tmp_path / "m.npz")])
+
+
+class TestUpdateCommand:
+    def _fit_incremental(self, tmp_path, *extra):
+        model = str(tmp_path / "model.npz")
+        code = main(
+            [
+                "fit", "tcca", "--incremental",
+                "--synthetic", "160", "--seed", "1",
+                "--param", "n_components=2", "--param", "random_state=0",
+                *extra,
+                "--out", model,
+            ]
+        )
+        assert code == 0
+        return model
+
+    def test_update_loop_accumulates_and_serves(self, tmp_path, capsys):
+        model = self._fit_incremental(tmp_path)
+        assert main(["update", model, "--synthetic", "90", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "250 accumulated" in out
+        assert "sweeps" in out
+        # the updated (overwritten) model still transforms new data
+        assert main(["transform", model, "--synthetic", "40", "--seed", "3"]) == 0
+        assert "40 samples" in capsys.readouterr().out
+
+    def test_update_pipeline_with_out_path(self, tmp_path, capsys):
+        model = self._fit_incremental(tmp_path, "--classifier", "rls")
+        updated = str(tmp_path / "updated.npz")
+        code = main(
+            ["update", model, "--synthetic", "90", "--seed", "2",
+             "--out", updated]
+        )
+        assert code == 0
+        assert "250 accumulated" in capsys.readouterr().out
+        assert main(["predict", updated, "--synthetic", "30", "--seed", "4"]) == 0
+        assert "predicted 30 labels" in capsys.readouterr().out
+
+    def test_update_rejects_non_incremental_model(self, tmp_path, capsys):
+        model = str(tmp_path / "plain.npz")
+        assert main(
+            ["fit", "tcca", "--synthetic", "80", "--out", model]
+        ) == 0
+        with pytest.raises(SystemExit):
+            main(["update", model, "--synthetic", "40"])
+        assert "--incremental" in capsys.readouterr().err
+
+    def test_incremental_flag_rejects_non_incremental_reducer(
+        self, tmp_path, capsys
+    ):
+        with pytest.raises(SystemExit):
+            main(
+                ["fit", "cca", "--incremental", "--synthetic", "80",
+                 "--out", str(tmp_path / "m.npz")]
+            )
+        assert "partial_fit" in capsys.readouterr().err

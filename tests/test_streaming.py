@@ -473,3 +473,204 @@ class TestStreamingTCCA:
         large = peak_bytes(3200)
         # 16x the data must not even double the accumulation footprint.
         assert large < 2.0 * small
+
+
+# ---------------------------------------------------------------------------
+# Merge semantics: shard-parallel accumulation == single pass
+# ---------------------------------------------------------------------------
+
+
+def _shard_bounds(n_samples, n_shards, rng):
+    """Random contiguous shards, deliberately including empty ones."""
+    cuts = np.sort(rng.integers(0, n_samples + 1, size=n_shards - 1))
+    edges = [0, *cuts.tolist(), n_samples]
+    return list(zip(edges[:-1], edges[1:]))
+
+
+class TestStreamingCovarianceMerge:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("n_shards", [2, 3, 7])
+    def test_sharded_merge_matches_single_pass(self, seed, n_shards):
+        """merge(split over k shards) == one accumulator fed everything.
+
+        Shards get their own shift (each sees its own first chunk), so
+        this exercises the closed-form re-shift, including shards that
+        happen to be empty or a single sample wide.
+        """
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((6, 83)) + 5.0 * rng.standard_normal((6, 1))
+        single = StreamingCovariance().update(data)
+
+        merged = StreamingCovariance()
+        for start, stop in _shard_bounds(83, n_shards, rng):
+            shard = StreamingCovariance()
+            if stop > start:
+                shard.update(data[:, start:stop])
+            merged.merge(shard)
+        assert merged.n_samples == 83
+        np.testing.assert_allclose(merged.mean, single.mean, atol=1e-12)
+        np.testing.assert_allclose(
+            merged.covariance(), single.covariance(), atol=1e-12
+        )
+
+    def test_single_row_shards(self):
+        """Degenerate shards of one sample each still merge exactly."""
+        rng = np.random.default_rng(9)
+        data = rng.standard_normal((4, 12)) + 3.0
+        single = StreamingCovariance().update(data)
+        merged = StreamingCovariance()
+        for index in range(12):
+            merged.merge(
+                StreamingCovariance().update(data[:, index : index + 1])
+            )
+        np.testing.assert_allclose(merged.mean, single.mean, atol=1e-12)
+        np.testing.assert_allclose(
+            merged.covariance(), single.covariance(), atol=1e-12
+        )
+
+    def test_merging_empty_is_identity(self):
+        rng = np.random.default_rng(3)
+        data = rng.standard_normal((5, 40))
+        merged = StreamingCovariance().update(data)
+        before = merged.covariance().copy()
+        merged.merge(StreamingCovariance())
+        assert merged.n_samples == 40
+        np.testing.assert_array_equal(merged.covariance(), before)
+
+    def test_state_dict_round_trip_resumes(self):
+        rng = np.random.default_rng(5)
+        data = rng.standard_normal((5, 60)) + 2.0
+        accumulator = StreamingCovariance().update(data[:, :25])
+        resumed = StreamingCovariance.from_state_dict(
+            accumulator.state_dict()
+        )
+        accumulator.update(data[:, 25:])
+        resumed.update(data[:, 25:])
+        np.testing.assert_array_equal(
+            accumulator.covariance(), resumed.covariance()
+        )
+        np.testing.assert_array_equal(accumulator.mean, resumed.mean)
+
+
+class TestStreamingCovarianceTensorMerge:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("n_shards", [2, 3, 7])
+    @pytest.mark.parametrize("dims", [(5, 4), (5, 4, 3)])
+    def test_sharded_merge_matches_single_pass(self, seed, n_shards, dims):
+        """Tensor, means, and C_pp all agree with a single pass <= 1e-12.
+
+        Each shard's accumulator picks its own stabilizing shift, so the
+        merge exercises the full multilinear re-shift expansion across
+        every subset moment (pairs, triples, the full tensor).
+        """
+        rng = np.random.default_rng(seed)
+        n_samples = 71
+        views = [
+            rng.standard_normal((dim, n_samples))
+            + 4.0 * rng.standard_normal((dim, 1))
+            for dim in dims
+        ]
+        single = StreamingCovarianceTensor()
+        single.update(views)
+
+        merged = StreamingCovarianceTensor()
+        for start, stop in _shard_bounds(n_samples, n_shards, rng):
+            shard = StreamingCovarianceTensor()
+            if stop > start:
+                shard.update([view[:, start:stop] for view in views])
+            merged.merge(shard)
+        assert merged.n_samples == n_samples
+        np.testing.assert_allclose(
+            merged.tensor(), single.tensor(), atol=1e-12
+        )
+        for index in range(len(dims)):
+            np.testing.assert_allclose(
+                merged.view_covariance(index),
+                single.view_covariance(index),
+                atol=1e-12,
+            )
+            np.testing.assert_allclose(
+                merged.means[index], single.means[index], atol=1e-12
+            )
+
+    def test_single_row_shards(self):
+        rng = np.random.default_rng(11)
+        views = [
+            rng.standard_normal((4, 9)) + 2.0,
+            rng.standard_normal((3, 9)) - 1.0,
+        ]
+        single = StreamingCovarianceTensor()
+        single.update(views)
+        merged = StreamingCovarianceTensor()
+        for index in range(9):
+            shard = StreamingCovarianceTensor()
+            shard.update([view[:, index : index + 1] for view in views])
+            merged.merge(shard)
+        np.testing.assert_allclose(
+            merged.tensor(), single.tensor(), atol=1e-12
+        )
+
+    def test_merge_into_empty_adopts_state(self):
+        rng = np.random.default_rng(2)
+        views = [rng.standard_normal((4, 30)), rng.standard_normal((3, 30))]
+        shard = StreamingCovarianceTensor()
+        shard.update(views)
+        merged = StreamingCovarianceTensor()
+        merged.merge(shard)
+        np.testing.assert_array_equal(merged.tensor(), shard.tensor())
+        # ... and the adopted state is a copy, not a view of the shard's.
+        merged.update([view[:, :5] for view in views])
+        assert merged.n_samples == 35
+        assert shard.n_samples == 30
+
+    def test_raw_mode_merge_requires_matching_shifts(self):
+        rng = np.random.default_rng(4)
+        views = [rng.standard_normal((4, 20)), rng.standard_normal((3, 20))]
+        left = StreamingCovarianceTensor(center=False, shifts=[0.0, 0.0])
+        left.update(views)
+        right = StreamingCovarianceTensor(center=False, shifts=[1.0, 0.0])
+        right.update(views)
+        with pytest.raises(ValidationError):
+            left.merge(right)
+        # identical shifts merge exactly
+        same = StreamingCovarianceTensor(center=False, shifts=[0.0, 0.0])
+        same.update(views)
+        left.merge(same)
+        assert left.n_samples == 40
+
+    def test_mismatched_configuration_rejected(self):
+        rng = np.random.default_rng(6)
+        views = [rng.standard_normal((4, 10)), rng.standard_normal((3, 10))]
+        centered = StreamingCovarianceTensor()
+        centered.update(views)
+        raw = StreamingCovarianceTensor(center=False)
+        raw.update(views)
+        with pytest.raises(ValidationError):
+            centered.merge(raw)
+        other_dims = StreamingCovarianceTensor()
+        other_dims.update([views[0], views[1][:2]])
+        with pytest.raises(ValidationError):
+            centered.merge(other_dims)
+
+    def test_state_dict_round_trip_resumes(self):
+        rng = np.random.default_rng(8)
+        views = [
+            rng.standard_normal((4, 50)) + 1.0,
+            rng.standard_normal((3, 50)) - 2.0,
+            rng.standard_normal((2, 50)),
+        ]
+        accumulator = StreamingCovarianceTensor()
+        accumulator.update([view[:, :20] for view in views])
+        resumed = StreamingCovarianceTensor.from_state_dict(
+            accumulator.state_dict()
+        )
+        accumulator.update([view[:, 20:] for view in views])
+        resumed.update([view[:, 20:] for view in views])
+        np.testing.assert_array_equal(
+            accumulator.tensor(), resumed.tensor()
+        )
+        for index in range(3):
+            np.testing.assert_array_equal(
+                accumulator.view_covariance(index),
+                resumed.view_covariance(index),
+            )
