@@ -27,8 +27,14 @@ from repro.api import (
     make_reducer,
     save_model,
 )
+from repro.parallel import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    resolve_executor,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CCA",
@@ -39,12 +45,16 @@ __all__ = [
     "MaxVarCCA",
     "MultiviewPipeline",
     "PCA",
+    "ProcessExecutor",
     "SSMVD",
+    "SerialExecutor",
     "TCCA",
+    "ThreadExecutor",
     "__version__",
     "load_model",
     "make_classifier",
     "make_reducer",
     "multiview_canonical_correlation",
+    "resolve_executor",
     "save_model",
 ]

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import ast
+import os
 import re
 import sys
 import warnings
@@ -56,6 +57,39 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _jobs_int(text: str) -> int:
+    """Argparse type for --jobs: an integer >= 1, or -1 for all cores."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value != -1 and value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1 (or -1 for all cores), got {value}"
+        )
+    return value
+
+
+def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared --jobs / --executor execution-policy options."""
+    parser.add_argument(
+        "--jobs",
+        type=_jobs_int,
+        default=None,
+        metavar="N",
+        help="worker count of the parallel execution layer (-1 = all "
+        "cores; default: the REPRO_JOBS environment variable, else "
+        "serial)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("auto", "serial", "thread", "process"),
+        default=None,
+        help="execution policy for parallel work (default auto: threads "
+        "when more than one worker)",
+    )
 
 
 def _parse_override(text: str) -> tuple[str, object]:
@@ -151,6 +185,14 @@ def build_parser() -> argparse.ArgumentParser:
             "never materializing the ∏d_p covariance tensor"
         ),
     )
+    run_parser.add_argument(
+        "--jobs",
+        type=_jobs_int,
+        default=None,
+        metavar="N",
+        help="set REPRO_JOBS for this run, so every TCCA/KTCCA fit inside "
+        "the experiment uses N parallel workers (-1 = all cores)",
+    )
 
     subparsers.add_parser(
         "estimators",
@@ -197,6 +239,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fit via partial_fit so the saved model carries its "
         "accumulated moments and can be grown later with `repro update`",
     )
+    _add_parallel_arguments(fit_parser)
     fit_parser.add_argument(
         "--out",
         required=True,
@@ -215,6 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
         "update)",
     )
     _add_data_arguments(update_parser)
+    _add_parallel_arguments(update_parser)
     update_parser.add_argument(
         "--out",
         metavar="MODEL.npz",
@@ -304,11 +348,32 @@ def _command_estimators() -> int:
     return 0
 
 
+def _parallel_updates(args) -> dict:
+    """The --jobs / --executor values as estimator parameter updates."""
+    updates = {}
+    if getattr(args, "jobs", None) is not None:
+        updates["n_jobs"] = args.jobs
+    if getattr(args, "executor", None) is not None:
+        updates["executor"] = args.executor
+    return updates
+
+
+def _apply_parallel_updates(estimator, updates, parser) -> None:
+    """Set --jobs / --executor on an estimator, or fail with a clear error."""
+    from repro.parallel import apply_parallel_params
+
+    try:
+        apply_parallel_params(estimator, updates)
+    except ReproError as error:
+        parser.error(str(error))
+
+
 def _command_fit(args, parser: argparse.ArgumentParser) -> int:
     from repro.api import MultiviewPipeline, make_reducer, save_model
 
     views, labels = _load_dataset(args, parser)
     reducer = make_reducer(args.reducer, **dict(args.param))
+    _apply_parallel_updates(reducer, _parallel_updates(args), parser)
     if getattr(type(reducer), "_single_view_", False):
         parser.error(
             f"{args.reducer!r} is a single-view estimator; the fit "
@@ -360,6 +425,7 @@ def _command_update(args, parser: argparse.ArgumentParser) -> int:
 
     views, labels = _load_dataset(args, parser)
     model = load_model(args.model)
+    updates = _parallel_updates(args)
     if isinstance(model, MultiviewPipeline):
         if labels is None:
             parser.error(
@@ -372,6 +438,7 @@ def _command_update(args, parser: argparse.ArgumentParser) -> int:
                 f"{args.model} was not fitted incrementally; refit it "
                 "with `repro fit --incremental` to make it updatable"
             )
+        _apply_parallel_updates(reducer, updates, parser)
         model.partial_fit(views, labels)
         moments = reducer.moments_
     else:
@@ -385,6 +452,7 @@ def _command_update(args, parser: argparse.ArgumentParser) -> int:
                 f"{args.model} was not fitted incrementally; refit it "
                 "with `repro fit --incremental` to make it updatable"
             )
+        _apply_parallel_updates(model, updates, parser)
         model.partial_fit(views)
         moments = model.moments_
         reducer = model
@@ -505,7 +573,22 @@ def main(argv=None) -> int:
         overrides["chunk_size"] = args.chunk_size
     if args.solver is not None:
         overrides["solver"] = args.solver
-    result = run_experiment(args.experiment_id, **overrides)
+    if args.jobs is not None:
+        # REPRO_JOBS is the n_jobs=None default of every estimator, so
+        # setting it parallelizes each fit inside the experiment without
+        # the drivers having to thread a parameter through — scoped to
+        # this run so programmatic main() calls leak nothing.
+        previous = os.environ.get("REPRO_JOBS")
+        os.environ["REPRO_JOBS"] = str(args.jobs)
+        try:
+            result = run_experiment(args.experiment_id, **overrides)
+        finally:
+            if previous is None:
+                del os.environ["REPRO_JOBS"]
+            else:
+                os.environ["REPRO_JOBS"] = previous
+    else:
+        result = run_experiment(args.experiment_id, **overrides)
     if result.panels:
         print(result.series())
         print()

@@ -20,6 +20,8 @@ instead of misreading them.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 
 import numpy as np
 
@@ -187,11 +189,39 @@ def decode_estimator(header: dict, payload, prefix: str = ""):
 
 
 def write_archive(path, header: dict, arrays: dict) -> None:
-    """Write header + arrays to ``path`` exactly (no ``.npz`` appending)."""
+    """Write header + arrays to ``path`` exactly (no ``.npz`` appending).
+
+    The write is **atomic**: the archive is fully written to a temporary
+    file in the target directory and then ``os.replace``-d into place.
+    A crash (or full disk) mid-save can therefore never leave a
+    truncated or corrupt file at ``path`` — readers see either the old
+    complete model or the new complete model, which is what lets a
+    serving process overwrite its model file in place.
+    """
     entries = dict(arrays)
     entries[_HEADER_KEY] = np.array(json.dumps(header))
-    with open(path, "wb") as handle:
-        np.savez(handle, **entries)
+    path = os.fspath(path)
+    descriptor, tmp_path = tempfile.mkstemp(
+        dir=os.path.dirname(path) or ".",
+        prefix=os.path.basename(path) + ".",
+        suffix=".tmp",
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            np.savez(handle, **entries)
+        # mkstemp creates 0o600 files; give the model the permissions a
+        # plain open() would have (umask-honoring), so a serving process
+        # under another user can still read an overwritten model.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp_path, 0o666 & ~umask)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def read_archive(path) -> tuple[dict, "np.lib.npyio.NpzFile"]:

@@ -26,6 +26,11 @@ from repro.api.persistence import (
 )
 from repro.api.registry import make_classifier, make_reducer
 from repro.exceptions import NotFittedError, ValidationError
+from repro.parallel.executors import (
+    apply_parallel_params,
+    check_executor_name,
+    check_n_jobs,
+)
 from repro.utils.preprocessing import unit_scale_views
 from repro.utils.validation import check_views
 
@@ -53,6 +58,12 @@ class MultiviewPipeline:
         Constructor keywords forwarded to :func:`~repro.api.registry.
         make_reducer` / ``make_classifier`` when the corresponding
         argument is a registry key.
+    n_jobs, executor:
+        Parallel execution configuration applied to the reducer (see
+        :class:`~repro.core.tcca.TCCA`). ``None`` leaves the reducer's
+        own setting untouched; a value requires a reducer that accepts
+        the corresponding parameter. Policy is configuration — it is
+        saved with the pipeline but never changes what a fit computes.
     """
 
     def __init__(
@@ -63,6 +74,8 @@ class MultiviewPipeline:
         scale_views: bool = False,
         reducer_params: dict | None = None,
         classifier_params: dict | None = None,
+        n_jobs=None,
+        executor: str | None = None,
     ):
         if isinstance(reducer, str):
             reducer = make_reducer(reducer, **dict(reducer_params or {}))
@@ -95,6 +108,19 @@ class MultiviewPipeline:
         self.reducer = reducer
         self.classifier = classifier
         self.scale_views = bool(scale_views)
+        self.n_jobs = check_n_jobs(n_jobs)
+        self.executor = (
+            None if executor is None else check_executor_name(executor)
+        )
+        apply_parallel_params(
+            reducer,
+            {
+                key: value
+                for key, value in (("n_jobs", self.n_jobs),
+                                   ("executor", self.executor))
+                if value is not None
+            },
+        )
 
     # -- estimator API ------------------------------------------------------
 
@@ -218,6 +244,8 @@ class MultiviewPipeline:
             "format": PIPELINE_FORMAT,
             "version": MODEL_FORMAT_VERSION,
             "scale_views": self.scale_views,
+            "n_jobs": self.n_jobs,
+            "executor": self.executor,
             "n_views": getattr(self, "n_views_", None),
             "reducer": reducer_header,
             "classifier": classifier_header,
@@ -245,6 +273,8 @@ class MultiviewPipeline:
                 header["classifier"], payload, prefix=_CLASSIFIER_PREFIX
             ),
             scale_views=bool(header.get("scale_views", False)),
+            n_jobs=header.get("n_jobs"),
+            executor=header.get("executor"),
         )
         if header.get("n_views") is not None:
             pipeline.n_views_ = int(header["n_views"])

@@ -47,17 +47,21 @@ Two moment policies cover the two solver families:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.linalg.covariance import covariance_tensor
 from repro.linalg.whitening import regularized_inverse_sqrt
+from repro.parallel.executors import ExecutionPolicy
+from repro.parallel.sharding import accumulate_parallel, parallel_chunk_size
 from repro.streaming.covariance import (
     StreamingCovariance,
     StreamingCovarianceTensor,
 )
 from repro.streaming.views import (
+    ArrayViewStream,
     ViewStream,
     as_view_stream,
     iter_validated_chunks,
@@ -74,6 +78,7 @@ from repro.tensor.operator import CovarianceTensorOperator
 from repro.utils.validation import check_views, ensure_2d
 
 __all__ = [
+    "ChunkWhitener",
     "DecompositionSpec",
     "FinalizedFit",
     "MomentState",
@@ -118,6 +123,41 @@ def _validate_chunks(chunks) -> list[np.ndarray]:
             f"{sorted(widths)}"
         )
     return chunks
+
+
+def _is_parallel(policy) -> bool:
+    """Whether ``policy`` asks for more than in-process serial execution."""
+    return isinstance(policy, ExecutionPolicy) and policy.n_workers > 1
+
+
+def _whiten_view(whitener, view, mean) -> np.ndarray:
+    """Center and whiten one resident view (picklable worker body)."""
+    return whitener @ (np.asarray(view, dtype=np.float64) - mean)
+
+
+class ChunkWhitener:
+    """Picklable per-chunk whitening transform for parallel accumulation.
+
+    Applies the fitted per-view centering and whitening maps to one
+    aligned minibatch — the ``transform`` hook of
+    :func:`repro.parallel.sharding.accumulate_parallel` during the second
+    (tensor-assembly) pass of a parallel streaming fit.
+    """
+
+    def __init__(self, whiteners, means):
+        self.whiteners = [
+            np.asarray(whitener, dtype=np.float64) for whitener in whiteners
+        ]
+        self.means = [
+            np.asarray(mean, dtype=np.float64).reshape(-1, 1)
+            for mean in means
+        ]
+
+    def __call__(self, chunks) -> list[np.ndarray]:
+        return [
+            _whiten_view(whitener, chunk, mean)
+            for whitener, chunk, mean in zip(self.whiteners, chunks, self.means)
+        ]
 
 
 # -- stage payloads ---------------------------------------------------------
@@ -260,9 +300,12 @@ class SampleStore:
             )
         if self._dims is None:
             self._dims = other._dims
-        self._chunks.extend(
-            [chunk.copy() for chunk in chunks] for chunks in other._chunks
-        )
+        # Adopt by reference: the arrays were already defensively copied
+        # when other.add() ingested them and are never written afterwards,
+        # so aliasing is safe — and the shard-merge reduce
+        # (accumulate_parallel) would otherwise transiently hold every
+        # retained sample twice while the shard states are discarded.
+        self._chunks.extend(list(chunks) for chunks in other._chunks)
         self._n += other._n
         return self
 
@@ -580,7 +623,9 @@ class MomentState:
 # -- stages -----------------------------------------------------------------
 
 
-def ingest_stage(moments: MomentState, source, *, chunk_size=None) -> MomentState:
+def ingest_stage(
+    moments: MomentState, source, *, chunk_size=None, policy=None
+) -> MomentState:
     """Fold a data source into ``moments`` and return it.
 
     ``source`` is either a plain sequence of ``(d_p, N)`` view matrices
@@ -590,7 +635,29 @@ def ingest_stage(moments: MomentState, source, *, chunk_size=None) -> MomentStat
     nothing sample-sized beyond one chunk is resident (unless the moment
     policy retains samples). Passing ``chunk_size`` forces the chunked
     path for any source.
+
+    A parallel ``policy`` turns the ingest into map-reduce: the stream is
+    split into shards (a plain batch is wrapped in an
+    :class:`~repro.streaming.views.ArrayViewStream` first), each worker
+    accumulates a fresh state over its shard, and the shard states are
+    folded into ``moments`` with the exact :meth:`MomentState.merge` —
+    same statistics as the sequential pass to round-off.
     """
+    if _is_parallel(policy):
+        stream = as_view_stream(source, chunk_size)
+        moments.merge(
+            accumulate_parallel(
+                stream,
+                partial(
+                    MomentState,
+                    track_tensor=moments.track_tensor,
+                    retain_samples=moments.retain_samples,
+                    dims=moments.dims,
+                ),
+                policy,
+            )
+        )
+        return moments
     if (
         isinstance(source, ViewStream)
         or chunk_size is not None
@@ -605,18 +672,34 @@ def ingest_stage(moments: MomentState, source, *, chunk_size=None) -> MomentStat
     return moments
 
 
-def whiten_stage(moments: MomentState, epsilon: float) -> WhiteningState:
-    """Per-view means and whiteners ``(C_pp + ε I)^{-1/2}`` from moments."""
+def whiten_stage(
+    moments: MomentState, epsilon: float, *, policy=None
+) -> WhiteningState:
+    """Per-view means and whiteners ``(C_pp + ε I)^{-1/2}`` from moments.
+
+    The ``m`` eigendecompositions are independent; a parallel ``policy``
+    fans them across workers (one task per view).
+    """
     means = moments.means()
-    whiteners = [
-        regularized_inverse_sqrt(covariance, epsilon)
-        for covariance in moments.view_covariances()
-    ]
+    covariances = moments.view_covariances()
+    if _is_parallel(policy) and len(covariances) > 1:
+        whiteners = policy.map(
+            partial(regularized_inverse_sqrt, epsilon=epsilon), covariances
+        )
+    else:
+        whiteners = [
+            regularized_inverse_sqrt(covariance, epsilon)
+            for covariance in covariances
+        ]
     return WhiteningState(means=means, whiteners=whiteners, epsilon=epsilon)
 
 
 def build_stage(
-    moments: MomentState, whitening: WhiteningState, solver: str
+    moments: MomentState,
+    whitening: WhiteningState,
+    solver: str,
+    *,
+    policy=None,
 ) -> WhitenedTensor:
     """Assemble the whitened tensor ``M`` from mergeable moments.
 
@@ -639,13 +722,17 @@ def build_stage(
             f"unknown build solver {solver!r}; expected 'dense' or "
             "'implicit'"
         )
-    whitened = [
-        whitener @ (view - mean)
-        for whitener, view, mean in zip(
-            whitening.whiteners, moments.samples.views, whitening.means
-        )
-    ]
-    operator = CovarianceTensorOperator.from_views(whitened)
+    view_triples = list(
+        zip(whitening.whiteners, moments.samples.views, whitening.means)
+    )
+    if _is_parallel(policy):
+        whitened = policy.starmap(_whiten_view, view_triples)
+    else:
+        whitened = [
+            _whiten_view(whitener, view, mean)
+            for whitener, view, mean in view_triples
+        ]
+    operator = CovarianceTensorOperator.from_views(whitened, policy=policy)
     return WhitenedTensor(
         means=whitening.means,
         whiteners=whitening.whiteners,
@@ -744,21 +831,25 @@ def finalize_stage(
 # -- cold-fit builders (whiten-first arithmetic) ----------------------------
 
 
-def _whitening_from_views(views, epsilon: float):
+def _whitening_from_views(views, epsilon: float, policy=None):
     """Means, whiteners, and whitened views of a batch dataset."""
     views = check_views(views, min_views=2)
-    moments = ingest_stage(MomentState(), views)
-    whitening = whiten_stage(moments, epsilon)
-    whitened_views = [
-        whitener @ (view - mean)
-        for whitener, view, mean in zip(
-            whitening.whiteners, views, whitening.means
-        )
-    ]
+    moments = ingest_stage(MomentState(), views, policy=policy)
+    whitening = whiten_stage(moments, epsilon, policy=policy)
+    view_triples = list(zip(whitening.whiteners, views, whitening.means))
+    if _is_parallel(policy):
+        whitened_views = policy.starmap(_whiten_view, view_triples)
+    else:
+        whitened_views = [
+            _whiten_view(whitener, view, mean)
+            for whitener, view, mean in view_triples
+        ]
     return whitening.means, whitening.whiteners, whitened_views
 
 
-def whitened_covariance_tensor(views, epsilon: float) -> WhitenedTensor:
+def whitened_covariance_tensor(
+    views, epsilon: float, *, policy=None
+) -> WhitenedTensor:
     """Compute the whitening state and dense tensor ``M`` (Theorem 2).
 
     ``M = C ×_1 C̃_11^{-1/2} … ×_m C̃_mm^{-1/2}`` equals the covariance
@@ -768,39 +859,71 @@ def whitened_covariance_tensor(views, epsilon: float) -> WhitenedTensor:
     ``O(1)``-scaled. Incremental refits, which no longer hold the data,
     use the mode-product form over stored raw moments instead
     (:func:`build_stage`); the two agree to round-off.
+
+    A parallel ``policy`` runs both the whitening pass and the tensor
+    accumulation as sharded map-reduce over sample chunks, reduced with
+    the accumulators' exact ``merge()`` — same ``M`` to round-off.
     """
-    means, whiteners, whitened_views = _whitening_from_views(views, epsilon)
-    tensor = covariance_tensor(whitened_views)
+    means, whiteners, whitened_views = _whitening_from_views(
+        views, epsilon, policy
+    )
+    if _is_parallel(policy):
+        dims = [view.shape[0] for view in whitened_views]
+        accumulator = accumulate_parallel(
+            ArrayViewStream(
+                whitened_views,
+                chunk_size=parallel_chunk_size(
+                    whitened_views[0].shape[1], policy.n_workers
+                ),
+            ),
+            partial(
+                StreamingCovarianceTensor,
+                dims=dims,
+                center=False,
+                track_view_covariances=False,
+            ),
+            policy,
+        )
+        tensor = accumulator.tensor()
+    else:
+        tensor = covariance_tensor(whitened_views)
     return WhitenedTensor(
         means=means, whiteners=whiteners, tensor=tensor, epsilon=epsilon
     )
 
 
-def whitened_covariance_operator(views, epsilon: float) -> WhitenedTensor:
+def whitened_covariance_operator(
+    views, epsilon: float, *, policy=None
+) -> WhitenedTensor:
     """Whitening state with ``M`` as an implicit operator — no ``∏ d_p``.
 
     The tensor-free counterpart of :func:`whitened_covariance_tensor`:
     identical means and whiteners, but ``M`` is represented by a
     :class:`~repro.tensor.operator.CovarianceTensorOperator` over the
     whitened views, so peak memory stays ``O(Σ d_p (d_p + N))`` however
-    large ``∏ d_p`` grows.
+    large ``∏ d_p`` grows. A parallel ``policy`` shards the whitening
+    pass and threads the operator's blocked contraction kernels.
     """
-    means, whiteners, whitened_views = _whitening_from_views(views, epsilon)
-    operator = CovarianceTensorOperator.from_views(whitened_views)
+    means, whiteners, whitened_views = _whitening_from_views(
+        views, epsilon, policy
+    )
+    operator = CovarianceTensorOperator.from_views(
+        whitened_views, policy=policy
+    )
     return WhitenedTensor(
         means=means, whiteners=whiteners, operator=operator, epsilon=epsilon
     )
 
 
-def _streaming_whitening_pass(stream, epsilon: float):
+def _streaming_whitening_pass(stream, epsilon: float, policy=None):
     """First stream pass: exact means and whiteners per view."""
-    moments = ingest_stage(MomentState(), stream)
-    whitening = whiten_stage(moments, epsilon)
+    moments = ingest_stage(MomentState(), stream, policy=policy)
+    whitening = whiten_stage(moments, epsilon, policy=policy)
     return whitening.means, whitening.whiteners
 
 
 def whitened_covariance_tensor_streaming(
-    stream, epsilon: float, *, chunk_size: int | None = None
+    stream, epsilon: float, *, chunk_size: int | None = None, policy=None
 ) -> WhitenedTensor:
     """Out-of-core version of :func:`whitened_covariance_tensor`.
 
@@ -816,24 +939,38 @@ def whitened_covariance_tensor_streaming(
 
     Peak accumulation memory is ``∏ d_p`` plus one chunk, independent of
     ``N``; the result matches the batch path to floating-point round-off,
-    so downstream CP solves agree to tight tolerance.
+    so downstream CP solves agree to tight tolerance. A parallel
+    ``policy`` runs both passes as sharded map-reduce (workers whiten
+    their shard's chunks on the fly) with the same numerical guarantee —
+    but each worker holds its own moment accumulator, so peak
+    accumulation memory scales to ``n_workers × ∏ d_p`` (still
+    independent of ``N``). Keep ``n_jobs`` at 1 when ``∏ d_p`` is near
+    the memory ceiling, or use the implicit solver.
     """
     stream = as_view_stream(stream, chunk_size)
-    means, whiteners = _streaming_whitening_pass(stream, epsilon)
+    policy = policy if _is_parallel(policy) else None
+    means, whiteners = _streaming_whitening_pass(stream, epsilon, policy)
     dims = tuple(whitener.shape[0] for whitener in whiteners)
-    accumulator = StreamingCovarianceTensor(
+    factory = partial(
+        StreamingCovarianceTensor,
         dims=dims,
         center=False,
         shifts=[0.0] * len(dims),
         track_view_covariances=False,
     )
-    for chunks in iter_validated_chunks(stream):
-        accumulator.update(
-            [
-                whitener @ (np.asarray(chunk, dtype=np.float64) - mean)
-                for whitener, chunk, mean in zip(whiteners, chunks, means)
-            ]
+    if policy is not None:
+        accumulator = accumulate_parallel(
+            stream, factory, policy, transform=ChunkWhitener(whiteners, means)
         )
+    else:
+        accumulator = factory()
+        for chunks in iter_validated_chunks(stream):
+            accumulator.update(
+                [
+                    whitener @ (np.asarray(chunk, dtype=np.float64) - mean)
+                    for whitener, chunk, mean in zip(whiteners, chunks, means)
+                ]
+            )
     return WhitenedTensor(
         means=means,
         whiteners=whiteners,
@@ -843,7 +980,7 @@ def whitened_covariance_tensor_streaming(
 
 
 def whitened_covariance_operator_streaming(
-    stream, epsilon: float, *, chunk_size: int | None = None
+    stream, epsilon: float, *, chunk_size: int | None = None, policy=None
 ) -> WhitenedTensor:
     """Fully out-of-core whitening state: stream-backed implicit ``M``.
 
@@ -853,12 +990,15 @@ def whitened_covariance_operator_streaming(
     :class:`~repro.tensor.operator.CovarianceTensorOperator` that
     re-whitens chunks on the fly during each solver contraction. Nothing
     sized ``∏ d_p`` *or* ``N`` is ever resident — the end-to-end
-    out-of-core path for views too wide for the dense tensor.
+    out-of-core path for views too wide for the dense tensor. A parallel
+    ``policy`` shards the whitening pass and the operator's per-sweep
+    stream contractions.
     """
     stream = as_view_stream(stream, chunk_size)
-    means, whiteners = _streaming_whitening_pass(stream, epsilon)
+    policy = policy if _is_parallel(policy) else None
+    means, whiteners = _streaming_whitening_pass(stream, epsilon, policy)
     operator = CovarianceTensorOperator.from_stream(
-        stream, whiteners=whiteners, means=means
+        stream, whiteners=whiteners, means=means, policy=policy
     )
     return WhitenedTensor(
         means=means, whiteners=whiteners, operator=operator, epsilon=epsilon

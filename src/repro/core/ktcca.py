@@ -17,6 +17,8 @@ the feature dimensions ``d_p``).
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.api.registry import register
@@ -26,11 +28,21 @@ from repro.core import engine
 from repro.exceptions import NotFittedError, ValidationError
 from repro.kernels.centering import center_kernel, center_kernel_test
 from repro.linalg.covariance import covariance_tensor
+from repro.parallel.executors import (
+    check_executor_name,
+    check_n_jobs,
+    resolve_executor,
+)
 from repro.utils.validation import check_positive_int, check_square, check_views
 
 __all__ = ["KTCCA"]
 
 _DECOMPOSITIONS = ("als", "hopm", "power")
+
+
+def _solve_transposed(factor: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """``L^{-T} K`` — one view's transformed columns (picklable worker)."""
+    return np.linalg.solve(factor.T, kernel)
 
 
 @register("ktcca")
@@ -52,6 +64,12 @@ class KTCCA(MultiviewTransformer):
         Center each kernel in feature space before fitting.
     decomposition, max_iter, tol, random_state:
         Tensor solver settings, as in :class:`~repro.core.tcca.TCCA`.
+    n_jobs, executor:
+        Parallel execution configuration, as in
+        :class:`~repro.core.tcca.TCCA`: with more than one worker the
+        ``m`` independent per-view factorizations (PLS Cholesky and the
+        triangular solves building the tensor's transformed columns) fan
+        out across workers. Policy is config, not fitted state.
 
     Attributes
     ----------
@@ -76,6 +94,8 @@ class KTCCA(MultiviewTransformer):
         max_iter: int = 200,
         tol: float = 1e-8,
         random_state=None,
+        n_jobs=None,
+        executor: str = "auto",
     ):
         self.n_components = check_positive_int(n_components, "n_components")
         if epsilon < 0.0:
@@ -83,6 +103,8 @@ class KTCCA(MultiviewTransformer):
         self.epsilon = float(epsilon)
         self.kernels = list(kernels) if kernels is not None else None
         self.center = bool(center)
+        self.n_jobs = check_n_jobs(n_jobs)
+        self.executor = check_executor_name(executor)
         if decomposition not in _DECOMPOSITIONS:
             raise ValidationError(
                 f"unknown decomposition {decomposition!r}; expected one of "
@@ -160,13 +182,25 @@ class KTCCA(MultiviewTransformer):
             )
         self._n_train = n
 
-        factors = [pls_cholesky(kernel, self.epsilon) for kernel in kernels]
-        # S = K ×_p (L_p^{-1})^T is the "covariance tensor" of the
-        # transformed columns V_p = L_p^{-T} K_p (Theorem 3 + Eq. 4.15).
-        transformed = [
-            np.linalg.solve(factor.T, kernel)
-            for factor, kernel in zip(factors, kernels)
-        ]
+        policy = resolve_executor(self.executor, self.n_jobs)
+        if policy.n_workers > 1:
+            # The m factorizations and solves are independent per view.
+            factors = policy.map(
+                partial(pls_cholesky, epsilon=self.epsilon), kernels
+            )
+            transformed = policy.starmap(
+                _solve_transposed, zip(factors, kernels)
+            )
+        else:
+            factors = [
+                pls_cholesky(kernel, self.epsilon) for kernel in kernels
+            ]
+            # S = K ×_p (L_p^{-1})^T is the "covariance tensor" of the
+            # transformed columns V_p = L_p^{-T} K_p (Theorem 3 + Eq. 4.15).
+            transformed = [
+                _solve_transposed(factor, kernel)
+                for factor, kernel in zip(factors, kernels)
+            ]
         s_tensor = covariance_tensor(transformed, assume_centered=True)
         self.kernel_tensor_shape_ = s_tensor.shape
 

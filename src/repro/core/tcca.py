@@ -46,6 +46,11 @@ from repro.core.engine import (
     whitened_covariance_tensor_streaming,
 )
 from repro.exceptions import ValidationError
+from repro.parallel.executors import (
+    check_executor_name,
+    check_n_jobs,
+    resolve_executor,
+)
 from repro.streaming.views import as_view_stream
 from repro.utils.validation import check_positive_int, check_views
 
@@ -148,6 +153,21 @@ class TCCA(MultiviewTransformer):
         Iteration budget and tolerance passed to the tensor solver.
     random_state:
         Seed for solver initialization.
+    n_jobs:
+        Worker count for the parallel execution layer: ``None`` (default)
+        defers to the ``REPRO_JOBS`` environment variable (missing means
+        serial), ``-1`` means all cores, otherwise an integer >= 1. With
+        more than one worker, moment accumulation runs as sharded
+        map-reduce (reduced with the exact
+        :meth:`~repro.core.engine.MomentState.merge`), the per-view
+        whitening eigendecompositions fan out, and the implicit solver's
+        blocked contraction kernels thread — the fitted model matches the
+        serial fit to round-off regardless of shard count or order.
+    executor:
+        Execution policy: ``"auto"`` (threads when ``n_jobs > 1``),
+        ``"serial"``, ``"thread"``, or ``"process"``. Policy is
+        configuration, not fitted state — it is persisted with the other
+        constructor parameters and never changes what a fit computes.
 
     Attributes
     ----------
@@ -184,6 +204,8 @@ class TCCA(MultiviewTransformer):
         max_iter: int = 200,
         tol: float = 1e-8,
         random_state=None,
+        n_jobs=None,
+        executor: str = "auto",
     ):
         self.n_components = check_positive_int(n_components, "n_components")
         if epsilon < 0.0:
@@ -194,6 +216,8 @@ class TCCA(MultiviewTransformer):
                 f"unknown solver {solver!r}; expected one of {_SOLVERS}"
             )
         self.solver = solver
+        self.n_jobs = check_n_jobs(n_jobs)
+        self.executor = check_executor_name(executor)
         if decomposition not in _DECOMPOSITIONS:
             raise ValidationError(
                 f"unknown decomposition {decomposition!r}; expected one of "
@@ -237,12 +261,15 @@ class TCCA(MultiviewTransformer):
         self._check_rank(dims)
         solver = resolve_tcca_solver(self.solver, dims, self.decomposition)
         if precomputed is None:
+            policy = self._policy()
             if solver == "implicit":
                 precomputed = whitened_covariance_operator(
-                    views, self.epsilon
+                    views, self.epsilon, policy=policy
                 )
             else:
-                precomputed = whitened_covariance_tensor(views, self.epsilon)
+                precomputed = whitened_covariance_tensor(
+                    views, self.epsilon, policy=policy
+                )
         else:
             self._check_precomputed(precomputed, dims)
             solver = self._solver_for_precomputed(precomputed, solver)
@@ -291,13 +318,14 @@ class TCCA(MultiviewTransformer):
         self._check_rank(dims)
         solver = resolve_tcca_solver(self.solver, dims, self.decomposition)
         if precomputed is None:
+            policy = self._policy()
             if solver == "implicit":
                 precomputed = whitened_covariance_operator_streaming(
-                    stream, self.epsilon
+                    stream, self.epsilon, policy=policy
                 )
             else:
                 precomputed = whitened_covariance_tensor_streaming(
-                    stream, self.epsilon
+                    stream, self.epsilon, policy=policy
                 )
         else:
             self._check_precomputed(precomputed, dims)
@@ -361,12 +389,19 @@ class TCCA(MultiviewTransformer):
                 )
             solver = self._solver_for_moments(moments)
             factors_init = self._warm_factors(dims)
-        engine.ingest_stage(moments, views)
-        whitening = engine.whiten_stage(moments, self.epsilon)
-        precomputed = engine.build_stage(moments, whitening, solver)
+        policy = self._policy()
+        engine.ingest_stage(moments, views, policy=policy)
+        whitening = engine.whiten_stage(moments, self.epsilon, policy=policy)
+        precomputed = engine.build_stage(
+            moments, whitening, solver, policy=policy
+        )
         return self._finish_fit(
             precomputed, dims, solver, factors_init=factors_init
         )
+
+    def _policy(self):
+        """The execution policy of this fit, resolved from configuration."""
+        return resolve_executor(self.executor, self.n_jobs)
 
     def _reset_incremental(self) -> None:
         """Drop any partial_fit session state (one-shot fits replace it)."""

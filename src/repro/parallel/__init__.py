@@ -1,0 +1,49 @@
+"""Parallel execution layer: pluggable executors and sharded map-reduce.
+
+Everything multi-core in the library goes through this package. The
+:mod:`~repro.parallel.executors` module defines the execution-policy
+abstraction (serial / thread / process, selected by
+``executor="auto"|"serial"|"thread"|"process"`` + ``n_jobs``, with a
+``REPRO_JOBS`` environment default); :mod:`~repro.parallel.sharding`
+turns moment accumulation into map-reduce over stream shards, reduced
+with the accumulators' exact ``merge()`` — so parallel fits match serial
+fits to floating-point round-off regardless of shard count or order.
+"""
+
+from repro.parallel.executors import (
+    EXECUTOR_NAMES,
+    ExecutionPolicy,
+    JOBS_ENV,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    apply_parallel_params,
+    check_executor_name,
+    check_n_jobs,
+    effective_n_jobs,
+    resolve_executor,
+)
+from repro.parallel.sharding import (
+    StreamShard,
+    accumulate_parallel,
+    parallel_chunk_size,
+    shard_stream,
+)
+
+__all__ = [
+    "EXECUTOR_NAMES",
+    "ExecutionPolicy",
+    "JOBS_ENV",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "StreamShard",
+    "ThreadExecutor",
+    "accumulate_parallel",
+    "apply_parallel_params",
+    "check_executor_name",
+    "check_n_jobs",
+    "effective_n_jobs",
+    "parallel_chunk_size",
+    "resolve_executor",
+    "shard_stream",
+]

@@ -1,0 +1,272 @@
+"""Pluggable execution policies — how independent work items run.
+
+Every parallel path in the library (sharded moment accumulation, fanned
+per-view eigendecompositions, blocked contraction kernels) is written
+against one tiny interface: an :class:`ExecutionPolicy` with
+:meth:`~ExecutionPolicy.map`. Three implementations cover the practical
+space:
+
+* :class:`SerialExecutor` — plain in-process iteration; the default, and
+  bit-identical to the historical single-core code paths;
+* :class:`ThreadExecutor` — a thread pool. NumPy releases the GIL inside
+  its BLAS and ufunc/einsum kernels, where essentially all of a fit's
+  time goes, so threads parallelize the hot loops *without* pickling any
+  data — the right default whenever ``n_jobs > 1``;
+* :class:`ProcessExecutor` — a process pool, for workloads where Python-
+  level overhead matters or true isolation is wanted. Work items and
+  results cross process boundaries, so both must be picklable (shard
+  streams and the streaming accumulators are).
+
+Selection is config, not fitted state: estimators take
+``executor="auto"|"serial"|"thread"|"process"`` plus ``n_jobs`` and call
+:func:`resolve_executor` at fit time. ``n_jobs=None`` defers to the
+``REPRO_JOBS`` environment variable (so a deployment can turn the whole
+library multi-core without touching call sites), ``-1`` means all cores.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "EXECUTOR_NAMES",
+    "ExecutionPolicy",
+    "JOBS_ENV",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "apply_parallel_params",
+    "check_executor_name",
+    "check_n_jobs",
+    "effective_n_jobs",
+    "resolve_executor",
+]
+
+#: environment variable supplying the default worker count when an
+#: estimator is constructed with ``n_jobs=None``.
+JOBS_ENV = "REPRO_JOBS"
+
+EXECUTOR_NAMES = ("auto", "serial", "thread", "process")
+
+
+def check_n_jobs(n_jobs, name: str = "n_jobs"):
+    """Validate an ``n_jobs`` parameter: ``None``, ``-1``, or an int >= 1."""
+    if n_jobs is None:
+        return None
+    if isinstance(n_jobs, bool) or not isinstance(n_jobs, (int, np.integer)):
+        raise ValidationError(
+            f"{name} must be an integer >= 1, or -1 for all cores; "
+            f"got {n_jobs!r}"
+        )
+    n_jobs = int(n_jobs)
+    if n_jobs != -1 and n_jobs < 1:
+        raise ValidationError(
+            f"{name} must be an integer >= 1, or -1 for all cores; "
+            f"got {n_jobs}"
+        )
+    return n_jobs
+
+
+def check_executor_name(executor, name: str = "executor") -> str:
+    """Validate an executor name against :data:`EXECUTOR_NAMES`."""
+    if executor not in EXECUTOR_NAMES:
+        raise ValidationError(
+            f"unknown {name} {executor!r}; expected one of {EXECUTOR_NAMES}"
+        )
+    return executor
+
+
+def effective_n_jobs(n_jobs=None) -> int:
+    """Resolve ``n_jobs`` into a concrete worker count.
+
+    ``None`` reads the :data:`JOBS_ENV` environment variable (missing or
+    empty means 1 — the serial default); ``-1`` means every core the
+    machine reports. The result is always >= 1.
+    """
+    if n_jobs is None:
+        raw = os.environ.get(JOBS_ENV)
+        if raw is None or not raw.strip():
+            return 1
+        try:
+            n_jobs = int(raw)
+        except ValueError:
+            raise ValidationError(
+                f"{JOBS_ENV}={raw!r} is not an integer; set it to a "
+                "worker count >= 1 (or -1 for all cores)"
+            ) from None
+        check_n_jobs(n_jobs, name=JOBS_ENV)
+    else:
+        n_jobs = check_n_jobs(n_jobs)
+    if n_jobs == -1:
+        return max(1, os.cpu_count() or 1)
+    return n_jobs
+
+
+def apply_parallel_params(estimator, updates: dict) -> None:
+    """Apply ``n_jobs``/``executor`` updates to an estimator, validated.
+
+    The single copy of "does this estimator support the parallel
+    parameters" shared by :class:`~repro.api.pipeline.MultiviewPipeline`
+    and the ``--jobs``/``--executor`` CLI flags: raises a clear
+    :class:`~repro.exceptions.ValidationError` naming the unsupported
+    parameters instead of a ``TypeError`` from deep inside ``__init__``.
+    """
+    if not updates:
+        return
+    supported = (
+        set(estimator._param_names())
+        if hasattr(estimator, "_param_names")
+        else set()
+    )
+    missing = sorted(set(updates) - supported)
+    if missing:
+        raise ValidationError(
+            f"{type(estimator).__name__} does not accept the parallel "
+            f"parameter(s) {', '.join(missing)}; use a parallel-aware "
+            "estimator (e.g. tcca) or drop them"
+        )
+    estimator.set_params(**updates)
+
+
+class _StarCall:
+    """Picklable ``fn(*args)`` adapter behind :meth:`ExecutionPolicy.starmap`."""
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def __call__(self, args):
+        return self.fn(*args)
+
+
+class ExecutionPolicy:
+    """How a batch of independent work items is executed.
+
+    The contract is deliberately minimal so every parallel site in the
+    library stays deterministic: :meth:`map` returns results **in input
+    order** regardless of completion order, and callers reduce partial
+    results in that fixed order — so a computation gives the same answer
+    (to round-off) whichever executor runs it.
+    """
+
+    #: number of concurrent workers this policy aims for.
+    n_workers: int = 1
+
+    def map(self, fn, items) -> list:
+        """Apply ``fn`` to every item; results in input order."""
+        raise NotImplementedError
+
+    def starmap(self, fn, items) -> list:
+        """Like :meth:`map` but unpacks each item as ``fn(*item)``."""
+        return self.map(_StarCall(fn), [tuple(item) for item in items])
+
+    def for_shared_memory(self) -> "ExecutionPolicy":
+        """The policy to use for kernels over shared in-process arrays.
+
+        Process pools would pickle the (possibly large) operands per
+        call; thread pools share them for free, and the kernels in
+        question spend their time in GIL-releasing BLAS. Thread and
+        serial policies return themselves.
+        """
+        return self
+
+    def shutdown(self) -> None:
+        """Release any pooled workers (no-op for pool-less policies)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n_workers={self.n_workers})"
+
+
+class SerialExecutor(ExecutionPolicy):
+    """In-process iteration — the default, zero-overhead policy."""
+
+    n_workers = 1
+
+    def map(self, fn, items) -> list:
+        return [fn(item) for item in items]
+
+
+class _PoolExecutor(ExecutionPolicy):
+    """Shared machinery of the pool-backed policies.
+
+    The pool is created lazily on first use and **reused** across
+    :meth:`map` calls — a fit maps once per stage and once per solver
+    sweep, so paying pool startup per call would swamp small kernels
+    (hundreds of pools per fit). Workers shut down when the policy is
+    garbage collected (``concurrent.futures`` tears pools down via the
+    executor's weakref) or explicitly via :meth:`shutdown`.
+    """
+
+    _pool_class: type | None = None
+
+    def __init__(self, n_workers: int = 2):
+        if isinstance(n_workers, bool) or not isinstance(
+            n_workers, (int, np.integer)
+        ):
+            raise ValidationError(
+                f"n_workers must be an integer >= 1, got {n_workers!r}"
+            )
+        self.n_workers = max(1, int(n_workers))
+        self._pool = None
+
+    def _get_pool(self):
+        if self._pool is None:
+            self._pool = self._pool_class(max_workers=self.n_workers)
+        return self._pool
+
+    def shutdown(self) -> None:
+        """Release the pool's workers (idempotent; pool recreates on use)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def map(self, fn, items) -> list:
+        items = list(items)
+        if len(items) <= 1 or self.n_workers <= 1:
+            return [fn(item) for item in items]
+        return list(self._get_pool().map(fn, items))
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Thread-pool policy — shares memory, wins on GIL-releasing kernels."""
+
+    _pool_class = ThreadPoolExecutor
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Process-pool policy — true isolation; work and results are pickled."""
+
+    _pool_class = ProcessPoolExecutor
+
+    def for_shared_memory(self) -> ExecutionPolicy:
+        return ThreadExecutor(self.n_workers)
+
+
+def resolve_executor(executor="auto", n_jobs=None) -> ExecutionPolicy:
+    """Turn ``(executor, n_jobs)`` config into an :class:`ExecutionPolicy`.
+
+    An :class:`ExecutionPolicy` instance passes through unchanged
+    (``n_jobs`` is ignored — the instance already carries its width).
+    ``"auto"`` picks :class:`ThreadExecutor` whenever more than one
+    worker is requested — the hot loops are GIL-releasing NumPy kernels,
+    so threads parallelize them without any pickling cost — and
+    :class:`SerialExecutor` otherwise. ``n_jobs=None`` defers to the
+    ``REPRO_JOBS`` environment variable; ``-1`` means all cores.
+    """
+    if isinstance(executor, ExecutionPolicy):
+        return executor
+    if executor is None:
+        executor = "auto"
+    check_executor_name(executor)
+    if executor == "serial":
+        return SerialExecutor()
+    workers = effective_n_jobs(n_jobs)
+    if executor == "thread":
+        return ThreadExecutor(workers)
+    if executor == "process":
+        return ProcessExecutor(workers)
+    return ThreadExecutor(workers) if workers > 1 else SerialExecutor()

@@ -25,7 +25,7 @@ import copy
 import numpy as np
 
 from repro.exceptions import ValidationError
-from repro.utils.validation import check_views
+from repro.utils.validation import check_positive_int, check_views
 
 __all__ = [
     "ArrayViewStream",
@@ -39,10 +39,10 @@ DEFAULT_CHUNK_SIZE = 256
 
 
 def _check_chunk_size(chunk_size) -> int:
-    chunk_size = int(chunk_size)
-    if chunk_size < 1:
-        raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
-    return chunk_size
+    # check_positive_int rejects non-integers (floats, bools, strings)
+    # with a clear message, so a bad chunk_size fails at the API
+    # boundary instead of deep in a slicing loop.
+    return check_positive_int(chunk_size, "chunk_size")
 
 
 class ViewStream:
@@ -183,27 +183,37 @@ class GeneratorViewStream(ViewStream):
     def n_samples(self) -> int:
         return self._n_samples
 
+    def chunk_at(self, index: int, start: int, stop: int):
+        """Produce (and validate) the single chunk for ``[start, stop)``.
+
+        Chunks are generated independently per index, so random access
+        is as cheap as sequential — which lets a
+        :class:`~repro.parallel.sharding.StreamShard` produce only its
+        own block instead of replaying the whole pass.
+        """
+        chunk = tuple(
+            np.asarray(block, dtype=np.float64)
+            for block in self._factory(index, start, stop)
+        )
+        if len(chunk) != len(self._dims):
+            raise ValidationError(
+                f"chunk factory returned {len(chunk)} views, "
+                f"expected {len(self._dims)}"
+            )
+        for block, dim in zip(chunk, self._dims):
+            if block.shape != (dim, stop - start):
+                raise ValidationError(
+                    f"chunk {index} has view shapes "
+                    f"{[b.shape for b in chunk]}, expected dims "
+                    f"{self._dims} with {stop - start} samples"
+                )
+        return chunk
+
     def chunks(self):
         for index, (start, stop) in enumerate(
             _chunk_bounds(self._n_samples, self.chunk_size)
         ):
-            chunk = tuple(
-                np.asarray(block, dtype=np.float64)
-                for block in self._factory(index, start, stop)
-            )
-            if len(chunk) != len(self._dims):
-                raise ValidationError(
-                    f"chunk factory returned {len(chunk)} views, "
-                    f"expected {len(self._dims)}"
-                )
-            for block, dim in zip(chunk, self._dims):
-                if block.shape != (dim, stop - start):
-                    raise ValidationError(
-                        f"chunk {index} has view shapes "
-                        f"{[b.shape for b in chunk]}, expected dims "
-                        f"{self._dims} with {stop - start} samples"
-                    )
-            yield chunk
+            yield self.chunk_at(index, start, stop)
 
 
 def iter_validated_chunks(stream: ViewStream):

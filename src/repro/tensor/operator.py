@@ -26,10 +26,13 @@ fly and pays one stream pass per contraction).
 from __future__ import annotations
 
 import math
+from functools import partial
 
 import numpy as np
 
 from repro.exceptions import ShapeError, ValidationError
+from repro.parallel.executors import ExecutionPolicy, SerialExecutor
+from repro.parallel.sharding import shard_stream
 from repro.streaming.views import iter_validated_chunks
 from repro.utils.validation import check_views
 
@@ -38,6 +41,18 @@ __all__ = ["CovarianceTensorOperator"]
 #: sample-block budget (floats) for the pairwise-Gram accumulations, so the
 #: ``(N, block)`` intermediates stay near 64 MB regardless of ``N``.
 DEFAULT_BLOCK_FLOATS = 2**23
+
+
+def _as_kernel_policy(policy) -> ExecutionPolicy:
+    """The execution policy the blocked kernels should run under.
+
+    Kernels contract *shared, resident* arrays, so a process policy is
+    converted to its thread twin (numpy releases the GIL in BLAS and the
+    einsum/ufunc loops — threads win here without pickling operands).
+    """
+    if not isinstance(policy, ExecutionPolicy):
+        return SerialExecutor()
+    return policy.for_shared_memory()
 
 
 def _check_factors(shape, factors):
@@ -87,11 +102,21 @@ def _check_vectors(shape, vectors):
 
 
 class _MatrixBackend:
-    """Contractions against resident whitened view matrices ``(d_p, N)``."""
+    """Contractions against resident whitened view matrices ``(d_p, N)``.
 
-    def __init__(self, views, block_floats: int = DEFAULT_BLOCK_FLOATS):
+    The blocked passes (unfolding Grams, MTTKRP) map independent sample
+    blocks across the execution policy's workers and reduce the per-block
+    partial sums in the caller, **in block order** — so the threaded and
+    serial results agree to round-off, and exactly when the block
+    partition matches.
+    """
+
+    def __init__(
+        self, views, block_floats: int = DEFAULT_BLOCK_FLOATS, policy=None
+    ):
         self.views = check_views(views, min_views=2)
         self.block_floats = int(block_floats)
+        self.policy = _as_kernel_policy(policy)
 
     @property
     def shape(self) -> tuple[int, ...]:
@@ -101,15 +126,27 @@ class _MatrixBackend:
     def n_samples(self) -> int:
         return int(self.views[0].shape[1])
 
-    def mttkrp(self, factors, mode: int) -> np.ndarray:
-        n = self.n_samples
+    def _mttkrp_block(self, factors, mode: int, start: int, stop: int):
         rank = factors[0].shape[1]
-        hadamard = np.ones((n, rank))
+        hadamard = np.ones((stop - start, rank))
         for other, (view, factor) in enumerate(zip(self.views, factors)):
             if other == mode:
                 continue
-            hadamard *= view.T @ factor
-        return (self.views[mode] @ hadamard) / n
+            hadamard *= view[:, start:stop].T @ factor
+        return self.views[mode][:, start:stop] @ hadamard
+
+    def mttkrp(self, factors, mode: int) -> np.ndarray:
+        n = self.n_samples
+        if self.policy.n_workers > 1:
+            partials = self.policy.starmap(
+                partial(self._mttkrp_block, factors, mode),
+                self._sample_blocks(),
+            )
+            result = partials[0]
+            for block in partials[1:]:
+                result += block
+            return result / n
+        return self._mttkrp_block(factors, mode, 0, n) / n
 
     def multi_contract(self, vectors) -> float:
         product = np.ones(self.n_samples)
@@ -118,31 +155,49 @@ class _MatrixBackend:
         return float(product.sum() / self.n_samples)
 
     def _sample_blocks(self):
-        # One (N, block) product buffer is alive per view, so the budget
-        # is split across all of them.
+        # One (N, block) product buffer is alive per view — and one set
+        # per concurrent worker — so the budget is split across all of
+        # them to keep the peak near block_floats regardless of width.
         n = self.n_samples
         step = max(
-            1, int(self.block_floats // max(n * len(self.views), 1))
+            1,
+            int(
+                self.block_floats
+                // max(n * len(self.views) * self.policy.n_workers, 1)
+            ),
         )
         for start in range(0, n, step):
             yield start, min(start + step, n)
 
+    def _gram_block(self, start: int, stop: int) -> list[np.ndarray]:
+        """Every mode's Gram contribution of samples ``[start, stop)``."""
+        n = self.n_samples
+        # One set of per-view Gram blocks serves every mode; only the
+        # skip-one Hadamard product differs per mode.
+        products = [view.T @ view[:, start:stop] for view in self.views]
+        partials = []
+        for mode, view in enumerate(self.views):
+            weights = np.ones((n, stop - start))
+            for other, product in enumerate(products):
+                if other == mode:
+                    continue
+                weights *= product
+            partials.append((view @ weights) @ view[:, start:stop].T)
+        return partials
+
     def mode_grams(self) -> list[np.ndarray]:
         n = self.n_samples
+        blocks = list(self._sample_blocks())
+        if self.policy.n_workers > 1 and len(blocks) > 1:
+            per_block = self.policy.starmap(self._gram_block, blocks)
+        else:
+            per_block = [self._gram_block(start, stop) for start, stop in blocks]
         results = [
             np.zeros((view.shape[0], view.shape[0])) for view in self.views
         ]
-        for start, stop in self._sample_blocks():
-            # One set of per-view Gram blocks serves every mode; only the
-            # skip-one Hadamard product differs per mode.
-            products = [view.T @ view[:, start:stop] for view in self.views]
-            for mode, view in enumerate(self.views):
-                weights = np.ones((n, stop - start))
-                for other, product in enumerate(products):
-                    if other == mode:
-                        continue
-                    weights *= product
-                results[mode] += (view @ weights) @ view[:, start:stop].T
+        for partials in per_block:
+            for mode, block in enumerate(partials):
+                results[mode] += block
         return [result / (n * n) for result in results]
 
 
@@ -153,10 +208,16 @@ class _StreamBackend:
     and ``mode_gram`` need *pairs* of samples, so they make nested passes);
     peak memory is one whitened chunk per view plus the ``(n_chunk, r)``
     projections — independent of both ``N`` and ``∏ d_p``.
+
+    Under a parallel policy the single-pass contractions (MTTKRP, full
+    contraction) split the stream into shards and reduce the per-shard
+    partial sums in shard order; the nested-pass Gram computation runs
+    once per fit and stays sequential.
     """
 
-    def __init__(self, stream, whiteners, means):
+    def __init__(self, stream, whiteners, means, policy=None):
         self.stream = stream
+        self.policy = _as_kernel_policy(policy)
         self.whiteners = [
             np.asarray(whitener, dtype=np.float64) for whitener in whiteners
         ]
@@ -189,8 +250,10 @@ class _StreamBackend:
     def n_samples(self) -> int:
         return int(self.stream.n_samples)
 
-    def _whitened_chunks(self):
-        for chunks in iter_validated_chunks(self.stream):
+    def _whitened_chunks(self, stream=None):
+        for chunks in iter_validated_chunks(
+            self.stream if stream is None else stream
+        ):
             yield [
                 whitener @ (np.asarray(chunk, dtype=np.float64) - mean)
                 for whitener, chunk, mean in zip(
@@ -198,26 +261,57 @@ class _StreamBackend:
                 )
             ]
 
-    def mttkrp(self, factors, mode: int) -> np.ndarray:
+    def _shards(self) -> list | None:
+        """Stream shards for a parallel single-pass contraction."""
+        if self.policy.n_workers <= 1:
+            return None
+        try:
+            shards = shard_stream(self.stream, self.policy.n_workers)
+        except ValidationError:
+            # Streams without an up-front chunk geometry cannot be
+            # sharded; contract them sequentially.
+            return None
+        return shards if len(shards) > 1 else None
+
+    def _mttkrp_shard(self, factors, mode: int, stream) -> np.ndarray:
         rank = factors[0].shape[1]
         result = np.zeros((self.shape[mode], rank))
-        for whitened in self._whitened_chunks():
+        for whitened in self._whitened_chunks(stream):
             hadamard = np.ones((whitened[0].shape[1], rank))
             for other, (chunk, factor) in enumerate(zip(whitened, factors)):
                 if other == mode:
                     continue
                 hadamard *= chunk.T @ factor
             result += whitened[mode] @ hadamard
+        return result
+
+    def mttkrp(self, factors, mode: int) -> np.ndarray:
+        shards = self._shards()
+        if shards is None:
+            return self._mttkrp_shard(factors, mode, self.stream) / self.n_samples
+        partials = self.policy.map(
+            partial(self._mttkrp_shard, factors, mode), shards
+        )
+        result = partials[0]
+        for block in partials[1:]:
+            result += block
         return result / self.n_samples
 
-    def multi_contract(self, vectors) -> float:
+    def _contract_shard(self, vectors, stream) -> float:
         total = 0.0
-        for whitened in self._whitened_chunks():
+        for whitened in self._whitened_chunks(stream):
             product = np.ones(whitened[0].shape[1])
             for chunk, vector in zip(whitened, vectors):
                 product *= chunk.T @ vector
             total += float(product.sum())
-        return total / self.n_samples
+        return total
+
+    def multi_contract(self, vectors) -> float:
+        shards = self._shards()
+        if shards is None:
+            return self._contract_shard(vectors, self.stream) / self.n_samples
+        totals = self.policy.map(partial(self._contract_shard, vectors), shards)
+        return float(sum(totals)) / self.n_samples
 
     def mode_grams(self) -> list[np.ndarray]:
         results = [np.zeros((size, size)) for size in self.shape]
@@ -258,22 +352,31 @@ class CovarianceTensorOperator:
 
     @classmethod
     def from_views(
-        cls, views, *, block_floats: int = DEFAULT_BLOCK_FLOATS
+        cls, views, *, block_floats: int = DEFAULT_BLOCK_FLOATS, policy=None
     ) -> "CovarianceTensorOperator":
-        """Operator over resident (already whitened, centered) views."""
-        return cls(_MatrixBackend(views, block_floats=block_floats))
+        """Operator over resident (already whitened, centered) views.
+
+        A parallel ``policy`` threads the blocked Gram/MTTKRP kernels
+        (process policies are demoted to their thread twin — the operands
+        are shared arrays and the kernels release the GIL in BLAS).
+        """
+        return cls(
+            _MatrixBackend(views, block_floats=block_floats, policy=policy)
+        )
 
     @classmethod
     def from_stream(
-        cls, stream, *, whiteners, means
+        cls, stream, *, whiteners, means, policy=None
     ) -> "CovarianceTensorOperator":
         """Operator over a re-iterable chunked stream of *raw* views.
 
         Chunks are centered with ``means`` (``(d_p, 1)`` columns) and
         whitened with ``whiteners`` (``(d_p, d_p)``) on the fly during
-        every contraction, so nothing ``N``-sized is ever resident.
+        every contraction, so nothing ``N``-sized is ever resident. A
+        parallel ``policy`` splits each single-pass contraction across
+        stream shards.
         """
-        return cls(_StreamBackend(stream, whiteners, means))
+        return cls(_StreamBackend(stream, whiteners, means, policy=policy))
 
     @property
     def shape(self) -> tuple[int, ...]:

@@ -327,6 +327,80 @@ class TestPersistence:
         with pytest.raises(ValidationError, match="version"):
             load_model(path)
 
+    def test_save_is_atomic_on_crash_before_rename(
+        self, views, tmp_path, monkeypatch
+    ):
+        """A failure between write and rename never corrupts the model.
+
+        Simulates a crash at the worst moment — the archive fully
+        written to the temporary file but ``os.replace`` never reached —
+        and asserts the deployed file still loads as the *old* model and
+        no temp litter is left behind.
+        """
+        import os
+
+        from repro.api import persistence
+
+        path = tmp_path / "deployed.npz"
+        first, _ = _fit_case("tcca", views)
+        save_model(first, path)
+        expected = first.transform_combined(views)
+
+        second = make_reducer("tcca", n_components=1, random_state=1).fit(views)
+
+        def crash(src, dst):
+            raise OSError("simulated crash between write and rename")
+
+        monkeypatch.setattr(persistence.os, "replace", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_model(second, path)
+        monkeypatch.undo()
+
+        # the deployed file is still the first model, intact
+        loaded = load_model(path)
+        assert type(loaded) is type(first)
+        np.testing.assert_allclose(
+            loaded.transform_combined(views), expected, rtol=0, atol=1e-12
+        )
+        # no temporary files left next to the model
+        assert os.listdir(tmp_path) == ["deployed.npz"]
+
+    def test_save_is_atomic_on_write_failure(
+        self, views, tmp_path, monkeypatch
+    ):
+        """A failure *during* the write also leaves the old file intact."""
+        import os
+
+        from repro.api import persistence
+
+        path = tmp_path / "deployed.npz"
+        first, _ = _fit_case("tcca", views)
+        save_model(first, path)
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(persistence.np, "savez", explode)
+        with pytest.raises(OSError, match="disk full"):
+            save_model(first, path)
+        monkeypatch.undo()
+
+        assert load_model(path).get_params() == first.get_params()
+        assert os.listdir(tmp_path) == ["deployed.npz"]
+
+    def test_atomic_save_honors_umask_permissions(self, views, tmp_path):
+        """mkstemp's 0600 must not leak into the deployed model file."""
+        import os
+        import stat
+
+        path = tmp_path / "readable.npz"
+        estimator, _ = _fit_case("tcca", views)
+        save_model(estimator, path)
+        umask = os.umask(0)
+        os.umask(umask)
+        mode = stat.S_IMODE(os.stat(path).st_mode)
+        assert mode == (0o666 & ~umask)
+
 
 # --------------------------------------------------------------------------
 # Pipeline

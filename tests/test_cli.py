@@ -258,3 +258,77 @@ class TestUpdateCommand:
                  "--out", str(tmp_path / "m.npz")]
             )
         assert "partial_fit" in capsys.readouterr().err
+
+
+class TestParallelOptions:
+    def test_jobs_flag_parses_and_rejects_zero(self):
+        args = build_parser().parse_args(
+            ["fit", "tcca", "--synthetic", "80", "--jobs", "-1",
+             "--executor", "process", "--out", "m.npz"]
+        )
+        assert args.jobs == -1
+        assert args.executor == "process"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["fit", "tcca", "--synthetic", "80", "--jobs", "0",
+                 "--out", "m.npz"]
+            )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["fit", "tcca", "--synthetic", "80", "--executor", "gpu",
+                 "--out", "m.npz"]
+            )
+
+    def test_fit_with_jobs_persists_parallel_config(self, tmp_path, capsys):
+        from repro.api import load_model
+
+        model = str(tmp_path / "parallel.npz")
+        code = main(
+            ["fit", "tcca", "--synthetic", "120", "--jobs", "2",
+             "--executor", "thread", "--param", "n_components=2",
+             "--param", "random_state=0", "--out", model]
+        )
+        assert code == 0
+        assert "120 samples" in capsys.readouterr().out
+        loaded = load_model(model)
+        assert loaded.n_jobs == 2
+        assert loaded.executor == "thread"
+
+    def test_fit_jobs_rejected_for_non_parallel_reducer(
+        self, tmp_path, capsys
+    ):
+        with pytest.raises(SystemExit):
+            main(
+                ["fit", "lscca", "--synthetic", "80", "--jobs", "2",
+                 "--out", str(tmp_path / "m.npz")]
+            )
+        err = capsys.readouterr().err
+        assert "does not accept" in err and "n_jobs" in err
+
+    def test_update_with_jobs(self, tmp_path, capsys):
+        model = str(tmp_path / "inc.npz")
+        assert main(
+            ["fit", "tcca", "--incremental", "--synthetic", "160",
+             "--out", model]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["update", model, "--synthetic", "90", "--seed", "2",
+             "--jobs", "2"]
+        )
+        assert code == 0
+        assert "250 accumulated" in capsys.readouterr().out
+
+    def test_run_jobs_env_is_scoped_to_the_run(self, monkeypatch, capsys):
+        import os
+
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        code = main(
+            ["run", "fig8", "--jobs", "2", "--override", "n_samples=150",
+             "--override", "dims=(3,)"]
+        )
+        assert code == 0
+        assert "TCCA" in capsys.readouterr().out
+        # the default is scoped to the experiment run, not leaked into
+        # the process for later fits
+        assert "REPRO_JOBS" not in os.environ
