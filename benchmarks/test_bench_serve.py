@@ -1,0 +1,215 @@
+"""Latency/throughput benchmark of the ``repro serve`` micro-batcher.
+
+Measures p50/p99 latency and request throughput for one sequential
+client vs. many concurrent clients across micro-batch windows, over the
+real asyncio server on loopback sockets. The numbers demonstrate the
+serving claim behind the subsystem: concurrent requests coalesced into
+micro-batches (one model call amortizes many requests) serve strictly
+more requests per second than the same traffic handled one request at a
+time — and the batch window is the explicit knob trading per-request
+latency for amortization.
+
+Printed as a table and recorded as ``BENCH_serve.json`` when
+``REPRO_BENCH_DIR`` is set (the CI artifact).
+
+Speedup assertions stay conditional on ``os.cpu_count()`` per the
+ROADMAP note: single-core dev containers measure, CI enforces.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.api import MultiviewPipeline, save_model
+from repro.datasets import make_multiview_latent
+from repro.serve import ModelManager, ServeApp
+
+DIMS = (30, 24, 18)
+N_FIT = 400
+N_CLIENTS = 8
+REQUESTS_PER_CLIENT = 24
+SEQUENTIAL_REQUESTS = 96
+WINDOWS_MS = (0.0, 2.0, 10.0)
+
+
+class KeepAliveClient:
+    """A minimal pipelined HTTP/1.1 client on an asyncio stream."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def connect(cls, port: int) -> "KeepAliveClient":
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        return cls(reader, writer)
+
+    async def request(self, path: str, payload) -> dict:
+        body = json.dumps(payload).encode()
+        self.writer.write(
+            f"POST {path} HTTP/1.1\r\nContent-Length: {len(body)}"
+            "\r\n\r\n".encode() + body
+        )
+        await self.writer.drain()
+        status_line = await self.reader.readline()
+        assert b"200" in status_line, status_line
+        length = None
+        while True:
+            line = await self.reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if line.lower().startswith(b"content-length:"):
+                length = int(line.split(b":")[1])
+        return json.loads((await self.reader.readexactly(length)).decode())
+
+    def close(self) -> None:
+        self.writer.close()
+
+
+def percentiles(latencies) -> dict:
+    array = np.asarray(latencies) * 1000.0
+    return {
+        "p50_ms": float(np.percentile(array, 50)),
+        "p99_ms": float(np.percentile(array, 99)),
+        "mean_ms": float(array.mean()),
+    }
+
+
+async def run_traffic(app, *, n_clients: int, n_requests: int, payload):
+    """``(stats, seconds)`` for n_clients × n_requests over real sockets."""
+    server = await asyncio.start_server(
+        app.handle_connection, "127.0.0.1", 0
+    )
+    port = server.sockets[0].getsockname()[1]
+    latencies: list[float] = []
+    batch_sizes: list[int] = []
+
+    async def client():
+        connection = await KeepAliveClient.connect(port)
+        try:
+            for _ in range(n_requests):
+                start = time.perf_counter()
+                body = await connection.request("/transform", payload)
+                latencies.append(time.perf_counter() - start)
+                batch_sizes.append(body["batch_size"])
+        finally:
+            connection.close()
+
+    try:
+        start = time.perf_counter()
+        await asyncio.gather(*(client() for _ in range(n_clients)))
+        seconds = time.perf_counter() - start
+    finally:
+        server.close()
+        await server.wait_closed()
+    total = n_clients * n_requests
+    return {
+        **percentiles(latencies),
+        "requests": total,
+        "req_per_s": total / seconds,
+        "mean_batch_size": float(np.mean(batch_sizes)),
+        "max_batch_size": int(np.max(batch_sizes)),
+    }, seconds
+
+
+def test_bench_serve(tmp_path, bench_record, capsys):
+    data = make_multiview_latent(
+        n_samples=N_FIT, dims=DIMS, random_state=0
+    )
+    pipeline = MultiviewPipeline(
+        "tcca",
+        "rls",
+        reducer_params={"n_components": 3, "random_state": 0},
+    ).fit(data.views, data.labels)
+    path = os.fspath(tmp_path / "model.npz")
+    save_model(pipeline, path)
+    payload = {
+        "views": [view[:, :1].T.tolist() for view in data.views]
+    }
+
+    def measure(*, n_clients, n_requests, window_seconds):
+        app = ServeApp(
+            ModelManager(path),
+            max_batch=64,
+            window_seconds=window_seconds,
+            timeout_seconds=30.0,
+        )
+        stats, _ = asyncio.run(
+            run_traffic(
+                app,
+                n_clients=n_clients,
+                n_requests=n_requests,
+                payload=payload,
+            )
+        )
+        return stats
+
+    results = {
+        "cpu_count": os.cpu_count(),
+        "n_clients": N_CLIENTS,
+        "dims": list(DIMS),
+    }
+    # one client, one request at a time — the unbatched baseline
+    results["sequential"] = measure(
+        n_clients=1,
+        n_requests=SEQUENTIAL_REQUESTS,
+        window_seconds=0.0,
+    )
+    results["windows"] = {}
+    for window_ms in WINDOWS_MS:
+        results["windows"][f"{window_ms:g}ms"] = measure(
+            n_clients=N_CLIENTS,
+            n_requests=REQUESTS_PER_CLIENT,
+            window_seconds=window_ms / 1000.0,
+        )
+
+    best = max(
+        results["windows"].values(), key=lambda s: s["req_per_s"]
+    )
+    results["speedup_vs_sequential"] = (
+        best["req_per_s"] / results["sequential"]["req_per_s"]
+    )
+
+    with capsys.disabled():
+        print()
+        print(
+            f"serve benchmark — {N_CLIENTS} clients, dims {DIMS}, "
+            f"{os.cpu_count()} cores"
+        )
+        header = (
+            f"{'workload':<16}{'req/s':>9}{'p50 ms':>9}"
+            f"{'p99 ms':>9}{'batch':>7}"
+        )
+        print(header)
+        rows = [("sequential", results["sequential"])] + [
+            (f"{N_CLIENTS}cli window {k}", v)
+            for k, v in results["windows"].items()
+        ]
+        for label, stats in rows:
+            print(
+                f"{label:<16}{stats['req_per_s']:>9.0f}"
+                f"{stats['p50_ms']:>9.2f}{stats['p99_ms']:>9.2f}"
+                f"{stats['mean_batch_size']:>7.1f}"
+            )
+        print(
+            "best concurrent vs sequential: "
+            f"{results['speedup_vs_sequential']:.2f}x"
+        )
+    bench_record(results, name="serve")
+
+    # correctness-of-harness invariants, always on
+    assert results["sequential"]["mean_batch_size"] == 1.0
+    # with 8 clients and a 10 ms window, requests must actually coalesce
+    assert results["windows"]["10ms"]["mean_batch_size"] >= 1.5
+    # the headline gate, conditional per the ROADMAP note on 1-core boxes
+    if (os.cpu_count() or 1) >= 2:
+        assert results["speedup_vs_sequential"] > 1.0, (
+            "micro-batched concurrent serving should out-serve "
+            "sequential single-request serving: "
+            f"{results['speedup_vs_sequential']:.2f}x"
+        )

@@ -24,6 +24,14 @@ ever refitting from scratch (warm-started refresh)::
     python -m repro update model.npz --data new_batch.npz
     python -m repro update model.npz --data later_batch.npz --out v2.npz
 
+Serving — an asyncio HTTP server that micro-batches concurrent
+``/transform`` / ``/predict`` requests into single model calls and
+hot-reloads the model whenever ``repro update`` atomically replaces the
+file (``/healthz`` and ``/modelz`` report liveness, version, and the
+model's content hash)::
+
+    python -m repro serve model.npz --port 8100 --batch-window-ms 5
+
 Data files (``--data``) are ``.npz`` archives with one ``(d_p, N)`` array
 per view under ``view0``, ``view1``, … and an optional length-``N``
 ``labels`` array; ``--synthetic N --seed S`` draws the same
@@ -266,6 +274,44 @@ def build_parser() -> argparse.ArgumentParser:
         "input file)",
     )
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="serve a saved model over HTTP with async micro-batched "
+        "inference and hot reload on `repro update`",
+    )
+    serve_parser.add_argument(
+        "model", metavar="MODEL.npz",
+        help="model file written by fit (hot-reloaded when the file is "
+        "atomically replaced, e.g. by `repro update`)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default "
+        "127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8100,
+        help="bind port (default 8100; 0 picks a free port)",
+    )
+    serve_parser.add_argument(
+        "--batch-window-ms", type=float, default=5.0, metavar="MS",
+        help="micro-batch window: how long the first queued request "
+        "waits for company before its batch flushes (default 5)",
+    )
+    serve_parser.add_argument(
+        "--max-batch", type=_positive_int, default=32, metavar="N",
+        help="flush a batch as soon as it holds N sample rows "
+        "(default 32)",
+    )
+    serve_parser.add_argument(
+        "--timeout-s", type=float, default=30.0, metavar="S",
+        help="per-request queueing deadline in seconds (default 30)",
+    )
+    serve_parser.add_argument(
+        "--max-body-mb", type=float, default=8.0, metavar="MB",
+        help="request body ceiling; larger payloads get a 413 "
+        "(default 8)",
+    )
+
     transform_parser = subparsers.add_parser(
         "transform",
         help="project data with a saved model and report/save the "
@@ -467,6 +513,37 @@ def _command_update(args, parser: argparse.ArgumentParser) -> int:
     return 0
 
 
+def _command_serve(args, parser: argparse.ArgumentParser) -> int:
+    from repro.serve import run_server
+
+    if args.port < 0 or args.port > 65535:
+        parser.error(f"--port must be in [0, 65535], got {args.port}")
+    if args.batch_window_ms < 0:
+        parser.error(
+            f"--batch-window-ms must be >= 0, got {args.batch_window_ms}"
+        )
+    if args.timeout_s <= 0:
+        parser.error(f"--timeout-s must be positive, got {args.timeout_s}")
+    if args.max_body_mb <= 0:
+        parser.error(
+            f"--max-body-mb must be positive, got {args.max_body_mb}"
+        )
+    try:
+        run_server(
+            args.model,
+            args.host,
+            args.port,
+            max_batch=args.max_batch,
+            window_seconds=args.batch_window_ms / 1000.0,
+            timeout_seconds=args.timeout_s,
+            max_body=int(args.max_body_mb * 1024 * 1024),
+        )
+    except KeyboardInterrupt:
+        pass
+    print("server drained and stopped", flush=True)
+    return 0
+
+
 def _command_transform(args, parser: argparse.ArgumentParser) -> int:
     from repro.api import MultiviewPipeline, load_model
 
@@ -549,10 +626,11 @@ def main(argv=None) -> int:
         return 0
     if args.command == "estimators":
         return _command_estimators()
-    if args.command in ("fit", "update", "transform", "predict"):
+    if args.command in ("fit", "update", "serve", "transform", "predict"):
         handler = {
             "fit": _command_fit,
             "update": _command_update,
+            "serve": _command_serve,
             "transform": _command_transform,
             "predict": _command_predict,
         }[args.command]

@@ -29,6 +29,7 @@ from repro.api.persistence import (
     MODEL_FORMAT,
     MODEL_FORMAT_VERSION,
     PIPELINE_FORMAT,
+    hash_model_file,
     load_model,
     save_model,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "available_reducers",
     "classifier_from_config",
     "get_estimator_class",
+    "hash_model_file",
     "load_model",
     "make_classifier",
     "make_reducer",

@@ -19,6 +19,7 @@ instead of misreading them.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -32,6 +33,7 @@ __all__ = [
     "MODEL_FORMAT",
     "MODEL_FORMAT_VERSION",
     "PIPELINE_FORMAT",
+    "hash_model_file",
     "load_model",
     "save_model",
 ]
@@ -274,6 +276,24 @@ def save_model(model, path):
     }
     write_archive(path, header, arrays)
     return path
+
+
+def hash_model_file(path, *, chunk_size: int = 1 << 20) -> str:
+    """SHA-256 hex digest of a model file's bytes.
+
+    The content hash is the identity a serving process reports for the
+    model it loaded (``/modelz``): because saves are atomic, the hash
+    of the file on disk either equals the hash of the loaded model or a
+    complete newer model — never a torn intermediate state.
+    """
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            block = handle.read(chunk_size)
+            if not block:
+                break
+            digest.update(block)
+    return digest.hexdigest()
 
 
 def load_model(path):

@@ -230,6 +230,41 @@ class MultiviewPipeline:
         labels = np.asarray(labels)
         return float(np.mean(self.predict(views) == labels))
 
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def view_dims(self) -> tuple[int, ...] | None:
+        """Fitted per-view feature dimensions, or ``None`` before fit.
+
+        The serving layer validates every request against these, so a
+        wrong view count / per-view dimension fails as a typed 4xx
+        before the batcher ever stacks the request.
+        """
+        dims = getattr(self.reducer, "_dims", None)
+        if dims is None:
+            return None
+        return tuple(int(dim) for dim in dims)
+
+    def describe(self) -> dict:
+        """Identity summary for serving introspection (``/modelz``)."""
+        reducer_name = vars(type(self.reducer)).get(
+            "_registry_name_", type(self.reducer).__name__
+        )
+        classifier_name = vars(type(self.classifier)).get(
+            "_registry_name_", type(self.classifier).__name__
+        )
+        dims = self.view_dims
+        return {
+            "reducer": reducer_name,
+            "classifier": classifier_name,
+            "scale_views": self.scale_views,
+            "n_views": getattr(self, "n_views_", None),
+            "n_components": getattr(
+                self.reducer, "n_components", None
+            ),
+            "view_dims": None if dims is None else list(dims),
+        }
+
     # -- persistence --------------------------------------------------------
 
     def save(self, path):

@@ -1,0 +1,57 @@
+"""``repro serve`` — async micro-batched model serving with hot reload.
+
+The serving subsystem the rest of the library was built toward: a saved
+model file (PR 2's versioned no-pickle format, PR 5's atomic replace)
+served over HTTP by a stdlib-only asyncio server that
+
+* coalesces concurrent ``/transform`` / ``/predict`` requests into
+  micro-batches — one BLAS call amortizes many requests, the serving
+  analogue of the parallel kernels' win (:mod:`repro.serve.batcher`);
+* hot-swaps the model between batches when ``repro update`` atomically
+  replaces the file, without dropping a request
+  (:mod:`repro.serve.model_manager`);
+* maps malformed requests onto the library's own validation taxonomy
+  as structured 4xx JSON bodies (:mod:`repro.serve.protocol`).
+
+Start it from a fitted model file::
+
+    python -m repro serve model.npz --port 8100 \
+        --batch-window-ms 5 --max-batch 64
+
+and hot-reload it by growing the model in place::
+
+    python -m repro update model.npz --data new_batch.npz
+"""
+
+from repro.serve.batcher import (
+    LoopClock,
+    ManualClock,
+    MicroBatcher,
+    RequestTimeout,
+    ServerDraining,
+)
+from repro.serve.model_manager import ModelManager, ModelSnapshot
+from repro.serve.protocol import (
+    ProtocolError,
+    Request,
+    Response,
+    decode_views,
+)
+from repro.serve.server import ServeApp, run_server, serve_forever
+
+__all__ = [
+    "LoopClock",
+    "ManualClock",
+    "MicroBatcher",
+    "ModelManager",
+    "ModelSnapshot",
+    "ProtocolError",
+    "Request",
+    "RequestTimeout",
+    "Response",
+    "ServeApp",
+    "ServerDraining",
+    "decode_views",
+    "run_server",
+    "serve_forever",
+]

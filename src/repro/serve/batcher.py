@@ -1,0 +1,337 @@
+"""Micro-batching: park concurrent requests, flush one model call.
+
+The insight that makes the PR 5 threaded kernels win — one BLAS call
+amortizes many inputs — applies directly to serving: ``n`` concurrent
+one-sample requests cost nearly the same as one ``n``-sample
+``transform``. :class:`MicroBatcher` therefore parks each request in an
+async queue and flushes when either
+
+* the queued sample rows reach ``max_batch``, or
+* ``window_seconds`` elapse after the first queued request
+
+— whichever comes first. A flush snapshots the current model (so a
+hot-reload between flushes never mixes versions *within* a batch),
+stacks the per-request views into one ``(d_p, Σnᵢ)`` matrix per view,
+runs the model once in a worker thread (NumPy releases the GIL in the
+BLAS call, keeping the event loop responsive), and scatters contiguous
+row slices back to each waiter.
+
+All timing goes through a :class:`Clock` so the batcher is testable
+with a :class:`ManualClock` — deadlines, per-request timeouts, and
+drain are exercised deterministically, no ``sleep`` anywhere.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "BatchResult",
+    "Clock",
+    "LoopClock",
+    "ManualClock",
+    "MicroBatcher",
+    "RequestTimeout",
+    "ServerDraining",
+]
+
+
+class RequestTimeout(ReproError):
+    """A queued request hit its deadline before any flush picked it up."""
+
+
+class ServerDraining(ReproError):
+    """The batcher is draining (shutdown); new requests are refused."""
+
+
+# -- clocks ------------------------------------------------------------------
+
+
+class Clock:
+    """Scheduling surface the batcher needs: ``monotonic`` + ``call_later``.
+
+    ``call_later`` returns a handle with a ``cancel()`` method.
+    """
+
+    def monotonic(self) -> float:
+        raise NotImplementedError
+
+    def call_later(self, delay: float, callback):
+        raise NotImplementedError
+
+
+class LoopClock(Clock):
+    """The real clock: delegates to the running asyncio event loop."""
+
+    def monotonic(self) -> float:
+        return asyncio.get_running_loop().time()
+
+    def call_later(self, delay: float, callback):
+        return asyncio.get_running_loop().call_later(delay, callback)
+
+
+class _ManualTimer:
+    __slots__ = ("when", "callback", "cancelled")
+
+    def __init__(self, when: float, callback):
+        self.when = when
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class ManualClock(Clock):
+    """A deterministic clock driven explicitly by ``advance()``.
+
+    Timers fire synchronously, in deadline order, from inside
+    ``advance`` — tests control exactly when a batch window or a
+    request timeout elapses, so timing-dependent behavior is exercised
+    without a single real sleep.
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._timers: list[tuple[float, int, _ManualTimer]] = []
+        self._counter = itertools.count()
+
+    def monotonic(self) -> float:
+        return self._now
+
+    def call_later(self, delay: float, callback) -> _ManualTimer:
+        timer = _ManualTimer(self._now + max(0.0, delay), callback)
+        heapq.heappush(self._timers, (timer.when, next(self._counter), timer))
+        return timer
+
+    def advance(self, seconds: float = 0.0) -> None:
+        """Move time forward, firing every timer that comes due."""
+        self._now += max(0.0, seconds)
+        while self._timers and self._timers[0][0] <= self._now:
+            _, _, timer = heapq.heappop(self._timers)
+            if not timer.cancelled:
+                timer.callback()
+
+
+# -- the batcher -------------------------------------------------------------
+
+
+@dataclass
+class BatchResult:
+    """What ``submit`` resolves to: this request's rows + batch metadata."""
+
+    output: np.ndarray
+    batch_id: int
+    batch_size: int
+    batch_rows: int
+    snapshot: object
+
+
+class _Pending:
+    __slots__ = ("views", "n_rows", "future", "timeout_handle")
+
+    def __init__(self, views, n_rows, future):
+        self.views = views
+        self.n_rows = n_rows
+        self.future = future
+        self.timeout_handle = None
+
+
+class MicroBatcher:
+    """Coalesce concurrent requests into single model calls.
+
+    Parameters
+    ----------
+    runner:
+        ``runner(snapshot, stacked_views) -> array`` — the one model
+        call per flush. The returned array's first axis must be the
+        sample axis (``transform`` outputs ``(N, k)``, ``predict``
+        outputs ``(N,)``), so contiguous row slices scatter back to the
+        submitting requests.
+    get_snapshot:
+        Called once per flush for the model snapshot handed to
+        ``runner`` — the hot-reload seam: the model manager checks the
+        file here, so a swap lands *between* batches, never inside one.
+    max_batch:
+        Flush as soon as this many sample rows are queued.
+    window_seconds:
+        Flush this long after the first request of a batch arrives,
+        even if ``max_batch`` was not reached. ``0`` still coalesces
+        requests that arrive in the same event-loop turn.
+    timeout_seconds:
+        Per-request deadline while *queued*; a request picked into a
+        running flush is past cancellation and always gets its result.
+    clock:
+        Timing source; defaults to the event loop's clock.
+    """
+
+    def __init__(
+        self,
+        runner,
+        get_snapshot,
+        *,
+        max_batch: int = 32,
+        window_seconds: float = 0.005,
+        timeout_seconds: float | None = None,
+        clock: Clock | None = None,
+    ):
+        self._runner = runner
+        self._get_snapshot = get_snapshot
+        self.max_batch = check_positive_int(max_batch, "max_batch")
+        if window_seconds < 0:
+            raise ValueError(
+                f"window_seconds must be >= 0, got {window_seconds}"
+            )
+        if timeout_seconds is not None and timeout_seconds <= 0:
+            raise ValueError(
+                f"timeout_seconds must be positive, got {timeout_seconds}"
+            )
+        self.window_seconds = float(window_seconds)
+        self.timeout_seconds = timeout_seconds
+        self._clock = clock if clock is not None else LoopClock()
+        self._queue: list[_Pending] = []
+        self._queued_rows = 0
+        self._window_handle = None
+        self._flush_lock = asyncio.Lock()
+        self._flush_tasks: set[asyncio.Task] = set()
+        self._batch_ids = itertools.count(1)
+        self._draining = False
+        self.stats = {
+            "batches": 0,
+            "requests": 0,
+            "rows": 0,
+            "max_batch_requests": 0,
+            "flush_on_size": 0,
+            "flush_on_window": 0,
+            "flush_on_drain": 0,
+            "timeouts": 0,
+        }
+
+    # -- submission ----------------------------------------------------------
+
+    async def submit(self, views: list[np.ndarray]) -> BatchResult:
+        """Park one request (``(d_p, n)`` views) until its batch runs."""
+        if self._draining:
+            raise ServerDraining("server is draining; request refused")
+        n_rows = int(views[0].shape[1])
+        future = asyncio.get_running_loop().create_future()
+        pending = _Pending(views, n_rows, future)
+        if self.timeout_seconds is not None:
+            pending.timeout_handle = self._clock.call_later(
+                self.timeout_seconds, lambda: self._expire(pending)
+            )
+        first = not self._queue
+        self._queue.append(pending)
+        self._queued_rows += n_rows
+        if self._queued_rows >= self.max_batch:
+            self._trigger_flush("flush_on_size")
+        elif first:
+            self._window_handle = self._clock.call_later(
+                self.window_seconds,
+                lambda: self._trigger_flush("flush_on_window"),
+            )
+        return await future
+
+    def _expire(self, pending: _Pending) -> None:
+        if pending.future.done() or pending not in self._queue:
+            return
+        self._queue.remove(pending)
+        self._queued_rows -= pending.n_rows
+        self.stats["timeouts"] += 1
+        pending.future.set_exception(
+            RequestTimeout(
+                f"request spent more than {self.timeout_seconds}s queued "
+                "without being flushed"
+            )
+        )
+        if not self._queue and self._window_handle is not None:
+            self._window_handle.cancel()
+            self._window_handle = None
+
+    # -- flushing ------------------------------------------------------------
+
+    def _trigger_flush(self, reason: str) -> None:
+        """Capture the queued batch *now* and schedule its execution."""
+        if self._window_handle is not None:
+            self._window_handle.cancel()
+            self._window_handle = None
+        if not self._queue:
+            return
+        batch, self._queue = self._queue, []
+        self._queued_rows = 0
+        for pending in batch:
+            if pending.timeout_handle is not None:
+                pending.timeout_handle.cancel()
+        self.stats[reason] += 1
+        task = asyncio.get_running_loop().create_task(self._run_batch(batch))
+        self._flush_tasks.add(task)
+        task.add_done_callback(self._flush_tasks.discard)
+
+    async def _run_batch(self, batch: list[_Pending]) -> None:
+        # The lock serializes model calls, preserving batch order and
+        # bounding compute concurrency to one in-flight batch.
+        async with self._flush_lock:
+            batch_id = next(self._batch_ids)
+            try:
+                snapshot = self._get_snapshot()
+                n_views = len(batch[0].views)
+                stacked = [
+                    np.concatenate(
+                        [pending.views[p] for pending in batch], axis=1
+                    )
+                    for p in range(n_views)
+                ]
+                output = await asyncio.get_running_loop().run_in_executor(
+                    None, self._runner, snapshot, stacked
+                )
+            except Exception as error:
+                for pending in batch:
+                    if not pending.future.done():
+                        pending.future.set_exception(error)
+                return
+        batch_rows = sum(pending.n_rows for pending in batch)
+        self.stats["batches"] += 1
+        self.stats["requests"] += len(batch)
+        self.stats["rows"] += batch_rows
+        self.stats["max_batch_requests"] = max(
+            self.stats["max_batch_requests"], len(batch)
+        )
+        offset = 0
+        for pending in batch:
+            rows = output[offset:offset + pending.n_rows]
+            offset += pending.n_rows
+            if not pending.future.done():
+                pending.future.set_result(
+                    BatchResult(
+                        output=rows,
+                        batch_id=batch_id,
+                        batch_size=len(batch),
+                        batch_rows=batch_rows,
+                        snapshot=snapshot,
+                    )
+                )
+
+    async def drain(self) -> None:
+        """Refuse new requests, flush the queue, wait for in-flight work."""
+        self._draining = True
+        self._trigger_flush("flush_on_drain")
+        while self._flush_tasks:
+            await asyncio.gather(
+                *tuple(self._flush_tasks), return_exceptions=True
+            )
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def queued_requests(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,143 @@
+"""The serving side of ``repro update``: watch, hash, hot-swap the model.
+
+A deployed model file is replaced *atomically* (``os.replace`` inside
+:func:`~repro.api.persistence.write_archive`), so a reader polling the
+path can only ever observe a complete old file or a complete new file —
+never a torn write. :class:`ModelManager` builds the hot-reload contract
+on exactly that guarantee:
+
+* it watches **only** the configured path — the ``MODEL.npz.<rand>.tmp``
+  files a saver (or a crashed saver) leaves next to the model are never
+  candidates, so a half-written temp file cannot be loaded;
+* a cheap ``stat`` signature (mtime_ns, size, inode) decides whether to
+  reload; on change the file is re-read, content-hashed (SHA-256) and
+  swapped in as a new immutable :class:`ModelSnapshot` with a bumped
+  version counter;
+* if a replaced file fails to load (e.g. some non-atomic writer
+  corrupted it), the manager keeps serving the previous snapshot and
+  records the failure for ``/modelz`` — stale beats down.
+
+``maybe_reload`` is called between batches (and from the introspection
+endpoints), so in-flight batches always finish on the snapshot they
+started with while new arrivals see the new model.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.api.persistence import hash_model_file, load_model
+
+__all__ = ["ModelManager", "ModelSnapshot"]
+
+
+@dataclass(frozen=True)
+class ModelSnapshot:
+    """One immutable loaded model: what a batch computes against."""
+
+    model: object
+    version: int
+    sha256: str
+    view_dims: tuple[int, ...] | None
+
+    @property
+    def is_pipeline(self) -> bool:
+        from repro.api.pipeline import MultiviewPipeline
+
+        return isinstance(self.model, MultiviewPipeline)
+
+
+def _view_dims(model) -> tuple[int, ...] | None:
+    """Fitted per-view dimensions, for request validation / ``/modelz``."""
+    reducer = getattr(model, "reducer", model)
+    dims = getattr(reducer, "_dims", None)
+    if dims is None:
+        return None
+    return tuple(int(dim) for dim in dims)
+
+
+class ModelManager:
+    """Load a model file and hot-swap it when the file is replaced."""
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        self._snapshot: ModelSnapshot | None = None
+        self._signature = None
+        self.reloads = 0
+        self.reload_errors = 0
+        self.last_error: str | None = None
+        self._load(initial=True)
+
+    # -- loading -------------------------------------------------------------
+
+    def _stat_signature(self):
+        stat = os.stat(self.path)
+        return (stat.st_mtime_ns, stat.st_size, stat.st_ino)
+
+    def _load(self, *, initial: bool) -> None:
+        signature = self._stat_signature()
+        model = load_model(self.path)
+        sha256 = hash_model_file(self.path)
+        version = 1 if initial else self._snapshot.version + 1
+        self._snapshot = ModelSnapshot(
+            model=model,
+            version=version,
+            sha256=sha256,
+            view_dims=_view_dims(model),
+        )
+        self._signature = signature
+        if not initial:
+            self.reloads += 1
+
+    def current(self) -> ModelSnapshot:
+        """The snapshot new batches should compute against."""
+        return self._snapshot
+
+    def maybe_reload(self) -> ModelSnapshot:
+        """Reload iff the watched file changed; always returns a snapshot.
+
+        A failed reload (missing or unreadable file) keeps the previous
+        snapshot and is recorded; the stat signature is left unchanged
+        so a subsequent replacement with a good file is retried.
+        """
+        try:
+            signature = self._stat_signature()
+        except OSError as error:
+            self._record_error(error)
+            return self._snapshot
+        if signature == self._signature:
+            return self._snapshot
+        try:
+            self._load(initial=False)
+        except Exception as error:
+            self._record_error(error)
+        return self._snapshot
+
+    def _record_error(self, error: Exception) -> None:
+        self.reload_errors += 1
+        self.last_error = f"{type(error).__name__}: {error}"
+
+    # -- introspection -------------------------------------------------------
+
+    def info(self) -> dict:
+        """The ``/modelz`` document (model identity + reload history)."""
+        snapshot = self._snapshot
+        model = snapshot.model
+        document = {
+            "path": self.path,
+            "version": snapshot.version,
+            "sha256": snapshot.sha256,
+            "model_type": type(model).__name__,
+            "view_dims": (
+                None
+                if snapshot.view_dims is None
+                else list(snapshot.view_dims)
+            ),
+            "reloads": self.reloads,
+            "reload_errors": self.reload_errors,
+            "last_error": self.last_error,
+        }
+        if snapshot.is_pipeline:
+            document.update(model.describe())
+        return document

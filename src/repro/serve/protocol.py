@@ -1,0 +1,308 @@
+"""HTTP framing and the JSON request/error protocol of ``repro serve``.
+
+The server speaks a deliberately small slice of HTTP/1.1 over plain
+``asyncio`` streams — request line, headers, ``Content-Length`` body,
+keep-alive — so serving needs no framework dependency. This module owns
+both directions of the wire:
+
+* :func:`read_request` parses one :class:`Request` from a stream,
+  enforcing header and body limits;
+* :class:`Response` / :func:`json_response` / :func:`error_response`
+  build the reply, every error as a *structured* JSON body
+  ``{"error": {"type": ..., "message": ..., "status": ...}}`` — a
+  malformed request maps to a typed 4xx, never a stack trace;
+* :func:`decode_views` turns the JSON payload ``{"views": [...]}`` into
+  validated ``(d_p, n)`` view matrices, raising the same
+  :class:`~repro.exceptions.ShapeError` /
+  :class:`~repro.exceptions.ValidationError` taxonomy the library API
+  raises, which :func:`error_status` maps onto status codes.
+
+Wire format of a serve request: each view is a list of ``n`` samples
+(rows), each sample a list of ``d_p`` numbers — the natural JSON
+orientation — transposed internally to the library's ``(d_p, n)``
+column-sample convention.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ReproError, ShapeError, ValidationError
+from repro.utils.validation import ensure_2d
+
+__all__ = [
+    "DEFAULT_MAX_BODY",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "decode_views",
+    "error_response",
+    "error_status",
+    "json_response",
+    "read_request",
+]
+
+#: Default request-body ceiling (bytes); oversize payloads get a 413.
+DEFAULT_MAX_BODY = 8 * 1024 * 1024
+
+_MAX_HEADER_LINE = 16 * 1024
+_MAX_HEADERS = 64
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(ReproError):
+    """An HTTP-level failure that maps to one structured error response.
+
+    ``close`` marks errors after which the connection cannot be reused
+    (e.g. an oversize body that was never read off the socket).
+    """
+
+    def __init__(
+        self,
+        status: int,
+        error_type: str,
+        message: str,
+        *,
+        close: bool = False,
+    ):
+        super().__init__(message)
+        self.status = int(status)
+        self.error_type = error_type
+        self.close = bool(close)
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    keep_alive: bool = True
+
+    def json(self):
+        """The body decoded as JSON, or a typed 400 ``bad-json`` error."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(
+                400, "bad-json", f"request body is not valid JSON: {error}"
+            ) from None
+
+
+@dataclass
+class Response:
+    """One HTTP response, rendered by :meth:`encode`."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    close: bool = False
+
+    def encode(self) -> bytes:
+        reason = _REASONS.get(self.status, "Unknown")
+        connection = "close" if self.close else "keep-alive"
+        head = (
+            f"HTTP/1.1 {self.status} {reason}\r\n"
+            f"Content-Type: {self.content_type}\r\n"
+            f"Content-Length: {len(self.body)}\r\n"
+            f"Connection: {connection}\r\n"
+            "\r\n"
+        )
+        return head.encode("ascii") + self.body
+
+
+def json_response(
+    payload, status: int = 200, *, close: bool = False
+) -> Response:
+    """A :class:`Response` carrying ``payload`` as a JSON document."""
+    body = json.dumps(payload).encode("utf-8")
+    return Response(status=status, body=body, close=close)
+
+
+def error_response(
+    status: int, error_type: str, message: str, *, close: bool = False
+) -> Response:
+    """The structured error body every failure mode shares."""
+    return json_response(
+        {
+            "error": {
+                "type": error_type,
+                "message": message,
+                "status": status,
+            }
+        },
+        status=status,
+        close=close,
+    )
+
+
+def error_status(error: Exception) -> tuple[int, str]:
+    """``(status, error type)`` for a library exception.
+
+    The serving layer re-raises the API's own validation taxonomy —
+    :class:`ShapeError` for wrong view counts / per-view dimensions,
+    :class:`ValidationError` for everything else malformed — and this
+    single mapping keeps the wire contract aligned with it.
+    """
+    if isinstance(error, ProtocolError):
+        return error.status, error.error_type
+    if isinstance(error, ShapeError):
+        return 400, "ShapeError"
+    if isinstance(error, ValidationError):
+        return 400, "ValidationError"
+    return 500, type(error).__name__
+
+
+async def read_request(reader, *, max_body: int = DEFAULT_MAX_BODY):
+    """Parse one request off ``reader``; ``None`` on a closed connection.
+
+    Raises :class:`ProtocolError` for anything the server refuses:
+    unparsable framing (400), missing ``Content-Length`` on a body
+    method (411), or a declared body above ``max_body`` (413 — raised
+    *before* reading the body, so an oversize upload is never buffered;
+    the connection is closed since the body was left on the socket).
+    """
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    if len(request_line) > _MAX_HEADER_LINE:
+        raise ProtocolError(
+            400, "bad-request", "request line too long", close=True
+        )
+    try:
+        method, path, version = (
+            request_line.decode("ascii").strip().split(" ", 2)
+        )
+    except (UnicodeDecodeError, ValueError):
+        raise ProtocolError(
+            400, "bad-request", "unparsable HTTP request line", close=True
+        ) from None
+    if not version.startswith("HTTP/"):
+        raise ProtocolError(
+            400, "bad-request", f"unsupported protocol {version!r}",
+            close=True,
+        )
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        if len(line) > _MAX_HEADER_LINE or len(headers) >= _MAX_HEADERS:
+            raise ProtocolError(
+                400, "bad-request", "request headers too large", close=True
+            )
+        name, separator, value = line.decode("latin-1").partition(":")
+        if not separator:
+            raise ProtocolError(
+                400, "bad-request", f"malformed header line {line!r}",
+                close=True,
+            )
+        headers[name.strip().lower()] = value.strip()
+    keep_alive = (
+        headers.get("connection", "keep-alive").lower() != "close"
+        and version != "HTTP/1.0"
+    )
+    body = b""
+    if method in ("POST", "PUT"):
+        declared = headers.get("content-length")
+        if declared is None:
+            raise ProtocolError(
+                411,
+                "length-required",
+                f"{method} requests must declare Content-Length",
+            )
+        try:
+            length = int(declared)
+            if length < 0:
+                raise ValueError
+        except ValueError:
+            raise ProtocolError(
+                400, "bad-request",
+                f"invalid Content-Length {declared!r}", close=True,
+            ) from None
+        if length > max_body:
+            raise ProtocolError(
+                413,
+                "payload-too-large",
+                f"request body of {length} bytes exceeds the server "
+                f"limit of {max_body}",
+                close=True,
+            )
+        body = await reader.readexactly(length)
+    return Request(
+        method=method,
+        path=path,
+        headers=headers,
+        body=body,
+        keep_alive=keep_alive,
+    )
+
+
+# -- request payload decoding ------------------------------------------------
+
+
+def decode_views(payload, view_dims=None) -> list[np.ndarray]:
+    """Validated ``(d_p, n)`` views from a ``{"views": [...]}`` payload.
+
+    Each JSON view is samples-major (``n`` rows of ``d_p`` numbers) and
+    is transposed to the library convention. When ``view_dims`` (the
+    fitted model's per-view dimensions) is given, the view count and
+    every per-view dimension are checked here, raising the same
+    :class:`ShapeError` the API's transform raises — so a mismatched
+    request fails as a typed 400 before it ever reaches the batcher.
+    """
+    if not isinstance(payload, dict):
+        raise ValidationError(
+            "request body must be a JSON object with a 'views' key"
+        )
+    views = payload.get("views")
+    if not isinstance(views, list) or not views:
+        raise ValidationError(
+            "'views' must be a non-empty list with one entry per view"
+        )
+    if view_dims is not None and len(views) != len(view_dims):
+        raise ShapeError(
+            f"model was fitted on {len(view_dims)} views but the "
+            f"request carries {len(views)}"
+        )
+    decoded = []
+    for index, view in enumerate(views):
+        try:
+            array = np.asarray(view, dtype=np.float64)
+        except (TypeError, ValueError):
+            raise ValidationError(
+                f"views[{index}] is not a numeric array"
+            ) from None
+        if array.ndim == 1:
+            # a single sample may be sent flat
+            array = array[np.newaxis, :]
+        array = ensure_2d(array, name=f"views[{index}]").T
+        if view_dims is not None and array.shape[0] != view_dims[index]:
+            raise ShapeError(
+                f"views[{index}] samples have {array.shape[0]} features "
+                f"but the model was fitted with {view_dims[index]}"
+            )
+        decoded.append(array)
+    sample_counts = {view.shape[1] for view in decoded}
+    if len(sample_counts) != 1:
+        raise ValidationError(
+            "all views must carry the same number of samples; got "
+            f"{sorted(sample_counts)}"
+        )
+    return decoded

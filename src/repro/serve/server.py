@@ -1,0 +1,330 @@
+"""The ``repro serve`` application: routes, connections, lifecycle.
+
+:class:`ServeApp` wires the three serving layers together —
+:mod:`~repro.serve.protocol` (framing + typed errors),
+:mod:`~repro.serve.batcher` (micro-batching), and
+:mod:`~repro.serve.model_manager` (hot reload) — behind four routes:
+
+* ``POST /transform`` — project the request's views; returns the
+  combined ``(n, m·r)`` representation rows;
+* ``POST /predict``  — predicted labels (pipeline models only);
+* ``GET /healthz``   — liveness + batcher counters;
+* ``GET /modelz``    — model identity: path, version, content hash,
+  reducer/classifier, per-view dims, reload history.
+
+Every data response carries its batch metadata (``batch_id``,
+``batch_size``, ``model_version``, ``model_hash``), so a client — or a
+test — can verify both the micro-batch amortization and that no batch
+ever mixes model versions.
+
+``serve_forever`` runs the asyncio server with SIGTERM/SIGINT handlers
+that trigger a graceful drain: stop accepting, refuse new work with a
+typed 503, flush and finish every parked request, then exit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+
+from repro.exceptions import ValidationError
+from repro.serve.batcher import (
+    Clock,
+    MicroBatcher,
+    RequestTimeout,
+    ServerDraining,
+)
+from repro.serve.model_manager import ModelManager
+from repro.serve.protocol import (
+    DEFAULT_MAX_BODY,
+    ProtocolError,
+    Request,
+    Response,
+    decode_views,
+    error_response,
+    error_status,
+    json_response,
+    read_request,
+)
+
+__all__ = ["ServeApp", "run_server", "serve_forever"]
+
+
+def _run_transform(snapshot, stacked_views):
+    """The one model call of a /transform batch: ``(Σnᵢ, m·r)`` rows."""
+    model = snapshot.model
+    if hasattr(model, "transform_combined"):
+        return model.transform_combined(stacked_views)
+    return model.transform(stacked_views)
+
+
+def _run_predict(snapshot, stacked_views):
+    """The one model call of a /predict batch: ``(Σnᵢ,)`` labels."""
+    return snapshot.model.predict(stacked_views)
+
+
+class ServeApp:
+    """Route requests into the micro-batchers over a hot-swappable model.
+
+    Parameters
+    ----------
+    manager:
+        The :class:`ModelManager` holding the served model file.
+    max_batch, window_seconds, timeout_seconds:
+        Micro-batcher settings (see :class:`MicroBatcher`); /transform
+        and /predict each get their own batcher so a batch never mixes
+        endpoints.
+    max_body:
+        Request-body byte ceiling (413 above it).
+    clock:
+        Timing source shared by both batchers; tests inject a
+        :class:`~repro.serve.batcher.ManualClock`.
+    """
+
+    def __init__(
+        self,
+        manager: ModelManager,
+        *,
+        max_batch: int = 32,
+        window_seconds: float = 0.005,
+        timeout_seconds: float | None = 30.0,
+        max_body: int = DEFAULT_MAX_BODY,
+        clock: Clock | None = None,
+    ):
+        self.manager = manager
+        self.max_body = int(max_body)
+        batcher_options = dict(
+            max_batch=max_batch,
+            window_seconds=window_seconds,
+            timeout_seconds=timeout_seconds,
+            clock=clock,
+        )
+        self._batchers = {
+            "/transform": MicroBatcher(
+                _run_transform, manager.maybe_reload, **batcher_options
+            ),
+            "/predict": MicroBatcher(
+                _run_predict, manager.maybe_reload, **batcher_options
+            ),
+        }
+        self._draining = False
+        self._writers: set[asyncio.StreamWriter] = set()
+        self.requests_served = 0
+        self.errors = 0
+
+    # -- routing -------------------------------------------------------------
+
+    async def handle(self, request: Request) -> Response:
+        """One request in, one response out — never an unhandled error."""
+        try:
+            response = await self._route(request)
+        except Exception as error:  # typed errors -> structured bodies
+            status, error_type = error_status(error)
+            self.errors += 1
+            response = error_response(status, error_type, str(error))
+        self.requests_served += 1
+        return response
+
+    async def _route(self, request: Request) -> Response:
+        if request.path in ("/healthz", "/modelz"):
+            if request.method != "GET":
+                raise ProtocolError(
+                    405, "method-not-allowed",
+                    f"{request.path} only supports GET",
+                )
+            if request.path == "/healthz":
+                return json_response(self.health())
+            self.manager.maybe_reload()
+            return json_response(self.manager.info())
+        if request.path in self._batchers:
+            if request.method != "POST":
+                raise ProtocolError(
+                    405, "method-not-allowed",
+                    f"{request.path} only supports POST",
+                )
+            return await self._handle_batch(request)
+        raise ProtocolError(
+            404, "not-found", f"unknown route {request.path!r}"
+        )
+
+    async def _handle_batch(self, request: Request) -> Response:
+        if self._draining:
+            raise ProtocolError(
+                503, "draining", "server is draining; request refused"
+            )
+        payload = request.json()
+        snapshot = self.manager.maybe_reload()
+        views = decode_views(payload, snapshot.view_dims)
+        if request.path == "/predict" and not hasattr(
+            snapshot.model, "predict"
+        ):
+            raise ValidationError(
+                f"{type(snapshot.model).__name__} has no classifier; "
+                "/predict needs a pipeline model (fit with --classifier)"
+            )
+        try:
+            result = await self._batchers[request.path].submit(views)
+        except RequestTimeout as error:
+            raise ProtocolError(503, "timeout", str(error)) from None
+        except ServerDraining as error:
+            raise ProtocolError(503, "draining", str(error)) from None
+        key = "outputs" if request.path == "/transform" else "labels"
+        return json_response(
+            {
+                key: result.output.tolist(),
+                "batch_id": result.batch_id,
+                "batch_size": result.batch_size,
+                "batch_rows": result.batch_rows,
+                "model_version": result.snapshot.version,
+                "model_hash": result.snapshot.sha256,
+            }
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    def health(self) -> dict:
+        snapshot = self.manager.current()
+        return {
+            "status": "draining" if self._draining else "ok",
+            "model_version": snapshot.version,
+            "model_hash": snapshot.sha256,
+            "requests_served": self.requests_served,
+            "errors": self.errors,
+            "batcher": {
+                route.lstrip("/"): dict(batcher.stats)
+                for route, batcher in self._batchers.items()
+            },
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def begin_drain(self) -> None:
+        """Refuse new work, flush the queues, finish parked requests."""
+        self._draining = True
+        await asyncio.gather(
+            *(batcher.drain() for batcher in self._batchers.values())
+        )
+
+    # -- connection handling -------------------------------------------------
+
+    async def handle_connection(self, reader, writer) -> None:
+        """One keep-alive HTTP/1.1 connection, request by request."""
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, max_body=self.max_body
+                    )
+                except ProtocolError as error:
+                    response = error_response(
+                        error.status,
+                        error.error_type,
+                        str(error),
+                        close=error.close,
+                    )
+                    writer.write(response.encode())
+                    await writer.drain()
+                    if error.close:
+                        break
+                    continue
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                ):
+                    break
+                if request is None:
+                    break
+                response = await self.handle(request)
+                # after a drain started, finish this response but do
+                # not keep the connection open for more requests
+                response.close = response.close or not request.keep_alive
+                if self._draining:
+                    response.close = True
+                writer.write(response.encode())
+                await writer.drain()
+                if response.close:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+
+    def close_idle_connections(self) -> None:
+        """Force-close remaining (idle keep-alive) connections."""
+        for writer in tuple(self._writers):
+            writer.close()
+
+
+async def serve_forever(
+    app: ServeApp,
+    host: str = "127.0.0.1",
+    port: int = 8100,
+    *,
+    ready=None,
+    install_signal_handlers: bool = True,
+) -> None:
+    """Run the server until SIGTERM/SIGINT, then drain gracefully.
+
+    ``ready`` (if given) is called with the bound ``(host, port)`` once
+    the socket is listening — the CLI prints its startup line from it,
+    and tests use it to learn an ephemeral port.
+    """
+    stop = asyncio.Event()
+    server = await asyncio.start_server(app.handle_connection, host, port)
+    if install_signal_handlers:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # non-Unix event loops
+                pass
+    bound = server.sockets[0].getsockname()[:2]
+    if ready is not None:
+        ready(bound)
+    try:
+        await stop.wait()
+    finally:
+        # graceful drain: stop accepting, answer everything parked,
+        # then drop whatever connections are still idling.
+        server.close()
+        await server.wait_closed()
+        await app.begin_drain()
+        app.close_idle_connections()
+
+
+def run_server(
+    model_path,
+    host: str = "127.0.0.1",
+    port: int = 8100,
+    *,
+    max_batch: int = 32,
+    window_seconds: float = 0.005,
+    timeout_seconds: float | None = 30.0,
+    max_body: int = DEFAULT_MAX_BODY,
+) -> None:
+    """Blocking entry point behind ``python -m repro serve``."""
+    manager = ModelManager(model_path)
+    app = ServeApp(
+        manager,
+        max_batch=max_batch,
+        window_seconds=window_seconds,
+        timeout_seconds=timeout_seconds,
+        max_body=max_body,
+    )
+
+    def _ready(bound) -> None:
+        snapshot = manager.current()
+        print(
+            f"serving {model_path} (sha256 {snapshot.sha256[:12]}…) on "
+            f"http://{bound[0]}:{bound[1]} — window "
+            f"{window_seconds * 1000:g} ms, max batch {max_batch}",
+            flush=True,
+        )
+
+    asyncio.run(serve_forever(app, host, port, ready=_ready))

@@ -1,0 +1,947 @@
+"""Concurrency/correctness harness for the ``repro serve`` subsystem.
+
+Four contracts, each exercised deterministically (no real sleeps —
+every timing-dependent path runs on a :class:`ManualClock`):
+
+* **batched ≡ unbatched** — N concurrent clients through the
+  micro-batcher produce row-for-row the same outputs as N sequential
+  single-request calls (≤1e-10), across batch-window / max-batch
+  settings and m∈{2,3} pipelines;
+* **hot reload under traffic** — an atomic ``repro update``-style
+  replace mid-traffic drops zero requests, never mixes model versions
+  within a batch, and ``/modelz`` converges to the new content hash;
+  a half-written temp file next to the model is never loaded, and a
+  corrupt (non-atomically written) file keeps the old model serving;
+* **protocol/error taxonomy** — malformed JSON, wrong view count,
+  per-view dim mismatch, and oversize payloads each map to a
+  structured 4xx body, never a stack trace;
+* **timeout + drain** — the per-request queueing deadline and the
+  SIGTERM drain path, driven by a fake clock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    MultiviewPipeline,
+    hash_model_file,
+    load_model,
+    save_model,
+)
+from repro.core import TCCA
+from repro.datasets import make_multiview_latent
+from repro.exceptions import ShapeError, ValidationError
+from repro.serve import (
+    ManualClock,
+    MicroBatcher,
+    ModelManager,
+    ProtocolError,
+    Request,
+    RequestTimeout,
+    ServeApp,
+    decode_views,
+)
+from repro.serve.protocol import read_request
+
+
+# -- helpers -----------------------------------------------------------------
+
+
+DIMS = {2: (8, 6), 3: (8, 6, 5)}
+
+
+def fit_pipeline(m: int, seed: int = 0) -> tuple[MultiviewPipeline, object]:
+    data = make_multiview_latent(
+        n_samples=150, dims=DIMS[m], random_state=seed
+    )
+    pipeline = MultiviewPipeline(
+        "tcca",
+        "rls",
+        reducer_params={"n_components": 2, "random_state": 0},
+    ).fit(data.views, data.labels)
+    return pipeline, data
+
+
+@pytest.fixture(scope="module", params=[2, 3])
+def served(request, tmp_path_factory):
+    """``(m, fitted pipeline, dataset, model path)`` for m∈{2,3}."""
+    m = request.param
+    pipeline, data = fit_pipeline(m)
+    path = tmp_path_factory.mktemp("serve") / f"model{m}.npz"
+    save_model(pipeline, path)
+    return m, pipeline, data, os.fspath(path)
+
+
+def request_views(data, start: int, n_rows: int):
+    """One request's views as the JSON wire format (samples-major)."""
+    return [
+        view[:, start:start + n_rows].T.tolist() for view in data.views
+    ]
+
+
+def library_views(data, start: int, n_rows: int):
+    """The same request in the library's ``(d_p, n)`` orientation."""
+    return [view[:, start:start + n_rows] for view in data.views]
+
+
+def post(path: str, payload) -> Request:
+    return Request(
+        method="POST", path=path, body=json.dumps(payload).encode()
+    )
+
+
+def get(path: str) -> Request:
+    return Request(method="GET", path=path)
+
+
+def body_of(response) -> dict:
+    return json.loads(response.body.decode("utf-8"))
+
+
+async def settle(rounds: int = 3) -> None:
+    """Yield a few event-loop turns so created tasks reach their park."""
+    for _ in range(rounds):
+        await asyncio.sleep(0)
+
+
+def make_app(path, **options) -> tuple[ServeApp, ManualClock]:
+    clock = ManualClock()
+    app = ServeApp(ModelManager(path), clock=clock, **options)
+    return app, clock
+
+
+# -- wire decoding -----------------------------------------------------------
+
+
+class TestDecodeViews:
+    def test_decodes_and_transposes(self):
+        views = decode_views(
+            {"views": [[[1.0, 2.0], [3.0, 4.0]], [[5.0], [6.0]]]}
+        )
+        assert views[0].shape == (2, 2)
+        assert views[1].shape == (1, 2)
+        np.testing.assert_allclose(views[0][:, 0], [1.0, 2.0])
+
+    def test_flat_single_sample_allowed(self):
+        views = decode_views({"views": [[1.0, 2.0, 3.0], [4.0, 5.0]]})
+        assert views[0].shape == (3, 1)
+        assert views[1].shape == (2, 1)
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(ValidationError):
+            decode_views([1, 2, 3])
+
+    def test_missing_views_rejected(self):
+        with pytest.raises(ValidationError):
+            decode_views({"view": []})
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ValidationError):
+            decode_views({"views": [[["a", "b"]], [[1.0, 2.0]]]})
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            decode_views({"views": [[[float("nan")]], [[1.0]]]})
+
+    def test_ragged_sample_counts_rejected(self):
+        with pytest.raises(ValidationError):
+            decode_views(
+                {"views": [[[1.0], [2.0]], [[3.0]]]}
+            )
+
+    def test_view_count_checked_against_model(self):
+        with pytest.raises(ShapeError):
+            decode_views({"views": [[[1.0]]]}, view_dims=(1, 1))
+
+    def test_view_dims_checked_against_model(self):
+        with pytest.raises(ShapeError):
+            decode_views(
+                {"views": [[[1.0, 2.0]], [[3.0]]]}, view_dims=(3, 1)
+            )
+
+
+# -- HTTP framing ------------------------------------------------------------
+
+
+def parse_raw(raw: bytes):
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(run())
+
+
+class TestHttpFraming:
+    def test_get_request(self):
+        request = parse_raw(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/healthz"
+        assert request.keep_alive
+
+    def test_post_with_body(self):
+        raw = (
+            b"POST /transform HTTP/1.1\r\n"
+            b"Content-Length: 4\r\n\r\nabcd"
+        )
+        request = parse_raw(raw)
+        assert request.body == b"abcd"
+
+    def test_connection_close_honored(self):
+        request = parse_raw(
+            b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"
+        )
+        assert not request.keep_alive
+
+    def test_eof_returns_none(self):
+        assert parse_raw(b"") is None
+
+    def test_post_without_length_is_411(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_raw(b"POST /transform HTTP/1.1\r\n\r\n")
+        assert info.value.status == 411
+
+    def test_oversize_body_is_413_before_reading(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(
+                b"POST /t HTTP/1.1\r\nContent-Length: 999\r\n\r\n"
+            )
+            # note: the 999-byte body is never fed — the 413 must fire
+            # from the declared length alone
+            return await read_request(reader, max_body=10)
+
+        with pytest.raises(ProtocolError) as info:
+            asyncio.run(run())
+        assert info.value.status == 413
+        assert info.value.close
+
+    def test_garbage_request_line_is_400(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_raw(b"NONSENSE\r\n\r\n")
+        assert info.value.status == 400
+
+
+# -- batched == unbatched ----------------------------------------------------
+
+
+def wave_plan(n_clients: int):
+    """Per-client (start, n_rows) slices: varied row counts, disjoint."""
+    plan, start = [], 0
+    for index in range(n_clients):
+        rows = 1 + index % 3
+        plan.append((start, rows))
+        start += rows
+    return plan
+
+
+class TestBatchedEquivalence:
+    """Serving analogue of PR 5's parallel ≡ serial gate."""
+
+    N_CLIENTS = 8
+
+    def _concurrent(self, app, clock, data, endpoint, advance=None):
+        plan = wave_plan(self.N_CLIENTS)
+
+        async def run():
+            tasks = [
+                asyncio.create_task(
+                    app.handle(
+                        post(endpoint, {"views": request_views(data, s, n)})
+                    )
+                )
+                for s, n in plan
+            ]
+            await settle()
+            if advance is not None:
+                clock.advance(advance)
+            return await asyncio.gather(*tasks)
+
+        responses = asyncio.run(run())
+        assert all(response.status == 200 for response in responses)
+        return plan, [body_of(response) for response in responses]
+
+    @pytest.mark.parametrize(
+        "batching",
+        ["one_batch", "unbatched", "window"],
+    )
+    def test_transform_matches_sequential(self, served, batching):
+        _, pipeline, data, path = served
+        total_rows = sum(n for _, n in wave_plan(self.N_CLIENTS))
+        options = {
+            "one_batch": dict(max_batch=total_rows, window_seconds=60.0),
+            "unbatched": dict(max_batch=1, window_seconds=60.0),
+            "window": dict(max_batch=10 * total_rows, window_seconds=2.0),
+        }[batching]
+        app, clock = make_app(path, **options)
+        plan, bodies = self._concurrent(
+            app,
+            clock,
+            data,
+            "/transform",
+            advance=2.0 if batching == "window" else None,
+        )
+        for (start, n_rows), body in zip(plan, bodies):
+            batched = np.asarray(body["outputs"])
+            sequential = pipeline.transform(
+                library_views(data, start, n_rows)
+            )
+            assert batched.shape == sequential.shape
+            np.testing.assert_allclose(
+                batched, sequential, rtol=0, atol=1e-10
+            )
+        batch_sizes = {body["batch_size"] for body in bodies}
+        if batching == "unbatched":
+            assert batch_sizes == {1}
+        else:
+            # every client was coalesced into the single flush
+            assert batch_sizes == {self.N_CLIENTS}
+            assert len({body["batch_id"] for body in bodies}) == 1
+
+    @pytest.mark.parametrize("batching", ["one_batch", "unbatched"])
+    def test_predict_matches_sequential(self, served, batching):
+        _, pipeline, data, path = served
+        total_rows = sum(n for _, n in wave_plan(self.N_CLIENTS))
+        app, clock = make_app(
+            path,
+            max_batch=total_rows if batching == "one_batch" else 1,
+            window_seconds=60.0,
+        )
+        plan, bodies = self._concurrent(app, clock, data, "/predict")
+        for (start, n_rows), body in zip(plan, bodies):
+            sequential = pipeline.predict(library_views(data, start, n_rows))
+            assert body["labels"] == [int(label) for label in sequential]
+
+    def test_single_request_flushes_on_window(self, served):
+        _, pipeline, data, path = served
+        app, clock = make_app(path, max_batch=100, window_seconds=0.5)
+
+        async def run():
+            task = asyncio.create_task(
+                app.handle(
+                    post("/transform", {"views": request_views(data, 0, 2)})
+                )
+            )
+            await settle()
+            assert not task.done()  # parked: window not elapsed
+            clock.advance(0.49)
+            await settle()
+            assert not task.done()
+            clock.advance(0.01)
+            return await task
+
+        response = asyncio.run(run())
+        body = body_of(response)
+        assert response.status == 200
+        np.testing.assert_allclose(
+            np.asarray(body["outputs"]),
+            pipeline.transform(library_views(data, 0, 2)),
+            rtol=0,
+            atol=1e-10,
+        )
+        stats = app.health()["batcher"]["transform"]
+        assert stats["flush_on_window"] == 1
+
+
+# -- hot reload under traffic ------------------------------------------------
+
+
+class TestHotReload:
+    def test_mid_traffic_atomic_replace(self, served, tmp_path):
+        m, pipeline, data, _ = served
+        # private copy: this test replaces the file mid-traffic
+        path = os.fspath(tmp_path / "model.npz")
+        save_model(pipeline, path)
+        replacement, _ = fit_pipeline(m, seed=99)
+        app, clock = make_app(path, max_batch=1_000, window_seconds=1.0)
+        old_hash = app.manager.current().sha256
+        waves = 4
+        per_wave = 6
+
+        async def run():
+            bodies = []
+            for wave in range(waves):
+                tasks = [
+                    asyncio.create_task(
+                        app.handle(
+                            post(
+                                "/transform",
+                                {"views": request_views(data, 2 * i, 2)},
+                            )
+                        )
+                    )
+                    for i in range(per_wave)
+                ]
+                await settle()
+                if wave == 1:
+                    # mid-traffic: requests of wave 1 are already parked
+                    # when the file is atomically replaced — their flush
+                    # must still be internally consistent
+                    save_model(replacement, path)
+                clock.advance(1.0)
+                responses = await asyncio.gather(*tasks)
+                assert all(r.status == 200 for r in responses)
+                bodies.extend(body_of(r) for r in responses)
+            return bodies
+
+        bodies = asyncio.run(run())
+        # zero dropped/errored requests
+        assert len(bodies) == waves * per_wave
+        assert app.errors == 0
+        # no batch mixes versions: group by batch_id, one hash per batch
+        by_batch: dict[int, set[str]] = {}
+        for body in bodies:
+            by_batch.setdefault(body["batch_id"], set()).add(
+                body["model_hash"]
+            )
+        assert all(len(hashes) == 1 for hashes in by_batch.values())
+        # traffic converged to the new model
+        new_hash = hash_model_file(path)
+        assert new_hash != old_hash
+        assert bodies[0]["model_hash"] == old_hash
+        assert bodies[-1]["model_hash"] == new_hash
+        assert bodies[-1]["model_version"] == 2
+        # /modelz reports the new identity
+        info = body_of(asyncio.run(app.handle(get("/modelz"))))
+        assert info["sha256"] == new_hash
+        assert info["version"] == 2
+        assert info["reloads"] == 1
+        assert info["reload_errors"] == 0
+
+    def test_reloaded_outputs_match_new_model(self, served, tmp_path):
+        m, pipeline, data, _ = served
+        path = os.fspath(tmp_path / "model.npz")
+        save_model(pipeline, path)
+        replacement, _ = fit_pipeline(m, seed=7)
+        app, clock = make_app(path, max_batch=2, window_seconds=60.0)
+        save_model(replacement, path)
+
+        async def run():
+            return await app.handle(
+                post("/transform", {"views": request_views(data, 0, 2)})
+            )
+
+        body = body_of(asyncio.run(run()))
+        np.testing.assert_allclose(
+            np.asarray(body["outputs"]),
+            replacement.transform(library_views(data, 0, 2)),
+            rtol=0,
+            atol=1e-10,
+        )
+        assert body["model_version"] == 2
+
+    def test_half_written_temp_file_never_loaded(self, served):
+        _, _, _, path = served
+        manager = ModelManager(path)
+        # what a crashed save_model leaves behind: a partial temp file
+        # next to the model (write_archive writes MODEL.npz.<rand>.tmp)
+        temp = path + ".deadbeef.tmp"
+        with open(temp, "wb") as handle:
+            handle.write(b"\x93NUMPY half-written garbage")
+        try:
+            snapshot = manager.maybe_reload()
+            assert snapshot.version == 1
+            assert manager.reloads == 0
+            assert manager.reload_errors == 0
+            assert snapshot.sha256 == hash_model_file(path)
+        finally:
+            os.unlink(temp)
+
+    def test_corrupt_replace_keeps_serving_old_model(self, served, tmp_path):
+        m, pipeline, data, _ = served
+        # private copy: this test corrupts the file in place
+        path = os.fspath(tmp_path / "model.npz")
+        save_model(pipeline, path)
+        app, clock = make_app(path, max_batch=2, window_seconds=60.0)
+        good_hash = app.manager.current().sha256
+        # a non-atomic writer truncates the file mid-write
+        with open(path, "wb") as handle:
+            handle.write(b"not a model archive")
+
+        async def run():
+            return await app.handle(
+                post("/transform", {"views": request_views(data, 0, 2)})
+            )
+
+        body = body_of(asyncio.run(run()))
+        # the old model keeps serving, and the failure is surfaced
+        assert body["model_version"] == 1
+        assert body["model_hash"] == good_hash
+        assert app.manager.reload_errors >= 1
+        assert app.manager.last_error is not None
+        # an atomic good save afterwards recovers
+        replacement, _ = fit_pipeline(m, seed=11)
+        save_model(replacement, path)
+        recovered = app.manager.maybe_reload()
+        assert recovered.version == 2
+        assert recovered.sha256 == hash_model_file(path)
+
+
+# -- protocol / error taxonomy -----------------------------------------------
+
+
+def run_handle(app, request):
+    return asyncio.run(app.handle(request))
+
+
+class TestErrorTaxonomy:
+    @pytest.fixture()
+    def app(self, served):
+        app, _ = make_app(served[3], max_batch=1, window_seconds=60.0)
+        return app
+
+    def assert_structured(self, response, status, error_type):
+        assert response.status == status
+        body = body_of(response)
+        assert body["error"]["type"] == error_type
+        assert body["error"]["status"] == status
+        assert "message" in body["error"]
+        assert "Traceback" not in response.body.decode()
+
+    def test_malformed_json_is_400(self, app):
+        response = run_handle(
+            app,
+            Request(method="POST", path="/transform", body=b"{nope"),
+        )
+        self.assert_structured(response, 400, "bad-json")
+
+    def test_non_object_payload_is_400(self, app):
+        response = run_handle(app, post("/transform", [1, 2, 3]))
+        self.assert_structured(response, 400, "ValidationError")
+
+    def test_wrong_view_count_is_400_shape_error(self, app, served):
+        _, _, data, _ = served
+        views = request_views(data, 0, 1)[:-1]
+        response = run_handle(app, post("/transform", {"views": views}))
+        self.assert_structured(response, 400, "ShapeError")
+
+    def test_view_dim_mismatch_is_400_shape_error(self, app, served):
+        _, _, data, _ = served
+        views = request_views(data, 0, 1)
+        views[0] = [row + [0.0] for row in views[0]]  # d_0 + 1 features
+        response = run_handle(app, post("/predict", {"views": views}))
+        self.assert_structured(response, 400, "ShapeError")
+
+    def test_nan_payload_is_400(self, app, served):
+        _, _, data, _ = served
+        views = request_views(data, 0, 1)
+        views[0][0][0] = None  # JSON null -> NaN on the numeric path
+        response = run_handle(app, post("/transform", {"views": views}))
+        self.assert_structured(response, 400, "ValidationError")
+
+    def test_unknown_route_is_404(self, app):
+        self.assert_structured(
+            run_handle(app, get("/nope")), 404, "not-found"
+        )
+
+    def test_wrong_method_is_405(self, app):
+        self.assert_structured(
+            run_handle(app, post("/healthz", {})),
+            405,
+            "method-not-allowed",
+        )
+        self.assert_structured(
+            run_handle(app, get("/transform")),
+            405,
+            "method-not-allowed",
+        )
+
+    def test_predict_on_bare_reducer_is_400(self, served, tmp_path):
+        _, _, data, _ = served
+        reducer = TCCA(n_components=2, random_state=0).fit(data.views)
+        path = os.fspath(tmp_path / "reducer.npz")
+        save_model(reducer, path)
+        app, _ = make_app(path, max_batch=1, window_seconds=60.0)
+        response = run_handle(
+            app, post("/predict", {"views": request_views(data, 0, 1)})
+        )
+        self.assert_structured(response, 400, "ValidationError")
+        # /transform still works on a bare (inductive) reducer
+        ok = run_handle(
+            app, post("/transform", {"views": request_views(data, 0, 2)})
+        )
+        assert ok.status == 200
+        np.testing.assert_allclose(
+            np.asarray(body_of(ok)["outputs"]),
+            reducer.transform_combined(library_views(data, 0, 2)),
+            rtol=0,
+            atol=1e-10,
+        )
+
+
+# -- timeout + drain (fake clock, no sleeps) ---------------------------------
+
+
+class TestTimeoutAndDrain:
+    def test_queued_request_times_out(self, served):
+        _, _, data, path = served
+        app, clock = make_app(
+            path,
+            max_batch=1_000,
+            window_seconds=120.0,
+            timeout_seconds=5.0,
+        )
+
+        async def run():
+            task = asyncio.create_task(
+                app.handle(
+                    post("/transform", {"views": request_views(data, 0, 1)})
+                )
+            )
+            await settle()
+            clock.advance(4.999)
+            await settle()
+            assert not task.done()
+            clock.advance(0.001)
+            return await task
+
+        response = asyncio.run(run())
+        body = body_of(response)
+        assert response.status == 503
+        assert body["error"]["type"] == "timeout"
+        stats = app.health()["batcher"]["transform"]
+        assert stats["timeouts"] == 1
+        assert stats["batches"] == 0
+
+    def test_window_beats_timeout(self, served):
+        _, _, data, path = served
+        app, clock = make_app(
+            path,
+            max_batch=1_000,
+            window_seconds=1.0,
+            timeout_seconds=5.0,
+        )
+
+        async def run():
+            task = asyncio.create_task(
+                app.handle(
+                    post("/transform", {"views": request_views(data, 0, 1)})
+                )
+            )
+            await settle()
+            clock.advance(1.0)
+            response = await task
+            clock.advance(10.0)  # stale timeout timer must be inert
+            return response
+
+        assert asyncio.run(run()).status == 200
+
+    def test_drain_finishes_parked_requests_then_refuses(self, served):
+        _, pipeline, data, path = served
+        app, clock = make_app(
+            path, max_batch=1_000, window_seconds=120.0
+        )
+
+        async def run():
+            tasks = [
+                asyncio.create_task(
+                    app.handle(
+                        post(
+                            "/transform",
+                            {"views": request_views(data, 2 * i, 2)},
+                        )
+                    )
+                )
+                for i in range(3)
+            ]
+            await settle()
+            assert not any(task.done() for task in tasks)
+            # SIGTERM path: drain flushes the parked batch...
+            await app.begin_drain()
+            responses = await asyncio.gather(*tasks)
+            # ...and later arrivals are refused with a typed 503
+            refused = await app.handle(
+                post("/transform", {"views": request_views(data, 0, 1)})
+            )
+            return responses, refused
+
+        responses, refused = asyncio.run(run())
+        assert all(response.status == 200 for response in responses)
+        for i, response in enumerate(responses):
+            np.testing.assert_allclose(
+                np.asarray(body_of(response)["outputs"]),
+                pipeline.transform(library_views(data, 2 * i, 2)),
+                rtol=0,
+                atol=1e-10,
+            )
+        assert refused.status == 503
+        assert body_of(refused)["error"]["type"] == "draining"
+        health = app.health()
+        assert health["status"] == "draining"
+        assert health["batcher"]["transform"]["flush_on_drain"] == 1
+
+
+# -- real sockets end-to-end -------------------------------------------------
+
+
+async def http_call(port: int, method: str, path: str, payload=None):
+    """One HTTP exchange over a fresh connection; ``(status, body dict)``."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        body = b"" if payload is None else json.dumps(payload).encode()
+        head = f"{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
+        if body:
+            head += f"Content-Length: {len(body)}\r\n"
+        writer.write(head.encode() + b"\r\n" + body)
+        await writer.drain()
+        status_line = await reader.readline()
+        status = int(status_line.split()[1])
+        length = None
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if line.lower().startswith(b"content-length:"):
+                length = int(line.split(b":")[1])
+        data = await reader.readexactly(length)
+        return status, json.loads(data.decode())
+    finally:
+        writer.close()
+
+
+class TestSocketServer:
+    def test_concurrent_clients_over_real_sockets(self, served):
+        _, pipeline, data, path = served
+        n_clients = 6
+        app, _ = make_app(path, max_batch=n_clients, window_seconds=60.0)
+        plan = wave_plan(n_clients)
+
+        async def run():
+            server = await asyncio.start_server(
+                app.handle_connection, "127.0.0.1", 0
+            )
+            port = server.sockets[0].getsockname()[1]
+            try:
+                status, health = await http_call(port, "GET", "/healthz")
+                assert status == 200 and health["status"] == "ok"
+                results = await asyncio.gather(
+                    *(
+                        http_call(
+                            port,
+                            "POST",
+                            "/transform",
+                            {"views": request_views(data, s, n)},
+                        )
+                        for s, n in plan
+                    )
+                )
+                status, info = await http_call(port, "GET", "/modelz")
+                assert status == 200
+                assert info["sha256"] == hash_model_file(path)
+                return results
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        results = asyncio.run(run())
+        for (start, n_rows), (status, body) in zip(plan, results):
+            assert status == 200
+            np.testing.assert_allclose(
+                np.asarray(body["outputs"]),
+                pipeline.transform(library_views(data, start, n_rows)),
+                rtol=0,
+                atol=1e-10,
+            )
+
+    def test_keep_alive_and_protocol_errors_on_the_wire(self, served):
+        _, _, data, path = served
+        app, _ = make_app(path, max_batch=1, window_seconds=60.0)
+
+        async def run():
+            server = await asyncio.start_server(
+                app.handle_connection, "127.0.0.1", 0
+            )
+            port = server.sockets[0].getsockname()[1]
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                # two requests on one keep-alive connection
+                for _ in range(2):
+                    body = json.dumps(
+                        {"views": request_views(data, 0, 1)}
+                    ).encode()
+                    writer.write(
+                        b"POST /predict HTTP/1.1\r\n"
+                        + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                        + body
+                    )
+                    await writer.drain()
+                    status_line = await reader.readline()
+                    assert b"200" in status_line
+                    length = None
+                    while True:
+                        line = await reader.readline()
+                        if line in (b"\r\n", b"\n"):
+                            break
+                        if line.lower().startswith(b"content-length:"):
+                            length = int(line.split(b":")[1])
+                    await reader.readexactly(length)
+                writer.close()
+                # a POST without Content-Length gets a structured 411
+                status, body = await http_call(port, "POST", "/transform")
+                assert status == 411
+                assert body["error"]["type"] == "length-required"
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(run())
+
+
+# -- batcher unit behavior ---------------------------------------------------
+
+
+class TestMicroBatcher:
+    def test_row_counting_triggers_flush(self):
+        calls = []
+
+        def runner(snapshot, stacked):
+            calls.append(stacked[0].shape[1])
+            return stacked[0].T  # (rows, d)
+
+        batcher = MicroBatcher(
+            runner,
+            lambda: "snap",
+            max_batch=5,
+            window_seconds=60.0,
+            clock=ManualClock(),
+        )
+
+        async def run():
+            views = lambda n: [np.ones((3, n)), np.ones((2, n))]
+            tasks = [
+                asyncio.create_task(batcher.submit(views(2))),
+                asyncio.create_task(batcher.submit(views(2))),
+                # 4 rows queued: below max_batch, still parked...
+            ]
+            await settle()
+            assert not any(task.done() for task in tasks)
+            # ...the 5th row tips the batch over
+            tasks.append(asyncio.create_task(batcher.submit(views(1))))
+            return await asyncio.gather(*tasks)
+
+        results = asyncio.run(run())
+        assert calls == [5]
+        assert [r.output.shape[0] for r in results] == [2, 2, 1]
+        assert all(r.batch_size == 3 for r in results)
+        assert all(r.snapshot == "snap" for r in results)
+
+    def test_runner_failure_fails_every_waiter(self):
+        def runner(snapshot, stacked):
+            raise RuntimeError("model exploded")
+
+        batcher = MicroBatcher(
+            runner,
+            lambda: None,
+            max_batch=2,
+            window_seconds=60.0,
+            clock=ManualClock(),
+        )
+
+        async def run():
+            views = [np.ones((3, 1))]
+            tasks = [
+                asyncio.create_task(batcher.submit(views)),
+                asyncio.create_task(batcher.submit(views)),
+            ]
+            return await asyncio.gather(*tasks, return_exceptions=True)
+
+        results = asyncio.run(run())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_invalid_settings_rejected(self):
+        with pytest.raises(ValidationError):
+            MicroBatcher(lambda s, v: v, lambda: None, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(
+                lambda s, v: v, lambda: None, window_seconds=-1.0
+            )
+        with pytest.raises(ValueError):
+            MicroBatcher(
+                lambda s, v: v, lambda: None, timeout_seconds=0.0
+            )
+
+    def test_timeout_error_type(self):
+        batcher = MicroBatcher(
+            lambda s, v: v[0].T,
+            lambda: None,
+            max_batch=10,
+            window_seconds=60.0,
+            timeout_seconds=1.0,
+            clock=ManualClock(),
+        )
+        clock = batcher._clock
+
+        async def run():
+            task = asyncio.create_task(batcher.submit([np.ones((2, 1))]))
+            await settle()
+            clock.advance(1.0)
+            with pytest.raises(RequestTimeout):
+                await task
+
+        asyncio.run(run())
+
+
+# -- satellites: persistence hash + pipeline introspection + CLI -------------
+
+
+class TestModelIdentity:
+    def test_hash_model_file_tracks_content(self, served, tmp_path):
+        m, pipeline, _, path = served
+        first = hash_model_file(path)
+        assert first == hash_model_file(path)  # stable across reads
+        other = os.fspath(tmp_path / "other.npz")
+        replacement, _ = fit_pipeline(m, seed=3)
+        save_model(replacement, other)
+        assert hash_model_file(other) != first
+
+    def test_pipeline_describe_and_view_dims(self, served):
+        m, pipeline, _, path = served
+        assert pipeline.view_dims == DIMS[m]
+        description = pipeline.describe()
+        assert description["reducer"] == "tcca"
+        assert description["classifier"] == "rls"
+        assert description["n_views"] == m
+        assert description["view_dims"] == list(DIMS[m])
+        # survives a persistence round-trip
+        loaded = load_model(path)
+        assert loaded.describe() == description
+
+    def test_unfitted_pipeline_has_no_dims(self):
+        assert MultiviewPipeline("tcca", "rls").view_dims is None
+
+
+class TestServeCli:
+    def test_serve_parser_defaults(self):
+        from repro.__main__ import build_parser
+
+        args = build_parser().parse_args(["serve", "model.npz"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8100
+        assert args.batch_window_ms == 5.0
+        assert args.max_batch == 32
+        assert args.timeout_s == 30.0
+
+    def test_serve_parser_rejects_bad_values(self):
+        from repro.__main__ import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "model.npz", "--max-batch", "0"]
+            )
+
+    def test_serve_missing_model_errors_cleanly(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        code = main(["serve", os.fspath(tmp_path / "missing.npz")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
