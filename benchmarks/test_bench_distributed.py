@@ -1,0 +1,185 @@
+"""Distributed accumulate/reduce across OS processes — the fit protocol.
+
+Not a paper artifact: this benchmark characterizes the PR-7 distributed
+fit protocol end to end. ``k`` worker *processes* (real ``python -m
+repro accumulate`` invocations — separate interpreters, no shared
+memory) each make one pass over their ``--shard i/k`` slice and write a
+``.moments`` artifact; the reduce merges the shards and finalizes. The
+accumulation is the O(N · ∏d) Khatri-Rao stage that dominates a dense
+TCCA fit, and the shards are embarrassingly parallel, so accumulate
+wall-clock should drop toward ``k``× (minus interpreter startup) as the
+shard count grows — while the reduced model stays exactly the
+single-process fit (≤1e-10, asserted every run).
+
+The speedup gate is conditional on real cores (>= 4); on smaller
+machines the numbers are still printed and recorded in
+``BENCH_distributed.json`` but the assertion is skipped.
+
+NumPy's own BLAS threading is an orthogonal speedup source; CI pins
+``OPENBLAS/OMP/MKL_NUM_THREADS=1`` so the ratio isolates the protocol.
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.artifacts import reduce_shards
+from repro.core import TCCA
+
+#: accumulation-bound configuration, sized so per-shard work dominates
+#: the ~0.5s interpreter startup of each worker process.
+SCALE = dict(
+    dims=(96, 64, 48),
+    n_samples=24_000,
+    n_components=2,
+    shard_counts=(1, 2, 4),
+)
+EPSILON = 1e-2
+
+#: the structural claim needs real cores; below this the measurement is
+#: still recorded but the speedup assertion is skipped.
+MIN_CORES_FOR_ASSERT = 4
+MIN_SPEEDUP = 1.6
+
+
+def _latent_views(dims, n_samples, seed=0, noise=0.25, n_factors=3):
+    rng = np.random.default_rng(seed)
+    strengths = (2.0 * 0.5 ** np.arange(n_factors))[:, None]
+    signal = strengths * rng.standard_normal((n_factors, n_samples))
+    return [
+        rng.standard_normal((d, n_factors)) @ signal
+        + noise * rng.standard_normal((d, n_samples))
+        for d in dims
+    ]
+
+
+def _accumulate_with_processes(data_path, out_dir, count):
+    """Run ``count`` concurrent accumulate workers; returns (paths, secs)."""
+    env = {**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)}
+    paths = [
+        os.path.join(out_dir, f"part-{index}-of-{count}.moments")
+        for index in range(count)
+    ]
+    start = time.perf_counter()
+    workers = [
+        subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "accumulate", "tcca",
+                "--data", str(data_path),
+                "--shard", f"{index}/{count}",
+                "--param", f"n_components={SCALE['n_components']}",
+                "--param", f"epsilon={EPSILON}",
+                "--param", "solver='dense'",
+                "--param", "random_state=0",
+                "--out", path,
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+        )
+        for index, path in enumerate(paths)
+    ]
+    for worker in workers:
+        assert worker.wait() == 0
+    return paths, time.perf_counter() - start
+
+
+def test_bench_distributed_accumulate_reduce(
+    tmp_path, benchmark, bench_record
+):
+    """k-process accumulate + reduce: exact model, scaling wall-clock."""
+    dims, n = SCALE["dims"], SCALE["n_samples"]
+    views = _latent_views(dims, n)
+    data_path = tmp_path / "data.npz"
+    np.savez(data_path, **{f"view{i}": v for i, v in enumerate(views)})
+
+    reference = TCCA(
+        n_components=SCALE["n_components"],
+        epsilon=EPSILON,
+        solver="dense",
+        random_state=0,
+    )
+    start = time.perf_counter()
+    reference.fit(views)
+    fit_seconds = time.perf_counter() - start
+
+    accumulate_seconds = {}
+    reduce_seconds = {}
+    for count in SCALE["shard_counts"]:
+        if count == 1:
+            # the benchmark fixture times the canonical single-worker run
+            paths, seconds = benchmark.pedantic(
+                lambda: _accumulate_with_processes(data_path, tmp_path, 1),
+                rounds=1,
+                iterations=1,
+            )
+        else:
+            paths, seconds = _accumulate_with_processes(
+                data_path, tmp_path, count
+            )
+        accumulate_seconds[count] = seconds
+        start = time.perf_counter()
+        model, report = reduce_shards(paths)
+        reduce_seconds[count] = time.perf_counter() - start
+        assert report["n_samples"] == n
+        # the protocol's invariant: reduce(shards) ≡ single-process fit
+        np.testing.assert_allclose(
+            model.correlations_,
+            reference.correlations_,
+            rtol=0,
+            atol=1e-10,
+        )
+        for ours, theirs in zip(
+            model.canonical_vectors_, reference.canonical_vectors_
+        ):
+            np.testing.assert_allclose(
+                np.abs(ours), np.abs(theirs), rtol=0, atol=1e-10
+            )
+
+    cores = os.cpu_count() or 1
+    widest = max(SCALE["shard_counts"])
+    speedup = accumulate_seconds[1] / accumulate_seconds[widest]
+
+    print()
+    print(
+        f"distributed TCCA — dims={dims}, N={n}, cores={cores}, "
+        f"single-process fit {fit_seconds:.3f}s"
+    )
+    for count in SCALE["shard_counts"]:
+        print(
+            f"k={count}  accumulate {accumulate_seconds[count]:7.3f}s  "
+            f"reduce {reduce_seconds[count]:6.3f}s"
+        )
+    print(f"accumulate speedup k={widest} vs k=1: {speedup:.2f}x")
+
+    bench_record(
+        {
+            "dims": list(dims),
+            "n_samples": n,
+            "cpu_count": cores,
+            "fit_seconds": fit_seconds,
+            "accumulate_seconds": {
+                str(count): accumulate_seconds[count]
+                for count in SCALE["shard_counts"]
+            },
+            "reduce_seconds": {
+                str(count): reduce_seconds[count]
+                for count in SCALE["shard_counts"]
+            },
+            "speedup": speedup,
+        },
+        name="distributed",
+    )
+
+    if cores < MIN_CORES_FOR_ASSERT:
+        pytest.skip(
+            f"only {cores} cores; speedup assertion needs "
+            f">= {MIN_CORES_FOR_ASSERT}"
+        )
+    assert speedup >= MIN_SPEEDUP, (
+        f"{widest}-process accumulate only {speedup:.2f}x faster than one "
+        f"process (expected >= {MIN_SPEEDUP}x on {cores} cores)"
+    )

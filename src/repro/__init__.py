@@ -34,7 +34,7 @@ from repro.parallel import (
     resolve_executor,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CCA",

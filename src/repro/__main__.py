@@ -24,11 +24,29 @@ ever refitting from scratch (warm-started refresh)::
     python -m repro update model.npz --data new_batch.npz
     python -m repro update model.npz --data later_batch.npz --out v2.npz
 
+Distributed fitting — workers each make one pass over their shard of
+the data and write a ``.moments`` artifact (sufficient statistics only,
+no shared memory); the reducer merges the shards in deterministic order
+and finalizes the exact same model a single-process fit would produce::
+
+    python -m repro accumulate tcca --data all.npz --shard 0/3 --out part-0.moments
+    python -m repro accumulate tcca --data all.npz --shard 1/3 --out part-1.moments
+    python -m repro accumulate tcca --data all.npz --shard 2/3 --out part-2.moments
+    python -m repro reduce part-*.moments --out model.npz
+    python -m repro inspect model.npz
+    python -m repro verify model.npz
+
+Every model header records a payload content hash (``repro verify``
+and ``load_model(path, verify=True)`` detect bit-rot/truncation) and a
+provenance block — the resolved config, the input shard hashes of a
+reduce, and the parent hash chain that every ``repro update`` extends
+(``repro verify MODEL --parents v1.npz v0.npz`` walks the chain).
+
 Serving — an asyncio HTTP server that micro-batches concurrent
 ``/transform`` / ``/predict`` requests into single model calls and
 hot-reloads the model whenever ``repro update`` atomically replaces the
-file (``/healthz`` and ``/modelz`` report liveness, version, and the
-model's content hash)::
+file (``/healthz`` and ``/modelz`` report liveness, version, the
+model's content hash, and its provenance chain)::
 
     python -m repro serve model.npz --port 8100 --batch-window-ms 5
 
@@ -43,6 +61,7 @@ from __future__ import annotations
 
 import argparse
 import ast
+import json
 import os
 import re
 import sys
@@ -255,6 +274,91 @@ def build_parser() -> argparse.ArgumentParser:
         help="where to write the model file",
     )
 
+    accumulate_parser = subparsers.add_parser(
+        "accumulate",
+        help="one-pass moment accumulation over (a shard of) a dataset; "
+        "writes a .moments shard artifact for `repro reduce`",
+    )
+    accumulate_parser.add_argument(
+        "reducer", metavar="reducer", nargs="?", default="tcca",
+        help="registry key of the moment-based reducer (default tcca); "
+        "every shard of one reduce must use the same reducer and params",
+    )
+    _add_data_arguments(accumulate_parser)
+    accumulate_parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        type=_parse_override,
+        metavar="key=value",
+        help="reducer constructor parameter (repeatable); must match "
+        "across the shards of one reduce",
+    )
+    accumulate_parser.add_argument(
+        "--shard",
+        metavar="I/K",
+        default=None,
+        help="accumulate only the I-th of K contiguous sample shards "
+        "(zero-based, e.g. 0/3); default: the whole dataset",
+    )
+    _add_parallel_arguments(accumulate_parser)
+    accumulate_parser.add_argument(
+        "--out",
+        required=True,
+        metavar="PART.moments",
+        help="where to write the shard artifact",
+    )
+
+    reduce_parser = subparsers.add_parser(
+        "reduce",
+        help="merge .moments shards (any order) and finalize the exact "
+        "single-process model; writes a model file with shard provenance",
+    )
+    reduce_parser.add_argument(
+        "shards", nargs="+", metavar="PART.moments",
+        help="shard artifacts written by `repro accumulate`; merged in "
+        "deterministic order regardless of how they are listed here",
+    )
+    reduce_parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the payload-hash integrity check of the input shards",
+    )
+    reduce_parser.add_argument(
+        "--out",
+        required=True,
+        metavar="MODEL.npz",
+        help="where to write the reduced model file",
+    )
+
+    inspect_parser = subparsers.add_parser(
+        "inspect",
+        help="print a JSON summary of a model or .moments artifact "
+        "(format, config, sample counts, hashes, provenance chain)",
+    )
+    inspect_parser.add_argument(
+        "artifact", metavar="FILE",
+        help="model file or .moments shard to describe",
+    )
+
+    verify_parser = subparsers.add_parser(
+        "verify",
+        help="check an artifact's payload against its recorded content "
+        "hash; with --parents, also verify the provenance chain",
+    )
+    verify_parser.add_argument(
+        "artifact", metavar="FILE",
+        help="model file or .moments shard to verify",
+    )
+    verify_parser.add_argument(
+        "--parents",
+        nargs="+",
+        default=[],
+        metavar="MODEL.npz",
+        help="ancestor model files (any order); each must hash to its "
+        "link in the artifact's provenance chain",
+    )
+
     update_parser = subparsers.add_parser(
         "update",
         help="fold new data into a saved incremental model "
@@ -414,8 +518,140 @@ def _apply_parallel_updates(estimator, updates, parser) -> None:
         parser.error(str(error))
 
 
+def _source_description(args) -> str:
+    """A human-readable provenance tag for the --data/--synthetic source."""
+    if args.synthetic is not None:
+        return f"synthetic:{args.synthetic}:seed{args.seed}"
+    return os.path.basename(args.data)
+
+
+def _command_accumulate(args, parser: argparse.ArgumentParser) -> int:
+    from repro.artifacts import (
+        accumulate_views,
+        parse_shard_spec,
+        save_moments,
+    )
+
+    views, _labels = _load_dataset(args, parser)
+    shard = None if args.shard is None else parse_shard_spec(args.shard)
+    params = dict(args.param)
+    params.update(_parallel_updates(args))
+    moments, resolved = accumulate_views(
+        views, estimator=args.reducer, params=params, shard=shard
+    )
+    digest = save_moments(
+        moments,
+        args.out,
+        estimator=args.reducer,
+        params=resolved,
+        shard=(
+            None if shard is None else {"index": shard[0], "count": shard[1]}
+        ),
+        source=_source_description(args),
+    )
+    bounds = "" if shard is None else f" (shard {shard[0]}/{shard[1]})"
+    print(
+        f"accumulated {moments.n_samples} samples{bounds} into "
+        f"{args.reducer} moments -> {args.out} [sha256 {digest[:16]}…]"
+    )
+    return 0
+
+
+def _command_reduce(args, parser: argparse.ArgumentParser) -> int:
+    from repro.api import save_model
+    from repro.artifacts import provenance_block, reduce_shards
+
+    model, report = reduce_shards(args.shards, verify=not args.no_verify)
+    provenance = provenance_block(
+        "reduce",
+        config=report["params"],
+        shards=report["shards"],
+    )
+    save_model(model, args.out, provenance=provenance)
+    print(
+        f"reduced {report['n_shards']} shards "
+        f"({report['n_samples']} samples total) into "
+        f"{report['estimator']} -> {args.out}"
+    )
+    return 0
+
+
+def _command_inspect(args, parser: argparse.ArgumentParser) -> int:
+    from repro.artifacts import MOMENTS_FORMAT, chain_summary, read_header
+
+    header = read_header(args.artifact)
+    summary = {
+        "path": args.artifact,
+        "format": header.get("format"),
+        "version": header.get("version"),
+        "payload_sha256": header.get("payload_sha256"),
+    }
+    if header.get("format") == MOMENTS_FORMAT:
+        summary.update(
+            estimator=header.get("estimator"),
+            params=header.get("params"),
+            dims=header.get("dims"),
+            n_samples=header.get("n_samples"),
+            shard=header.get("shard"),
+            source=header.get("source"),
+        )
+    else:
+        for key in ("estimator", "kind", "params", "reducer", "classifier"):
+            if key in header:
+                value = header[key]
+                # pipeline headers nest whole estimator fragments; keep
+                # the identity, drop the fitted-state schema noise.
+                if isinstance(value, dict) and "state" in value:
+                    value = {
+                        k: v for k, v in value.items() if k != "state"
+                    }
+                summary[key] = value
+        summary["provenance"] = chain_summary(header)
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
+def _command_verify(args, parser: argparse.ArgumentParser) -> int:
+    from repro.artifacts import (
+        MOMENTS_FORMAT,
+        load_moments,
+        read_artifact,
+        verify_chain,
+        verify_payload,
+    )
+
+    header, payload = read_artifact(args.artifact)
+    with payload:
+        digest = verify_payload(header, payload, args.artifact)
+    if header.get("format") == MOMENTS_FORMAT:
+        load_moments(args.artifact)  # full decode: state must rebuild too
+        if args.parents:
+            parser.error("--parents only applies to model files")
+    print(f"payload OK    {args.artifact} [sha256 {digest[:16]}…]")
+    if header.get("format") != MOMENTS_FORMAT:
+        chain = (header.get("provenance") or {}).get("parents") or []
+        if args.parents:
+            verified = verify_chain(header, args.parents, args.artifact)
+            for record in verified:
+                created = record["created"] or "?"
+                print(
+                    f"ancestor OK   {record['path']} "
+                    f"[{created}, sha256 {record['sha256'][:16]}…]"
+                )
+            print(
+                f"chain OK      {len(verified)} generation(s) verified"
+            )
+        elif chain:
+            print(
+                f"chain         {len(chain)} ancestor(s) recorded "
+                "(pass --parents to verify them)"
+            )
+    return 0
+
+
 def _command_fit(args, parser: argparse.ArgumentParser) -> int:
     from repro.api import MultiviewPipeline, make_reducer, save_model
+    from repro.artifacts import provenance_block
 
     views, labels = _load_dataset(args, parser)
     reducer = make_reducer(args.reducer, **dict(args.param))
@@ -456,7 +692,12 @@ def _command_fit(args, parser: argparse.ArgumentParser) -> int:
             else reducer.fit(views)
         )
         kind = args.reducer
-    save_model(model, args.out)
+    provenance = provenance_block(
+        "fit",
+        config=reducer.get_params(),
+        source=_source_description(args),
+    )
+    save_model(model, args.out, provenance=provenance)
     n = views[0].shape[1]
     mode = " (incremental)" if args.incremental else ""
     print(
@@ -468,8 +709,17 @@ def _command_fit(args, parser: argparse.ArgumentParser) -> int:
 
 def _command_update(args, parser: argparse.ArgumentParser) -> int:
     from repro.api import MultiviewPipeline, load_model, save_model
+    from repro.artifacts import parent_link, provenance_block, read_header
 
     views, labels = _load_dataset(args, parser)
+    # The chain link must capture the parent file as it is *now* — the
+    # save below may overwrite it in place.
+    parent_header = read_header(args.model)
+    link = parent_link(args.model, parent_header)
+    parents = list(
+        (parent_header.get("provenance") or {}).get("parents") or []
+    )
+    parents.append(link)
     model = load_model(args.model)
     updates = _parallel_updates(args)
     if isinstance(model, MultiviewPipeline):
@@ -503,7 +753,13 @@ def _command_update(args, parser: argparse.ArgumentParser) -> int:
         moments = model.moments_
         reducer = model
     out = args.out or args.model
-    save_model(model, out)
+    provenance = provenance_block(
+        "update",
+        config=reducer.get_params(),
+        source=_source_description(args),
+        parents=parents,
+    )
+    save_model(model, out, provenance=provenance)
     result = getattr(reducer, "decomposition_result_", None)
     sweeps = "" if result is None else f" in {result.n_iterations} sweeps"
     print(
@@ -626,13 +882,27 @@ def main(argv=None) -> int:
         return 0
     if args.command == "estimators":
         return _command_estimators()
-    if args.command in ("fit", "update", "serve", "transform", "predict"):
+    if args.command in (
+        "fit",
+        "update",
+        "serve",
+        "transform",
+        "predict",
+        "accumulate",
+        "reduce",
+        "inspect",
+        "verify",
+    ):
         handler = {
             "fit": _command_fit,
             "update": _command_update,
             "serve": _command_serve,
             "transform": _command_transform,
             "predict": _command_predict,
+            "accumulate": _command_accumulate,
+            "reduce": _command_reduce,
+            "inspect": _command_inspect,
+            "verify": _command_verify,
         }[args.command]
         try:
             return handler(args, parser)

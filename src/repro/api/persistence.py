@@ -15,19 +15,27 @@ restores the fitted attributes, after which ``transform`` behaves
 exactly like the in-memory original. The format is versioned so a
 future layout change can refuse (or migrate) old files explicitly
 instead of misreading them.
+
+The physical layer (atomic writes, content hashing, verification) lives
+in :mod:`repro.artifacts.io` and is shared with the ``.moments`` shard
+artifacts of the distributed fit protocol.
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
-import os
-import tempfile
+
+from repro.artifacts.io import (
+    HEADER_KEY as _HEADER_KEY,
+    file_sha256,
+    read_artifact,
+    verify_payload,
+    write_artifact,
+)
+from repro.api.registry import get_estimator_class
+from repro.exceptions import PersistenceError, ValidationError
 
 import numpy as np
-
-from repro.api.registry import get_estimator_class
-from repro.exceptions import ValidationError
 
 __all__ = [
     "MODEL_FORMAT",
@@ -40,12 +48,14 @@ __all__ = [
 
 MODEL_FORMAT = "repro-model"
 PIPELINE_FORMAT = "repro-pipeline"
-#: version 2 (this library): fitted attributes may carry accumulated
-#: moment state (``kind: "moments"``) so incremental ``partial_fit``
-#: sessions resume across save/load; version-1 files (no moments) load
-#: unchanged, older readers refuse version-2 files explicitly.
-MODEL_FORMAT_VERSION = 2
-_HEADER_KEY = "__repro_header__"
+#: version 3 (this library): the header records ``payload_sha256`` (a
+#: content hash checked by ``load_model(path, verify=True)`` and
+#: ``repro verify``) and may carry a ``provenance`` block (resolved
+#: config, input shard hashes, and the parent-model hash chain that
+#: ``repro update`` extends). Version-2 files (moments, no hashes) and
+#: version-1 files (no moments) load unchanged; older readers refuse
+#: version-3 files explicitly.
+MODEL_FORMAT_VERSION = 3
 
 
 # -- value (de)coding -------------------------------------------------------
@@ -193,48 +203,19 @@ def decode_estimator(header: dict, payload, prefix: str = ""):
 def write_archive(path, header: dict, arrays: dict) -> None:
     """Write header + arrays to ``path`` exactly (no ``.npz`` appending).
 
-    The write is **atomic**: the archive is fully written to a temporary
-    file in the target directory and then ``os.replace``-d into place.
-    A crash (or full disk) mid-save can therefore never leave a
-    truncated or corrupt file at ``path`` — readers see either the old
-    complete model or the new complete model, which is what lets a
-    serving process overwrite its model file in place.
+    Delegates to :func:`repro.artifacts.io.write_artifact`: the write is
+    **atomic** (temporary file + ``os.replace``, so a crash or full disk
+    mid-save never leaves a torn file at ``path`` — readers see either
+    the old complete model or the new complete model, which is what lets
+    a serving process overwrite its model file in place) and the payload
+    content hash is recorded in the header as ``payload_sha256``.
     """
-    entries = dict(arrays)
-    entries[_HEADER_KEY] = np.array(json.dumps(header))
-    path = os.fspath(path)
-    descriptor, tmp_path = tempfile.mkstemp(
-        dir=os.path.dirname(path) or ".",
-        prefix=os.path.basename(path) + ".",
-        suffix=".tmp",
-    )
-    try:
-        with os.fdopen(descriptor, "wb") as handle:
-            np.savez(handle, **entries)
-        # mkstemp creates 0o600 files; give the model the permissions a
-        # plain open() would have (umask-honoring), so a serving process
-        # under another user can still read an overwritten model.
-        umask = os.umask(0)
-        os.umask(umask)
-        os.chmod(tmp_path, 0o666 & ~umask)
-        os.replace(tmp_path, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_path)
-        except OSError:
-            pass
-        raise
+    write_artifact(path, header, arrays)
 
 
 def read_archive(path) -> tuple[dict, "np.lib.npyio.NpzFile"]:
     """Read ``(header, payload)`` from a model file, validating the format."""
-    payload = np.load(path, allow_pickle=False)
-    if _HEADER_KEY not in payload.files:
-        payload.close()
-        raise ValidationError(
-            f"{path!s} is not a repro model file (missing header entry)"
-        )
-    header = json.loads(str(payload[_HEADER_KEY][()]))
+    header, payload = read_artifact(path)
     fmt = header.get("format")
     if fmt not in (MODEL_FORMAT, PIPELINE_FORMAT):
         payload.close()
@@ -256,24 +237,31 @@ def read_archive(path) -> tuple[dict, "np.lib.npyio.NpzFile"]:
 # -- public API -------------------------------------------------------------
 
 
-def save_model(model, path):
+def save_model(model, path, *, provenance: dict | None = None):
     """Persist an estimator (or a pipeline) to ``path``; returns ``path``.
 
     Registered estimators are written in the :data:`MODEL_FORMAT` layout;
     :class:`~repro.api.pipeline.MultiviewPipeline` instances delegate to
     their composite :data:`PIPELINE_FORMAT` layout. Either way the file
-    is loadable with the single :func:`load_model` entry point.
+    is loadable with the single :func:`load_model` entry point. The
+    header always records the payload's content hash; ``provenance``
+    (see :func:`repro.artifacts.provenance_block`) additionally records
+    where the model came from — the resolved config, the input shard
+    hashes of a ``repro reduce``, and the parent hash chain a
+    ``repro update`` extends.
     """
     from repro.api.pipeline import MultiviewPipeline
 
     if isinstance(model, MultiviewPipeline):
-        return model.save(path)
+        return model.save(path, provenance=provenance)
     header, arrays = encode_estimator(model)
     header = {
         "format": MODEL_FORMAT,
         "version": MODEL_FORMAT_VERSION,
         **header,
     }
+    if provenance is not None:
+        header["provenance"] = dict(provenance)
     write_archive(path, header, arrays)
     return path
 
@@ -282,26 +270,38 @@ def hash_model_file(path, *, chunk_size: int = 1 << 20) -> str:
     """SHA-256 hex digest of a model file's bytes.
 
     The content hash is the identity a serving process reports for the
-    model it loaded (``/modelz``): because saves are atomic, the hash
-    of the file on disk either equals the hash of the loaded model or a
-    complete newer model — never a torn intermediate state.
+    model it loaded (``/modelz``) and the value a child model's
+    provenance chain records for its parent: because saves are atomic,
+    the hash of the file on disk either equals the hash of the loaded
+    model or a complete newer model — never a torn intermediate state.
     """
-    digest = hashlib.sha256()
-    with open(path, "rb") as handle:
-        while True:
-            block = handle.read(chunk_size)
-            if not block:
-                break
-            digest.update(block)
-    return digest.hexdigest()
+    return file_sha256(path, chunk_size=chunk_size)
 
 
-def load_model(path):
-    """Load whatever :func:`save_model` wrote: an estimator or a pipeline."""
+def load_model(path, *, verify: bool = False):
+    """Load whatever :func:`save_model` wrote: an estimator or a pipeline.
+
+    With ``verify=True`` the array payload is re-hashed against the
+    ``payload_sha256`` recorded in the header before anything is
+    decoded, so bit-rot or truncation raises
+    :class:`~repro.exceptions.PersistenceError` naming the file instead
+    of surfacing as a numpy traceback (or, worse, silently corrupt
+    projections). Files written before format v3 record no hash and
+    fail verification explicitly.
+    """
     header, payload = read_archive(path)
     with payload:
-        if header["format"] == PIPELINE_FORMAT:
-            from repro.api.pipeline import MultiviewPipeline
+        if verify:
+            verify_payload(header, payload, path)
+        try:
+            if header["format"] == PIPELINE_FORMAT:
+                from repro.api.pipeline import MultiviewPipeline
 
-            return MultiviewPipeline._from_archive(header, payload)
-        return decode_estimator(header, payload)
+                return MultiviewPipeline._from_archive(header, payload)
+            return decode_estimator(header, payload)
+        except KeyError as error:
+            raise PersistenceError(
+                f"{path!s} model payload does not decode (missing entry "
+                f"{error}); the file is incomplete or was not written by "
+                "this library"
+            ) from None

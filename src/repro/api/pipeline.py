@@ -267,8 +267,13 @@ class MultiviewPipeline:
 
     # -- persistence --------------------------------------------------------
 
-    def save(self, path):
-        """Write the whole pipeline to one model file; returns ``path``."""
+    def save(self, path, *, provenance: dict | None = None):
+        """Write the whole pipeline to one model file; returns ``path``.
+
+        ``provenance`` (see :func:`repro.artifacts.provenance_block`)
+        records where the model came from in the header — resolved
+        config, reduce input shards, and the parent hash chain.
+        """
         reducer_header, arrays = encode_estimator(
             self.reducer, prefix=_REDUCER_PREFIX
         )
@@ -293,6 +298,8 @@ class MultiviewPipeline:
                 replay_arrays[f"replay:view{index}"] = view
             replay_arrays["replay:labels"] = np.concatenate(label_batches)
             header["replay_views"] = len(store.dims)
+        if provenance is not None:
+            header["provenance"] = dict(provenance)
         write_archive(
             path, header, {**arrays, **classifier_arrays, **replay_arrays}
         )

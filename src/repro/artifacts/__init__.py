@@ -1,0 +1,80 @@
+"""Artifact layer: verifiable files the fit protocol exchanges.
+
+Everything the library puts on disk — model files, ``.moments`` shard
+files — goes through this package, which owns the properties that make
+those files safe to pass between processes and machines:
+
+* :mod:`repro.artifacts.io` — atomic npz writes, payload/file content
+  hashing, and verification (bit-rot and truncation surface as
+  :class:`~repro.exceptions.PersistenceError`, not numpy tracebacks);
+* :mod:`repro.artifacts.moments` — the versioned ``.moments`` shard
+  format: one serialized :class:`~repro.core.engine.MomentState` plus
+  the reducer configuration it was accumulated for;
+* :mod:`repro.artifacts.distributed` — the accumulate/reduce protocol:
+  shard bounds, single-pass accumulation, configuration-checked
+  deterministic merge, and the staged finalize;
+* :mod:`repro.artifacts.provenance` — provenance blocks in model
+  headers: input shard hashes, resolved config, and the parent-model
+  hash chain that ``repro update`` extends and ``repro verify`` walks.
+
+This package sits *below* :mod:`repro.api` (persistence imports it),
+so nothing here may import from ``repro.api`` at module level.
+"""
+
+from repro.artifacts.distributed import (
+    accumulate_views,
+    parse_shard_spec,
+    reduce_shards,
+    shard_bounds,
+    shard_order,
+)
+from repro.artifacts.io import (
+    HEADER_KEY,
+    file_sha256,
+    payload_sha256,
+    read_artifact,
+    read_header,
+    verify_payload,
+    write_artifact,
+    write_npz_atomic,
+)
+from repro.artifacts.moments import (
+    MOMENTS_FORMAT,
+    MOMENTS_FORMAT_VERSION,
+    describe_shard,
+    load_moments,
+    save_moments,
+    shard_config,
+)
+from repro.artifacts.provenance import (
+    chain_summary,
+    parent_link,
+    provenance_block,
+    verify_chain,
+)
+
+__all__ = [
+    "HEADER_KEY",
+    "MOMENTS_FORMAT",
+    "MOMENTS_FORMAT_VERSION",
+    "accumulate_views",
+    "chain_summary",
+    "describe_shard",
+    "file_sha256",
+    "load_moments",
+    "parent_link",
+    "parse_shard_spec",
+    "payload_sha256",
+    "provenance_block",
+    "read_artifact",
+    "read_header",
+    "reduce_shards",
+    "save_moments",
+    "shard_bounds",
+    "shard_config",
+    "shard_order",
+    "verify_chain",
+    "verify_payload",
+    "write_artifact",
+    "write_npz_atomic",
+]

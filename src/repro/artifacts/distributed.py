@@ -1,0 +1,222 @@
+"""Distributed fit protocol: accumulate shards, reduce to a model.
+
+The paper's complexity story is about fitting at sample counts one
+machine chokes on. The staged engine already made the fit an exact
+map-reduce over mergeable :class:`~repro.core.engine.MomentState`\\ s
+*within* a process tree; this module promotes that reduce across
+processes and machines through pure artifact exchange:
+
+* :func:`accumulate_views` — one pass over a contiguous sample shard
+  (``--shard i/k`` bounds, computed by :func:`shard_bounds`), producing
+  the shard's sufficient statistics. No shared memory, no coordination:
+  every worker only needs its slice of the data and the shared reducer
+  configuration.
+* :func:`reduce_shards` — load ``.moments`` shard files, refuse any
+  configuration mismatch with an error naming the offending file, merge
+  in deterministic order (shard index when recorded, filename
+  otherwise — so the reduced model is byte-identical however the shard
+  paths were passed), and finalize through the estimator's staged
+  engine (``whiten → build → decompose → finalize``).
+
+The headline invariant — ``reduce(accumulate shards) ≡ single-process
+fit`` to ≤1e-10, shard-count and shard-order invariant — holds because
+:meth:`MomentState.merge` re-expresses every shard's shifted statistics
+around a common shift in closed form (exact in exact arithmetic), and
+the finalize stages run the same code either way.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.artifacts.moments import (
+    describe_shard,
+    load_moments,
+    shard_config,
+)
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "accumulate_views",
+    "parse_shard_spec",
+    "reduce_shards",
+    "shard_bounds",
+    "shard_order",
+]
+
+
+def parse_shard_spec(text: str) -> tuple[int, int]:
+    """Parse a ``--shard i/k`` spec into ``(index, count)``.
+
+    ``i`` is zero-based and must satisfy ``0 <= i < k``.
+    """
+    index_text, separator, count_text = str(text).partition("/")
+    try:
+        if not separator:
+            raise ValueError
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValidationError(
+            f"shard spec must look like i/k (e.g. 0/3), got {text!r}"
+        ) from None
+    if count < 1 or not 0 <= index < count:
+        raise ValidationError(
+            f"shard index must satisfy 0 <= i < k, got {index}/{count}"
+        )
+    return index, count
+
+
+def shard_bounds(n_samples: int, index: int, count: int) -> tuple[int, int]:
+    """Contiguous ``[start, stop)`` sample bounds of shard ``index/count``.
+
+    The standard balanced split: shard sizes differ by at most one, and
+    the union over ``index`` is exactly ``range(n_samples)``. ``count``
+    may exceed ``n_samples`` — the surplus shards are empty, which the
+    reduce handles (an empty shard contributes nothing to the merge).
+    """
+    n_samples = int(n_samples)
+    return (
+        index * n_samples // count,
+        (index + 1) * n_samples // count,
+    )
+
+
+def _reducer_for(estimator: str, params: dict):
+    from repro.api.registry import make_reducer
+
+    reducer = make_reducer(estimator, **dict(params))
+    for method in ("moment_state_for", "fit_moments"):
+        if not hasattr(reducer, method):
+            raise ValidationError(
+                f"{estimator!r} has no {method}; the distributed "
+                "accumulate/reduce protocol needs a moment-based reducer "
+                "(e.g. tcca)"
+            )
+    return reducer
+
+
+def accumulate_views(
+    views,
+    *,
+    estimator: str = "tcca",
+    params: dict | None = None,
+    shard: tuple[int, int] | None = None,
+):
+    """One accumulation pass over (a shard of) ``views``.
+
+    Slices the contiguous sample shard out of the ``(d_p, N)`` view
+    matrices (``shard=None`` consumes everything), builds the moment
+    state the configured reducer needs — the reducer resolves its own
+    policy: dense solvers track the raw covariance tensor, implicit
+    solvers retain the slice — and ingests the shard in one pass.
+    Returns ``(MomentState, resolved_params)``; an empty shard returns a
+    valid empty state that still records the dimensions, so it
+    participates in reduce-side compatibility checks.
+    """
+    from repro.core import engine
+    from repro.utils.validation import check_views
+
+    params = dict(params or {})
+    reducer = _reducer_for(estimator, params)
+    views = check_views(views, min_views=2)
+    dims = [view.shape[0] for view in views]
+    moments = reducer.moment_state_for(dims)
+    if shard is not None:
+        index, count = shard
+        start, stop = shard_bounds(views[0].shape[1], index, count)
+        views = [view[:, start:stop] for view in views]
+    if views[0].shape[1] > 0:
+        engine.ingest_stage(moments, views)
+    return moments, reducer.get_params()
+
+
+def shard_order(entries) -> list:
+    """Deterministic merge order for ``(path, header, state)`` entries.
+
+    Shards that record ``--shard i/k`` bounds sort by index (the
+    original sample order, so the reduce reproduces the single-pass
+    accumulation bit-for-bit given the same shards); anything else sorts
+    by basename after them. The order is a pure function of the shard
+    *contents*, never of the argument order.
+    """
+
+    def key(entry):
+        path, header, _state = entry
+        shard = header.get("shard")
+        if shard is not None:
+            return (0, int(shard["count"]), int(shard["index"]), "")
+        return (1, 0, 0, os.path.basename(os.fspath(path)))
+
+    return sorted(entries, key=key)
+
+
+def reduce_shards(paths, *, verify: bool = True):
+    """Merge ``.moments`` shards and finalize the fit.
+
+    Returns ``(model, report)`` where ``report`` carries what the CLI
+    prints and the provenance block records: per-shard name/hash/sample
+    counts (in merge order), the resolved configuration, and the total
+    sample count. Raises :class:`~repro.exceptions.ValidationError`
+    naming the offending file when shard configurations are
+    incompatible, and :class:`~repro.exceptions.PersistenceError` when a
+    shard fails its integrity check.
+    """
+    paths = [os.fspath(path) for path in paths]
+    if not paths:
+        raise ValidationError("reduce needs at least one .moments shard")
+    entries = []
+    for path in paths:
+        header, state = load_moments(path, verify=verify)
+        entries.append((path, header, state))
+    reference_path, reference_header, _ = entries[0]
+    reference = shard_config(reference_header)
+    for path, header, _state in entries[1:]:
+        config = shard_config(header)
+        if config != reference:
+            differing = sorted(
+                key for key in reference
+                if config.get(key) != reference.get(key)
+            )
+            raise ValidationError(
+                f"cannot reduce incompatible shards: "
+                f"{describe_shard(path, header)} differs from "
+                f"{describe_shard(reference_path, reference_header)} in "
+                f"{', '.join(differing)} — every shard must be "
+                "accumulated with the same reducer, parameters, and "
+                "view dimensions (re-run `repro accumulate` with a "
+                "shared configuration)"
+            )
+    entries = shard_order(entries)
+    reducer = _reducer_for(
+        reference_header["estimator"], reference_header.get("params", {})
+    )
+    dims = reference_header.get("dims")
+    merged = reducer.moment_state_for(dims) if dims else None
+    shard_records = []
+    for path, header, state in entries:
+        if merged is None:
+            merged = state
+        else:
+            merged.merge(state)
+        shard_records.append(
+            {
+                "name": os.path.basename(path),
+                "sha256": header.get("payload_sha256"),
+                "n_samples": int(header.get("n_samples", state.n_samples)),
+                "shard": header.get("shard"),
+            }
+        )
+    if merged is None or merged.n_samples == 0:
+        raise ValidationError(
+            "all shards are empty; reduce needs at least one sample "
+            "(did every worker get an out-of-range --shard slice?)"
+        )
+    model = reducer.fit_moments(merged)
+    report = {
+        "estimator": reference_header["estimator"],
+        "params": reference_header.get("params", {}),
+        "shards": shard_records,
+        "n_samples": int(merged.n_samples),
+        "n_shards": len(entries),
+    }
+    return model, report

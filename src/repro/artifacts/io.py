@@ -1,0 +1,222 @@
+"""Shared artifact I/O: atomic npz writes, content hashing, verification.
+
+Every on-disk artifact the library produces — model files
+(:mod:`repro.api.persistence`) and ``.moments`` shard files
+(:mod:`repro.artifacts.moments`) — is the same physical layout: an
+``np.savez`` archive holding named arrays plus one JSON header entry.
+This module owns the three properties that make those files safe to
+exchange between processes and machines:
+
+* **atomicity** — :func:`write_npz_atomic` writes to a temporary file in
+  the target directory and ``os.replace``-s it into place, so a crash or
+  full disk mid-save never leaves a torn file at the destination;
+* **content identity** — :func:`payload_sha256` hashes the array payload
+  (names, dtypes, shapes, bytes) deterministically; the digest is
+  recorded in the header at write time and is the identity provenance
+  chains refer to. :func:`file_sha256` hashes whole files — the identity
+  a serving process reports and the link ``repro update`` records for
+  its parent model;
+* **verifiability** — :func:`verify_payload` re-hashes a loaded payload
+  against its header, turning bit-rot, truncation, and tampering into a
+  clear :class:`~repro.exceptions.PersistenceError` instead of a numpy
+  or zipfile traceback.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import zipfile
+
+import numpy as np
+
+from repro.exceptions import PersistenceError
+
+__all__ = [
+    "HEADER_KEY",
+    "file_sha256",
+    "payload_sha256",
+    "read_artifact",
+    "read_header",
+    "verify_payload",
+    "write_artifact",
+    "write_npz_atomic",
+]
+
+#: archive entry holding the JSON header of every repro artifact.
+HEADER_KEY = "__repro_header__"
+
+
+def write_npz_atomic(path, entries: dict) -> None:
+    """Write ``entries`` as one npz archive at ``path``, atomically.
+
+    The archive is fully written to a temporary file in the target
+    directory and then ``os.replace``-d into place, so readers polling
+    ``path`` only ever observe a complete old file or a complete new
+    file — the guarantee the serving layer's hot reload and the
+    distributed shard exchange both build on. The temporary file gets
+    the umask-honoring permissions a plain ``open()`` would, so another
+    user's reader can still open the replaced artifact.
+    """
+    path = os.fspath(path)
+    descriptor, tmp_path = tempfile.mkstemp(
+        dir=os.path.dirname(path) or ".",
+        prefix=os.path.basename(path) + ".",
+        suffix=".tmp",
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            np.savez(handle, **entries)
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp_path, 0o666 & ~umask)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def payload_sha256(arrays: dict) -> str:
+    """Deterministic SHA-256 over a named-array payload.
+
+    Hashes the sorted entry names together with each array's dtype,
+    shape, and C-order bytes, so the digest is invariant to dict
+    ordering and memory layout but changes if any value, name, dtype, or
+    shape does. Computed identically from in-memory arrays at save time
+    and from a loaded ``NpzFile`` at verify time.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        if name == HEADER_KEY:
+            continue
+        array = np.asarray(arrays[name])
+        digest.update(name.encode())
+        digest.update(b"\x00")
+        digest.update(array.dtype.str.encode())
+        digest.update(repr(array.shape).encode())
+        digest.update(b"\x00")
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def file_sha256(path, *, chunk_size: int = 1 << 20) -> str:
+    """SHA-256 hex digest of a file's bytes.
+
+    The whole-file identity: covers the header (and therefore the
+    provenance block) as well as the payload, which is what makes the
+    parent links ``repro update`` records a true hash chain — each
+    model's header commits to the complete bytes of its parent.
+    """
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            block = handle.read(chunk_size)
+            if not block:
+                break
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def write_artifact(path, header: dict, arrays: dict) -> str:
+    """Atomically write ``header`` + ``arrays`` as one artifact file.
+
+    The payload's content hash is computed and recorded in the header as
+    ``payload_sha256`` before serialization, so every artifact carries
+    its own integrity check. Returns the recorded digest.
+    """
+    digest = payload_sha256(arrays)
+    header = dict(header)
+    header["payload_sha256"] = digest
+    entries = dict(arrays)
+    entries[HEADER_KEY] = np.array(json.dumps(header))
+    write_npz_atomic(path, entries)
+    return digest
+
+
+def read_artifact(path):
+    """``(header, payload)`` of an artifact file, mapping decode failures.
+
+    Opens the archive lazily (arrays are decompressed on access) and
+    parses the JSON header. A file that is not a readable npz archive —
+    truncated, overwritten with garbage, or simply something else —
+    raises :class:`~repro.exceptions.PersistenceError` naming the path
+    instead of leaking a ``zipfile``/``numpy`` traceback. Format and
+    version checks are the caller's job (model files and ``.moments``
+    shards share this reader).
+    """
+    try:
+        payload = np.load(path, allow_pickle=False)
+    except (zipfile.BadZipFile, ValueError, EOFError, KeyError) as error:
+        raise PersistenceError(
+            f"{path!s} is not a readable repro artifact (truncated or "
+            f"corrupted archive): {error}"
+        ) from None
+    if HEADER_KEY not in payload.files:
+        payload.close()
+        raise PersistenceError(
+            f"{path!s} is not a repro artifact (missing header entry)"
+        )
+    try:
+        header = json.loads(str(payload[HEADER_KEY][()]))
+    except (
+        zipfile.BadZipFile,
+        ValueError,
+        EOFError,
+        json.JSONDecodeError,
+    ) as error:
+        payload.close()
+        raise PersistenceError(
+            f"{path!s} has an unreadable header (truncated or corrupted "
+            f"archive): {error}"
+        ) from None
+    return header, payload
+
+
+def read_header(path) -> dict:
+    """Just the JSON header of an artifact file (payload left unread)."""
+    header, payload = read_artifact(path)
+    payload.close()
+    return header
+
+
+def verify_payload(header: dict, payload, path="artifact") -> str:
+    """Check a loaded payload against the header's recorded content hash.
+
+    Re-reads every array (forcing full decompression, so zip-level CRC
+    failures surface here too) and compares the recomputed digest with
+    the header's ``payload_sha256``. Raises
+    :class:`~repro.exceptions.PersistenceError` on any mismatch, on
+    unreadable array data, or when the header predates payload hashing;
+    returns the verified digest otherwise.
+    """
+    recorded = header.get("payload_sha256")
+    if recorded is None:
+        raise PersistenceError(
+            f"{path!s} records no payload hash (written by an older "
+            "library version); re-save it to make it verifiable"
+        )
+    try:
+        arrays = {
+            name: payload[name]
+            for name in payload.files
+            if name != HEADER_KEY
+        }
+        recomputed = payload_sha256(arrays)
+    except (zipfile.BadZipFile, ValueError, EOFError, OSError) as error:
+        raise PersistenceError(
+            f"{path!s} payload is unreadable (truncated or corrupted "
+            f"archive): {error}"
+        ) from None
+    if recomputed != recorded:
+        raise PersistenceError(
+            f"{path!s} payload hash mismatch: header records "
+            f"{recorded[:16]}…, file content hashes to "
+            f"{recomputed[:16]}… — the file was corrupted or tampered "
+            "with after it was written"
+        )
+    return recomputed

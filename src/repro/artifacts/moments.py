@@ -1,0 +1,173 @@
+"""The ``.moments`` shard artifact: one serialized ``MomentState`` file.
+
+A shard file is what ``repro accumulate`` emits and ``repro reduce``
+consumes — the unit of exchange that turns the engine's exact
+:meth:`~repro.core.engine.MomentState.merge` into a *distributed* fit:
+workers on different machines each make one pass over their slice of the
+data and ship only sufficient statistics (dense policy: ``O(∏ d_p)``
+independent of the shard size; implicit policy: the retained slice plus
+per-view moments), and the reducer merges them into the statistics of
+the full dataset to round-off.
+
+Physically it is the same atomic npz-plus-JSON-header layout as a model
+file (:mod:`repro.artifacts.io`), with header fields:
+
+* ``format``/``version`` — :data:`MOMENTS_FORMAT` v1;
+* ``estimator``/``kind``/``params`` — the resolved reducer
+  configuration the shard was accumulated *for*; ``repro reduce``
+  refuses to merge shards whose configurations differ, because moments
+  accumulated for different solvers/epsilons are not interchangeable;
+* ``moments`` — the :meth:`MomentState.state_dict` metadata (policy,
+  per-view accumulator states); arrays go into the payload;
+* ``dims``/``n_samples``/``shard``/``source`` — the shard's geometry
+  and bounds, for ``repro inspect`` and compatibility errors;
+* ``payload_sha256`` — content hash, recorded at write time and
+  re-checked on load, so a corrupted or truncated shard fails with a
+  clear error before it can poison a reduce.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.artifacts.io import read_artifact, verify_payload, write_artifact
+from repro.exceptions import PersistenceError, ValidationError
+
+__all__ = [
+    "MOMENTS_FORMAT",
+    "MOMENTS_FORMAT_VERSION",
+    "describe_shard",
+    "load_moments",
+    "save_moments",
+    "shard_config",
+]
+
+MOMENTS_FORMAT = "repro-moments"
+MOMENTS_FORMAT_VERSION = 1
+
+
+def shard_config(header: dict) -> dict:
+    """The compatibility signature two shards must share to be merged.
+
+    Everything that decides whether two moment states describe *the same
+    fit*: the estimator and its parameters, the moment policy, and the
+    per-view dimensions. Sample counts and shard bounds are excluded —
+    those are exactly what varies across shards — and so are the
+    execution-policy parameters (``n_jobs``/``executor``): policy never
+    changes what a fit computes, so a shard accumulated by a 4-worker
+    machine merges with one from a serial laptop.
+    """
+    moments = header.get("moments") or {}
+    params = dict(header.get("params") or {})
+    for key in ("n_jobs", "executor"):
+        params.pop(key, None)
+    return {
+        "estimator": header.get("estimator"),
+        "kind": header.get("kind"),
+        "params": params,
+        "dims": header.get("dims"),
+        "track_tensor": moments.get("track_tensor"),
+        "retain_samples": moments.get("retain_samples"),
+    }
+
+
+def save_moments(
+    moments,
+    path,
+    *,
+    estimator: str,
+    kind: str = "reducer",
+    params: dict | None = None,
+    shard: dict | None = None,
+    source: str | None = None,
+) -> str:
+    """Write one ``MomentState`` as a ``.moments`` shard artifact.
+
+    ``shard`` (``{"index": i, "count": k}``) records where this shard
+    sits in a ``--shard i/k`` split; ``source`` is a free-form
+    description of the ingested data. Returns the recorded payload hash
+    (the shard's content identity, which ``repro reduce`` writes into
+    the reduced model's provenance).
+    """
+    meta, arrays = moments.state_dict()
+    header = {
+        "format": MOMENTS_FORMAT,
+        "version": MOMENTS_FORMAT_VERSION,
+        "estimator": str(estimator),
+        "kind": str(kind),
+        "params": dict(params or {}),
+        "moments": meta,
+        "n_samples": int(moments.n_samples),
+        "dims": (
+            None if moments.dims is None else [int(d) for d in moments.dims]
+        ),
+    }
+    if shard is not None:
+        header["shard"] = {
+            "index": int(shard["index"]),
+            "count": int(shard["count"]),
+        }
+    if source is not None:
+        header["source"] = str(source)
+    return write_artifact(path, header, arrays)
+
+
+def load_moments(path, *, verify: bool = True):
+    """``(header, MomentState)`` from a ``.moments`` shard file.
+
+    With ``verify=True`` (the default — shards travel between machines)
+    the payload is re-hashed against the header before the state is
+    rebuilt, so bit-rot or truncation raises
+    :class:`~repro.exceptions.PersistenceError` naming the file instead
+    of surfacing as a numpy traceback mid-reduce.
+    """
+    from repro.core.engine import MomentState
+
+    header, payload = read_artifact(path)
+    with payload:
+        fmt = header.get("format")
+        if fmt != MOMENTS_FORMAT:
+            raise PersistenceError(
+                f"{path!s} has format {fmt!r}, not a {MOMENTS_FORMAT!r} "
+                "shard (was it written by `repro accumulate`?)"
+            )
+        version = header.get("version")
+        if not isinstance(version, int) or version > MOMENTS_FORMAT_VERSION:
+            raise PersistenceError(
+                f"{path!s} uses moments format version {version!r}, newer "
+                f"than this library understands "
+                f"(<= {MOMENTS_FORMAT_VERSION}); upgrade the library"
+            )
+        if verify:
+            verify_payload(header, payload, path)
+        try:
+            arrays = {
+                name: payload[name] for name in payload.files
+            }
+            state = MomentState.from_state_dict(header["moments"], arrays)
+        except (KeyError, ValidationError) as error:
+            raise PersistenceError(
+                f"{path!s} shard state does not decode "
+                f"({type(error).__name__}: {error}); the file is "
+                "incomplete or was not written by this library"
+            ) from None
+    if state.n_samples != int(header.get("n_samples", state.n_samples)):
+        raise PersistenceError(
+            f"{path!s} header records {header.get('n_samples')} samples "
+            f"but the state holds {state.n_samples}"
+        )
+    return header, state
+
+
+def describe_shard(path, header: dict) -> str:
+    """One human line for reduce logs and error messages."""
+    shard = header.get("shard")
+    bounds = (
+        ""
+        if shard is None
+        else f" [shard {shard['index']}/{shard['count']}]"
+    )
+    return (
+        f"{os.path.basename(os.fspath(path))}{bounds} "
+        f"({header.get('n_samples', '?')} samples)"
+    )

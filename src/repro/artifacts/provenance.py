@@ -1,0 +1,174 @@
+"""Provenance blocks: what data and which parent produced a model.
+
+Model headers (format v3) may carry a ``provenance`` block answering the
+fleet-deployment question "where did this model come from":
+
+* ``created`` — which operation wrote the file (``"fit"``, ``"reduce"``,
+  ``"update"``);
+* ``config`` — the resolved estimator configuration of that operation;
+* ``shards`` — for ``repro reduce``: name, content hash, and sample
+  count of every input ``.moments`` shard;
+* ``source`` — a human-readable description of the ingested data;
+* ``parents`` — the hash chain: one link per ancestor model, oldest
+  first. Each link records the ancestor's whole-file SHA-256 (which
+  covers *its* header and therefore *its* parents — a true hash chain)
+  plus its payload hash. ``repro update`` extends the chain by one link
+  every generation.
+
+:func:`verify_chain` walks the chain against the actual parent files:
+every link must name a supplied file whose bytes hash to the recorded
+value, and that file's own recorded chain must be the strict prefix of
+the child's — so a model can prove its lineage back to the root fit.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.artifacts.io import file_sha256, verify_payload
+from repro.exceptions import PersistenceError
+
+__all__ = [
+    "chain_summary",
+    "parent_link",
+    "provenance_block",
+    "verify_chain",
+]
+
+
+def provenance_block(
+    created: str,
+    *,
+    config: dict | None = None,
+    shards: list | None = None,
+    source: str | None = None,
+    parents: list | None = None,
+) -> dict:
+    """Assemble one provenance block for a model header."""
+    block = {"created": str(created), "parents": list(parents or [])}
+    if config is not None:
+        block["config"] = dict(config)
+    if shards is not None:
+        block["shards"] = list(shards)
+    if source is not None:
+        block["source"] = str(source)
+    return block
+
+
+def parent_link(parent_path, parent_header: dict) -> dict:
+    """The chain link a child records for ``parent_path``.
+
+    The ``sha256`` is the parent's *whole-file* hash — it covers the
+    parent's header, so the link transitively commits to the
+    grandparents' links too.
+    """
+    return {
+        "name": os.path.basename(os.fspath(parent_path)),
+        "sha256": file_sha256(parent_path),
+        "payload_sha256": parent_header.get("payload_sha256"),
+        "n_samples": parent_header.get("n_samples"),
+    }
+
+
+def _parents(header: dict) -> list:
+    return list((header.get("provenance") or {}).get("parents") or [])
+
+
+def chain_summary(header: dict) -> dict | None:
+    """The compact provenance view ``/modelz`` and ``repro inspect`` show.
+
+    ``chain_depth`` counts the update generations behind this model;
+    ``root_sha256`` is the file hash of the chain's oldest ancestor
+    (``None`` for a chain-less model — the model is its own root).
+    """
+    provenance = header.get("provenance")
+    if provenance is None:
+        return None
+    parents = _parents(header)
+    return {
+        "created": provenance.get("created"),
+        "chain_depth": len(parents),
+        "root_sha256": parents[0]["sha256"] if parents else None,
+        "parent_sha256": parents[-1]["sha256"] if parents else None,
+        "n_shards": (
+            len(provenance["shards"]) if "shards" in provenance else None
+        ),
+        "source": provenance.get("source"),
+    }
+
+
+def verify_chain(header: dict, parent_paths, path="model") -> list[dict]:
+    """Validate a model's parent chain against the actual parent files.
+
+    ``parent_paths`` may arrive in any order; each chain link (newest
+    first) must match one supplied file by whole-file hash, that file's
+    payload must verify against its own header, and its recorded chain
+    must equal the remaining (older) links — the prefix property that
+    makes the chain tamper-evident. Extra supplied files that match no
+    link are an error (they are *not* ancestors), as is a link with no
+    matching file. Returns one ``{"path", "sha256", "created"}`` record
+    per verified generation, newest first; an empty list for a root
+    model verified with no parents.
+    """
+    from repro.artifacts.io import read_artifact
+
+    expected = _parents(header)
+    by_hash = {}
+    for parent_path in parent_paths:
+        digest = file_sha256(parent_path)
+        by_hash[digest] = parent_path
+    if len(by_hash) != len(list(parent_paths)):
+        raise PersistenceError(
+            "duplicate parent files supplied for chain verification"
+        )
+    if len(expected) < len(by_hash):
+        raise PersistenceError(
+            f"{path!s} records {len(expected)} ancestor(s) but "
+            f"{len(by_hash)} parent file(s) were supplied; the extras "
+            "are not part of this model's chain"
+        )
+    verified = []
+    remaining = list(expected)
+    while remaining and by_hash:
+        link = remaining[-1]
+        parent_path = by_hash.pop(link.get("sha256"), None)
+        if parent_path is None:
+            raise PersistenceError(
+                f"{path!s} chain link {len(remaining) - 1} expects a "
+                f"parent with sha256 {str(link.get('sha256'))[:16]}… but "
+                "no supplied file hashes to it — the chain is broken or "
+                "the wrong files were given"
+            )
+        parent_header, payload = read_artifact(parent_path)
+        with payload:
+            verify_payload(parent_header, payload, parent_path)
+        recorded_payload = link.get("payload_sha256")
+        if (
+            recorded_payload is not None
+            and parent_header.get("payload_sha256") != recorded_payload
+        ):
+            raise PersistenceError(
+                f"{parent_path!s} payload hash does not match the chain "
+                f"link recorded by its child"
+            )
+        if _parents(parent_header) != remaining[:-1]:
+            raise PersistenceError(
+                f"{parent_path!s} records a different ancestor chain "
+                f"than {path!s} — the lineage does not verify"
+            )
+        verified.append(
+            {
+                "path": os.fspath(parent_path),
+                "sha256": link["sha256"],
+                "created": (
+                    (parent_header.get("provenance") or {}).get("created")
+                ),
+            }
+        )
+        remaining = remaining[:-1]
+    if by_hash:
+        raise PersistenceError(
+            "supplied parent files do not match any chain link: "
+            + ", ".join(sorted(os.fspath(p) for p in by_hash.values()))
+        )
+    return verified

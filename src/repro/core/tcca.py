@@ -399,6 +399,58 @@ class TCCA(MultiviewTransformer):
             precomputed, dims, solver, factors_init=factors_init
         )
 
+    def moment_state_for(self, dims) -> MomentState:
+        """An empty :class:`MomentState` configured for this estimator.
+
+        The accumulate side of the distributed protocol: a worker builds
+        this state, ingests its shard of the data, and ships the result
+        as a ``.moments`` artifact. The state's policy is resolved from
+        the estimator's configuration exactly as :meth:`partial_fit`
+        would — dense solvers track the raw covariance tensor, implicit
+        solvers retain the samples — so shards accumulated by identically
+        configured workers are mergeable with each other and with a
+        local ``partial_fit`` session.
+        """
+        dims = [int(d) for d in dims]
+        if len(dims) < 2:
+            raise ValidationError(
+                f"need at least 2 views, got dims={dims}"
+            )
+        self._check_rank(dims)
+        solver = resolve_tcca_solver(self.solver, dims, self.decomposition)
+        return MomentState(
+            track_tensor=(solver == "dense"),
+            retain_samples=(solver == "implicit"),
+            dims=dims,
+        )
+
+    def fit_moments(self, moments: MomentState) -> "TCCA":
+        """Fit from accumulated moments alone — the reduce-side finalize.
+
+        Runs the tail of the staged engine (``whiten → build → decompose
+        → finalize``) on a :class:`MomentState`, typically the merge of
+        ``.moments`` shards accumulated elsewhere. The moments become the
+        model's incremental session (``moments_``), so a reduced model
+        keeps accepting :meth:`partial_fit` minibatches and
+        ``python -m repro update`` refreshes exactly like one fitted
+        locally.
+        """
+        if moments.dims is None or moments.n_samples == 0:
+            raise ValidationError(
+                "fit_moments needs a non-empty moment state (accumulate "
+                "at least one sample before reducing)"
+            )
+        dims = [int(d) for d in moments.dims]
+        self._check_rank(dims)
+        solver = self._solver_for_moments(moments)
+        policy = self._policy()
+        whitening = engine.whiten_stage(moments, self.epsilon, policy=policy)
+        precomputed = engine.build_stage(
+            moments, whitening, solver, policy=policy
+        )
+        self.moments_ = moments
+        return self._finish_fit(precomputed, dims, solver)
+
     def _policy(self):
         """The execution policy of this fit, resolved from configuration."""
         return resolve_executor(self.executor, self.n_jobs)

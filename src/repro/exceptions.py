@@ -25,6 +25,17 @@ class ShapeError(ValidationError):
     """Raised when an array has the wrong number of dimensions or axis sizes."""
 
 
+class PersistenceError(ValidationError):
+    """Raised when a saved artifact cannot be trusted or understood.
+
+    Covers corrupted or truncated archives, payload bytes that no longer
+    match the content hash recorded in the header, and provenance chains
+    that do not verify — every case where the file on disk is not the
+    artifact it claims to be. Subclasses :class:`ValidationError` so
+    callers that already guard model loading keep working.
+    """
+
+
 class NotFittedError(ReproError, RuntimeError):
     """Raised when ``transform``-like methods are called before ``fit``."""
 

@@ -28,6 +28,7 @@ import os
 from dataclasses import dataclass
 
 from repro.api.persistence import hash_model_file, load_model
+from repro.artifacts import chain_summary, read_header
 
 __all__ = ["ModelManager", "ModelSnapshot"]
 
@@ -40,6 +41,9 @@ class ModelSnapshot:
     version: int
     sha256: str
     view_dims: tuple[int, ...] | None
+    #: compact provenance view (chain depth, root/parent hashes) of the
+    #: loaded file's header, or ``None`` for pre-provenance models.
+    provenance: dict | None = None
 
     @property
     def is_pipeline(self) -> bool:
@@ -85,6 +89,7 @@ class ModelManager:
             version=version,
             sha256=sha256,
             view_dims=_view_dims(model),
+            provenance=chain_summary(read_header(self.path)),
         )
         self._signature = signature
         if not initial:
@@ -137,6 +142,7 @@ class ModelManager:
             "reloads": self.reloads,
             "reload_errors": self.reload_errors,
             "last_error": self.last_error,
+            "provenance": snapshot.provenance,
         }
         if snapshot.is_pipeline:
             document.update(model.describe())

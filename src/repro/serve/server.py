@@ -10,7 +10,8 @@
 * ``POST /predict``  — predicted labels (pipeline models only);
 * ``GET /healthz``   — liveness + batcher counters;
 * ``GET /modelz``    — model identity: path, version, content hash,
-  reducer/classifier, per-view dims, reload history.
+  reducer/classifier, per-view dims, reload history, and the provenance
+  chain summary (how the model was created, chain depth, root hash).
 
 Every data response carries its batch metadata (``batch_id``,
 ``batch_size``, ``model_version``, ``model_hash``), so a client — or a

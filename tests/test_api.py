@@ -310,7 +310,7 @@ class TestPersistence:
         path = tmp_path / "random.npz"
         with open(path, "wb") as handle:
             np.savez(handle, stuff=np.zeros(3))
-        with pytest.raises(ValidationError, match="not a repro model"):
+        with pytest.raises(ValidationError, match="not a repro artifact"):
             load_model(path)
 
     def test_future_version_refused(self, tmp_path):
@@ -339,7 +339,7 @@ class TestPersistence:
         """
         import os
 
-        from repro.api import persistence
+        from repro.artifacts import io as artifacts_io
 
         path = tmp_path / "deployed.npz"
         first, _ = _fit_case("tcca", views)
@@ -351,7 +351,7 @@ class TestPersistence:
         def crash(src, dst):
             raise OSError("simulated crash between write and rename")
 
-        monkeypatch.setattr(persistence.os, "replace", crash)
+        monkeypatch.setattr(artifacts_io.os, "replace", crash)
         with pytest.raises(OSError, match="simulated crash"):
             save_model(second, path)
         monkeypatch.undo()
@@ -371,7 +371,7 @@ class TestPersistence:
         """A failure *during* the write also leaves the old file intact."""
         import os
 
-        from repro.api import persistence
+        from repro.artifacts import io as artifacts_io
 
         path = tmp_path / "deployed.npz"
         first, _ = _fit_case("tcca", views)
@@ -380,7 +380,7 @@ class TestPersistence:
         def explode(*args, **kwargs):
             raise OSError("disk full")
 
-        monkeypatch.setattr(persistence.np, "savez", explode)
+        monkeypatch.setattr(artifacts_io.np, "savez", explode)
         with pytest.raises(OSError, match="disk full"):
             save_model(first, path)
         monkeypatch.undo()

@@ -1,0 +1,555 @@
+"""Tests for the distributed fit protocol and the artifact layer.
+
+Covers the headline invariant — ``reduce(accumulate shards)`` equals a
+single-process fit to ≤1e-10 for m ∈ {2, 3} × dense/implicit, invariant
+to shard count and shard order — plus the artifact plumbing it rests on:
+atomic shard writes, content-hash verification (bit-rot, truncation),
+configuration compatibility at reduce time, empty shards, cross-process
+round-trips, and the provenance hash chain ``repro update`` extends.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.api import load_model, save_model
+from repro.api.registry import make_reducer
+from repro.artifacts import (
+    accumulate_views,
+    chain_summary,
+    load_moments,
+    parent_link,
+    parse_shard_spec,
+    payload_sha256,
+    provenance_block,
+    read_header,
+    reduce_shards,
+    save_moments,
+    shard_bounds,
+    verify_chain,
+)
+from repro.datasets.synthetic import make_multiview_latent
+from repro.exceptions import PersistenceError, ValidationError
+
+
+def _views(n_samples, dims, seed=0):
+    return make_multiview_latent(
+        n_samples=n_samples, dims=dims, random_state=seed
+    ).views
+
+
+def _write_shards(views, directory, count, **params):
+    """Accumulate ``views`` into ``count`` shard files; returns the paths."""
+    paths = []
+    for index in range(count):
+        moments, resolved = accumulate_views(
+            views, estimator="tcca", params=params, shard=(index, count)
+        )
+        path = str(directory / f"part-{index}.moments")
+        save_moments(
+            moments,
+            path,
+            estimator="tcca",
+            params=resolved,
+            shard={"index": index, "count": count},
+        )
+        paths.append(path)
+    return paths
+
+
+def _assert_same_model(model, reference, atol):
+    """Fitted models agree up to the inherent per-column sign freedom."""
+    np.testing.assert_allclose(
+        model.correlations_, reference.correlations_, rtol=0, atol=atol
+    )
+    for ours, theirs in zip(
+        model.canonical_vectors_, reference.canonical_vectors_
+    ):
+        np.testing.assert_allclose(
+            np.abs(ours), np.abs(theirs), rtol=0, atol=atol
+        )
+
+
+class TestShardMath:
+    def test_bounds_partition_the_samples(self):
+        for n, k in [(10, 3), (7, 7), (61, 5), (3, 5), (0, 2)]:
+            stops = [shard_bounds(n, i, k) for i in range(k)]
+            assert stops[0][0] == 0
+            assert stops[-1][1] == n
+            for (_, stop), (start, _) in zip(stops, stops[1:]):
+                assert stop == start
+            sizes = [stop - start for start, stop in stops]
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_parse_shard_spec(self):
+        assert parse_shard_spec("0/3") == (0, 3)
+        assert parse_shard_spec("2/3") == (2, 3)
+        for bad in ("3/3", "-1/3", "1", "a/b", "1/0"):
+            with pytest.raises(ValidationError):
+                parse_shard_spec(bad)
+
+
+class TestReduceEquivalence:
+    """The headline invariant of the distributed protocol."""
+
+    @pytest.mark.parametrize("dims", [(6, 5), (6, 5, 4)])
+    @pytest.mark.parametrize("solver", ["dense", "implicit"])
+    @pytest.mark.parametrize("count", [1, 2, 5])
+    def test_reduce_matches_single_process_fit(
+        self, tmp_path, dims, solver, count
+    ):
+        views = _views(61, dims)  # 61 % count != 0 → uneven shard sizes
+        reference = make_reducer(
+            "tcca", n_components=2, solver=solver, random_state=0
+        ).fit(views)
+        paths = _write_shards(
+            views, tmp_path, count,
+            n_components=2, solver=solver, random_state=0,
+        )
+        model, report = reduce_shards(list(reversed(paths)))
+        assert report["n_samples"] == 61
+        assert report["n_shards"] == count
+        _assert_same_model(model, reference, atol=1e-10)
+
+    def test_reduce_is_shard_order_invariant(self, tmp_path):
+        views = _views(50, (6, 5, 4))
+        paths = _write_shards(
+            views, tmp_path, 3, n_components=2, random_state=0
+        )
+        orders = [paths, list(reversed(paths)), [paths[1], paths[2], paths[0]]]
+        digests = set()
+        for index, order in enumerate(orders):
+            model, _report = reduce_shards(order)
+            out = tmp_path / f"model-{index}.npz"
+            save_model(model, out)
+            digests.add(read_header(out)["payload_sha256"])
+        # identical payload hash → bit-identical fitted arrays
+        assert len(digests) == 1
+
+    def test_reduced_model_accepts_further_updates(self, tmp_path):
+        """A reduced model carries its moments: partial_fit keeps working."""
+        views = _views(40, (6, 5))
+        paths = _write_shards(
+            views, tmp_path, 2, n_components=2, random_state=0
+        )
+        model, _report = reduce_shards(paths)
+        assert model.moments_.n_samples == 40
+        batch = _views(10, (6, 5), seed=3)
+        model.partial_fit(batch)
+        assert model.moments_.n_samples == 50
+
+    def test_empty_shards_merge(self, tmp_path):
+        # 4 samples over 5 shards: one shard is empty by construction.
+        views = _views(24, (6, 5))
+        head = [view[:, :4] for view in views]
+        sizes = [
+            stop - start for start, stop in
+            (shard_bounds(4, i, 5) for i in range(5))
+        ]
+        assert 0 in sizes
+        paths = _write_shards(head, tmp_path, 5, n_components=2)
+        model, report = reduce_shards(paths)
+        assert report["n_samples"] == 4
+        reference = make_reducer("tcca", n_components=2).fit(head)
+        _assert_same_model(model, reference, atol=1e-10)
+
+    def test_all_empty_shards_rejected(self, tmp_path):
+        # shard 0/5 of a 4-sample dataset is empty by the bounds math
+        views = _views(4, (6, 5))
+        assert shard_bounds(4, 0, 5) == (0, 0)
+        moments, resolved = accumulate_views(
+            views, estimator="tcca", params={"n_components": 2},
+            shard=(0, 5),
+        )
+        assert moments.n_samples == 0
+        path = str(tmp_path / "empty.moments")
+        save_moments(moments, path, estimator="tcca", params=resolved)
+        with pytest.raises(ValidationError, match="empty"):
+            reduce_shards([path])
+
+    def test_mismatched_config_rejected_with_actionable_message(
+        self, tmp_path
+    ):
+        views = _views(30, (6, 5))
+        good = _write_shards(views, tmp_path, 2, n_components=2)
+        bad_moments, bad_params = accumulate_views(
+            views, estimator="tcca", params={"n_components": 3},
+            shard=(1, 2),
+        )
+        bad = str(tmp_path / "bad.moments")
+        save_moments(
+            bad_moments, bad, estimator="tcca", params=bad_params,
+            shard={"index": 1, "count": 2},
+        )
+        with pytest.raises(ValidationError) as excinfo:
+            reduce_shards([good[0], bad])
+        message = str(excinfo.value)
+        assert "bad.moments" in message
+        assert "params" in message
+        assert "repro accumulate" in message
+
+    def test_mismatched_dims_rejected(self, tmp_path):
+        a = _write_shards(_views(20, (6, 5)), tmp_path, 1, n_components=2)
+        moments, params = accumulate_views(
+            _views(20, (7, 5)), estimator="tcca",
+            params={"n_components": 2},
+        )
+        other = str(tmp_path / "other.moments")
+        save_moments(moments, other, estimator="tcca", params=params)
+        with pytest.raises(ValidationError, match="dims"):
+            reduce_shards([a[0], other])
+
+    def test_execution_policy_does_not_block_merging(self, tmp_path):
+        """n_jobs/executor are policy, not math: shards stay mergeable."""
+        views = _views(30, (6, 5))
+        serial, serial_params = accumulate_views(
+            views, estimator="tcca",
+            params={"n_components": 2}, shard=(0, 2),
+        )
+        threaded, threaded_params = accumulate_views(
+            views, estimator="tcca",
+            params={"n_components": 2, "n_jobs": 2, "executor": "thread"},
+            shard=(1, 2),
+        )
+        a = str(tmp_path / "a.moments")
+        b = str(tmp_path / "b.moments")
+        save_moments(
+            serial, a, estimator="tcca", params=serial_params,
+            shard={"index": 0, "count": 2},
+        )
+        save_moments(
+            threaded, b, estimator="tcca", params=threaded_params,
+            shard={"index": 1, "count": 2},
+        )
+        _model, report = reduce_shards([a, b])
+        assert report["n_samples"] == 30
+
+
+class TestMomentShardFiles:
+    def test_round_trip(self, tmp_path):
+        views = _views(25, (6, 5, 4))
+        moments, params = accumulate_views(
+            views, estimator="tcca", params={"n_components": 2},
+            shard=(0, 2),
+        )
+        path = str(tmp_path / "part.moments")
+        digest = save_moments(
+            moments, path, estimator="tcca", params=params,
+            shard={"index": 0, "count": 2}, source="unit-test",
+        )
+        header, loaded = load_moments(path)
+        assert header["payload_sha256"] == digest
+        assert header["shard"] == {"index": 0, "count": 2}
+        assert header["source"] == "unit-test"
+        assert loaded.n_samples == moments.n_samples
+        assert list(loaded.dims) == list(moments.dims)
+        _meta, arrays = moments.state_dict()
+        _meta2, arrays2 = loaded.state_dict()
+        assert payload_sha256(arrays) == payload_sha256(arrays2)
+
+    def test_cross_process_round_trip(self, tmp_path):
+        """A shard written by another OS process reduces identically."""
+        views = _views(30, (6, 5))
+        data = tmp_path / "data.npz"
+        np.savez(data, **{f"view{i}": v for i, v in enumerate(views)})
+        for index in range(2):
+            subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "accumulate", "tcca",
+                    "--data", str(data), "--shard", f"{index}/2",
+                    "--param", "n_components=2",
+                    "--out", str(tmp_path / f"part-{index}.moments"),
+                ],
+                check=True,
+                env={**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)},
+            )
+        model, report = reduce_shards(
+            [
+                str(tmp_path / "part-0.moments"),
+                str(tmp_path / "part-1.moments"),
+            ]
+        )
+        assert report["n_samples"] == 30
+        reference = make_reducer("tcca", n_components=2).fit(views)
+        _assert_same_model(model, reference, atol=1e-10)
+
+    def test_corrupted_shard_detected(self, tmp_path):
+        views = _views(20, (6, 5))
+        paths = _write_shards(views, tmp_path, 1, n_components=2)
+        with open(paths[0], "r+b") as handle:
+            handle.seek(os.path.getsize(paths[0]) // 2)
+            handle.write(b"\xde\xad\xbe\xef")
+        with pytest.raises(PersistenceError, match="part-0.moments"):
+            reduce_shards(paths)
+
+    def test_truncated_shard_detected(self, tmp_path):
+        views = _views(20, (6, 5))
+        paths = _write_shards(views, tmp_path, 1, n_components=2)
+        size = os.path.getsize(paths[0])
+        with open(paths[0], "r+b") as handle:
+            handle.truncate(size // 2)
+        with pytest.raises(PersistenceError):
+            reduce_shards(paths)
+
+    def test_not_a_shard_detected(self, tmp_path):
+        path = tmp_path / "noise.moments"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(PersistenceError, match="noise.moments"):
+            load_moments(str(path))
+
+    def test_model_file_is_not_a_shard(self, tmp_path):
+        views = _views(20, (6, 5))
+        model = make_reducer("tcca", n_components=2).fit(views)
+        path = str(tmp_path / "model.npz")
+        save_model(model, path)
+        with pytest.raises(PersistenceError, match="format"):
+            load_moments(path)
+
+    def test_shard_write_is_atomic_on_crash(self, tmp_path, monkeypatch):
+        """A crash between write and rename leaves the old shard intact."""
+        from repro.artifacts import io as artifacts_io
+
+        views = _views(20, (6, 5))
+        paths = _write_shards(views, tmp_path, 1, n_components=2)
+        _header, before = load_moments(paths[0])
+
+        def crash(src, dst):
+            raise OSError("simulated crash between write and rename")
+
+        monkeypatch.setattr(artifacts_io.os, "replace", crash)
+        moments, params = accumulate_views(
+            _views(40, (6, 5), seed=1), estimator="tcca",
+            params={"n_components": 2},
+        )
+        with pytest.raises(OSError, match="simulated crash"):
+            save_moments(
+                moments, paths[0], estimator="tcca", params=params
+            )
+        monkeypatch.undo()
+
+        _header, after = load_moments(paths[0])
+        assert after.n_samples == before.n_samples
+        # no temporary litter next to the shard
+        assert os.listdir(tmp_path) == ["part-0.moments"]
+
+
+class TestModelVerification:
+    def test_save_records_payload_hash(self, tmp_path):
+        views = _views(20, (6, 5))
+        path = str(tmp_path / "model.npz")
+        save_model(make_reducer("tcca", n_components=2).fit(views), path)
+        header = read_header(path)
+        assert header["version"] == 3
+        assert len(header["payload_sha256"]) == 64
+        loaded = load_model(path, verify=True)
+        assert loaded.correlations_.shape == (2,)
+
+    def test_bit_rot_detected_on_verify(self, tmp_path):
+        views = _views(20, (6, 5))
+        path = str(tmp_path / "model.npz")
+        save_model(make_reducer("tcca", n_components=2).fit(views), path)
+        with open(path, "r+b") as handle:
+            handle.seek(os.path.getsize(path) // 2)
+            handle.write(b"\xde\xad\xbe\xef")
+        with pytest.raises(PersistenceError, match="model.npz"):
+            load_model(path, verify=True)
+
+    def test_truncation_detected(self, tmp_path):
+        views = _views(20, (6, 5))
+        path = str(tmp_path / "model.npz")
+        save_model(make_reducer("tcca", n_components=2).fit(views), path)
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) // 2)
+        with pytest.raises(PersistenceError):
+            load_model(path, verify=True)
+
+    def test_verify_is_opt_in(self, tmp_path):
+        """Default load path is unchanged (no forced full re-read)."""
+        views = _views(20, (6, 5))
+        path = str(tmp_path / "model.npz")
+        save_model(make_reducer("tcca", n_components=2).fit(views), path)
+        assert load_model(path).correlations_.shape == (2,)
+
+
+class TestProvenanceChain:
+    def _save_generations(self, tmp_path, generations=3):
+        """fit → update → update, one saved file per generation."""
+        model = make_reducer("tcca", n_components=2, random_state=0)
+        model.partial_fit(_views(30, (6, 5)))
+        paths = []
+        parents = []
+        for generation in range(generations):
+            path = str(tmp_path / f"gen-{generation}.npz")
+            created = "fit" if generation == 0 else "update"
+            save_model(
+                model, path,
+                provenance=provenance_block(
+                    created,
+                    config=model.get_params(),
+                    parents=list(parents),
+                ),
+            )
+            paths.append(path)
+            if generation < generations - 1:
+                parents.append(parent_link(path, read_header(path)))
+                model.partial_fit(_views(10, (6, 5), seed=generation + 1))
+        return paths
+
+    def test_chain_summary(self, tmp_path):
+        paths = self._save_generations(tmp_path)
+        summary = chain_summary(read_header(paths[-1]))
+        assert summary["created"] == "update"
+        assert summary["chain_depth"] == 2
+        root = read_header(paths[0])
+        from repro.artifacts import file_sha256
+
+        assert summary["root_sha256"] == file_sha256(paths[0])
+
+    def test_two_generation_chain_verifies_in_any_order(self, tmp_path):
+        paths = self._save_generations(tmp_path)
+        header = read_header(paths[-1])
+        for parents in ([paths[0], paths[1]], [paths[1], paths[0]]):
+            verified = verify_chain(header, parents, paths[-1])
+            assert [record["created"] for record in verified] == [
+                "update", "fit",
+            ]
+
+    def test_partial_chain_verifies(self, tmp_path):
+        paths = self._save_generations(tmp_path)
+        header = read_header(paths[-1])
+        verified = verify_chain(header, [paths[1]], paths[-1])
+        assert len(verified) == 1
+
+    def test_tampered_ancestor_breaks_the_chain(self, tmp_path):
+        paths = self._save_generations(tmp_path)
+        with open(paths[1], "r+b") as handle:
+            handle.seek(os.path.getsize(paths[1]) // 2)
+            handle.write(b"\xde\xad\xbe\xef")
+        with pytest.raises(PersistenceError, match="chain|hashes to"):
+            verify_chain(
+                read_header(paths[-1]), [paths[0], paths[1]], paths[-1]
+            )
+
+    def test_unrelated_file_rejected(self, tmp_path):
+        paths = self._save_generations(tmp_path)
+        stranger = str(tmp_path / "stranger.npz")
+        save_model(
+            make_reducer("tcca", n_components=2).fit(_views(20, (6, 5))),
+            stranger,
+        )
+        with pytest.raises(PersistenceError):
+            verify_chain(read_header(paths[-1]), [stranger], paths[-1])
+
+
+class TestDistributedCLI:
+    def test_parser_accepts_new_verbs(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["accumulate", "tcca", "--synthetic", "30", "--shard", "1/3",
+             "--out", "p.moments"]
+        )
+        assert args.command == "accumulate"
+        assert args.shard == "1/3"
+        args = parser.parse_args(
+            ["reduce", "a.moments", "b.moments", "--out", "m.npz"]
+        )
+        assert args.shards == ["a.moments", "b.moments"]
+        assert parser.parse_args(["inspect", "m.npz"]).command == "inspect"
+        args = parser.parse_args(
+            ["verify", "m.npz", "--parents", "v0.npz", "v1.npz"]
+        )
+        assert args.parents == ["v0.npz", "v1.npz"]
+
+    def test_accumulate_reduce_loop(self, tmp_path, capsys):
+        shards = []
+        for index in range(3):
+            out = str(tmp_path / f"part-{index}.moments")
+            assert main(
+                ["accumulate", "tcca", "--synthetic", "60",
+                 "--param", "n_components=2", "--shard", f"{index}/3",
+                 "--out", out]
+            ) == 0
+            shards.append(out)
+        model_path = str(tmp_path / "model.npz")
+        assert main(["reduce", *shards, "--out", model_path]) == 0
+        out = capsys.readouterr().out
+        assert "reduced 3 shards" in out
+        assert "60 samples" in out
+        header = read_header(model_path)
+        assert header["provenance"]["created"] == "reduce"
+        assert len(header["provenance"]["shards"]) == 3
+        assert main(["verify", model_path]) == 0
+
+    def test_inspect_outputs_json(self, tmp_path, capsys):
+        path = str(tmp_path / "model.npz")
+        assert main(
+            ["fit", "tcca", "--synthetic", "40",
+             "--param", "n_components=2", "--out", path]
+        ) == 0
+        capsys.readouterr()  # drop the fit status line
+        assert main(["inspect", path]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["format"] == "repro-model"
+        assert summary["provenance"]["created"] == "fit"
+        assert summary["provenance"]["source"].startswith("synthetic:40")
+
+    def test_update_extends_chain_and_verify_walks_it(
+        self, tmp_path, capsys
+    ):
+        views = _views(40, (6, 5))
+        data = tmp_path / "data.npz"
+        np.savez(data, **{f"view{i}": v for i, v in enumerate(views)})
+        model_path = str(tmp_path / "model.npz")
+        assert main(
+            ["fit", "tcca", "--incremental", "--data", str(data),
+             "--param", "n_components=2", "--out", model_path]
+        ) == 0
+        import shutil
+
+        ancestors = []
+        for generation in range(2):
+            ancestor = str(tmp_path / f"v{generation}.npz")
+            shutil.copy(model_path, ancestor)
+            ancestors.append(ancestor)
+            assert main(
+                ["update", model_path, "--data", str(data)]
+            ) == 0
+        summary = chain_summary(read_header(model_path))
+        assert summary["chain_depth"] == 2
+        assert main(
+            ["verify", model_path, "--parents", *reversed(ancestors)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "chain OK" in out
+        assert "2 generation(s)" in out
+
+    def test_verify_reports_corruption_as_exit_2(self, tmp_path, capsys):
+        path = str(tmp_path / "model.npz")
+        assert main(
+            ["fit", "tcca", "--synthetic", "30",
+             "--param", "n_components=2", "--out", path]
+        ) == 0
+        with open(path, "r+b") as handle:
+            handle.seek(os.path.getsize(path) // 2)
+            handle.write(b"\xde\xad\xbe\xef")
+        assert main(["verify", path]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_reduce_mismatch_is_exit_2(self, tmp_path, capsys):
+        outs = []
+        for components, name in ((2, "a"), (3, "b")):
+            out = str(tmp_path / f"{name}.moments")
+            assert main(
+                ["accumulate", "tcca", "--synthetic", "30",
+                 "--param", f"n_components={components}", "--out", out]
+            ) == 0
+            outs.append(out)
+        assert main(
+            ["reduce", *outs, "--out", str(tmp_path / "m.npz")]
+        ) == 2
+        assert "incompatible" in capsys.readouterr().err

@@ -343,7 +343,7 @@ class TestIncrementalPersistence:
         ):
             np.testing.assert_array_equal(mine, theirs)
 
-    def test_header_records_schema_version_2(self, tmp_path, latent_views):
+    def test_header_records_schema_version(self, tmp_path, latent_views):
         path = tmp_path / "model.npz"
         save_model(
             TCCA(n_components=1, random_state=0).partial_fit(latent_views),
@@ -351,7 +351,7 @@ class TestIncrementalPersistence:
         )
         header, payload = read_archive(path)
         with payload:
-            assert header["version"] == MODEL_FORMAT_VERSION == 2
+            assert header["version"] == MODEL_FORMAT_VERSION == 3
             assert header["state"]["moments_"]["kind"] == "moments"
 
     def test_plain_fit_persists_without_moments(self, tmp_path, latent_views):
