@@ -303,6 +303,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_parallel_arguments(accumulate_parser)
     accumulate_parser.add_argument(
+        "--checkpoint-every",
+        type=_positive_int,
+        default=None,
+        metavar="ROWS",
+        help="write a resumable OUT.ckpt checkpoint after every ROWS "
+        "ingested rows, so a killed worker restarts from its last "
+        "chunk boundary with --resume instead of row 0 "
+        "(default: no checkpointing)",
+    )
+    accumulate_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="pick up at the OUT.ckpt checkpoint left by a killed run "
+        "(bit-identical to an uninterrupted pass; starts fresh when no "
+        "checkpoint exists); implies checkpointing",
+    )
+    accumulate_parser.add_argument(
         "--out",
         required=True,
         metavar="PART.moments",
@@ -323,6 +340,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-verify",
         action="store_true",
         help="skip the payload-hash integrity check of the input shards",
+    )
+    reduce_parser.add_argument(
+        "--on-corrupt",
+        choices=("fail", "skip"),
+        default="fail",
+        help="what an integrity failure costs: 'fail' (default) aborts "
+        "naming every corrupt shard; 'skip' quarantines them, reduces "
+        "the healthy remainder, and records the sidelined files in the "
+        "model's provenance block",
     )
     reduce_parser.add_argument(
         "--out",
@@ -414,6 +440,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-body-mb", type=float, default=8.0, metavar="MB",
         help="request body ceiling; larger payloads get a 413 "
         "(default 8)",
+    )
+    serve_parser.add_argument(
+        "--max-inflight-rows", type=_positive_int, default=None,
+        metavar="N",
+        help="bounded admission: above N sample rows queued + running "
+        "per route, new requests get a structured 429 with Retry-After "
+        "while admitted work completes (default: unbounded)",
     )
 
     transform_parser = subparsers.add_parser(
@@ -536,9 +569,31 @@ def _command_accumulate(args, parser: argparse.ArgumentParser) -> int:
     shard = None if args.shard is None else parse_shard_spec(args.shard)
     params = dict(args.param)
     params.update(_parallel_updates(args))
-    moments, resolved = accumulate_views(
-        views, estimator=args.reducer, params=params, shard=shard
-    )
+    source = _source_description(args)
+    checkpointing = args.resume or args.checkpoint_every is not None
+    progress = None
+    if checkpointing:
+        from repro.reliability import (
+            accumulate_views_checkpointed,
+            checkpoint_path_for,
+            discard_checkpoint,
+        )
+
+        ckpt = checkpoint_path_for(args.out)
+        moments, resolved, progress = accumulate_views_checkpointed(
+            views,
+            estimator=args.reducer,
+            params=params,
+            shard=shard,
+            checkpoint_path=ckpt,
+            checkpoint_every=args.checkpoint_every or 4096,
+            resume=args.resume,
+            source=source,
+        )
+    else:
+        moments, resolved = accumulate_views(
+            views, estimator=args.reducer, params=params, shard=shard
+        )
     digest = save_moments(
         moments,
         args.out,
@@ -547,9 +602,18 @@ def _command_accumulate(args, parser: argparse.ArgumentParser) -> int:
         shard=(
             None if shard is None else {"index": shard[0], "count": shard[1]}
         ),
-        source=_source_description(args),
+        source=source,
     )
+    if checkpointing:
+        # The shard artifact now supersedes its checkpoint; a stale .ckpt
+        # would make a later --resume re-emit already-reduced rows.
+        discard_checkpoint(ckpt)
     bounds = "" if shard is None else f" (shard {shard[0]}/{shard[1]})"
+    if progress is not None and progress["resumed_at"]:
+        print(
+            f"resumed at row {progress['resumed_at']}/"
+            f"{progress['total_rows']} from {ckpt}"
+        )
     print(
         f"accumulated {moments.n_samples} samples{bounds} into "
         f"{args.reducer} moments -> {args.out} [sha256 {digest[:16]}…]"
@@ -561,13 +625,19 @@ def _command_reduce(args, parser: argparse.ArgumentParser) -> int:
     from repro.api import save_model
     from repro.artifacts import provenance_block, reduce_shards
 
-    model, report = reduce_shards(args.shards, verify=not args.no_verify)
+    model, report = reduce_shards(
+        args.shards, verify=not args.no_verify, on_corrupt=args.on_corrupt
+    )
+    quarantined = report.get("quarantined") or []
     provenance = provenance_block(
         "reduce",
         config=report["params"],
         shards=report["shards"],
+        quarantined=quarantined,
     )
     save_model(model, args.out, provenance=provenance)
+    for entry in quarantined:
+        print(f"quarantined {entry['name']}: {entry['error']}")
     print(
         f"reduced {report['n_shards']} shards "
         f"({report['n_samples']} samples total) into "
@@ -793,6 +863,7 @@ def _command_serve(args, parser: argparse.ArgumentParser) -> int:
             window_seconds=args.batch_window_ms / 1000.0,
             timeout_seconds=args.timeout_s,
             max_body=int(args.max_body_mb * 1024 * 1024),
+            max_inflight_rows=args.max_inflight_rows,
         )
     except KeyboardInterrupt:
         pass
@@ -851,6 +922,12 @@ def _command_predict(args, parser: argparse.ArgumentParser) -> int:
 
 def main(argv=None) -> int:
     """CLI body; returns the process exit code."""
+    from repro.reliability import install_from_env
+
+    # Arm any REPRO_FAULTS plan before dispatch so fault-injection specs
+    # reach worker subprocesses spawned by the command (the env var is
+    # inherited; each process installs its own plan).
+    install_from_env()
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "run":

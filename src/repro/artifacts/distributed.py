@@ -29,12 +29,18 @@ from __future__ import annotations
 
 import os
 
+import warnings
+
 from repro.artifacts.moments import (
     describe_shard,
     load_moments,
     shard_config,
 )
-from repro.exceptions import ValidationError
+from repro.exceptions import (
+    PersistenceError,
+    ReliabilityWarning,
+    ValidationError,
+)
 
 __all__ = [
     "accumulate_views",
@@ -118,7 +124,9 @@ def accumulate_views(
 
     params = dict(params or {})
     reducer = _reducer_for(estimator, params)
-    views = check_views(views, min_views=2)
+    # finiteness is the moment state's call: its nan_policy either skips
+    # the offending samples or raises naming the view and chunk
+    views = check_views(views, min_views=2, require_finite=False)
     dims = [view.shape[0] for view in views]
     moments = reducer.moment_state_for(dims)
     if shard is not None:
@@ -150,26 +158,84 @@ def shard_order(entries) -> list:
     return sorted(entries, key=key)
 
 
-def reduce_shards(paths, *, verify: bool = True):
+def reduce_shards(paths, *, verify: bool = True, on_corrupt: str = "fail"):
     """Merge ``.moments`` shards and finalize the fit.
 
     Returns ``(model, report)`` where ``report`` carries what the CLI
     prints and the provenance block records: per-shard name/hash/sample
-    counts (in merge order), the resolved configuration, and the total
-    sample count. Raises :class:`~repro.exceptions.ValidationError`
-    naming the offending file when shard configurations are
-    incompatible, and :class:`~repro.exceptions.PersistenceError` when a
-    shard fails its integrity check.
+    counts (in merge order), the resolved configuration, the total
+    sample count, and — under quarantine — the sidelined files.
+
+    Every shard's integrity and configuration is checked before any
+    merge work starts, and failures are reported **exhaustively**: one
+    error names every corrupt file and every incompatible file with its
+    differing keys, so a fleet operator fixes the whole set in one
+    round trip instead of one file per attempt.
+
+    ``on_corrupt`` decides what an integrity failure costs:
+
+    * ``"fail"`` (default) — raise
+      :class:`~repro.exceptions.PersistenceError` listing all offenders;
+    * ``"skip"`` — quarantine corrupt files out of the reduce (with a
+      :class:`~repro.exceptions.ReliabilityWarning` per file) and
+      record them in ``report["quarantined"]``, which the CLI writes
+      into the reduced model's provenance block so a degraded reduce is
+      auditable. Configuration mismatches still fail — a healthy shard
+      accumulated for a different fit is an operator error, not damage.
     """
+    if on_corrupt not in ("fail", "skip"):
+        raise ValidationError(
+            f"on_corrupt must be 'fail' or 'skip', got {on_corrupt!r}"
+        )
     paths = [os.fspath(path) for path in paths]
     if not paths:
         raise ValidationError("reduce needs at least one .moments shard")
     entries = []
+    corrupt = []
     for path in paths:
-        header, state = load_moments(path, verify=verify)
+        try:
+            header, state = load_moments(path, verify=verify)
+        except PersistenceError as error:
+            corrupt.append((path, error))
+            continue
         entries.append((path, header, state))
+    if corrupt and on_corrupt == "fail":
+        lines = "; ".join(
+            f"{os.path.basename(path)}: {error}" for path, error in corrupt
+        )
+        raise PersistenceError(
+            f"{len(corrupt)} of {len(paths)} shard file(s) failed their "
+            f"integrity check — {lines} — re-run the affected "
+            "`repro accumulate` workers, or pass on_corrupt='skip' "
+            "(`repro reduce --on-corrupt skip`) to quarantine them and "
+            "reduce the healthy remainder"
+        )
+    for path, error in corrupt:
+        warnings.warn(
+            f"quarantining corrupt shard {os.path.basename(path)}: {error}",
+            ReliabilityWarning,
+            stacklevel=2,
+        )
+    if not entries:
+        raise PersistenceError(
+            f"every shard failed its integrity check ({len(corrupt)} "
+            "quarantined); nothing left to reduce"
+        )
+    in_progress = [
+        describe_shard(path, header)
+        for path, header, _state in entries
+        if header.get("kind") == "checkpoint"
+    ]
+    if in_progress:
+        raise ValidationError(
+            f"refusing to reduce in-progress checkpoint file(s): "
+            f"{'; '.join(in_progress)} — these are partial accumulations; "
+            "resume the worker (`repro accumulate --resume`) and reduce "
+            "its finished shard instead"
+        )
     reference_path, reference_header, _ = entries[0]
     reference = shard_config(reference_header)
+    mismatched = []
     for path, header, _state in entries[1:]:
         config = shard_config(header)
         if config != reference:
@@ -177,15 +243,20 @@ def reduce_shards(paths, *, verify: bool = True):
                 key for key in reference
                 if config.get(key) != reference.get(key)
             )
-            raise ValidationError(
-                f"cannot reduce incompatible shards: "
-                f"{describe_shard(path, header)} differs from "
-                f"{describe_shard(reference_path, reference_header)} in "
-                f"{', '.join(differing)} — every shard must be "
-                "accumulated with the same reducer, parameters, and "
-                "view dimensions (re-run `repro accumulate` with a "
-                "shared configuration)"
+            mismatched.append(
+                f"{describe_shard(path, header)} differs in "
+                f"{', '.join(differing)}"
             )
+    if mismatched:
+        raise ValidationError(
+            f"cannot reduce incompatible shards: {len(mismatched)} "
+            f"file(s) disagree with "
+            f"{describe_shard(reference_path, reference_header)} — "
+            f"{'; '.join(mismatched)} — every shard must be "
+            "accumulated with the same reducer, parameters, and "
+            "view dimensions (re-run `repro accumulate` with a "
+            "shared configuration)"
+        )
     entries = shard_order(entries)
     reducer = _reducer_for(
         reference_header["estimator"], reference_header.get("params", {})
@@ -218,5 +289,9 @@ def reduce_shards(paths, *, verify: bool = True):
         "shards": shard_records,
         "n_samples": int(merged.n_samples),
         "n_shards": len(entries),
+        "quarantined": [
+            {"name": os.path.basename(path), "error": str(error)}
+            for path, error in corrupt
+        ],
     }
     return model, report

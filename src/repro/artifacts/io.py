@@ -33,6 +33,7 @@ import zipfile
 import numpy as np
 
 from repro.exceptions import PersistenceError
+from repro.reliability.faults import fault_point
 
 __all__ = [
     "HEADER_KEY",
@@ -61,6 +62,9 @@ def write_npz_atomic(path, entries: dict) -> None:
     user's reader can still open the replaced artifact.
     """
     path = os.fspath(path)
+    # fault seam: a "fail" rule here simulates a crash/full disk before
+    # the replace — the destination keeps its previous complete content.
+    fault_point("artifact.write")
     descriptor, tmp_path = tempfile.mkstemp(
         dir=os.path.dirname(path) or ".",
         prefix=os.path.basename(path) + ".",
@@ -134,6 +138,10 @@ def write_artifact(path, header: dict, arrays: dict) -> str:
     header["payload_sha256"] = digest
     entries = dict(arrays)
     entries[HEADER_KEY] = np.array(json.dumps(header))
+    # fault seam: a "corrupt" rule mutates the payload *after* the hash
+    # was recorded, producing exactly the on-disk state bit-rot leaves —
+    # a readable archive whose bytes no longer match its header.
+    entries = fault_point("artifact.payload", entries)
     write_npz_atomic(path, entries)
     return digest
 

@@ -80,14 +80,17 @@ def save_moments(
     params: dict | None = None,
     shard: dict | None = None,
     source: str | None = None,
+    extra: dict | None = None,
 ) -> str:
     """Write one ``MomentState`` as a ``.moments`` shard artifact.
 
     ``shard`` (``{"index": i, "count": k}``) records where this shard
     sits in a ``--shard i/k`` split; ``source`` is a free-form
-    description of the ingested data. Returns the recorded payload hash
-    (the shard's content identity, which ``repro reduce`` writes into
-    the reduced model's provenance).
+    description of the ingested data. ``extra`` adds caller-owned
+    header fields (the checkpoint layer records its progress cursor
+    this way) and may not shadow the core fields. Returns the recorded
+    payload hash (the shard's content identity, which ``repro reduce``
+    writes into the reduced model's provenance).
     """
     meta, arrays = moments.state_dict()
     header = {
@@ -109,6 +112,14 @@ def save_moments(
         }
     if source is not None:
         header["source"] = str(source)
+    if extra:
+        collisions = sorted(set(extra) & set(header))
+        if collisions:
+            raise ValidationError(
+                f"extra header fields may not shadow core fields: "
+                f"{', '.join(collisions)}"
+            )
+        header.update(extra)
     return write_artifact(path, header, arrays)
 
 

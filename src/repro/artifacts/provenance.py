@@ -43,8 +43,14 @@ def provenance_block(
     shards: list | None = None,
     source: str | None = None,
     parents: list | None = None,
+    quarantined: list | None = None,
 ) -> dict:
-    """Assemble one provenance block for a model header."""
+    """Assemble one provenance block for a model header.
+
+    ``quarantined`` records shard files a degraded
+    ``reduce --on-corrupt skip`` sidelined (name + failure reason), so
+    the model itself testifies that it was built without them.
+    """
     block = {"created": str(created), "parents": list(parents or [])}
     if config is not None:
         block["config"] = dict(config)
@@ -52,6 +58,8 @@ def provenance_block(
         block["shards"] = list(shards)
     if source is not None:
         block["source"] = str(source)
+    if quarantined:
+        block["quarantined"] = list(quarantined)
     return block
 
 
@@ -92,6 +100,11 @@ def chain_summary(header: dict) -> dict | None:
         "parent_sha256": parents[-1]["sha256"] if parents else None,
         "n_shards": (
             len(provenance["shards"]) if "shards" in provenance else None
+        ),
+        "n_quarantined": (
+            len(provenance["quarantined"])
+            if "quarantined" in provenance
+            else None
         ),
         "source": provenance.get("source"),
     }

@@ -59,6 +59,8 @@ from repro.parallel.sharding import accumulate_parallel, parallel_chunk_size
 from repro.streaming.covariance import (
     StreamingCovariance,
     StreamingCovarianceTensor,
+    check_nan_policy,
+    screen_chunks,
 )
 from repro.streaming.views import (
     ArrayViewStream,
@@ -100,16 +102,22 @@ __all__ = [
 MOMENT_STATE_VERSION = 1
 
 
-def _validate_chunks(chunks) -> list[np.ndarray]:
+def _validate_chunks(chunks, *, require_finite: bool = True) -> list[np.ndarray]:
     """One aligned minibatch: >= 2 two-dimensional views, equal widths.
 
     The single copy of the chunk contract shared by :class:`SampleStore`
     and the per-view-accumulator path of :class:`MomentState`
     (:class:`~repro.streaming.covariance.StreamingCovarianceTensor`
     enforces the same rules internally for the tensor path).
+    ``require_finite=False`` defers NaN/Inf handling to the caller's
+    :func:`~repro.streaming.covariance.screen_chunks` pass.
     """
     chunks = [
-        ensure_2d(chunk, name=f"chunks[{index}]")
+        ensure_2d(
+            chunk,
+            name=f"chunks[{index}]",
+            require_finite=require_finite,
+        )
         for index, chunk in enumerate(chunks)
     ]
     if len(chunks) < 2:
@@ -341,6 +349,12 @@ class MomentState:
         Keep the raw minibatches in a :class:`SampleStore` — what the
         implicit build stage needs. ``O(N · Σ d_p)`` state, no ``∏ d_p``
         object anywhere.
+    nan_policy:
+        ``"raise"`` (default) rejects minibatches carrying NaN/Inf with
+        a typed :class:`~repro.exceptions.ValidationError` naming the
+        view and chunk index; ``"skip"`` drops the affected samples
+        from every view (keeping them aligned) and counts them in
+        :attr:`n_skipped`.
 
     With both flags off only per-view statistics are kept — the cold fit
     paths' first pass (means + whiteners), where ``M`` is then assembled
@@ -353,6 +367,7 @@ class MomentState:
         track_tensor: bool = False,
         retain_samples: bool = False,
         dims=None,
+        nan_policy: str = "raise",
     ):
         if track_tensor and retain_samples:
             raise ValidationError(
@@ -361,10 +376,16 @@ class MomentState:
             )
         self.track_tensor = bool(track_tensor)
         self.retain_samples = bool(retain_samples)
+        self.nan_policy = check_nan_policy(nan_policy)
+        self._n_skipped = 0
+        self._chunk_index = 0
         dims = None if dims is None else tuple(int(d) for d in dims)
         self._tensor_acc = (
             StreamingCovarianceTensor(
-                dims=dims, center=True, track_view_covariances=True
+                dims=dims,
+                center=True,
+                track_view_covariances=True,
+                nan_policy=self.nan_policy,
             )
             if self.track_tensor
             else None
@@ -388,23 +409,36 @@ class MomentState:
     def update(self, chunks) -> "MomentState":
         """Fold one aligned minibatch of ``(d_p, n_chunk)`` arrays in."""
         if self.track_tensor:
+            # The tensor accumulator screens non-finite samples itself
+            # (same nan_policy); mirror its post-screen sample count.
             self._tensor_acc.update(chunks)
-        else:
-            chunks = _validate_chunks(chunks)
-            if self._view_accs is None:
-                self._view_accs = [
-                    StreamingCovariance(chunk.shape[0]) for chunk in chunks
-                ]
-            if len(chunks) != len(self._view_accs):
-                raise ValidationError(
-                    f"expected {len(self._view_accs)} view chunks, got "
-                    f"{len(chunks)}"
-                )
-            for accumulator, chunk in zip(self._view_accs, chunks):
-                accumulator.update(chunk)
+            self._n = self._tensor_acc.n_samples
+            return self
+        chunks = _validate_chunks(chunks, require_finite=False)
+        if self._view_accs is None:
+            self._view_accs = [
+                StreamingCovariance(chunk.shape[0]) for chunk in chunks
+            ]
+        if len(chunks) != len(self._view_accs):
+            raise ValidationError(
+                f"expected {len(self._view_accs)} view chunks, got "
+                f"{len(chunks)}"
+            )
+        chunks, skipped = screen_chunks(
+            chunks,
+            nan_policy=self.nan_policy,
+            chunk_index=self._chunk_index,
+        )
+        self._chunk_index += 1
+        self._n_skipped += skipped
+        if chunks[0].shape[1] == 0:
+            # every sample of the minibatch was skipped: nothing to fold
+            return self
+        for accumulator, chunk in zip(self._view_accs, chunks):
+            accumulator.update(chunk)
         if self.retain_samples:
             self._store.add(chunks)
-        self._n += int(np.shape(chunks[0])[-1])
+        self._n += int(chunks[0].shape[1])
         return self
 
     def merge(self, other: "MomentState") -> "MomentState":
@@ -420,21 +454,26 @@ class MomentState:
             raise ValidationError(
                 "cannot merge moment states with different policies"
             )
+        if self.track_tensor:
+            # the tensor merge folds skip counts in even when the other
+            # state holds zero surviving samples
+            self._tensor_acc.merge(other._tensor_acc)
+            self._n = self._tensor_acc.n_samples
+            return self
+        # an all-skipped shard still contributes its skip count
+        self._n_skipped += other._n_skipped
         if other._n == 0:
             return self
-        if self.track_tensor:
-            self._tensor_acc.merge(other._tensor_acc)
-        else:
-            if self._view_accs is None:
-                self._view_accs = [
-                    StreamingCovariance(acc.dim) for acc in other._view_accs
-                ]
-            if len(self._view_accs) != len(other._view_accs):
-                raise ValidationError(
-                    "cannot merge moment states with different view counts"
-                )
-            for mine, theirs in zip(self._view_accs, other._view_accs):
-                mine.merge(theirs)
+        if self._view_accs is None:
+            self._view_accs = [
+                StreamingCovariance(acc.dim) for acc in other._view_accs
+            ]
+        if len(self._view_accs) != len(other._view_accs):
+            raise ValidationError(
+                "cannot merge moment states with different view counts"
+            )
+        for mine, theirs in zip(self._view_accs, other._view_accs):
+            mine.merge(theirs)
         if self.retain_samples:
             self._store.merge(other._store)
         self._n += other._n
@@ -455,6 +494,13 @@ class MomentState:
     def n_samples(self) -> int:
         """Number of samples folded in so far."""
         return self._n
+
+    @property
+    def n_skipped(self) -> int:
+        """Samples dropped by ``nan_policy="skip"`` so far."""
+        if self.track_tensor:
+            return self._tensor_acc.n_skipped
+        return self._n_skipped
 
     @property
     def dims(self) -> tuple[int, ...] | None:
@@ -536,6 +582,9 @@ class MomentState:
             "track_tensor": self.track_tensor,
             "retain_samples": self.retain_samples,
             "n_samples": int(self._n),
+            "nan_policy": self.nan_policy,
+            "n_skipped": int(self._n_skipped),
+            "chunk_index": int(self._chunk_index),
         }
         if self.track_tensor:
             state = self._tensor_acc.state_dict()
@@ -583,7 +632,12 @@ class MomentState:
         state = cls(
             track_tensor=bool(meta["track_tensor"]),
             retain_samples=bool(meta["retain_samples"]),
+            # .get defaults keep states written before nan_policy
+            # existed loadable (they never skipped anything)
+            nan_policy=meta.get("nan_policy", "raise"),
         )
+        state._n_skipped = int(meta.get("n_skipped", 0))
+        state._chunk_index = int(meta.get("chunk_index", 0))
         views_meta = meta.get("views")
         restored_views = (
             None
@@ -643,8 +697,11 @@ def ingest_stage(
     folded into ``moments`` with the exact :meth:`MomentState.merge` —
     same statistics as the sequential pass to round-off.
     """
+    # the moment state owns NaN/Inf handling (its nan_policy either
+    # raises a chunk-indexed error or skips-and-counts), so the wrappers
+    # here must not pre-reject non-finite input
     if _is_parallel(policy):
-        stream = as_view_stream(source, chunk_size)
+        stream = as_view_stream(source, chunk_size, require_finite=False)
         moments.merge(
             accumulate_parallel(
                 stream,
@@ -653,6 +710,7 @@ def ingest_stage(
                     track_tensor=moments.track_tensor,
                     retain_samples=moments.retain_samples,
                     dims=moments.dims,
+                    nan_policy=moments.nan_policy,
                 ),
                 policy,
             )
@@ -663,11 +721,11 @@ def ingest_stage(
         or chunk_size is not None
         or hasattr(source, "views")
     ):
-        stream = as_view_stream(source, chunk_size)
+        stream = as_view_stream(source, chunk_size, require_finite=False)
         for chunks in iter_validated_chunks(stream):
             moments.update(chunks)
         return moments
-    views = check_views(source, min_views=2)
+    views = check_views(source, min_views=2, require_finite=False)
     moments.update(views)
     return moments
 

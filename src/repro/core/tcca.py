@@ -51,6 +51,7 @@ from repro.parallel.executors import (
     check_n_jobs,
     resolve_executor,
 )
+from repro.streaming.covariance import check_nan_policy
 from repro.streaming.views import as_view_stream
 from repro.utils.validation import check_positive_int, check_views
 
@@ -168,6 +169,16 @@ class TCCA(MultiviewTransformer):
         ``"serial"``, ``"thread"``, or ``"process"``. Policy is
         configuration, not fitted state — it is persisted with the other
         constructor parameters and never changes what a fit computes.
+    nan_policy:
+        How the incremental/accumulated ingest paths treat NaN/Inf
+        samples: ``"raise"`` (default) rejects the minibatch with a
+        typed :class:`~repro.exceptions.ValidationError` naming the
+        offending view and chunk index; ``"skip"`` drops the affected
+        samples from every view (keeping the sample axes aligned) and
+        surfaces the running count as :attr:`n_skipped_` on the fitted
+        model. One-shot :meth:`fit`/:meth:`fit_stream` always reject
+        non-finite input — skipping only makes sense for long
+        accumulation sessions fed by unattended pipelines.
 
     Attributes
     ----------
@@ -189,6 +200,10 @@ class TCCA(MultiviewTransformer):
         :class:`~repro.core.engine.MomentState` the incremental session
         accumulates into. Persisted by :func:`repro.api.save_model`, so a
         reloaded model resumes exactly where it stopped.
+    n_skipped_:
+        Samples dropped so far by ``nan_policy="skip"`` across the
+        model's accumulation session (0 for one-shot fits and the
+        default ``"raise"`` policy).
     """
 
     #: derived solver output that transform never reads — not persisted.
@@ -206,8 +221,10 @@ class TCCA(MultiviewTransformer):
         random_state=None,
         n_jobs=None,
         executor: str = "auto",
+        nan_policy: str = "raise",
     ):
         self.n_components = check_positive_int(n_components, "n_components")
+        self.nan_policy = check_nan_policy(nan_policy)
         if epsilon < 0.0:
             raise ValidationError(f"epsilon must be >= 0, got {epsilon}")
         self.epsilon = float(epsilon)
@@ -362,7 +379,10 @@ class TCCA(MultiviewTransformer):
         :meth:`partial_fit` after it starts an empty session (a fresh
         model fitted on the minibatches seen from now on).
         """
-        views = check_views(views, min_views=2)
+        # NaN/Inf handling belongs to the moment state's nan_policy
+        # (chunk-indexed raise, or skip-and-count) — not to this
+        # shape/alignment check
+        views = check_views(views, min_views=2, require_finite=False)
         dims = [view.shape[0] for view in views]
         moments = getattr(self, "moments_", None)
         if moments is None:
@@ -374,6 +394,7 @@ class TCCA(MultiviewTransformer):
                 track_tensor=(solver == "dense"),
                 retain_samples=(solver == "implicit"),
                 dims=dims,
+                nan_policy=self.nan_policy,
             )
             self.moments_ = moments
             # A brand-new session solves cold: factors_ possibly left by
@@ -422,6 +443,7 @@ class TCCA(MultiviewTransformer):
             track_tensor=(solver == "dense"),
             retain_samples=(solver == "implicit"),
             dims=dims,
+            nan_policy=self.nan_policy,
         )
 
     def fit_moments(self, moments: MomentState) -> "TCCA":
@@ -593,6 +615,8 @@ class TCCA(MultiviewTransformer):
         self.canonical_vectors_ = finalized.canonical_vectors
         self.n_views_ = len(dims)
         self._dims = list(dims)
+        moments = getattr(self, "moments_", None)
+        self.n_skipped_ = 0 if moments is None else int(moments.n_skipped)
         return self
 
     def transform(self, views, *, chunk_size: int | None = None) -> list[np.ndarray]:

@@ -59,3 +59,59 @@ class DatasetError(ReproError, ValueError):
 
 class ExperimentError(ReproError, RuntimeError):
     """Raised when an experiment driver is configured inconsistently."""
+
+
+class ReliabilityError(ReproError, RuntimeError):
+    """Base class for failures surfaced by the reliability layer."""
+
+
+class RetryExhaustedError(ReliabilityError):
+    """Raised when a :class:`~repro.reliability.RetryPolicy` gives up.
+
+    Carries the number of attempts made and chains (``__cause__``) the
+    last underlying error so callers can inspect what kept failing.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 0):
+        super().__init__(message)
+        self.attempts = int(attempts)
+
+
+class InjectedFault(ReliabilityError):
+    """Raised by a :class:`~repro.reliability.FaultPlan` ``fail`` rule.
+
+    Only ever raised under an active fault plan — seeing it outside a
+    fault-injection test means a plan leaked.
+    """
+
+
+class WorkerKilled(InjectedFault):
+    """Injected stand-in for a worker process dying mid-task."""
+
+
+class ServerOverloaded(ReliabilityError):
+    """Raised when bounded admission rejects new serving work.
+
+    ``retry_after`` is the suggested wait (seconds) before retrying;
+    the HTTP layer surfaces it as a ``Retry-After`` header on the 429.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class ReliabilityWarning(UserWarning):
+    """Warning emitted when the library degrades gracefully.
+
+    Examples: a broken process pool demoted to threads, a corrupt shard
+    quarantined out of a reduce.
+    """
+
+
+class NumericalWarning(UserWarning):
+    """Warning emitted when a numerical guard kicks in.
+
+    Example: whitening clips near-zero eigenvalues of an ill-conditioned
+    regularized covariance instead of amplifying noise directions.
+    """

@@ -8,12 +8,24 @@ whitened tensor ``M`` (Theorem 2).
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from repro.exceptions import ValidationError
+from repro.exceptions import NumericalWarning, ValidationError
 from repro.utils.validation import check_square
 
 __all__ = ["inverse_sqrt_psd", "regularized_inverse_sqrt", "sqrt_psd"]
+
+# warn once per process about ill-conditioned whitening, not once per
+# view per sweep — a badly scaled dataset would otherwise flood logs
+_warned_ill_conditioned = False
+
+
+def _reset_conditioning_warning() -> None:
+    """Re-arm the once-per-process warning (test hook)."""
+    global _warned_ill_conditioned
+    _warned_ill_conditioned = False
 
 
 def _clipped_eigh(matrix: np.ndarray, floor: float) -> tuple[np.ndarray, np.ndarray]:
@@ -51,11 +63,44 @@ def inverse_sqrt_psd(matrix, *, eig_floor: float = 1e-12) -> np.ndarray:
 def regularized_inverse_sqrt(
     covariance, epsilon: float, *, eig_floor: float = 1e-12
 ) -> np.ndarray:
-    """``(C + ε I)^{-1/2}`` — the per-view whitening matrix of Eq. 4.8."""
+    """``(C + ε I)^{-1/2}`` — the per-view whitening matrix of Eq. 4.8.
+
+    Guards ill-conditioned moment matrices: eigenvalues of the
+    regularized covariance are floored at
+    ``max(eig_floor, max(ε, λ_max) · d · machine-ε)`` — a floor tied to
+    the regularization scale — before inversion, and the first time the
+    floor actually bites a :class:`~repro.exceptions.NumericalWarning`
+    is emitted (once per process). Without the guard, a near-singular
+    view covariance with a tiny ``ε`` silently amplifies pure noise
+    directions by ``1/√λ``.
+    """
+    global _warned_ill_conditioned
     if epsilon < 0.0:
         raise ValidationError(
             f"regularization epsilon must be >= 0, got {epsilon}"
         )
+    if eig_floor <= 0.0:
+        raise ValidationError(
+            f"eig_floor must be positive for an inverse, got {eig_floor}"
+        )
     covariance = check_square(covariance, name="covariance")
-    regularized = covariance + epsilon * np.eye(covariance.shape[0])
-    return inverse_sqrt_psd(regularized, eig_floor=eig_floor)
+    dim = covariance.shape[0]
+    regularized = covariance + epsilon * np.eye(dim)
+    eigenvalues, eigenvectors = np.linalg.eigh(regularized)
+    scale = max(float(eigenvalues[-1]), float(epsilon), 0.0)
+    floor = max(eig_floor, scale * dim * np.finfo(np.float64).eps)
+    n_clipped = int(np.count_nonzero(eigenvalues < floor))
+    if n_clipped and not _warned_ill_conditioned:
+        _warned_ill_conditioned = True
+        warnings.warn(
+            f"whitening: {n_clipped} of {dim} eigenvalues of a "
+            f"regularized view covariance fall below the numerical "
+            f"floor {floor:.3e} (epsilon={epsilon:g}); clipping them to "
+            "avoid amplifying noise directions — increase epsilon to "
+            "regularize ill-conditioned views properly (warning shown "
+            "once per process)",
+            NumericalWarning,
+            stacklevel=2,
+        )
+    eigenvalues = np.maximum(eigenvalues, floor)
+    return (eigenvectors / np.sqrt(eigenvalues)) @ eigenvectors.T

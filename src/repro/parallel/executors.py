@@ -22,16 +22,36 @@ Selection is config, not fitted state: estimators take
 :func:`resolve_executor` at fit time. ``n_jobs=None`` defers to the
 ``REPRO_JOBS`` environment variable (so a deployment can turn the whole
 library multi-core without touching call sites), ``-1`` means all cores.
+
+Two reliability behaviors ride on every policy:
+
+* **per-task retry** — attach a
+  :class:`~repro.reliability.RetryPolicy` via ``with_retry`` and every
+  work item is retried under it (tasks must be effectively pure — every
+  parallel site in the library maps pure functions);
+* **graceful demotion** — when a pool *breaks* (a worker process dies,
+  the interpreter is shutting down), the policy falls back instead of
+  crashing the fit: process → thread → serial, re-running the broken
+  map in the fallback and warning with
+  :class:`~repro.exceptions.ReliabilityWarning`. Demotion is sticky for
+  the policy instance — a machine that killed one pool will likely kill
+  the next.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import warnings
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 
 import numpy as np
 
-from repro.exceptions import ValidationError
+from repro.exceptions import ReliabilityWarning, ValidationError
+from repro.reliability.faults import fault_point
 
 __all__ = [
     "EXECUTOR_NAMES",
@@ -143,6 +163,29 @@ class _StarCall:
         return self.fn(*args)
 
 
+class _RetryTask:
+    """Picklable per-task retry wrapper: ``policy.run(fn, item)``.
+
+    Applied around the work function *before* it enters a pool, so each
+    item retries independently inside its worker — a transient failure
+    costs one item's retries, never the whole map. Also the executors'
+    ``"executor.task"`` fault seam, counted per attempt, so tests
+    script "fail the first attempt of the third task" exactly.
+    """
+
+    def __init__(self, fn, policy):
+        self.fn = fn
+        self.policy = policy
+
+    def __call__(self, item):
+        def _attempt():
+            fault_point("executor.task")
+            return self.fn(item)
+
+        _attempt.__name__ = getattr(self.fn, "__name__", repr(self.fn))
+        return self.policy.run(_attempt)
+
+
 class ExecutionPolicy:
     """How a batch of independent work items is executed.
 
@@ -155,6 +198,20 @@ class ExecutionPolicy:
 
     #: number of concurrent workers this policy aims for.
     n_workers: int = 1
+
+    #: optional per-task :class:`~repro.reliability.RetryPolicy`.
+    retry_policy = None
+
+    def with_retry(self, policy) -> "ExecutionPolicy":
+        """Attach a per-task retry policy; returns ``self`` for chaining."""
+        self.retry_policy = policy
+        return self
+
+    def _task(self, fn):
+        """Wrap ``fn`` with this policy's retry (identity without one)."""
+        if self.retry_policy is None or isinstance(fn, _RetryTask):
+            return fn
+        return _RetryTask(fn, self.retry_policy)
 
     def map(self, fn, items) -> list:
         """Apply ``fn`` to every item; results in input order."""
@@ -187,7 +244,9 @@ class SerialExecutor(ExecutionPolicy):
     n_workers = 1
 
     def map(self, fn, items) -> list:
-        return [fn(item) for item in items]
+        fault_point("executor.map")
+        task = self._task(fn)
+        return [task(item) for item in items]
 
 
 class _PoolExecutor(ExecutionPolicy):
@@ -212,6 +271,7 @@ class _PoolExecutor(ExecutionPolicy):
             )
         self.n_workers = max(1, int(n_workers))
         self._pool = None
+        self._fallback: ExecutionPolicy | None = None
 
     def _get_pool(self):
         if self._pool is None:
@@ -223,12 +283,48 @@ class _PoolExecutor(ExecutionPolicy):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._fallback is not None:
+            self._fallback.shutdown()
+
+    def _demotion_target(self) -> ExecutionPolicy:
+        """The next-softer policy to fall back to when the pool breaks."""
+        return SerialExecutor()
+
+    def _demote(self, error: BaseException) -> ExecutionPolicy:
+        self._fallback = self._demotion_target()
+        warnings.warn(
+            f"{type(self).__name__} pool broke "
+            f"({type(error).__name__}: {error}); demoting to "
+            f"{type(self._fallback).__name__} and re-running the batch — "
+            "results are unchanged, throughput degrades",
+            ReliabilityWarning,
+            stacklevel=3,
+        )
+        try:
+            # the broken pool cannot be drained; release what it will give
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+        except Exception:
+            pass
+        self._pool = None
+        return self._fallback
 
     def map(self, fn, items) -> list:
+        fault_point("executor.map")
         items = list(items)
+        task = self._task(fn)
+        if self._fallback is not None:
+            return self._fallback.map(task, items)
         if len(items) <= 1 or self.n_workers <= 1:
-            return [fn(item) for item in items]
-        return list(self._get_pool().map(fn, items))
+            return [task(item) for item in items]
+        try:
+            return list(self._get_pool().map(task, items))
+        except BrokenExecutor as error:
+            # a worker died (OOM kill, hard crash) or the pool broke:
+            # demote and re-run the whole batch — tasks are pure, so a
+            # rerun is safe; partial results from the broken pool are
+            # discarded.
+            return self._demote(error).map(task, items)
 
 
 class ThreadExecutor(_PoolExecutor):
@@ -243,6 +339,11 @@ class ProcessExecutor(_PoolExecutor):
     _pool_class = ProcessPoolExecutor
 
     def for_shared_memory(self) -> ExecutionPolicy:
+        return ThreadExecutor(self.n_workers)
+
+    def _demotion_target(self) -> ExecutionPolicy:
+        # threads first — same width, no worker processes to kill; if
+        # the thread pool somehow breaks too, it demotes to serial.
         return ThreadExecutor(self.n_workers)
 
 

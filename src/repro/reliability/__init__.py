@@ -1,0 +1,82 @@
+"""Reliability layer: retries, checkpoints, fault injection.
+
+PRs 5–7 made the fit parallel, distributed, and servable; every layer
+was fail-fast. This package turns hard failures into retries, resumes,
+and graceful degradation:
+
+* :mod:`repro.reliability.policy` — :class:`RetryPolicy`: bounded
+  attempts, exponential backoff with *deterministic* jitter, typed
+  retryable-error classification, waits through the same injectable
+  clock the serve layer uses (tests never sleep);
+* :mod:`repro.reliability.checkpoint` — periodic checkpointing of
+  in-progress accumulation to ``.moments`` checkpoint artifacts and
+  ``repro accumulate --resume``: a killed worker restarts from its last
+  chunk boundary, bit-exactly, instead of row 0;
+* :mod:`repro.reliability.faults` — :class:`FaultPlan`: deterministic
+  fault injection (fail-Nth-write, corrupt-payload, slow-call,
+  worker-death) behind the artifact writer, the executors, the
+  accumulation loop, and the server's reload path, activated in-process
+  or across processes via ``REPRO_FAULTS``.
+
+The consumers live elsewhere: ``reduce_shards(..., on_corrupt="skip")``
+quarantines corrupt shards into the provenance block, the executors
+retry per-task and demote process → thread → serial on pool breakage,
+and the server bounds admission (429 + ``Retry-After``) and
+circuit-breaks hot-reload storms.
+
+This package sits *below* :mod:`repro.artifacts` (the artifact writer
+imports the fault seams), so only :mod:`repro.reliability.faults` and
+:mod:`repro.reliability.policy` may be imported at module level from
+there; checkpointing imports artifacts lazily.
+"""
+
+from repro.exceptions import (
+    InjectedFault,
+    ReliabilityError,
+    ReliabilityWarning,
+    RetryExhaustedError,
+    ServerOverloaded,
+    WorkerKilled,
+)
+from repro.reliability.checkpoint import (
+    CHECKPOINT_KIND,
+    CHECKPOINT_SUFFIX,
+    accumulate_views_checkpointed,
+    checkpoint_path_for,
+    discard_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.reliability.faults import (
+    FAULTS_ENV,
+    FaultPlan,
+    fault_point,
+    install_from_env,
+    install_plan,
+    uninstall_plan,
+)
+from repro.reliability.policy import DEFAULT_RETRYABLE, RetryPolicy
+
+__all__ = [
+    "CHECKPOINT_KIND",
+    "CHECKPOINT_SUFFIX",
+    "DEFAULT_RETRYABLE",
+    "FAULTS_ENV",
+    "FaultPlan",
+    "InjectedFault",
+    "ReliabilityError",
+    "ReliabilityWarning",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "ServerOverloaded",
+    "WorkerKilled",
+    "accumulate_views_checkpointed",
+    "checkpoint_path_for",
+    "discard_checkpoint",
+    "fault_point",
+    "install_from_env",
+    "install_plan",
+    "load_checkpoint",
+    "save_checkpoint",
+    "uninstall_plan",
+]

@@ -1,0 +1,250 @@
+"""Checkpointed accumulation: a killed worker resumes, not restarts.
+
+``repro accumulate`` over a large shard used to be all-or-nothing — a
+worker dying at row 9 million of 10 repeats the whole pass. This module
+makes the pass resumable by checkpointing the in-progress
+:class:`~repro.core.engine.MomentState` to a ``.moments`` *checkpoint*
+artifact (same atomic npz-plus-header writer as every other artifact,
+``kind="checkpoint"``, plus a ``checkpoint`` header block recording the
+row cursor and chunk geometry).
+
+Resume is **bit-exact**, not merely close: checkpoints are only taken
+at chunk boundaries, the chunk geometry is recorded in the header and
+reused on resume (so the resumed pass sees the identical sequence of
+chunk updates), and the float64 state round-trips through npz without
+loss. The crash-sim tests therefore get ``resume ≡ uninterrupted`` at
+the merged-model level to ≤1e-10 for free — the underlying statistics
+are equal to the last bit.
+
+Checkpoint writes go through an optional
+:class:`~repro.reliability.policy.RetryPolicy`, so a transient
+filesystem error costs a retry, not the shard.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.exceptions import PersistenceError, ValidationError
+from repro.reliability.faults import fault_point
+
+__all__ = [
+    "CHECKPOINT_KIND",
+    "CHECKPOINT_SUFFIX",
+    "accumulate_views_checkpointed",
+    "checkpoint_path_for",
+    "discard_checkpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+]
+
+CHECKPOINT_SUFFIX = ".ckpt"
+CHECKPOINT_KIND = "checkpoint"
+
+
+def checkpoint_path_for(out_path) -> str:
+    """The sidecar checkpoint path for a shard being written to ``out``."""
+    return os.fspath(out_path) + CHECKPOINT_SUFFIX
+
+
+def save_checkpoint(
+    moments,
+    path,
+    *,
+    estimator: str,
+    params: dict | None = None,
+    shard: dict | None = None,
+    source: str | None = None,
+    rows_done: int,
+    total_rows: int,
+    chunk_rows: int,
+    retry=None,
+) -> str:
+    """Atomically write an in-progress accumulation checkpoint.
+
+    The header is a regular shard header (so ``repro inspect`` reads
+    it) with ``kind="checkpoint"`` — ``repro reduce`` refuses it via
+    the existing config-compatibility check, a half-done shard can
+    never slip into a reduce — plus a ``checkpoint`` block carrying the
+    resume cursor. ``retry`` (a :class:`RetryPolicy`) absorbs transient
+    write failures.
+    """
+    from repro.artifacts.moments import save_moments
+
+    def _write():
+        return save_moments(
+            moments,
+            path,
+            estimator=estimator,
+            kind=CHECKPOINT_KIND,
+            params=params,
+            shard=shard,
+            source=source,
+            extra={
+                "checkpoint": {
+                    "rows_done": int(rows_done),
+                    "total_rows": int(total_rows),
+                    "chunk_rows": int(chunk_rows),
+                }
+            },
+        )
+
+    if retry is not None:
+        return retry.run(_write)
+    return _write()
+
+
+def load_checkpoint(path, *, verify: bool = True):
+    """``(header, MomentState)`` from a checkpoint file, validated."""
+    from repro.artifacts.moments import load_moments
+
+    header, state = load_moments(path, verify=verify)
+    if header.get("kind") != CHECKPOINT_KIND:
+        raise PersistenceError(
+            f"{path!s} is a {header.get('kind')!r} shard, not a "
+            "checkpoint; refusing to resume from it"
+        )
+    cursor = header.get("checkpoint")
+    if not isinstance(cursor, dict) or "rows_done" not in cursor:
+        raise PersistenceError(
+            f"{path!s} has no checkpoint cursor; the file is incomplete"
+        )
+    if int(cursor["rows_done"]) != state.n_samples:
+        raise PersistenceError(
+            f"{path!s} cursor records {cursor['rows_done']} rows but the "
+            f"state holds {state.n_samples}; refusing to resume from an "
+            "inconsistent checkpoint"
+        )
+    return header, state
+
+
+def accumulate_views_checkpointed(
+    views,
+    *,
+    estimator: str = "tcca",
+    params: dict | None = None,
+    shard: tuple[int, int] | None = None,
+    checkpoint_path,
+    checkpoint_every: int = 4096,
+    resume: bool = False,
+    source: str | None = None,
+    retry=None,
+):
+    """Chunked, checkpointed version of ``accumulate_views``.
+
+    Ingests the shard in chunks of ``checkpoint_every`` rows, writing a
+    checkpoint after each completed chunk (except the last — the caller
+    is about to write the real shard). With ``resume=True`` and an
+    existing checkpoint, picks up at the recorded row cursor with the
+    recorded chunk geometry, making the resumed pass bit-identical to
+    an uninterrupted one.
+
+    Returns ``(moments, resolved_params, progress)`` where ``progress``
+    records ``resumed_at`` (0 for a fresh pass), ``total_rows``, and
+    ``checkpoints`` written. The ``"accumulate.chunk"`` fault site
+    fires once per chunk, so crash simulations kill the worker at an
+    exact, reproducible point.
+    """
+    from repro.artifacts.distributed import _reducer_for, shard_bounds
+    from repro.artifacts.moments import shard_config
+    from repro.utils.validation import check_views
+
+    checkpoint_every = int(checkpoint_every)
+    if checkpoint_every < 1:
+        raise ValidationError(
+            f"checkpoint_every must be >= 1 rows, got {checkpoint_every}"
+        )
+    params = dict(params or {})
+    reducer = _reducer_for(estimator, params)
+    # defer finiteness to the moment state's nan_policy, matching
+    # accumulate_views
+    views = check_views(views, min_views=2, require_finite=False)
+    dims = [view.shape[0] for view in views]
+    shard_record = None
+    if shard is not None:
+        index, count = shard
+        start, stop = shard_bounds(views[0].shape[1], index, count)
+        views = [view[:, start:stop] for view in views]
+        shard_record = {"index": index, "count": count}
+    total = views[0].shape[1]
+
+    moments = None
+    rows_done = 0
+    checkpoint_path = os.fspath(checkpoint_path)
+    if resume and os.path.exists(checkpoint_path):
+        header, moments = load_checkpoint(checkpoint_path)
+        expected = {
+            "estimator": str(estimator),
+            "params": {
+                k: v
+                for k, v in reducer.get_params().items()
+                if k not in ("n_jobs", "executor")
+            },
+            "dims": [int(d) for d in dims],
+        }
+        recorded = shard_config(header)
+        mismatched = sorted(
+            key for key in expected if recorded.get(key) != expected[key]
+        )
+        if mismatched:
+            raise ValidationError(
+                f"checkpoint {checkpoint_path!s} was accumulated under a "
+                f"different configuration (differs in "
+                f"{', '.join(mismatched)}); delete it or re-run with the "
+                "original settings"
+            )
+        cursor = header["checkpoint"]
+        rows_done = int(cursor["rows_done"])
+        checkpoint_every = int(cursor.get("chunk_rows", checkpoint_every))
+        if rows_done > total:
+            raise ValidationError(
+                f"checkpoint {checkpoint_path!s} records {rows_done} rows "
+                f"done but the shard only has {total}; wrong dataset or "
+                "shard spec?"
+            )
+    if moments is None:
+        moments = reducer.moment_state_for(dims)
+
+    resumed_at = rows_done
+    checkpoints_written = 0
+    resolved_params = reducer.get_params()
+    clean_params = {
+        k: v
+        for k, v in resolved_params.items()
+        if k not in ("n_jobs", "executor")
+    }
+    for begin in range(rows_done, total, checkpoint_every):
+        end = min(begin + checkpoint_every, total)
+        fault_point("accumulate.chunk")
+        moments.update([view[:, begin:end] for view in views])
+        if end < total:
+            save_checkpoint(
+                moments,
+                checkpoint_path,
+                estimator=estimator,
+                params=clean_params,
+                shard=shard_record,
+                source=source,
+                rows_done=end,
+                total_rows=total,
+                chunk_rows=checkpoint_every,
+                retry=retry,
+            )
+            checkpoints_written += 1
+
+    progress = {
+        "resumed_at": int(resumed_at),
+        "total_rows": int(total),
+        "checkpoints": int(checkpoints_written),
+        "checkpoint_every": int(checkpoint_every),
+    }
+    return moments, resolved_params, progress
+
+
+def discard_checkpoint(path) -> bool:
+    """Remove a checkpoint file if present (after the real shard landed)."""
+    try:
+        os.unlink(os.fspath(path))
+        return True
+    except FileNotFoundError:
+        return False

@@ -1,0 +1,278 @@
+"""Deterministic fault injection behind the library's failure seams.
+
+A :class:`FaultPlan` is a scripted set of failures keyed by *site* —
+a short string naming a seam the library instruments with
+:func:`fault_point` (``"artifact.write"``, ``"artifact.payload"``,
+``"accumulate.chunk"``, ``"executor.map"``, ``"executor.task"``,
+``"serve.reload"``). Activating a plan (context manager or
+:func:`install_plan`) makes those seams fire the scripted faults at
+exact call counts, so tests and CI exercise real failure paths —
+crashed workers, corrupted payloads, broken pools, reload storms —
+without sleeps, signals, or race conditions.
+
+Four fault kinds cover the failure modes the reliability layer must
+survive:
+
+* ``fail`` — raise a typed error (default :class:`InjectedFault`) on
+  the Nth call;
+* ``kill`` — raise :class:`WorkerKilled` on the Nth call, the
+  in-process stand-in for a worker dying mid-task;
+* ``corrupt`` — mutate the payload passing through the seam (used by
+  the artifact writer to produce files whose bytes no longer match the
+  hash recorded in their header);
+* ``slow`` — invoke the plan's injectable ``sleep`` (tests pass a
+  recorder; nothing in this module ever sleeps unless asked to).
+
+Plans compose across processes through the ``REPRO_FAULTS`` environment
+variable (``site:action@nth[,...]``), which the CLI installs at startup
+— the CI kill/resume loop uses it to crash an ``accumulate`` worker at
+a precise chunk.
+
+Inactive cost is one truthiness check per seam: with no plan installed,
+:func:`fault_point` returns immediately.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import InjectedFault, ValidationError, WorkerKilled
+
+__all__ = [
+    "FAULTS_ENV",
+    "FaultPlan",
+    "fault_point",
+    "install_from_env",
+    "install_plan",
+    "uninstall_plan",
+]
+
+FAULTS_ENV = "REPRO_FAULTS"
+
+_ACTIONS = ("fail", "kill", "corrupt", "slow")
+
+# Stack of active plans; the innermost (last) plan wins per site. Plans
+# are per-process — a child process starts clean and picks up faults
+# only via REPRO_FAULTS.
+_ACTIVE: list["FaultPlan"] = []
+
+
+class _Rule:
+    """One scripted fault: *action* on the *nth* call at a site."""
+
+    __slots__ = ("action", "nth", "error", "seconds", "repeat")
+
+    def __init__(self, action, nth, *, error=None, seconds=0.0, repeat=False):
+        if action not in _ACTIONS:
+            raise ValidationError(
+                f"unknown fault action {action!r}; expected one of {_ACTIONS}"
+            )
+        nth = int(nth)
+        if nth < 1:
+            raise ValidationError(f"fault rule nth must be >= 1, got {nth}")
+        self.action = action
+        self.nth = nth
+        self.error = error
+        self.seconds = float(seconds)
+        self.repeat = bool(repeat)
+
+    def matches(self, count: int) -> bool:
+        if self.repeat:
+            return count >= self.nth
+        return count == self.nth
+
+
+class FaultPlan:
+    """A deterministic script of failures, keyed by instrumented site.
+
+    Parameters
+    ----------
+    sleep:
+        Callable invoked by ``slow`` rules with the configured seconds.
+        Defaults to :func:`time.sleep`; tests pass a recorder (or a
+        :class:`~repro.serve.batcher.ManualClock`'s ``advance``) so the
+        suite stays sleep-free.
+
+    Use as a context manager so the plan cannot leak into later tests::
+
+        plan = FaultPlan()
+        plan.fail_at("artifact.write", nth=1, error=OSError("disk full"))
+        with plan:
+            ...  # first artifact write raises OSError
+
+    ``plan.fired`` records every triggered fault as
+    ``(site, call_count, action)`` for assertions.
+    """
+
+    def __init__(self, *, sleep: Callable[[float], None] | None = None):
+        self._rules: dict[str, list[_Rule]] = {}
+        self._counts: dict[str, int] = {}
+        self._sleep = time.sleep if sleep is None else sleep
+        self.fired: list[tuple[str, int, str]] = []
+
+    # -- scripting -----------------------------------------------------------
+
+    def _add(self, site: str, rule: _Rule) -> "FaultPlan":
+        self._rules.setdefault(str(site), []).append(rule)
+        return self
+
+    def fail_at(self, site, nth=1, *, error=None, repeat=False):
+        """Raise ``error`` (default :class:`InjectedFault`) on call *nth*."""
+        return self._add(site, _Rule("fail", nth, error=error, repeat=repeat))
+
+    def kill_at(self, site, nth=1):
+        """Simulate worker death: raise :class:`WorkerKilled` on call *nth*."""
+        return self._add(site, _Rule("kill", nth))
+
+    def corrupt_at(self, site, nth=1):
+        """Mutate the payload passing through the seam on call *nth*."""
+        return self._add(site, _Rule("corrupt", nth))
+
+    def slow_at(self, site, nth=1, *, seconds=0.05, repeat=False):
+        """Call the plan's ``sleep`` with ``seconds`` on call *nth*."""
+        return self._add(
+            site, _Rule("slow", nth, seconds=seconds, repeat=repeat)
+        )
+
+    # -- firing --------------------------------------------------------------
+
+    def fire(self, site: str, payload=None):
+        """Count one call at ``site`` and apply any matching rules."""
+        count = self._counts.get(site, 0) + 1
+        self._counts[site] = count
+        for rule in self._rules.get(site, ()):
+            if not rule.matches(count):
+                continue
+            self.fired.append((site, count, rule.action))
+            if rule.action == "slow":
+                self._sleep(rule.seconds)
+            elif rule.action == "corrupt":
+                payload = _corrupt_payload(payload)
+            elif rule.action == "kill":
+                raise WorkerKilled(
+                    f"injected worker death at {site!r} (call {count})"
+                )
+            else:  # fail
+                if rule.error is not None:
+                    raise rule.error
+                raise InjectedFault(
+                    f"injected failure at {site!r} (call {count})"
+                )
+        return payload
+
+    def calls(self, site: str) -> int:
+        """How many times ``site`` has fired under this plan."""
+        return self._counts.get(site, 0)
+
+    # -- activation ----------------------------------------------------------
+
+    def __enter__(self) -> "FaultPlan":
+        install_plan(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        uninstall_plan(self)
+
+    # -- cross-process spec --------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse ``"site:action@nth[,site:action@nth...]"`` into a plan.
+
+        The grammar behind the ``REPRO_FAULTS`` environment variable:
+        ``accumulate.chunk:kill@3`` kills the worker on its third chunk;
+        ``artifact.payload:corrupt@1,artifact.write:fail@2`` corrupts
+        the first payload and fails the second write.
+        """
+        plan = cls()
+        for entry in spec.split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            try:
+                site, _, rest = entry.rpartition(":")
+                action, _, nth = rest.partition("@")
+                if not site or not action:
+                    raise ValueError(entry)
+                plan._add(site, _Rule(action, nth or 1))
+            except (ValueError, ValidationError):
+                raise ValidationError(
+                    f"bad fault spec entry {entry!r}; expected "
+                    "'site:action@nth' with action in "
+                    f"{_ACTIONS}"
+                ) from None
+        return plan
+
+
+def _corrupt_payload(payload):
+    """Perturb one numeric value so content hashes stop matching.
+
+    Understands the payload shapes the instrumented seams pass through:
+    a mapping of arrays (the artifact writer's entries) or a single
+    array. Anything else is returned untouched.
+    """
+    if isinstance(payload, dict):
+        corrupted = dict(payload)
+        for name in sorted(corrupted):
+            flipped = _corrupt_array(corrupted[name])
+            if flipped is not None:
+                corrupted[name] = flipped
+                return corrupted
+        return corrupted
+    flipped = _corrupt_array(payload)
+    return payload if flipped is None else flipped
+
+
+def _corrupt_array(value):
+    array = np.asarray(value)
+    if array.dtype.kind not in "fiu" or array.size == 0:
+        return None
+    array = np.array(array, copy=True)
+    flat = array.reshape(-1)
+    flat[0] = flat[0] + 1 if flat[0] != flat[0] + 1 else flat[0] - 1
+    return array
+
+
+def install_plan(plan: FaultPlan) -> None:
+    """Activate ``plan`` for this process (stacked; innermost wins)."""
+    _ACTIVE.append(plan)
+
+
+def uninstall_plan(plan: FaultPlan) -> None:
+    """Deactivate ``plan`` wherever it sits in the stack."""
+    try:
+        _ACTIVE.remove(plan)
+    except ValueError:
+        pass
+
+
+def install_from_env(environ=None) -> FaultPlan | None:
+    """Install a plan from ``REPRO_FAULTS`` if set; return it (or None).
+
+    Called once by the CLI entry point so shell harnesses (the CI
+    kill/resume loop) can crash a worker at an exact chunk::
+
+        REPRO_FAULTS=accumulate.chunk:kill@3 python -m repro accumulate ...
+    """
+    spec = (environ if environ is not None else os.environ).get(FAULTS_ENV)
+    if not spec:
+        return None
+    plan = FaultPlan.from_spec(spec)
+    install_plan(plan)
+    return plan
+
+
+def fault_point(site: str, payload=None):
+    """The seam: count a call at ``site`` under the active plan (if any).
+
+    Returns ``payload`` (possibly mutated by a ``corrupt`` rule) so
+    callers can write ``entries = fault_point("artifact.payload",
+    entries)``. With no active plan this is a single truthiness check.
+    """
+    if not _ACTIVE:
+        return payload
+    return _ACTIVE[-1].fire(site, payload)

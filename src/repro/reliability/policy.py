@@ -1,0 +1,182 @@
+"""Retry policies: bounded attempts, exponential backoff, typed errors.
+
+:class:`RetryPolicy` is the one retry decision-maker the library uses —
+checkpoint writes, per-task executor retries, and anything a caller
+wraps with :meth:`RetryPolicy.run`. Three properties keep it testable
+and predictable:
+
+* **typed classification** — only errors in ``retryable`` are retried;
+  a :class:`~repro.exceptions.ValidationError` (bad input stays bad)
+  propagates immediately, an :class:`OSError` (transient filesystem or
+  network hiccup) earns another attempt;
+* **deterministic jitter** — the backoff spread is a hash of
+  ``(seed, attempt)``, not a PRNG draw, so a given policy produces the
+  same delay sequence every run: tests assert exact waits;
+* **injectable waiting** — delays go through the same ``Clock``
+  protocol the serve layer uses
+  (:class:`~repro.serve.batcher.ManualClock` in tests), so no test of
+  the retry path ever sleeps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Callable
+
+from repro.exceptions import RetryExhaustedError, ValidationError
+
+__all__ = ["DEFAULT_RETRYABLE", "RetryPolicy"]
+
+#: Errors worth a second attempt by default: transient OS/IO failures
+#: and timeouts. Validation errors are deliberately absent — retrying
+#: bad input cannot fix it.
+DEFAULT_RETRYABLE: tuple[type[BaseException], ...] = (
+    OSError,
+    TimeoutError,
+    ConnectionError,
+)
+
+
+class RetryPolicy:
+    """Bounded retry with exponential backoff and deterministic jitter.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries including the first (``1`` disables retrying).
+    base_delay, multiplier, max_delay:
+        Backoff schedule: attempt ``k``'s failure waits
+        ``min(max_delay, base_delay * multiplier**(k-1))`` seconds,
+        stretched by jitter.
+    jitter:
+        Fraction of the raw delay added as deterministic spread in
+        ``[0, jitter)`` — derived from ``hash(seed, attempt)``, so two
+        policies with the same seed back off identically.
+    retryable:
+        Exception types that earn another attempt; everything else
+        propagates unchanged on first failure.
+    seed:
+        Jitter seed. Give each worker its own seed to de-synchronize a
+        fleet retrying against the same resource.
+    clock:
+        Optional timing source. A :class:`ManualClock` (anything with
+        an ``advance(seconds)`` method) makes waits instantaneous in
+        tests; otherwise :func:`time.sleep` is used.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        *,
+        base_delay: float = 0.05,
+        multiplier: float = 2.0,
+        max_delay: float = 5.0,
+        jitter: float = 0.1,
+        retryable: tuple[type[BaseException], ...] = DEFAULT_RETRYABLE,
+        seed: int = 0,
+        clock=None,
+    ):
+        if not isinstance(max_attempts, int) or max_attempts < 1:
+            raise ValidationError(
+                f"max_attempts must be an int >= 1, got {max_attempts!r}"
+            )
+        if base_delay < 0 or max_delay < 0:
+            raise ValidationError("retry delays must be >= 0")
+        if multiplier < 1.0:
+            raise ValidationError(
+                f"backoff multiplier must be >= 1, got {multiplier!r}"
+            )
+        if jitter < 0:
+            raise ValidationError(f"jitter must be >= 0, got {jitter!r}")
+        retryable = tuple(retryable)
+        for kind in retryable:
+            if not (isinstance(kind, type) and issubclass(kind, BaseException)):
+                raise ValidationError(
+                    f"retryable entries must be exception types, got {kind!r}"
+                )
+        self.max_attempts = max_attempts
+        self.base_delay = float(base_delay)
+        self.multiplier = float(multiplier)
+        self.max_delay = float(max_delay)
+        self.jitter = float(jitter)
+        self.retryable = retryable
+        self.seed = int(seed)
+        self._clock = clock
+
+    # -- classification & schedule ---------------------------------------
+
+    def is_retryable(self, error: BaseException) -> bool:
+        """Does ``error``'s type earn another attempt?"""
+        return isinstance(error, self.retryable)
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait after failure number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValidationError(f"attempt must be >= 1, got {attempt}")
+        raw = min(
+            self.max_delay, self.base_delay * self.multiplier ** (attempt - 1)
+        )
+        return raw * (1.0 + self.jitter * self._jitter_fraction(attempt))
+
+    def _jitter_fraction(self, attempt: int) -> float:
+        # hash-derived uniform in [0, 1): same (seed, attempt) -> same
+        # fraction, so delay sequences are reproducible run to run.
+        digest = hashlib.sha256(
+            f"{self.seed}:{attempt}".encode("ascii")
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0**64
+
+    def _wait(self, seconds: float) -> None:
+        if seconds <= 0:
+            return
+        advance = getattr(self._clock, "advance", None)
+        if advance is not None:  # manual clock: no real sleeping
+            advance(seconds)
+            return
+        time.sleep(seconds)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(
+        self,
+        fn: Callable,
+        *args,
+        on_retry: Callable[[int, BaseException], None] | None = None,
+        **kwargs,
+    ):
+        """Call ``fn(*args, **kwargs)`` under this policy.
+
+        Non-retryable errors propagate unchanged. Retryable errors are
+        re-attempted with backoff until ``max_attempts`` is spent, then
+        wrapped in :class:`RetryExhaustedError` (chaining the last
+        failure). ``on_retry(attempt, error)`` — if given — observes
+        each scheduled retry.
+        """
+        last_error = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn(*args, **kwargs)
+            except Exception as error:
+                if not self.is_retryable(error):
+                    raise
+                last_error = error
+                if attempt == self.max_attempts:
+                    break
+                if on_retry is not None:
+                    on_retry(attempt, error)
+                self._wait(self.delay(attempt))
+        raise RetryExhaustedError(
+            f"{getattr(fn, '__name__', fn)!r} still failing after "
+            f"{self.max_attempts} attempt(s): "
+            f"{type(last_error).__name__}: {last_error}",
+            attempts=self.max_attempts,
+        ) from last_error
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ",".join(kind.__name__ for kind in self.retryable)
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base_delay={self.base_delay}, multiplier={self.multiplier}, "
+            f"retryable=({names}))"
+        )

@@ -29,6 +29,7 @@ from repro.serve.batcher import (
     MicroBatcher,
     RequestTimeout,
     ServerDraining,
+    ServerOverloaded,
 )
 from repro.serve.model_manager import ModelManager, ModelSnapshot
 from repro.serve.protocol import (
@@ -51,6 +52,7 @@ __all__ = [
     "Response",
     "ServeApp",
     "ServerDraining",
+    "ServerOverloaded",
     "decode_views",
     "run_server",
     "serve_forever",

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, ServerOverloaded
 from repro.utils.validation import check_positive_int
 
 __all__ = [
@@ -41,6 +41,7 @@ __all__ = [
     "MicroBatcher",
     "RequestTimeout",
     "ServerDraining",
+    "ServerOverloaded",
 ]
 
 
@@ -169,6 +170,13 @@ class MicroBatcher:
     timeout_seconds:
         Per-request deadline while *queued*; a request picked into a
         running flush is past cancellation and always gets its result.
+    max_inflight_rows:
+        Bounded admission: total sample rows allowed queued + inside
+        running batches. A submit that would exceed it is rejected
+        immediately with :class:`ServerOverloaded` (surfaced as a
+        structured 429 with ``Retry-After``) — already-admitted
+        requests keep their service guarantee; the overload never grows
+        the queue. ``None`` (default) leaves admission unbounded.
     clock:
         Timing source; defaults to the event loop's clock.
     """
@@ -181,6 +189,7 @@ class MicroBatcher:
         max_batch: int = 32,
         window_seconds: float = 0.005,
         timeout_seconds: float | None = None,
+        max_inflight_rows: int | None = None,
         clock: Clock | None = None,
     ):
         self._runner = runner
@@ -196,9 +205,15 @@ class MicroBatcher:
             )
         self.window_seconds = float(window_seconds)
         self.timeout_seconds = timeout_seconds
+        if max_inflight_rows is not None:
+            max_inflight_rows = check_positive_int(
+                max_inflight_rows, "max_inflight_rows"
+            )
+        self.max_inflight_rows = max_inflight_rows
         self._clock = clock if clock is not None else LoopClock()
         self._queue: list[_Pending] = []
         self._queued_rows = 0
+        self._inflight_rows = 0
         self._window_handle = None
         self._flush_lock = asyncio.Lock()
         self._flush_tasks: set[asyncio.Task] = set()
@@ -213,6 +228,7 @@ class MicroBatcher:
             "flush_on_window": 0,
             "flush_on_drain": 0,
             "timeouts": 0,
+            "rejected": 0,
         }
 
     # -- submission ----------------------------------------------------------
@@ -222,6 +238,21 @@ class MicroBatcher:
         if self._draining:
             raise ServerDraining("server is draining; request refused")
         n_rows = int(views[0].shape[1])
+        if (
+            self.max_inflight_rows is not None
+            and self._queued_rows + self._inflight_rows + n_rows
+            > self.max_inflight_rows
+        ):
+            self.stats["rejected"] += 1
+            occupancy = self._queued_rows + self._inflight_rows
+            raise ServerOverloaded(
+                f"admission bound reached: {occupancy} rows in flight "
+                f"+ {n_rows} requested exceeds max_inflight_rows="
+                f"{self.max_inflight_rows}; retry shortly",
+                # one window is roughly how long a flush takes to free
+                # capacity; the HTTP layer rounds this up for the header
+                retry_after=max(self.window_seconds, 0.001),
+            )
         future = asyncio.get_running_loop().create_future()
         pending = _Pending(views, n_rows, future)
         if self.timeout_seconds is not None:
@@ -266,6 +297,9 @@ class MicroBatcher:
         if not self._queue:
             return
         batch, self._queue = self._queue, []
+        # rows move from queued to in-flight at capture time, so the
+        # admission bound keeps counting them until their batch finishes
+        self._inflight_rows += self._queued_rows
         self._queued_rows = 0
         for pending in batch:
             if pending.timeout_handle is not None:
@@ -276,6 +310,14 @@ class MicroBatcher:
         task.add_done_callback(self._flush_tasks.discard)
 
     async def _run_batch(self, batch: list[_Pending]) -> None:
+        try:
+            await self._execute_batch(batch)
+        finally:
+            # capacity frees only once the batch is fully settled —
+            # success or failure — so admission can never oversubscribe
+            self._inflight_rows -= sum(p.n_rows for p in batch)
+
+    async def _execute_batch(self, batch: list[_Pending]) -> None:
         # The lock serializes model calls, preserving batch order and
         # bounding compute concurrency to one in-flight batch.
         async with self._flush_lock:
@@ -335,3 +377,17 @@ class MicroBatcher:
     @property
     def queued_requests(self) -> int:
         return len(self._queue)
+
+    @property
+    def load(self) -> dict:
+        """Admission-bound occupancy, as ``/healthz`` reports it."""
+        occupancy = self._queued_rows + self._inflight_rows
+        return {
+            "queued_rows": self._queued_rows,
+            "inflight_rows": self._inflight_rows,
+            "max_inflight_rows": self.max_inflight_rows,
+            "at_capacity": (
+                self.max_inflight_rows is not None
+                and occupancy >= self.max_inflight_rows
+            ),
+        }

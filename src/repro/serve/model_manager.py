@@ -15,7 +15,14 @@ on exactly that guarantee:
   version counter;
 * if a replaced file fails to load (e.g. some non-atomic writer
   corrupted it), the manager keeps serving the previous snapshot and
-  records the failure for ``/modelz`` — stale beats down.
+  records the failure for ``/modelz`` — stale beats down;
+* repeated reload failures trip a **circuit breaker**: after
+  ``failure_threshold`` consecutive failures the manager stops probing
+  the file entirely for ``cooldown_seconds``, then lets one half-open
+  probe through — a bad deploy loop costs a bounded number of full
+  load-and-hash attempts per cooldown instead of one per request
+  (the retry storm a corrupt replacement used to cause). Any
+  successful load closes the breaker.
 
 ``maybe_reload`` is called between batches (and from the introspection
 endpoints), so in-flight batches always finish on the snapshot they
@@ -25,10 +32,12 @@ started with while new arrivals see the new model.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 
 from repro.api.persistence import hash_model_file, load_model
 from repro.artifacts import chain_summary, read_header
+from repro.reliability.faults import fault_point
 
 __all__ = ["ModelManager", "ModelSnapshot"]
 
@@ -62,15 +71,52 @@ def _view_dims(model) -> tuple[int, ...] | None:
 
 
 class ModelManager:
-    """Load a model file and hot-swap it when the file is replaced."""
+    """Load a model file and hot-swap it when the file is replaced.
 
-    def __init__(self, path):
+    Parameters
+    ----------
+    path:
+        The watched model file.
+    failure_threshold:
+        Consecutive reload failures that trip the circuit breaker.
+    cooldown_seconds:
+        How long a tripped breaker suppresses reload probes before
+        allowing one half-open attempt.
+    clock:
+        Optional timing source with ``monotonic()`` (the serve layer's
+        :class:`~repro.serve.batcher.ManualClock` in tests); defaults
+        to :func:`time.monotonic`.
+    """
+
+    def __init__(
+        self,
+        path,
+        *,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 30.0,
+        clock=None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_seconds < 0:
+            raise ValueError(
+                f"cooldown_seconds must be >= 0, got {cooldown_seconds}"
+            )
         self.path = os.fspath(path)
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_seconds = float(cooldown_seconds)
+        self._now = (
+            time.monotonic if clock is None else clock.monotonic
+        )
         self._snapshot: ModelSnapshot | None = None
         self._signature = None
         self.reloads = 0
         self.reload_errors = 0
         self.last_error: str | None = None
+        self._consecutive_failures = 0
+        self._breaker_open_until: float | None = None
         self._load(initial=True)
 
     # -- loading -------------------------------------------------------------
@@ -94,6 +140,9 @@ class ModelManager:
         self._signature = signature
         if not initial:
             self.reloads += 1
+        # a good load closes the breaker, whatever state it was in
+        self._consecutive_failures = 0
+        self._breaker_open_until = None
 
     def current(self) -> ModelSnapshot:
         """The snapshot new batches should compute against."""
@@ -104,8 +153,16 @@ class ModelManager:
 
         A failed reload (missing or unreadable file) keeps the previous
         snapshot and is recorded; the stat signature is left unchanged
-        so a subsequent replacement with a good file is retried.
+        so a subsequent replacement with a good file is retried. While
+        the circuit breaker is open, the file is not even stat-ed — the
+        previous snapshot serves until the cooldown elapses and one
+        half-open probe is allowed through.
         """
+        if self._breaker_open_until is not None:
+            if self._now() < self._breaker_open_until:
+                return self._snapshot
+            # cooldown over: fall through as the one half-open probe; a
+            # failure below re-opens the breaker for a fresh cooldown
         try:
             signature = self._stat_signature()
         except OSError as error:
@@ -114,6 +171,7 @@ class ModelManager:
         if signature == self._signature:
             return self._snapshot
         try:
+            fault_point("serve.reload")
             self._load(initial=False)
         except Exception as error:
             self._record_error(error)
@@ -122,6 +180,26 @@ class ModelManager:
     def _record_error(self, error: Exception) -> None:
         self.reload_errors += 1
         self.last_error = f"{type(error).__name__}: {error}"
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.failure_threshold:
+            self._breaker_open_until = self._now() + self.cooldown_seconds
+
+    @property
+    def breaker(self) -> dict:
+        """Circuit-breaker state, as ``/modelz`` and ``/healthz`` show it."""
+        now = self._now()
+        is_open = (
+            self._breaker_open_until is not None
+            and now < self._breaker_open_until
+        )
+        return {
+            "state": "open" if is_open else "closed",
+            "consecutive_failures": self._consecutive_failures,
+            "failure_threshold": self.failure_threshold,
+            "retry_in_seconds": (
+                round(self._breaker_open_until - now, 3) if is_open else None
+            ),
+        }
 
     # -- introspection -------------------------------------------------------
 
@@ -142,6 +220,7 @@ class ModelManager:
             "reloads": self.reloads,
             "reload_errors": self.reload_errors,
             "last_error": self.last_error,
+            "reload_breaker": self.breaker,
             "provenance": snapshot.provenance,
         }
         if snapshot.is_pipeline:

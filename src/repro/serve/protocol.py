@@ -30,7 +30,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.exceptions import ReproError, ShapeError, ValidationError
+from repro.exceptions import (
+    ReproError,
+    ServerOverloaded,
+    ShapeError,
+    ValidationError,
+)
 from repro.utils.validation import ensure_2d
 
 __all__ = [
@@ -59,6 +64,7 @@ _REASONS = {
     408: "Request Timeout",
     411: "Length Required",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
@@ -69,6 +75,8 @@ class ProtocolError(ReproError):
 
     ``close`` marks errors after which the connection cannot be reused
     (e.g. an oversize body that was never read off the socket).
+    ``headers`` adds response headers to the error reply — the 429
+    overload path carries ``Retry-After`` this way.
     """
 
     def __init__(
@@ -78,11 +86,13 @@ class ProtocolError(ReproError):
         message: str,
         *,
         close: bool = False,
+        headers: dict[str, str] | None = None,
     ):
         super().__init__(message)
         self.status = int(status)
         self.error_type = error_type
         self.close = bool(close)
+        self.headers = dict(headers or {})
 
 
 @dataclass
@@ -107,36 +117,57 @@ class Request:
 
 @dataclass
 class Response:
-    """One HTTP response, rendered by :meth:`encode`."""
+    """One HTTP response, rendered by :meth:`encode`.
+
+    ``headers`` carries extra response headers (``Retry-After`` on a
+    429); the framing headers (Content-Type/Length, Connection) are
+    always emitted and cannot be overridden.
+    """
 
     status: int
     body: bytes
     content_type: str = "application/json"
     close: bool = False
+    headers: dict[str, str] = field(default_factory=dict)
 
     def encode(self) -> bytes:
         reason = _REASONS.get(self.status, "Unknown")
         connection = "close" if self.close else "keep-alive"
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in self.headers.items()
+        )
         head = (
             f"HTTP/1.1 {self.status} {reason}\r\n"
             f"Content-Type: {self.content_type}\r\n"
             f"Content-Length: {len(self.body)}\r\n"
             f"Connection: {connection}\r\n"
+            f"{extra}"
             "\r\n"
         )
         return head.encode("ascii") + self.body
 
 
 def json_response(
-    payload, status: int = 200, *, close: bool = False
+    payload,
+    status: int = 200,
+    *,
+    close: bool = False,
+    headers: dict[str, str] | None = None,
 ) -> Response:
     """A :class:`Response` carrying ``payload`` as a JSON document."""
     body = json.dumps(payload).encode("utf-8")
-    return Response(status=status, body=body, close=close)
+    return Response(
+        status=status, body=body, close=close, headers=dict(headers or {})
+    )
 
 
 def error_response(
-    status: int, error_type: str, message: str, *, close: bool = False
+    status: int,
+    error_type: str,
+    message: str,
+    *,
+    close: bool = False,
+    headers: dict[str, str] | None = None,
 ) -> Response:
     """The structured error body every failure mode shares."""
     return json_response(
@@ -149,6 +180,7 @@ def error_response(
         },
         status=status,
         close=close,
+        headers=headers,
     )
 
 
@@ -162,6 +194,8 @@ def error_status(error: Exception) -> tuple[int, str]:
     """
     if isinstance(error, ProtocolError):
         return error.status, error.error_type
+    if isinstance(error, ServerOverloaded):
+        return 429, "overloaded"
     if isinstance(error, ShapeError):
         return 400, "ShapeError"
     if isinstance(error, ValidationError):

@@ -28,7 +28,9 @@ from __future__ import annotations
 import asyncio
 import signal
 
-from repro.exceptions import ValidationError
+import math
+
+from repro.exceptions import ServerOverloaded, ValidationError
 from repro.serve.batcher import (
     Clock,
     MicroBatcher,
@@ -77,6 +79,11 @@ class ServeApp:
         endpoints.
     max_body:
         Request-body byte ceiling (413 above it).
+    max_inflight_rows:
+        Bounded admission per route: above this many sample rows
+        queued + running, new requests get a structured 429 with a
+        ``Retry-After`` header while already-admitted work completes.
+        ``None`` leaves admission unbounded.
     clock:
         Timing source shared by both batchers; tests inject a
         :class:`~repro.serve.batcher.ManualClock`.
@@ -90,6 +97,7 @@ class ServeApp:
         window_seconds: float = 0.005,
         timeout_seconds: float | None = 30.0,
         max_body: int = DEFAULT_MAX_BODY,
+        max_inflight_rows: int | None = None,
         clock: Clock | None = None,
     ):
         self.manager = manager
@@ -98,6 +106,7 @@ class ServeApp:
             max_batch=max_batch,
             window_seconds=window_seconds,
             timeout_seconds=timeout_seconds,
+            max_inflight_rows=max_inflight_rows,
             clock=clock,
         )
         self._batchers = {
@@ -122,7 +131,12 @@ class ServeApp:
         except Exception as error:  # typed errors -> structured bodies
             status, error_type = error_status(error)
             self.errors += 1
-            response = error_response(status, error_type, str(error))
+            response = error_response(
+                status,
+                error_type,
+                str(error),
+                headers=getattr(error, "headers", None),
+            )
         self.requests_served += 1
         return response
 
@@ -169,6 +183,17 @@ class ServeApp:
             raise ProtocolError(503, "timeout", str(error)) from None
         except ServerDraining as error:
             raise ProtocolError(503, "draining", str(error)) from None
+        except ServerOverloaded as error:
+            raise ProtocolError(
+                429,
+                "overloaded",
+                str(error),
+                headers={
+                    "Retry-After": str(
+                        max(1, math.ceil(error.retry_after))
+                    )
+                },
+            ) from None
         key = "outputs" if request.path == "/transform" else "labels"
         return json_response(
             {
@@ -185,12 +210,27 @@ class ServeApp:
 
     def health(self) -> dict:
         snapshot = self.manager.current()
+        load = {
+            route.lstrip("/"): batcher.load
+            for route, batcher in self._batchers.items()
+        }
+        breaker = self.manager.breaker
+        if self._draining:
+            status = "draining"
+        elif any(entry["at_capacity"] for entry in load.values()):
+            status = "overloaded"
+        elif breaker["state"] == "open":
+            status = "degraded"
+        else:
+            status = "ok"
         return {
-            "status": "draining" if self._draining else "ok",
+            "status": status,
             "model_version": snapshot.version,
             "model_hash": snapshot.sha256,
             "requests_served": self.requests_served,
             "errors": self.errors,
+            "load": load,
+            "reload_breaker": breaker,
             "batcher": {
                 route.lstrip("/"): dict(batcher.stats)
                 for route, batcher in self._batchers.items()
@@ -308,6 +348,7 @@ def run_server(
     window_seconds: float = 0.005,
     timeout_seconds: float | None = 30.0,
     max_body: int = DEFAULT_MAX_BODY,
+    max_inflight_rows: int | None = None,
 ) -> None:
     """Blocking entry point behind ``python -m repro serve``."""
     manager = ModelManager(model_path)
@@ -317,6 +358,7 @@ def run_server(
         window_seconds=window_seconds,
         timeout_seconds=timeout_seconds,
         max_body=max_body,
+        max_inflight_rows=max_inflight_rows,
     )
 
     def _ready(bound) -> None:

@@ -50,10 +50,64 @@ __all__ = [
     "StreamingCovariance",
     "StreamingCovarianceTensor",
     "accumulate_outer_sum",
+    "check_nan_policy",
+    "screen_chunks",
 ]
 
 #: Khatri-Rao buffer budget: ~2^23 float64 (≈64 MB) regardless of chunk size.
 DEFAULT_BUFFER_FLOATS = 2**23
+
+_NAN_POLICIES = ("raise", "skip")
+
+
+def check_nan_policy(nan_policy: str) -> str:
+    """Validate a ``nan_policy`` value (``"raise"`` or ``"skip"``)."""
+    if nan_policy not in _NAN_POLICIES:
+        raise ValidationError(
+            f"unknown nan_policy {nan_policy!r}; expected one of "
+            f"{_NAN_POLICIES}"
+        )
+    return nan_policy
+
+
+def screen_chunks(
+    chunks, *, nan_policy: str = "raise", chunk_index: int | None = None
+):
+    """Validate or drop non-finite samples across aligned view chunks.
+
+    Moment accumulation silently poisoned by a single NaN is the worst
+    failure mode of a long streaming fit — every statistic downstream
+    turns NaN with no pointer back to the offending input. This is the
+    one screening routine every ingest path shares:
+
+    * ``nan_policy="raise"`` (default) — a typed
+      :class:`~repro.exceptions.ValidationError` naming the offending
+      view and chunk index.
+    * ``nan_policy="skip"`` — samples (columns) carrying a NaN/Inf in
+      *any* view are dropped from *every* view, keeping the views
+      aligned; returns how many were dropped.
+
+    Returns ``(clean_chunks, n_skipped)``.
+    """
+    check_nan_policy(nan_policy)
+    mask = None
+    offending = None
+    for index, chunk in enumerate(chunks):
+        finite = np.isfinite(chunk).all(axis=0)
+        if offending is None and not finite.all():
+            offending = index
+        mask = finite if mask is None else (mask & finite)
+    if offending is None:
+        return list(chunks), 0
+    where = "" if chunk_index is None else f" in chunk {chunk_index}"
+    if nan_policy == "raise":
+        raise ValidationError(
+            f"views[{offending}] contains NaN or infinite values"
+            f"{where}; clean the data or pass nan_policy='skip' to drop "
+            "the affected samples"
+        )
+    n_skipped = int(np.count_nonzero(~mask))
+    return [chunk[:, mask] for chunk in chunks], n_skipped
 
 
 def accumulate_outer_sum(
@@ -137,6 +191,11 @@ class StreamingCovariance:
         tracking only the mean statistics; :meth:`covariance` then
         raises. Used by consumers that only need exact means (e.g. the
         covariance-tensor accumulator in raw mode).
+    nan_policy:
+        ``"raise"`` (default) rejects chunks carrying NaN/Inf with a
+        typed :class:`~repro.exceptions.ValidationError` naming the
+        chunk index; ``"skip"`` drops the affected samples and counts
+        them in :attr:`n_skipped`.
 
     Notes
     -----
@@ -151,6 +210,7 @@ class StreamingCovariance:
         *,
         shift=None,
         second_moment: bool = True,
+        nan_policy: str = "raise",
     ):
         self._dim = None if dim is None else int(dim)
         self._requested_shift = shift
@@ -159,6 +219,9 @@ class StreamingCovariance:
         self._sum: np.ndarray | None = None
         self._outer: np.ndarray | None = None
         self._second_moment = bool(second_moment)
+        self.nan_policy = check_nan_policy(nan_policy)
+        self._n_skipped = 0
+        self._chunk_index = 0
         if self._dim is not None and shift is not None:
             self._allocate(self._dim)
 
@@ -172,7 +235,19 @@ class StreamingCovariance:
 
     def update(self, chunk) -> "StreamingCovariance":
         """Consume one ``(d, n_chunk)`` minibatch of samples (columns)."""
-        self._ingest(ensure_2d(chunk, name="chunk"))
+        chunk = ensure_2d(chunk, name="chunk", require_finite=False)
+        (chunk,), skipped = screen_chunks(
+            [chunk],
+            nan_policy=self.nan_policy,
+            chunk_index=self._chunk_index,
+        )
+        self._chunk_index += 1
+        self._n_skipped += skipped
+        if chunk.shape[1] == 0:
+            # Every sample was skipped: nothing to ingest (and a shift
+            # must never be taken from an empty chunk's mean).
+            return self
+        self._ingest(chunk)
         return self
 
     def _ingest(self, chunk: np.ndarray) -> np.ndarray:
@@ -218,6 +293,9 @@ class StreamingCovariance:
             "n": int(self._n),
             "dim": self._dim,
             "second_moment": self._second_moment,
+            "nan_policy": self.nan_policy,
+            "n_skipped": int(self._n_skipped),
+            "chunk_index": int(self._chunk_index),
             "requested_shift": requested,
             "shift": None if self._shift is None else self._shift.copy(),
             "sum": None if self._sum is None else self._sum.copy(),
@@ -227,11 +305,16 @@ class StreamingCovariance:
     @classmethod
     def from_state_dict(cls, state: dict) -> "StreamingCovariance":
         """Rebuild an accumulator from :meth:`state_dict` output."""
+        # .get defaults keep states written before nan_policy existed
+        # loadable (they never skipped anything).
         accumulator = cls(
             dim=state["dim"],
             shift=state.get("requested_shift"),
             second_moment=bool(state["second_moment"]),
+            nan_policy=state.get("nan_policy", "raise"),
         )
+        accumulator._n_skipped = int(state.get("n_skipped", 0))
+        accumulator._chunk_index = int(state.get("chunk_index", 0))
         for attr, key in (
             ("_shift", "shift"), ("_sum", "sum"), ("_outer", "outer")
         ):
@@ -255,6 +338,7 @@ class StreamingCovariance:
                 f"can only merge StreamingCovariance, got "
                 f"{type(other).__name__}"
             )
+        self._n_skipped += other._n_skipped
         if other._n == 0:
             return self
         if self._dim is not None and other._dim != self._dim:
@@ -297,6 +381,11 @@ class StreamingCovariance:
     def n_samples(self) -> int:
         """Number of samples consumed so far."""
         return self._n
+
+    @property
+    def n_skipped(self) -> int:
+        """Samples dropped by ``nan_policy="skip"`` so far."""
+        return self._n_skipped
 
     def _require_samples(self) -> None:
         if self._n == 0:
@@ -363,6 +452,12 @@ class StreamingCovarianceTensor:
         the ``O(Σ d_p² · N)`` side accumulation.
     buffer_floats:
         Khatri-Rao buffer budget passed to :func:`accumulate_outer_sum`.
+    nan_policy:
+        ``"raise"`` (default) rejects minibatches carrying NaN/Inf with
+        a typed :class:`~repro.exceptions.ValidationError` naming the
+        view and chunk index; ``"skip"`` drops the affected samples
+        from *every* view (keeping them aligned) and counts them in
+        :attr:`n_skipped`.
 
     Notes
     -----
@@ -382,6 +477,7 @@ class StreamingCovarianceTensor:
         shifts=None,
         track_view_covariances: bool = True,
         buffer_floats: int = DEFAULT_BUFFER_FLOATS,
+        nan_policy: str = "raise",
     ):
         self._dims = None if dims is None else tuple(int(d) for d in dims)
         if self._dims is not None and len(self._dims) < 2:
@@ -392,6 +488,9 @@ class StreamingCovarianceTensor:
         self._requested_shifts = shifts
         self._track_view_covariances = bool(track_view_covariances)
         self.buffer_floats = int(buffer_floats)
+        self.nan_policy = check_nan_policy(nan_policy)
+        self._n_skipped = 0
+        self._chunk_index = 0
         self._n = 0
         self._views: list[StreamingCovariance] | None = None
         self._moments: dict[tuple[int, ...], np.ndarray] | None = None
@@ -448,7 +547,9 @@ class StreamingCovarianceTensor:
     def update(self, chunks) -> "StreamingCovarianceTensor":
         """Consume one minibatch: a sequence of ``(d_p, n_chunk)`` arrays."""
         chunks = [
-            ensure_2d(chunk, name=f"chunks[{index}]")
+            ensure_2d(
+                chunk, name=f"chunks[{index}]", require_finite=False
+            )
             for index, chunk in enumerate(chunks)
         ]
         if len(chunks) < 2:
@@ -473,6 +574,17 @@ class StreamingCovarianceTensor:
                     f"chunk dimensions {[c.shape[0] for c in chunks]} do not "
                     f"match accumulator dims {list(self._dims)}"
                 )
+        chunks, skipped = screen_chunks(
+            chunks,
+            nan_policy=self.nan_policy,
+            chunk_index=self._chunk_index,
+        )
+        self._chunk_index += 1
+        self._n_skipped += skipped
+        if chunks[0].shape[1] == 0:
+            # Every sample was skipped: nothing to ingest (and no
+            # shift may be taken from an empty chunk's mean).
+            return self
         shifted = [
             accumulator._ingest(chunk)
             for accumulator, chunk in zip(self._views, chunks)
@@ -515,6 +627,7 @@ class StreamingCovarianceTensor:
                 "cannot merge accumulators with different "
                 "track_view_covariances settings"
             )
+        self._n_skipped += other._n_skipped
         if other._n == 0:
             return self
         if self._dims is not None and other._dims != self._dims:
@@ -609,6 +722,9 @@ class StreamingCovarianceTensor:
             "center": self.center,
             "track_view_covariances": self._track_view_covariances,
             "buffer_floats": int(self.buffer_floats),
+            "nan_policy": self.nan_policy,
+            "n_skipped": int(self._n_skipped),
+            "chunk_index": int(self._chunk_index),
             "n": int(self._n),
             "views": (
                 None
@@ -636,7 +752,10 @@ class StreamingCovarianceTensor:
             center=bool(state["center"]),
             track_view_covariances=bool(state["track_view_covariances"]),
             buffer_floats=int(state["buffer_floats"]),
+            nan_policy=state.get("nan_policy", "raise"),
         )
+        accumulator._n_skipped = int(state.get("n_skipped", 0))
+        accumulator._chunk_index = int(state.get("chunk_index", 0))
         if state["dims"] is not None:
             accumulator._dims = tuple(int(d) for d in state["dims"])
         if state["views"] is not None:
@@ -674,6 +793,11 @@ class StreamingCovarianceTensor:
     def n_samples(self) -> int:
         """Number of samples consumed so far."""
         return self._n
+
+    @property
+    def n_skipped(self) -> int:
+        """Samples dropped by ``nan_policy="skip"`` so far."""
+        return self._n_skipped
 
     def _require_samples(self) -> None:
         if self._n == 0:

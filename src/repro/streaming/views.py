@@ -112,8 +112,16 @@ class ArrayViewStream(ViewStream):
 
     rechunkable = True
 
-    def __init__(self, views, chunk_size: int = DEFAULT_CHUNK_SIZE):
-        self._views = check_views(views, min_views=2)
+    def __init__(
+        self,
+        views,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        *,
+        require_finite: bool = True,
+    ):
+        self._views = check_views(
+            views, min_views=2, require_finite=require_finite
+        )
         self.chunk_size = _check_chunk_size(chunk_size)
 
     @property
@@ -248,7 +256,12 @@ def iter_validated_chunks(stream: ViewStream):
         )
 
 
-def as_view_stream(source, chunk_size: int | None = None) -> ViewStream:
+def as_view_stream(
+    source,
+    chunk_size: int | None = None,
+    *,
+    require_finite: bool = True,
+) -> ViewStream:
     """Coerce ``source`` into a :class:`ViewStream`.
 
     Accepts an existing stream, a
@@ -258,7 +271,9 @@ def as_view_stream(source, chunk_size: int | None = None) -> ViewStream:
     the new size, and streams whose data identity depends on the chunk
     geometry (e.g. :class:`GeneratorViewStream`, which seeds each chunk
     by its index and bounds) raise instead of silently yielding a
-    different dataset.
+    different dataset. ``require_finite=False`` defers NaN/Inf handling
+    to a downstream accumulator's ``nan_policy`` screening (only applies
+    when ``source`` is a plain batch that gets wrapped here).
     """
     if isinstance(source, ViewStream):
         if chunk_size is None:
@@ -279,4 +294,6 @@ def as_view_stream(source, chunk_size: int | None = None) -> ViewStream:
     views = getattr(source, "views", source)
     if chunk_size is None:
         chunk_size = DEFAULT_CHUNK_SIZE
-    return ArrayViewStream(views, chunk_size=chunk_size)
+    return ArrayViewStream(
+        views, chunk_size=chunk_size, require_finite=require_finite
+    )

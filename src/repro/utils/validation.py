@@ -14,14 +14,22 @@ from repro.exceptions import ShapeError, ValidationError
 __all__ = ["check_positive_int", "check_square", "check_views", "ensure_2d"]
 
 
-def ensure_2d(array, name: str = "array") -> np.ndarray:
-    """Convert to a float64 2-D :class:`numpy.ndarray`, validating shape."""
+def ensure_2d(
+    array, name: str = "array", *, require_finite: bool = True
+) -> np.ndarray:
+    """Convert to a float64 2-D :class:`numpy.ndarray`, validating shape.
+
+    ``require_finite=False`` skips the NaN/Inf rejection — only for
+    callers that run their own non-finite screening afterwards (the
+    streaming accumulators' ``nan_policy`` machinery); everything else
+    keeps the strict default.
+    """
     out = np.asarray(array, dtype=np.float64)
     if out.ndim != 2:
         raise ShapeError(f"{name} must be 2-dimensional, got ndim={out.ndim}")
     if out.size == 0:
         raise ShapeError(f"{name} must be non-empty, got shape {out.shape}")
-    if not np.all(np.isfinite(out)):
+    if require_finite and not np.all(np.isfinite(out)):
         raise ValidationError(f"{name} contains NaN or infinite entries")
     return out
 
@@ -31,6 +39,7 @@ def check_views(
     *,
     min_views: int = 2,
     same_samples: bool = True,
+    require_finite: bool = True,
 ) -> list[np.ndarray]:
     """Validate a list of view matrices ``X_p`` of shape ``(d_p, N)``.
 
@@ -42,6 +51,11 @@ def check_views(
         Minimum number of views required (2 for CCA, 2+ for TCCA).
     same_samples:
         Require all views to share the same number of columns ``N``.
+    require_finite:
+        Reject NaN/Inf entries (the default). Only the accumulators'
+        ``nan_policy`` machinery — which screens non-finite samples
+        itself, with a chunk-indexed error or skip-and-count — passes
+        ``False``.
 
     Returns
     -------
@@ -55,7 +69,12 @@ def check_views(
         raise ValidationError(
             f"need at least {min_views} views, got {len(views)}"
         )
-    checked = [ensure_2d(view, name=f"views[{index}]") for index, view in enumerate(views)]
+    checked = [
+        ensure_2d(
+            view, name=f"views[{index}]", require_finite=require_finite
+        )
+        for index, view in enumerate(views)
+    ]
     if same_samples:
         sample_counts = {view.shape[1] for view in checked}
         if len(sample_counts) != 1:
