@@ -1,0 +1,170 @@
+"""Mixed-precision vs float64 — throughput and working-set memory.
+
+The backend-dispatch PR's performance claim, measured on the paper's
+complexity-study shapes:
+
+* **fig7 shape** (moment-heavy: large N over small dims) — dense-solver
+  fit wall-clock, float64 vs mixed;
+* **fig8 shape** (dims-heavy) — implicit-solver fit wall-clock, plus
+  the decomposition hot-path peak (tracemalloc around the implicit
+  CP-ALS sweeps, whose working set is the whitened views and MTTKRP
+  buffers — exactly what ``precision="mixed"`` halves).
+
+Writes ``BENCH_dtype.json`` (to ``$REPRO_BENCH_DIR`` when set, else the
+current directory) with the raw seconds/bytes and the mixed/float64
+ratios. The ≥1.5× throughput and ≤0.6× memory gates only assert on
+machines with enough cores for float32 BLAS to pull ahead (the ROADMAP
+note: on 1-2 core CI runners the wall-clock ratio is scheduler noise);
+the numerical-agreement gate (mixed ≡ float64 canonical correlations
+≤1e-4) asserts everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.backends import resolve_precision
+from repro.core.engine import whitened_covariance_operator
+from repro.core.tcca import TCCA
+from repro.tensor.decomposition.implicit import cp_als_implicit
+
+#: fig7: sample count dominates (N-linear accumulation over ∏d = 1000)
+SCALE_FIG7 = dict(n_samples=3000, dims=(5, 10, 20), seed=0)
+#: fig8: dimensions dominate (∏d = 4032, implicit solver territory)
+SCALE_FIG8 = dict(n_samples=1200, dims=(18, 16, 14), seed=1)
+
+#: cores below which the wall-clock/memory ratios are reported but not
+#: asserted — single-threaded BLAS gives float32 no lane to win in.
+MIN_ASSERT_CORES = 4
+
+
+def _latent_views(n_samples: int, dims, seed: int):
+    """Well-conditioned two-factor views (shared benchmark recipe)."""
+    rng = np.random.default_rng(seed)
+    z1 = rng.standard_normal(n_samples)
+    z2 = rng.standard_normal(n_samples)
+    views = []
+    for dim in dims:
+        mixing = rng.standard_normal((dim, 2))
+        views.append(
+            mixing @ np.vstack([z1, 0.6 * z2])
+            + 0.3 * rng.standard_normal((dim, n_samples))
+        )
+    return views
+
+
+def _timed_fit(views, *, solver: str, precision):
+    model = TCCA(
+        n_components=2,
+        random_state=0,
+        solver=solver,
+        precision=precision,
+    )
+    start = time.perf_counter()
+    model.fit(views)
+    return model, time.perf_counter() - start
+
+
+def _decomposition_peak_bytes(views, *, precision) -> int:
+    """Peak tracemalloc bytes of the implicit CP-ALS hot path.
+
+    The operator (whitened views, already cast to the policy's compute
+    dtype) is built *before* measurement starts, so the peak is the
+    decomposition working set the precision policy actually controls.
+    """
+    policy = resolve_precision(precision)
+    centered = [
+        view - view.mean(axis=1, keepdims=True) for view in views
+    ]
+    whitened = whitened_covariance_operator(
+        centered,
+        0.01,
+        dtype_policy=None if policy.is_default else policy,
+    )
+    tracemalloc.start()
+    try:
+        cp_als_implicit(
+            whitened.operator,
+            2,
+            tol=policy.sweep_tol(1e-8),
+            random_state=0,
+            warn_on_no_convergence=False,
+        )
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return int(peak)
+
+
+def test_bench_dtype():
+    payload = {"cpu_count": os.cpu_count()}
+
+    agreements = {}
+    for label, scale, solver in (
+        ("fig7_dense", SCALE_FIG7, "dense"),
+        ("fig8_implicit", SCALE_FIG8, "implicit"),
+    ):
+        views = _latent_views(
+            scale["n_samples"], scale["dims"], scale["seed"]
+        )
+        exact, exact_seconds = _timed_fit(
+            views, solver=solver, precision=None
+        )
+        mixed, mixed_seconds = _timed_fit(
+            views, solver=solver, precision="mixed"
+        )
+        agreement = float(
+            np.max(np.abs(mixed.correlations_ - exact.correlations_))
+        )
+        agreements[label] = agreement
+        payload[label] = {
+            "n_samples": scale["n_samples"],
+            "dims": list(scale["dims"]),
+            "solver": solver,
+            "float64_seconds": exact_seconds,
+            "mixed_seconds": mixed_seconds,
+            "speedup_mixed_vs_float64": exact_seconds / mixed_seconds,
+            "correlation_agreement": agreement,
+        }
+
+    memory_views = _latent_views(
+        SCALE_FIG8["n_samples"], SCALE_FIG8["dims"], SCALE_FIG8["seed"]
+    )
+    peak64 = _decomposition_peak_bytes(memory_views, precision=None)
+    peak_mixed = _decomposition_peak_bytes(memory_views, precision="mixed")
+    payload["fig8_decomposition_memory"] = {
+        "float64_peak_bytes": peak64,
+        "mixed_peak_bytes": peak_mixed,
+        "ratio_mixed_vs_float64": peak_mixed / peak64,
+    }
+
+    out_dir = os.environ.get("REPRO_BENCH_DIR") or "."
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, "BENCH_dtype.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print()
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+    # numerical agreement asserts everywhere — it does not depend on
+    # the machine
+    for label, agreement in agreements.items():
+        assert agreement <= 1e-4, (label, agreement)
+
+    cores = os.cpu_count() or 1
+    if cores >= MIN_ASSERT_CORES:
+        for label in ("fig7_dense", "fig8_implicit"):
+            assert payload[label]["speedup_mixed_vs_float64"] >= 1.5, (
+                label,
+                payload[label],
+            )
+        assert (
+            payload["fig8_decomposition_memory"]["ratio_mixed_vs_float64"]
+            <= 0.6
+        ), payload["fig8_decomposition_memory"]

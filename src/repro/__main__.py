@@ -266,6 +266,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="fit via partial_fit so the saved model carries its "
         "accumulated moments and can be grown later with `repro update`",
     )
+    fit_parser.add_argument(
+        "--precision",
+        choices=("float64", "mixed", "float32"),
+        default=None,
+        metavar="POLICY",
+        help="dtype policy of the fit: float64 (default), mixed "
+        "(float32 sweeps over float64 moments with a float64 polish), "
+        "or float32; recorded in the model header so load/serve "
+        "reproduce it (shorthand for --param precision=POLICY)",
+    )
     _add_parallel_arguments(fit_parser)
     fit_parser.add_argument(
         "--out",
@@ -293,6 +303,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="key=value",
         help="reducer constructor parameter (repeatable); must match "
         "across the shards of one reduce",
+    )
+    accumulate_parser.add_argument(
+        "--precision",
+        choices=("float64", "mixed", "float32"),
+        default=None,
+        metavar="POLICY",
+        help="dtype policy of the accumulation (shorthand for "
+        "--param precision=POLICY); every shard of one reduce must "
+        "use the same policy — mismatched accumulate dtypes refuse "
+        "to merge",
     )
     accumulate_parser.add_argument(
         "--shard",
@@ -558,6 +578,20 @@ def _source_description(args) -> str:
     return os.path.basename(args.data)
 
 
+def _reducer_params(args, parser: argparse.ArgumentParser) -> dict:
+    """Merge ``--param`` overrides with the ``--precision`` shorthand."""
+    params = dict(args.param)
+    precision = getattr(args, "precision", None)
+    if precision is not None:
+        if "precision" in params and params["precision"] != precision:
+            parser.error(
+                f"--precision {precision} conflicts with --param "
+                f"precision={params['precision']}"
+            )
+        params["precision"] = precision
+    return params
+
+
 def _command_accumulate(args, parser: argparse.ArgumentParser) -> int:
     from repro.artifacts import (
         accumulate_views,
@@ -567,7 +601,7 @@ def _command_accumulate(args, parser: argparse.ArgumentParser) -> int:
 
     views, _labels = _load_dataset(args, parser)
     shard = None if args.shard is None else parse_shard_spec(args.shard)
-    params = dict(args.param)
+    params = _reducer_params(args, parser)
     params.update(_parallel_updates(args))
     source = _source_description(args)
     checkpointing = args.resume or args.checkpoint_every is not None
@@ -646,6 +680,28 @@ def _command_reduce(args, parser: argparse.ArgumentParser) -> int:
     return 0
 
 
+def _header_dtype_policy(header: dict) -> dict | None:
+    """The recorded ``dtype_policy_`` of a model header, if any.
+
+    Looks in the model's own fitted state and, for pipeline headers, in
+    the embedded reducer fragment. Models saved before the policy
+    existed return ``None`` (implicitly all-float64).
+    """
+    for fragment in (header, header.get("reducer") or {}):
+        entry = (fragment.get("state") or {}).get("dtype_policy_")
+        if isinstance(entry, dict) and entry.get("kind") == "json":
+            return entry.get("value")
+    return None
+
+
+def _format_dtype_policy(policy: dict) -> str:
+    return (
+        f"compute={policy.get('compute_dtype')} "
+        f"accumulate={policy.get('accumulate_dtype')} "
+        f"polish={'yes' if policy.get('polish') else 'no'}"
+    )
+
+
 def _command_inspect(args, parser: argparse.ArgumentParser) -> int:
     from repro.artifacts import MOMENTS_FORMAT, chain_summary, read_header
 
@@ -676,6 +732,9 @@ def _command_inspect(args, parser: argparse.ArgumentParser) -> int:
                         k: v for k, v in value.items() if k != "state"
                     }
                 summary[key] = value
+        dtype_policy = _header_dtype_policy(header)
+        if dtype_policy is not None:
+            summary["dtype_policy"] = dtype_policy
         summary["provenance"] = chain_summary(header)
     print(json.dumps(summary, indent=2))
     return 0
@@ -699,6 +758,11 @@ def _command_verify(args, parser: argparse.ArgumentParser) -> int:
             parser.error("--parents only applies to model files")
     print(f"payload OK    {args.artifact} [sha256 {digest[:16]}…]")
     if header.get("format") != MOMENTS_FORMAT:
+        dtype_policy = _header_dtype_policy(header)
+        if dtype_policy is not None:
+            print(
+                f"dtype policy  {_format_dtype_policy(dtype_policy)}"
+            )
         chain = (header.get("provenance") or {}).get("parents") or []
         if args.parents:
             verified = verify_chain(header, args.parents, args.artifact)
@@ -724,7 +788,7 @@ def _command_fit(args, parser: argparse.ArgumentParser) -> int:
     from repro.artifacts import provenance_block
 
     views, labels = _load_dataset(args, parser)
-    reducer = make_reducer(args.reducer, **dict(args.param))
+    reducer = make_reducer(args.reducer, **_reducer_params(args, parser))
     _apply_parallel_updates(reducer, _parallel_updates(args), parser)
     if getattr(type(reducer), "_single_view_", False):
         parser.error(

@@ -69,6 +69,10 @@ def _to_jsonable(value):
         return value
     if isinstance(value, (list, tuple)):
         return [_to_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        if not all(isinstance(key, str) for key in value):
+            raise TypeError("dict keys must be strings to persist as JSON")
+        return {key: _to_jsonable(item) for key, item in value.items()}
     raise TypeError(f"not JSON-serializable: {type(value).__name__}")
 
 

@@ -50,12 +50,17 @@ def shard_config(header: dict) -> dict:
     """The compatibility signature two shards must share to be merged.
 
     Everything that decides whether two moment states describe *the same
-    fit*: the estimator and its parameters, the moment policy, and the
-    per-view dimensions. Sample counts and shard bounds are excluded —
-    those are exactly what varies across shards — and so are the
-    execution-policy parameters (``n_jobs``/``executor``): policy never
-    changes what a fit computes, so a shard accumulated by a 4-worker
-    machine merges with one from a serial laptop.
+    fit*: the estimator and its parameters, the moment policy, the
+    accumulation dtype, and the per-view dimensions. Sample counts and
+    shard bounds are excluded — those are exactly what varies across
+    shards — and so are the execution-policy parameters
+    (``n_jobs``/``executor``): policy never changes what a fit computes,
+    so a shard accumulated by a 4-worker machine merges with one from a
+    serial laptop. The accumulation dtype *is* part of the signature:
+    a shard accumulated under ``--precision float32`` carries moments of
+    a different precision than a float64 one, and merging them would
+    silently degrade the whole reduce to the weaker precision. Shards
+    written before dtype-aware accumulation are implicitly float64.
     """
     moments = header.get("moments") or {}
     params = dict(header.get("params") or {})
@@ -68,6 +73,7 @@ def shard_config(header: dict) -> dict:
         "dims": header.get("dims"),
         "track_tensor": moments.get("track_tensor"),
         "retain_samples": moments.get("retain_samples"),
+        "accumulate_dtype": moments.get("dtype", "float64"),
     }
 
 

@@ -1,0 +1,162 @@
+"""Array-namespace resolution per the Python array-API standard.
+
+``xp = array_namespace(*arrays)`` is the one dispatch point of the
+kernel layer: every hot function resolves the namespace of its inputs
+once and runs the same code whether the arrays are NumPy (the
+always-available reference), CuPy, torch, or ``array_api_strict``
+(the conformance namespace the CI job runs the kernel tests under).
+
+Resolution follows the standard's ``__array_namespace__`` protocol —
+an array that advertises its namespace is believed.  Arrays that
+predate the protocol (old NumPy) and python scalars fall back to
+NumPy.  Mixing arrays from two different namespaces is a type error,
+never a silent device copy.
+
+Two helpers paper over the gaps the standard leaves open:
+
+* :func:`einsum` — not in the array-API standard.  Used when the
+  namespace provides it (NumPy/CuPy/torch all do, and it is the fast
+  path); strict namespaces get an equivalent broadcast
+  multiply-and-sum fallback for each contraction the kernels use.
+* :func:`reshape_fortran` — ``reshape(..., order="F")`` is a NumPy
+  extension.  A Fortran reshape is a C reshape conjugated with axis
+  reversal, which is how the unfold/fold kernels stay portable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "array_namespace",
+    "asarray_like",
+    "einsum",
+    "is_numpy_namespace",
+    "reshape_fortran",
+    "to_numpy",
+]
+
+
+def _namespace_of(array):
+    """The array's own namespace, or None when it does not declare one."""
+    probe = getattr(array, "__array_namespace__", None)
+    if probe is None:
+        return None
+    return probe()
+
+
+def array_namespace(*arrays):
+    """Resolve the array-API namespace shared by ``arrays``.
+
+    NumPy arrays, python scalars, and protocol-less objects resolve to
+    NumPy (which is itself array-API compliant as of NumPy 2.0).
+    Arrays that implement ``__array_namespace__`` — CuPy, torch,
+    ``array_api_strict`` — resolve to their own namespace.  Arrays
+    from two *different* namespaces raise ``TypeError``: the kernels
+    never copy data across backends implicitly.
+    """
+    resolved = None
+    for array in arrays:
+        namespace = _namespace_of(array)
+        if namespace is None or namespace is np:
+            continue
+        if resolved is None:
+            resolved = namespace
+        elif resolved is not namespace:
+            raise TypeError(
+                "cannot mix arrays from different array-API namespaces: "
+                f"{getattr(resolved, '__name__', resolved)!r} and "
+                f"{getattr(namespace, '__name__', namespace)!r}; move the "
+                "inputs to one backend first"
+            )
+    return np if resolved is None else resolved
+
+
+def is_numpy_namespace(xp) -> bool:
+    """True when ``xp`` is NumPy (including ``numpy.array_api`` shims)."""
+    return xp is np or getattr(xp, "__name__", "").startswith("numpy")
+
+
+def asarray_like(value, reference, *, dtype=None):
+    """``asarray`` into the namespace (and optionally dtype) of ``reference``."""
+    xp = array_namespace(reference)
+    if dtype is None:
+        return xp.asarray(value)
+    return xp.asarray(value, dtype=dtype)
+
+
+def to_numpy(array) -> np.ndarray:
+    """A NumPy view/copy of ``array``, whatever backend it lives on.
+
+    The bridge out of the kernel layer: fitted attributes, persisted
+    payloads, and protocol responses are always NumPy.  Torch tensors
+    detach (grad is meaningless for a fitted artifact) and CuPy
+    arrays transfer device→host; NumPy arrays pass through untouched.
+    """
+    if isinstance(array, np.ndarray):
+        return array
+    detach = getattr(array, "detach", None)
+    if detach is not None:  # torch
+        array = detach()
+        cpu = getattr(array, "cpu", None)
+        if cpu is not None:
+            array = cpu()
+        return np.asarray(array)
+    get = getattr(array, "get", None)
+    if get is not None and not isinstance(array, dict):  # cupy
+        return np.asarray(get())
+    return np.asarray(array)
+
+
+def einsum(xp, subscripts: str, *operands):
+    """``xp.einsum`` when available, else a broadcast fallback.
+
+    The kernels contract with a handful of fixed einsum signatures;
+    namespaces without ``einsum`` (``array_api_strict``) get an exact
+    broadcast multiply/``sum``/``matmul`` equivalent per signature
+    rather than a general einsum re-implementation.
+    """
+    native = getattr(xp, "einsum", None)
+    if native is not None:
+        return native(subscripts, *operands)
+    spec = subscripts.replace(" ", "")
+    if spec == "ir,jr->ijr":
+        a, b = operands
+        return a[:, None, :] * b[None, :, :]
+    if spec == "ir,ir->r":
+        a, b = operands
+        return xp.sum(a * b, axis=0)
+    if spec == "ij,ij->j":
+        a, b = operands
+        return xp.sum(a * b, axis=0)
+    if spec == "ijr,jr->ir":
+        a, b = operands
+        return xp.sum(a * b[None, :, :], axis=1)
+    raise NotImplementedError(
+        f"no einsum in {getattr(xp, '__name__', xp)!r} and no fallback "
+        f"for signature {subscripts!r}"
+    )
+
+
+def reshape_fortran(xp, array, shape):
+    """Fortran-order reshape, portable across array-API namespaces.
+
+    NumPy gets the native ``order="F"`` fast path (no copy when the
+    strides allow it).  Everywhere else, a Fortran reshape is computed
+    as ``transpose(reshape(transpose(a), reversed(shape)))`` — the
+    identity ``reshape_F(a, s) == reshape_C(a.T, s[::-1]).T`` with the
+    full axis reversal playing the transpose.
+    """
+    if isinstance(array, np.ndarray):
+        return np.reshape(array, shape, order="F")
+    permute = getattr(xp, "permute_dims", None)
+    if permute is None:  # torch exposes the standard via xp.permute_dims
+        raise NotImplementedError(
+            f"{getattr(xp, '__name__', xp)!r} provides neither order='F' "
+            "reshape nor permute_dims"
+        )
+    reversed_axes = tuple(range(array.ndim - 1, -1, -1))
+    flipped = permute(array, reversed_axes)
+    reshaped = xp.reshape(flipped, tuple(reversed(tuple(shape))))
+    back = tuple(range(reshaped.ndim - 1, -1, -1))
+    return permute(reshaped, back)

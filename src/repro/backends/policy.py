@@ -1,0 +1,169 @@
+"""The precision contract of a fit: what computes in what dtype.
+
+A TCCA fit has two numerically distinct regimes:
+
+* **Moment accumulation** — summing ``N`` per-sample (outer-product)
+  contributions.  Cancellation and magnitude spread grow with ``N``,
+  so this stays float64 under every built-in policy
+  (``accumulate_dtype``).
+* **Iterative decomposition** — ALS/HOPM sweeps over the (small,
+  whitened) moment tensor.  Each sweep is self-correcting: the
+  iteration contracts toward the dominant subspace regardless of
+  rounding in earlier sweeps, and the Hu & Ye linear-convergence
+  result for alternating rank-one updates bounds the attainable
+  accuracy by the sweep tolerance, not by accumulated error.  This
+  can run in float32 (``compute_dtype``) at ~2x BLAS throughput and
+  ~half the working-set bytes, provided the tolerance is relaxed to
+  ~sqrt(eps_float32) and a float64 *polish* pass re-runs the sweeps
+  from the converged float32 factors at the original tolerance.
+
+:class:`DTypePolicy` names the regime pair; ``resolve_precision``
+maps the user-facing ``precision=`` strings onto it.  The policy is
+recorded in the model header (``dtype_policy``) so ``load_model`` and
+the serving layer reproduce the fit's precision instead of silently
+upcasting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["DTypePolicy", "PRECISION_CHOICES", "resolve_precision"]
+
+#: The user-facing ``precision=`` vocabulary.
+PRECISION_CHOICES = ("float64", "mixed", "float32")
+
+_DTYPE_NAMES = {"float32": np.float32, "float64": np.float64}
+
+
+def _canonical_dtype(value) -> str:
+    """Validate/normalize a dtype spec to ``"float32"``/``"float64"``."""
+    name = np.dtype(value).name
+    if name not in _DTYPE_NAMES:
+        raise ValidationError(
+            f"unsupported dtype {name!r}; the precision policy supports "
+            "float32 and float64"
+        )
+    return name
+
+
+@dataclass(frozen=True)
+class DTypePolicy:
+    """Which dtype each regime of the fit runs in.
+
+    Parameters
+    ----------
+    compute_dtype:
+        Dtype of the iterative decomposition (sweeps, factors,
+        canonical vectors).
+    accumulate_dtype:
+        Dtype of moment accumulation (covariance sums, whitening).
+        Never below ``compute_dtype``'s precision under the built-in
+        policies.
+    polish:
+        Whether a float64 polish pass re-runs the sweeps from the
+        converged low-precision factors.  Only meaningful when
+        ``compute_dtype`` is below float64.
+    """
+
+    compute_dtype: str = "float64"
+    accumulate_dtype: str = "float64"
+    polish: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "compute_dtype", _canonical_dtype(self.compute_dtype)
+        )
+        object.__setattr__(
+            self, "accumulate_dtype", _canonical_dtype(self.accumulate_dtype)
+        )
+
+    # -- numpy views ---------------------------------------------------------
+
+    @property
+    def compute(self) -> np.dtype:
+        """``compute_dtype`` as a numpy dtype."""
+        return np.dtype(_DTYPE_NAMES[self.compute_dtype])
+
+    @property
+    def accumulate(self) -> np.dtype:
+        """``accumulate_dtype`` as a numpy dtype."""
+        return np.dtype(_DTYPE_NAMES[self.accumulate_dtype])
+
+    @property
+    def is_default(self) -> bool:
+        """True for the all-float64 reference policy (bit-exact paths)."""
+        return (
+            self.compute_dtype == "float64"
+            and self.accumulate_dtype == "float64"
+            and not self.polish
+        )
+
+    def sweep_tol(self, tol: float) -> float:
+        """The tolerance the low-precision sweeps should run at.
+
+        Below ~sqrt(machine eps) a float32 sweep's convergence check
+        is dominated by rounding noise and never fires; the polish
+        pass owns the final tightening, so the low-precision sweeps
+        stop at ``max(tol, sqrt(eps(compute_dtype)))``.
+        """
+        eps = float(np.finfo(self.compute).eps)
+        return max(float(tol), float(np.sqrt(eps)))
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The JSON-safe form recorded in model headers."""
+        return {
+            "compute_dtype": self.compute_dtype,
+            "accumulate_dtype": self.accumulate_dtype,
+            "polish": bool(self.polish),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict | None) -> "DTypePolicy":
+        """Rebuild from a header dict; ``None`` means the float64 default."""
+        if not data:
+            return cls()
+        return cls(
+            compute_dtype=data.get("compute_dtype", "float64"),
+            accumulate_dtype=data.get("accumulate_dtype", "float64"),
+            polish=bool(data.get("polish", False)),
+        )
+
+
+def resolve_precision(precision) -> DTypePolicy:
+    """Map a user-facing ``precision=`` value onto a :class:`DTypePolicy`.
+
+    * ``"float64"`` / ``None`` — the reference policy; bit-for-bit the
+      pre-policy arithmetic.
+    * ``"mixed"`` — float32 compute over float64-accumulated moments,
+      plus a float64 polish pass.  The recommended fast setting.
+    * ``"float32"`` — float32 everywhere, no polish.  Cheapest and
+      least accurate; accumulation error grows with the sample count.
+
+    A :class:`DTypePolicy` passes through unchanged, so power users
+    can construct bespoke pairings directly.
+    """
+    if precision is None:
+        return DTypePolicy()
+    if isinstance(precision, DTypePolicy):
+        return precision
+    if precision == "float64":
+        return DTypePolicy()
+    if precision == "mixed":
+        return DTypePolicy(
+            compute_dtype="float32", accumulate_dtype="float64", polish=True
+        )
+    if precision == "float32":
+        return DTypePolicy(
+            compute_dtype="float32", accumulate_dtype="float32", polish=False
+        )
+    raise ValidationError(
+        f"precision must be one of {PRECISION_CHOICES} (or a DTypePolicy), "
+        f"got {precision!r}"
+    )

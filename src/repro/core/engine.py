@@ -143,6 +143,19 @@ def _whiten_view(whitener, view, mean) -> np.ndarray:
     return whitener @ (np.asarray(view, dtype=np.float64) - mean)
 
 
+def _accumulate_dtype(dtype_policy):
+    """Moment-accumulation dtype of a policy (``None`` → float64 default)."""
+    return None if dtype_policy is None else dtype_policy.accumulate
+
+
+def _compute_cast(array, dtype_policy):
+    """Cast a finalized array to the policy's compute dtype (no-op when
+    the policy is absent or already float64 — the bit-for-bit default)."""
+    if dtype_policy is None:
+        return array
+    return array.astype(dtype_policy.compute, copy=False)
+
+
 class ChunkWhitener:
     """Picklable per-chunk whitening transform for parallel accumulation.
 
@@ -355,6 +368,13 @@ class MomentState:
         view and chunk index; ``"skip"`` drops the affected samples
         from every view (keeping them aligned) and counts them in
         :attr:`n_skipped`.
+    dtype:
+        Accumulation dtype of every moment buffer (``None`` → float64 —
+        the :class:`~repro.backends.DTypePolicy` default, including
+        under ``precision="mixed"``, where only the *sweeps* drop to
+        float32). Recorded in :meth:`state_dict` and enforced by
+        :meth:`merge`, so shards accumulated under different precision
+        policies cannot be silently combined.
 
     With both flags off only per-view statistics are kept — the cold fit
     paths' first pass (means + whiteners), where ``M`` is then assembled
@@ -368,6 +388,7 @@ class MomentState:
         retain_samples: bool = False,
         dims=None,
         nan_policy: str = "raise",
+        dtype=None,
     ):
         if track_tensor and retain_samples:
             raise ValidationError(
@@ -377,6 +398,7 @@ class MomentState:
         self.track_tensor = bool(track_tensor)
         self.retain_samples = bool(retain_samples)
         self.nan_policy = check_nan_policy(nan_policy)
+        self._dtype = np.dtype(np.float64 if dtype is None else dtype)
         self._n_skipped = 0
         self._chunk_index = 0
         dims = None if dims is None else tuple(int(d) for d in dims)
@@ -386,6 +408,7 @@ class MomentState:
                 center=True,
                 track_view_covariances=True,
                 nan_policy=self.nan_policy,
+                dtype=self._dtype,
             )
             if self.track_tensor
             else None
@@ -396,7 +419,9 @@ class MomentState:
             else (
                 None
                 if dims is None
-                else [StreamingCovariance(d) for d in dims]
+                else [
+                    StreamingCovariance(d, dtype=self._dtype) for d in dims
+                ]
             )
         )
         self._store = (
@@ -417,7 +442,8 @@ class MomentState:
         chunks = _validate_chunks(chunks, require_finite=False)
         if self._view_accs is None:
             self._view_accs = [
-                StreamingCovariance(chunk.shape[0]) for chunk in chunks
+                StreamingCovariance(chunk.shape[0], dtype=self._dtype)
+                for chunk in chunks
             ]
         if len(chunks) != len(self._view_accs):
             raise ValidationError(
@@ -454,6 +480,13 @@ class MomentState:
             raise ValidationError(
                 "cannot merge moment states with different policies"
             )
+        if other._dtype != self._dtype:
+            raise ValidationError(
+                f"cannot merge a {other._dtype.name} moment state into a "
+                f"{self._dtype.name} one; shards must be accumulated "
+                "under the same accumulate_dtype (re-run the divergent "
+                "shard with a matching precision policy)"
+            )
         if self.track_tensor:
             # the tensor merge folds skip counts in even when the other
             # state holds zero surviving samples
@@ -466,7 +499,8 @@ class MomentState:
             return self
         if self._view_accs is None:
             self._view_accs = [
-                StreamingCovariance(acc.dim) for acc in other._view_accs
+                StreamingCovariance(acc.dim, dtype=self._dtype)
+                for acc in other._view_accs
             ]
         if len(self._view_accs) != len(other._view_accs):
             raise ValidationError(
@@ -494,6 +528,11 @@ class MomentState:
     def n_samples(self) -> int:
         """Number of samples folded in so far."""
         return self._n
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Accumulation dtype of the moment buffers."""
+        return self._dtype
 
     @property
     def n_skipped(self) -> int:
@@ -583,6 +622,7 @@ class MomentState:
             "retain_samples": self.retain_samples,
             "n_samples": int(self._n),
             "nan_policy": self.nan_policy,
+            "dtype": self._dtype.name,
             "n_skipped": int(self._n_skipped),
             "chunk_index": int(self._chunk_index),
         }
@@ -635,6 +675,8 @@ class MomentState:
             # .get defaults keep states written before nan_policy
             # existed loadable (they never skipped anything)
             nan_policy=meta.get("nan_policy", "raise"),
+            # states written before dtype existed were always float64
+            dtype=meta.get("dtype"),
         )
         state._n_skipped = int(meta.get("n_skipped", 0))
         state._chunk_index = int(meta.get("chunk_index", 0))
@@ -711,6 +753,7 @@ def ingest_stage(
                     retain_samples=moments.retain_samples,
                     dims=moments.dims,
                     nan_policy=moments.nan_policy,
+                    dtype=moments.dtype,
                 ),
                 policy,
             )
@@ -758,6 +801,7 @@ def build_stage(
     solver: str,
     *,
     policy=None,
+    dtype_policy=None,
 ) -> WhitenedTensor:
     """Assemble the whitened tensor ``M`` from mergeable moments.
 
@@ -766,9 +810,17 @@ def build_stage(
       *stored* moments, so no re-pass over data is ever needed);
     * ``solver="implicit"`` — whiten the retained samples once and wrap
       them in a :class:`~repro.tensor.operator.CovarianceTensorOperator`.
+
+    A :class:`~repro.backends.DTypePolicy` with a non-float64
+    ``compute_dtype`` downcasts the *finished* ``M`` (dense) or the
+    whitened views backing the operator (implicit) — whitening itself
+    always runs in float64; the default policy changes nothing.
     """
     if solver == "dense":
-        tensor = multi_mode_product(moments.tensor(), whitening.whiteners)
+        tensor = _compute_cast(
+            multi_mode_product(moments.tensor(), whitening.whiteners),
+            dtype_policy,
+        )
         return WhitenedTensor(
             means=whitening.means,
             whiteners=whitening.whiteners,
@@ -790,6 +842,7 @@ def build_stage(
             _whiten_view(whitener, view, mean)
             for whitener, view, mean in view_triples
         ]
+    whitened = [_compute_cast(view, dtype_policy) for view in whitened]
     operator = CovarianceTensorOperator.from_views(whitened, policy=policy)
     return WhitenedTensor(
         means=whitening.means,
@@ -906,7 +959,7 @@ def _whitening_from_views(views, epsilon: float, policy=None):
 
 
 def whitened_covariance_tensor(
-    views, epsilon: float, *, policy=None
+    views, epsilon: float, *, policy=None, dtype_policy=None
 ) -> WhitenedTensor:
     """Compute the whitening state and dense tensor ``M`` (Theorem 2).
 
@@ -925,6 +978,7 @@ def whitened_covariance_tensor(
     means, whiteners, whitened_views = _whitening_from_views(
         views, epsilon, policy
     )
+    accumulate = _accumulate_dtype(dtype_policy)
     if _is_parallel(policy):
         dims = [view.shape[0] for view in whitened_views]
         accumulator = accumulate_parallel(
@@ -939,19 +993,26 @@ def whitened_covariance_tensor(
                 dims=dims,
                 center=False,
                 track_view_covariances=False,
+                dtype=accumulate,
             ),
             policy,
         )
         tensor = accumulator.tensor()
     else:
-        tensor = covariance_tensor(whitened_views)
+        tensor = covariance_tensor(
+            whitened_views,
+            dtype=np.float64 if accumulate is None else accumulate,
+        )
     return WhitenedTensor(
-        means=means, whiteners=whiteners, tensor=tensor, epsilon=epsilon
+        means=means,
+        whiteners=whiteners,
+        tensor=_compute_cast(tensor, dtype_policy),
+        epsilon=epsilon,
     )
 
 
 def whitened_covariance_operator(
-    views, epsilon: float, *, policy=None
+    views, epsilon: float, *, policy=None, dtype_policy=None
 ) -> WhitenedTensor:
     """Whitening state with ``M`` as an implicit operator — no ``∏ d_p``.
 
@@ -965,6 +1026,9 @@ def whitened_covariance_operator(
     means, whiteners, whitened_views = _whitening_from_views(
         views, epsilon, policy
     )
+    whitened_views = [
+        _compute_cast(view, dtype_policy) for view in whitened_views
+    ]
     operator = CovarianceTensorOperator.from_views(
         whitened_views, policy=policy
     )
@@ -981,7 +1045,12 @@ def _streaming_whitening_pass(stream, epsilon: float, policy=None):
 
 
 def whitened_covariance_tensor_streaming(
-    stream, epsilon: float, *, chunk_size: int | None = None, policy=None
+    stream,
+    epsilon: float,
+    *,
+    chunk_size: int | None = None,
+    policy=None,
+    dtype_policy=None,
 ) -> WhitenedTensor:
     """Out-of-core version of :func:`whitened_covariance_tensor`.
 
@@ -1015,6 +1084,7 @@ def whitened_covariance_tensor_streaming(
         center=False,
         shifts=[0.0] * len(dims),
         track_view_covariances=False,
+        dtype=_accumulate_dtype(dtype_policy),
     )
     if policy is not None:
         accumulator = accumulate_parallel(
@@ -1032,13 +1102,18 @@ def whitened_covariance_tensor_streaming(
     return WhitenedTensor(
         means=means,
         whiteners=whiteners,
-        tensor=accumulator.tensor(),
+        tensor=_compute_cast(accumulator.tensor(), dtype_policy),
         epsilon=epsilon,
     )
 
 
 def whitened_covariance_operator_streaming(
-    stream, epsilon: float, *, chunk_size: int | None = None, policy=None
+    stream,
+    epsilon: float,
+    *,
+    chunk_size: int | None = None,
+    policy=None,
+    dtype_policy=None,
 ) -> WhitenedTensor:
     """Fully out-of-core whitening state: stream-backed implicit ``M``.
 
@@ -1056,7 +1131,11 @@ def whitened_covariance_operator_streaming(
     policy = policy if _is_parallel(policy) else None
     means, whiteners = _streaming_whitening_pass(stream, epsilon, policy)
     operator = CovarianceTensorOperator.from_stream(
-        stream, whiteners=whiteners, means=means, policy=policy
+        stream,
+        whiteners=whiteners,
+        means=means,
+        policy=policy,
+        dtype=None if dtype_policy is None else dtype_policy.compute,
     )
     return WhitenedTensor(
         means=means, whiteners=whiteners, operator=operator, epsilon=epsilon

@@ -35,6 +35,7 @@ import math
 import numpy as np
 
 from repro.api.registry import register
+from repro.backends import resolve_precision
 from repro.cca.base import MultiviewTransformer
 from repro.core import engine
 from repro.core.engine import (
@@ -179,6 +180,28 @@ class TCCA(MultiviewTransformer):
         model. One-shot :meth:`fit`/:meth:`fit_stream` always reject
         non-finite input — skipping only makes sense for long
         accumulation sessions fed by unattended pipelines.
+    precision:
+        Dtype policy of the fit (see :mod:`repro.backends`):
+
+        * ``None`` / ``"float64"`` (default) — everything in float64,
+          bit-for-bit the library's historical arithmetic;
+        * ``"mixed"`` — moments accumulate in float64 (where the
+          cancellation over ``N`` outer products lives), the whitened
+          tensor / operator and its CP sweeps run in float32 at a
+          tolerance floored at ``√ε_float32``, and both solvers finish
+          with a float64 polish pass warm-started from the float32
+          factors at the original ``tol``. The dense polish transiently
+          upcasts the tensor; the implicit polish keeps the float32
+          operator (its memory contract) and relies on float64 factor
+          iterates promoting each contraction, so only the ~1e-7 view
+          quantization survives;
+        * ``"float32"`` — accumulation *and* compute in float32; fastest
+          and smallest, for exploratory sweeps only.
+
+        Whitening eigendecompositions always run in float64 (see
+        :mod:`repro.linalg.whitening`). The resolved policy is recorded
+        on the fitted model as :attr:`dtype_policy_` and persisted, so
+        a reloaded model transforms at fit precision.
 
     Attributes
     ----------
@@ -204,6 +227,11 @@ class TCCA(MultiviewTransformer):
         Samples dropped so far by ``nan_policy="skip"`` across the
         model's accumulation session (0 for one-shot fits and the
         default ``"raise"`` policy).
+    dtype_policy_:
+        The resolved :class:`~repro.backends.DTypePolicy` of the fit as
+        a plain dict (``compute_dtype``, ``accumulate_dtype``,
+        ``polish``) — persisted in the model header so loading and
+        serving reproduce the fit's precision.
     """
 
     #: derived solver output that transform never reads — not persisted.
@@ -222,9 +250,12 @@ class TCCA(MultiviewTransformer):
         n_jobs=None,
         executor: str = "auto",
         nan_policy: str = "raise",
+        precision=None,
     ):
         self.n_components = check_positive_int(n_components, "n_components")
         self.nan_policy = check_nan_policy(nan_policy)
+        resolve_precision(precision)  # validate eagerly; stored verbatim
+        self.precision = precision
         if epsilon < 0.0:
             raise ValidationError(f"epsilon must be >= 0, got {epsilon}")
         self.epsilon = float(epsilon)
@@ -279,13 +310,16 @@ class TCCA(MultiviewTransformer):
         solver = resolve_tcca_solver(self.solver, dims, self.decomposition)
         if precomputed is None:
             policy = self._policy()
+            dtype_policy = self._dtype_policy()
             if solver == "implicit":
                 precomputed = whitened_covariance_operator(
-                    views, self.epsilon, policy=policy
+                    views, self.epsilon, policy=policy,
+                    dtype_policy=dtype_policy,
                 )
             else:
                 precomputed = whitened_covariance_tensor(
-                    views, self.epsilon, policy=policy
+                    views, self.epsilon, policy=policy,
+                    dtype_policy=dtype_policy,
                 )
         else:
             self._check_precomputed(precomputed, dims)
@@ -336,13 +370,16 @@ class TCCA(MultiviewTransformer):
         solver = resolve_tcca_solver(self.solver, dims, self.decomposition)
         if precomputed is None:
             policy = self._policy()
+            dtype_policy = self._dtype_policy()
             if solver == "implicit":
                 precomputed = whitened_covariance_operator_streaming(
-                    stream, self.epsilon, policy=policy
+                    stream, self.epsilon, policy=policy,
+                    dtype_policy=dtype_policy,
                 )
             else:
                 precomputed = whitened_covariance_tensor_streaming(
-                    stream, self.epsilon, policy=policy
+                    stream, self.epsilon, policy=policy,
+                    dtype_policy=dtype_policy,
                 )
         else:
             self._check_precomputed(precomputed, dims)
@@ -395,6 +432,7 @@ class TCCA(MultiviewTransformer):
                 retain_samples=(solver == "implicit"),
                 dims=dims,
                 nan_policy=self.nan_policy,
+                dtype=self._accumulate_dtype(),
             )
             self.moments_ = moments
             # A brand-new session solves cold: factors_ possibly left by
@@ -414,7 +452,8 @@ class TCCA(MultiviewTransformer):
         engine.ingest_stage(moments, views, policy=policy)
         whitening = engine.whiten_stage(moments, self.epsilon, policy=policy)
         precomputed = engine.build_stage(
-            moments, whitening, solver, policy=policy
+            moments, whitening, solver, policy=policy,
+            dtype_policy=self._dtype_policy(),
         )
         return self._finish_fit(
             precomputed, dims, solver, factors_init=factors_init
@@ -444,6 +483,7 @@ class TCCA(MultiviewTransformer):
             retain_samples=(solver == "implicit"),
             dims=dims,
             nan_policy=self.nan_policy,
+            dtype=self._accumulate_dtype(),
         )
 
     def fit_moments(self, moments: MomentState) -> "TCCA":
@@ -468,7 +508,8 @@ class TCCA(MultiviewTransformer):
         policy = self._policy()
         whitening = engine.whiten_stage(moments, self.epsilon, policy=policy)
         precomputed = engine.build_stage(
-            moments, whitening, solver, policy=policy
+            moments, whitening, solver, policy=policy,
+            dtype_policy=self._dtype_policy(),
         )
         self.moments_ = moments
         return self._finish_fit(precomputed, dims, solver)
@@ -476,6 +517,21 @@ class TCCA(MultiviewTransformer):
     def _policy(self):
         """The execution policy of this fit, resolved from configuration."""
         return resolve_executor(self.executor, self.n_jobs)
+
+    def _dtype_policy(self):
+        """The resolved dtype policy, or ``None`` for the float64 default.
+
+        Returning ``None`` (not the default policy object) keeps every
+        float64 code path on the exact pre-policy arithmetic — the
+        engine's casts are then skipped entirely, not run as no-ops.
+        """
+        policy = resolve_precision(self.precision)
+        return None if policy.is_default else policy
+
+    def _accumulate_dtype(self):
+        """Moment-accumulation dtype (``None`` → float64 default)."""
+        policy = self._dtype_policy()
+        return None if policy is None else policy.accumulate
 
     def _reset_incremental(self) -> None:
         """Drop any partial_fit session state (one-shot fits replace it)."""
@@ -593,7 +649,29 @@ class TCCA(MultiviewTransformer):
         self.covariance_tensor_shape_ = tuple(int(d) for d in dims)
         self.solver_used_ = solver
 
+        dtype_policy = self._dtype_policy()
+        sweep_tol = (
+            self.tol if dtype_policy is None
+            else dtype_policy.sweep_tol(self.tol)
+        )
         spec = engine.DecompositionSpec(
+            method=self.decomposition,
+            rank=self.n_components,
+            max_iter=self.max_iter,
+            tol=sweep_tol,
+            random_state=self.random_state,
+        )
+        # Final polish sweep (mixed policy): re-solve in float64 at the
+        # original tol, warm-started from the low-precision factors —
+        # near the optimum this converges in a handful of sweeps and
+        # strips the float32 iteration round-off. The deflation solver
+        # re-solves from scratch and has no meaningful warm start.
+        polish = (
+            dtype_policy is not None
+            and dtype_policy.polish
+            and self.decomposition != "power"
+        )
+        polish_spec = engine.DecompositionSpec(
             method=self.decomposition,
             rank=self.n_components,
             max_iter=self.max_iter,
@@ -604,20 +682,75 @@ class TCCA(MultiviewTransformer):
             result = engine.decompose_stage(
                 spec, operator=precomputed.operator, factors_init=factors_init
             )
+            if polish:
+                # The operator keeps its float32 whitened views (its
+                # memory contract); float64 warm-start factors promote
+                # every contraction to float64 arithmetic, so the sweeps
+                # converge at the original tol and only the ~1e-7 view
+                # quantization remains.
+                result = engine.decompose_stage(
+                    polish_spec,
+                    operator=precomputed.operator,
+                    factors_init=[
+                        np.asarray(factor, dtype=np.float64)
+                        for factor in result.cp.factors
+                    ],
+                )
         else:
             result = engine.decompose_stage(
                 spec, tensor=precomputed.tensor, factors_init=factors_init
             )
+            if polish:
+                # The upcast is transient; the float32 tensor stays the
+                # fit's resident form.
+                result = engine.decompose_stage(
+                    polish_spec,
+                    tensor=np.asarray(
+                        precomputed.tensor, dtype=np.float64
+                    ),
+                    factors_init=[
+                        np.asarray(factor, dtype=np.float64)
+                        for factor in result.cp.factors
+                    ],
+                )
         finalized = engine.finalize_stage(result, precomputed.whiteners)
         self.decomposition_result_ = result
-        self.correlations_ = finalized.correlations
+        # Canonical correlations are reported in float64 regardless of
+        # the compute dtype — they are scalars-per-component, and the
+        # user-facing contract (ordering, comparisons across fits of
+        # different precisions) should not depend on the policy.
+        self.correlations_ = np.asarray(
+            finalized.correlations, dtype=np.float64
+        )
         self.factors_ = finalized.factors
-        self.canonical_vectors_ = finalized.canonical_vectors
+        compute = None if dtype_policy is None else dtype_policy.compute
+        self.canonical_vectors_ = (
+            finalized.canonical_vectors
+            if compute is None
+            else [
+                np.asarray(vectors, dtype=compute)
+                for vectors in finalized.canonical_vectors
+            ]
+        )
+        self.dtype_policy_ = resolve_precision(self.precision).to_dict()
         self.n_views_ = len(dims)
         self._dims = list(dims)
         moments = getattr(self, "moments_", None)
         self.n_skipped_ = 0 if moments is None else int(moments.n_skipped)
         return self
+
+    @property
+    def _transform_dtype(self) -> np.dtype:
+        """Compute dtype of projections, from the fit's recorded policy.
+
+        Models saved before the policy existed carry no
+        ``dtype_policy_`` and project in float64 — their historical
+        behaviour.
+        """
+        policy = getattr(self, "dtype_policy_", None)
+        if policy is None:
+            return np.dtype(np.float64)
+        return np.dtype(policy["compute_dtype"])
 
     def transform(self, views, *, chunk_size: int | None = None) -> list[np.ndarray]:
         """Project every view: ``Z_p = X_p^T H_p`` of shape ``(N, r)``.
@@ -627,26 +760,36 @@ class TCCA(MultiviewTransformer):
         intermediates never exceed one slice per view — transform of a
         very large ``N`` runs memory-bounded. The result is identical
         (same arithmetic per sample) either way.
+
+        Projections run in the fit's recorded compute dtype: a
+        mixed/float32 model casts the inputs down and returns float32
+        canonical variables rather than silently upcasting its float32
+        canonical vectors through float64 inputs.
         """
         self._check_fitted()
         views = self._check_transform_views(views, self._dims)
+        dtype = self._transform_dtype
+        views = [view.astype(dtype, copy=False) for view in views]
+        means = [
+            np.asarray(mean, dtype=dtype) for mean in self.means_
+        ]
         if chunk_size is None:
             return [
                 (view - mean).T @ vectors
                 for view, mean, vectors in zip(
-                    views, self.means_, self.canonical_vectors_
+                    views, means, self.canonical_vectors_
                 )
             ]
         chunk_size = check_positive_int(chunk_size, "chunk_size")
         n_samples = views[0].shape[1]
         outputs = [
-            np.empty((n_samples, vectors.shape[1]))
+            np.empty((n_samples, vectors.shape[1]), dtype=dtype)
             for vectors in self.canonical_vectors_
         ]
         for start in range(0, n_samples, chunk_size):
             stop = min(start + chunk_size, n_samples)
             for view, mean, vectors, output in zip(
-                views, self.means_, self.canonical_vectors_, outputs
+                views, means, self.canonical_vectors_, outputs
             ):
                 output[start:stop] = (
                     view[:, start:stop] - mean

@@ -24,11 +24,19 @@ from repro.utils.validation import check_views, ensure_2d
 __all__ = ["covariance_tensor", "cross_covariance", "view_covariance"]
 
 
-def view_covariance(view, *, assume_centered: bool = True) -> np.ndarray:
-    """Variance matrix ``C_pp = (1/N) X_p X_p^T`` of one view."""
+def view_covariance(
+    view, *, assume_centered: bool = True, dtype=np.float64
+) -> np.ndarray:
+    """Variance matrix ``C_pp = (1/N) X_p X_p^T`` of one view.
+
+    ``dtype`` is the accumulation dtype — float64 under every built-in
+    precision policy (moment sums are where cancellation lives).
+    """
     view = ensure_2d(view, name="view")
     shift = 0.0 if assume_centered else None
-    accumulator = StreamingCovariance(view.shape[0], shift=shift).update(view)
+    accumulator = StreamingCovariance(
+        view.shape[0], shift=shift, dtype=dtype
+    ).update(view)
     return accumulator.covariance(center=not assume_centered)
 
 
@@ -49,12 +57,15 @@ def cross_covariance(
         dims=(view_a.shape[0], view_b.shape[0]),
         center=False,
         track_view_covariances=False,
+        dtype=np.float64,
     )
     accumulator.update((view_a, view_b))
     return accumulator.tensor()
 
 
-def covariance_tensor(views, *, assume_centered: bool = True) -> np.ndarray:
+def covariance_tensor(
+    views, *, assume_centered: bool = True, dtype=np.float64
+) -> np.ndarray:
     """Order-``m`` covariance tensor ``C_{12…m}`` of ``m`` views.
 
     The result has shape ``(d_1, d_2, …, d_m)``. Memory is ``∏ d_p`` floats
@@ -78,6 +89,7 @@ def covariance_tensor(views, *, assume_centered: bool = True) -> np.ndarray:
         dims=[view.shape[0] for view in views],
         center=False,
         track_view_covariances=False,
+        dtype=dtype,
     )
     accumulator.update(views)
     return accumulator.tensor()

@@ -1,4 +1,10 @@
-"""Eigen-solver helpers shared by the CCA-family estimators."""
+"""Eigen-solver helpers shared by the CCA-family estimators.
+
+Like :mod:`repro.linalg.whitening`, everything here is pinned to float64
+(``check_square`` upcasts on entry): spectral solves are the numerically
+sensitive tail of a fit and stay at full precision under every
+:class:`~repro.backends.DTypePolicy`.
+"""
 
 from __future__ import annotations
 

@@ -4,6 +4,13 @@ TCCA whitens each view with ``C̃_pp^{-1/2}`` where ``C̃_pp = C_pp + ε I``
 (Eq. 4.8): the substitution ``u_p = C̃_pp^{1/2} h_p`` turns the
 variance-constrained correlation problem into a unit-sphere problem on the
 whitened tensor ``M`` (Theorem 2).
+
+Precision: every routine here computes in float64 regardless of the
+fit's :class:`~repro.backends.DTypePolicy` — the eigendecomposition of a
+near-singular regularized covariance is exactly where float32 loses the
+small eigenvalues that the ``1/√λ`` inversion then amplifies.  Inputs in
+any dtype are upcast on entry (``check_square``); mixed-precision fits
+downcast the *whitened data*, never the whitener.
 """
 
 from __future__ import annotations

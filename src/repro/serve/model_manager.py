@@ -53,6 +53,10 @@ class ModelSnapshot:
     #: compact provenance view (chain depth, root/parent hashes) of the
     #: loaded file's header, or ``None`` for pre-provenance models.
     provenance: dict | None = None
+    #: the precision policy the model was fitted under (compute /
+    #: accumulate dtypes, polish flag), or ``None`` for models saved
+    #: before the policy existed (implicitly all-float64).
+    dtype_policy: dict | None = None
 
     @property
     def is_pipeline(self) -> bool:
@@ -68,6 +72,13 @@ def _view_dims(model) -> tuple[int, ...] | None:
     if dims is None:
         return None
     return tuple(int(dim) for dim in dims)
+
+
+def _dtype_policy(model) -> dict | None:
+    """The fitted reducer's recorded precision policy, if any."""
+    reducer = getattr(model, "reducer", model)
+    policy = getattr(reducer, "dtype_policy_", None)
+    return dict(policy) if isinstance(policy, dict) else None
 
 
 class ModelManager:
@@ -136,6 +147,7 @@ class ModelManager:
             sha256=sha256,
             view_dims=_view_dims(model),
             provenance=chain_summary(read_header(self.path)),
+            dtype_policy=_dtype_policy(model),
         )
         self._signature = signature
         if not initial:
@@ -222,6 +234,7 @@ class ModelManager:
             "last_error": self.last_error,
             "reload_breaker": self.breaker,
             "provenance": snapshot.provenance,
+            "dtype_policy": snapshot.dtype_policy,
         }
         if snapshot.is_pipeline:
             document.update(model.describe())

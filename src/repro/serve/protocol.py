@@ -291,7 +291,7 @@ async def read_request(reader, *, max_body: int = DEFAULT_MAX_BODY):
 # -- request payload decoding ------------------------------------------------
 
 
-def decode_views(payload, view_dims=None) -> list[np.ndarray]:
+def decode_views(payload, view_dims=None, *, dtype=None) -> list[np.ndarray]:
     """Validated ``(d_p, n)`` views from a ``{"views": [...]}`` payload.
 
     Each JSON view is samples-major (``n`` rows of ``d_p`` numbers) and
@@ -300,6 +300,12 @@ def decode_views(payload, view_dims=None) -> list[np.ndarray]:
     every per-view dimension are checked here, raising the same
     :class:`ShapeError` the API's transform raises — so a mismatched
     request fails as a typed 400 before it ever reaches the batcher.
+
+    ``dtype`` is the dtype the request arrays are materialised in —
+    the server passes the loaded model's recorded *compute* dtype, so
+    requests against a float32 (mixed-precision) model are decoded as
+    float32 instead of being silently upcast and downcast again.
+    Defaults to float64.
     """
     if not isinstance(payload, dict):
         raise ValidationError(
@@ -316,9 +322,10 @@ def decode_views(payload, view_dims=None) -> list[np.ndarray]:
             f"request carries {len(views)}"
         )
     decoded = []
+    target = np.dtype(np.float64 if dtype is None else dtype)
     for index, view in enumerate(views):
         try:
-            array = np.asarray(view, dtype=np.float64)
+            array = np.asarray(view, dtype=target)
         except (TypeError, ValueError):
             raise ValidationError(
                 f"views[{index}] is not a numeric array"
@@ -326,7 +333,7 @@ def decode_views(payload, view_dims=None) -> list[np.ndarray]:
         if array.ndim == 1:
             # a single sample may be sent flat
             array = array[np.newaxis, :]
-        array = ensure_2d(array, name=f"views[{index}]").T
+        array = ensure_2d(array, name=f"views[{index}]", dtype=target).T
         if view_dims is not None and array.shape[0] != view_dims[index]:
             raise ShapeError(
                 f"views[{index}] samples have {array.shape[0]} features "

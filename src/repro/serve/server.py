@@ -169,7 +169,12 @@ class ServeApp:
             )
         payload = request.json()
         snapshot = self.manager.maybe_reload()
-        views = decode_views(payload, snapshot.view_dims)
+        policy = snapshot.dtype_policy or {}
+        views = decode_views(
+            payload,
+            snapshot.view_dims,
+            dtype=policy.get("compute_dtype"),
+        )
         if request.path == "/predict" and not hasattr(
             snapshot.model, "predict"
         ):

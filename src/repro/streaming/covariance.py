@@ -54,7 +54,10 @@ __all__ = [
     "screen_chunks",
 ]
 
-#: Khatri-Rao buffer budget: ~2^23 float64 (≈64 MB) regardless of chunk size.
+#: Khatri-Rao buffer budget, denominated in float64 elements: ~2^23
+#: (≈64 MB) regardless of chunk size. :func:`accumulate_outer_sum`
+#: converts it to bytes, so narrower dtypes fit proportionally more rows
+#: in the same memory footprint.
 DEFAULT_BUFFER_FLOATS = 2**23
 
 _NAN_POLICIES = ("raise", "skip")
@@ -124,7 +127,12 @@ def accumulate_outer_sum(
     products over the chunk's samples is ``X_1 @ K^T`` with ``K`` the
     sample-wise Khatri-Rao product of the remaining chunks (reverse order);
     ``K`` is built in sample slices so its buffer stays near
-    ``buffer_floats`` floats while all heavy lifting runs through BLAS.
+    ``buffer_floats`` *float64-equivalent* elements while all heavy
+    lifting runs through BLAS. The budget is a byte budget: float32
+    chunks pack twice the samples per slice into the same memory, so the
+    mixed-precision path halves neither throughput nor footprint by
+    accident. For float64 chunks the slicing is bit-for-bit identical to
+    the element-count formula.
 
     This is the library's *only* Khatri-Rao accumulation — both the batch
     covariance tensor and the streaming accumulators route through it.
@@ -137,7 +145,9 @@ def accumulate_outer_sum(
         )
     n_samples = chunks[0].shape[1]
     trailing = unfold0.shape[1]
-    step = max(1, int(buffer_floats // max(trailing, 1)))
+    itemsize = max(chunk.dtype.itemsize for chunk in chunks[1:])
+    budget_bytes = int(buffer_floats) * np.dtype(np.float64).itemsize
+    step = max(1, budget_bytes // max(trailing * itemsize, 1))
     for start in range(0, n_samples, step):
         stop = min(start + step, n_samples)
         # Rows of `joined` enumerate (i_k, …, i_2) with i_2 varying fastest,
@@ -196,6 +206,12 @@ class StreamingCovariance:
         typed :class:`~repro.exceptions.ValidationError` naming the
         chunk index; ``"skip"`` drops the affected samples and counts
         them in :attr:`n_skipped`.
+    dtype:
+        Accumulation dtype of the moment buffers (``None`` → float64,
+        the default under every built-in precision policy — moment sums
+        are where cancellation lives). Chunks are cast on ingest, so a
+        float64 accumulator fed float32 chunks still sums in float64.
+        Shards can only :meth:`merge` when their dtypes match.
 
     Notes
     -----
@@ -211,7 +227,9 @@ class StreamingCovariance:
         shift=None,
         second_moment: bool = True,
         nan_policy: str = "raise",
+        dtype=None,
     ):
+        self._dtype = np.dtype(np.float64 if dtype is None else dtype)
         self._dim = None if dim is None else int(dim)
         self._requested_shift = shift
         self._shift: np.ndarray | None = None
@@ -227,15 +245,19 @@ class StreamingCovariance:
 
     def _allocate(self, dim: int) -> None:
         self._dim = dim
-        self._sum = np.zeros(dim)
+        self._sum = np.zeros(dim, dtype=self._dtype)
         if self._second_moment:
-            self._outer = np.zeros((dim, dim))
+            self._outer = np.zeros((dim, dim), dtype=self._dtype)
         if self._requested_shift is not None:
-            self._shift = _as_shift(self._requested_shift, dim)
+            self._shift = _as_shift(self._requested_shift, dim).astype(
+                self._dtype, copy=False
+            )
 
     def update(self, chunk) -> "StreamingCovariance":
         """Consume one ``(d, n_chunk)`` minibatch of samples (columns)."""
-        chunk = ensure_2d(chunk, name="chunk", require_finite=False)
+        chunk = ensure_2d(
+            chunk, name="chunk", require_finite=False, dtype=self._dtype
+        )
         (chunk,), skipped = screen_chunks(
             [chunk],
             nan_policy=self.nan_policy,
@@ -294,6 +316,7 @@ class StreamingCovariance:
             "dim": self._dim,
             "second_moment": self._second_moment,
             "nan_policy": self.nan_policy,
+            "dtype": self._dtype.name,
             "n_skipped": int(self._n_skipped),
             "chunk_index": int(self._chunk_index),
             "requested_shift": requested,
@@ -312,6 +335,7 @@ class StreamingCovariance:
             shift=state.get("requested_shift"),
             second_moment=bool(state["second_moment"]),
             nan_policy=state.get("nan_policy", "raise"),
+            dtype=state.get("dtype"),
         )
         accumulator._n_skipped = int(state.get("n_skipped", 0))
         accumulator._chunk_index = int(state.get("chunk_index", 0))
@@ -321,7 +345,9 @@ class StreamingCovariance:
             value = state.get(key)
             if value is not None:
                 setattr(
-                    accumulator, attr, np.array(value, dtype=np.float64)
+                    accumulator,
+                    attr,
+                    np.array(value, dtype=accumulator._dtype),
                 )
         accumulator._n = int(state["n"])
         return accumulator
@@ -337,6 +363,13 @@ class StreamingCovariance:
             raise ValidationError(
                 f"can only merge StreamingCovariance, got "
                 f"{type(other).__name__}"
+            )
+        if other._dtype != self._dtype:
+            raise ValidationError(
+                f"cannot merge a {other._dtype.name} accumulator into a "
+                f"{self._dtype.name} one; shards must be accumulated "
+                "under the same dtype (re-run the divergent shard with a "
+                "matching precision policy)"
             )
         self._n_skipped += other._n_skipped
         if other._n == 0:
@@ -376,6 +409,11 @@ class StreamingCovariance:
     def dim(self) -> int | None:
         """Feature dimension (``None`` until the first chunk)."""
         return self._dim
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Accumulation dtype of the moment buffers."""
+        return self._dtype
 
     @property
     def n_samples(self) -> int:
@@ -458,6 +496,13 @@ class StreamingCovarianceTensor:
         view and chunk index; ``"skip"`` drops the affected samples
         from *every* view (keeping them aligned) and counts them in
         :attr:`n_skipped`.
+    dtype:
+        Accumulation dtype of every moment buffer — the subset tensors
+        and the per-view statistics alike (``None`` → float64, the
+        default under every built-in precision policy including
+        ``"mixed"``). Chunks are cast on ingest. Shards can only
+        :meth:`merge` when their accumulation dtypes match; the dtype is
+        recorded in :meth:`state_dict` so persisted shards carry it.
 
     Notes
     -----
@@ -478,7 +523,9 @@ class StreamingCovarianceTensor:
         track_view_covariances: bool = True,
         buffer_floats: int = DEFAULT_BUFFER_FLOATS,
         nan_policy: str = "raise",
+        dtype=None,
     ):
+        self._dtype = np.dtype(np.float64 if dtype is None else dtype)
         self._dims = None if dims is None else tuple(int(d) for d in dims)
         if self._dims is not None and len(self._dims) < 2:
             raise ValidationError(
@@ -527,6 +574,7 @@ class StreamingCovarianceTensor:
                 dim,
                 shift=shift,
                 second_moment=self._track_view_covariances,
+                dtype=self._dtype,
             )
             for dim, shift in zip(dims, per_view_shifts)
         ]
@@ -539,7 +587,8 @@ class StreamingCovarianceTensor:
                             [dims[p] for p in subset[1:]], dtype=np.int64
                         )
                     ),
-                )
+                ),
+                dtype=self._dtype,
             )
             for subset in self._subsets(m)
         }
@@ -548,7 +597,10 @@ class StreamingCovarianceTensor:
         """Consume one minibatch: a sequence of ``(d_p, n_chunk)`` arrays."""
         chunks = [
             ensure_2d(
-                chunk, name=f"chunks[{index}]", require_finite=False
+                chunk,
+                name=f"chunks[{index}]",
+                require_finite=False,
+                dtype=self._dtype,
             )
             for index, chunk in enumerate(chunks)
         ]
@@ -617,6 +669,13 @@ class StreamingCovarianceTensor:
             raise ValidationError(
                 f"can only merge StreamingCovarianceTensor, got "
                 f"{type(other).__name__}"
+            )
+        if other._dtype != self._dtype:
+            raise ValidationError(
+                f"cannot merge a {other._dtype.name} accumulator into a "
+                f"{self._dtype.name} one; shards must be accumulated "
+                "under the same dtype (re-run the divergent shard with a "
+                "matching precision policy)"
             )
         if self.center != other.center:
             raise ValidationError(
@@ -687,7 +746,7 @@ class StreamingCovarianceTensor:
         """
         from repro.tensor.dense import fold
 
-        total = np.zeros([self._dims[p] for p in subset])
+        total = np.zeros([self._dims[p] for p in subset], dtype=self._dtype)
         for size in range(0, len(subset) + 1):
             for inner in combinations(subset, size):
                 missing = [p for p in subset if p not in inner]
@@ -723,6 +782,7 @@ class StreamingCovarianceTensor:
             "track_view_covariances": self._track_view_covariances,
             "buffer_floats": int(self.buffer_floats),
             "nan_policy": self.nan_policy,
+            "dtype": self._dtype.name,
             "n_skipped": int(self._n_skipped),
             "chunk_index": int(self._chunk_index),
             "n": int(self._n),
@@ -753,6 +813,7 @@ class StreamingCovarianceTensor:
             track_view_covariances=bool(state["track_view_covariances"]),
             buffer_floats=int(state["buffer_floats"]),
             nan_policy=state.get("nan_policy", "raise"),
+            dtype=state.get("dtype"),
         )
         accumulator._n_skipped = int(state.get("n_skipped", 0))
         accumulator._chunk_index = int(state.get("chunk_index", 0))
@@ -766,7 +827,7 @@ class StreamingCovarianceTensor:
         if state["moments"] is not None:
             accumulator._moments = {
                 tuple(int(p) for p in key.split("-")): np.array(
-                    moment, dtype=np.float64
+                    moment, dtype=accumulator._dtype
                 )
                 for key, moment in state["moments"].items()
             }
@@ -783,6 +844,11 @@ class StreamingCovarianceTensor:
     def dims(self) -> tuple[int, ...] | None:
         """Per-view feature dimensions (``None`` until the first update)."""
         return self._dims
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Accumulation dtype of the moment buffers."""
+        return self._dtype
 
     @property
     def n_views(self) -> int | None:
@@ -842,7 +908,7 @@ class StreamingCovarianceTensor:
             accumulator._sum / self._n for accumulator in self._views
         ]
         nonzero = [bool(np.any(delta)) for delta in deltas]
-        total = np.zeros(self._dims)
+        total = np.zeros(self._dims, dtype=self._dtype)
         for size in range(0, m + 1):
             for subset in combinations(range(m), size):
                 missing = [p for p in range(m) if p not in subset]

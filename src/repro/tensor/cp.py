@@ -18,6 +18,16 @@ from repro.tensor.products import khatri_rao
 __all__ = ["CPTensor", "rank1_tensor"]
 
 
+def _as_host_float(array) -> np.ndarray:
+    """``array`` as a host (NumPy) float array, preserving float32/float64."""
+    from repro.backends import to_numpy
+
+    out = to_numpy(array)
+    if out.dtype not in (np.float32, np.float64):
+        out = out.astype(np.float64)
+    return out
+
+
 def rank1_tensor(vectors, weight: float = 1.0) -> np.ndarray:
     """Dense rank-1 tensor ``weight · v_1 ∘ v_2 ∘ … ∘ v_m``."""
     return float(weight) * outer_product(vectors)
@@ -39,14 +49,15 @@ class CPTensor:
     factors: list[np.ndarray] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        self.weights = np.asarray(self.weights, dtype=np.float64)
+        # CP results live on the host: whatever backend produced the
+        # factors, the canonical representation is NumPy in the floating
+        # dtype the solver computed in (float32 factors stay float32).
+        self.weights = _as_host_float(self.weights)
         if self.weights.ndim != 1:
             raise ShapeError(
                 f"weights must be 1-D, got ndim={self.weights.ndim}"
             )
-        self.factors = [
-            np.asarray(factor, dtype=np.float64) for factor in self.factors
-        ]
+        self.factors = [_as_host_float(factor) for factor in self.factors]
         if not self.factors:
             raise ValidationError("CPTensor needs at least one factor matrix")
         rank = self.weights.shape[0]

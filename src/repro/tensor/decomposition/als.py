@@ -21,6 +21,7 @@ import warnings
 
 import numpy as np
 
+from repro.backends import array_namespace
 from repro.exceptions import ConvergenceWarning, DecompositionError
 from repro.tensor.cp import CPTensor
 from repro.tensor.decomposition.init import initialize_factors
@@ -32,14 +33,15 @@ from repro.utils.validation import check_positive_int
 __all__ = ["cp_als", "cp_als_core"]
 
 
-def _hadamard_gram(grams: list[np.ndarray], skip: int) -> np.ndarray:
+def _hadamard_gram(grams, skip: int):
     """Hadamard product of the cached factor Grams, excluding mode ``skip``.
 
     This is the normal-equation matrix of the mode-``skip`` least-squares
     update: ``⊙_{q≠skip} U_q^T U_q``.
     """
+    xp = array_namespace(*grams)
     rank = grams[0].shape[0]
-    gram = np.ones((rank, rank))
+    gram = xp.ones((rank, rank), dtype=grams[0].dtype)
     for other, factor_gram in enumerate(grams):
         if other == skip:
             continue
@@ -80,8 +82,10 @@ def cp_als_core(
     recomputation of unchanged ``O(d_q r²)`` products.
     """
     ndim = len(factors)
+    xp = array_namespace(*factors)
+    dtype = factors[0].dtype
     norm_x = float(np.sqrt(norm_x_sq))
-    weights = np.ones(factors[0].shape[1])
+    weights = xp.ones(factors[0].shape[1], dtype=dtype)
     grams = [factor.T @ factor for factor in factors]
 
     fit_history: list[float] = []
@@ -93,12 +97,14 @@ def cp_als_core(
             rhs = mttkrp(factors, mode)
             gram = _hadamard_gram(grams, mode)
             # Solve U_p gram = rhs for U_p; pinv guards rank-deficient grams.
+            # (torch raises a RuntimeError subclass where numpy raises
+            # LinAlgError; both fall through to the pinv path.)
             try:
-                updated = np.linalg.solve(gram.T, rhs.T).T
-            except np.linalg.LinAlgError:
-                updated = rhs @ np.linalg.pinv(gram)
-            norms = np.linalg.norm(updated, axis=0)
-            safe = np.where(norms > 0.0, norms, 1.0)
+                updated = (xp.linalg.solve(gram.T, rhs.T)).T
+            except (np.linalg.LinAlgError, RuntimeError):
+                updated = rhs @ xp.linalg.pinv(gram)
+            norms = xp.linalg.vector_norm(updated, axis=0)
+            safe = xp.where(norms > 0.0, norms, xp.ones((), dtype=dtype))
             factors[mode] = updated / safe
             weights = norms
             grams[mode] = factors[mode].T @ factors[mode]
@@ -109,7 +115,7 @@ def cp_als_core(
         # pair the identity needs (the other factors did not change after
         # it), so they are reused instead of recomputed.
         last = factors[ndim - 1] * weights
-        cross = float(np.sum(rhs * last))
+        cross = float(xp.sum(rhs * last))
         gram_full = gram * grams[ndim - 1]
         model_sq = float(weights @ gram_full @ weights)
         error_sq = max(norm_x_sq - 2.0 * cross + model_sq, 0.0)
@@ -129,10 +135,12 @@ def cp_als_core(
             stacklevel=3,
         )
 
-    order_by_weight = np.argsort(-np.abs(weights))
+    order_by_weight = xp.argsort(-xp.abs(weights))
     cp = CPTensor(
-        weights=weights[order_by_weight],
-        factors=[factor[:, order_by_weight] for factor in factors],
+        weights=xp.take(weights, order_by_weight, axis=0),
+        factors=[
+            xp.take(factor, order_by_weight, axis=1) for factor in factors
+        ],
     )
     return DecompositionResult(
         cp=cp,
@@ -184,7 +192,10 @@ def cp_als(
         With factors normalized to unit columns and component weights sorted
         in decreasing ``|λ|`` order.
     """
-    tensor = np.asarray(tensor, dtype=np.float64)
+    xp = array_namespace(tensor)
+    tensor = xp.asarray(tensor)
+    if not xp.isdtype(tensor.dtype, "real floating"):
+        tensor = xp.astype(tensor, xp.float64)
     if tensor.ndim < 2:
         raise DecompositionError(
             f"CP-ALS needs an order >= 2 tensor, got order {tensor.ndim}"

@@ -47,7 +47,7 @@ def rank1_contraction(
         result = np.squeeze(
             mode_product(result, vectors[mode][None, :], mode), axis=mode
         )
-    return np.asarray(result, dtype=np.float64).ravel()
+    return np.asarray(result).ravel()
 
 
 def hopm_core(
@@ -142,7 +142,9 @@ def best_rank1(
         the attained multilinear Rayleigh quotient ``ρ``. ``fit_history``
         traces ``ρ`` per iteration.
     """
-    tensor = np.asarray(tensor, dtype=np.float64)
+    tensor = np.asarray(tensor)
+    if tensor.dtype not in (np.float32, np.float64):
+        tensor = tensor.astype(np.float64)
     if tensor.ndim < 2:
         raise DecompositionError(
             f"HOPM needs an order >= 2 tensor, got order {tensor.ndim}"

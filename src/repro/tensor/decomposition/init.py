@@ -60,7 +60,9 @@ def _check_method(method: str) -> None:
         )
 
 
-def check_factors_init(shape, rank: int, factors_init) -> list[np.ndarray]:
+def check_factors_init(
+    shape, rank: int, factors_init, *, dtype=None
+) -> list[np.ndarray]:
     """Validate user-supplied warm-start factors against ``shape``/``rank``.
 
     Returns normalized *copies* — unit columns, like every other
@@ -68,10 +70,13 @@ def check_factors_init(shape, rank: int, factors_init) -> list[np.ndarray]:
     warm factors are already oriented (e.g. by a previous fit's
     ``canonicalize_signs``) and flipping them would discard that state.
     Zero columns are left as drawn by ``_normalize_columns``'s guard.
+    ``dtype`` casts the copies into the target's compute dtype (the
+    mixed-precision polish warm-starts a float64 solve from float32
+    factors this way); the default keeps float64.
     """
+    dtype = np.float64 if dtype is None else np.dtype(dtype)
     factors = [
-        np.array(factor, dtype=np.float64, copy=True)
-        for factor in factors_init
+        np.array(factor, dtype=dtype, copy=True) for factor in factors_init
     ]
     if len(factors) != len(shape):
         raise ValidationError(
@@ -132,22 +137,31 @@ def initialize_factors(
     list of ``(I_p, rank)`` arrays with unit-norm columns and
     sign-canonicalized pivots (warm factors keep their own signs).
     """
+    dtype = (
+        tensor.dtype
+        if tensor.dtype in (np.float32, np.float64)
+        else np.float64
+    )
     if factors_init is not None:
-        return check_factors_init(tensor.shape, rank, factors_init)
+        return check_factors_init(
+            tensor.shape, rank, factors_init, dtype=dtype
+        )
     _check_method(method)
     rng = check_random_state(random_state)
     factors = []
     for mode in range(tensor.ndim):
         size = tensor.shape[mode]
         if method == "random":
-            factor = rng.standard_normal((size, rank))
+            factor = rng.standard_normal((size, rank)).astype(
+                dtype, copy=False
+            )
         else:
             unfolding = unfold(tensor, mode)
             left, _singular_values, _right = np.linalg.svd(
                 unfolding, full_matrices=False
             )
             n_available = min(rank, left.shape[1])
-            factor = np.empty((size, rank))
+            factor = np.empty((size, rank), dtype=dtype)
             factor[:, :n_available] = left[:, :n_available]
             _pad_random(factor, n_available, rng)
         factors.append(_canonicalize_column_signs(_normalize_columns(factor)))
@@ -175,8 +189,11 @@ def initialize_factors_implicit(
     the operator's Gram pass entirely, which on stream-backed operators
     saves the nested data pass.
     """
+    dtype = np.dtype(getattr(operator, "dtype", np.float64))
     if factors_init is not None:
-        return check_factors_init(operator.shape, rank, factors_init)
+        return check_factors_init(
+            operator.shape, rank, factors_init, dtype=dtype
+        )
     _check_method(method)
     rng = check_random_state(random_state)
     shape = operator.shape
@@ -184,7 +201,9 @@ def initialize_factors_implicit(
     for mode in range(len(shape)):
         size = shape[mode]
         if method == "random":
-            factor = rng.standard_normal((size, rank))
+            factor = rng.standard_normal((size, rank)).astype(
+                dtype, copy=False
+            )
         else:
             eigenvalues, eigenvectors = np.linalg.eigh(
                 operator.mode_gram(mode)
@@ -203,7 +222,7 @@ def initialize_factors_implicit(
                 ),
             )
             n_available = min(rank, n_columns)
-            factor = np.empty((size, rank))
+            factor = np.empty((size, rank), dtype=dtype)
             factor[:, :n_available] = leading[:, :n_available]
             _pad_random(factor, n_available, rng)
         factors.append(_canonicalize_column_signs(_normalize_columns(factor)))

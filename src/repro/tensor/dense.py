@@ -12,12 +12,17 @@ With this convention,
 
 where ``c_1 … c_L`` is that same cyclic ordering, which is what makes the
 ALS update in :mod:`repro.tensor.decomposition.als` a plain matrix product.
+
+Every kernel here dispatches on the namespace and floating dtype of its
+inputs (:mod:`repro.backends`): non-floating inputs promote to float64,
+float32/float64 arrays stay in their dtype and backend.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backends import array_namespace, reshape_fortran
 from repro.exceptions import ShapeError, ValidationError
 
 __all__ = [
@@ -32,14 +37,24 @@ __all__ = [
 ]
 
 
-def _check_tensor(tensor, name: str = "tensor") -> np.ndarray:
-    out = np.asarray(tensor, dtype=np.float64)
+def _as_float(xp, array):
+    """``array`` in ``xp`` with a real floating dtype (default float64)."""
+    array = xp.asarray(array)
+    if not xp.isdtype(array.dtype, "real floating"):
+        array = xp.astype(array, xp.float64)
+    return array
+
+
+def _check_tensor(tensor, name: str = "tensor", xp=None):
+    if xp is None:
+        xp = array_namespace(tensor)
+    out = _as_float(xp, tensor)
     if out.ndim < 1:
         raise ShapeError(f"{name} must have at least 1 mode, got a scalar")
     return out
 
 
-def _check_mode(tensor: np.ndarray, mode: int) -> int:
+def _check_mode(tensor, mode: int) -> int:
     if not isinstance(mode, (int, np.integer)) or isinstance(mode, bool):
         raise ValidationError(f"mode must be an integer, got {mode!r}")
     mode = int(mode)
@@ -60,21 +75,22 @@ def cyclic_mode_order(ndim: int, mode: int) -> list[int]:
     return [(mode + offset) % ndim for offset in range(1, ndim)]
 
 
-def unfold(tensor, mode: int) -> np.ndarray:
+def unfold(tensor, mode: int):
     """Mode-``mode`` matricization with forward-cyclic column ordering."""
-    tensor = _check_tensor(tensor)
+    xp = array_namespace(tensor)
+    tensor = _check_tensor(tensor, xp=xp)
     mode = _check_mode(tensor, mode)
     order = [mode] + cyclic_mode_order(tensor.ndim, mode)
     # Fortran order makes the *first* trailing axis vary fastest, which is
     # exactly the Kronecker ordering U_{c_L} ⊗ … ⊗ U_{c_1} in Eq. 4.3.
-    return np.transpose(tensor, order).reshape(
-        (tensor.shape[mode], -1), order="F"
-    )
+    permuted = xp.permute_dims(tensor, tuple(order))
+    return reshape_fortran(xp, permuted, (tensor.shape[mode], -1))
 
 
-def fold(matrix, mode: int, shape) -> np.ndarray:
+def fold(matrix, mode: int, shape):
     """Inverse of :func:`unfold`: rebuild the tensor of the given ``shape``."""
-    matrix = np.asarray(matrix, dtype=np.float64)
+    xp = array_namespace(matrix)
+    matrix = _as_float(xp, matrix)
     shape = tuple(int(size) for size in shape)
     if matrix.ndim != 2:
         raise ShapeError(f"matrix must be 2-D, got ndim={matrix.ndim}")
@@ -90,21 +106,32 @@ def fold(matrix, mode: int, shape) -> np.ndarray:
             f"matrix shape {matrix.shape} incompatible with tensor shape "
             f"{shape} at mode {mode}; expected {expected}"
         )
-    tensor = matrix.reshape(permuted_shape, order="F")
-    inverse_order = np.argsort(order)
-    return np.transpose(tensor, inverse_order)
+    tensor = reshape_fortran(xp, matrix, permuted_shape)
+    inverse_order = tuple(int(axis) for axis in np.argsort(order))
+    return xp.permute_dims(tensor, inverse_order)
 
 
-def mode_product(tensor, matrix, mode: int) -> np.ndarray:
+def _moveaxis(xp, array, source: int, destination: int):
+    """``np.moveaxis`` via the array-API ``permute_dims``."""
+    axes = list(range(array.ndim))
+    axes.insert(
+        destination if destination >= 0 else array.ndim + destination,
+        axes.pop(source),
+    )
+    return xp.permute_dims(array, tuple(axes))
+
+
+def mode_product(tensor, matrix, mode: int):
     """Mode-``mode`` product ``B = A ×_mode U`` with ``U`` of shape ``(J, I_mode)``.
 
     A 1-D ``matrix`` is treated as a row vector ``(1, I_mode)`` and the
     resulting singleton axis is kept, matching the paper's use of
     ``C ×_p h_p^T``.
     """
-    tensor = _check_tensor(tensor)
+    xp = array_namespace(tensor, matrix)
+    tensor = _check_tensor(tensor, xp=xp)
     mode = _check_mode(tensor, mode)
-    matrix = np.asarray(matrix, dtype=np.float64)
+    matrix = _as_float(xp, matrix)
     if matrix.ndim == 1:
         matrix = matrix[None, :]
     if matrix.ndim != 2:
@@ -114,12 +141,12 @@ def mode_product(tensor, matrix, mode: int) -> np.ndarray:
             f"matrix has {matrix.shape[1]} columns but tensor mode {mode} has "
             f"size {tensor.shape[mode]}"
         )
-    moved = np.moveaxis(tensor, mode, -1)
+    moved = _moveaxis(xp, tensor, mode, -1)
     product = moved @ matrix.T
-    return np.moveaxis(product, -1, mode)
+    return _moveaxis(xp, product, -1, mode)
 
 
-def multi_mode_product(tensor, matrices, modes=None, *, skip=None) -> np.ndarray:
+def multi_mode_product(tensor, matrices, modes=None, *, skip=None):
     """Apply a sequence of mode products ``A ×_{m_1} U_1 ×_{m_2} U_2 …``.
 
     Parameters
@@ -152,11 +179,13 @@ def multi_mode_product(tensor, matrices, modes=None, *, skip=None) -> np.ndarray
     return result
 
 
-def outer_product(vectors) -> np.ndarray:
+def outer_product(vectors):
     """Outer product ``v_1 ∘ v_2 ∘ … ∘ v_m`` of a sequence of 1-D vectors."""
-    vectors = [np.asarray(vector, dtype=np.float64) for vector in vectors]
+    vectors = list(vectors)
     if not vectors:
         raise ValidationError("need at least one vector")
+    xp = array_namespace(*vectors)
+    vectors = [_as_float(xp, vector) for vector in vectors]
     for index, vector in enumerate(vectors):
         if vector.ndim != 1:
             raise ShapeError(
@@ -164,23 +193,27 @@ def outer_product(vectors) -> np.ndarray:
             )
     result = vectors[0]
     for vector in vectors[1:]:
-        result = np.multiply.outer(result, vector)
+        result = result[..., None] * vector
     return result
 
 
 def inner_product(tensor_a, tensor_b) -> float:
     """Tensor inner product ``⟨A, B⟩ = Σ A(i…) B(i…)``."""
-    tensor_a = _check_tensor(tensor_a, "tensor_a")
-    tensor_b = _check_tensor(tensor_b, "tensor_b")
+    xp = array_namespace(tensor_a, tensor_b)
+    tensor_a = _check_tensor(tensor_a, "tensor_a", xp=xp)
+    tensor_b = _check_tensor(tensor_b, "tensor_b", xp=xp)
     if tensor_a.shape != tensor_b.shape:
         raise ShapeError(
             f"tensors must share a shape, got {tensor_a.shape} and "
             f"{tensor_b.shape}"
         )
-    return float(np.sum(tensor_a * tensor_b))
+    return float(xp.sum(tensor_a * tensor_b))
 
 
 def frobenius_norm(tensor) -> float:
     """Frobenius norm ``‖A‖_F = sqrt(⟨A, A⟩)`` (Eq. 4.4 of the paper)."""
-    tensor = _check_tensor(tensor)
-    return float(np.linalg.norm(tensor.ravel()))
+    xp = array_namespace(tensor)
+    tensor = _check_tensor(tensor, xp=xp)
+    return float(
+        xp.linalg.vector_norm(xp.reshape(tensor, (-1,)))
+    )

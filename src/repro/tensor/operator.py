@@ -38,9 +38,18 @@ from repro.utils.validation import check_views
 
 __all__ = ["CovarianceTensorOperator"]
 
-#: sample-block budget (floats) for the pairwise-Gram accumulations, so the
-#: ``(N, block)`` intermediates stay near 64 MB regardless of ``N``.
+#: sample-block budget for the pairwise-Gram accumulations, expressed in
+#: *float64-equivalent* elements (a byte budget of ``2**23 * 8`` ≈ 64 MB):
+#: the ``(N, block)`` intermediates stay near 64 MB regardless of ``N``
+#: or the compute dtype — float32 blocks get twice the rows for the same
+#: bytes.
 DEFAULT_BLOCK_FLOATS = 2**23
+
+
+def _block_rows(block_floats: int, row_bytes: int) -> int:
+    """Rows fitting the byte budget ``block_floats`` float64s imply."""
+    budget_bytes = int(block_floats) * np.dtype(np.float64).itemsize
+    return max(1, budget_bytes // max(int(row_bytes), 1))
 
 
 def _as_kernel_policy(policy) -> ExecutionPolicy:
@@ -55,9 +64,9 @@ def _as_kernel_policy(policy) -> ExecutionPolicy:
     return policy.for_shared_memory()
 
 
-def _check_factors(shape, factors):
+def _check_factors(shape, factors, dtype=np.float64):
     """Validate one factor matrix per mode with a shared column count."""
-    factors = [np.asarray(factor, dtype=np.float64) for factor in factors]
+    factors = [np.asarray(factor, dtype=dtype) for factor in factors]
     if len(factors) != len(shape):
         raise ValidationError(
             f"need one factor per mode ({len(shape)}), got {len(factors)}"
@@ -83,10 +92,10 @@ def _check_factors(shape, factors):
     return factors
 
 
-def _check_vectors(shape, vectors):
+def _check_vectors(shape, vectors, dtype=np.float64):
     """Validate one contraction vector per mode."""
     vectors = [
-        np.asarray(vector, dtype=np.float64).ravel() for vector in vectors
+        np.asarray(vector, dtype=dtype).ravel() for vector in vectors
     ]
     if len(vectors) != len(shape):
         raise ValidationError(
@@ -114,9 +123,20 @@ class _MatrixBackend:
     def __init__(
         self, views, block_floats: int = DEFAULT_BLOCK_FLOATS, policy=None
     ):
-        self.views = check_views(views, min_views=2)
+        # dtype=None: the backend contracts in whatever floating dtype
+        # the (already whitened) views arrive in — float32 under the
+        # mixed policy, float64 otherwise.
+        self.views = check_views(views, min_views=2, dtype=None)
+        common = np.result_type(*(view.dtype for view in self.views))
+        self.views = [
+            view.astype(common, copy=False) for view in self.views
+        ]
         self.block_floats = int(block_floats)
         self.policy = _as_kernel_policy(policy)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.views[0].dtype
 
     @property
     def shape(self) -> tuple[int, ...]:
@@ -128,7 +148,7 @@ class _MatrixBackend:
 
     def _mttkrp_block(self, factors, mode: int, start: int, stop: int):
         rank = factors[0].shape[1]
-        hadamard = np.ones((stop - start, rank))
+        hadamard = np.ones((stop - start, rank), dtype=self.dtype)
         for other, (view, factor) in enumerate(zip(self.views, factors)):
             if other == mode:
                 continue
@@ -149,23 +169,21 @@ class _MatrixBackend:
         return self._mttkrp_block(factors, mode, 0, n) / n
 
     def multi_contract(self, vectors) -> float:
-        product = np.ones(self.n_samples)
+        product = np.ones(self.n_samples, dtype=self.dtype)
         for view, vector in zip(self.views, vectors):
             product *= view.T @ vector
         return float(product.sum() / self.n_samples)
 
     def _sample_blocks(self):
         # One (N, block) product buffer is alive per view — and one set
-        # per concurrent worker — so the budget is split across all of
-        # them to keep the peak near block_floats regardless of width.
+        # per concurrent worker — so the *byte* budget is split across
+        # all of them to keep the peak near block_floats float64s
+        # regardless of width or compute dtype.
         n = self.n_samples
-        step = max(
-            1,
-            int(
-                self.block_floats
-                // max(n * len(self.views) * self.policy.n_workers, 1)
-            ),
+        row_bytes = (
+            n * len(self.views) * self.policy.n_workers * self.dtype.itemsize
         )
+        step = _block_rows(self.block_floats, row_bytes)
         for start in range(0, n, step):
             yield start, min(start + step, n)
 
@@ -177,7 +195,7 @@ class _MatrixBackend:
         products = [view.T @ view[:, start:stop] for view in self.views]
         partials = []
         for mode, view in enumerate(self.views):
-            weights = np.ones((n, stop - start))
+            weights = np.ones((n, stop - start), dtype=self.dtype)
             for other, product in enumerate(products):
                 if other == mode:
                     continue
@@ -193,7 +211,8 @@ class _MatrixBackend:
         else:
             per_block = [self._gram_block(start, stop) for start, stop in blocks]
         results = [
-            np.zeros((view.shape[0], view.shape[0])) for view in self.views
+            np.zeros((view.shape[0], view.shape[0]), dtype=self.dtype)
+            for view in self.views
         ]
         for partials in per_block:
             for mode, block in enumerate(partials):
@@ -215,9 +234,13 @@ class _StreamBackend:
     once per fit and stays sequential.
     """
 
-    def __init__(self, stream, whiteners, means, policy=None):
+    def __init__(self, stream, whiteners, means, policy=None, dtype=None):
         self.stream = stream
         self.policy = _as_kernel_policy(policy)
+        # Whitening state stays float64 (it came out of the float64
+        # eigendecomposition); ``dtype`` is the dtype whitened chunks are
+        # cast to for the contractions — float32 under the mixed policy.
+        self.dtype = np.dtype(np.float64 if dtype is None else dtype)
         self.whiteners = [
             np.asarray(whitener, dtype=np.float64) for whitener in whiteners
         ]
@@ -255,7 +278,8 @@ class _StreamBackend:
             self.stream if stream is None else stream
         ):
             yield [
-                whitener @ (np.asarray(chunk, dtype=np.float64) - mean)
+                (whitener @ (np.asarray(chunk, dtype=np.float64) - mean))
+                .astype(self.dtype, copy=False)
                 for whitener, chunk, mean in zip(
                     self.whiteners, chunks, self.means
                 )
@@ -275,9 +299,9 @@ class _StreamBackend:
 
     def _mttkrp_shard(self, factors, mode: int, stream) -> np.ndarray:
         rank = factors[0].shape[1]
-        result = np.zeros((self.shape[mode], rank))
+        result = np.zeros((self.shape[mode], rank), dtype=self.dtype)
         for whitened in self._whitened_chunks(stream):
-            hadamard = np.ones((whitened[0].shape[1], rank))
+            hadamard = np.ones((whitened[0].shape[1], rank), dtype=self.dtype)
             for other, (chunk, factor) in enumerate(zip(whitened, factors)):
                 if other == mode:
                     continue
@@ -300,7 +324,7 @@ class _StreamBackend:
     def _contract_shard(self, vectors, stream) -> float:
         total = 0.0
         for whitened in self._whitened_chunks(stream):
-            product = np.ones(whitened[0].shape[1])
+            product = np.ones(whitened[0].shape[1], dtype=self.dtype)
             for chunk, vector in zip(whitened, vectors):
                 product *= chunk.T @ vector
             total += float(product.sum())
@@ -314,7 +338,9 @@ class _StreamBackend:
         return float(sum(totals)) / self.n_samples
 
     def mode_grams(self) -> list[np.ndarray]:
-        results = [np.zeros((size, size)) for size in self.shape]
+        results = [
+            np.zeros((size, size), dtype=self.dtype) for size in self.shape
+        ]
         for left in self._whitened_chunks():
             for right in self._whitened_chunks():
                 # Per-view chunk-pair Grams are shared by every mode's
@@ -325,7 +351,7 @@ class _StreamBackend:
                     for chunk_l, chunk_r in zip(left, right)
                 ]
                 for mode in range(len(results)):
-                    weights = np.ones(products[0].shape)
+                    weights = np.ones(products[0].shape, dtype=self.dtype)
                     for other, product in enumerate(products):
                         if other == mode:
                             continue
@@ -366,7 +392,7 @@ class CovarianceTensorOperator:
 
     @classmethod
     def from_stream(
-        cls, stream, *, whiteners, means, policy=None
+        cls, stream, *, whiteners, means, policy=None, dtype=None
     ) -> "CovarianceTensorOperator":
         """Operator over a re-iterable chunked stream of *raw* views.
 
@@ -374,9 +400,17 @@ class CovarianceTensorOperator:
         whitened with ``whiteners`` (``(d_p, d_p)``) on the fly during
         every contraction, so nothing ``N``-sized is ever resident. A
         parallel ``policy`` splits each single-pass contraction across
-        stream shards.
+        stream shards. ``dtype`` sets the contraction dtype of the
+        whitened chunks (whitening itself stays float64).
         """
-        return cls(_StreamBackend(stream, whiteners, means, policy=policy))
+        return cls(
+            _StreamBackend(stream, whiteners, means, policy=policy, dtype=dtype)
+        )
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The floating dtype contractions compute in."""
+        return np.dtype(self._backend.dtype)
 
     @property
     def shape(self) -> tuple[int, ...]:
@@ -405,13 +439,13 @@ class CovarianceTensorOperator:
         ``mode`` itself is ignored); the result is ``(d_mode, r)``. This is
         the only quantity a CP-ALS mode update reads off the tensor.
         """
-        factors = _check_factors(self.shape, factors)
+        factors = _check_factors(self.shape, factors, self.dtype)
         mode = self._check_mode(mode)
         return self._backend.mttkrp(factors, mode)
 
     def multi_contract(self, vectors) -> float:
         """Full contraction ``M ×_1 v_1^T ×_2 … ×_m v_m^T``."""
-        vectors = _check_vectors(self.shape, vectors)
+        vectors = _check_vectors(self.shape, vectors, self.dtype)
         return self._backend.multi_contract(vectors)
 
     def frobenius_norm_sq(self) -> float:

@@ -4,52 +4,70 @@ The Khatri-Rao (column-wise Kronecker) product is the workhorse of CP-ALS:
 for the mode-``p`` unfolding convention in :mod:`repro.tensor.dense`, the
 least-squares update for factor ``U_p`` contracts the unfolding against the
 Khatri-Rao product of the remaining factors taken in reverse cyclic order.
+
+Both products are array-API generic: they run in the namespace and
+floating dtype of their inputs (non-floating inputs are promoted to
+float64, the reference dtype), so a float32 factor set stays float32
+through the hot loop.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backends import array_namespace, einsum
 from repro.exceptions import ShapeError, ValidationError
 
 __all__ = ["khatri_rao", "kronecker"]
 
 
-def kronecker(matrices) -> np.ndarray:
-    """Kronecker product of a sequence of matrices, left to right."""
-    matrices = [np.asarray(matrix, dtype=np.float64) for matrix in matrices]
+def _as_float_matrices(matrices):
+    """Inputs as floating-point arrays in their shared namespace."""
+    matrices = list(matrices)
     if not matrices:
         raise ValidationError("need at least one matrix")
+    xp = array_namespace(*matrices)
+    converted = []
     for index, matrix in enumerate(matrices):
+        matrix = xp.asarray(matrix)
+        if not xp.isdtype(matrix.dtype, "real floating"):
+            matrix = xp.astype(matrix, xp.float64)
         if matrix.ndim != 2:
             raise ShapeError(
                 f"matrices[{index}] must be 2-D, got ndim={matrix.ndim}"
             )
+        converted.append(matrix)
+    return xp, converted
+
+
+def kronecker(matrices):
+    """Kronecker product of a sequence of matrices, left to right."""
+    xp, matrices = _as_float_matrices(matrices)
+    if xp is np:
+        result = matrices[0]
+        for matrix in matrices[1:]:
+            result = np.kron(result, matrix)
+        return result
     result = matrices[0]
     for matrix in matrices[1:]:
-        result = np.kron(result, matrix)
+        rows_a, cols_a = result.shape
+        rows_b, cols_b = matrix.shape
+        block = result[:, None, :, None] * matrix[None, :, None, :]
+        result = xp.reshape(block, (rows_a * rows_b, cols_a * cols_b))
     return result
 
 
-def khatri_rao(matrices) -> np.ndarray:
+def khatri_rao(matrices):
     """Column-wise Kronecker product of matrices sharing a column count.
 
     For inputs ``A_1 (I_1 × R), …, A_k (I_k × R)`` the result has shape
     ``(∏ I_j) × R`` with the ``r``'th column equal to
     ``A_1[:, r] ⊗ A_2[:, r] ⊗ … ⊗ A_k[:, r]``.
     """
-    matrices = [np.asarray(matrix, dtype=np.float64) for matrix in matrices]
-    if not matrices:
-        raise ValidationError("need at least one matrix")
-    n_columns = None
-    for index, matrix in enumerate(matrices):
-        if matrix.ndim != 2:
-            raise ShapeError(
-                f"matrices[{index}] must be 2-D, got ndim={matrix.ndim}"
-            )
-        if n_columns is None:
-            n_columns = matrix.shape[1]
-        elif matrix.shape[1] != n_columns:
+    xp, matrices = _as_float_matrices(matrices)
+    n_columns = matrices[0].shape[1]
+    for index, matrix in enumerate(matrices[1:], start=1):
+        if matrix.shape[1] != n_columns:
             raise ShapeError(
                 "all matrices must share a column count; "
                 f"matrices[{index}] has {matrix.shape[1]} != {n_columns}"
@@ -61,18 +79,24 @@ def khatri_rao(matrices) -> np.ndarray:
     # (a[:, None, :] * b[None, :, :]) at the small column counts CP-ALS
     # uses — benchmarks/test_bench_implicit.py measures both. The final
     # (largest) fold writes straight into a pre-allocated output instead
-    # of a temporary.
+    # of a temporary (NumPy only; other namespaces lack einsum's out=).
     result = matrices[0]
     for matrix in matrices[1:-1]:
-        result = np.einsum("ir,jr->ijr", result, matrix).reshape(
-            -1, n_columns
+        result = xp.reshape(
+            einsum(xp, "ir,jr->ijr", result, matrix), (-1, n_columns)
         )
     last = matrices[-1]
-    out = np.empty((result.shape[0] * last.shape[0], n_columns))
-    np.einsum(
-        "ir,jr->ijr",
-        result,
-        last,
-        out=out.reshape(result.shape[0], last.shape[0], n_columns),
+    if xp is np:
+        dtype = np.result_type(result.dtype, last.dtype)
+        out = np.empty((result.shape[0] * last.shape[0], n_columns), dtype)
+        np.einsum(
+            "ir,jr->ijr",
+            result,
+            last,
+            out=out.reshape(result.shape[0], last.shape[0], n_columns),
+        )
+        return out
+    return xp.reshape(
+        einsum(xp, "ir,jr->ijr", result, last),
+        (result.shape[0] * last.shape[0], n_columns),
     )
-    return out

@@ -15,16 +15,28 @@ __all__ = ["check_positive_int", "check_square", "check_views", "ensure_2d"]
 
 
 def ensure_2d(
-    array, name: str = "array", *, require_finite: bool = True
+    array,
+    name: str = "array",
+    *,
+    require_finite: bool = True,
+    dtype=np.float64,
 ) -> np.ndarray:
-    """Convert to a float64 2-D :class:`numpy.ndarray`, validating shape.
+    """Convert to a float 2-D :class:`numpy.ndarray`, validating shape.
 
     ``require_finite=False`` skips the NaN/Inf rejection — only for
     callers that run their own non-finite screening afterwards (the
     streaming accumulators' ``nan_policy`` machinery); everything else
-    keeps the strict default.
+    keeps the strict default. ``dtype=None`` preserves a float32/float64
+    input dtype (non-float inputs still promote to float64) — the
+    mixed-precision kernel layer's contract; the float64 default is the
+    estimator-surface contract.
     """
-    out = np.asarray(array, dtype=np.float64)
+    if dtype is None:
+        out = np.asarray(array)
+        if out.dtype not in (np.float32, np.float64):
+            out = out.astype(np.float64)
+    else:
+        out = np.asarray(array, dtype=dtype)
     if out.ndim != 2:
         raise ShapeError(f"{name} must be 2-dimensional, got ndim={out.ndim}")
     if out.size == 0:
@@ -40,6 +52,7 @@ def check_views(
     min_views: int = 2,
     same_samples: bool = True,
     require_finite: bool = True,
+    dtype=np.float64,
 ) -> list[np.ndarray]:
     """Validate a list of view matrices ``X_p`` of shape ``(d_p, N)``.
 
@@ -71,7 +84,10 @@ def check_views(
         )
     checked = [
         ensure_2d(
-            view, name=f"views[{index}]", require_finite=require_finite
+            view,
+            name=f"views[{index}]",
+            require_finite=require_finite,
+            dtype=dtype,
         )
         for index, view in enumerate(views)
     ]

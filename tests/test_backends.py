@@ -1,0 +1,295 @@
+"""Tests for the backend dispatch layer and the precision policy.
+
+NumPy is the always-available reference backend and is tested
+unconditionally; the ``array_api_strict`` and torch legs are gated on
+import availability and skip cleanly where those libraries are absent
+(the CI ``array-api`` job installs ``array-api-strict`` to run them).
+"""
+
+import importlib.util
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    DTypePolicy,
+    PRECISION_CHOICES,
+    array_namespace,
+    asarray_like,
+    einsum,
+    is_numpy_namespace,
+    reshape_fortran,
+    resolve_precision,
+    to_numpy,
+)
+from repro.exceptions import ValidationError
+
+
+class TestArrayNamespace:
+    def test_numpy_arrays_resolve_to_numpy(self):
+        xp = array_namespace(np.zeros(3), np.ones((2, 2)))
+        assert is_numpy_namespace(xp)
+
+    def test_scalars_and_lists_resolve_to_numpy(self):
+        assert is_numpy_namespace(array_namespace(1.0, [1, 2], None))
+
+    def test_no_arguments_resolves_to_numpy(self):
+        assert array_namespace() is np
+
+    def test_foreign_namespace_is_believed(self):
+        fake = SimpleNamespace(__name__="fakelib")
+        array = SimpleNamespace(__array_namespace__=lambda: fake)
+        assert array_namespace(array, np.zeros(2)) is fake
+
+    def test_mixing_two_foreign_namespaces_raises(self):
+        one = SimpleNamespace(__name__="one")
+        two = SimpleNamespace(__name__="two")
+        a = SimpleNamespace(__array_namespace__=lambda: one)
+        b = SimpleNamespace(__array_namespace__=lambda: two)
+        with pytest.raises(TypeError, match="different array-API"):
+            array_namespace(a, b)
+
+
+class TestConversionHelpers:
+    def test_asarray_like_matches_reference_backend(self):
+        out = asarray_like([1.0, 2.0], np.zeros(2), dtype=np.float32)
+        assert isinstance(out, np.ndarray)
+        assert out.dtype == np.float32
+
+    def test_to_numpy_passes_numpy_through_untouched(self):
+        array = np.arange(6.0).reshape(2, 3)
+        assert to_numpy(array) is array
+
+    def test_to_numpy_detaches_torch_like_objects(self):
+        class FakeTensor:
+            def __init__(self, data):
+                self.data = data
+
+            def detach(self):
+                return self
+
+            def cpu(self):
+                return self
+
+            def __array__(self, dtype=None, copy=None):
+                return np.asarray(self.data)
+
+        out = to_numpy(FakeTensor([1.0, 2.0]))
+        assert isinstance(out, np.ndarray)
+        np.testing.assert_array_equal(out, [1.0, 2.0])
+
+
+class TestEinsumFallbacks:
+    #: a namespace with no ``einsum`` — forces the broadcast fallbacks
+    _strict = SimpleNamespace(sum=np.sum, __name__="noeinsum")
+
+    @pytest.mark.parametrize(
+        "signature, shapes",
+        [
+            ("ir,jr->ijr", [(4, 3), (5, 3)]),
+            ("ir,ir->r", [(4, 3), (4, 3)]),
+            ("ij,ij->j", [(4, 3), (4, 3)]),
+            ("ijr,jr->ir", [(4, 5, 3), (5, 3)]),
+        ],
+    )
+    def test_fallback_matches_native_einsum(self, rng, signature, shapes):
+        operands = [rng.standard_normal(shape) for shape in shapes]
+        expected = np.einsum(signature, *operands)
+        actual = einsum(self._strict, signature, *operands)
+        np.testing.assert_allclose(actual, expected, rtol=1e-13)
+
+    def test_native_einsum_preferred(self, rng):
+        operands = [rng.standard_normal((3, 2)) for _ in range(2)]
+        out = einsum(np, "ir,jr->ijr", *operands)
+        np.testing.assert_array_equal(
+            out, np.einsum("ir,jr->ijr", *operands)
+        )
+
+    def test_unknown_signature_without_einsum_raises(self):
+        with pytest.raises(NotImplementedError, match="no fallback"):
+            einsum(self._strict, "abc,cd->abd", np.zeros((1, 1, 1)))
+
+
+class TestReshapeFortran:
+    def test_numpy_fast_path(self, rng):
+        array = rng.standard_normal((3, 4, 5))
+        out = reshape_fortran(np, array, (12, 5))
+        np.testing.assert_array_equal(
+            out, np.reshape(array, (12, 5), order="F")
+        )
+
+    def test_generic_path_matches_numpy_order_f(self, rng):
+        class Wrapped:
+            """A non-ndarray carrier so the generic path is exercised."""
+
+            def __init__(self, data):
+                self.data = np.asarray(data)
+                self.ndim = self.data.ndim
+
+        xp = SimpleNamespace(
+            permute_dims=lambda a, axes: Wrapped(
+                np.transpose(_unwrap(a), axes)
+            ),
+            reshape=lambda a, shape: Wrapped(
+                np.reshape(_unwrap(a), shape)
+            ),
+            __name__="wrapped",
+        )
+
+        def _unwrap(a):
+            return a.data if isinstance(a, Wrapped) else np.asarray(a)
+
+        array = np.arange(24.0).reshape(2, 3, 4)
+        out = reshape_fortran(xp, Wrapped(array), (6, 4))
+        np.testing.assert_array_equal(
+            out.data, np.reshape(array, (6, 4), order="F")
+        )
+
+    def test_namespace_without_permute_dims_raises(self):
+        class Opaque:
+            ndim = 1
+
+        xp = SimpleNamespace(__name__="bare")
+        with pytest.raises(NotImplementedError, match="permute_dims"):
+            reshape_fortran(xp, Opaque(), (1,))
+
+
+class TestDTypePolicy:
+    def test_default_policy_is_all_float64(self):
+        policy = DTypePolicy()
+        assert policy.compute == np.float64
+        assert policy.accumulate == np.float64
+        assert policy.is_default
+        assert not policy.polish
+
+    def test_resolve_none_and_float64_are_default(self):
+        assert resolve_precision(None).is_default
+        assert resolve_precision("float64").is_default
+
+    def test_resolve_mixed(self):
+        policy = resolve_precision("mixed")
+        assert policy.compute == np.float32
+        assert policy.accumulate == np.float64
+        assert policy.polish
+        assert not policy.is_default
+
+    def test_resolve_float32(self):
+        policy = resolve_precision("float32")
+        assert policy.compute == np.float32
+        assert policy.accumulate == np.float32
+        assert not policy.polish
+
+    def test_bespoke_policy_passes_through(self):
+        policy = DTypePolicy(compute_dtype="float32", polish=True)
+        assert resolve_precision(policy) is policy
+
+    def test_invalid_precision_rejected(self):
+        with pytest.raises(ValidationError, match="precision"):
+            resolve_precision("float16ish")
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(ValidationError, match="float32 and float64"):
+            DTypePolicy(compute_dtype="float16")
+
+    def test_dtype_objects_normalize_to_names(self):
+        policy = DTypePolicy(compute_dtype=np.float32)
+        assert policy.compute_dtype == "float32"
+
+    def test_sweep_tol_floors_at_sqrt_eps(self):
+        policy = resolve_precision("mixed")
+        floor = float(np.sqrt(np.finfo(np.float32).eps))
+        assert policy.sweep_tol(1e-8) == pytest.approx(floor)
+        assert policy.sweep_tol(1e-2) == 1e-2
+
+    def test_dict_round_trip(self):
+        policy = resolve_precision("mixed")
+        assert DTypePolicy.from_dict(policy.to_dict()) == policy
+        assert DTypePolicy.from_dict(None).is_default
+
+    def test_precision_choices_all_resolve(self):
+        for choice in PRECISION_CHOICES:
+            resolve_precision(choice)
+
+
+# -- alternative backends (import-gated) -------------------------------------
+
+requires_strict = pytest.mark.skipif(
+    importlib.util.find_spec("array_api_strict") is None,
+    reason="array_api_strict not installed",
+)
+requires_torch = pytest.mark.skipif(
+    importlib.util.find_spec("torch") is None,
+    reason="torch not installed",
+)
+
+
+@requires_strict
+class TestArrayApiStrict:
+    """Kernel portability under the conformance namespace.
+
+    ``array_api_strict`` implements exactly the standard — no einsum,
+    no ``order="F"`` reshape — so these tests lock in that the kernels
+    only lean on the dispatch layer for the gaps.
+    """
+
+    @pytest.fixture
+    def xp_strict(self):
+        import array_api_strict
+
+        return array_api_strict
+
+    def test_namespace_resolution(self, xp_strict):
+        array = xp_strict.asarray([1.0, 2.0])
+        xp = array_namespace(array)
+        assert not is_numpy_namespace(xp)
+        assert to_numpy(xp.asarray([3.0])).dtype == np.float64
+
+    def test_khatri_rao_matches_numpy(self, rng, xp_strict):
+        from repro.tensor.products import khatri_rao
+
+        a = rng.standard_normal((4, 3))
+        b = rng.standard_normal((5, 3))
+        expected = khatri_rao(a, b)
+        strict = khatri_rao(xp_strict.asarray(a), xp_strict.asarray(b))
+        np.testing.assert_allclose(to_numpy(strict), expected, rtol=1e-13)
+
+    def test_unfold_fold_round_trip(self, rng, xp_strict):
+        from repro.tensor.dense import fold, unfold
+
+        tensor = rng.standard_normal((3, 4, 5))
+        strict_tensor = xp_strict.asarray(tensor)
+        for mode in range(3):
+            expected = unfold(tensor, mode)
+            strict = unfold(strict_tensor, mode)
+            np.testing.assert_allclose(
+                to_numpy(strict), expected, rtol=1e-13
+            )
+            back = fold(strict, mode, (3, 4, 5))
+            np.testing.assert_allclose(to_numpy(back), tensor, rtol=1e-13)
+
+
+@requires_torch
+class TestTorchBackend:
+    """Torch leg: skips cleanly when torch is absent."""
+
+    @pytest.fixture
+    def torch(self):
+        import torch
+
+        return torch
+
+    def test_namespace_resolution_and_bridge(self, torch):
+        tensor = torch.arange(6, dtype=torch.float64)
+        out = to_numpy(tensor)
+        assert isinstance(out, np.ndarray)
+        np.testing.assert_array_equal(out, np.arange(6.0))
+
+    def test_khatri_rao_matches_numpy(self, rng, torch):
+        from repro.tensor.products import khatri_rao
+
+        a = rng.standard_normal((4, 3))
+        b = rng.standard_normal((5, 3))
+        expected = khatri_rao(a, b)
+        result = khatri_rao(torch.from_numpy(a), torch.from_numpy(b))
+        np.testing.assert_allclose(to_numpy(result), expected, rtol=1e-12)

@@ -332,3 +332,63 @@ class TestParallelOptions:
         # the default is scoped to the experiment run, not leaked into
         # the process for later fits
         assert "REPRO_JOBS" not in os.environ
+
+
+class TestPrecisionOption:
+    """The ``--precision`` shorthand on ``fit`` / ``accumulate``."""
+
+    def test_fit_with_precision_records_policy(self, tmp_path, capsys):
+        model = str(tmp_path / "mixed.npz")
+        assert main(
+            ["fit", "tcca", "--synthetic", "200", "--precision", "mixed",
+             "--param", "n_components=2", "--out", model]
+        ) == 0
+        capsys.readouterr()
+        from repro.api import load_model
+
+        loaded = load_model(model)
+        assert loaded.precision == "mixed"
+        assert loaded.dtype_policy_["compute_dtype"] == "float32"
+
+        assert main(["verify", model]) == 0
+        out = capsys.readouterr().out
+        assert "dtype policy" in out
+        assert "compute=float32" in out
+
+        assert main(["inspect", model]) == 0
+        import json
+
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["dtype_policy"]["accumulate_dtype"] == "float64"
+
+    def test_precision_param_conflict_rejected(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                ["fit", "tcca", "--synthetic", "100",
+                 "--precision", "mixed", "--param", "precision=float32",
+                 "--out", str(tmp_path / "m.npz")]
+            )
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_precision_flag_agreeing_with_param_allowed(self, tmp_path):
+        model = str(tmp_path / "agree.npz")
+        assert main(
+            ["fit", "tcca", "--synthetic", "100",
+             "--precision", "mixed", "--param", "precision=mixed",
+             "--out", model]
+        ) == 0
+
+    def test_accumulate_with_precision_stamps_shard_dtype(
+        self, tmp_path, capsys
+    ):
+        shard = str(tmp_path / "s.moments")
+        assert main(
+            ["accumulate", "tcca", "--synthetic", "120",
+             "--precision", "float32", "--out", shard]
+        ) == 0
+        capsys.readouterr()
+        from repro.artifacts import read_header, shard_config
+
+        config = shard_config(read_header(shard))
+        assert config["accumulate_dtype"] == "float32"
+        assert config["params"]["precision"] == "float32"

@@ -1,0 +1,261 @@
+"""End-to-end tests for the mixed-precision policy.
+
+Covers the acceptance gates of the backend-dispatch PR:
+
+* float64 fits are **bit-for-bit** unchanged by the policy machinery
+  (``precision=None`` and ``precision="float64"`` take the exact
+  pre-policy code path);
+* mixed-precision fits agree with float64 fits to ≤1e-4 in canonical
+  correlations on well-conditioned data, and dense≡implicit agreement
+  holds under the policy;
+* the policy round-trips through persistence (factor dtypes and
+  ``dtype_policy_`` survive save/load, transform honours the recorded
+  compute dtype);
+* shards/accumulators of different accumulation dtypes refuse to merge
+  with a clear error, at every layer (streaming accumulator, engine
+  moment state, ``reduce_shards``).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import load_model, save_model
+from repro.artifacts.distributed import reduce_shards
+from repro.artifacts.moments import save_moments, shard_config
+from repro.core.engine import MomentState
+from repro.core.tcca import TCCA
+from repro.exceptions import ValidationError
+from repro.streaming.covariance import (
+    StreamingCovariance,
+    StreamingCovarianceTensor,
+    accumulate_outer_sum,
+)
+
+
+@pytest.fixture
+def conditioned_views():
+    """Three views driven by two well-separated latent factors.
+
+    Both leading canonical components are determined by signal rather
+    than noise, so fits from different precisions (and solvers) land on
+    the same optimum instead of wandering an ALS swamp.
+    """
+    rng = np.random.default_rng(42)
+    n_samples = 2000
+    z1 = rng.standard_normal(n_samples)
+    z2 = rng.standard_normal(n_samples)
+    views = []
+    for dim in (8, 7, 6):
+        mixing = rng.standard_normal((dim, 2))
+        views.append(
+            mixing @ np.vstack([z1, 0.6 * z2])
+            + 0.3 * rng.standard_normal((dim, n_samples))
+        )
+    return views
+
+
+class TestFloat64Unchanged:
+    def test_precision_none_and_float64_are_identical(self, conditioned_views):
+        a = TCCA(n_components=2, random_state=0).fit(conditioned_views)
+        b = TCCA(
+            n_components=2, random_state=0, precision="float64"
+        ).fit(conditioned_views)
+        np.testing.assert_array_equal(a.correlations_, b.correlations_)
+        for left, right in zip(a.canonical_vectors_, b.canonical_vectors_):
+            np.testing.assert_array_equal(left, right)
+
+    def test_float64_policy_recorded_in_header(
+        self, conditioned_views, tmp_path
+    ):
+        model = TCCA(n_components=2, random_state=0).fit(conditioned_views)
+        assert model.dtype_policy_ == {
+            "compute_dtype": "float64",
+            "accumulate_dtype": "float64",
+            "polish": False,
+        }
+
+
+class TestMixedAgreement:
+    def test_mixed_matches_float64_correlations(self, conditioned_views):
+        exact = TCCA(n_components=2, random_state=0).fit(conditioned_views)
+        mixed = TCCA(
+            n_components=2, random_state=0, precision="mixed"
+        ).fit(conditioned_views)
+        np.testing.assert_allclose(
+            mixed.correlations_, exact.correlations_, atol=1e-4
+        )
+        # the polish pass reports correlations in float64 regardless
+        assert mixed.correlations_.dtype == np.float64
+
+    def test_dense_implicit_agreement_float64(self, conditioned_views):
+        dense = TCCA(
+            n_components=2, random_state=0, solver="dense"
+        ).fit(conditioned_views)
+        implicit = TCCA(
+            n_components=2, random_state=0, solver="implicit"
+        ).fit(conditioned_views)
+        np.testing.assert_allclose(
+            dense.correlations_, implicit.correlations_, atol=1e-8
+        )
+
+    def test_dense_implicit_agreement_mixed(self, conditioned_views):
+        dense = TCCA(
+            n_components=2,
+            random_state=0,
+            solver="dense",
+            precision="mixed",
+        ).fit(conditioned_views)
+        implicit = TCCA(
+            n_components=2,
+            random_state=0,
+            solver="implicit",
+            precision="mixed",
+        ).fit(conditioned_views)
+        np.testing.assert_allclose(
+            dense.correlations_, implicit.correlations_, atol=1e-4
+        )
+
+    def test_mixed_canonical_vectors_are_float32(self, conditioned_views):
+        mixed = TCCA(
+            n_components=2, random_state=0, precision="mixed"
+        ).fit(conditioned_views)
+        for vectors in mixed.canonical_vectors_:
+            assert vectors.dtype == np.float32
+
+    def test_invalid_precision_rejected_eagerly(self):
+        with pytest.raises(ValidationError, match="precision"):
+            TCCA(precision="double")
+
+
+class TestPersistenceRoundTrip:
+    def test_mixed_model_round_trips(self, conditioned_views, tmp_path):
+        model = TCCA(
+            n_components=2, random_state=0, precision="mixed"
+        ).fit(conditioned_views)
+        path = tmp_path / "mixed.npz"
+        save_model(model, path)
+        loaded = load_model(path, verify=True)
+        assert loaded.precision == "mixed"
+        assert loaded.dtype_policy_ == model.dtype_policy_
+        for saved, restored in zip(
+            model.canonical_vectors_, loaded.canonical_vectors_
+        ):
+            assert restored.dtype == saved.dtype
+            np.testing.assert_array_equal(restored, saved)
+
+    def test_transform_uses_recorded_compute_dtype(
+        self, conditioned_views, tmp_path
+    ):
+        model = TCCA(
+            n_components=2, random_state=0, precision="mixed"
+        ).fit(conditioned_views)
+        path = tmp_path / "mixed.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        projections = loaded.transform(conditioned_views)
+        assert all(p.dtype == np.float32 for p in projections)
+        exact = TCCA(n_components=2, random_state=0).fit(conditioned_views)
+        assert all(
+            p.dtype == np.float64
+            for p in exact.transform(conditioned_views)
+        )
+
+
+class TestMergeDtypeGuards:
+    def _views(self, rng, n=60):
+        return tuple(rng.standard_normal((d, n)) for d in (5, 4, 3))
+
+    def test_streaming_covariance_refuses_mixed_dtypes(self, rng):
+        a = StreamingCovariance()
+        b = StreamingCovariance(dtype=np.float32)
+        a.update(rng.standard_normal((20, 4)))
+        b.update(rng.standard_normal((20, 4)).astype(np.float32))
+        with pytest.raises(ValidationError, match="same dtype"):
+            a.merge(b)
+
+    def test_streaming_tensor_refuses_mixed_dtypes(self, rng):
+        a = StreamingCovarianceTensor()
+        b = StreamingCovarianceTensor(dtype=np.float32)
+        a.update(self._views(rng))
+        b.update(
+            tuple(v.astype(np.float32) for v in self._views(rng))
+        )
+        with pytest.raises(ValidationError, match="dtype"):
+            a.merge(b)
+
+    def test_moment_state_refuses_mixed_dtypes(self, rng):
+        a = MomentState(track_tensor=True)
+        b = MomentState(track_tensor=True, dtype=np.float32)
+        a.update(self._views(rng))
+        b.update(tuple(v.astype(np.float32) for v in self._views(rng)))
+        with pytest.raises(ValidationError, match="accumulate_dtype"):
+            a.merge(b)
+
+    def test_reduce_rejects_mixed_dtype_shards(self, rng, tmp_path):
+        views = self._views(rng, n=100)
+        m64 = MomentState(track_tensor=True)
+        m64.update(tuple(v[:, :50] for v in views))
+        m32 = MomentState(track_tensor=True, dtype=np.float32)
+        m32.update(
+            tuple(v[:, 50:].astype(np.float32) for v in views)
+        )
+        p64 = tmp_path / "s64.moments"
+        p32 = tmp_path / "s32.moments"
+        save_moments(m64, p64, estimator="tcca", params={"n_components": 2})
+        save_moments(m32, p32, estimator="tcca", params={"n_components": 2})
+        with pytest.raises(ValidationError, match="accumulate_dtype"):
+            reduce_shards([os.fspath(p64), os.fspath(p32)])
+
+    def test_shard_config_carries_accumulate_dtype(self, rng, tmp_path):
+        state = MomentState(track_tensor=True, dtype=np.float32)
+        state.update(tuple(v.astype(np.float32) for v in self._views(rng)))
+        path = tmp_path / "s.moments"
+        save_moments(state, path, estimator="tcca", params={})
+        from repro.artifacts.io import read_artifact
+
+        header, payload = read_artifact(path)
+        payload.close()
+        assert shard_config(header)["accumulate_dtype"] == "float32"
+        # pre-policy shards (no dtype key) read as implicit float64
+        legacy = dict(header, moments=dict(header["moments"]))
+        legacy["moments"].pop("dtype")
+        assert shard_config(legacy)["accumulate_dtype"] == "float64"
+
+
+class TestDtypeAwareAccumulation:
+    def test_state_dict_round_trip_preserves_dtype(self, rng):
+        state = MomentState(track_tensor=True, dtype=np.float32)
+        views = tuple(
+            rng.standard_normal((d, 40)).astype(np.float32)
+            for d in (5, 4, 3)
+        )
+        state.update(views)
+        meta, arrays = state.state_dict()
+        restored = MomentState.from_state_dict(meta, arrays)
+        assert restored.dtype == np.float32
+        np.testing.assert_allclose(
+            np.asarray(restored.tensor(), dtype=np.float64),
+            np.asarray(state.tensor(), dtype=np.float64),
+            rtol=1e-6,
+        )
+
+    def test_outer_sum_budget_is_byte_denominated(self, rng):
+        """A tiny budget still yields exact chunked accumulation in
+        both dtypes — the float32 path walks twice the rows per block
+        but the result is the full-batch contraction either way."""
+        chunks = [rng.standard_normal((d, 64)) for d in (4, 3, 2)]
+        expected = accumulate_outer_sum(
+            np.zeros((4, 6)), chunks, buffer_floats=1 << 20
+        )
+        small = accumulate_outer_sum(
+            np.zeros((4, 6)), chunks, buffer_floats=8
+        )
+        np.testing.assert_allclose(small, expected, rtol=1e-10)
+        single = [c.astype(np.float32) for c in chunks]
+        out32 = accumulate_outer_sum(
+            np.zeros((4, 6), dtype=np.float32), single, buffer_floats=8
+        )
+        assert out32.dtype == np.float32
+        np.testing.assert_allclose(out32, expected, rtol=1e-4)

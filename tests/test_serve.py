@@ -165,6 +165,71 @@ class TestDecodeViews:
                 {"views": [[[1.0, 2.0]], [[3.0]]]}, view_dims=(3, 1)
             )
 
+    def test_default_decode_dtype_is_float64(self):
+        views = decode_views({"views": [[1.0, 2.0], [3.0]]})
+        assert all(view.dtype == np.float64 for view in views)
+
+    def test_decode_dtype_follows_model_policy(self):
+        views = decode_views(
+            {"views": [[1.0, 2.0], [3.0]]}, dtype="float32"
+        )
+        assert all(view.dtype == np.float32 for view in views)
+
+
+# -- precision policy through the serving surface ----------------------------
+
+
+class TestServeDtypePolicy:
+    @pytest.fixture
+    def mixed_model_path(self, tmp_path):
+        data = make_multiview_latent(
+            n_samples=150, dims=DIMS[2], random_state=3
+        )
+        model = TCCA(
+            n_components=2, random_state=0, precision="mixed"
+        ).fit(data.views)
+        path = tmp_path / "mixed.npz"
+        save_model(model, path)
+        return os.fspath(path), data
+
+    def test_modelz_reports_dtype_policy(self, mixed_model_path):
+        path, _data = mixed_model_path
+        info = ModelManager(path).info()
+        assert info["dtype_policy"] == {
+            "compute_dtype": "float32",
+            "accumulate_dtype": "float64",
+            "polish": True,
+        }
+
+    def test_float64_model_reports_policy_too(self, served):
+        _m, _pipeline, _data, path = served
+        info = ModelManager(path).info()
+        assert info["dtype_policy"]["compute_dtype"] == "float64"
+
+    def test_transform_serves_mixed_model(self, mixed_model_path):
+        path, data = mixed_model_path
+        app, clock = make_app(path, max_batch=100, window_seconds=0.5)
+
+        async def run():
+            task = asyncio.create_task(
+                app.handle(
+                    post(
+                        "/transform",
+                        {"views": request_views(data, 0, 4)},
+                    )
+                )
+            )
+            await settle()
+            clock.advance(0.5)
+            return await task
+
+        response = asyncio.run(run())
+        assert response.status == 200
+        body = body_of(response)
+        outputs = np.asarray(body["outputs"])
+        assert outputs.shape[0] == 4
+        assert np.isfinite(outputs).all()
+
 
 # -- HTTP framing ------------------------------------------------------------
 
