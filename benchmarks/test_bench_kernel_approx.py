@@ -1,0 +1,203 @@
+"""Kernel-approximation PR claim: the KTCCA kernel wall falls to ~linear.
+
+Exact KTCCA materialises an ``N x N`` Gram per view and decomposes an
+``N^m`` kernel covariance tensor, so doubling N multiplies the fit cost
+by ~2^m. The Nyström / random-Fourier paths map each view to ``k``
+explicit features once (``O(Nk)``) and hand a fixed ``k^m`` problem to
+the streaming TCCA, so the fit scales ~linearly in N at fixed k.
+
+This benchmark measures both:
+
+* **exact scaling** — fit wall-clock at small N, power-law exponent from
+  the doubling ratio, extrapolated to the large-N grid;
+* **approx scaling** — Nyström and RFF fit wall-clock and tracemalloc
+  peak at ``k = 64`` across ``N in {500, 2000, 8000}``;
+* **agreement-vs-k** — max |approx - exact| canonical-correlation error
+  on the fig6-style generator as ``k -> N``.
+
+Writes ``BENCH_kernel_approx.json``. Gates (generous per the ROADMAP
+note on CI-runner noise): exact doubling ratio is superlinear, approx
+time grows at most ~3x faster than linearly, the k=64 N=8000 approx fit
+costs <10% of the extrapolated exact fit, its peak memory stays far
+below the N^2 Gram working set, and the Nyström agreement error at
+``k = N`` is <1e-6.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.core.ktcca import KTCCA
+from repro.datasets.nuswide import make_nuswide_like
+
+#: exact-path scaling probe (the N^m wall makes bigger N pointless here)
+EXACT_GRID = (100, 200)
+#: approx-path grid from the issue: ~linear across a 16x range of N
+APPROX_GRID = (500, 2000, 8000)
+K_FEATURES = 64
+#: explicit-gamma RBF per view — keeps the bandwidth fit out of the
+#: timing so the measured cost is the map + streaming TCCA itself
+KERNELS = {"kind": "rbf", "gamma": 0.02}
+DIMS = (20, 15, 10)
+FIT_PARAMS = dict(n_components=2, max_iter=50, random_state=0)
+
+#: the N=8000 exact working set this PR avoids: one float64 Gram per
+#: view is ``3 * N^2 * 8`` bytes (and the kernel tensor N^3 is absurd).
+GRAM_BYTES_AT_MAX_N = 3 * APPROX_GRID[-1] ** 2 * 8
+#: approx peak-memory gate: well under a single N^2 Gram
+PEAK_BYTES_GATE = 200 * 1024 * 1024
+
+
+def _latent_views(n_samples: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    z = rng.standard_normal((2, n_samples))
+    return [
+        rng.standard_normal((dim, 2)) @ z
+        + 0.3 * rng.standard_normal((dim, n_samples))
+        for dim in DIMS
+    ]
+
+
+def _timed_fit(model, views):
+    tracemalloc.start()
+    start = time.perf_counter()
+    try:
+        model.fit(views)
+        seconds = time.perf_counter() - start
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return seconds, int(peak)
+
+
+def test_bench_kernel_approx():
+    payload = {
+        "cpu_count": os.cpu_count(),
+        "k_features": K_FEATURES,
+        "gram_bytes_at_max_n": GRAM_BYTES_AT_MAX_N,
+    }
+
+    # -- exact scaling + power-law extrapolation -----------------------------
+    exact_rows = []
+    for n in EXACT_GRID:
+        views = _latent_views(n)
+        seconds, peak = _timed_fit(
+            KTCCA(kernels=dict(KERNELS), **FIT_PARAMS), views
+        )
+        exact_rows.append(
+            {"n_samples": n, "seconds": seconds, "peak_bytes": peak}
+        )
+    doubling = exact_rows[1]["seconds"] / max(exact_rows[0]["seconds"], 1e-9)
+    exponent = float(
+        np.log(doubling) / np.log(EXACT_GRID[1] / EXACT_GRID[0])
+    )
+    extrapolated = {
+        n: exact_rows[1]["seconds"] * (n / EXACT_GRID[1]) ** exponent
+        for n in APPROX_GRID
+    }
+    payload["exact"] = {
+        "grid": exact_rows,
+        "doubling_ratio": doubling,
+        "power_law_exponent": exponent,
+        "extrapolated_seconds": {
+            str(n): extrapolated[n] for n in APPROX_GRID
+        },
+    }
+
+    # -- approx scaling ------------------------------------------------------
+    for approx in ("nystrom", "rff"):
+        rows = []
+        for n in APPROX_GRID:
+            views = _latent_views(n)
+            seconds, peak = _timed_fit(
+                KTCCA(
+                    kernels=dict(KERNELS),
+                    approx=approx,
+                    n_features=K_FEATURES,
+                    **FIT_PARAMS,
+                ),
+                views,
+            )
+            rows.append(
+                {"n_samples": n, "seconds": seconds, "peak_bytes": peak}
+            )
+        span = APPROX_GRID[-1] / APPROX_GRID[0]
+        growth = rows[-1]["seconds"] / max(rows[0]["seconds"], 1e-9)
+        payload[approx] = {
+            "grid": rows,
+            "time_growth_over_span": growth,
+            "linear_span": span,
+            "share_of_extrapolated_exact_at_max_n": (
+                rows[-1]["seconds"] / extrapolated[APPROX_GRID[-1]]
+            ),
+        }
+
+    # -- agreement-vs-k on the fig6-style generator --------------------------
+    fig6 = make_nuswide_like(60, random_state=0)
+    fig6_kernels = [
+        {"kind": "exponential", "distance": "chi2"},
+        {"kind": "exponential", "distance": "euclidean"},
+        {"kind": "exponential", "distance": "euclidean"},
+    ]
+    n_fig6 = fig6.views[0].shape[1]
+    exact_fig6 = KTCCA(
+        n_components=1, kernels=list(fig6_kernels), random_state=0
+    ).fit(fig6.views)
+    curve = []
+    for k in (8, 16, 32, n_fig6):
+        approx_fig6 = KTCCA(
+            n_components=1,
+            kernels=list(fig6_kernels),
+            approx="nystrom",
+            n_features=k,
+            random_state=0,
+        ).fit(fig6.views)
+        curve.append(
+            {
+                "k": k,
+                "max_abs_error": float(
+                    np.abs(
+                        approx_fig6.correlations_ - exact_fig6.correlations_
+                    ).max()
+                ),
+            }
+        )
+    payload["agreement_vs_k"] = {"n_samples": n_fig6, "curve": curve}
+
+    out_dir = os.environ.get("REPRO_BENCH_DIR") or "."
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, "BENCH_kernel_approx.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print()
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+    # the k=N agreement gate is machine-independent
+    assert curve[-1]["max_abs_error"] < 1e-6, curve
+
+    # scaling gates — generous bounds so scheduler noise on small CI
+    # runners cannot flip them (ROADMAP note on wall-clock assertions)
+    assert doubling > 2.0, payload["exact"]
+    for approx in ("nystrom", "rff"):
+        stats = payload[approx]
+        # ~linear in N: allow 3x headroom over perfectly linear growth
+        assert stats["time_growth_over_span"] < 3.0 * stats["linear_span"], (
+            approx,
+            stats,
+        )
+        # the issue's headline gate: <10% of the extrapolated exact fit
+        assert stats["share_of_extrapolated_exact_at_max_n"] < 0.10, (
+            approx,
+            stats,
+        )
+        # working set independent of N^2: far below one Gram matrix
+        assert stats["grid"][-1]["peak_bytes"] < PEAK_BYTES_GATE, (
+            approx,
+            stats,
+        )

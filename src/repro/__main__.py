@@ -276,6 +276,24 @@ def build_parser() -> argparse.ArgumentParser:
         "or float32; recorded in the model header so load/serve "
         "reproduce it (shorthand for --param precision=POLICY)",
     )
+    fit_parser.add_argument(
+        "--approx",
+        choices=("exact", "nystrom", "rff"),
+        default=None,
+        metavar="MODE",
+        help="kernel approximation of a ktcca fit: exact (default), "
+        "nystrom landmarks, or rff random Fourier features — the "
+        "approximate modes fit a streaming TCCA on (k, N) feature maps "
+        "(shorthand for --param approx=MODE)",
+    )
+    fit_parser.add_argument(
+        "--n-features",
+        type=_positive_int,
+        default=None,
+        metavar="K",
+        help="feature-map width k of an approximate ktcca fit "
+        "(shorthand for --param n_features=K)",
+    )
     _add_parallel_arguments(fit_parser)
     fit_parser.add_argument(
         "--out",
@@ -579,16 +597,22 @@ def _source_description(args) -> str:
 
 
 def _reducer_params(args, parser: argparse.ArgumentParser) -> dict:
-    """Merge ``--param`` overrides with the ``--precision`` shorthand."""
+    """Merge ``--param`` overrides with the dedicated flag shorthands."""
     params = dict(args.param)
-    precision = getattr(args, "precision", None)
-    if precision is not None:
-        if "precision" in params and params["precision"] != precision:
+    for name, flag in (
+        ("precision", "--precision"),
+        ("approx", "--approx"),
+        ("n_features", "--n-features"),
+    ):
+        value = getattr(args, name, None)
+        if value is None:
+            continue
+        if name in params and params[name] != value:
             parser.error(
-                f"--precision {precision} conflicts with --param "
-                f"precision={params['precision']}"
+                f"{flag} {value} conflicts with --param "
+                f"{name}={params[name]}"
             )
-        params["precision"] = precision
+        params[name] = value
     return params
 
 

@@ -10,9 +10,24 @@ problem is the best rank-``r`` approximation of
 ``S = K ×_1 (L_1^{-1})^T … ×_m (L_m^{-1})^T`` (Eq. 4.15), solved by ALS.
 The training projections are ``Z_p = K_p L_p^{-1} B_p`` (Eq. 4.16).
 
-The tensor ``S`` has ``N^m`` entries, which is why the paper applies KTCCA
-to small-sample, high-dimension regimes (its complexity is independent of
-the feature dimensions ``d_p``).
+The tensor ``S`` has ``N^m`` entries, which is why the paper applies the
+**exact** KTCCA to small-sample, high-dimension regimes (its complexity is
+independent of the feature dimensions ``d_p``).
+
+``approx="nystrom"``/``"rff"`` breaks that wall: each view is pushed
+through an explicit ``k``-dimensional feature map
+(:mod:`repro.kernels.approx`) whose inner products approximate the
+kernel, and the fit becomes an internal :class:`~repro.core.tcca.TCCA`
+on the mapped ``(k, N)`` views. Substituting ``h_p = Φ_p a_p`` with
+``Φ_p = ψ_p(X_p)`` into Eqs. 4.12–4.14 shows the two problems coincide
+when the TCCA ridge is ``ε / N`` (the feature covariance is
+``C_p = Φ_p Φ_p^T / N`` while Eq. 4.14's constraint is unnormalized):
+the feasible sets map onto each other by ``h = √N Φ a``, and the shared
+objective is the ``m``-way correlation. The approximate path therefore
+inherits streaming accumulation (:meth:`fit_stream` — the first
+streaming entry point on the kernel side), :meth:`partial_fit`, the
+implicit solver, the precision policy, and parallel map-reduce, at
+``O(k² m + k^m)`` peak memory instead of ``O(N² m + N^m)``.
 """
 
 from __future__ import annotations
@@ -22,22 +37,39 @@ from functools import partial
 import numpy as np
 
 from repro.api.registry import register
+from repro.backends import resolve_precision
 from repro.cca.base import MultiviewTransformer
 from repro.cca.kcca import pls_cholesky
 from repro.core import engine
+from repro.core.tcca import TCCA
 from repro.exceptions import NotFittedError, ValidationError
+from repro.kernels.approx import (
+    MappedViewStream,
+    NystromFeatures,
+    RandomFourierFeatures,
+    feature_map_from_state,
+)
 from repro.kernels.centering import center_kernel, center_kernel_test
+from repro.kernels.functions import kernel_from_spec, kernel_to_spec
 from repro.linalg.covariance import covariance_tensor
 from repro.parallel.executors import (
     check_executor_name,
     check_n_jobs,
     resolve_executor,
 )
+from repro.streaming.views import as_view_stream, iter_validated_chunks
+from repro.utils.rng import check_seed_sequence
 from repro.utils.validation import check_positive_int, check_square, check_views
 
 __all__ = ["KTCCA"]
 
 _DECOMPOSITIONS = ("als", "hopm", "power")
+_APPROX_MODES = ("exact", "nystrom", "rff")
+_TCCA_SOLVERS = ("auto", "dense", "implicit")
+
+#: spawn-key namespace of the per-view feature-map seeds (disjoint from
+#: the streaming layer's chunk namespace by construction).
+_APPROX_SEED_NAMESPACE = 0x5EED_ABBA
 
 
 def _solve_transposed(factor: np.ndarray, kernel: np.ndarray) -> np.ndarray:
@@ -58,12 +90,40 @@ class KTCCA(MultiviewTransformer):
     kernels:
         ``None`` for precomputed mode (``fit`` receives ``(N, N)`` kernel
         matrices; ``transform`` receives ``(N_train, N_new)`` cross-kernel
-        blocks) or one kernel callable per view applied to raw ``(d_p, N)``
-        views.
+        blocks), or the per-view kernels applied to raw ``(d_p, N)``
+        views: a list of kernel callables *or JSON-friendly specs*
+        (``"rbf"``, ``{"kind": "exponential", "distance": "chi2"}``, …;
+        see :func:`~repro.kernels.functions.kernel_from_spec`). A single
+        spec broadcasts to all views. Spec-built kernels persist in the
+        model header; bare custom callables fit fine but refuse
+        ``save_model``.
     center:
-        Center each kernel in feature space before fitting.
+        Center each kernel in feature space before fitting. The
+        approximate path centers the mapped views (the same operation in
+        the explicit feature space) and requires ``center=True``.
+    approx:
+        ``"exact"`` (default) solves Eq. 4.15 on the ``N^m`` tensor;
+        ``"nystrom"`` / ``"rff"`` map each view through
+        :class:`~repro.kernels.approx.NystromFeatures` /
+        :class:`~repro.kernels.approx.RandomFourierFeatures` and fit an
+        internal :class:`~repro.core.tcca.TCCA` on the ``(k, N)``
+        features.
+    n_features:
+        Feature-map width ``k`` — required for (and only valid with) the
+        approximate modes.
+    solver:
+        Tensor solver of the internal TCCA (``"auto"``/``"dense"``/
+        ``"implicit"``); ignored by the exact path.
+    precision:
+        Precision policy (:func:`~repro.backends.resolve_precision`):
+        Gram assembly / feature maps evaluate in the policy's compute
+        dtype (distances still accumulate in float64) and the internal
+        TCCA runs under the same policy.
     decomposition, max_iter, tol, random_state:
         Tensor solver settings, as in :class:`~repro.core.tcca.TCCA`.
+        Under the approximate modes ``random_state`` additionally seeds
+        the landmark/frequency draws (one namespaced child seed per
+        view), so a fit is reproducible end to end.
     n_jobs, executor:
         Parallel execution configuration, as in
         :class:`~repro.core.tcca.TCCA`: with more than one worker the
@@ -74,14 +134,26 @@ class KTCCA(MultiviewTransformer):
     Attributes
     ----------
     dual_vectors_:
-        List of ``(N, r)`` coefficient matrices ``A_p = L_p^{-1} B_p``.
+        List of ``(N, r)`` coefficient matrices ``A_p = L_p^{-1} B_p``
+        (exact path only; the approximate path stores primal
+        ``feature_vectors_`` over the mapped features instead).
     correlations_:
-        CP weights of the decomposition of ``S`` — the attained kernel
-        canonical correlations.
+        The attained kernel canonical correlations — CP weights of ``S``
+        (Eq. 4.15). The approximate path reports them on the same scale
+        (the internal TCCA's weights divided by ``N^{m/2}``, undoing the
+        constraint normalizations), so exact and approximate fits are
+        directly comparable and Nyström with ``k = N`` reproduces the
+        exact values.
     """
 
-    #: derived solver output that transform never reads — not persisted.
-    _non_persistent_ = ("decomposition_result_",)
+    #: derived solver output and live helper objects transform can
+    #: rebuild — not persisted.
+    _non_persistent_ = (
+        "decomposition_result_",
+        "_kernel_objects",
+        "_feature_maps",
+        "_tcca",
+    )
 
     def __init__(
         self,
@@ -90,6 +162,10 @@ class KTCCA(MultiviewTransformer):
         *,
         kernels=None,
         center: bool = True,
+        approx: str = "exact",
+        n_features: int | None = None,
+        solver: str = "auto",
+        precision=None,
         decomposition: str = "als",
         max_iter: int = 200,
         tol: float = 1e-8,
@@ -101,8 +177,42 @@ class KTCCA(MultiviewTransformer):
         if epsilon < 0.0:
             raise ValidationError(f"epsilon must be >= 0, got {epsilon}")
         self.epsilon = float(epsilon)
-        self.kernels = list(kernels) if kernels is not None else None
+        if kernels is None or isinstance(kernels, (str, dict)):
+            # a single spec broadcasts to every view at fit time
+            self.kernels = kernels
+        else:
+            self.kernels = list(kernels)
         self.center = bool(center)
+        if approx not in _APPROX_MODES:
+            raise ValidationError(
+                f"unknown approx {approx!r}; expected one of {_APPROX_MODES}"
+            )
+        self.approx = approx
+        if n_features is None:
+            if approx != "exact":
+                raise ValidationError(
+                    f"approx={approx!r} needs n_features (the feature-map "
+                    "width k)"
+                )
+            self.n_features = None
+        else:
+            self.n_features = check_positive_int(n_features, "n_features")
+            if approx == "exact":
+                raise ValidationError(
+                    "n_features only applies to approx='nystrom'/'rff'"
+                )
+            if self.n_components > self.n_features:
+                raise ValidationError(
+                    f"n_components={self.n_components} exceeds the "
+                    f"feature-map width n_features={self.n_features}"
+                )
+        if solver not in _TCCA_SOLVERS:
+            raise ValidationError(
+                f"unknown solver {solver!r}; expected one of {_TCCA_SOLVERS}"
+            )
+        self.solver = solver
+        resolve_precision(precision)  # validate eagerly; stored verbatim
+        self.precision = precision
         self.n_jobs = check_n_jobs(n_jobs)
         self.executor = check_executor_name(executor)
         if decomposition not in _DECOMPOSITIONS:
@@ -122,19 +232,66 @@ class KTCCA(MultiviewTransformer):
 
     # -- kernel plumbing ----------------------------------------------------
 
+    def _resolve_kernel_objects(self, n_views: int):
+        """One kernel callable per view from the ``kernels`` parameter."""
+        spec = self.kernels
+        if spec is None:
+            return None
+        specs = [spec] * n_views if isinstance(spec, (str, dict)) else spec
+        if len(specs) != n_views:
+            raise ValidationError(
+                f"got {n_views} views but {len(specs)} kernels"
+            )
+        return [kernel_from_spec(item) for item in specs]
+
+    def _gram_dtype(self):
+        """Compute dtype for Gram/feature evaluation (None = float64)."""
+        policy = resolve_precision(self.precision)
+        return None if policy.is_default else policy.compute
+
+    def _evaluate_kernel(self, kernel, view_a, view_b) -> np.ndarray:
+        dtype = self._gram_dtype()
+        if dtype is not None and getattr(kernel, "supports_dtype", False):
+            return kernel(view_a, view_b, dtype=dtype)
+        return kernel(view_a, view_b)
+
+    @staticmethod
+    def _kernel_specs(kernel_objects):
+        """Fitted per-view specs, or None when a custom callable blocks it."""
+        try:
+            return [kernel_to_spec(kernel) for kernel in kernel_objects]
+        except ValidationError:
+            return None
+
+    def _transform_kernel_objects(self):
+        """The fitted kernels transform evaluates (rebuilt after load)."""
+        objects = getattr(self, "_kernel_objects", None)
+        if objects is not None:
+            return objects
+        state = getattr(self, "kernel_state_", None)
+        if state is not None:
+            objects = [kernel_from_spec(spec) for spec in state]
+        elif isinstance(self.kernels, list):
+            # custom callables: never persisted, but live in params when
+            # the same in-memory estimator that fitted them transforms
+            objects = list(self.kernels)
+        else:
+            raise NotFittedError("KTCCA must be fitted before transform")
+        self._kernel_objects = objects
+        return objects
+
     def _train_kernels(self, views) -> list[np.ndarray]:
-        if self.kernels is None:
+        kernel_objects = self._resolve_kernel_objects(len(views))
+        if kernel_objects is None:
             kernels = [check_square(view, name="kernel") for view in views]
         else:
-            if len(self.kernels) != len(views):
-                raise ValidationError(
-                    f"got {len(views)} views but {len(self.kernels)} kernels"
-                )
             self._train_views = [np.asarray(view, float) for view in views]
             kernels = [
-                kernel.fit(view)(view)
-                for kernel, view in zip(self.kernels, views)
+                self._evaluate_kernel(kernel.fit(view), view, view)
+                for kernel, view in zip(kernel_objects, views)
             ]
+            self._kernel_objects = kernel_objects
+            self.kernel_state_ = self._kernel_specs(kernel_objects)
         sizes = {kernel.shape[0] for kernel in kernels}
         if len(sizes) != 1:
             raise ValidationError(
@@ -150,9 +307,11 @@ class KTCCA(MultiviewTransformer):
             blocks = [np.asarray(view, dtype=np.float64) for view in views]
         else:
             blocks = [
-                kernel(train_view, view)
+                self._evaluate_kernel(kernel, train_view, view)
                 for kernel, train_view, view in zip(
-                    self.kernels, self._train_views, views
+                    self._transform_kernel_objects(),
+                    self._train_views,
+                    views,
                 )
             ]
         for index, block in enumerate(blocks):
@@ -168,10 +327,189 @@ class KTCCA(MultiviewTransformer):
             ]
         return blocks
 
+    # -- approximate path ----------------------------------------------------
+
+    def _approx_seeds(self, n_views: int):
+        """Per-view feature-map seeds plus a solver seed.
+
+        Namespaced ``SeedSequence`` children of ``random_state`` (the
+        :func:`~repro.utils.rng.chunk_rng` pattern), derived afresh each
+        call so repeated fits of one estimator draw identical state.
+        """
+        if self.random_state is None:
+            return [None] * n_views, None
+        try:
+            root = check_seed_sequence(self.random_state)
+        except ValidationError:
+            raise ValidationError(
+                "approximate KTCCA derives per-view feature-map seeds "
+                "from random_state and needs a replayable value: None, "
+                "an int, or a numpy SeedSequence"
+            ) from None
+        children = [
+            np.random.SeedSequence(
+                entropy=root.entropy,
+                spawn_key=root.spawn_key + (_APPROX_SEED_NAMESPACE, index),
+            )
+            for index in range(n_views + 1)
+        ]
+        return children[:n_views], children[n_views]
+
+    def _build_feature_maps(self, n_views: int):
+        """Unfitted per-view maps plus the internal solver's seed."""
+        if self.kernels is None:
+            raise ValidationError(
+                "approximate KTCCA maps raw views through kernel feature "
+                "maps; precomputed Gram matrices cannot be approximated — "
+                "pass kernels= (specs or callables)"
+            )
+        if not self.center:
+            raise ValidationError(
+                "approximate KTCCA centers in feature space through the "
+                "mapped-view TCCA; center=False needs approx='exact'"
+            )
+        kernel_objects = self._resolve_kernel_objects(n_views)
+        seeds, solver_seed = self._approx_seeds(n_views)
+        cls = (
+            NystromFeatures if self.approx == "nystrom"
+            else RandomFourierFeatures
+        )
+        maps = [
+            cls(
+                kernel=kernel,
+                n_features=self.n_features,
+                random_state=seed,
+                dtype=self._gram_dtype(),
+            )
+            for kernel, seed in zip(kernel_objects, seeds)
+        ]
+        return maps, solver_seed
+
+    def _make_mapped_tcca(self, n_train: int, solver_seed) -> TCCA:
+        # Eq. 4.14's constraint a^T(K² + εK)a = 1 is unnormalized while
+        # the TCCA ridge acts on C = ΦΦ^T/N, so the equivalent primal
+        # ridge is ε/N (see the module docstring).
+        return TCCA(
+            n_components=self.n_components,
+            epsilon=self.epsilon / max(int(n_train), 1),
+            solver=self.solver,
+            decomposition=self.decomposition,
+            max_iter=self.max_iter,
+            tol=self.tol,
+            random_state=solver_seed,
+            n_jobs=self.n_jobs,
+            executor=self.executor,
+            precision=self.precision,
+        )
+
+    def _adopt_tcca(self, tcca: TCCA, maps) -> None:
+        """Mirror the internal TCCA's fitted state onto this estimator."""
+        # TCCA weights sit on the h^T(C + ε/N)h = 1 normalization; the
+        # feasible-set bijection h = √N Φ a multiplies the m-way
+        # objective by N^{m/2}, so dividing restores Eq. 4.15's scale
+        # and k = N Nyström reproduces the exact correlations_.
+        scale = float(max(self._n_train, 1)) ** (len(maps) / 2.0)
+        self.correlations_ = (
+            np.asarray(tcca.correlations_, dtype=np.float64) / scale
+        )
+        self.factors_ = tcca.factors_
+        self.feature_vectors_ = tcca.canonical_vectors_
+        self.feature_means_ = tcca.means_
+        self.feature_dims_ = [int(d) for d in tcca.covariance_tensor_shape_]
+        self.kernel_tensor_shape_ = tuple(tcca.covariance_tensor_shape_)
+        self.solver_used_ = tcca.solver_used_
+        self.dtype_policy_ = tcca.dtype_policy_
+        self.n_skipped_ = tcca.n_skipped_
+        self.approx_used_ = self.approx
+        metas, primaries, secondaries = [], [], []
+        for fmap in maps:
+            meta, primary, secondary = fmap.state()
+            metas.append(meta)
+            primaries.append(primary)
+            secondaries.append(secondary)
+        self.approx_meta_ = metas
+        self.approx_primary_ = primaries
+        self.approx_secondary_ = secondaries
+        self._feature_maps = list(maps)
+        moments = getattr(tcca, "moments_", None)
+        if moments is not None:
+            self.moments_ = moments
+        elif hasattr(self, "moments_"):
+            del self.moments_
+        self._tcca = tcca
+        self.n_views_ = len(maps)
+
+    def _approx_maps(self):
+        """The fitted feature maps (rebuilt from persisted state)."""
+        maps = getattr(self, "_feature_maps", None)
+        if maps is None:
+            metas = getattr(self, "approx_meta_", None)
+            if metas is None:
+                raise NotFittedError("KTCCA must be fitted before transform")
+            maps = [
+                feature_map_from_state(meta, primary, secondary)
+                for meta, primary, secondary in zip(
+                    metas, self.approx_primary_, self.approx_secondary_
+                )
+            ]
+            self._feature_maps = maps
+        return maps
+
+    def _internal_tcca(self) -> TCCA:
+        """The mapped-view TCCA, reconstructed after a load if needed."""
+        tcca = getattr(self, "_tcca", None)
+        if tcca is None:
+            _seeds, solver_seed = self._approx_seeds(len(self._dims))
+            tcca = self._make_mapped_tcca(
+                max(getattr(self, "_n_train", 1), 1), solver_seed
+            )
+            moments = getattr(self, "moments_", None)
+            if moments is not None:
+                tcca.moments_ = moments
+            factors = getattr(self, "factors_", None)
+            if factors is not None:
+                tcca.factors_ = factors
+            self._tcca = tcca
+        return tcca
+
+    @property
+    def _transform_dtype(self) -> np.dtype:
+        policy = getattr(self, "dtype_policy_", None)
+        if policy is None:
+            return np.dtype(np.float64)
+        return np.dtype(policy["compute_dtype"])
+
+    def _approx_transform(self, views) -> list[np.ndarray]:
+        views = self._check_transform_views(views, self._dims)
+        maps = self._approx_maps()
+        dtype = self._transform_dtype
+        outputs = []
+        for fmap, view, mean, vectors in zip(
+            maps, views, self.feature_means_, self.feature_vectors_
+        ):
+            mapped = np.asarray(fmap.transform(view), dtype=dtype)
+            mean = np.asarray(mean, dtype=dtype)
+            outputs.append((mapped - mean).T @ vectors)
+        return outputs
+
     # -- estimator API --------------------------------------------------------
 
     def fit(self, views) -> "KTCCA":
         """Fit from ``m >= 2`` kernel matrices or raw views."""
+        if self.approx != "exact":
+            views = check_views(views, min_views=2)
+            maps, solver_seed = self._build_feature_maps(len(views))
+            mapped = [
+                fmap.fit(view).transform(view)
+                for fmap, view in zip(maps, views)
+            ]
+            self._dims = [int(view.shape[0]) for view in views]
+            self._n_train = int(views[0].shape[1])
+            tcca = self._make_mapped_tcca(self._n_train, solver_seed)
+            tcca.fit(mapped)
+            self._mapped_train = mapped
+            self._adopt_tcca(tcca, maps)
+            return self
         views = check_views(views, min_views=2, same_samples=False)
         kernels = self._train_kernels(views)
         n = kernels[0].shape[0]
@@ -228,13 +566,137 @@ class KTCCA(MultiviewTransformer):
         self.correlations_ = finalized.correlations
         self.factors_ = finalized.factors
         self.dual_vectors_ = finalized.canonical_vectors
+        self.dtype_policy_ = resolve_precision(self.precision).to_dict()
         self._fitted_kernels = kernels
         self.n_views_ = len(views)
         return self
 
+    def fit_stream(self, stream, *, chunk_size: int | None = None) -> "KTCCA":
+        """Fit the approximate path from a chunked multi-view stream.
+
+        The kernel side's first out-of-core entry point. One pass
+        gathers exactly the training columns the feature maps need
+        (landmarks and the bandwidth subsample, planned deterministically
+        by ``begin_fit``); the maps are then frozen and the internal
+        :meth:`TCCA.fit_stream` consumes the mapped stream chunk by
+        chunk. Peak memory is ``O(k² m + k^m)`` — independent of ``N`` —
+        and on the same data the result matches batch :meth:`fit` to
+        floating-point round-off.
+
+        ``approx="exact"`` cannot stream (every kernel entry couples all
+        samples) and raises.
+        """
+        if self.approx == "exact":
+            raise ValidationError(
+                "KTCCA.fit_stream requires approx='nystrom' or 'rff'; the "
+                "exact kernel path needs the full N×N Gram matrices in "
+                "memory"
+            )
+        stream = as_view_stream(stream, chunk_size)
+        dims = [int(dim) for dim in stream.dims]
+        if len(dims) < 2:
+            raise ValidationError(
+                f"need at least 2 views, stream has {len(dims)}"
+            )
+        n = int(stream.n_samples)
+        maps, solver_seed = self._build_feature_maps(len(dims))
+        plans = [
+            fmap.begin_fit(dim, n) for fmap, dim in zip(maps, dims)
+        ]
+        wanted = [
+            np.union1d(plan.landmark_indices, plan.sample_indices).astype(
+                np.intp
+            )
+            for plan in plans
+        ]
+        gathered = self._gather_stream_columns(stream, dims, wanted)
+        for fmap, plan, indices, columns in zip(maps, plans, wanted, gathered):
+            fmap.fit_columns(
+                plan,
+                columns[:, np.searchsorted(indices, plan.landmark_indices)],
+                columns[:, np.searchsorted(indices, plan.sample_indices)],
+            )
+        tcca = self._make_mapped_tcca(n, solver_seed)
+        tcca.fit_stream(MappedViewStream(stream, maps))
+        self._dims = dims
+        self._n_train = n
+        # mapped training features were never materialized whole
+        self.__dict__.pop("_mapped_train", None)
+        self._adopt_tcca(tcca, maps)
+        return self
+
+    @staticmethod
+    def _gather_stream_columns(stream, dims, wanted) -> list[np.ndarray]:
+        """One pass over ``stream`` collecting the sorted ``wanted`` columns."""
+        collected = [
+            np.empty((dim, indices.size), dtype=np.float64)
+            for dim, indices in zip(dims, wanted)
+        ]
+        if not any(indices.size for indices in wanted):
+            return collected
+        offset = 0
+        for chunk in iter_validated_chunks(stream):
+            width = chunk[0].shape[1]
+            for block, indices, out in zip(chunk, wanted, collected):
+                lo = np.searchsorted(indices, offset)
+                hi = np.searchsorted(indices, offset + width)
+                if hi > lo:
+                    out[:, lo:hi] = np.asarray(block)[
+                        :, indices[lo:hi] - offset
+                    ]
+            offset += width
+        return collected
+
+    def partial_fit(self, views) -> "KTCCA":
+        """Fold a minibatch into the approximate fit (maps frozen).
+
+        The first call fits the feature maps on the first minibatch and
+        starts an incremental :meth:`TCCA.partial_fit` session over the
+        mapped features; later calls map through the *frozen*
+        landmarks/frequencies and fold the new feature moments in. Since
+        Eq. 4.14's ridge maps to ``ε / N`` with ``N`` the accumulated
+        sample count, the internal ridge is refreshed before every
+        update. Composes with ``python -m repro update`` like any
+        moment-carrying estimator.
+        """
+        if self.approx == "exact":
+            raise ValidationError(
+                "KTCCA.partial_fit requires approx='nystrom' or 'rff'; the "
+                "exact kernel tensor has no mergeable moment form"
+            )
+        views = check_views(views, min_views=2)
+        moments = getattr(self, "moments_", None)
+        if moments is None:
+            maps, solver_seed = self._build_feature_maps(len(views))
+            for fmap, view in zip(maps, views):
+                fmap.fit(view)
+            self._dims = [int(view.shape[0]) for view in views]
+            tcca = self._make_mapped_tcca(views[0].shape[1], solver_seed)
+            n_total = int(views[0].shape[1])
+        else:
+            views = self._check_transform_views(views, self._dims)
+            maps = self._approx_maps()
+            tcca = self._internal_tcca()
+            n_total = int(moments.n_samples) + int(views[0].shape[1])
+        mapped = [fmap.transform(view) for fmap, view in zip(maps, views)]
+        tcca.epsilon = self.epsilon / max(n_total, 1)
+        tcca.partial_fit(mapped)
+        self._n_train = int(tcca.moments_.n_samples)
+        self.__dict__.pop("_mapped_train", None)
+        self._adopt_tcca(tcca, maps)
+        return self
+
     def transform(self, views) -> list[np.ndarray]:
-        """Project new data; accepts cross-kernel blocks or raw views."""
+        """Project new data.
+
+        The exact path accepts cross-kernel blocks or raw views; the
+        approximate path accepts raw views and projects their mapped
+        features (no cross-kernel block against the training set is ever
+        built — serve-time cost is ``O(k)`` per sample).
+        """
         self._check_fitted()
+        if self.approx != "exact":
+            return self._approx_transform(views)
         blocks = self._new_kernel_blocks(views)
         return [
             block.T @ duals
@@ -243,6 +705,24 @@ class KTCCA(MultiviewTransformer):
 
     def transform_train(self) -> list[np.ndarray]:
         """Training projections ``Z_p = K_p A_p = K_p L_p^{-1} B_p``."""
+        if self.approx != "exact":
+            mapped = getattr(self, "_mapped_train", None)
+            if mapped is None:
+                raise NotFittedError(
+                    "approximate KTCCA retains mapped training features "
+                    "only after a batch fit; after fit_stream/partial_fit "
+                    "project the training data with transform instead"
+                )
+            dtype = self._transform_dtype
+            return [
+                (
+                    np.asarray(features, dtype=dtype)
+                    - np.asarray(mean, dtype=dtype)
+                ).T @ vectors
+                for features, mean, vectors in zip(
+                    mapped, self.feature_means_, self.feature_vectors_
+                )
+            ]
         if not hasattr(self, "_fitted_kernels"):
             raise NotFittedError("KTCCA must be fitted first")
         return [

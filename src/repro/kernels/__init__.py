@@ -3,14 +3,26 @@
 KTCCA and KCCA (Section 5.2 of the paper) build one kernel per view with
 ``k(x_i, x_j) = exp(-d(x_i, x_j)/λ)`` where ``λ = max_{ij} d(x_i, x_j)``,
 using the χ² distance for visual-word histograms and L2 for everything else.
+
+:mod:`repro.kernels.approx` adds explicit feature-map approximations
+(Nyström landmarks, random Fourier features) that reduce the kernel
+methods to linear ones on ``(k, N)`` mapped views.
 """
 
+from repro.kernels.approx import (
+    MappedViewStream,
+    NystromFeatures,
+    RandomFourierFeatures,
+    feature_map_from_state,
+)
 from repro.kernels.distances import chi_square_distances, euclidean_distances
 from repro.kernels.functions import (
     ExponentialKernel,
     LinearKernel,
     RBFKernel,
     exponential_kernel,
+    kernel_from_spec,
+    kernel_to_spec,
     linear_kernel,
     rbf_kernel,
 )
@@ -19,11 +31,17 @@ from repro.kernels.centering import center_kernel, normalize_kernel
 __all__ = [
     "ExponentialKernel",
     "LinearKernel",
+    "MappedViewStream",
+    "NystromFeatures",
     "RBFKernel",
+    "RandomFourierFeatures",
     "center_kernel",
     "chi_square_distances",
     "euclidean_distances",
     "exponential_kernel",
+    "feature_map_from_state",
+    "kernel_from_spec",
+    "kernel_to_spec",
     "linear_kernel",
     "normalize_kernel",
     "rbf_kernel",

@@ -1,0 +1,483 @@
+"""Feature-map approximations of the kernel layer (Nyström + RFF).
+
+The exact KTCCA path pays ``O(N² m)`` memory for the Gram matrices and
+``O(N^m)`` for the whitened tensor ``S`` — the very wall the paper's
+complexity study (Figs. 7–10) holds against transductive baselines. Both
+estimators here replace the implicit feature map ``φ_p`` of a kernel with
+an *explicit* finite map ``ψ_p: R^{d_p} → R^{k}`` such that
+``ψ(x)^T ψ(y) ≈ k(x, y)``:
+
+* :class:`NystromFeatures` — sample ``k`` landmark columns, factor the
+  ``(k, k)`` landmark Gram by eigendecomposition, and map
+  ``ψ(X) = Λ^{-1/2} U^T K(landmarks, X)``; the feature Gram is the
+  rank-``k`` Nyström approximation ``K_{N,k} K_{k,k}^+ K_{k,N}`` and is
+  *exact* when the landmarks span the training set (``k = N``).
+* :class:`RandomFourierFeatures` — Rahimi–Recht random features for the
+  shift-invariant kernels, ``ψ(x) = sqrt(2/k) · cos(W^T x + b)`` with
+  ``W`` drawn from the kernel's spectral measure (Gaussian for RBF,
+  multivariate Cauchy for the euclidean exponential kernel) matching the
+  fitted ``gamma``/bandwidth conventions of :mod:`repro.kernels.functions`.
+
+A KTCCA fitted on the mapped ``(k, N)`` views *is* a TCCA — it inherits
+streaming accumulation, ``partial_fit``, the implicit solver, the
+precision policy, and parallel map-reduce with no kernel-specific code.
+
+Both classes share one protocol: ``fit(view)`` / ``transform(view)`` /
+``fit_transform(view)`` on ``(d, N)`` column-sample views, plus a
+two-phase form for one-pass streams — ``begin_fit(dim, n_samples)``
+returns a :class:`FeatureFitPlan` naming exactly which training columns
+the fit needs (landmarks, bandwidth subsample), and
+``fit_columns(plan, ...)`` completes the fit from those columns alone.
+All randomness (landmark choice, bandwidth subsample, frequency draws)
+is consumed from the plan's generator in a fixed order, so ``fit`` and
+the two-phase path select identical state — the basis of
+``KTCCA.fit_stream`` matching ``KTCCA.fit``.
+
+Fitted state round-trips through ``state()`` →
+:func:`feature_map_from_state`: a JSON-safe meta dict plus exactly two
+arrays per map (landmarks + weights, or frequencies + offsets), which is
+what the KTCCA model header persists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.kernels.functions import (
+    ExponentialKernel,
+    RBFKernel,
+    kernel_from_spec,
+    kernel_to_spec,
+)
+from repro.streaming.views import ViewStream
+from repro.utils.rng import check_random_state
+from repro.utils.validation import check_positive_int, ensure_2d
+
+__all__ = [
+    "DEFAULT_BANDWIDTH_SAMPLES",
+    "FeatureFitPlan",
+    "MappedViewStream",
+    "NystromFeatures",
+    "RandomFourierFeatures",
+    "feature_map_from_state",
+]
+
+#: Upper bound on the training columns subsampled to fit a data-driven
+#: kernel bandwidth (the paper's ``λ = max d`` / the RBF median
+#: heuristic) — keeps the bandwidth fit ``O(min(N, this)²)`` instead of
+#: ``O(N²)`` on large streams.
+DEFAULT_BANDWIDTH_SAMPLES = 1024
+
+
+@dataclass
+class FeatureFitPlan:
+    """Which training columns a feature-map fit needs, fixed up front.
+
+    Produced by ``begin_fit``; consumed by ``fit_columns``. The indices
+    are sorted positions into the ``N`` training columns. ``rng`` carries
+    the generator mid-stream so draws that happen *after* the column
+    gather (the RFF frequencies) continue the same deterministic
+    sequence.
+    """
+
+    dim: int
+    n_samples: int
+    landmark_indices: np.ndarray
+    sample_indices: np.ndarray
+    kernel: object
+    rng: np.random.Generator
+
+
+def _needs_bandwidth_fit(kernel) -> bool:
+    """Whether ``kernel.fit`` still has a data-driven bandwidth to learn."""
+    if isinstance(kernel, RBFKernel):
+        return kernel._fitted_gamma is None
+    if isinstance(kernel, ExponentialKernel):
+        return kernel._fitted_bandwidth is None
+    # Custom callables: if they expose fit at all, give them the sample.
+    return callable(getattr(kernel, "fit", None))
+
+
+class _FeatureMap:
+    """Shared protocol of the two approximate feature maps."""
+
+    kind: str = ""
+
+    def __init__(
+        self,
+        kernel="rbf",
+        n_features: int = 128,
+        *,
+        random_state=None,
+        dtype=None,
+        bandwidth_samples: int = DEFAULT_BANDWIDTH_SAMPLES,
+    ):
+        self.kernel = kernel
+        self.n_features = check_positive_int(n_features, "n_features")
+        self.random_state = random_state
+        self.dtype = None if dtype is None else np.dtype(dtype)
+        self.bandwidth_samples = check_positive_int(
+            bandwidth_samples, "bandwidth_samples"
+        )
+
+    # -- fitting --------------------------------------------------------------
+
+    def begin_fit(self, dim: int, n_samples: int) -> FeatureFitPlan:
+        """Plan the fit: deterministically choose the columns it needs.
+
+        Draw order is fixed — landmarks first, bandwidth subsample
+        second, later draws (RFF frequencies) from the returned plan's
+        generator — so any path that honors the plan reproduces ``fit``.
+        """
+        dim = check_positive_int(dim, "dim")
+        n_samples = check_positive_int(n_samples, "n_samples")
+        rng = check_random_state(self.random_state)
+        kernel = kernel_from_spec(self.kernel)
+        self._validate_kernel(kernel)
+        landmarks = self._landmark_indices(n_samples, rng)
+        if _needs_bandwidth_fit(kernel):
+            size = min(self.bandwidth_samples, n_samples)
+            samples = np.sort(rng.choice(n_samples, size=size, replace=False))
+        else:
+            samples = np.empty(0, dtype=np.intp)
+        return FeatureFitPlan(
+            dim=dim,
+            n_samples=n_samples,
+            landmark_indices=landmarks,
+            sample_indices=samples,
+            kernel=kernel,
+            rng=rng,
+        )
+
+    def fit_columns(
+        self, plan: FeatureFitPlan, landmark_columns, sample_columns
+    ) -> "_FeatureMap":
+        """Complete a planned fit from the gathered training columns."""
+        kernel = plan.kernel
+        if plan.sample_indices.size:
+            kernel.fit(
+                ensure_2d(sample_columns, name="sample_columns")
+            )
+        self._kernel_object = kernel
+        landmarks = (
+            np.empty((plan.dim, 0), dtype=np.float64)
+            if plan.landmark_indices.size == 0
+            else ensure_2d(landmark_columns, name="landmark_columns")
+        )
+        self._finish_fit(plan, landmarks)
+        try:
+            self.kernel_spec_ = kernel_to_spec(kernel)
+        except ValidationError:
+            # Custom callable: fine in memory, refused at save time (the
+            # kernels= param is not JSON-serializable either).
+            self.kernel_spec_ = None
+        return self
+
+    def fit(self, view) -> "_FeatureMap":
+        """Learn the map from a full ``(d, N)`` training view."""
+        view = ensure_2d(view, name="view")
+        plan = self.begin_fit(view.shape[0], view.shape[1])
+        return self.fit_columns(
+            plan,
+            view[:, plan.landmark_indices],
+            view[:, plan.sample_indices],
+        )
+
+    def fit_transform(self, view) -> np.ndarray:
+        """``fit(view)`` then map it: the ``(k', N)`` training features."""
+        return self.fit(view).transform(view)
+
+    # -- shared plumbing ------------------------------------------------------
+
+    def _kernel(self):
+        kernel = getattr(self, "_kernel_object", None)
+        if kernel is None:
+            spec = getattr(self, "kernel_spec_", None)
+            if spec is None:
+                raise NotFittedError(
+                    f"{type(self).__name__} must be fitted before transform"
+                )
+            kernel = kernel_from_spec(spec)
+            self._kernel_object = kernel
+        return kernel
+
+    def _output(self, features: np.ndarray) -> np.ndarray:
+        if self.dtype is None:
+            return features
+        return np.asarray(features, dtype=self.dtype)
+
+    def _meta(self) -> dict:
+        return {
+            "kind": self.kind,
+            "kernel": getattr(self, "kernel_spec_", None),
+            "n_features": int(self.n_features_),
+            "dtype": None if self.dtype is None else str(self.dtype),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(kernel={self.kernel!r}, "
+            f"n_features={self.n_features})"
+        )
+
+
+class NystromFeatures(_FeatureMap):
+    """Landmark (Nyström) feature map for any positive-definite kernel.
+
+    ``fit`` samples ``k = min(n_features, N)`` landmark columns without
+    replacement, eigendecomposes the symmetrized landmark Gram
+    ``K_{k,k} = U Λ U^T``, keeps the numerically positive spectrum, and
+    stores ``W = U_r Λ_r^{-1/2}``. The map is
+    ``ψ(X) = W^T K(landmarks, X)``, so the feature Gram
+    ``ψ(X)^T ψ(Y) = K_{X,k} K_{k,k}^+ K_{k,Y}`` is the classical Nyström
+    approximation — exact on the span of the landmarks, hence exact
+    everywhere when ``k = N``. The feature Gram is invariant to landmark
+    *order* (a permutation conjugates ``K_{k,k}`` and cancels in the
+    pseudo-inverse), and the whole fit is deterministic under
+    ``random_state``.
+    """
+
+    kind = "nystrom"
+
+    def _validate_kernel(self, kernel) -> None:
+        # Any PSD kernel callable works — including the paper's chi²
+        # exponential kernel, which has no random-feature form.
+        del kernel
+
+    def _landmark_indices(self, n_samples: int, rng) -> np.ndarray:
+        k = min(self.n_features, n_samples)
+        return np.sort(rng.choice(n_samples, size=k, replace=False))
+
+    def _finish_fit(self, plan: FeatureFitPlan, landmarks: np.ndarray) -> None:
+        kernel = self._kernel_object
+        gram = np.asarray(kernel(landmarks, landmarks), dtype=np.float64)
+        gram = 0.5 * (gram + gram.T)
+        values, vectors = np.linalg.eigh(gram)
+        floor = max(float(values[-1]), 0.0) * gram.shape[0] * np.finfo(
+            np.float64
+        ).eps
+        keep = values > floor
+        if not np.any(keep):
+            raise ValidationError(
+                "landmark kernel matrix is numerically zero; cannot build "
+                "Nyström features (check the kernel bandwidth)"
+            )
+        # Descending spectrum: truncation drops the smallest directions.
+        values = values[keep][::-1]
+        vectors = vectors[:, keep][:, ::-1]
+        self.landmarks_ = landmarks
+        self.weights_ = vectors / np.sqrt(values)
+        self.n_features_ = int(self.weights_.shape[1])
+
+    def transform(self, view) -> np.ndarray:
+        """Map ``(d, N)`` columns to ``(k', N)`` Nyström features."""
+        if not hasattr(self, "landmarks_"):
+            raise NotFittedError(
+                "NystromFeatures must be fitted before transform"
+            )
+        view = ensure_2d(view, name="view")
+        if view.shape[0] != self.landmarks_.shape[0]:
+            raise ValidationError(
+                f"view has {view.shape[0]} features, the landmarks have "
+                f"{self.landmarks_.shape[0]}"
+            )
+        block = np.asarray(
+            self._kernel()(self.landmarks_, view), dtype=np.float64
+        )
+        return self._output(self.weights_.T @ block)
+
+    def state(self) -> tuple[dict, np.ndarray, np.ndarray]:
+        """``(meta, landmarks, weights)`` — the persistable fitted state."""
+        if not hasattr(self, "landmarks_"):
+            raise NotFittedError("NystromFeatures has no fitted state")
+        return self._meta(), self.landmarks_, self.weights_
+
+
+class RandomFourierFeatures(_FeatureMap):
+    """Random Fourier features for the shift-invariant kernels.
+
+    By Bochner's theorem a shift-invariant kernel is the Fourier
+    transform of its spectral measure; sampling ``k`` frequencies ``W``
+    from that measure and ``b ~ U[0, 2π)`` gives the unbiased map
+    ``ψ(x) = sqrt(2/k) · cos(W^T x + b)`` with
+    ``E[ψ(x)^T ψ(y)] = k(x, y)``. Supported kernels and their spectra:
+
+    * :class:`~repro.kernels.functions.RBFKernel`
+      ``exp(-γ‖x-y‖²)`` → ``W ~ N(0, 2γ I)``;
+    * euclidean :class:`~repro.kernels.functions.ExponentialKernel`
+      ``exp(-‖x-y‖/λ)`` (Matérn-1/2) → multivariate Cauchy with scale
+      ``1/λ``, sampled as ``w = z / (λ |s|)`` with ``z ~ N(0, I)`` and a
+      scalar ``s ~ N(0, 1)`` per feature.
+
+    The chi² exponential kernel is not shift-invariant and the linear
+    kernel needs no approximation — both are rejected with a pointer to
+    :class:`NystromFeatures`.
+    """
+
+    kind = "rff"
+
+    def _validate_kernel(self, kernel) -> None:
+        if isinstance(kernel, RBFKernel):
+            return
+        if isinstance(kernel, ExponentialKernel):
+            if kernel.distance != "euclidean":
+                raise ValidationError(
+                    "random Fourier features exist only for shift-invariant "
+                    f"kernels; the {kernel.distance!r} exponential kernel "
+                    "is not one — use approx='nystrom' for it"
+                )
+            return
+        raise ValidationError(
+            "random Fourier features support the 'rbf' and euclidean "
+            f"'exponential' kernels; got {type(kernel).__name__} — use "
+            "approx='nystrom' for other kernels"
+        )
+
+    def _landmark_indices(self, n_samples: int, rng) -> np.ndarray:
+        del n_samples, rng
+        return np.empty(0, dtype=np.intp)
+
+    def _finish_fit(self, plan: FeatureFitPlan, landmarks: np.ndarray) -> None:
+        del landmarks
+        kernel = self._kernel_object
+        k = self.n_features
+        if isinstance(kernel, RBFKernel):
+            gamma = (
+                kernel._fitted_gamma
+                if kernel._fitted_gamma is not None
+                else 1.0
+            )
+            if gamma <= 0.0:
+                raise ValidationError(
+                    f"rbf gamma must be positive, got {gamma}"
+                )
+            weights = plan.rng.standard_normal((plan.dim, k)) * np.sqrt(
+                2.0 * gamma
+            )
+        else:
+            bandwidth = kernel._fitted_bandwidth
+            if bandwidth is None or bandwidth <= 0.0:
+                raise ValidationError(
+                    "the exponential kernel's bandwidth must be positive "
+                    "for random Fourier features; fit it on data or pass "
+                    "bandwidth= explicitly"
+                )
+            normal = plan.rng.standard_normal((plan.dim, k))
+            # A multivariate Cauchy draw is Gaussian over |Gaussian|
+            # (t-distribution with one degree of freedom), columnwise.
+            mixing = np.abs(plan.rng.standard_normal(k))
+            weights = normal / (
+                bandwidth * np.maximum(mixing, np.finfo(np.float64).tiny)
+            )
+        self.weights_ = weights
+        self.offsets_ = plan.rng.uniform(0.0, 2.0 * np.pi, size=k)
+        self.n_features_ = int(k)
+
+    def transform(self, view) -> np.ndarray:
+        """Map ``(d, N)`` columns to ``(k, N)`` random Fourier features."""
+        if not hasattr(self, "weights_"):
+            raise NotFittedError(
+                "RandomFourierFeatures must be fitted before transform"
+            )
+        view = ensure_2d(view, name="view")
+        if view.shape[0] != self.weights_.shape[0]:
+            raise ValidationError(
+                f"view has {view.shape[0]} features, the frequencies have "
+                f"{self.weights_.shape[0]}"
+            )
+        phase = self.weights_.T @ view
+        phase += self.offsets_[:, None]
+        return self._output(
+            np.sqrt(2.0 / self.n_features_) * np.cos(phase)
+        )
+
+    def state(self) -> tuple[dict, np.ndarray, np.ndarray]:
+        """``(meta, frequencies, offsets)`` — the persistable fitted state."""
+        if not hasattr(self, "weights_"):
+            raise NotFittedError("RandomFourierFeatures has no fitted state")
+        return self._meta(), self.weights_, self.offsets_
+
+
+_KINDS = {
+    NystromFeatures.kind: NystromFeatures,
+    RandomFourierFeatures.kind: RandomFourierFeatures,
+}
+
+
+def feature_map_from_state(meta: dict, primary, secondary):
+    """Rebuild a fitted feature map from its persisted ``state()``.
+
+    The inverse of ``state()``: ``meta`` selects the class and kernel
+    spec, the two arrays restore the fitted map (landmarks + weights for
+    Nyström, frequencies + offsets for RFF).
+    """
+    kind = meta.get("kind") if isinstance(meta, dict) else None
+    if kind not in _KINDS:
+        raise ValidationError(
+            f"unknown feature-map kind {kind!r}; expected one of "
+            f"{sorted(_KINDS)}"
+        )
+    spec = meta.get("kernel")
+    if spec is None:
+        raise ValidationError(
+            "feature-map state carries no kernel spec (the model was "
+            "fitted with a custom kernel callable) and cannot be rebuilt"
+        )
+    fmap = _KINDS[kind](
+        kernel=spec,
+        n_features=max(int(meta.get("n_features", 1)), 1),
+        dtype=meta.get("dtype"),
+    )
+    primary = np.asarray(primary, dtype=np.float64)
+    secondary = np.asarray(secondary, dtype=np.float64)
+    if kind == "nystrom":
+        fmap.landmarks_ = primary
+        fmap.weights_ = secondary
+        fmap.n_features_ = int(secondary.shape[1])
+    else:
+        fmap.weights_ = primary
+        fmap.offsets_ = secondary
+        fmap.n_features_ = int(primary.shape[1])
+    fmap.kernel_spec_ = spec
+    return fmap
+
+
+class MappedViewStream(ViewStream):
+    """A :class:`ViewStream` whose chunks pass through fitted feature maps.
+
+    Composes the kernel approximation with the streaming covariance
+    engine: each ``(d_p, c)`` chunk of the base stream is mapped to a
+    ``(k_p, c)`` feature chunk on the fly, so ``TCCA.fit_stream`` on the
+    mapped stream accumulates ``O(k² m + k^m)`` state no matter how
+    large ``N`` is. Not rechunkable (the base stream's chunking stands).
+    """
+
+    rechunkable = False
+
+    def __init__(self, base: ViewStream, maps):
+        maps = list(maps)
+        if len(maps) != base.n_views:
+            raise ValidationError(
+                f"stream has {base.n_views} views but got {len(maps)} "
+                "feature maps"
+            )
+        self._base = base
+        self._maps = maps
+
+    @property
+    def dims(self):
+        return tuple(int(fmap.n_features_) for fmap in self._maps)
+
+    @property
+    def n_samples(self) -> int:
+        return int(self._base.n_samples)
+
+    def chunks(self):
+        for chunk in self._base.chunks():
+            yield tuple(
+                fmap.transform(np.asarray(block))
+                for fmap, block in zip(self._maps, chunk)
+            )

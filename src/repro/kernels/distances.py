@@ -45,16 +45,23 @@ def chi_square_distances(view_a, view_b=None, *, eps: float = 1e-10) -> np.ndarr
             "chi-square distance requires non-negative features "
             "(histograms); got negative entries"
         )
-    # (d, Na, Nb) would be large; loop over features only when d is small is
-    # worse — broadcast over samples in manageable chunks instead.
-    n_a = view_a.shape[1]
-    out = np.empty((n_a, view_b.shape[1]))
-    chunk = max(1, int(2**22 // max(view_b.size, 1)))
-    for start in range(0, n_a, chunk):
-        stop = min(start + chunk, n_a)
-        a = view_a[:, start:stop, None]  # (d, c, 1)
-        b = view_b[:, None, :]  # (d, 1, Nb)
-        numerator = (a - b) ** 2
-        denominator = a + b + eps
-        out[start:stop] = np.sum(numerator / denominator, axis=0)
+    # Accumulate per feature over flat (Na, Nb) planes instead of
+    # reducing a strided (d, chunk, Nb) broadcast: same O(d*Na*Nb)
+    # flops, but every pass is contiguous and the temporaries are
+    # reused, which is several times faster at bag-of-words widths.
+    n_a, n_b = view_a.shape[1], view_b.shape[1]
+    out = np.zeros((n_a, n_b))
+    numerator = np.empty((n_a, n_b))
+    denominator = np.empty((n_a, n_b))
+    shifted_a = view_a + eps  # fold the eps pass into one operand
+    for feature_a, feature_b, feature_shifted in zip(
+        view_a, view_b, shifted_a
+    ):
+        column = feature_a[:, None]
+        row = feature_b[None, :]
+        np.subtract(column, row, out=numerator)
+        np.multiply(numerator, numerator, out=numerator)
+        np.add(feature_shifted[:, None], row, out=denominator)
+        np.divide(numerator, denominator, out=numerator)
+        out += numerator
     return out

@@ -4,6 +4,22 @@ Each kernel is available both as a plain function and as a small callable
 object with ``fit``/``__call__`` semantics so experiment drivers can defer
 bandwidth selection (e.g. the paper's ``λ = max d``) to training data and
 then evaluate the same kernel between train and test sets.
+
+Two orthogonal evaluation controls thread through every kernel:
+
+* ``block_size`` — evaluate the ``(N_a, N_b)`` result in column blocks of
+  at most that many samples, so no pairwise-distance intermediate larger
+  than ``(N_a, block_size)`` is ever materialized (the full-size *output*
+  is the only large buffer). Serve-time cross-kernel blocks against a big
+  training set stay memory-bounded this way.
+* ``dtype`` — the output dtype under a mixed-precision policy. Distances
+  always accumulate in float64; only the final kernel values are stored
+  in the requested dtype.
+
+Kernels also round-trip through JSON-friendly *specs* (a name or a
+``{"kind": ..., ...}`` dict) via :func:`kernel_from_spec` /
+:func:`kernel_to_spec`, which is how a fitted kernel configuration rides
+in a model header instead of an unpicklable callable.
 """
 
 from __future__ import annotations
@@ -12,13 +28,15 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.kernels.distances import chi_square_distances, euclidean_distances
-from repro.utils.validation import ensure_2d
+from repro.utils.validation import check_positive_int, ensure_2d
 
 __all__ = [
     "ExponentialKernel",
     "LinearKernel",
     "RBFKernel",
     "exponential_kernel",
+    "kernel_from_spec",
+    "kernel_to_spec",
     "linear_kernel",
     "rbf_kernel",
 ]
@@ -29,19 +47,59 @@ _DISTANCES = {
 }
 
 
-def linear_kernel(view_a, view_b=None) -> np.ndarray:
-    """Linear kernel ``K = X_a^T X_b`` (``(N_a, N_b)``)."""
+def _output_dtype(dtype) -> np.dtype:
+    return np.dtype(np.float64 if dtype is None else dtype)
+
+
+def _column_blocks(n_columns: int, block_size):
+    """Yield ``(start, stop)`` column spans of at most ``block_size``."""
+    block_size = check_positive_int(block_size, "block_size")
+    for start in range(0, n_columns, block_size):
+        yield start, min(start + block_size, n_columns)
+
+
+def linear_kernel(view_a, view_b=None, *, dtype=None) -> np.ndarray:
+    """Linear kernel ``K = X_a^T X_b`` (``(N_a, N_b)``).
+
+    ``dtype`` selects the Gram dtype; the product then runs directly in
+    that dtype (there is no distance accumulation to protect).
+    """
     view_a = ensure_2d(view_a, name="view_a")
     view_b = view_a if view_b is None else ensure_2d(view_b, name="view_b")
+    if dtype is not None:
+        out = np.dtype(dtype)
+        view_a = view_a.astype(out, copy=False)
+        view_b = view_b.astype(out, copy=False)
     return view_a.T @ view_b
 
 
-def rbf_kernel(view_a, view_b=None, *, gamma: float = 1.0) -> np.ndarray:
-    """Gaussian RBF kernel ``exp(-γ ‖a - b‖²)``."""
+def rbf_kernel(
+    view_a,
+    view_b=None,
+    *,
+    gamma: float = 1.0,
+    block_size: int | None = None,
+    dtype=None,
+) -> np.ndarray:
+    """Gaussian RBF kernel ``exp(-γ ‖a - b‖²)``.
+
+    ``block_size`` evaluates the result in ``(N_a, block_size)`` column
+    blocks (same values, bounded distance intermediates); ``dtype`` is
+    the output dtype (distances always accumulate in float64).
+    """
     if gamma <= 0.0:
         raise ValidationError(f"gamma must be positive, got {gamma}")
-    distances = euclidean_distances(view_a, view_b)
-    return np.exp(-gamma * distances**2)
+    view_a = ensure_2d(view_a, name="view_a")
+    view_b = view_a if view_b is None else ensure_2d(view_b, name="view_b")
+    out = _output_dtype(dtype)
+    if block_size is None:
+        distances = euclidean_distances(view_a, view_b)
+        return np.exp(-gamma * distances**2).astype(out, copy=False)
+    result = np.empty((view_a.shape[1], view_b.shape[1]), dtype=out)
+    for start, stop in _column_blocks(view_b.shape[1], block_size):
+        distances = euclidean_distances(view_a, view_b[:, start:stop])
+        result[:, start:stop] = np.exp(-gamma * distances**2)
+    return result
 
 
 def exponential_kernel(
@@ -50,6 +108,8 @@ def exponential_kernel(
     *,
     distance: str = "euclidean",
     bandwidth: float | None = None,
+    block_size: int | None = None,
+    dtype=None,
 ) -> np.ndarray:
     """The paper's kernel: ``k(x_i, x_j) = exp(-d(x_i, x_j) / λ)``.
 
@@ -59,32 +119,73 @@ def exponential_kernel(
         ``"euclidean"`` or ``"chi2"``.
     bandwidth:
         ``λ``; ``None`` uses the paper's choice ``λ = max_{ij} d``.
+    block_size:
+        Evaluate in ``(N_a, block_size)`` column blocks so no distance
+        intermediate beyond one block is materialized. With
+        ``bandwidth=None`` the ``λ = max d`` rule needs every distance
+        before any entry can be exponentiated, so the full ``(N_a, N_b)``
+        float64 distance matrix is kept as the single large buffer
+        (filled blockwise, exponentiated in place).
+    dtype:
+        Output dtype; distances always accumulate in float64.
     """
     if distance not in _DISTANCES:
         raise ValidationError(
             f"unknown distance {distance!r}; expected one of "
             f"{sorted(_DISTANCES)}"
         )
-    distances = _DISTANCES[distance](view_a, view_b)
+    metric = _DISTANCES[distance]
+    view_a = ensure_2d(view_a, name="view_a")
+    view_b = view_a if view_b is None else ensure_2d(view_b, name="view_b")
+    out = _output_dtype(dtype)
+    shape = (view_a.shape[1], view_b.shape[1])
+    if block_size is None:
+        distances = metric(view_a, view_b)
+        if bandwidth is None:
+            bandwidth = float(distances.max()) if distances.size else 0.0
+        if bandwidth <= 0.0:
+            # All-identical samples: the kernel degenerates to all ones.
+            return np.ones(shape, dtype=out)
+        return np.exp(-distances / bandwidth).astype(out, copy=False)
     if bandwidth is None:
-        bandwidth = float(distances.max())
+        distances = np.empty(shape, dtype=np.float64)
+        for start, stop in _column_blocks(shape[1], block_size):
+            distances[:, start:stop] = metric(view_a, view_b[:, start:stop])
+        bandwidth = float(distances.max()) if distances.size else 0.0
+        if bandwidth <= 0.0:
+            return np.ones(shape, dtype=out)
+        # d / (-λ) is bit-identical to (-d) / λ, so the blocked path
+        # matches the one-shot np.exp(-distances / bandwidth) exactly.
+        np.divide(distances, -bandwidth, out=distances)
+        np.exp(distances, out=distances)
+        return distances.astype(out, copy=False)
     if bandwidth <= 0.0:
-        # All-identical samples: the kernel degenerates to all ones.
-        return np.ones_like(distances)
-    return np.exp(-distances / bandwidth)
+        return np.ones(shape, dtype=out)
+    result = np.empty(shape, dtype=out)
+    for start, stop in _column_blocks(shape[1], block_size):
+        distances = metric(view_a, view_b[:, start:stop])
+        result[:, start:stop] = np.exp(-distances / bandwidth)
+    return result
 
 
 class LinearKernel:
     """Stateless linear-kernel callable (uniform interface with the others)."""
+
+    #: Gram evaluation honors an output ``dtype=`` (mixed-precision hook).
+    supports_dtype = True
 
     def fit(self, view) -> "LinearKernel":
         """No state to learn; returns self."""
         del view
         return self
 
-    def __call__(self, view_a, view_b=None) -> np.ndarray:
-        """Evaluate the kernel matrix."""
-        return linear_kernel(view_a, view_b)
+    def __call__(
+        self, view_a, view_b=None, *, dtype=None, block_size=None
+    ) -> np.ndarray:
+        """Evaluate the kernel matrix (``block_size`` accepted for a
+        uniform signature; the product has no distance intermediate)."""
+        del block_size
+        return linear_kernel(view_a, view_b, dtype=dtype)
 
     def __repr__(self) -> str:
         return "LinearKernel()"
@@ -97,10 +198,16 @@ class RBFKernel:
     unless an explicit ``gamma`` was provided.
     """
 
-    def __init__(self, gamma: float | None = None):
+    supports_dtype = True
+
+    def __init__(self, gamma: float | None = None, *, block_size: int | None = None):
         if gamma is not None and gamma <= 0.0:
             raise ValidationError(f"gamma must be positive, got {gamma}")
         self.gamma = gamma
+        self.block_size = (
+            None if block_size is None
+            else check_positive_int(block_size, "block_size")
+        )
         self._fitted_gamma = gamma
 
     def fit(self, view) -> "RBFKernel":
@@ -114,10 +221,18 @@ class RBFKernel:
         self._fitted_gamma = 1.0 / max(median_sq, 1e-12)
         return self
 
-    def __call__(self, view_a, view_b=None) -> np.ndarray:
+    def __call__(
+        self, view_a, view_b=None, *, dtype=None, block_size=None
+    ) -> np.ndarray:
         """Evaluate the kernel matrix with the fitted bandwidth."""
         gamma = self._fitted_gamma if self._fitted_gamma is not None else 1.0
-        return rbf_kernel(view_a, view_b, gamma=gamma)
+        return rbf_kernel(
+            view_a,
+            view_b,
+            gamma=gamma,
+            dtype=dtype,
+            block_size=self.block_size if block_size is None else block_size,
+        )
 
     def __repr__(self) -> str:
         return f"RBFKernel(gamma={self.gamma})"
@@ -126,7 +241,15 @@ class RBFKernel:
 class ExponentialKernel:
     """The paper's ``exp(-d/λ)`` kernel with ``λ = max d`` learned in ``fit``."""
 
-    def __init__(self, distance: str = "euclidean", bandwidth: float | None = None):
+    supports_dtype = True
+
+    def __init__(
+        self,
+        distance: str = "euclidean",
+        bandwidth: float | None = None,
+        *,
+        block_size: int | None = None,
+    ):
         if distance not in _DISTANCES:
             raise ValidationError(
                 f"unknown distance {distance!r}; expected one of "
@@ -134,6 +257,10 @@ class ExponentialKernel:
             )
         self.distance = distance
         self.bandwidth = bandwidth
+        self.block_size = (
+            None if block_size is None
+            else check_positive_int(block_size, "block_size")
+        )
         self._fitted_bandwidth = bandwidth
 
     def fit(self, view) -> "ExponentialKernel":
@@ -145,13 +272,17 @@ class ExponentialKernel:
         self._fitted_bandwidth = float(distances.max())
         return self
 
-    def __call__(self, view_a, view_b=None) -> np.ndarray:
+    def __call__(
+        self, view_a, view_b=None, *, dtype=None, block_size=None
+    ) -> np.ndarray:
         """Evaluate the kernel matrix with the fitted bandwidth."""
         return exponential_kernel(
             view_a,
             view_b,
             distance=self.distance,
             bandwidth=self._fitted_bandwidth,
+            dtype=dtype,
+            block_size=self.block_size if block_size is None else block_size,
         )
 
     def __repr__(self) -> str:
@@ -159,3 +290,88 @@ class ExponentialKernel:
             f"ExponentialKernel(distance={self.distance!r}, "
             f"bandwidth={self.bandwidth})"
         )
+
+
+# -- JSON-friendly kernel specs ----------------------------------------------
+
+_SPEC_CLASSES = {
+    "linear": LinearKernel,
+    "rbf": RBFKernel,
+    "exponential": ExponentialKernel,
+}
+
+
+def kernel_from_spec(spec):
+    """Build a kernel callable from a JSON-friendly spec.
+
+    Accepts an existing kernel callable (returned unchanged), a kernel
+    name (``"linear"`` / ``"rbf"`` / ``"exponential"``), or a dict
+    ``{"kind": name, **params}`` whose remaining keys are the kernel's
+    constructor parameters. Dict specs written by :func:`kernel_to_spec`
+    carry the *fitted* bandwidth, so a spec round-trips a fitted kernel
+    through a JSON model header.
+    """
+    if isinstance(spec, str):
+        spec = {"kind": spec}
+    elif callable(spec):
+        return spec
+    if not isinstance(spec, dict):
+        raise ValidationError(
+            f"kernel spec must be a name, a dict, or a callable; got "
+            f"{type(spec).__name__}"
+        )
+    params = dict(spec)
+    kind = params.pop("kind", None)
+    if kind not in _SPEC_CLASSES:
+        raise ValidationError(
+            f"unknown kernel kind {kind!r}; expected one of "
+            f"{sorted(_SPEC_CLASSES)}"
+        )
+    try:
+        return _SPEC_CLASSES[kind](**params)
+    except TypeError as error:
+        raise ValidationError(
+            f"bad {kind!r} kernel spec {spec!r}: {error}"
+        ) from None
+
+
+def kernel_to_spec(kernel) -> dict:
+    """The JSON-friendly spec of a (possibly fitted) kernel callable.
+
+    Records the *fitted* bandwidth, so rebuilding via
+    :func:`kernel_from_spec` reproduces the kernel's train-time
+    behaviour exactly. Custom callables have no spec form and raise —
+    callers that only need best-effort persistence should catch
+    :class:`~repro.exceptions.ValidationError`.
+    """
+    if isinstance(kernel, LinearKernel):
+        return {"kind": "linear"}
+    if isinstance(kernel, RBFKernel):
+        spec: dict = {"kind": "rbf"}
+        gamma = (
+            kernel._fitted_gamma
+            if kernel._fitted_gamma is not None
+            else kernel.gamma
+        )
+        if gamma is not None:
+            spec["gamma"] = float(gamma)
+        if kernel.block_size is not None:
+            spec["block_size"] = int(kernel.block_size)
+        return spec
+    if isinstance(kernel, ExponentialKernel):
+        spec = {"kind": "exponential", "distance": kernel.distance}
+        bandwidth = (
+            kernel._fitted_bandwidth
+            if kernel._fitted_bandwidth is not None
+            else kernel.bandwidth
+        )
+        if bandwidth is not None:
+            spec["bandwidth"] = float(bandwidth)
+        if kernel.block_size is not None:
+            spec["block_size"] = int(kernel.block_size)
+        return spec
+    raise ValidationError(
+        f"{type(kernel).__name__} has no spec form; use "
+        "'linear'/'rbf'/'exponential' kernels (or spec dicts) where the "
+        "kernel configuration must be persisted"
+    )

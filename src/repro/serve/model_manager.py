@@ -57,6 +57,10 @@ class ModelSnapshot:
     #: accumulate dtypes, polish flag), or ``None`` for models saved
     #: before the policy existed (implicitly all-float64).
     dtype_policy: dict | None = None
+    #: the kernel-approximation config of an approximate KTCCA fit
+    #: (kind, requested width, per-view fitted feature dims), or
+    #: ``None`` for exact / non-kernel models.
+    approx: dict | None = None
 
     @property
     def is_pipeline(self) -> bool:
@@ -79,6 +83,22 @@ def _dtype_policy(model) -> dict | None:
     reducer = getattr(model, "reducer", model)
     policy = getattr(reducer, "dtype_policy_", None)
     return dict(policy) if isinstance(policy, dict) else None
+
+
+def _approx_info(model) -> dict | None:
+    """Kernel-approximation config of an approximate KTCCA fit, if any."""
+    reducer = getattr(model, "reducer", model)
+    kind = getattr(reducer, "approx_used_", None)
+    if kind in (None, "exact"):
+        return None
+    info = {"kind": str(kind)}
+    n_features = getattr(reducer, "n_features", None)
+    if n_features is not None:
+        info["n_features"] = int(n_features)
+    feature_dims = getattr(reducer, "feature_dims_", None)
+    if feature_dims is not None:
+        info["feature_dims"] = [int(dim) for dim in feature_dims]
+    return info
 
 
 class ModelManager:
@@ -148,6 +168,7 @@ class ModelManager:
             view_dims=_view_dims(model),
             provenance=chain_summary(read_header(self.path)),
             dtype_policy=_dtype_policy(model),
+            approx=_approx_info(model),
         )
         self._signature = signature
         if not initial:
@@ -235,6 +256,7 @@ class ModelManager:
             "reload_breaker": self.breaker,
             "provenance": snapshot.provenance,
             "dtype_policy": snapshot.dtype_policy,
+            "approx": snapshot.approx,
         }
         if snapshot.is_pipeline:
             document.update(model.describe())

@@ -1,0 +1,666 @@
+"""Tests for the kernel feature-map approximations (Nyström + RFF).
+
+Covers the blocked/dtype-aware kernel evaluation, the kernel spec
+round-trip, the two feature-map estimators, and the approximate KTCCA
+path end to end: agreement with the exact solver as ``k → N``,
+determinism, landmark-order invariance, streaming/incremental parity,
+and save/load/serve round-trips.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.api.persistence import load_model, save_model
+from repro.core.ktcca import KTCCA
+from repro.datasets.nuswide import make_nuswide_like
+from repro.exceptions import NotFittedError, ValidationError
+from repro.kernels import (
+    ExponentialKernel,
+    LinearKernel,
+    MappedViewStream,
+    NystromFeatures,
+    RBFKernel,
+    RandomFourierFeatures,
+    exponential_kernel,
+    feature_map_from_state,
+    kernel_from_spec,
+    kernel_to_spec,
+    rbf_kernel,
+)
+from repro.serve.model_manager import ModelManager
+from repro.streaming.views import ArrayViewStream
+
+
+def _views(n_samples=80, dims=(7, 6, 5), seed=0):
+    rng = np.random.default_rng(seed)
+    latent = rng.standard_normal((3, n_samples))
+    return [
+        rng.standard_normal((d, 3)) @ latent
+        + 0.1 * rng.standard_normal((d, n_samples))
+        for d in dims
+    ]
+
+
+@pytest.fixture(scope="module")
+def fig6_data():
+    """A small fig6/table4-style dataset (3 views, BoW first)."""
+    return make_nuswide_like(60, random_state=0)
+
+
+# -- blocked / dtype-aware kernel evaluation ---------------------------------
+
+
+class TestBlockedKernels:
+    def setup_method(self):
+        rng = np.random.default_rng(3)
+        self.a = rng.standard_normal((6, 40))
+        self.b = rng.standard_normal((6, 23))
+        self.ha = np.abs(rng.standard_normal((6, 40)))
+        self.hb = np.abs(rng.standard_normal((6, 23)))
+
+    @pytest.mark.parametrize("block_size", [1, 5, 23, 100])
+    def test_rbf_blocked_matches(self, block_size):
+        full = rbf_kernel(self.a, self.b, gamma=0.3)
+        blocked = rbf_kernel(self.a, self.b, gamma=0.3, block_size=block_size)
+        np.testing.assert_allclose(blocked, full, rtol=1e-13, atol=1e-15)
+
+    @pytest.mark.parametrize("block_size", [1, 7, 23, 64])
+    def test_exponential_blocked_matches_fixed_bandwidth(self, block_size):
+        full = exponential_kernel(self.a, self.b, bandwidth=2.0)
+        blocked = exponential_kernel(
+            self.a, self.b, bandwidth=2.0, block_size=block_size
+        )
+        np.testing.assert_allclose(blocked, full, rtol=1e-13, atol=1e-15)
+
+    @pytest.mark.parametrize("distance", ["euclidean", "chi2"])
+    def test_exponential_blocked_matches_max_d_bandwidth(self, distance):
+        a, b = (self.ha, self.hb) if distance == "chi2" else (self.a, self.b)
+        full = exponential_kernel(a, b, distance=distance)
+        blocked = exponential_kernel(a, b, distance=distance, block_size=6)
+        np.testing.assert_allclose(blocked, full, rtol=1e-13, atol=1e-15)
+
+    def test_degenerate_bandwidth_blocked(self):
+        same = np.ones((4, 9))
+        out = exponential_kernel(same, same, block_size=2)
+        np.testing.assert_array_equal(out, np.ones((9, 9)))
+
+    def test_dtype_output_float32(self):
+        out = rbf_kernel(self.a, self.b, gamma=0.5, dtype=np.float32)
+        assert out.dtype == np.float32
+        ref = rbf_kernel(self.a, self.b, gamma=0.5)
+        np.testing.assert_allclose(out, ref, atol=1e-6)
+        exp = exponential_kernel(
+            self.a, self.b, dtype="float32", block_size=8
+        )
+        assert exp.dtype == np.float32
+
+    def test_kernel_objects_forward_block_size_and_dtype(self):
+        kernel = RBFKernel(gamma=0.4, block_size=7)
+        np.testing.assert_allclose(
+            kernel(self.a, self.b),
+            rbf_kernel(self.a, self.b, gamma=0.4),
+            rtol=1e-13,
+        )
+        assert kernel(self.a, self.b, dtype=np.float32).dtype == np.float32
+        exp = ExponentialKernel(bandwidth=1.5, block_size=5)
+        np.testing.assert_allclose(
+            exp(self.a, self.b),
+            exponential_kernel(self.a, self.b, bandwidth=1.5),
+            rtol=1e-13,
+        )
+        linear = LinearKernel()
+        assert linear(self.a, self.b, dtype=np.float32).dtype == np.float32
+
+    def test_bad_block_size_rejected(self):
+        with pytest.raises(ValidationError):
+            rbf_kernel(self.a, self.b, block_size=0)
+
+
+class TestKernelSpecs:
+    def test_from_spec_names_and_dicts(self):
+        assert isinstance(kernel_from_spec("linear"), LinearKernel)
+        rbf = kernel_from_spec({"kind": "rbf", "gamma": 0.5})
+        assert isinstance(rbf, RBFKernel) and rbf.gamma == 0.5
+        exp = kernel_from_spec({"kind": "exponential", "distance": "chi2"})
+        assert isinstance(exp, ExponentialKernel) and exp.distance == "chi2"
+
+    def test_from_spec_passes_callables_through(self):
+        kernel = RBFKernel(gamma=2.0)
+        assert kernel_from_spec(kernel) is kernel
+
+    def test_from_spec_rejects_unknown(self):
+        with pytest.raises(ValidationError):
+            kernel_from_spec("polynomial")
+        with pytest.raises(ValidationError):
+            kernel_from_spec({"kind": "rbf", "nope": 1})
+        with pytest.raises(ValidationError):
+            kernel_from_spec(42)
+
+    def test_to_spec_records_fitted_bandwidth(self):
+        view = np.random.default_rng(0).standard_normal((4, 30))
+        kernel = ExponentialKernel().fit(view)
+        spec = kernel_to_spec(kernel)
+        assert spec["bandwidth"] == pytest.approx(kernel._fitted_bandwidth)
+        rebuilt = kernel_from_spec(spec)
+        np.testing.assert_array_equal(rebuilt(view, view), kernel(view, view))
+
+    def test_to_spec_rejects_custom_callables(self):
+        with pytest.raises(ValidationError):
+            kernel_to_spec(lambda a, b=None: a.T @ a)
+
+
+# -- feature maps -------------------------------------------------------------
+
+
+class TestNystromFeatures:
+    def test_k_equals_n_reproduces_kernel_gram(self):
+        view = _views()[0]
+        kernel = ExponentialKernel()
+        fmap = NystromFeatures(kernel, n_features=view.shape[1], random_state=0)
+        features = fmap.fit_transform(view)
+        kernel.fit(view)
+        np.testing.assert_allclose(
+            features.T @ features, kernel(view, view), atol=1e-8
+        )
+
+    def test_gram_error_shrinks_with_k(self):
+        view = _views(n_samples=120)[0]
+        kernel_spec = {"kind": "rbf", "gamma": 0.05}
+        exact = kernel_from_spec(kernel_spec)(view, view)
+        errors = []
+        for k in (4, 16, 64, 120):
+            fmap = NystromFeatures(kernel_spec, n_features=k, random_state=0)
+            features = fmap.fit_transform(view)
+            errors.append(np.abs(features.T @ features - exact).max())
+        assert errors[-1] < 1e-8
+        assert errors[-1] <= errors[0]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_deterministic_under_random_state(self, seed):
+        view = _views()[0]
+        one = NystromFeatures("rbf", n_features=16, random_state=seed).fit(view)
+        two = NystromFeatures("rbf", n_features=16, random_state=seed).fit(view)
+        np.testing.assert_array_equal(one.landmarks_, two.landmarks_)
+        np.testing.assert_array_equal(one.weights_, two.weights_)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_feature_gram_invariant_to_landmark_order(self, seed):
+        view, other = _views(seed=seed)[:2]
+        other = np.random.default_rng(seed + 10).standard_normal(
+            (view.shape[0], 15)
+        )
+        fmap = NystromFeatures(
+            {"kind": "rbf", "gamma": 0.1}, n_features=12, random_state=seed
+        )
+        plan = fmap.begin_fit(view.shape[0], view.shape[1])
+        permutation = np.random.default_rng(seed).permutation(
+            plan.landmark_indices.size
+        )
+        shuffled_plan = dataclasses.replace(
+            plan,
+            landmark_indices=plan.landmark_indices[permutation],
+            kernel=kernel_from_spec(fmap.kernel),
+        )
+        fmap.fit_columns(
+            plan, view[:, plan.landmark_indices], view[:, plan.sample_indices]
+        )
+        shuffled = NystromFeatures(
+            {"kind": "rbf", "gamma": 0.1}, n_features=12, random_state=seed
+        )
+        shuffled.fit_columns(
+            shuffled_plan,
+            view[:, shuffled_plan.landmark_indices],
+            view[:, shuffled_plan.sample_indices],
+        )
+        phi, phi_shuffled = fmap.transform(view), shuffled.transform(view)
+        psi, psi_shuffled = fmap.transform(other), shuffled.transform(other)
+        # the feature Gram (all the fit ever sees) is order-invariant
+        np.testing.assert_allclose(
+            phi.T @ phi, phi_shuffled.T @ phi_shuffled, atol=1e-8
+        )
+        np.testing.assert_allclose(
+            phi.T @ psi, phi_shuffled.T @ psi_shuffled, atol=1e-8
+        )
+
+    def test_state_round_trip(self):
+        view = _views()[0]
+        fmap = NystromFeatures("exponential", n_features=10, random_state=1)
+        fmap.fit(view)
+        rebuilt = feature_map_from_state(*fmap.state())
+        np.testing.assert_array_equal(
+            fmap.transform(view), rebuilt.transform(view)
+        )
+
+    def test_unfitted_transform_raises(self):
+        with pytest.raises(NotFittedError):
+            NystromFeatures("rbf", n_features=4).transform(np.eye(3))
+
+
+class TestRandomFourierFeatures:
+    def test_rbf_gram_approximation(self):
+        view = _views(n_samples=50)[0]
+        gamma = 0.08
+        fmap = RandomFourierFeatures(
+            {"kind": "rbf", "gamma": gamma}, n_features=6000, random_state=0
+        )
+        features = fmap.fit_transform(view)
+        exact = rbf_kernel(view, view, gamma=gamma)
+        # Monte-Carlo estimate: O(1/sqrt(k)) fluctuation around the kernel
+        assert np.abs(features.T @ features - exact).max() < 0.1
+
+    def test_exponential_euclidean_gram_approximation(self):
+        view = _views(n_samples=50)[0]
+        fmap = RandomFourierFeatures(
+            {"kind": "exponential", "bandwidth": 4.0},
+            n_features=6000,
+            random_state=0,
+        )
+        features = fmap.fit_transform(view)
+        exact = exponential_kernel(view, view, bandwidth=4.0)
+        assert np.abs(features.T @ features - exact).max() < 0.15
+
+    def test_rejects_non_shift_invariant_kernels(self):
+        view = np.abs(_views()[0])
+        chi2 = RandomFourierFeatures(
+            {"kind": "exponential", "distance": "chi2"}, n_features=8
+        )
+        with pytest.raises(ValidationError, match="nystrom"):
+            chi2.fit(view)
+        with pytest.raises(ValidationError, match="nystrom"):
+            RandomFourierFeatures("linear", n_features=8).fit(view)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_deterministic_under_random_state(self, seed):
+        view = _views()[0]
+        one = RandomFourierFeatures(
+            "exponential", n_features=32, random_state=seed
+        ).fit(view)
+        two = RandomFourierFeatures(
+            "exponential", n_features=32, random_state=seed
+        ).fit(view)
+        np.testing.assert_array_equal(one.weights_, two.weights_)
+        np.testing.assert_array_equal(one.offsets_, two.offsets_)
+
+    def test_state_round_trip(self):
+        view = _views()[0]
+        fmap = RandomFourierFeatures("rbf", n_features=12, random_state=2)
+        fmap.fit(view)
+        rebuilt = feature_map_from_state(*fmap.state())
+        np.testing.assert_array_equal(
+            fmap.transform(view), rebuilt.transform(view)
+        )
+
+    def test_output_dtype_honors_policy(self):
+        view = _views()[0]
+        fmap = RandomFourierFeatures(
+            "rbf", n_features=8, random_state=0, dtype=np.float32
+        )
+        assert fmap.fit_transform(view).dtype == np.float32
+
+
+class TestMappedViewStream:
+    def test_maps_chunks_and_reports_feature_dims(self):
+        views = _views(n_samples=64)
+        maps = [
+            NystromFeatures("rbf", n_features=6, random_state=i).fit(view)
+            for i, view in enumerate(views)
+        ]
+        stream = MappedViewStream(ArrayViewStream(views, chunk_size=17), maps)
+        assert stream.dims == tuple(m.n_features_ for m in maps)
+        assert stream.n_samples == 64
+        rebuilt = [
+            np.hstack(blocks)
+            for blocks in zip(*list(stream.chunks()))
+        ]
+        for fmap, view, got in zip(maps, views, rebuilt):
+            np.testing.assert_allclose(got, fmap.transform(view))
+
+    def test_view_count_mismatch_rejected(self):
+        views = _views(n_samples=32)
+        with pytest.raises(ValidationError):
+            MappedViewStream(ArrayViewStream(views), [object()])
+
+
+# -- KTCCA approximate path ---------------------------------------------------
+
+FIG6_KERNELS = [
+    {"kind": "exponential", "distance": "chi2"},
+    {"kind": "exponential", "distance": "euclidean"},
+    {"kind": "exponential", "distance": "euclidean"},
+]
+
+
+class TestKTCCAApprox:
+    def test_nystrom_k_equals_n_matches_exact_on_fig6(self, fig6_data):
+        views = fig6_data.views
+        n = views[0].shape[1]
+        exact = KTCCA(
+            n_components=2, kernels=list(FIG6_KERNELS), random_state=0
+        ).fit(views)
+        approx = KTCCA(
+            n_components=2,
+            kernels=list(FIG6_KERNELS),
+            approx="nystrom",
+            n_features=n,
+            random_state=0,
+        ).fit(views)
+        np.testing.assert_allclose(
+            approx.correlations_, exact.correlations_, atol=1e-6
+        )
+
+    def test_agreement_curve_converges_with_k(self, fig6_data):
+        views = fig6_data.views
+        n = views[0].shape[1]
+        exact = KTCCA(
+            n_components=1, kernels=list(FIG6_KERNELS), random_state=0
+        ).fit(views)
+        errors = []
+        for k in (8, 24, n):
+            approx = KTCCA(
+                n_components=1,
+                kernels=list(FIG6_KERNELS),
+                approx="nystrom",
+                n_features=k,
+                random_state=0,
+            ).fit(views)
+            errors.append(
+                float(
+                    np.abs(
+                        approx.correlations_ - exact.correlations_
+                    ).max()
+                )
+            )
+        # monotone within tolerance: each refinement may wiggle by a
+        # fraction of the remaining error, never grow past the coarser one
+        slack = 0.25 * max(errors) + 1e-9
+        assert all(
+            later <= earlier + slack
+            for earlier, later in zip(errors, errors[1:])
+        )
+        assert errors[-1] < 1e-6
+
+    def test_rff_converges_statistically(self, fig6_data):
+        views = fig6_data.views
+        kernels = [{"kind": "exponential", "distance": "euclidean"}] * 3
+        exact = KTCCA(
+            n_components=1, kernels=list(kernels), random_state=0
+        ).fit(views)
+        errors = []
+        for k in (8, 512):
+            approx = KTCCA(
+                n_components=1,
+                kernels=list(kernels),
+                approx="rff",
+                n_features=k,
+                random_state=0,
+            ).fit(views)
+            errors.append(
+                float(
+                    np.abs(approx.correlations_ - exact.correlations_).max()
+                )
+            )
+        assert errors[-1] < errors[0]
+
+    @pytest.mark.parametrize("approx", ["nystrom", "rff"])
+    def test_deterministic_under_random_state(self, approx):
+        views = _views(n_samples=90)
+        fits = [
+            KTCCA(
+                n_components=2,
+                kernels="rbf",
+                approx=approx,
+                n_features=16,
+                random_state=11,
+            ).fit(views)
+            for _ in range(2)
+        ]
+        np.testing.assert_array_equal(
+            fits[0].correlations_, fits[1].correlations_
+        )
+        np.testing.assert_array_equal(
+            fits[0].transform_combined(views),
+            fits[1].transform_combined(views),
+        )
+
+    @pytest.mark.parametrize("approx", ["nystrom", "rff"])
+    def test_fit_stream_matches_fit(self, approx):
+        views = _views(n_samples=130)
+        batch = KTCCA(
+            n_components=2,
+            kernels="exponential",
+            approx=approx,
+            n_features=20,
+            random_state=5,
+        ).fit(views)
+        streamed = KTCCA(
+            n_components=2,
+            kernels="exponential",
+            approx=approx,
+            n_features=20,
+            random_state=5,
+        ).fit_stream(views, chunk_size=29)
+        np.testing.assert_allclose(
+            streamed.correlations_, batch.correlations_, atol=1e-8
+        )
+        np.testing.assert_allclose(
+            streamed.transform_combined(views),
+            batch.transform_combined(views),
+            atol=1e-8,
+        )
+
+    def test_partial_fit_accumulates_and_resumes_after_load(self, tmp_path):
+        views = _views(n_samples=120)
+        first = [view[:, :70] for view in views]
+        second = [view[:, 70:] for view in views]
+        resumed = KTCCA(
+            n_components=2,
+            kernels="rbf",
+            approx="nystrom",
+            n_features=16,
+            random_state=4,
+        )
+        resumed.partial_fit(first)
+        path = tmp_path / "model.npz"
+        save_model(resumed, path)
+        loaded = load_model(path)
+        loaded.partial_fit(second)
+        resumed.partial_fit(second)
+        assert loaded.moments_.n_samples == 120
+        np.testing.assert_allclose(
+            loaded.correlations_, resumed.correlations_, atol=1e-12
+        )
+
+    def test_single_batch_partial_fit_matches_fit(self):
+        views = _views(n_samples=100)
+        config = dict(
+            n_components=2,
+            kernels="rbf",
+            approx="nystrom",
+            n_features=16,
+            random_state=4,
+        )
+        incremental = KTCCA(**config).partial_fit(views)
+        batch = KTCCA(**config).fit(views)
+        np.testing.assert_allclose(
+            incremental.correlations_, batch.correlations_, atol=1e-10
+        )
+
+    def test_transform_train_matches_transform_after_batch_fit(self):
+        views = _views(n_samples=70)
+        model = KTCCA(
+            n_components=2,
+            kernels="rbf",
+            approx="nystrom",
+            n_features=12,
+            random_state=0,
+        ).fit(views)
+        np.testing.assert_allclose(
+            model.transform_train_combined(),
+            model.transform_combined(views),
+            atol=1e-10,
+        )
+
+    def test_mixed_precision_records_policy_and_projects_float32(self):
+        views = _views(n_samples=90)
+        model = KTCCA(
+            n_components=2,
+            kernels="rbf",
+            approx="nystrom",
+            n_features=16,
+            random_state=0,
+            precision="mixed",
+        ).fit(views)
+        assert model.dtype_policy_["compute_dtype"] == "float32"
+        outputs = model.transform(views)
+        assert all(output.dtype == np.float32 for output in outputs)
+        reference = KTCCA(
+            n_components=2,
+            kernels="rbf",
+            approx="nystrom",
+            n_features=16,
+            random_state=0,
+        ).fit(views)
+        np.testing.assert_allclose(
+            model.correlations_, reference.correlations_, atol=1e-4
+        )
+
+    def test_exact_path_mixed_precision_gram_dtype(self):
+        views = _views(n_samples=40)
+        model = KTCCA(
+            n_components=1, kernels="rbf", precision="mixed", random_state=0
+        ).fit(views)
+        assert model.dtype_policy_["compute_dtype"] == "float32"
+        reference = KTCCA(
+            n_components=1, kernels="rbf", random_state=0
+        ).fit(views)
+        np.testing.assert_allclose(
+            model.correlations_, reference.correlations_, rtol=1e-3
+        )
+
+    def test_exact_kernel_specs_persist(self, tmp_path):
+        views = _views(n_samples=40)
+        model = KTCCA(n_components=1, kernels="exponential").fit(views)
+        path = tmp_path / "exact.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        np.testing.assert_allclose(
+            np.hstack(loaded.transform(views)),
+            np.hstack(model.transform(views)),
+            atol=1e-12,
+        )
+
+    def test_generator_random_state_rejected_for_approx(self):
+        views = _views(n_samples=40)
+        model = KTCCA(
+            kernels="rbf",
+            approx="nystrom",
+            n_features=8,
+            random_state=np.random.default_rng(0),
+        )
+        with pytest.raises(ValidationError, match="replayable"):
+            model.fit(views)
+
+    def test_error_modes(self):
+        views = _views(n_samples=30)
+        with pytest.raises(ValidationError, match="n_features"):
+            KTCCA(approx="nystrom")
+        with pytest.raises(ValidationError, match="n_features"):
+            KTCCA(n_features=8)
+        with pytest.raises(ValidationError, match="exceeds"):
+            KTCCA(approx="rff", n_features=2, n_components=4)
+        with pytest.raises(ValidationError, match="precomputed"):
+            KTCCA(approx="nystrom", n_features=8).fit(views)
+        with pytest.raises(ValidationError, match="center"):
+            KTCCA(
+                approx="nystrom", n_features=8, kernels="rbf", center=False
+            ).fit(views)
+        with pytest.raises(ValidationError, match="fit_stream"):
+            KTCCA(kernels="rbf").fit_stream(views)
+        with pytest.raises(ValidationError, match="partial_fit"):
+            KTCCA(kernels="rbf").partial_fit(views)
+
+
+class TestApproxServe:
+    @pytest.mark.parametrize("approx", ["nystrom", "rff"])
+    def test_save_load_serve_round_trip(self, tmp_path, approx):
+        views = _views(n_samples=80)
+        model = KTCCA(
+            n_components=2,
+            kernels="rbf",
+            approx=approx,
+            n_features=12,
+            random_state=1,
+        ).fit(views)
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        loaded = load_model(path, verify=True)
+        assert loaded.approx == approx
+        assert loaded.n_features == 12
+        np.testing.assert_array_equal(
+            loaded.transform_combined(views), model.transform_combined(views)
+        )
+        manager = ModelManager(path)
+        snapshot = manager.current()
+        assert snapshot.approx["kind"] == approx
+        assert snapshot.approx["n_features"] == 12
+        assert snapshot.view_dims == tuple(
+            view.shape[0] for view in views
+        )
+        info = manager.info()
+        assert info["approx"]["feature_dims"] == list(
+            model.feature_dims_
+        )
+        np.testing.assert_array_equal(
+            snapshot.model.transform_combined(views),
+            model.transform_combined(views),
+        )
+
+    def test_exact_model_reports_no_approx(self, tmp_path):
+        views = _views(n_samples=30)
+        model = KTCCA(n_components=1, kernels="rbf").fit(views)
+        path = tmp_path / "exact.npz"
+        save_model(model, path)
+        assert ModelManager(path).info()["approx"] is None
+
+
+class TestApproxCLI:
+    def test_fit_update_round_trip(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "model.npz"
+        assert main([
+            "fit", "ktcca",
+            "--synthetic", "120",
+            "--approx", "nystrom",
+            "--n-features", "16",
+            "--param", "kernels=rbf",
+            "--param", "n_components=2",
+            "--param", "random_state=0",
+            "--incremental",
+            "--out", str(path),
+        ]) == 0
+        assert main([
+            "update", str(path),
+            "--synthetic", "50",
+            "--seed", "3",
+        ]) == 0
+        capsys.readouterr()
+        model = load_model(path)
+        assert model.approx == "nystrom"
+        assert model.moments_.n_samples == 170
+
+    def test_shorthand_conflict_rejected(self, tmp_path):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main([
+                "fit", "ktcca",
+                "--synthetic", "40",
+                "--approx", "nystrom",
+                "--n-features", "8",
+                "--param", "approx=rff",
+                "--param", "kernels=rbf",
+                "--out", str(tmp_path / "x.npz"),
+            ])
